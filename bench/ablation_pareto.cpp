@@ -1,0 +1,112 @@
+// Compares the two ways this library can map the makespan/slack trade-off:
+//   (a) the paper's ε-constraint method — one GA run per ε on a grid
+//       (Section 4.1), collecting the resulting points;
+//   (b) one NSGA-II run (extension) producing a whole front at once.
+// Both get an equal total evaluation budget. Quality is scored with the 2-D
+// hypervolume against a common reference point and the mutual coverage
+// (C-metric); runtime is wall clock.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/pareto.hpp"
+#include "ga/nsga2.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rts;
+  const auto setup = bench::make_setup(argc, argv, /*graphs=*/3, /*realizations=*/0,
+                                       /*ga_iters=*/250);
+  bench::print_header("Pareto-front quality — epsilon sweep vs NSGA-II", setup);
+
+  const std::vector<double> epsilons{1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+
+  ResultTable table({"graph", "method", "front size", "hypervolume", "covered by other",
+                     "wall ms"});
+
+  double hv_eps_total = 0.0;
+  double hv_nsga_total = 0.0;
+  for (std::size_t g = 0; g < setup.scale.num_graphs; ++g) {
+    const auto instance = make_experiment_instance(setup.scale, g, 4.0);
+
+    // --- (a) ε-constraint sweep.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ParetoPoint> eps_points;
+    for (std::size_t e = 0; e < epsilons.size(); ++e) {
+      GaConfig ga = setup.scale.ga;
+      ga.epsilon = epsilons[e];
+      ga.history_stride = 0;
+      ga.stagnation_window = ga.max_iterations;
+      ga.seed = hash_combine_u64(setup.scale.seed, g * 100 + e);
+      const auto result =
+          run_ga(instance.graph, instance.platform, instance.expected, ga);
+      eps_points.push_back(
+          {result.best_eval.makespan, result.best_eval.avg_slack, e});
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // --- (b) NSGA-II with the same evaluation budget:
+    // sweep evaluates |eps| * iters * Np individuals.
+    Nsga2Config nsga;
+    nsga.population_size = 2 * setup.scale.ga.population_size;
+    nsga.max_generations = epsilons.size() * setup.scale.ga.max_iterations *
+                           setup.scale.ga.population_size /
+                           nsga.population_size;
+    nsga.seed = hash_combine_u64(setup.scale.seed, g + 999);
+    const auto nsga_result =
+        run_nsga2(instance.graph, instance.platform, instance.expected, nsga);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    // Slack grows without bound as the makespan budget grows, so fronts are
+    // only comparable within a common budget: clip both to the sweep's
+    // makespan range [0, max ε * M_HEFT].
+    const double budget = epsilons.back() * nsga_result.heft_makespan;
+    std::vector<ParetoPoint> nsga_points;
+    for (std::size_t i = 0; i < nsga_result.front_evals.size(); ++i) {
+      if (nsga_result.front_evals[i].makespan <= budget) {
+        nsga_points.push_back({nsga_result.front_evals[i].makespan,
+                               nsga_result.front_evals[i].avg_slack, i});
+      }
+    }
+
+    // Common reference point dominated by every clipped point.
+    ParetoPoint ref{budget * 1.05, -1.0, 0};
+
+    const auto eps_front = pareto_front(eps_points);
+    const auto nsga_front = pareto_front(nsga_points);
+    const double hv_eps = hypervolume_2d(eps_front, ref);
+    const double hv_nsga = hypervolume_2d(nsga_front, ref);
+    hv_eps_total += hv_eps;
+    hv_nsga_total += hv_nsga;
+
+    const auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    table.begin_row()
+        .add(static_cast<long long>(g))
+        .add("epsilon sweep")
+        .add(static_cast<long long>(eps_front.size()))
+        .add(hv_eps, 1)
+        .add(coverage_metric(nsga_front, eps_front), 3)
+        .add(ms(t0, t1), 1);
+    table.begin_row()
+        .add(static_cast<long long>(g))
+        .add("NSGA-II")
+        .add(static_cast<long long>(nsga_front.size()))
+        .add(hv_nsga, 1)
+        .add(coverage_metric(eps_front, nsga_front), 3)
+        .add(ms(t1, t2), 1);
+  }
+  bench::finish(table, setup);
+
+  std::cout << "\nsummary: mean hypervolume epsilon-sweep = "
+            << format_fixed(hv_eps_total / static_cast<double>(setup.scale.num_graphs), 1)
+            << ", NSGA-II = "
+            << format_fixed(hv_nsga_total / static_cast<double>(setup.scale.num_graphs), 1)
+            << "\nReading guide: within the common makespan budget the two methods\n"
+               "score similar hypervolume. NSGA-II yields the denser front in one run\n"
+               "but its population can sprawl toward slack-rich/huge-makespan regions,\n"
+               "leaving few points inside a tight budget — the ε-constraint's explicit\n"
+               "bound is exactly what prevents that (the paper's rationale).\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Compares every robustness strategy in the library on the same instances —
+// the paper's ε-constraint GA against (a) the introduction's "judicious
+// overestimation" approach (HEFT on percentile costs, several quantiles),
+// (b) the Section 6 stochastic-information-guided GA objective (effective
+// slack), and (c) simulated annealing at an equal evaluation budget.
+//
+// Reported per strategy (averaged over graphs): expected makespan, mean
+// tardiness, R1, R2, and the p95 realized makespan a deadline-driven user
+// would provision for.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/stochastic.hpp"
+#include "ga/annealing.hpp"
+#include "ga/local_search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rts;
+  const auto setup = bench::make_setup(argc, argv, /*graphs=*/4, /*realizations=*/800,
+                                       /*ga_iters=*/400);
+  const double epsilon = 1.2;
+  const double ul = 4.0;
+  bench::print_header(
+      "Robustness strategies — overestimation vs GA vs stochastic GA vs SA "
+      "(epsilon = 1.2, UL = 4)",
+      setup);
+
+  struct Accumulator {
+    double makespan = 0.0;
+    double tardiness = 0.0;
+    double r1 = 0.0;
+    double r2 = 0.0;
+    double p95 = 0.0;
+  };
+  const auto add_report = [](Accumulator& acc, double m0, const RobustnessReport& rep) {
+    acc.makespan += m0;
+    acc.tardiness += rep.mean_tardiness;
+    acc.r1 += rep.r1;
+    acc.r2 += rep.r2;
+    acc.p95 += rep.p95_realized_makespan;
+  };
+
+  // Strategy order fixed so rows are comparable across runs.
+  const std::vector<std::string> names{
+      "HEFT (expected costs)", "HEFT overestimate q=0.75", "HEFT overestimate q=0.95",
+      "GA epsilon-constraint", "GA stochastic (eff. slack)", "simulated annealing",
+      "slack local search"};
+  std::vector<Accumulator> acc(names.size());
+
+  for (std::size_t g = 0; g < setup.scale.num_graphs; ++g) {
+    const auto instance = make_experiment_instance(setup.scale, g, ul);
+    MonteCarloConfig mc;
+    mc.realizations = setup.scale.realizations;
+    mc.seed = hash_combine_u64(setup.scale.seed, g ^ 0x4d43u);
+    const auto measure = [&](std::size_t row, const Schedule& schedule) {
+      const auto rep = evaluate_robustness(instance, schedule, mc);
+      add_report(acc[row], rep.expected_makespan, rep);
+    };
+
+    measure(0, heft_schedule(instance.graph, instance.platform, instance.expected)
+                   .schedule);
+    measure(1, overestimation_schedule(instance, 0.75).schedule);
+    measure(2, overestimation_schedule(instance, 0.95).schedule);
+
+    GaConfig ga = setup.scale.ga;
+    ga.epsilon = epsilon;
+    ga.history_stride = 0;
+    ga.seed = hash_combine_u64(setup.scale.seed, g);
+    measure(3, run_ga(instance.graph, instance.platform, instance.expected, ga)
+                   .best_schedule);
+
+    GaConfig sga = ga;
+    sga.objective = ObjectiveKind::kEpsilonConstraintEffective;
+    const Matrix<double> stddev = duration_stddev(instance.bcet, instance.ul);
+    measure(4, run_ga(instance.graph, instance.platform, instance.expected, sga,
+                      nullptr, &stddev)
+                   .best_schedule);
+
+    SaConfig sa;
+    sa.epsilon = epsilon;
+    // Equal evaluation budget: the GA evaluates ~Np individuals per
+    // generation.
+    sa.iterations = setup.scale.ga.max_iterations * setup.scale.ga.population_size;
+    sa.seed = hash_combine_u64(setup.scale.seed, g ^ 0x5a5au);
+    measure(5, run_simulated_annealing(instance.graph, instance.platform,
+                                       instance.expected, sa)
+                   .best_schedule);
+
+    LocalSearchConfig ls;
+    ls.epsilon = epsilon;
+    ls.seed = hash_combine_u64(setup.scale.seed, g ^ 0x1c5u);
+    measure(6, run_slack_local_search(instance.graph, instance.platform,
+                                      instance.expected, ls)
+                   .best_schedule);
+  }
+
+  ResultTable table({"strategy", "M0", "E[tardiness]", "R1", "R2", "p95 makespan"});
+  const double inv = 1.0 / static_cast<double>(setup.scale.num_graphs);
+  for (std::size_t row = 0; row < names.size(); ++row) {
+    table.begin_row()
+        .add(names[row])
+        .add(acc[row].makespan * inv, 2)
+        .add(acc[row].tardiness * inv, 4)
+        .add(acc[row].r1 * inv, 3)
+        .add(acc[row].r2 * inv, 3)
+        .add(acc[row].p95 * inv, 2);
+  }
+  bench::finish(table, setup);
+
+  std::cout << "\nobservations to look for:\n"
+               "  * the deterministic slack local search captures much of the GA's\n"
+               "    R1 gain at a fraction of the evaluations;\n"
+               "  * overestimation lowers tardiness a little but inflates M0 without\n"
+               "    restructuring the schedule (the introduction's predicted drawback);\n"
+               "  * both GAs buy much larger R1 for the same 20% budget;\n"
+               "  * SA at an equal budget shows how much the population + crossover\n"
+               "    machinery of Section 4.2 actually contributes.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+// Shared scaffolding for the figure-reproduction harnesses.
+//
+// Every fig*_ binary runs the corresponding experiment of the paper's
+// Section 5 at a reduced default scale (seconds, not hours) and prints the
+// figure's series as an aligned table; pass --csv <path> (or RTS_CSV=path)
+// to also dump CSV for replotting. Scale knobs, resolved from CLI or
+// RTS_<KEY> environment variables:
+//
+//   --graphs N        task graphs per data point   (paper: 100)
+//   --realizations N  Monte-Carlo realizations     (paper: 1000)
+//   --tasks N         tasks per graph              (paper: 100)
+//   --procs N         processors                   (paper: unspecified; 8)
+//   --ga-iters N      GA iterations                (paper: 1000)
+//   --seed S          root seed
+//
+// Paper-scale run: RTS_GRAPHS=100 RTS_REALIZATIONS=1000 RTS_GA_ITERS=1000 ./figN_...
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace rts::bench {
+
+struct BenchSetup {
+  ExperimentScale scale;
+  std::string csv_path;  // empty: no CSV dump
+};
+
+inline BenchSetup make_setup(int argc, char** argv, std::size_t default_graphs,
+                             std::size_t default_realizations,
+                             std::size_t default_ga_iters) {
+  const Options opts(argc, argv);
+  BenchSetup setup;
+  setup.scale.num_graphs =
+      static_cast<std::size_t>(opts.get_int("graphs", static_cast<std::int64_t>(default_graphs)));
+  setup.scale.realizations = static_cast<std::size_t>(
+      opts.get_int("realizations", static_cast<std::int64_t>(default_realizations)));
+  setup.scale.seed = static_cast<std::uint64_t>(opts.get_int("seed", 20060918));
+  setup.scale.instance.task_count =
+      static_cast<std::size_t>(opts.get_int("tasks", 100));
+  setup.scale.instance.proc_count =
+      static_cast<std::size_t>(opts.get_int("procs", 8));
+  setup.scale.ga.max_iterations = static_cast<std::size_t>(
+      opts.get_int("ga-iters", static_cast<std::int64_t>(default_ga_iters)));
+  setup.scale.ga.stagnation_window = setup.scale.ga.max_iterations;  // full sweeps
+  setup.csv_path = opts.get_string("csv", "");
+  return setup;
+}
+
+inline void print_header(const std::string& what, const BenchSetup& setup) {
+  std::cout << "=== " << what << " ===\n"
+            << "scale: graphs=" << setup.scale.num_graphs
+            << " realizations=" << setup.scale.realizations
+            << " tasks=" << setup.scale.instance.task_count
+            << " procs=" << setup.scale.instance.proc_count
+            << " ga_iters=" << setup.scale.ga.max_iterations
+            << " seed=" << setup.scale.seed << "\n"
+            << "(paper scale: RTS_GRAPHS=100 RTS_REALIZATIONS=1000 RTS_GA_ITERS=1000)\n\n";
+}
+
+inline void finish(const ResultTable& table, const BenchSetup& setup) {
+  table.write_pretty(std::cout);
+  if (!setup.csv_path.empty()) {
+    table.save_csv(setup.csv_path);
+    std::cout << "\nCSV written to " << setup.csv_path << "\n";
+  }
+}
+
+}  // namespace rts::bench

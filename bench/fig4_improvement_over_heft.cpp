@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 4: improvement of the ε-constraint GA over HEFT at
+// ε = 1.0, as a function of the uncertainty level UL in {2..8}. Prints the
+// mean log10 ratios of makespan (M_HEFT / M_GA), R1 (GA / HEFT) and
+// R2 (GA / HEFT).
+//
+// Expected shape: all improvements >= 0; the R1 improvement is largest at
+// low UL (paper: ~13% at UL = 2) and shrinks as UL grows; the R2
+// improvement is smaller than R1 throughout.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rts;
+  const auto setup = bench::make_setup(argc, argv, /*graphs=*/5, /*realizations=*/400,
+                                       /*ga_iters=*/400);
+  bench::print_header("Fig. 4 — improvement over HEFT at epsilon = 1.0", setup);
+
+  const std::vector<double> uls{2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const EpsilonUlSweep sweep(setup.scale, uls, {1.0});
+
+  ResultTable table({"UL", "log10 makespan impr", "log10 R1 impr", "log10 R2 impr",
+                     "R1 impr %", "R2 impr %"});
+  std::vector<double> r1_series;
+  for (std::size_t u = 0; u < uls.size(); ++u) {
+    const auto imp = sweep.heft_improvement(u, 0);
+    table.begin_row()
+        .add(uls[u], 1)
+        .add(imp.log10_makespan)
+        .add(imp.log10_r1)
+        .add(imp.log10_r2)
+        .add((std::pow(10.0, imp.log10_r1) - 1.0) * 100.0, 2)
+        .add((std::pow(10.0, imp.log10_r2) - 1.0) * 100.0, 2);
+    r1_series.push_back(imp.log10_r1);
+  }
+  bench::finish(table, setup);
+
+  std::cout << "\nshape checks (paper Fig. 4):\n";
+  bool all_nonneg = true;
+  bool r2_below_r1 = true;
+  for (std::size_t u = 0; u < uls.size(); ++u) {
+    const auto imp = sweep.heft_improvement(u, 0);
+    all_nonneg = all_nonneg && imp.log10_makespan >= -1e-9 && imp.log10_r1 >= -1e-3;
+    r2_below_r1 = r2_below_r1 && imp.log10_r2 <= imp.log10_r1 + 1e-3;
+  }
+  std::cout << "  all improvements non-negative: " << (all_nonneg ? "yes" : "NO") << "\n";
+  std::cout << "  R2 improvement <= R1 improvement: " << (r2_below_r1 ? "yes" : "NO")
+            << "\n";
+  std::cout << "  R1 improvement larger at UL=2 than UL=8: "
+            << (r1_series.front() > r1_series.back() ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 6: improvement of the miss-rate robustness R2 over
+// ε = 1.0 as the budget relaxes, for UL in {2, 4, 6, 8}.
+//
+// Expected shape: gains grow with ε but the curves for different UL are
+// much closer together than Fig. 5's — R2 is less sensitive to the
+// uncertainty level than R1.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rts;
+  const auto setup = bench::make_setup(argc, argv, /*graphs=*/5, /*realizations=*/1000,
+                                       /*ga_iters=*/400);
+  bench::print_header("Fig. 6 — R2 improvement over epsilon = 1.0", setup);
+
+  const std::vector<double> uls{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> epsilons{1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+  const EpsilonUlSweep sweep(setup.scale, uls, epsilons);
+
+  ResultTable table({"epsilon", "UL=2", "UL=4", "UL=6", "UL=8"});
+  for (std::size_t e = 1; e < epsilons.size(); ++e) {
+    auto& row = table.begin_row().add(epsilons[e], 1);
+    for (std::size_t u = 0; u < uls.size(); ++u) {
+      row.add(sweep.robustness_ratio_over_base(u, e, 0, RobustnessKind::kR2) - 1.0);
+    }
+  }
+  bench::finish(table, setup);
+
+  std::cout << "\nshape checks (paper Fig. 6):\n";
+  const std::size_t last = epsilons.size() - 1;
+  bool grows = true;
+  for (std::size_t u = 0; u < uls.size(); ++u) {
+    grows = grows && sweep.robustness_ratio_over_base(u, last, 0, RobustnessKind::kR2) >
+                         1.0;
+  }
+  std::cout << "  relaxing epsilon improves R2 for every UL: " << (grows ? "yes" : "NO")
+            << "\n";
+
+  // Spread across UL at the final epsilon: R2's should be tighter than R1's.
+  const auto spread = [&](RobustnessKind kind) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (std::size_t u = 0; u < uls.size(); ++u) {
+      const double v = sweep.robustness_ratio_over_base(u, last, 0, kind);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  const double r1_spread = spread(RobustnessKind::kR1);
+  const double r2_spread = spread(RobustnessKind::kR2);
+  std::cout << "  R2 curves less spread across UL than R1 ("
+            << format_fixed(r2_spread, 4) << " vs " << format_fixed(r1_spread, 4)
+            << "): " << (r2_spread < r1_spread ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 7: the ε in [1.0, 2.0] that maximizes the overall
+// performance P(s) = r·log(M_HEFT/M) + (1−r)·log(R1/R1_HEFT) (Eqn. 9),
+// as a function of the weight r, for UL in {2, 4, 6, 8}.
+//
+// Expected shape: best ε decreases toward 1.0 as r -> 1 (makespan focus)
+// and grows as r -> 0 (robustness focus); larger UL prefers larger ε.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rts;
+  const auto setup = bench::make_setup(argc, argv, /*graphs=*/4, /*realizations=*/400,
+                                       /*ga_iters=*/400);
+  bench::print_header("Fig. 7 — best epsilon for overall performance (R1)", setup);
+
+  const std::vector<double> uls{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> epsilons;
+  for (double e = 1.0; e <= 2.0001; e += 0.1) epsilons.push_back(e);
+  const EpsilonUlSweep sweep(setup.scale, uls, epsilons);
+
+  ResultTable table({"r", "UL=2", "UL=4", "UL=6", "UL=8"});
+  std::vector<std::vector<double>> best(uls.size());
+  for (double r = 0.0; r <= 1.0001; r += 0.1) {
+    auto& row = table.begin_row().add(r, 1);
+    for (std::size_t u = 0; u < uls.size(); ++u) {
+      const double eps = sweep.best_epsilon(u, r, RobustnessKind::kR1);
+      best[u].push_back(eps);
+      row.add(eps, 2);
+    }
+  }
+  bench::finish(table, setup);
+
+  std::cout << "\nshape checks (paper Fig. 7):\n";
+  bool ends_at_one = true;
+  bool starts_higher = true;
+  for (std::size_t u = 0; u < uls.size(); ++u) {
+    ends_at_one = ends_at_one && best[u].back() <= 1.1001;
+    starts_higher = starts_higher && best[u].front() >= best[u].back();
+  }
+  std::cout << "  best epsilon ~1.0 at r = 1: " << (ends_at_one ? "yes" : "NO") << "\n";
+  std::cout << "  best epsilon at r = 0 >= at r = 1: " << (starts_higher ? "yes" : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Micro-benchmark: Monte-Carlo robustness evaluation throughput — scaling
+// with realization count, graph size, and (when OpenMP is enabled) thread
+// count.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rts.hpp"
+
+#ifdef RTS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+struct Fixture {
+  rts::ProblemInstance instance;
+  rts::Schedule schedule;
+};
+
+Fixture make_fixture(std::size_t tasks) {
+  rts::PaperInstanceParams params;
+  params.task_count = tasks;
+  params.proc_count = 8;
+  params.avg_ul = 4.0;
+  rts::Rng rng(31);
+  auto instance = rts::make_paper_instance(params, rng);
+  auto heft = rts::heft_schedule(instance.graph, instance.platform, instance.expected);
+  return Fixture{std::move(instance), std::move(heft.schedule)};
+}
+
+void BM_Robustness(benchmark::State& state) {
+  const auto fixture = make_fixture(static_cast<std::size_t>(state.range(0)));
+  rts::MonteCarloConfig config;
+  config.realizations = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::evaluate_robustness(fixture.instance, fixture.schedule, config).r1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.counters["realizations/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(1)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Robustness)
+    ->Args({100, 100})
+    ->Args({100, 1000})
+    ->Args({100, 10000})
+    ->Args({400, 1000})
+    ->Unit(benchmark::kMillisecond);
+
+#ifdef RTS_HAVE_OPENMP
+void BM_RobustnessThreads(benchmark::State& state) {
+  const auto fixture = make_fixture(100);
+  rts::MonteCarloConfig config;
+  config.realizations = 10000;
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::evaluate_robustness(fixture.instance, fixture.schedule, config).r1);
+  }
+  omp_set_num_threads(saved);
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_RobustnessThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+#endif
+
+}  // namespace
+
+BENCHMARK_MAIN();

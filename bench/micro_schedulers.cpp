@@ -1,0 +1,80 @@
+// Micro-benchmark: deterministic scheduler throughput (HEFT, CPOP, min-min)
+// across graph sizes and processor counts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rts.hpp"
+
+namespace {
+
+rts::ProblemInstance make_instance(std::size_t tasks, std::size_t procs) {
+  rts::PaperInstanceParams params;
+  params.task_count = tasks;
+  params.proc_count = procs;
+  rts::Rng rng(11);
+  return rts::make_paper_instance(params, rng);
+}
+
+void BM_Heft(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::heft_schedule(instance.graph, instance.platform, instance.expected)
+            .makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Heft)
+    ->Args({50, 4})
+    ->Args({100, 8})
+    ->Args({200, 8})
+    ->Args({400, 16});
+
+void BM_HeftLookahead(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::heft_lookahead_schedule(instance.graph, instance.platform,
+                                     instance.expected)
+            .makespan);
+  }
+}
+BENCHMARK(BM_HeftLookahead)->Args({100, 8})->Args({200, 8});
+
+void BM_Cpop(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::cpop_schedule(instance.graph, instance.platform, instance.expected)
+            .makespan);
+  }
+}
+BENCHMARK(BM_Cpop)->Args({100, 8})->Args({200, 8});
+
+void BM_MinMin(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::minmin_schedule(instance.graph, instance.platform, instance.expected)
+            .makespan);
+  }
+}
+BENCHMARK(BM_MinMin)->Args({100, 8})->Args({200, 8});
+
+void BM_HeftUpwardRanks(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::heft_upward_ranks(instance.graph, instance.platform, instance.expected)
+            .front());
+  }
+}
+BENCHMARK(BM_HeftUpwardRanks)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

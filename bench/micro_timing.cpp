@@ -1,0 +1,77 @@
+// Micro-benchmark: timing-engine throughput. Measures compiling a schedule
+// into a TimingEvaluator, the hot makespan-only sweep (the Monte-Carlo inner
+// loop), and the full timing (makespan + bottom levels + slack, the GA's
+// fitness evaluation) across graph and platform sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rts.hpp"
+
+namespace {
+
+rts::ProblemInstance make_instance(std::size_t tasks, std::size_t procs) {
+  rts::PaperInstanceParams params;
+  params.task_count = tasks;
+  params.proc_count = procs;
+  rts::Rng rng(7);
+  return rts::make_paper_instance(params, rng);
+}
+
+void BM_EvaluatorCompile(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)), 8);
+  rts::Rng rng(1);
+  const auto sched = rts::random_schedule(instance.graph, instance.platform,
+                                          instance.expected, rng);
+  for (auto _ : state) {
+    rts::TimingEvaluator eval(instance.graph, instance.platform, sched.schedule);
+    benchmark::DoNotOptimize(eval.task_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvaluatorCompile)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_MakespanSweep(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)), 8);
+  rts::Rng rng(2);
+  const auto sched = rts::random_schedule(instance.graph, instance.platform,
+                                          instance.expected, rng);
+  const rts::TimingEvaluator eval(instance.graph, instance.platform, sched.schedule);
+  const auto durations = rts::assigned_durations(instance.expected, sched.schedule);
+  std::vector<double> scratch(durations.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.makespan_into(durations, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MakespanSweep)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_FullTiming(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)), 8);
+  rts::Rng rng(3);
+  const auto sched = rts::random_schedule(instance.graph, instance.platform,
+                                          instance.expected, rng);
+  const rts::TimingEvaluator eval(instance.graph, instance.platform, sched.schedule);
+  const auto durations = rts::assigned_durations(instance.expected, sched.schedule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.full_timing(durations).average_slack);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullTiming)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_DisjunctiveGraphMaterialization(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)), 8);
+  rts::Rng rng(4);
+  const auto sched = rts::random_schedule(instance.graph, instance.platform,
+                                          instance.expected, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::make_disjunctive_graph(instance.graph, sched.schedule.sequences())
+            .edge_count());
+  }
+}
+BENCHMARK(BM_DisjunctiveGraphMaterialization)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

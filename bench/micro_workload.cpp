@@ -1,0 +1,68 @@
+// Micro-benchmark: workload generation — random DAG topologies, COV-based
+// cost matrices, uncertainty-level matrices, and full paper instances.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rts.hpp"
+
+namespace {
+
+void BM_RandomDag(benchmark::State& state) {
+  const rts::Platform platform(8, 1.0);
+  rts::DagGeneratorParams params;
+  params.task_count = static_cast<std::size_t>(state.range(0));
+  rts::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::generate_random_dag(params, platform, rng).edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomDag)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CovCostMatrix(benchmark::State& state) {
+  rts::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::generate_cov_cost_matrix(static_cast<std::size_t>(state.range(0)), 8,
+                                      rts::CovModelParams{}, rng)
+            .rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_CovCostMatrix)->Arg(100)->Arg(1000);
+
+void BM_UlMatrix(benchmark::State& state) {
+  rts::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rts::generate_ul_matrix(static_cast<std::size_t>(state.range(0)), 8,
+                                rts::UncertaintyParams{}, rng)
+            .rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_UlMatrix)->Arg(100)->Arg(1000);
+
+void BM_FullPaperInstance(benchmark::State& state) {
+  rts::PaperInstanceParams params;
+  params.task_count = static_cast<std::size_t>(state.range(0));
+  rts::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rts::make_paper_instance(params, rng).task_count());
+  }
+}
+BENCHMARK(BM_FullPaperInstance)->Arg(100)->Arg(1000);
+
+void BM_StructuredGraphs(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rts::gaussian_elimination_graph(20, 1.0).edge_count());
+    benchmark::DoNotOptimize(rts::fft_graph(64, 1.0).edge_count());
+    benchmark::DoNotOptimize(rts::montage_like_graph(32, 1.0).edge_count());
+  }
+}
+BENCHMARK(BM_StructuredGraphs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Maps out the makespan <-> robustness trade-off frontier on one instance:
+// sweeps the ε budget, runs the ε-constraint GA at each point, and prints
+// the frontier (expected makespan, slack, tardiness, R1, R2) plus the best
+// ε for a range of user weights r under the overall-performance metric
+// (Eqn. 9). This is the "which ε should I pick?" workflow a user of the
+// library would actually run.
+//
+// Run:  ./epsilon_tradeoff [--tasks 80] [--procs 8] [--ul 5.0]
+//                          [--eps-max 2.0] [--eps-step 0.2] [--seed 9]
+
+#include <iostream>
+#include <vector>
+
+#include "core/rts.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const rts::Options opts(argc, argv);
+  const auto tasks = static_cast<std::size_t>(opts.get_int("tasks", 80));
+  const auto procs = static_cast<std::size_t>(opts.get_int("procs", 8));
+  const double avg_ul = opts.get_double("ul", 5.0);
+  const double eps_max = opts.get_double("eps-max", 2.0);
+  const double eps_step = opts.get_double("eps-step", 0.2);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 9));
+
+  rts::PaperInstanceParams params;
+  params.task_count = tasks;
+  params.proc_count = procs;
+  params.avg_ul = avg_ul;
+  rts::Rng rng(seed);
+  const auto instance = rts::make_paper_instance(params, rng);
+
+  const auto heft =
+      rts::heft_schedule(instance.graph, instance.platform, instance.expected);
+  rts::MonteCarloConfig mc;
+  mc.realizations = static_cast<std::size_t>(opts.get_int("realizations", 2000));
+  mc.seed = seed ^ 0x4d43u;
+  const auto heft_rob = rts::evaluate_robustness(instance, heft.schedule, mc);
+
+  std::cout << "Frontier on a random " << tasks << "-task DAG, " << procs
+            << " processors, avg UL = " << avg_ul << "\n"
+            << "HEFT: M0 = " << rts::format_fixed(heft.makespan, 2)
+            << ", R1 = " << rts::format_fixed(heft_rob.r1, 2)
+            << ", R2 = " << rts::format_fixed(heft_rob.r2, 2) << "\n\n";
+
+  struct FrontierPoint {
+    double epsilon;
+    double makespan;
+    double slack;
+    rts::RobustnessReport rob;
+  };
+  std::vector<FrontierPoint> frontier;
+
+  rts::ResultTable table(
+      {"epsilon", "M0", "M0/M_HEFT", "avg slack", "E[tardiness]", "R1", "R2"});
+  for (double eps = 1.0; eps <= eps_max + 1e-9; eps += eps_step) {
+    rts::GaConfig ga;
+    ga.epsilon = eps;
+    ga.seed = seed;  // shared trajectory: points differ only by the budget
+    const auto result =
+        rts::run_ga(instance.graph, instance.platform, instance.expected, ga);
+    const auto rob = rts::evaluate_robustness(instance, result.best_schedule, mc);
+    frontier.push_back(
+        {eps, result.best_eval.makespan, result.best_eval.avg_slack, rob});
+    table.begin_row()
+        .add(eps, 1)
+        .add(result.best_eval.makespan, 2)
+        .add(result.best_eval.makespan / heft.makespan, 3)
+        .add(result.best_eval.avg_slack, 2)
+        .add(rob.mean_tardiness, 4)
+        .add(rob.r1, 2)
+        .add(rob.r2, 2);
+  }
+  table.write_pretty(std::cout);
+
+  std::cout << "\nBest epsilon by user weight r (Eqn. 9, robustness = R1):\n";
+  rts::ResultTable best({"r", "best epsilon", "P(s)"});
+  for (double r = 0.0; r <= 1.0001; r += 0.25) {
+    double best_p = -1e300;
+    double best_eps = 1.0;
+    for (const auto& point : frontier) {
+      const double p = rts::overall_performance(r, point.makespan, point.rob.r1,
+                                                heft.makespan, heft_rob.r1);
+      if (p > best_p) {
+        best_p = p;
+        best_eps = point.epsilon;
+      }
+    }
+    best.begin_row().add(r, 2).add(best_eps, 1).add(best_p, 4);
+  }
+  best.write_pretty(std::cout);
+  std::cout << "\nInterpretation: small r (robustness focus) -> pick the larger\n"
+               "epsilon; r -> 1 (makespan focus) -> stay at epsilon = 1.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Sensitivity study: how task/machine heterogeneity (the COV model's V_task
+// and V_mach) and the communication-to-computation ratio shape the value of
+// robust scheduling. For each configuration it reports HEFT's robustness and
+// the ε-constraint GA's improvement — showing where slack-aware scheduling
+// pays off most.
+//
+// Run:  ./heterogeneity_study [--tasks 60] [--procs 8] [--ul 4.0]
+//                             [--epsilon 1.2] [--graphs 3] [--seed 13]
+
+#include <iostream>
+#include <vector>
+
+#include "core/rts.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Config {
+  const char* label;
+  double v_task;
+  double v_mach;
+  double ccr;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rts::Options opts(argc, argv);
+  const auto tasks = static_cast<std::size_t>(opts.get_int("tasks", 60));
+  const auto procs = static_cast<std::size_t>(opts.get_int("procs", 8));
+  const double avg_ul = opts.get_double("ul", 4.0);
+  const double epsilon = opts.get_double("epsilon", 1.2);
+  const auto graphs = static_cast<std::size_t>(opts.get_int("graphs", 3));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 13));
+
+  const std::vector<Config> configs{
+      {"low het, low comm", 0.1, 0.1, 0.1},
+      {"medium het (paper)", 0.5, 0.5, 0.1},
+      {"high task het", 1.0, 0.5, 0.1},
+      {"high machine het", 0.5, 1.0, 0.1},
+      {"comm heavy (CCR=1)", 0.5, 0.5, 1.0},
+      {"comm bound (CCR=5)", 0.5, 0.5, 5.0},
+  };
+
+  std::cout << "Heterogeneity / communication sensitivity of robust scheduling\n"
+            << "(" << tasks << " tasks, " << procs << " procs, avg UL = " << avg_ul
+            << ", epsilon = " << epsilon << ", " << graphs << " graphs per row)\n\n";
+
+  rts::ResultTable table({"configuration", "M_HEFT", "HEFT tardiness", "GA slack gain %",
+                          "R1 gain %", "R2 gain %"});
+
+  for (const Config& config : configs) {
+    double heft_ms = 0.0;
+    double heft_tardy = 0.0;
+    double slack_gain = 0.0;
+    double r1_gain = 0.0;
+    double r2_gain = 0.0;
+    for (std::size_t g = 0; g < graphs; ++g) {
+      rts::PaperInstanceParams params;
+      params.task_count = tasks;
+      params.proc_count = procs;
+      params.avg_ul = avg_ul;
+      params.v_task = config.v_task;
+      params.v_mach = config.v_mach;
+      params.ccr = config.ccr;
+      rts::Rng rng(rts::hash_combine_u64(seed, g));
+      const auto instance = rts::make_paper_instance(params, rng);
+
+      rts::RobustSchedulerConfig rs;
+      rs.ga.epsilon = epsilon;
+      rs.ga.seed = rts::hash_combine_u64(seed, g ^ 0xabcu);
+      rs.mc.realizations = static_cast<std::size_t>(opts.get_int("realizations", 1000));
+      rs.mc.seed = rts::hash_combine_u64(seed, g ^ 0x4d43u);
+      const auto outcome = rts::robust_schedule(instance, rs);
+
+      const auto heft_timing = rts::compute_schedule_timing(
+          instance.graph, instance.platform, outcome.heft_schedule, instance.expected);
+      heft_ms += outcome.heft_makespan;
+      heft_tardy += outcome.heft_report.mean_tardiness;
+      slack_gain += heft_timing.average_slack > 0.0
+                        ? (outcome.eval.avg_slack / heft_timing.average_slack - 1.0)
+                        : 0.0;
+      r1_gain += outcome.report.r1 / outcome.heft_report.r1 - 1.0;
+      r2_gain += outcome.report.r2 / outcome.heft_report.r2 - 1.0;
+    }
+    const double inv = 1.0 / static_cast<double>(graphs);
+    table.begin_row()
+        .add(config.label)
+        .add(heft_ms * inv, 1)
+        .add(heft_tardy * inv, 4)
+        .add(slack_gain * inv * 100.0, 1)
+        .add(r1_gain * inv * 100.0, 1)
+        .add(r2_gain * inv * 100.0, 1);
+  }
+  table.write_pretty(std::cout);
+  std::cout << "\nReading guide: 'gain %' columns compare the robust GA (epsilon = "
+            << epsilon << ")\nagainst HEFT on the same instances.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Quickstart, in two parts.
+//
+// Part 1 — the paper's Fig. 1 mechanics on a hand-built 8-task graph:
+// schedule it with HEFT, print the Gantt chart, per-task slack and the
+// disjunctive-graph structure.
+//
+// Part 2 — robust scheduling on a paper-style instance (default: 60 tasks on
+// 8 processors; the slack <-> robustness effect needs graphs of this size):
+// run the ε-constraint GA and compare makespan / slack / tardiness / R1 / R2
+// against HEFT under Monte-Carlo realizations.
+//
+// Run:  ./quickstart [--tasks 60] [--ul 4.0] [--epsilon 1.2]
+//                    [--realizations 2000] [--seed 7]
+
+#include <iostream>
+#include <sstream>
+
+#include "core/rts.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// The 8-task graph of the paper's Fig. 1(a) (ids shifted to 0-based).
+rts::TaskGraph fig1_graph(double data) {
+  rts::TaskGraph g(8);
+  for (rts::TaskId t = 0; t < 8; ++t) {
+    std::string name("v");
+    name += std::to_string(t + 1);
+    g.set_task_name(t, name);
+  }
+  g.add_edge(0, 1, data);
+  g.add_edge(0, 2, data);
+  g.add_edge(0, 3, data);
+  g.add_edge(1, 4, data);
+  g.add_edge(2, 4, data);
+  g.add_edge(2, 5, data);
+  g.add_edge(1, 6, data);
+  g.add_edge(4, 6, data);
+  g.add_edge(5, 6, data);
+  g.add_edge(4, 7, data);
+  return g;
+}
+
+void part1_fig1_mechanics(std::uint64_t seed) {
+  std::cout << "== Part 1: Fig. 1 mechanics ==\n\n";
+  rts::Rng rng(seed);
+  rts::TaskGraph graph = fig1_graph(/*data=*/4.0);
+  const rts::Platform platform(4, 1.0);
+  const rts::Matrix<double> costs =
+      rts::generate_cov_cost_matrix(graph.task_count(), platform.proc_count(),
+                                    rts::CovModelParams{}, rng);
+
+  const auto heft = rts::heft_schedule(graph, platform, costs);
+  const auto timing = rts::compute_schedule_timing(graph, platform, heft.schedule, costs);
+
+  std::cout << "HEFT schedule of the Fig. 1 task graph on 4 processors:\n";
+  rts::write_gantt(std::cout, graph, heft.schedule, timing);
+
+  rts::ResultTable slack({"task", "start (=Tl)", "bottom level", "slack"});
+  for (rts::TaskId t = 0; t < static_cast<rts::TaskId>(graph.task_count()); ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    slack.begin_row()
+        .add(graph.task_name(t))
+        .add(timing.start[i], 2)
+        .add(timing.bottom_level[i], 2)
+        .add(timing.slack[i], 2);
+  }
+  std::cout << '\n';
+  slack.write_pretty(std::cout);
+  std::cout << "average slack (Eqn. 3) = " << rts::format_fixed(timing.average_slack, 3)
+            << "\n\n";
+
+  const auto extra = rts::disjunctive_edges(graph, heft.schedule.sequences());
+  std::cout << "disjunctive edges E' added by this schedule (Def. 3.1): ";
+  for (const auto& [a, b] : extra) {
+    std::cout << graph.task_name(a) << "->" << graph.task_name(b) << ' ';
+  }
+  std::cout << "\n\n";
+}
+
+void part2_robust_scheduling(const rts::Options& opts, std::uint64_t seed) {
+  const auto tasks = static_cast<std::size_t>(opts.get_int("tasks", 60));
+  const double avg_ul = opts.get_double("ul", 4.0);
+  const double epsilon = opts.get_double("epsilon", 1.2);
+
+  std::cout << "== Part 2: robust scheduling (" << tasks << " tasks, avg UL = "
+            << avg_ul << ", epsilon = " << epsilon << ") ==\n\n";
+
+  rts::PaperInstanceParams params;
+  params.task_count = tasks;
+  params.avg_ul = avg_ul;
+  rts::Rng rng(seed);
+  const auto instance = rts::make_paper_instance(params, rng);
+
+  rts::RobustSchedulerConfig config;
+  config.ga.epsilon = epsilon;
+  config.ga.seed = seed;
+  config.mc.realizations =
+      static_cast<std::size_t>(opts.get_int("realizations", 2000));
+  config.mc.seed = seed ^ 0x4d43u;
+  const auto outcome = rts::robust_schedule(instance, config);
+
+  const auto heft_timing = rts::compute_schedule_timing(
+      instance.graph, instance.platform, outcome.heft_schedule, instance.expected);
+  const auto ga_timing = rts::compute_schedule_timing(
+      instance.graph, instance.platform, outcome.schedule, instance.expected);
+
+  rts::ResultTable table({"metric", "HEFT", "robust GA"});
+  table.begin_row().add("expected makespan M0").add(outcome.heft_report.expected_makespan)
+      .add(outcome.report.expected_makespan);
+  table.begin_row().add("average slack").add(heft_timing.average_slack)
+      .add(ga_timing.average_slack);
+  table.begin_row().add("mean realized makespan")
+      .add(outcome.heft_report.mean_realized_makespan)
+      .add(outcome.report.mean_realized_makespan);
+  table.begin_row().add("mean tardiness E[delta]").add(outcome.heft_report.mean_tardiness)
+      .add(outcome.report.mean_tardiness);
+  table.begin_row().add("robustness R1").add(outcome.heft_report.r1).add(outcome.report.r1);
+  table.begin_row().add("miss rate alpha").add(outcome.heft_report.miss_rate)
+      .add(outcome.report.miss_rate);
+  table.begin_row().add("robustness R2").add(outcome.heft_report.r2).add(outcome.report.r2);
+  table.write_pretty(std::cout);
+
+  std::cout << "\nOverall performance P(s) vs HEFT (Eqn. 9, R1):\n";
+  for (const double r : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::cout << "  r = " << r << "  ->  P = "
+              << rts::format_fixed(
+                     rts::overall_performance(
+                         r, outcome.eval.makespan, outcome.report.r1,
+                         outcome.heft_report.expected_makespan, outcome.heft_report.r1),
+                     4)
+              << '\n';
+  }
+  std::cout << "\nGA ran " << outcome.ga_iterations << " generations; M_HEFT = "
+            << rts::format_fixed(outcome.heft_makespan, 2) << ", constraint bound = "
+            << rts::format_fixed(epsilon * outcome.heft_makespan, 2) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rts::Options opts(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 7));
+  part1_fig1_mechanics(seed);
+  part2_robust_scheduling(opts, seed);
+  return 0;
+}

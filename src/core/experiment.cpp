@@ -1,0 +1,308 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/heft.hpp"
+#include "sched/random_scheduler.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "workload/cov_model.hpp"
+#include "workload/dag_generator.hpp"
+#include "workload/uncertainty.hpp"
+
+namespace rts {
+
+namespace {
+
+// Sub-stream labels keeping the experiment's RNG usage disjoint.
+enum : std::uint64_t { kStreamTopology = 1, kStreamUncertainty = 2, kStreamGa = 3 };
+
+double safe_log10_ratio(double value, double base) {
+  // Slack (and capped robustness) can legitimately reach 0 on degenerate
+  // instances; floor the ratio so aggregate traces stay finite.
+  const double floor = 1e-9;
+  return std::log10(std::max(value, floor) / std::max(base, floor));
+}
+
+}  // namespace
+
+ProblemInstance make_experiment_instance(const ExperimentScale& scale, std::size_t g,
+                                         double ul) {
+  const Rng root(scale.seed);
+
+  // Topology + BCET depend only on (seed, g) so UL is isolated.
+  Rng topo_rng = root.substream(hash_combine_u64(kStreamTopology, g));
+  Platform platform(scale.instance.proc_count, scale.instance.transfer_rate);
+  DagGeneratorParams dag;
+  dag.task_count = scale.instance.task_count;
+  dag.shape_alpha = scale.instance.shape_alpha;
+  dag.avg_comp_cost = scale.instance.avg_comp_cost;
+  dag.ccr = scale.instance.ccr;
+  TaskGraph graph = generate_random_dag(dag, platform, topo_rng);
+
+  CovModelParams cov;
+  cov.mu_task = scale.instance.avg_comp_cost;
+  cov.v_task = scale.instance.v_task;
+  cov.v_mach = scale.instance.v_mach;
+  Matrix<double> bcet = generate_cov_cost_matrix(scale.instance.task_count,
+                                                 scale.instance.proc_count, cov, topo_rng);
+
+  Rng ul_rng = root.substream(
+      hash_combine_u64(kStreamUncertainty, hash_combine_u64(g, std::llround(ul * 1024))));
+  UncertaintyParams unc;
+  unc.avg_ul = ul;
+  unc.v1 = scale.instance.v_ul;
+  unc.v2 = scale.instance.v_ul;
+  Matrix<double> ul_matrix = generate_ul_matrix(scale.instance.task_count,
+                                                scale.instance.proc_count, unc, ul_rng);
+
+  Matrix<double> expected = expected_costs(bcet, ul_matrix);
+  return ProblemInstance{std::move(graph), std::move(platform), std::move(bcet),
+                         std::move(ul_matrix), std::move(expected)};
+}
+
+// ---------------------------------------------------------------------------
+// Evolution traces (Figs. 2-3).
+
+EvolutionTrace run_evolution_trace(const ExperimentScale& scale, ObjectiveKind objective,
+                                   double ul, std::size_t stride) {
+  RTS_REQUIRE(stride >= 1, "stride must be positive");
+  RTS_REQUIRE(scale.num_graphs >= 1, "need at least one graph");
+
+  // Common step grid 0, stride, ..., max_iterations.
+  std::vector<std::size_t> steps;
+  for (std::size_t s = 0; s <= scale.ga.max_iterations; s += stride) steps.push_back(s);
+  if (steps.back() != scale.ga.max_iterations) steps.push_back(scale.ga.max_iterations);
+  const std::size_t num_steps = steps.size();
+
+  // Per-graph series of (realized makespan, slack, r1).
+  std::vector<std::vector<double>> ms(scale.num_graphs), sl(scale.num_graphs),
+      r1(scale.num_graphs);
+
+  const auto graphs = static_cast<std::int64_t>(scale.num_graphs);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::int64_t g = 0; g < graphs; ++g) {
+    const ProblemInstance instance =
+        make_experiment_instance(scale, static_cast<std::size_t>(g), ul);
+
+    GaConfig ga = scale.ga;
+    ga.objective = objective;
+    ga.history_stride = stride;
+    ga.stagnation_window = ga.max_iterations;  // run full length for the trace
+    ga.seed = hash_combine_u64(scale.seed,
+                               hash_combine_u64(kStreamGa, static_cast<std::uint64_t>(g)));
+
+    MonteCarloConfig mc;
+    mc.realizations = scale.realizations;
+    mc.seed = hash_combine_u64(ga.seed, 0x4d43u /* "MC" */);
+
+    auto& ms_g = ms[static_cast<std::size_t>(g)];
+    auto& sl_g = sl[static_cast<std::size_t>(g)];
+    auto& r1_g = r1[static_cast<std::size_t>(g)];
+
+    const GaObserver observer = [&](const GaIterationRecord& rec, const Chromosome& best) {
+      const Schedule schedule = decode(best, instance.proc_count());
+      const RobustnessReport report = evaluate_robustness(instance, schedule, mc);
+      ms_g.push_back(report.mean_realized_makespan);
+      sl_g.push_back(rec.best_avg_slack);
+      r1_g.push_back(report.r1);
+    };
+    (void)run_ga(instance.graph, instance.platform, instance.expected, ga, observer);
+
+    // The GA records every `stride` steps plus the final iteration; pad (or
+    // trim the duplicated final entry) onto the common grid.
+    RTS_ENSURE(!ms_g.empty(), "GA produced no trace records");
+    while (ms_g.size() < num_steps) {
+      ms_g.push_back(ms_g.back());
+      sl_g.push_back(sl_g.back());
+      r1_g.push_back(r1_g.back());
+    }
+    ms_g.resize(num_steps);
+    sl_g.resize(num_steps);
+    r1_g.resize(num_steps);
+  }
+
+  EvolutionTrace trace;
+  trace.ul = ul;
+  trace.steps = steps;
+  trace.log10_realized_makespan.assign(num_steps, 0.0);
+  trace.log10_avg_slack.assign(num_steps, 0.0);
+  trace.log10_r1.assign(num_steps, 0.0);
+  for (std::size_t g = 0; g < scale.num_graphs; ++g) {
+    for (std::size_t s = 0; s < num_steps; ++s) {
+      trace.log10_realized_makespan[s] += safe_log10_ratio(ms[g][s], ms[g][0]);
+      trace.log10_avg_slack[s] += safe_log10_ratio(sl[g][s], sl[g][0]);
+      trace.log10_r1[s] += safe_log10_ratio(r1[g][s], r1[g][0]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(scale.num_graphs);
+  for (std::size_t s = 0; s < num_steps; ++s) {
+    trace.log10_realized_makespan[s] *= inv;
+    trace.log10_avg_slack[s] *= inv;
+    trace.log10_r1[s] *= inv;
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// The ε x UL sweep (Figs. 4-8).
+
+EpsilonUlSweep::EpsilonUlSweep(const ExperimentScale& scale, std::vector<double> uls,
+                               std::vector<double> epsilons)
+    : num_graphs_(scale.num_graphs), uls_(std::move(uls)), epsilons_(std::move(epsilons)) {
+  RTS_REQUIRE(num_graphs_ >= 1, "need at least one graph");
+  RTS_REQUIRE(!uls_.empty() && !epsilons_.empty(), "sweep grids must be non-empty");
+  cells_.resize(num_graphs_ * uls_.size() * epsilons_.size());
+
+  // Instances shared across ε cells of the same (g, u).
+  std::vector<ProblemInstance> instances;
+  instances.reserve(num_graphs_ * uls_.size());
+  for (std::size_t g = 0; g < num_graphs_; ++g) {
+    for (std::size_t u = 0; u < uls_.size(); ++u) {
+      instances.push_back(make_experiment_instance(scale, g, uls_[u]));
+    }
+  }
+
+  const auto total =
+      static_cast<std::int64_t>(num_graphs_ * uls_.size() * epsilons_.size());
+#ifdef RTS_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::int64_t flat = 0; flat < total; ++flat) {
+    const auto e = static_cast<std::size_t>(flat) % epsilons_.size();
+    const auto u = (static_cast<std::size_t>(flat) / epsilons_.size()) % uls_.size();
+    const auto g = static_cast<std::size_t>(flat) / (epsilons_.size() * uls_.size());
+    const ProblemInstance& instance = instances[g * uls_.size() + u];
+
+    GaConfig ga = scale.ga;
+    ga.objective = ObjectiveKind::kEpsilonConstraint;
+    ga.epsilon = epsilons_[e];
+    ga.history_stride = 0;
+    // Seeded per (graph, ul) but NOT per ε: all ε cells of one instance share
+    // the GA's random trajectory, so ratios across ε (Figs. 5-8) are paired
+    // comparisons with far lower variance.
+    ga.seed = hash_combine_u64(
+        scale.seed, hash_combine_u64(kStreamGa, hash_combine_u64(g, u) + 1000));
+
+    MonteCarloConfig mc;
+    mc.realizations = scale.realizations;
+    // Same realization stream for GA and HEFT on a cell: paired comparison.
+    mc.seed = hash_combine_u64(scale.seed, hash_combine_u64(g, u) ^ 0x4d43u);
+
+    const GaResult result = run_ga(instance.graph, instance.platform, instance.expected, ga);
+    const ListScheduleResult heft =
+        heft_schedule(instance.graph, instance.platform, instance.expected);
+
+    const RobustnessReport ga_rep = evaluate_robustness(instance, result.best_schedule, mc);
+    const RobustnessReport heft_rep = evaluate_robustness(instance, heft.schedule, mc);
+
+    SweepCell& cell = cells_[static_cast<std::size_t>(flat)];
+    cell.ga_makespan = result.best_eval.makespan;
+    cell.ga_slack = result.best_eval.avg_slack;
+    cell.ga_r1 = ga_rep.r1;
+    cell.ga_r2 = ga_rep.r2;
+    cell.ga_tardiness = ga_rep.mean_tardiness;
+    cell.ga_miss_rate = ga_rep.miss_rate;
+    cell.heft_makespan = heft.makespan;
+    cell.heft_r1 = heft_rep.r1;
+    cell.heft_r2 = heft_rep.r2;
+    cell.heft_tardiness = heft_rep.mean_tardiness;
+    cell.heft_miss_rate = heft_rep.miss_rate;
+    RTS_LOG_INFO("sweep cell g=" << g << " ul=" << uls_[u] << " eps=" << epsilons_[e]
+                                 << " done");
+  }
+}
+
+const SweepCell& EpsilonUlSweep::cell(std::size_t g, std::size_t u, std::size_t e) const {
+  RTS_REQUIRE(g < num_graphs_ && u < uls_.size() && e < epsilons_.size(),
+              "sweep cell index out of range");
+  return cells_[(g * uls_.size() + u) * epsilons_.size() + e];
+}
+
+EpsilonUlSweep::HeftImprovement EpsilonUlSweep::heft_improvement(std::size_t u,
+                                                                 std::size_t e) const {
+  HeftImprovement agg;
+  for (std::size_t g = 0; g < num_graphs_; ++g) {
+    const SweepCell& c = cell(g, u, e);
+    agg.log10_makespan += safe_log10_ratio(c.heft_makespan, c.ga_makespan);
+    agg.log10_r1 += safe_log10_ratio(c.ga_r1, c.heft_r1);
+    agg.log10_r2 += safe_log10_ratio(c.ga_r2, c.heft_r2);
+  }
+  const double inv = 1.0 / static_cast<double>(num_graphs_);
+  agg.log10_makespan *= inv;
+  agg.log10_r1 *= inv;
+  agg.log10_r2 *= inv;
+  return agg;
+}
+
+double EpsilonUlSweep::robustness_ratio_over_base(std::size_t u, std::size_t e,
+                                                  std::size_t base_e,
+                                                  RobustnessKind kind) const {
+  double log_sum = 0.0;
+  for (std::size_t g = 0; g < num_graphs_; ++g) {
+    const SweepCell& at_e = cell(g, u, e);
+    const SweepCell& at_base = cell(g, u, base_e);
+    const double value = kind == RobustnessKind::kR1 ? at_e.ga_r1 : at_e.ga_r2;
+    const double base = kind == RobustnessKind::kR1 ? at_base.ga_r1 : at_base.ga_r2;
+    log_sum += safe_log10_ratio(value, base);
+  }
+  return std::pow(10.0, log_sum / static_cast<double>(num_graphs_));
+}
+
+double EpsilonUlSweep::mean_overall_performance(std::size_t u, std::size_t e, double r,
+                                                RobustnessKind kind) const {
+  double sum = 0.0;
+  for (std::size_t g = 0; g < num_graphs_; ++g) {
+    const SweepCell& c = cell(g, u, e);
+    const double rob = kind == RobustnessKind::kR1 ? c.ga_r1 : c.ga_r2;
+    const double heft_rob = kind == RobustnessKind::kR1 ? c.heft_r1 : c.heft_r2;
+    sum += overall_performance(r, c.ga_makespan, std::max(rob, 1e-9), c.heft_makespan,
+                               std::max(heft_rob, 1e-9));
+  }
+  return sum / static_cast<double>(num_graphs_);
+}
+
+double EpsilonUlSweep::best_epsilon(std::size_t u, double r, RobustnessKind kind) const {
+  std::size_t best_e = 0;
+  double best_p = mean_overall_performance(u, 0, r, kind);
+  for (std::size_t e = 1; e < epsilons_.size(); ++e) {
+    const double p = mean_overall_performance(u, e, r, kind);
+    if (p > best_p) {
+      best_p = p;
+      best_e = e;
+    }
+  }
+  return epsilons_[best_e];
+}
+
+// ---------------------------------------------------------------------------
+// Slack vs robustness sampling (Section 5.1 support).
+
+std::vector<SlackRobustnessSample> sample_slack_robustness(const ExperimentScale& scale,
+                                                           double ul,
+                                                           std::size_t num_schedules) {
+  RTS_REQUIRE(num_schedules >= 1, "need at least one schedule");
+  const ProblemInstance instance = make_experiment_instance(scale, 0, ul);
+  Rng rng(hash_combine_u64(scale.seed, 0x534cu /* "SL" */));
+
+  std::vector<SlackRobustnessSample> samples(num_schedules);
+  for (std::size_t i = 0; i < num_schedules; ++i) {
+    const ListScheduleResult random =
+        random_schedule(instance.graph, instance.platform, instance.expected, rng);
+    const ScheduleTiming timing = compute_schedule_timing(
+        instance.graph, instance.platform, random.schedule, instance.expected);
+    MonteCarloConfig mc;
+    mc.realizations = scale.realizations;
+    mc.seed = hash_combine_u64(scale.seed, i ^ 0x4d43u);
+    const RobustnessReport report = evaluate_robustness(instance, random.schedule, mc);
+    samples[i] = SlackRobustnessSample{timing.average_slack, timing.makespan,
+                                       report.mean_tardiness, report.miss_rate, report.r1};
+  }
+  return samples;
+}
+
+}  // namespace rts

@@ -1,0 +1,139 @@
+#pragma once
+// Experiment drivers reproducing the paper's Section 5 evaluation. Every
+// figure harness in bench/ is a thin formatter over these functions, and the
+// integration tests exercise them at a reduced scale.
+//
+// Methodology (paper Section 5): each experiment draws `num_graphs` random
+// task graphs (n = 100, α = 1, cc = 20, CCR = 0.1, V_task = V_mach = 0.5);
+// graph topology and the BCET matrix are shared across uncertainty levels so
+// UL is the only varying factor; each schedule is evaluated under
+// `realizations` Monte-Carlo realizations of the task execution times.
+
+#include <vector>
+
+#include "core/performance.hpp"
+#include "ga/engine.hpp"
+#include "sim/monte_carlo.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Scale knobs shared by all experiments. Paper scale: num_graphs = 100,
+/// realizations = 1000, ga.max_iterations = 1000.
+struct ExperimentScale {
+  std::size_t num_graphs = 10;
+  std::size_t realizations = 500;
+  std::uint64_t seed = 20060918;
+  PaperInstanceParams instance;  ///< avg_ul is overridden per experiment cell
+  GaConfig ga;                   ///< seed/epsilon/objective overridden per cell
+};
+
+/// Build the instance of graph index `g` at uncertainty level `ul` under
+/// `scale`: topology and BCET depend only on (seed, g); the UL matrix on
+/// (seed, g, ul). Deterministic.
+ProblemInstance make_experiment_instance(const ExperimentScale& scale, std::size_t g,
+                                         double ul);
+
+// ---------------------------------------------------------------------------
+// Figs. 2 and 3 — GA evolution traces.
+
+/// Aggregated log-ratio traces (mean over graphs of log10(x(step)/x(0))).
+struct EvolutionTrace {
+  double ul = 0.0;
+  std::vector<std::size_t> steps;
+  std::vector<double> log10_realized_makespan;  ///< mean realized makespan trace
+  std::vector<double> log10_avg_slack;          ///< expected average slack trace
+  std::vector<double> log10_r1;                 ///< tardiness robustness trace
+};
+
+/// Run the GA with `objective` (kMinimizeMakespan for Fig. 2, kMaximizeSlack
+/// for Fig. 3) at uncertainty level `ul`, recording every `stride` steps.
+EvolutionTrace run_evolution_trace(const ExperimentScale& scale, ObjectiveKind objective,
+                                   double ul, std::size_t stride);
+
+// ---------------------------------------------------------------------------
+// Figs. 4-8 — the ε x UL sweep all remaining figures aggregate.
+
+/// Measurements of one (graph, ul, epsilon) cell.
+struct SweepCell {
+  double ga_makespan = 0.0;   ///< expected makespan M0 of the GA schedule
+  double ga_slack = 0.0;      ///< average slack of the GA schedule
+  double ga_r1 = 0.0;
+  double ga_r2 = 0.0;
+  double ga_tardiness = 0.0;
+  double ga_miss_rate = 0.0;
+  double heft_makespan = 0.0;
+  double heft_r1 = 0.0;
+  double heft_r2 = 0.0;
+  double heft_tardiness = 0.0;
+  double heft_miss_rate = 0.0;
+};
+
+/// Which robustness definition an aggregate uses.
+enum class RobustnessKind { kR1, kR2 };
+
+/// Full factorial sweep over graphs x uncertainty levels x epsilon values.
+/// GA cells run in parallel (OpenMP); results are deterministic in the seed.
+class EpsilonUlSweep {
+ public:
+  EpsilonUlSweep(const ExperimentScale& scale, std::vector<double> uls,
+                 std::vector<double> epsilons);
+
+  [[nodiscard]] const std::vector<double>& uls() const noexcept { return uls_; }
+  [[nodiscard]] const std::vector<double>& epsilons() const noexcept { return epsilons_; }
+  [[nodiscard]] std::size_t num_graphs() const noexcept { return num_graphs_; }
+
+  /// Raw cell access (g < num_graphs, u < uls().size(), e < epsilons().size()).
+  [[nodiscard]] const SweepCell& cell(std::size_t g, std::size_t u, std::size_t e) const;
+
+  /// Fig. 4 aggregates at (u, e): mean over graphs of log10 improvement of
+  /// the GA over HEFT in makespan (M_HEFT / M_GA), R1 and R2.
+  struct HeftImprovement {
+    double log10_makespan = 0.0;
+    double log10_r1 = 0.0;
+    double log10_r2 = 0.0;
+  };
+  [[nodiscard]] HeftImprovement heft_improvement(std::size_t u, std::size_t e) const;
+
+  /// Figs. 5/6: geometric-mean ratio R(ε) / R(ε = epsilons()[base_e]) over
+  /// graphs (paper: base is ε = 1.0).
+  [[nodiscard]] double robustness_ratio_over_base(std::size_t u, std::size_t e,
+                                                  std::size_t base_e,
+                                                  RobustnessKind kind) const;
+
+  /// Figs. 7/8: the ε maximizing the mean overall performance (Eqn. 9) for
+  /// weight `r`.
+  [[nodiscard]] double best_epsilon(std::size_t u, double r, RobustnessKind kind) const;
+
+  /// Mean overall performance at (u, e) for weight r (Eqn. 9 averaged over
+  /// graphs).
+  [[nodiscard]] double mean_overall_performance(std::size_t u, std::size_t e, double r,
+                                                RobustnessKind kind) const;
+
+ private:
+  std::size_t num_graphs_;
+  std::vector<double> uls_;
+  std::vector<double> epsilons_;
+  std::vector<SweepCell> cells_;  // [g][u][e] row-major
+};
+
+// ---------------------------------------------------------------------------
+// Section 5.1 support — slack vs robustness across random schedules.
+
+/// One random schedule's slack and robustness measurements.
+struct SlackRobustnessSample {
+  double avg_slack = 0.0;
+  double makespan = 0.0;
+  double mean_tardiness = 0.0;
+  double miss_rate = 0.0;
+  double r1 = 0.0;
+};
+
+/// Draw `num_schedules` random schedules on instance (scale, g = 0, ul) and
+/// measure each. Used to verify that slack and robustness are positively
+/// related (and slack/makespan conflicting).
+std::vector<SlackRobustnessSample> sample_slack_robustness(const ExperimentScale& scale,
+                                                           double ul,
+                                                           std::size_t num_schedules);
+
+}  // namespace rts

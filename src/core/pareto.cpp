@@ -1,0 +1,64 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.makespan <= b.makespan && a.avg_slack >= b.avg_slack;
+  const bool better = a.makespan < b.makespan || a.avg_slack > b.avg_slack;
+  return no_worse && better;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  if (points.empty()) return points;
+  // Sort by makespan ascending, slack descending; a single sweep keeping the
+  // running slack maximum then yields the front in O(n log n).
+  std::stable_sort(points.begin(), points.end(),
+                   [](const ParetoPoint& a, const ParetoPoint& b) {
+                     if (a.makespan != b.makespan) return a.makespan < b.makespan;
+                     return a.avg_slack > b.avg_slack;
+                   });
+  std::vector<ParetoPoint> front;
+  double best_slack = -std::numeric_limits<double>::infinity();
+  for (const ParetoPoint& p : points) {
+    if (p.avg_slack > best_slack) {
+      front.push_back(p);
+      best_slack = p.avg_slack;
+    }
+  }
+  return front;
+}
+
+double hypervolume_2d(const std::vector<ParetoPoint>& front, const ParetoPoint& ref) {
+  const auto clean = pareto_front(front);
+  double volume = 0.0;
+  double prev_makespan = ref.makespan;
+  // Walk the front from the largest makespan down; each point contributes a
+  // rectangle against the reference slack level.
+  for (auto it = clean.rbegin(); it != clean.rend(); ++it) {
+    RTS_REQUIRE(it->makespan <= ref.makespan && it->avg_slack >= ref.avg_slack,
+                "reference point must be dominated by the whole front");
+    volume += (prev_makespan - it->makespan) * (it->avg_slack - ref.avg_slack);
+    prev_makespan = it->makespan;
+  }
+  return volume;
+}
+
+double coverage_metric(const std::vector<ParetoPoint>& reference,
+                       const std::vector<ParetoPoint>& candidate) {
+  if (candidate.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const ParetoPoint& c : candidate) {
+    if (std::any_of(reference.begin(), reference.end(),
+                    [&](const ParetoPoint& r) { return dominates(r, c); })) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(candidate.size());
+}
+
+}  // namespace rts

@@ -1,0 +1,44 @@
+#pragma once
+// Pareto utilities for the bi-objective problem (minimize makespan, maximize
+// slack). The paper handles the MOOP with the ε-constraint scalarization
+// (Section 4.1); these helpers make the trade-off front a first-class
+// object: non-dominated filtering, dominance tests, and the 2-D hypervolume
+// indicator used to compare fronts produced by different solvers
+// (ε-sweep vs NSGA-II, see ga/nsga2.hpp and bench/ablation_pareto).
+
+#include <vector>
+
+#include "ga/fitness.hpp"
+
+namespace rts {
+
+/// One point of the makespan/slack objective space, with an opaque payload
+/// index so callers can map front members back to schedules.
+struct ParetoPoint {
+  double makespan = 0.0;   ///< minimized
+  double avg_slack = 0.0;  ///< maximized
+  std::size_t index = 0;   ///< caller-side id of the originating solution
+
+  bool operator==(const ParetoPoint&) const = default;
+};
+
+/// True when `a` dominates `b`: no worse in both objectives, strictly better
+/// in at least one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// The non-dominated subset, sorted by increasing makespan (ties collapse to
+/// the larger slack; duplicate objective vectors keep the first occurrence).
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+/// 2-D hypervolume of `front` with respect to a reference point that must be
+/// dominated by every front member (ref.makespan above all, ref.avg_slack
+/// below all). Larger is better. The front need not be pre-filtered.
+double hypervolume_2d(const std::vector<ParetoPoint>& front, const ParetoPoint& ref);
+
+/// Fraction of `candidate`'s points that are dominated by at least one point
+/// of `reference` (the C-metric / coverage indicator of Zitzler & Thiele;
+/// 0 = nothing dominated, 1 = everything dominated).
+double coverage_metric(const std::vector<ParetoPoint>& reference,
+                       const std::vector<ParetoPoint>& candidate);
+
+}  // namespace rts

@@ -1,0 +1,21 @@
+#include "core/performance.hpp"
+
+#include <cmath>
+
+namespace rts {
+
+double overall_performance(double r, double makespan, double robustness,
+                           double heft_makespan, double heft_robustness) {
+  RTS_REQUIRE(r >= 0.0 && r <= 1.0, "weight r must lie in [0,1]");
+  RTS_REQUIRE(makespan > 0.0 && heft_makespan > 0.0, "makespans must be positive");
+  RTS_REQUIRE(robustness > 0.0 && heft_robustness > 0.0, "robustness must be positive");
+  return r * std::log(heft_makespan / makespan) +
+         (1.0 - r) * std::log(robustness / heft_robustness);
+}
+
+double log10_ratio(double new_value, double base_value) {
+  RTS_REQUIRE(new_value > 0.0 && base_value > 0.0, "log ratio needs positive values");
+  return std::log10(new_value / base_value);
+}
+
+}  // namespace rts

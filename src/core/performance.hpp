@@ -1,0 +1,23 @@
+#pragma once
+// Overall schedule performance (paper Eqn. 9):
+//
+//   P(s) = r * log(M_HEFT / M(s)) + (1 - r) * log(R(s) / R_HEFT)
+//
+// r in [0, 1] weights makespan (r -> 1) against robustness (r -> 0). P > 0
+// means the schedule beats HEFT overall. Natural logarithm (the base only
+// rescales P and never changes comparisons).
+
+#include "util/error.hpp"
+
+namespace rts {
+
+/// Evaluate Eqn. 9. All four reference quantities must be positive.
+double overall_performance(double r, double makespan, double robustness,
+                           double heft_makespan, double heft_robustness);
+
+/// log10(new_value / base_value) — the paper's figures plot improvements on
+/// log-ratio axes; positive means `new_value` improved over `base_value`
+/// when larger-is-better.
+double log10_ratio(double new_value, double base_value);
+
+}  // namespace rts

@@ -1,0 +1,137 @@
+#include "core/report_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+/// Doubles serialized with max round-trip precision; non-finite values (the
+/// capped robustness metrics can be huge but are always finite; slack etc.
+/// never NaN) would break JSON, so reject them loudly.
+void append_number(std::ostringstream& os, double value) {
+  RTS_REQUIRE(std::isfinite(value), "cannot serialize non-finite value to JSON");
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+}
+
+void append_string(std::ostringstream& os, const std::string& text) {
+  os << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u00" << (ch < 16 ? "0" : "") << std::hex << static_cast<int>(ch)
+             << std::dec;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_array(std::ostringstream& os, std::span<const double> values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    append_number(os, values[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string robustness_to_json(const RobustnessReport& report, bool include_samples) {
+  std::ostringstream os;
+  os << "{\"expected_makespan\":";
+  append_number(os, report.expected_makespan);
+  os << ",\"mean_realized_makespan\":";
+  append_number(os, report.mean_realized_makespan);
+  os << ",\"stddev_realized_makespan\":";
+  append_number(os, report.stddev_realized_makespan);
+  os << ",\"max_realized_makespan\":";
+  append_number(os, report.max_realized_makespan);
+  os << ",\"p50\":";
+  append_number(os, report.p50_realized_makespan);
+  os << ",\"p95\":";
+  append_number(os, report.p95_realized_makespan);
+  os << ",\"p99\":";
+  append_number(os, report.p99_realized_makespan);
+  os << ",\"mean_tardiness\":";
+  append_number(os, report.mean_tardiness);
+  os << ",\"miss_rate\":";
+  append_number(os, report.miss_rate);
+  os << ",\"r1\":";
+  append_number(os, report.r1);
+  os << ",\"r2\":";
+  append_number(os, report.r2);
+  os << ",\"realizations\":" << report.realizations;
+  if (include_samples) {
+    os << ",\"samples\":";
+    append_array(os, report.samples);
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string criticality_to_json(const CriticalityReport& report) {
+  std::ostringstream os;
+  os << "{\"expected_critical_tasks\":";
+  append_number(os, report.expected_critical_tasks);
+  os << ",\"safe_tasks\":" << report.safe_tasks;
+  os << ",\"normalized_entropy\":";
+  append_number(os, report.normalized_entropy);
+  os << ",\"realizations\":" << report.realizations;
+  os << ",\"criticality_index\":";
+  append_array(os, report.criticality_index);
+  os << '}';
+  return os.str();
+}
+
+std::string timeline_to_json(const TaskGraph& graph, const Schedule& schedule,
+                             const ScheduleTiming& timing) {
+  RTS_REQUIRE(timing.start.size() == schedule.task_count(),
+              "timing does not match schedule");
+  RTS_REQUIRE(graph.task_count() == schedule.task_count(),
+              "graph does not match schedule");
+  std::ostringstream os;
+  os << "{\"makespan\":";
+  append_number(os, timing.makespan);
+  os << ",\"average_slack\":";
+  append_number(os, timing.average_slack);
+  os << ",\"tasks\":[";
+  for (std::size_t t = 0; t < schedule.task_count(); ++t) {
+    if (t) os << ',';
+    os << "{\"id\":" << t << ",\"name\":";
+    append_string(os, graph.task_name(static_cast<TaskId>(t)));
+    os << ",\"processor\":" << schedule.proc_of(static_cast<TaskId>(t));
+    os << ",\"start\":";
+    append_number(os, timing.start[t]);
+    os << ",\"finish\":";
+    append_number(os, timing.finish[t]);
+    os << ",\"slack\":";
+    append_number(os, timing.slack[t]);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void save_json_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  RTS_REQUIRE(out.good(), "cannot open JSON output file: " + path);
+  out << json << '\n';
+  RTS_REQUIRE(out.good(), "write failure on: " + path);
+}
+
+}  // namespace rts

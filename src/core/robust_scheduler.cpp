@@ -1,0 +1,38 @@
+#include "core/robust_scheduler.hpp"
+
+#include "core/stochastic.hpp"
+#include "sched/heft.hpp"
+
+namespace rts {
+
+RobustScheduleOutcome robust_schedule(const ProblemInstance& instance,
+                                      const RobustSchedulerConfig& config) {
+  instance.validate();
+
+  ListScheduleResult heft =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+
+  GaConfig ga_config = config.ga;
+  Matrix<double> stddev;
+  const Matrix<double>* stddev_ptr = nullptr;
+  if (config.stochastic_objective) {
+    ga_config.objective = ObjectiveKind::kEpsilonConstraintEffective;
+    stddev = duration_stddev(instance.bcet, instance.ul);
+    stddev_ptr = &stddev;
+  }
+  GaResult ga = run_ga(instance.graph, instance.platform, instance.expected, ga_config,
+                       nullptr, stddev_ptr);
+
+  RobustnessReport ga_report = evaluate_robustness(instance, ga.best_schedule, config.mc);
+  RobustnessReport heft_report = evaluate_robustness(instance, heft.schedule, config.mc);
+
+  return RobustScheduleOutcome{std::move(ga.best_schedule),
+                               ga.best_eval,
+                               std::move(ga_report),
+                               std::move(heft.schedule),
+                               std::move(heft_report),
+                               ga.heft_makespan,
+                               ga.iterations};
+}
+
+}  // namespace rts

@@ -1,0 +1,49 @@
+#pragma once
+// Top-level facade of the library: given a problem instance and a makespan
+// budget ε, produce a schedule that maximizes slack subject to
+// M0 <= ε * M_HEFT (paper Eqn. 7), and report its Monte-Carlo robustness
+// next to HEFT's.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   rts::Rng rng(7);
+//   auto instance = rts::make_paper_instance({}, rng);
+//   rts::RobustSchedulerConfig config;
+//   config.ga.epsilon = 1.2;  // allow 20% makespan slack-room
+//   auto outcome = rts::robust_schedule(instance, config);
+//   // outcome.schedule, outcome.report.r1, outcome.heft_report.r1, ...
+
+#include "ga/engine.hpp"
+#include "sim/monte_carlo.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Configuration of a robust-scheduling run.
+struct RobustSchedulerConfig {
+  GaConfig ga;            ///< GA hyper-parameters incl. ε and the objective
+  MonteCarloConfig mc;    ///< robustness-evaluation knobs
+  /// Use the stochastic-information-guided objective (effective slack,
+  /// see core/stochastic.hpp): the GA is fed the duration-stddev matrix
+  /// derived from the instance's BCET/UL and optimizes
+  /// min(slack, kappa * sigma) per task instead of raw slack.
+  bool stochastic_objective = false;
+};
+
+/// Result of one robust-scheduling run.
+struct RobustScheduleOutcome {
+  Schedule schedule;            ///< the GA's best schedule
+  Evaluation eval;              ///< its expected makespan and average slack
+  RobustnessReport report;      ///< its Monte-Carlo robustness
+  Schedule heft_schedule;       ///< the HEFT baseline schedule
+  RobustnessReport heft_report; ///< HEFT's Monte-Carlo robustness
+  double heft_makespan = 0.0;   ///< M_HEFT (the ε-constraint reference)
+  std::size_t ga_iterations = 0;
+};
+
+/// Run the full pipeline: HEFT baseline -> ε-constraint GA -> Monte-Carlo
+/// robustness evaluation of both schedules.
+RobustScheduleOutcome robust_schedule(const ProblemInstance& instance,
+                                      const RobustSchedulerConfig& config);
+
+}  // namespace rts

@@ -1,0 +1,49 @@
+#include "core/stochastic.hpp"
+
+#include <cmath>
+
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+Matrix<double> percentile_costs(const Matrix<double>& bcet, const Matrix<double>& ul,
+                                double q) {
+  RTS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must lie in [0,1]");
+  RTS_REQUIRE(bcet.rows() == ul.rows() && bcet.cols() == ul.cols(),
+              "bcet and ul shapes must match");
+  Matrix<double> costs(bcet.rows(), bcet.cols());
+  for (std::size_t t = 0; t < bcet.rows(); ++t) {
+    for (std::size_t p = 0; p < bcet.cols(); ++p) {
+      costs(t, p) = bcet(t, p) * (1.0 + q * (2.0 * ul(t, p) - 2.0));
+    }
+  }
+  return costs;
+}
+
+Matrix<double> duration_stddev(const Matrix<double>& bcet, const Matrix<double>& ul) {
+  RTS_REQUIRE(bcet.rows() == ul.rows() && bcet.cols() == ul.cols(),
+              "bcet and ul shapes must match");
+  const double inv_sqrt12 = 1.0 / std::sqrt(12.0);
+  Matrix<double> sigma(bcet.rows(), bcet.cols());
+  for (std::size_t t = 0; t < bcet.rows(); ++t) {
+    for (std::size_t p = 0; p < bcet.cols(); ++p) {
+      sigma(t, p) = (2.0 * ul(t, p) - 2.0) * bcet(t, p) * inv_sqrt12;
+    }
+  }
+  return sigma;
+}
+
+ListScheduleResult overestimation_schedule(const ProblemInstance& instance, double q) {
+  const Matrix<double> planning = percentile_costs(instance.bcet, instance.ul, q);
+  ListScheduleResult result =
+      heft_schedule(instance.graph, instance.platform, planning);
+  // Report the schedule's makespan under the *expected* durations so it is
+  // directly comparable to the other schedulers (and to M0 in the
+  // Monte-Carlo reports).
+  result.makespan = compute_makespan(instance.graph, instance.platform, result.schedule,
+                                     instance.expected);
+  return result;
+}
+
+}  // namespace rts

@@ -1,0 +1,45 @@
+#pragma once
+// Stochastic-information-guided scheduling — the paper's Section 6 future
+// work ("we believe that stochastic information about the computing system
+// will direct the algorithm to generate more robust schedules"), plus the
+// introduction's "judicious overestimation" strawman, implemented so both
+// can be compared against the expected-time pipeline.
+//
+// The realized duration of task i on processor p is U(b, (2UL-1)b), so the
+// full distribution is known to the scheduler in closed form:
+//   quantile:  c_q(i,p)  = b * (1 + q * (2UL - 2)),   q in [0, 1]
+//   stddev:    sigma(i,p) = (2UL - 2) * b / sqrt(12)
+//
+// Two uses:
+//  * overestimation_schedule — run HEFT on the q-quantile ("plan for the
+//    q-th percentile") instead of the mean; robustness improves because the
+//    plan already budgets for delays, at the price of resource utilization
+//    (the introduction's predicted drawback).
+//  * the GA's effective-slack objective (ObjectiveKind::
+//    kEpsilonConstraintEffective) — slack beyond what a task's uncertainty
+//    can consume is wasted, so the objective credits each task with
+//    min(slack_i, kappa * sigma_i) instead of raw slack, steering slack to
+//    the tasks that need it. Enabled via RobustSchedulerConfig::
+//    stochastic_objective or by passing the stddev matrix to run_ga.
+
+#include "sched/heft.hpp"
+#include "util/matrix.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// q-quantile planning costs of the realized-duration law; q = 0 gives the
+/// BCET matrix, q = 0.5 the expected matrix. Requires q in [0, 1].
+Matrix<double> percentile_costs(const Matrix<double>& bcet, const Matrix<double>& ul,
+                                double q);
+
+/// Per-(task, processor) standard deviation of the realized duration.
+Matrix<double> duration_stddev(const Matrix<double>& bcet, const Matrix<double>& ul);
+
+/// The introduction's overestimation approach: HEFT planned against the
+/// q-quantile costs. The returned makespan is the *expected* makespan of the
+/// resulting schedule (Claim 3.2 under UL * BCET), comparable to every other
+/// scheduler's output here.
+ListScheduleResult overestimation_schedule(const ProblemInstance& instance, double q);
+
+}  // namespace rts

@@ -1,0 +1,52 @@
+#pragma once
+// Simulated annealing over the same chromosome encoding and mutation move
+// as the GA. The paper's introduction lists SA next to GAs among the guided
+// random search methods for this problem; we provide it as a second
+// metaheuristic so the GA's design can be benchmarked against an equal
+// evaluation budget (bench/ablation_sa_vs_ga).
+//
+// Energy (minimized):
+//   kMinimizeMakespan            ->  M0
+//   kMaximizeSlack               -> -sigma bar
+//   kEpsilonConstraint(+Effective) -> -objective slack when feasible,
+//        a positive penalty growing with the constraint violation otherwise
+//        (scaled by M_HEFT so temperatures transfer across instances).
+//
+// Cooling: geometric from an auto-calibrated T0 (standard deviation of
+// energy over a short random-walk probe) down to T0 * final_temp_fraction.
+
+#include "ga/engine.hpp"
+
+namespace rts {
+
+/// Simulated-annealing knobs.
+struct SaConfig {
+  std::size_t iterations = 8000;  ///< neighbour evaluations (GA: Np * iters)
+  /// Initial temperature; 0 = auto-calibrate from a 64-step random walk.
+  double initial_temperature = 0.0;
+  /// The final temperature as a fraction of the initial one.
+  double final_temp_fraction = 1e-3;
+  std::uint64_t seed = 1;
+  ObjectiveKind objective = ObjectiveKind::kEpsilonConstraint;
+  double epsilon = 1.0;
+  bool seed_with_heft = true;  ///< start from HEFT instead of a random state
+  double effective_slack_kappa = 3.0;
+};
+
+/// Result of one annealing run (fields mirror GaResult).
+struct SaResult {
+  Chromosome best;
+  Evaluation best_eval;
+  Schedule best_schedule;
+  double heft_makespan = 0.0;
+  std::size_t iterations = 0;
+  std::size_t accepted_moves = 0;
+};
+
+/// Anneal on (graph, platform, expected costs); `duration_stddev` as in
+/// run_ga (required for kEpsilonConstraintEffective).
+SaResult run_simulated_annealing(const TaskGraph& graph, const Platform& platform,
+                                 const Matrix<double>& costs, const SaConfig& config,
+                                 const Matrix<double>* duration_stddev = nullptr);
+
+}  // namespace rts

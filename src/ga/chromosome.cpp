@@ -1,0 +1,67 @@
+#include "ga/chromosome.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/topology.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+Schedule decode(const Chromosome& chromosome, std::size_t proc_count) {
+  return Schedule::from_order_and_assignment(chromosome.order, chromosome.assignment,
+                                             proc_count);
+}
+
+Chromosome random_chromosome(const TaskGraph& graph, std::size_t proc_count, Rng& rng) {
+  RTS_REQUIRE(proc_count > 0, "need at least one processor");
+  Chromosome c;
+  c.order = random_topological_order(graph, rng);
+  c.assignment.resize(graph.task_count());
+  for (auto& p : c.assignment) p = static_cast<ProcId>(rng.next_below(proc_count));
+  return c;
+}
+
+Chromosome encode_schedule(const TaskGraph& graph, const Platform& platform,
+                           const Schedule& schedule, const Matrix<double>& costs) {
+  const auto timing = compute_schedule_timing(graph, platform, schedule, costs);
+  Chromosome c;
+  c.order.resize(graph.task_count());
+  std::iota(c.order.begin(), c.order.end(), TaskId{0});
+  std::sort(c.order.begin(), c.order.end(), [&](TaskId a, TaskId b) {
+    const double sa = timing.start[static_cast<std::size_t>(a)];
+    const double sb = timing.start[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  c.assignment.assign(schedule.assignment().begin(), schedule.assignment().end());
+  RTS_ENSURE(is_topological_order(graph, c.order),
+             "start-time order of a valid schedule must be topological");
+  // The start-time order must also keep each processor's sequence: tasks on
+  // one processor never overlap, so their start times follow sequence order.
+  return c;
+}
+
+bool is_valid_chromosome(const TaskGraph& graph, std::size_t proc_count,
+                         const Chromosome& chromosome) {
+  if (chromosome.assignment.size() != graph.task_count()) return false;
+  for (const ProcId p : chromosome.assignment) {
+    if (p < 0 || static_cast<std::size_t>(p) >= proc_count) return false;
+  }
+  return is_topological_order(graph, chromosome.order);
+}
+
+std::uint64_t chromosome_hash(const Chromosome& chromosome) {
+  std::uint64_t h = 0x51ab5fe1905bffffull;
+  for (const TaskId t : chromosome.order) {
+    h = hash_combine_u64(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(t)));
+  }
+  for (const ProcId p : chromosome.assignment) {
+    h = hash_combine_u64(h, 0x8000000000000000ull |
+                                static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)));
+  }
+  return h;
+}
+
+}  // namespace rts

@@ -1,0 +1,53 @@
+#pragma once
+// GA chromosome encoding (paper Section 4.2.1).
+//
+// A chromosome holds (a) the *scheduling string* — a topological sort of the
+// task graph giving the global execution order — and (b) the processor
+// assignment of every task. The paper's per-processor "assignment strings"
+// are recovered on demand: each processor's sequence is its tasks in
+// scheduling-string order, the exact invariant the paper's initialization and
+// mutation maintain (Sections 4.2.2, 4.2.6); our crossover preserves it too.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// One GA individual.
+struct Chromosome {
+  std::vector<TaskId> order;       ///< scheduling string (a topological sort)
+  std::vector<ProcId> assignment;  ///< assignment[task] = processor
+
+  bool operator==(const Chromosome&) const = default;
+};
+
+/// Decode to the schedule the chromosome represents.
+Schedule decode(const Chromosome& chromosome, std::size_t proc_count);
+
+/// Uniformly random valid chromosome (random topological sort + uniform
+/// random processor per task), paper Section 4.2.2.
+Chromosome random_chromosome(const TaskGraph& graph, std::size_t proc_count, Rng& rng);
+
+/// Chromosome encoding an existing schedule. The scheduling string is the
+/// tasks sorted by ASAP start time under `costs` (ties by id), which is
+/// simultaneously a topological sort of G and consistent with the schedule's
+/// per-processor sequences. Used to inject the HEFT solution into the
+/// initial population (Section 4.2.2).
+Chromosome encode_schedule(const TaskGraph& graph, const Platform& platform,
+                           const Schedule& schedule, const Matrix<double>& costs);
+
+/// Structural validity: `order` is a topological sort and `assignment` maps
+/// every task to a processor < proc_count.
+bool is_valid_chromosome(const TaskGraph& graph, std::size_t proc_count,
+                         const Chromosome& chromosome);
+
+/// 64-bit content hash (order + assignment), used for the population
+/// uniqueness check of Section 4.2.2.
+std::uint64_t chromosome_hash(const Chromosome& chromosome);
+
+}  // namespace rts

@@ -1,0 +1,232 @@
+#include "ga/engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "ga/operators.hpp"
+#include "sched/timing.hpp"
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+struct Individual {
+  Chromosome chrom;
+  Evaluation eval;
+};
+
+Evaluation evaluate_chromosome(const TaskGraph& graph, const Platform& platform,
+                               const Matrix<double>& costs, const Chromosome& chrom,
+                               const Matrix<double>* duration_stddev, double kappa) {
+  const Schedule schedule = decode(chrom, platform.proc_count());
+  const ScheduleTiming timing = compute_schedule_timing(graph, platform, schedule, costs);
+  Evaluation eval{timing.makespan, timing.average_slack, 0.0};
+  if (duration_stddev != nullptr) {
+    // Effective slack: credit per task capped at kappa * sigma on its
+    // assigned processor — surplus slack cannot absorb more delay than the
+    // task's uncertainty can produce.
+    double sum = 0.0;
+    for (std::size_t t = 0; t < timing.slack.size(); ++t) {
+      const auto p = static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t)));
+      sum += std::min(timing.slack[t], kappa * (*duration_stddev)(t, p));
+    }
+    eval.effective_slack = sum / static_cast<double>(timing.slack.size());
+  }
+  return eval;
+}
+
+/// Fisher-Yates shuffle driven by our deterministic Rng.
+void shuffle_indices(std::vector<std::size_t>& idx, Rng& rng) {
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+}
+
+}  // namespace
+
+GaResult run_ga(const TaskGraph& graph, const Platform& platform,
+                const Matrix<double>& costs, const GaConfig& config,
+                const GaObserver& observer, const Matrix<double>* duration_stddev) {
+  RTS_REQUIRE(config.population_size >= 2, "population size must be at least 2");
+  RTS_REQUIRE(config.crossover_prob >= 0.0 && config.crossover_prob <= 1.0,
+              "crossover probability outside [0,1]");
+  RTS_REQUIRE(config.mutation_prob >= 0.0 && config.mutation_prob <= 1.0,
+              "mutation probability outside [0,1]");
+  RTS_REQUIRE(config.max_iterations >= 1, "need at least one iteration");
+  if (config.objective == ObjectiveKind::kEpsilonConstraintEffective) {
+    RTS_REQUIRE(duration_stddev != nullptr,
+                "the effective-slack objective needs the duration stddev matrix");
+    RTS_REQUIRE(duration_stddev->rows() == graph.task_count() &&
+                    duration_stddev->cols() == platform.proc_count(),
+                "duration stddev matrix has wrong shape");
+    RTS_REQUIRE(config.effective_slack_kappa > 0.0, "kappa must be positive");
+  }
+  graph.validate();
+  // Only the effective-slack objective consumes the stochastic information.
+  if (config.objective != ObjectiveKind::kEpsilonConstraintEffective) {
+    duration_stddev = nullptr;
+  }
+
+  const std::size_t np = config.population_size;
+  const std::size_t proc_count = platform.proc_count();
+  Rng rng(config.seed);
+
+  // HEFT supplies both the ε-constraint bound M_HEFT and (optionally) one
+  // seed chromosome (Section 4.2.2).
+  const ListScheduleResult heft = heft_schedule(graph, platform, costs);
+
+  std::vector<Individual> pop;
+  pop.reserve(np);
+  std::unordered_set<std::uint64_t> seen;
+  if (config.seed_with_heft) {
+    Chromosome c = encode_schedule(graph, platform, heft.schedule, costs);
+    seen.insert(chromosome_hash(c));
+    Evaluation e = evaluate_chromosome(graph, platform, costs, c, duration_stddev,
+                                       config.effective_slack_kappa);
+    pop.push_back(Individual{std::move(c), e});
+  }
+  // Uniqueness-checked random fill; on tiny search spaces (few tasks and
+  // processors) distinct chromosomes may run out, so duplicates are admitted
+  // after a bounded number of rejections.
+  std::size_t rejections = 0;
+  const std::size_t max_rejections = 64 * np;
+  while (pop.size() < np) {
+    Chromosome c = random_chromosome(graph, proc_count, rng);
+    const std::uint64_t h = chromosome_hash(c);
+    if (!seen.insert(h).second && rejections++ < max_rejections) continue;
+    Evaluation e = evaluate_chromosome(graph, platform, costs, c, duration_stddev,
+                                       config.effective_slack_kappa);
+    pop.push_back(Individual{std::move(c), e});
+  }
+
+  // Best-so-far tracking (elitism keeps it monotone, matching the paper's
+  // "quality of the best solution is monotonically increasing").
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < np; ++i) {
+    if (better_than(pop[i].eval, pop[best_idx].eval, config.objective, config.epsilon,
+                    heft.makespan)) {
+      best_idx = i;
+    }
+  }
+  Individual best = pop[best_idx];
+
+  std::vector<GaIterationRecord> history;
+  const auto record = [&](std::size_t iteration) {
+    if (config.history_stride == 0) return;
+    if (iteration % config.history_stride != 0 &&
+        iteration != config.max_iterations) {
+      return;
+    }
+    const GaIterationRecord rec{iteration, best.eval.makespan, best.eval.avg_slack};
+    history.push_back(rec);
+    if (observer) observer(rec, best.chrom);
+  };
+  record(0);
+
+  std::vector<std::size_t> idx(np);
+  std::vector<Evaluation> evals(np);
+  std::size_t stagnation = 0;
+  std::size_t iterations_run = 0;
+
+  for (std::size_t iter = 1; iter <= config.max_iterations; ++iter) {
+    iterations_run = iter;
+    for (std::size_t i = 0; i < np; ++i) evals[i] = pop[i].eval;
+    const std::vector<double> fitness = generation_fitness(
+        evals, config.objective, config.epsilon, heft.makespan);
+
+    // --- Selection: two systematic tournament passes; every individual
+    // fights exactly twice, winners fill the intermediate population.
+    std::vector<Individual> intermediate;
+    intermediate.reserve(np + 1);
+    const auto winner_of = [&](std::size_t a, std::size_t b) {
+      if (fitness[a] != fitness[b]) return fitness[a] > fitness[b] ? a : b;
+      // Deterministic tie-break so runs are reproducible.
+      return better_than(pop[b].eval, pop[a].eval, config.objective, config.epsilon,
+                         heft.makespan)
+                 ? b
+                 : a;
+    };
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < np; ++i) idx[i] = i;
+      shuffle_indices(idx, rng);
+      for (std::size_t k = 0; k + 1 < np; k += 2) {
+        intermediate.push_back(pop[winner_of(idx[k], idx[k + 1])]);
+      }
+      if (np % 2 == 1) intermediate.push_back(pop[idx[np - 1]]);  // bye
+    }
+    RTS_ENSURE(intermediate.size() >= np, "selection shrank the population");
+    intermediate.resize(np);
+
+    // --- Crossover: shuffle, then each adjacent pair recombines with
+    // probability pc (Section 4.2.5); the remainder is copied unchanged.
+    for (std::size_t i = 0; i < np; ++i) idx[i] = i;
+    shuffle_indices(idx, rng);
+    std::vector<Individual> next(np);
+    std::vector<bool> dirty(np, false);
+    for (std::size_t k = 0; k + 1 < np; k += 2) {
+      const std::size_t a = idx[k];
+      const std::size_t b = idx[k + 1];
+      if (sample_bernoulli(rng, config.crossover_prob)) {
+        auto [ca, cb] = crossover(intermediate[a].chrom, intermediate[b].chrom, rng);
+        next[a].chrom = std::move(ca);
+        next[b].chrom = std::move(cb);
+        dirty[a] = dirty[b] = true;
+      } else {
+        next[a] = intermediate[a];
+        next[b] = intermediate[b];
+      }
+    }
+    if (np % 2 == 1) next[idx[np - 1]] = intermediate[idx[np - 1]];
+
+    // --- Mutation with probability pm per individual (Section 4.2.6).
+    for (std::size_t i = 0; i < np; ++i) {
+      if (sample_bernoulli(rng, config.mutation_prob)) {
+        mutate(next[i].chrom, graph, proc_count, rng);
+        dirty[i] = true;
+      }
+    }
+
+    // --- Evaluate the changed individuals.
+    for (std::size_t i = 0; i < np; ++i) {
+      if (dirty[i]) {
+        next[i].eval = evaluate_chromosome(graph, platform, costs, next[i].chrom,
+                                           duration_stddev, config.effective_slack_kappa);
+      }
+    }
+
+    // --- Elitism: the weakest newcomer makes room for the best-so-far.
+    if (config.elitism) {
+      std::size_t worst = 0;
+      for (std::size_t i = 1; i < np; ++i) {
+        if (better_than(next[worst].eval, next[i].eval, config.objective,
+                        config.epsilon, heft.makespan)) {
+          worst = i;
+        }
+      }
+      next[worst] = best;
+    }
+
+    // --- Best-so-far update and stagnation bookkeeping.
+    bool improved = false;
+    for (const Individual& ind : next) {
+      if (better_than(ind.eval, best.eval, config.objective, config.epsilon,
+                      heft.makespan)) {
+        best = ind;
+        improved = true;
+      }
+    }
+    stagnation = improved ? 0 : stagnation + 1;
+    pop = std::move(next);
+    record(iter);
+    if (stagnation >= config.stagnation_window) break;
+  }
+
+  return GaResult{best.chrom,    best.eval,      decode(best.chrom, proc_count),
+                  heft.makespan, iterations_run, std::move(history)};
+}
+
+}  // namespace rts

@@ -1,0 +1,43 @@
+#pragma once
+// Deterministic slack-refinement local search — a cheap alternative to the
+// GA for the ε-constraint problem: start from HEFT and greedily apply the
+// first move that increases average slack while keeping the makespan within
+// ε * M_HEFT. Move neighbourhood per task: reassign to any other processor
+// (keeping the scheduling-string order), or shift the task to either end of
+// its precedence window. First-improvement sweeps repeat until a full pass
+// finds nothing or the pass budget is exhausted.
+//
+// Useful as (a) a fast 80%-solution when a GA run is too expensive, and
+// (b) a baseline showing how much of the GA's gain simple hill climbing
+// already captures (bench/ablation_local_search).
+
+#include "ga/chromosome.hpp"
+#include "ga/fitness.hpp"
+
+namespace rts {
+
+/// Local-search knobs.
+struct LocalSearchConfig {
+  double epsilon = 1.0;        ///< makespan bound relative to M_HEFT
+  std::size_t max_passes = 20; ///< full first-improvement sweeps
+  std::uint64_t seed = 1;      ///< task-visit order shuffling
+  bool seed_with_heft = true;  ///< start from HEFT (else a random chromosome)
+};
+
+/// Result of one local-search run.
+struct LocalSearchResult {
+  Chromosome best;
+  Evaluation best_eval;
+  Schedule best_schedule;
+  double heft_makespan = 0.0;
+  std::size_t evaluations = 0;  ///< timing evaluations performed
+  std::size_t improvements = 0; ///< accepted moves
+};
+
+/// Run the slack hill climber on (graph, platform, expected costs).
+LocalSearchResult run_slack_local_search(const TaskGraph& graph,
+                                         const Platform& platform,
+                                         const Matrix<double>& costs,
+                                         const LocalSearchConfig& config);
+
+}  // namespace rts

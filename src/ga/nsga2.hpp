@@ -1,0 +1,49 @@
+#pragma once
+// NSGA-II (Deb et al. 2002) over the same chromosome encoding and variation
+// operators as the paper's GA — an extension beyond the paper: instead of
+// solving one ε-constraint scalarization per run (Section 4.1), a single
+// NSGA-II run approximates the whole makespan/slack Pareto front.
+// bench/ablation_pareto compares the two approaches with the hypervolume and
+// coverage indicators (core/pareto.hpp).
+//
+// Objectives: minimize expected makespan M0, maximize average slack σ̄ —
+// both evaluated under Claim 3.2 semantics like everywhere else.
+
+#include "ga/chromosome.hpp"
+#include "ga/fitness.hpp"
+#include "util/matrix.hpp"
+
+namespace rts {
+
+/// NSGA-II hyper-parameters.
+struct Nsga2Config {
+  std::size_t population_size = 40;  ///< rounded up to even internally
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.1;
+  std::size_t max_generations = 250;
+  std::uint64_t seed = 1;
+  bool seed_with_heft = true;  ///< anchor the front's low-makespan end
+};
+
+/// The final non-dominated set (duplicates removed).
+struct Nsga2Result {
+  std::vector<Chromosome> front;       ///< decision-space solutions
+  std::vector<Evaluation> front_evals; ///< aligned objective values
+  double heft_makespan = 0.0;
+  std::size_t generations = 0;
+};
+
+/// Run NSGA-II on (graph, platform, expected costs).
+Nsga2Result run_nsga2(const TaskGraph& graph, const Platform& platform,
+                      const Matrix<double>& costs, const Nsga2Config& config);
+
+/// Fast non-dominated sort (exposed for tests): returns the 0-based rank of
+/// each evaluation (rank 0 = non-dominated) for the bi-objective
+/// (min makespan, max slack) problem.
+std::vector<std::size_t> non_dominated_ranks(std::span<const Evaluation> evals);
+
+/// Crowding distances within one rank class (exposed for tests): boundary
+/// solutions get +infinity; interior ones the normalized cuboid perimeter.
+std::vector<double> crowding_distances(std::span<const Evaluation> evals);
+
+}  // namespace rts

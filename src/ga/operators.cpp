@@ -1,0 +1,106 @@
+#include "ga/operators.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+/// positions[t] = index of task t in `order`; `id_bound` > every task id
+/// (tasks absent from `order` keep an unspecified value).
+std::vector<std::size_t> positions_of(std::span<const TaskId> order, std::size_t id_bound) {
+  std::vector<std::size_t> pos(id_bound, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = i;
+  }
+  return pos;
+}
+
+/// Offspring scheduling string: keep `keeper`'s [0, cut), reorder the rest by
+/// their relative positions in `pattern`.
+std::vector<TaskId> cross_order(std::span<const TaskId> keeper,
+                                std::span<const TaskId> pattern, std::size_t cut) {
+  const std::size_t n = keeper.size();
+  std::vector<TaskId> child(keeper.begin(), keeper.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<bool> in_left(n, false);
+  for (std::size_t i = 0; i < cut; ++i) in_left[static_cast<std::size_t>(keeper[i])] = true;
+  for (const TaskId t : pattern) {
+    if (!in_left[static_cast<std::size_t>(t)]) child.push_back(t);
+  }
+  RTS_ENSURE(child.size() == n, "crossover lost tasks");
+  return child;
+}
+
+}  // namespace
+
+std::pair<Chromosome, Chromosome> crossover(const Chromosome& parent_a,
+                                            const Chromosome& parent_b, Rng& rng) {
+  const std::size_t n = parent_a.order.size();
+  RTS_REQUIRE(n > 0 && parent_b.order.size() == n &&
+                  parent_a.assignment.size() == n && parent_b.assignment.size() == n,
+              "crossover parents must encode the same task set");
+
+  // Cut in [1, n-1] so both sides are non-trivial (n == 1 degenerates to a
+  // copy).
+  const std::size_t order_cut =
+      n > 1 ? 1 + static_cast<std::size_t>(rng.next_below(n - 1)) : 1;
+  Chromosome child_a;
+  Chromosome child_b;
+  child_a.order = cross_order(parent_a.order, parent_b.order, order_cut);
+  child_b.order = cross_order(parent_b.order, parent_a.order, order_cut);
+
+  // Assignment tails swap at an independent cut over task ids.
+  const std::size_t assign_cut =
+      n > 1 ? 1 + static_cast<std::size_t>(rng.next_below(n - 1)) : 1;
+  child_a.assignment = parent_a.assignment;
+  child_b.assignment = parent_b.assignment;
+  for (std::size_t t = assign_cut; t < n; ++t) {
+    std::swap(child_a.assignment[t], child_b.assignment[t]);
+  }
+  return {std::move(child_a), std::move(child_b)};
+}
+
+std::pair<std::size_t, std::size_t> mutation_window(const TaskGraph& graph,
+                                                    std::span<const TaskId> order_without_v,
+                                                    TaskId v) {
+  const auto pos = positions_of(order_without_v, graph.task_count());
+  // Insertion index lo..hi (inclusive); inserting at index i places v before
+  // the task currently at i. All immediate predecessors must stay before v
+  // and all immediate successors after it.
+  std::size_t lo = 0;
+  std::size_t hi = order_without_v.size();  // == append
+  for (const EdgeRef& e : graph.predecessors(v)) {
+    lo = std::max(lo, pos[static_cast<std::size_t>(e.task)] + 1);
+  }
+  for (const EdgeRef& e : graph.successors(v)) {
+    hi = std::min(hi, pos[static_cast<std::size_t>(e.task)]);
+  }
+  RTS_ENSURE(lo <= hi, "empty mutation window on a valid scheduling string");
+  return {lo, hi};
+}
+
+void mutate(Chromosome& chromosome, const TaskGraph& graph, std::size_t proc_count,
+            Rng& rng) {
+  const std::size_t n = chromosome.order.size();
+  RTS_REQUIRE(n == graph.task_count(), "chromosome does not match graph");
+
+  const auto v = static_cast<TaskId>(
+      chromosome.order[static_cast<std::size_t>(rng.next_below(n))]);
+
+  // Remove v, then re-insert within its precedence window.
+  auto& order = chromosome.order;
+  order.erase(std::find(order.begin(), order.end(), v));
+  const auto [lo, hi] = mutation_window(graph, order, v);
+  const std::size_t target =
+      lo + static_cast<std::size_t>(rng.next_below(hi - lo + 1));
+  order.insert(order.begin() + static_cast<std::ptrdiff_t>(target), v);
+
+  // Random processor; per-processor order stays derived from the scheduling
+  // string, which is exactly the paper's re-insertion rule.
+  chromosome.assignment[static_cast<std::size_t>(v)] =
+      static_cast<ProcId>(rng.next_below(proc_count));
+}
+
+}  // namespace rts

@@ -1,0 +1,37 @@
+#pragma once
+// GA variation operators (paper Sections 4.2.5 and 4.2.6).
+//
+// Crossover — single point. Scheduling strings: a random cut position splits
+// both parents; each offspring keeps its parent's left part and reorders the
+// right-part tasks by their relative positions in the *other* parent's
+// scheduling string (this provably yields a valid topological sort).
+// Assignments: the per-task processor strings exchange their tails at a
+// second random cut over task ids.
+//
+// Mutation — pick a task v, move it to a uniformly random position within
+// its precedence window (strictly after the last scheduled immediate
+// predecessor, strictly before the first scheduled immediate successor),
+// then assign v a uniformly random processor.
+
+#include <utility>
+
+#include "ga/chromosome.hpp"
+
+namespace rts {
+
+/// Single-point crossover; returns the two offspring.
+std::pair<Chromosome, Chromosome> crossover(const Chromosome& parent_a,
+                                            const Chromosome& parent_b, Rng& rng);
+
+/// In-place precedence-window move mutation + random processor reassignment.
+void mutate(Chromosome& chromosome, const TaskGraph& graph, std::size_t proc_count,
+            Rng& rng);
+
+/// The inclusive insertion-index window [lo, hi] into which task `v` (already
+/// erased from `order`) may be re-inserted without violating precedence.
+/// Exposed for tests. `order_without_v` has length n-1.
+std::pair<std::size_t, std::size_t> mutation_window(const TaskGraph& graph,
+                                                    std::span<const TaskId> order_without_v,
+                                                    TaskId v);
+
+}  // namespace rts

@@ -1,0 +1,72 @@
+#include "graph/disjunctive.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+void check_sequences_partition_tasks(const TaskGraph& graph,
+                                     std::span<const std::vector<TaskId>> sequences) {
+  std::vector<bool> seen(graph.task_count(), false);
+  std::size_t total = 0;
+  for (const auto& seq : sequences) {
+    for (const TaskId t : seq) {
+      RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph.task_count(),
+                  "processor sequence references unknown task");
+      RTS_REQUIRE(!seen[static_cast<std::size_t>(t)],
+                  "task appears in more than one position of the schedule");
+      seen[static_cast<std::size_t>(t)] = true;
+      ++total;
+    }
+  }
+  RTS_REQUIRE(total == graph.task_count(),
+              "schedule must place every task exactly once");
+}
+
+}  // namespace
+
+TaskGraph make_disjunctive_graph(const TaskGraph& graph,
+                                 std::span<const std::vector<TaskId>> processor_sequences) {
+  check_sequences_partition_tasks(graph, processor_sequences);
+
+  TaskGraph gs(graph.task_count());
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    gs.set_task_name(static_cast<TaskId>(t), graph.task_name(static_cast<TaskId>(t)));
+    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
+      gs.add_edge(static_cast<TaskId>(t), e.task, e.data);
+    }
+  }
+  for (const auto& seq : processor_sequences) {
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      const TaskId a = seq[i - 1];
+      const TaskId b = seq[i];
+      if (gs.has_edge(a, b)) {
+        // Existing precedence edge between same-processor neighbours: its
+        // communication is intra-processor, hence zero (Eqn. 1).
+        gs.set_edge_data(a, b, 0.0);
+      } else {
+        gs.add_edge(a, b, 0.0);
+      }
+    }
+  }
+  RTS_REQUIRE(gs.is_acyclic(),
+              "schedule sequences contradict the precedence constraints (cyclic Gs)");
+  return gs;
+}
+
+std::vector<std::pair<TaskId, TaskId>> disjunctive_edges(
+    const TaskGraph& graph, std::span<const std::vector<TaskId>> processor_sequences) {
+  check_sequences_partition_tasks(graph, processor_sequences);
+  std::vector<std::pair<TaskId, TaskId>> extra;
+  for (const auto& seq : processor_sequences) {
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (!graph.has_edge(seq[i - 1], seq[i])) extra.emplace_back(seq[i - 1], seq[i]);
+    }
+  }
+  return extra;
+}
+
+}  // namespace rts

@@ -1,0 +1,35 @@
+#pragma once
+// Disjunctive graph of a schedule (paper Definition 3.1 and Eqn. 1).
+//
+// Given task graph G and a schedule s (one execution sequence per processor),
+// the disjunctive graph Gs adds an edge between each pair of consecutive
+// tasks of a processor sequence; any edge connecting two tasks placed
+// consecutively on the same processor carries zero communication data
+// (intra-processor transfers are free, Eqn. 1).
+//
+// This module is deliberately schedule-type agnostic (it takes raw processor
+// sequences) so the graph layer does not depend on the scheduling layer; the
+// sched layer wraps it with a Schedule-typed convenience overload.
+
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace rts {
+
+/// Build Gs from G and per-processor execution sequences.
+///
+/// Requirements (checked): every task appears in exactly one sequence, ids in
+/// range, no repeats. The result is validated to be acyclic — a sequence that
+/// contradicts precedence constraints makes the schedule invalid and throws.
+TaskGraph make_disjunctive_graph(const TaskGraph& graph,
+                                 std::span<const std::vector<TaskId>> processor_sequences);
+
+/// The disjunctive edges E' alone (pairs of consecutive same-processor tasks
+/// not already linked in G). Exposed for tests and for the DOT renderer,
+/// which draws them dashed like the paper's Fig. 1(d).
+std::vector<std::pair<TaskId, TaskId>> disjunctive_edges(
+    const TaskGraph& graph, std::span<const std::vector<TaskId>> processor_sequences);
+
+}  // namespace rts

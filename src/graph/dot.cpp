@@ -1,0 +1,243 @@
+#include "graph/dot.hpp"
+
+#include <cctype>
+#include <istream>
+#include <optional>
+#include <map>
+#include <ostream>
+
+#include "graph/disjunctive.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+void write_nodes(std::ostream& os, const TaskGraph& graph) {
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    os << "  n" << t << " [label=\"" << graph.task_name(static_cast<TaskId>(t))
+       << "\", shape=circle];\n";
+  }
+}
+}  // namespace
+
+void write_dot(std::ostream& os, const TaskGraph& graph, const std::string& name,
+               bool show_data) {
+  os << "digraph \"" << name << "\" {\n";
+  write_nodes(os, graph);
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
+      os << "  n" << t << " -> n" << e.task;
+      if (show_data) os << " [label=\"" << e.data << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_disjunctive_dot(std::ostream& os, const TaskGraph& graph,
+                           std::span<const std::vector<TaskId>> processor_sequences,
+                           const std::string& name) {
+  const auto extra = disjunctive_edges(graph, processor_sequences);
+  os << "digraph \"" << name << "\" {\n";
+  write_nodes(os, graph);
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
+      os << "  n" << t << " -> n" << e.task << ";\n";
+    }
+  }
+  for (const auto& [a, b] : extra) {
+    os << "  n" << a << " -> n" << b << " [style=dashed];\n";
+  }
+  os << "}\n";
+}
+
+namespace {
+
+/// Token stream over the DOT subset: identifiers, quoted strings, numbers,
+/// and the punctuation { } [ ] = ; , plus the -> arrow. Comments skipped.
+class DotLexer {
+ public:
+  explicit DotLexer(std::istream& is) : is_(is) {}
+
+  /// Next token, or empty string at end of input.
+  std::string next() {
+    skip_space_and_comments();
+    int c = is_.peek();
+    if (c == EOF) return {};
+    if (c == '"') {
+      is_.get();
+      std::string text;
+      while ((c = is_.get()) != EOF && c != '"') {
+        if (c == '\\' && is_.peek() == '"') c = is_.get();
+        text.push_back(static_cast<char>(c));
+      }
+      RTS_REQUIRE(c == '"', "unterminated string literal in DOT input");
+      quoted_ = true;
+      return text;
+    }
+    quoted_ = false;
+    if (c == '-') {
+      is_.get();
+      RTS_REQUIRE(is_.peek() == '>', "expected '->' (undirected graphs unsupported)");
+      is_.get();
+      return "->";
+    }
+    if (std::ispunct(c) && c != '_' && c != '.') {
+      is_.get();
+      return std::string(1, static_cast<char>(c));
+    }
+    std::string token;
+    // '-' is excluded so `a->b` (no spaces) lexes as id, arrow, id.
+    while ((c = is_.peek()) != EOF && (std::isalnum(c) || c == '_' || c == '.')) {
+      token.push_back(static_cast<char>(is_.get()));
+    }
+    RTS_REQUIRE(!token.empty(), "unexpected character in DOT input");
+    return token;
+  }
+
+  /// Whether the last token came from a quoted string (ids vs strings).
+  [[nodiscard]] bool last_was_quoted() const noexcept { return quoted_; }
+
+ private:
+  void skip_space_and_comments() {
+    for (;;) {
+      int c = is_.peek();
+      if (c == EOF) return;
+      if (std::isspace(c)) {
+        is_.get();
+        continue;
+      }
+      if (c == '#') {
+        while ((c = is_.get()) != EOF && c != '\n') {
+        }
+        continue;
+      }
+      if (c == '/') {
+        is_.get();
+        const int d = is_.peek();
+        if (d == '/') {
+          while ((c = is_.get()) != EOF && c != '\n') {
+          }
+          continue;
+        }
+        if (d == '*') {
+          is_.get();
+          int prev = 0;
+          while ((c = is_.get()) != EOF && !(prev == '*' && c == '/')) prev = c;
+          RTS_REQUIRE(c != EOF, "unterminated block comment in DOT input");
+          continue;
+        }
+        RTS_REQUIRE(false, "stray '/' in DOT input");
+      }
+      return;
+    }
+  }
+
+  std::istream& is_;
+  bool quoted_ = false;
+};
+
+/// [attr=value, ...] lists; returns the `label` value when present.
+std::optional<std::string> parse_attributes(DotLexer& lex) {
+  std::optional<std::string> label;
+  for (;;) {
+    std::string key = lex.next();
+    if (key == "]") return label;
+    RTS_REQUIRE(!key.empty(), "unterminated attribute list in DOT input");
+    if (key == ",") continue;
+    RTS_REQUIRE(lex.next() == "=", "expected '=' in DOT attribute");
+    std::string value = lex.next();
+    if (key == "label") label = value;
+  }
+}
+
+}  // namespace
+
+TaskGraph read_dot(std::istream& is) {
+  DotLexer lex(is);
+  RTS_REQUIRE(lex.next() == "digraph", "DOT input must start with 'digraph'");
+  std::string token = lex.next();
+  if (token != "{") token = lex.next();  // optional graph name
+  RTS_REQUIRE(token == "{", "expected '{' after digraph header");
+
+  // First pass collects statements; node ids are interned in first-seen
+  // order so the TaskGraph can be sized before edges are added.
+  struct EdgeStmt {
+    std::string src;
+    std::string dst;
+    double data;
+  };
+  std::vector<std::string> node_order;
+  std::map<std::string, std::string> node_labels;
+  std::vector<EdgeStmt> edges;
+  const auto intern = [&](const std::string& id) {
+    if (node_labels.find(id) == node_labels.end()) {
+      node_order.push_back(id);
+      node_labels[id] = id;
+    }
+  };
+
+  for (;;) {
+    std::string head = lex.next();
+    RTS_REQUIRE(!head.empty(), "unterminated DOT graph (missing '}')");
+    if (head == "}") break;
+    if (head == ";") continue;
+    RTS_REQUIRE(head != "{" && head != "[" && head != "=",
+                "malformed DOT statement");
+    intern(head);
+
+    std::string token2 = lex.next();
+    if (token2 == "->") {
+      const std::string dst = lex.next();
+      RTS_REQUIRE(!dst.empty() && dst != ";" && dst != "}",
+                  "dangling '->' in DOT input");
+      intern(dst);
+      double data = 0.0;
+      std::string maybe_attrs = lex.next();
+      if (maybe_attrs == "[") {
+        const auto label = parse_attributes(lex);
+        if (label) {
+          try {
+            std::size_t pos = 0;
+            data = std::stod(*label, &pos);
+            if (pos != label->size()) data = 0.0;  // non-numeric label: ignore
+          } catch (const std::exception&) {
+            data = 0.0;
+          }
+        }
+        maybe_attrs = lex.next();
+      }
+      RTS_REQUIRE(maybe_attrs == ";" || maybe_attrs == "}",
+                  "expected ';' after DOT edge");
+      edges.push_back(EdgeStmt{head, dst, data});
+      if (maybe_attrs == "}") break;
+    } else if (token2 == "[") {
+      const auto label = parse_attributes(lex);
+      if (label) node_labels[head] = *label;
+      const std::string end = lex.next();
+      RTS_REQUIRE(end == ";" || end == "}", "expected ';' after DOT node");
+      if (end == "}") break;
+    } else if (token2 == ";") {
+      continue;  // bare node statement
+    } else if (token2 == "}") {
+      break;
+    } else {
+      RTS_REQUIRE(false, "malformed DOT statement near '" + head + "'");
+    }
+  }
+
+  RTS_REQUIRE(!node_order.empty(), "DOT graph declares no nodes");
+  TaskGraph graph(node_order.size());
+  std::map<std::string, TaskId> ids;
+  for (std::size_t i = 0; i < node_order.size(); ++i) {
+    ids[node_order[i]] = static_cast<TaskId>(i);
+    graph.set_task_name(static_cast<TaskId>(i), node_labels[node_order[i]]);
+  }
+  for (const EdgeStmt& e : edges) {
+    graph.add_edge(ids[e.src], ids[e.dst], e.data);
+  }
+  graph.validate();
+  return graph;
+}
+
+}  // namespace rts

@@ -1,0 +1,35 @@
+#pragma once
+// Graphviz DOT export for task graphs and disjunctive graphs, mirroring the
+// paper's Fig. 1: solid arrows for precedence edges, dashed arrows for
+// disjunctive (same-processor ordering) edges.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace rts {
+
+/// Render `graph` as a DOT digraph. Edge labels show data sizes when
+/// `show_data` is set.
+void write_dot(std::ostream& os, const TaskGraph& graph, const std::string& name,
+               bool show_data = false);
+
+/// Render the disjunctive graph of `graph` under the given processor
+/// sequences; disjunctive edges are drawn dashed (cf. paper Fig. 1(d)).
+void write_disjunctive_dot(std::ostream& os, const TaskGraph& graph,
+                           std::span<const std::vector<TaskId>> processor_sequences,
+                           const std::string& name);
+
+/// Parse a DOT digraph (the subset write_dot produces, plus hand-written
+/// files using bare node identifiers):
+///   digraph name { a; b [label="proj"]; a -> b [label="3.5"]; /* ... */ }
+/// Node ids are assigned TaskIds in order of first appearance; a node's
+/// `label` attribute becomes its task name; an edge's numeric `label` its
+/// data size (default 0). Line (`//`, `#`) and block comments are skipped.
+/// Throws InvalidArgument on malformed input or cyclic graphs.
+TaskGraph read_dot(std::istream& is);
+
+}  // namespace rts

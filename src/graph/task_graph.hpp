@@ -1,0 +1,92 @@
+#pragma once
+// DAG application model (paper Section 3.1): tasks, precedence edges and the
+// communication data-size matrix D, stored sparsely as per-edge payloads.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rts {
+
+/// Task identifier; tasks of a graph with n nodes are 0..n-1.
+using TaskId = std::int32_t;
+
+/// Invalid/absent task marker.
+inline constexpr TaskId kNoTask = -1;
+
+/// One directed edge endpoint as seen from a task's adjacency list.
+struct EdgeRef {
+  TaskId task;  ///< the neighbour (successor or predecessor)
+  double data;  ///< amount of data transferred along the edge (d_ij)
+
+  bool operator==(const EdgeRef&) const = default;
+};
+
+/// Directed acyclic task graph G = (V, E) with data sizes D.
+///
+/// The class enforces simple-graph structure eagerly (no self loops, no
+/// duplicate edges) and acyclicity lazily: `validate()` and
+/// `topological_order()` throw InvalidArgument on a cyclic graph. All
+/// schedulers call `validate()` once up front, keeping edge insertion O(deg).
+class TaskGraph {
+ public:
+  /// Graph with `task_count` isolated tasks.
+  explicit TaskGraph(std::size_t task_count);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return succs_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Add edge src -> dst carrying `data` units of communication.
+  /// Throws InvalidArgument on out-of-range ids, self loops, negative data or
+  /// duplicate edges.
+  void add_edge(TaskId src, TaskId dst, double data);
+
+  /// True when the edge src -> dst exists.
+  [[nodiscard]] bool has_edge(TaskId src, TaskId dst) const;
+
+  /// Data size of edge src -> dst; throws InvalidArgument if absent.
+  [[nodiscard]] double edge_data(TaskId src, TaskId dst) const;
+
+  /// Replace the data size of an existing edge (used by the disjunctive-graph
+  /// builder to zero d_ij per Eqn. 1). Throws InvalidArgument if absent.
+  void set_edge_data(TaskId src, TaskId dst, double data);
+
+  /// Immediate successors / predecessors with edge payloads.
+  [[nodiscard]] std::span<const EdgeRef> successors(TaskId t) const;
+  [[nodiscard]] std::span<const EdgeRef> predecessors(TaskId t) const;
+
+  [[nodiscard]] std::size_t out_degree(TaskId t) const { return successors(t).size(); }
+  [[nodiscard]] std::size_t in_degree(TaskId t) const { return predecessors(t).size(); }
+
+  /// Tasks with no predecessors / no successors, ascending by id.
+  [[nodiscard]] std::vector<TaskId> entry_tasks() const;
+  [[nodiscard]] std::vector<TaskId> exit_tasks() const;
+
+  /// True when the graph contains no directed cycle.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Throws InvalidArgument when the graph is cyclic.
+  void validate() const;
+
+  /// Optional human-readable task names (used by DOT export and examples).
+  void set_task_name(TaskId t, std::string name);
+  [[nodiscard]] const std::string& task_name(TaskId t) const;
+
+  /// Sum of all edge data sizes (used to calibrate CCR in generators).
+  [[nodiscard]] double total_edge_data() const noexcept;
+
+  /// Structural equality: same task count, names, and edge set (with data).
+  /// Insertion order of edges is irrelevant.
+  bool operator==(const TaskGraph& other) const;
+
+ private:
+  void check_task(TaskId t, const char* what) const;
+
+  std::vector<std::vector<EdgeRef>> succs_;
+  std::vector<std::vector<EdgeRef>> preds_;
+  std::vector<std::string> names_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace rts

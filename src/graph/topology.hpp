@@ -1,0 +1,57 @@
+#pragma once
+// Topology algorithms on task graphs: topological orders (deterministic and
+// randomized — the GA's initial population needs uniform-ish random ones),
+// reachability, and structural queries used by the slack theory (Theorem 3.4
+// speaks about tasks *independent in the disjunctive graph*).
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Deterministic topological order (Kahn, smallest ready id first).
+/// Throws InvalidArgument when the graph is cyclic.
+std::vector<TaskId> topological_order(const TaskGraph& graph);
+
+/// Random topological order: repeatedly pick a uniformly random ready task.
+/// Used to seed GA scheduling strings. Throws on cyclic input.
+std::vector<TaskId> random_topological_order(const TaskGraph& graph, Rng& rng);
+
+/// True when `order` is a permutation of all tasks respecting every edge.
+bool is_topological_order(const TaskGraph& graph, std::span<const TaskId> order);
+
+/// Topological order of tasks sorted by a priority value, descending
+/// (ties broken by smaller id), while honouring precedence: repeatedly pops
+/// the ready task with the highest priority. Used by list schedulers.
+std::vector<TaskId> priority_topological_order(const TaskGraph& graph,
+                                               std::span<const double> priority);
+
+/// Dense reachability oracle (bit matrix). O(V*E/64) construction; answers
+/// reaches(a, b) — "is there a directed path a ->* b" — in O(1).
+class Reachability {
+ public:
+  explicit Reachability(const TaskGraph& graph);
+
+  /// True when a directed path from `from` to `to` exists (a task reaches
+  /// itself by the empty path).
+  [[nodiscard]] bool reaches(TaskId from, TaskId to) const;
+
+  /// Tasks a and b are independent when neither reaches the other.
+  [[nodiscard]] bool independent(TaskId a, TaskId b) const;
+
+ private:
+  std::size_t n_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Length (in hop count) of the longest path in the graph, i.e. the number of
+/// "levels"; a single task has height 1.
+std::size_t graph_height(const TaskGraph& graph);
+
+/// For each task, the 0-based depth = longest hop distance from any entry.
+std::vector<std::size_t> task_depths(const TaskGraph& graph);
+
+}  // namespace rts

@@ -1,0 +1,16 @@
+#pragma once
+// CPOP — Critical-Path-on-a-Processor (Topcuoglu, Hariri & Wu, TPDS 2002).
+// Secondary deterministic baseline: tasks are prioritized by
+// rank_u + rank_d; critical-path tasks are pinned to the single processor
+// that minimizes the critical path's total computation time, all others use
+// insertion-based earliest finish time.
+
+#include "sched/heft.hpp"
+
+namespace rts {
+
+/// Run CPOP on the expected cost matrix.
+ListScheduleResult cpop_schedule(const TaskGraph& graph, const Platform& platform,
+                                 const Matrix<double>& costs);
+
+}  // namespace rts

@@ -1,0 +1,124 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace rts {
+
+void write_gantt(std::ostream& os, const TaskGraph& graph, const Schedule& schedule,
+                 const ScheduleTiming& timing, std::size_t width) {
+  RTS_REQUIRE(width >= 20, "gantt width too small");
+  RTS_REQUIRE(timing.start.size() == schedule.task_count(),
+              "timing does not match schedule");
+  const double span = std::max(timing.makespan, 1e-12);
+  const double scale = static_cast<double>(width) / span;
+
+  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+    std::string row(width, '.');
+    for (const TaskId t : schedule.sequence(static_cast<ProcId>(p))) {
+      const auto ti = static_cast<std::size_t>(t);
+      auto a = static_cast<std::size_t>(timing.start[ti] * scale);
+      auto b = static_cast<std::size_t>(timing.finish[ti] * scale);
+      a = std::min(a, width - 1);
+      b = std::min(std::max(b, a + 1), width);
+      for (std::size_t c = a; c < b; ++c) row[c] = '#';
+      const std::string& name = graph.task_name(t);
+      for (std::size_t c = 0; c < name.size() && a + c < b; ++c) row[a + c] = name[c];
+    }
+    os << "P" << p << " |" << row << "|\n";
+  }
+  os << "     0" << std::string(width > 12 ? width - 12 : 1, ' ')
+     << "makespan=" << format_fixed(timing.makespan, 2) << "\n";
+}
+
+namespace {
+
+/// Minimal XML text escaping for SVG labels.
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_gantt_svg(std::ostream& os, const TaskGraph& graph, const Schedule& schedule,
+                     const ScheduleTiming& timing, std::size_t width_px) {
+  RTS_REQUIRE(width_px >= 200, "svg width too small");
+  RTS_REQUIRE(timing.start.size() == schedule.task_count(),
+              "timing does not match schedule");
+  const double span = std::max(timing.makespan, 1e-12);
+  const std::size_t lane_height = 34;
+  const std::size_t lane_gap = 6;
+  const std::size_t left_margin = 48;
+  const std::size_t top_margin = 12;
+  const std::size_t axis_height = 28;
+  const std::size_t plot_width = width_px - left_margin - 12;
+  const std::size_t height = top_margin +
+                             schedule.proc_count() * (lane_height + lane_gap) +
+                             axis_height;
+  const auto x_of = [&](double t) {
+    return static_cast<double>(left_margin) +
+           t / span * static_cast<double>(plot_width);
+  };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+
+  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+    const double y =
+        static_cast<double>(top_margin + p * (lane_height + lane_gap));
+    os << "  <text x=\"4\" y=\"" << y + lane_height * 0.65 << "\">P" << p
+       << "</text>\n";
+    os << "  <rect x=\"" << left_margin << "\" y=\"" << y << "\" width=\"" << plot_width
+       << "\" height=\"" << lane_height
+       << "\" fill=\"#f4f4f4\" stroke=\"#cccccc\"/>\n";
+    for (const TaskId t : schedule.sequence(static_cast<ProcId>(p))) {
+      const auto ti = static_cast<std::size_t>(t);
+      const double x0 = x_of(timing.start[ti]);
+      const double x1 = x_of(timing.finish[ti]);
+      // Critical (zero-slack) tasks in a warm tone, slack-bearing in cool.
+      const bool critical = timing.slack[ti] <= 1e-9 * timing.makespan;
+      os << "  <rect x=\"" << x0 << "\" y=\"" << y + 3 << "\" width=\""
+         << std::max(1.0, x1 - x0) << "\" height=\"" << lane_height - 6
+         << "\" fill=\"" << (critical ? "#e07a5f" : "#7aa6c2")
+         << "\" stroke=\"#333333\" stroke-width=\"0.5\">\n"
+         << "    <title>" << xml_escape(graph.task_name(t)) << ": ["
+         << format_fixed(timing.start[ti], 2) << ", "
+         << format_fixed(timing.finish[ti], 2) << "), slack "
+         << format_fixed(timing.slack[ti], 2) << "</title>\n  </rect>\n";
+      if (x1 - x0 > 26.0) {
+        os << "  <text x=\"" << x0 + 3 << "\" y=\"" << y + lane_height * 0.65
+           << "\" fill=\"#ffffff\">" << xml_escape(graph.task_name(t)) << "</text>\n";
+      }
+    }
+  }
+
+  // Time axis with ~8 ticks.
+  const double axis_y = static_cast<double>(
+      top_margin + schedule.proc_count() * (lane_height + lane_gap) + 4);
+  os << "  <line x1=\"" << left_margin << "\" y1=\"" << axis_y << "\" x2=\""
+     << left_margin + plot_width << "\" y2=\"" << axis_y
+     << "\" stroke=\"#333333\"/>\n";
+  for (int k = 0; k <= 8; ++k) {
+    const double t = span * static_cast<double>(k) / 8.0;
+    os << "  <text x=\"" << x_of(t) - 8 << "\" y=\"" << axis_y + 16 << "\">"
+       << format_fixed(t, 0) << "</text>\n";
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace rts

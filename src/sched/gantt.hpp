@@ -1,0 +1,25 @@
+#pragma once
+// ASCII Gantt rendering of a schedule evaluation — the examples print these
+// so a user can eyeball placements (cf. paper Fig. 1(c)).
+
+#include <iosfwd>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+
+/// Render one row per processor; each task shown as `[name####]` scaled to
+/// `width` characters across the makespan.
+void write_gantt(std::ostream& os, const TaskGraph& graph, const Schedule& schedule,
+                 const ScheduleTiming& timing, std::size_t width = 78);
+
+/// Render the schedule as a standalone SVG document (one lane per
+/// processor, task rectangles with name tooltips, a time axis). Slack-free
+/// (critical) tasks are tinted differently so the critical chain is visible
+/// at a glance.
+void write_gantt_svg(std::ostream& os, const TaskGraph& graph, const Schedule& schedule,
+                     const ScheduleTiming& timing, std::size_t width_px = 960);
+
+}  // namespace rts

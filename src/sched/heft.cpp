@@ -1,0 +1,159 @@
+#include "sched/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/topology.hpp"
+#include "sched/insertion_builder.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+std::vector<double> scalar_costs(const TaskGraph& graph, const Matrix<double>& costs,
+                                 RankCostPolicy policy) {
+  RTS_REQUIRE(costs.rows() == graph.task_count(), "cost matrix rows must equal task count");
+  const std::size_t m = costs.cols();
+  std::vector<double> w(graph.task_count(), 0.0);
+  std::vector<double> row(m);
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    for (std::size_t p = 0; p < m; ++p) row[p] = costs(t, p);
+    switch (policy) {
+      case RankCostPolicy::kMean: {
+        double sum = 0.0;
+        for (const double c : row) sum += c;
+        w[t] = sum / static_cast<double>(m);
+        break;
+      }
+      case RankCostPolicy::kMedian: {
+        std::sort(row.begin(), row.end());
+        w[t] = m % 2 == 1 ? row[m / 2] : 0.5 * (row[m / 2 - 1] + row[m / 2]);
+        break;
+      }
+      case RankCostPolicy::kWorst:
+        w[t] = *std::max_element(row.begin(), row.end());
+        break;
+      case RankCostPolicy::kBest:
+        w[t] = *std::min_element(row.begin(), row.end());
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> mean_costs(const TaskGraph& graph, const Matrix<double>& costs) {
+  return scalar_costs(graph, costs, RankCostPolicy::kMean);
+}
+}  // namespace
+
+std::vector<double> heft_upward_ranks(const TaskGraph& graph, const Platform& platform,
+                                      const Matrix<double>& costs,
+                                      RankCostPolicy policy) {
+  const auto w = scalar_costs(graph, costs, policy);
+  const auto order = topological_order(graph);
+  std::vector<double> rank(graph.task_count(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto t = static_cast<std::size_t>(*it);
+    double tail = 0.0;
+    for (const EdgeRef& e : graph.successors(*it)) {
+      tail = std::max(tail, platform.average_comm_cost(e.data) +
+                                rank[static_cast<std::size_t>(e.task)]);
+    }
+    rank[t] = w[t] + tail;
+  }
+  return rank;
+}
+
+std::vector<double> heft_downward_ranks(const TaskGraph& graph, const Platform& platform,
+                                        const Matrix<double>& costs) {
+  const auto w = mean_costs(graph, costs);
+  const auto order = topological_order(graph);
+  std::vector<double> rank(graph.task_count(), 0.0);
+  for (const TaskId tid : order) {
+    const auto t = static_cast<std::size_t>(tid);
+    double head = 0.0;
+    for (const EdgeRef& e : graph.predecessors(tid)) {
+      const auto j = static_cast<std::size_t>(e.task);
+      head = std::max(head, rank[j] + w[j] + platform.average_comm_cost(e.data));
+    }
+    rank[t] = head;
+  }
+  return rank;
+}
+
+ListScheduleResult heft_schedule(const TaskGraph& graph, const Platform& platform,
+                                 const Matrix<double>& costs, RankCostPolicy policy) {
+  graph.validate();
+  auto rank = heft_upward_ranks(graph, platform, costs, policy);
+  // Decreasing upward rank is always a topological order when durations are
+  // positive; priority_topological_order also tolerates zero-cost ties.
+  const auto order = priority_topological_order(graph, rank);
+
+  InsertionScheduleBuilder builder(graph, platform, costs);
+  for (const TaskId t : order) {
+    ProcId best_proc = 0;
+    InsertionScheduleBuilder::Placement best = builder.probe(t, 0);
+    for (std::size_t p = 1; p < platform.proc_count(); ++p) {
+      const auto candidate = builder.probe(t, static_cast<ProcId>(p));
+      if (candidate.finish < best.finish) {
+        best = candidate;
+        best_proc = static_cast<ProcId>(p);
+      }
+    }
+    builder.commit(t, best_proc, best);
+  }
+
+  ListScheduleResult result{builder.to_schedule(), 0.0, std::move(rank)};
+  result.makespan = compute_makespan(graph, platform, result.schedule, costs);
+  return result;
+}
+
+ListScheduleResult heft_lookahead_schedule(const TaskGraph& graph,
+                                           const Platform& platform,
+                                           const Matrix<double>& costs,
+                                           RankCostPolicy policy) {
+  graph.validate();
+  auto rank = heft_upward_ranks(graph, platform, costs, policy);
+  const auto order = priority_topological_order(graph, rank);
+
+  InsertionScheduleBuilder builder(graph, platform, costs);
+  for (const TaskId t : order) {
+    ProcId best_proc = 0;
+    InsertionScheduleBuilder::Placement best_place{0.0, 0.0};
+    double best_score = std::numeric_limits<double>::infinity();
+    double best_eft = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < platform.proc_count(); ++p) {
+      // Tentatively place t on p in a throwaway copy, then score by the
+      // worst child's best achievable finish time.
+      InsertionScheduleBuilder trial = builder;
+      const auto place = trial.probe(t, static_cast<ProcId>(p));
+      trial.commit(t, static_cast<ProcId>(p), place);
+      double score = place.finish;
+      for (const EdgeRef& e : graph.successors(t)) {
+        double child_best = std::numeric_limits<double>::infinity();
+        for (std::size_t q = 0; q < platform.proc_count(); ++q) {
+          child_best = std::min(
+              child_best, trial.probe_relaxed(e.task, static_cast<ProcId>(q)).finish);
+        }
+        score = std::max(score, child_best);
+      }
+      // Primary criterion: lookahead score; ties broken by the task's own
+      // earliest finish time, then by the lower processor id.
+      if (score < best_score ||
+          (score == best_score && place.finish < best_eft)) {
+        best_score = score;
+        best_eft = place.finish;
+        best_proc = static_cast<ProcId>(p);
+        best_place = place;
+      }
+    }
+    builder.commit(t, best_proc, best_place);
+  }
+
+  ListScheduleResult result{builder.to_schedule(), 0.0, std::move(rank)};
+  result.makespan = compute_makespan(graph, platform, result.schedule, costs);
+  return result;
+}
+
+}  // namespace rts

@@ -1,0 +1,66 @@
+#pragma once
+// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri & Wu, TPDS
+// 2002). The paper's baseline and the source of the M_HEFT bound in the
+// ε-constraint formulation (Eqn. 7).
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+#include "util/matrix.hpp"
+
+namespace rts {
+
+/// Output of a deterministic list scheduler.
+struct ListScheduleResult {
+  Schedule schedule;
+  /// Expected makespan of `schedule` under Claim 3.2 semantics (ASAP
+  /// evaluation of the disjunctive graph with the given expected costs) —
+  /// the quantity every comparison in the paper uses.
+  double makespan = 0.0;
+  /// Task priorities the scheduler ordered by (HEFT/CPOP: upward ranks).
+  std::vector<double> priority;
+};
+
+/// How a task's processor-dependent cost is collapsed into the scalar w̄(i)
+/// used by the rank recurrences. The original HEFT uses the mean; the
+/// literature on HEFT's rank sensitivity (e.g. Zhao & Sakellariou 2003)
+/// shows the choice can shift schedule quality by several percent —
+/// bench/ablation_heft_ranks quantifies it here.
+enum class RankCostPolicy {
+  kMean,    ///< average over processors (the published HEFT)
+  kMedian,  ///< median over processors
+  kWorst,   ///< pessimistic: slowest processor
+  kBest,    ///< optimistic: fastest processor
+};
+
+/// Upward ranks: rank_u(i) = w̄(i) + max over successors (c̄(i,j) + rank_u(j))
+/// with w̄ per `policy` and c̄ the mean communication cost across distinct
+/// processor pairs.
+std::vector<double> heft_upward_ranks(const TaskGraph& graph, const Platform& platform,
+                                      const Matrix<double>& costs,
+                                      RankCostPolicy policy = RankCostPolicy::kMean);
+
+/// Downward ranks: rank_d(i) = max over predecessors
+/// (rank_d(j) + w̄(j) + c̄(j,i)); entry tasks have rank_d = 0. Used by CPOP.
+std::vector<double> heft_downward_ranks(const TaskGraph& graph, const Platform& platform,
+                                        const Matrix<double>& costs);
+
+/// Run HEFT: tasks in decreasing upward rank, each placed on the processor
+/// minimizing its earliest finish time with the insertion policy.
+ListScheduleResult heft_schedule(const TaskGraph& graph, const Platform& platform,
+                                 const Matrix<double>& costs,
+                                 RankCostPolicy policy = RankCostPolicy::kMean);
+
+/// Lookahead HEFT (Bittencourt, Sakellariou & Madeira, PDP 2010): same rank
+/// order, but each candidate processor is scored by the worst child's best
+/// earliest finish time after tentatively placing the task there (children
+/// with unplaced parents are scored optimistically via the relaxed probe).
+/// One level of lookahead; O(n * m^2 * max_out_degree) probes.
+ListScheduleResult heft_lookahead_schedule(const TaskGraph& graph,
+                                           const Platform& platform,
+                                           const Matrix<double>& costs,
+                                           RankCostPolicy policy = RankCostPolicy::kMean);
+
+}  // namespace rts

@@ -1,0 +1,133 @@
+#include "sched/insertion_builder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+InsertionScheduleBuilder::InsertionScheduleBuilder(const TaskGraph& graph,
+                                                   const Platform& platform,
+                                                   const Matrix<double>& costs)
+    : graph_(graph),
+      platform_(platform),
+      costs_(costs),
+      timeline_(platform.proc_count()),
+      proc_of_(graph.task_count(), kNoProc),
+      finish_(graph.task_count(), 0.0) {
+  RTS_REQUIRE(costs.rows() == graph.task_count(), "cost matrix rows must equal task count");
+  RTS_REQUIRE(costs.cols() == platform.proc_count(),
+              "cost matrix columns must equal processor count");
+}
+
+double InsertionScheduleBuilder::ready_time(TaskId t, ProcId p) const {
+  double ready = 0.0;
+  for (const EdgeRef& e : graph_.predecessors(t)) {
+    const auto pred = static_cast<std::size_t>(e.task);
+    RTS_REQUIRE(proc_of_[pred] != kNoProc,
+                "probe requires all predecessors to be placed first");
+    ready = std::max(ready, finish_[pred] + platform_.comm_cost(e.data, proc_of_[pred], p));
+  }
+  return ready;
+}
+
+InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe(TaskId t, ProcId p) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
+              "task id out of range");
+  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < platform_.proc_count(),
+              "processor id out of range");
+  const double ready = ready_time(t, p);
+  const double duration = costs_(static_cast<std::size_t>(t), static_cast<std::size_t>(p));
+  const auto& intervals = timeline_[static_cast<std::size_t>(p)];
+
+  double candidate = ready;
+  for (const Interval& iv : intervals) {
+    if (candidate + duration <= iv.start) break;  // fits in the gap before iv
+    candidate = std::max(candidate, iv.finish);
+  }
+  return Placement{candidate, candidate + duration};
+}
+
+InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe_relaxed(
+    TaskId t, ProcId p) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
+              "task id out of range");
+  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < platform_.proc_count(),
+              "processor id out of range");
+  double ready = 0.0;
+  for (const EdgeRef& e : graph_.predecessors(t)) {
+    const auto pred = static_cast<std::size_t>(e.task);
+    if (proc_of_[pred] == kNoProc) continue;  // unknown parents contribute 0
+    ready = std::max(ready, finish_[pred] + platform_.comm_cost(e.data, proc_of_[pred], p));
+  }
+  const double duration = costs_(static_cast<std::size_t>(t), static_cast<std::size_t>(p));
+  const auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  double candidate = ready;
+  for (const Interval& iv : intervals) {
+    if (candidate + duration <= iv.start) break;
+    candidate = std::max(candidate, iv.finish);
+  }
+  return Placement{candidate, candidate + duration};
+}
+
+InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe_append(TaskId t,
+                                                                           ProcId p) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
+              "task id out of range");
+  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < platform_.proc_count(),
+              "processor id out of range");
+  const double ready = ready_time(t, p);
+  const double duration = costs_(static_cast<std::size_t>(t), static_cast<std::size_t>(p));
+  const auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  const double avail = intervals.empty() ? 0.0 : intervals.back().finish;
+  const double start = std::max(ready, avail);
+  return Placement{start, start + duration};
+}
+
+void InsertionScheduleBuilder::commit(TaskId t, ProcId p, const Placement& placement) {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
+              "task id out of range");
+  RTS_REQUIRE(proc_of_[static_cast<std::size_t>(t)] == kNoProc, "task already placed");
+  auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  const Interval iv{placement.start, placement.finish, t};
+  const auto pos = std::lower_bound(
+      intervals.begin(), intervals.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  // Defensive overlap check: a foreign Placement would corrupt the timeline.
+  if (pos != intervals.end()) {
+    RTS_REQUIRE(iv.finish <= pos->start + 1e-12, "placement overlaps a later interval");
+  }
+  if (pos != intervals.begin()) {
+    RTS_REQUIRE(std::prev(pos)->finish <= iv.start + 1e-12,
+                "placement overlaps an earlier interval");
+  }
+  intervals.insert(pos, iv);
+  proc_of_[static_cast<std::size_t>(t)] = p;
+  finish_[static_cast<std::size_t>(t)] = placement.finish;
+  internal_makespan_ = std::max(internal_makespan_, placement.finish);
+  ++placed_count_;
+}
+
+bool InsertionScheduleBuilder::placed(TaskId t) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
+              "task id out of range");
+  return proc_of_[static_cast<std::size_t>(t)] != kNoProc;
+}
+
+double InsertionScheduleBuilder::finish_time(TaskId t) const {
+  RTS_REQUIRE(placed(t), "task not placed yet");
+  return finish_[static_cast<std::size_t>(t)];
+}
+
+Schedule InsertionScheduleBuilder::to_schedule() const {
+  RTS_REQUIRE(placed_count_ == graph_.task_count(),
+              "cannot build a schedule before all tasks are placed");
+  std::vector<std::vector<TaskId>> sequences(timeline_.size());
+  for (std::size_t p = 0; p < timeline_.size(); ++p) {
+    sequences[p].reserve(timeline_[p].size());
+    for (const Interval& iv : timeline_[p]) sequences[p].push_back(iv.task);
+  }
+  return Schedule(graph_.task_count(), std::move(sequences));
+}
+
+}  // namespace rts

@@ -1,0 +1,81 @@
+#pragma once
+// Shared machinery for list schedulers (HEFT, CPOP, min-min, ...): maintains
+// per-processor timelines and computes earliest-finish-time placements with
+// the insertion policy (a task may fill an idle gap between already-placed
+// tasks when the gap is long enough).
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+#include "util/matrix.hpp"
+
+namespace rts {
+
+/// Incrementally builds a schedule by placing one task at a time.
+class InsertionScheduleBuilder {
+ public:
+  /// `costs(i, p)` = expected duration of task i on processor p.
+  InsertionScheduleBuilder(const TaskGraph& graph, const Platform& platform,
+                           const Matrix<double>& costs);
+
+  /// A candidate placement of a task on a processor.
+  struct Placement {
+    double start = 0.0;
+    double finish = 0.0;
+  };
+
+  /// Earliest insertion-based placement of `t` on `p`. All graph
+  /// predecessors of `t` must already be committed (throws otherwise).
+  [[nodiscard]] Placement probe(TaskId t, ProcId p) const;
+
+  /// Placement of `t` appended after the last task of `p` (no gap search).
+  [[nodiscard]] Placement probe_append(TaskId t, ProcId p) const;
+
+  /// Like probe, but tolerates unplaced predecessors by ignoring them in the
+  /// ready-time computation — a lower bound on the true placement, used by
+  /// lookahead scheduling to score children whose other parents are still
+  /// unscheduled.
+  [[nodiscard]] Placement probe_relaxed(TaskId t, ProcId p) const;
+
+  /// Commit a placement previously obtained from probe/probe_append for the
+  /// same task and processor.
+  void commit(TaskId t, ProcId p, const Placement& placement);
+
+  [[nodiscard]] bool placed(TaskId t) const;
+  [[nodiscard]] std::size_t placed_count() const noexcept { return placed_count_; }
+
+  /// Finish time of a committed task.
+  [[nodiscard]] double finish_time(TaskId t) const;
+
+  /// Max finish time over committed tasks (the builder-internal makespan;
+  /// note the paper's Claim 3.2 evaluation may start tasks earlier — see
+  /// TimingEvaluator — so schedulers re-evaluate the final schedule with it).
+  [[nodiscard]] double internal_makespan() const noexcept { return internal_makespan_; }
+
+  /// Finished schedule: each processor's sequence ordered by start time.
+  /// All tasks must be placed.
+  [[nodiscard]] Schedule to_schedule() const;
+
+ private:
+  struct Interval {
+    double start;
+    double finish;
+    TaskId task;
+  };
+
+  /// Earliest time all inputs of `t` are available on processor `p`.
+  [[nodiscard]] double ready_time(TaskId t, ProcId p) const;
+
+  const TaskGraph& graph_;
+  const Platform& platform_;
+  const Matrix<double>& costs_;
+  std::vector<std::vector<Interval>> timeline_;  // per proc, sorted by start
+  std::vector<ProcId> proc_of_;
+  std::vector<double> finish_;
+  std::size_t placed_count_ = 0;
+  double internal_makespan_ = 0.0;
+};
+
+}  // namespace rts

@@ -1,0 +1,52 @@
+#include "sched/minmin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/insertion_builder.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+
+ListScheduleResult minmin_schedule(const TaskGraph& graph, const Platform& platform,
+                                   const Matrix<double>& costs) {
+  graph.validate();
+  const std::size_t n = graph.task_count();
+  InsertionScheduleBuilder builder(graph, platform, costs);
+
+  std::vector<std::size_t> pending(n);
+  std::vector<TaskId> ready;
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t] = graph.in_degree(static_cast<TaskId>(t));
+    if (pending[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  }
+
+  while (!ready.empty()) {
+    // Global minimum over (ready task, processor) of earliest finish time.
+    std::size_t best_idx = 0;
+    ProcId best_proc = 0;
+    InsertionScheduleBuilder::Placement best{0.0, std::numeric_limits<double>::infinity()};
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      for (std::size_t p = 0; p < platform.proc_count(); ++p) {
+        const auto candidate = builder.probe(ready[i], static_cast<ProcId>(p));
+        if (candidate.finish < best.finish) {
+          best = candidate;
+          best_idx = i;
+          best_proc = static_cast<ProcId>(p);
+        }
+      }
+    }
+    const TaskId t = ready[best_idx];
+    builder.commit(t, best_proc, best);
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    for (const EdgeRef& e : graph.successors(t)) {
+      if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push_back(e.task);
+    }
+  }
+
+  ListScheduleResult result{builder.to_schedule(), 0.0, {}};
+  result.makespan = compute_makespan(graph, platform, result.schedule, costs);
+  return result;
+}
+
+}  // namespace rts

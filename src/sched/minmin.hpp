@@ -1,0 +1,16 @@
+#pragma once
+// Min-min list scheduler adapted to DAGs: repeatedly, among the currently
+// ready tasks, compute each task's minimum earliest finish time across
+// processors and commit the (task, processor) pair with the global minimum.
+// A classic batch-mode heuristic (Maheswaran et al.), included as an extra
+// deterministic baseline for the benches and tests.
+
+#include "sched/heft.hpp"
+
+namespace rts {
+
+/// Run DAG min-min on the expected cost matrix.
+ListScheduleResult minmin_schedule(const TaskGraph& graph, const Platform& platform,
+                                   const Matrix<double>& costs);
+
+}  // namespace rts

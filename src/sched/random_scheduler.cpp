@@ -1,0 +1,22 @@
+#include "sched/random_scheduler.hpp"
+
+#include "graph/topology.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+
+ListScheduleResult random_schedule(const TaskGraph& graph, const Platform& platform,
+                                   const Matrix<double>& costs, Rng& rng) {
+  graph.validate();
+  const auto order = random_topological_order(graph, rng);
+  std::vector<ProcId> assignment(graph.task_count());
+  for (auto& p : assignment) {
+    p = static_cast<ProcId>(rng.next_below(platform.proc_count()));
+  }
+  ListScheduleResult result{
+      Schedule::from_order_and_assignment(order, assignment, platform.proc_count()), 0.0, {}};
+  result.makespan = compute_makespan(graph, platform, result.schedule, costs);
+  return result;
+}
+
+}  // namespace rts

@@ -1,0 +1,15 @@
+#pragma once
+// Uniformly random valid schedule: a random topological order with each task
+// assigned to a uniformly random processor. Used to seed the GA's initial
+// population (paper Section 4.2.2) and as a lower-bound baseline in tests.
+
+#include "sched/heft.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Draw a random valid schedule and evaluate its expected makespan.
+ListScheduleResult random_schedule(const TaskGraph& graph, const Platform& platform,
+                                   const Matrix<double>& costs, Rng& rng);
+
+}  // namespace rts

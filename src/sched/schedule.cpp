@@ -1,0 +1,74 @@
+#include "sched/schedule.hpp"
+
+#include "util/error.hpp"
+
+namespace rts {
+
+Schedule::Schedule(std::size_t task_count, std::vector<std::vector<TaskId>> sequences)
+    : sequences_(std::move(sequences)),
+      proc_of_(task_count, kNoProc),
+      proc_pred_(task_count, kNoTask),
+      proc_succ_(task_count, kNoTask) {
+  RTS_REQUIRE(task_count > 0, "schedule needs at least one task");
+  RTS_REQUIRE(!sequences_.empty(), "schedule needs at least one processor");
+  std::size_t placed = 0;
+  for (std::size_t p = 0; p < sequences_.size(); ++p) {
+    const auto& seq = sequences_[p];
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const TaskId t = seq[i];
+      RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < task_count,
+                  "sequence references task id out of range");
+      RTS_REQUIRE(proc_of_[static_cast<std::size_t>(t)] == kNoProc,
+                  "task placed more than once");
+      proc_of_[static_cast<std::size_t>(t)] = static_cast<ProcId>(p);
+      proc_pred_[static_cast<std::size_t>(t)] = i > 0 ? seq[i - 1] : kNoTask;
+      proc_succ_[static_cast<std::size_t>(t)] = i + 1 < seq.size() ? seq[i + 1] : kNoTask;
+      ++placed;
+    }
+  }
+  RTS_REQUIRE(placed == task_count, "schedule must place every task exactly once");
+}
+
+Schedule Schedule::from_order_and_assignment(std::span<const TaskId> order,
+                                             std::span<const ProcId> assignment,
+                                             std::size_t proc_count) {
+  RTS_REQUIRE(order.size() == assignment.size(),
+              "order and assignment must have the same length");
+  RTS_REQUIRE(proc_count > 0, "schedule needs at least one processor");
+  std::vector<std::vector<TaskId>> sequences(proc_count);
+  for (const TaskId t : order) {
+    RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < order.size(),
+                "order references task id out of range");
+    const ProcId p = assignment[static_cast<std::size_t>(t)];
+    RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < proc_count,
+                "assignment references processor id out of range");
+    sequences[static_cast<std::size_t>(p)].push_back(t);
+  }
+  return Schedule(order.size(), std::move(sequences));
+}
+
+std::span<const TaskId> Schedule::sequence(ProcId p) const {
+  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < sequences_.size(),
+              "processor id out of range");
+  return sequences_[static_cast<std::size_t>(p)];
+}
+
+ProcId Schedule::proc_of(TaskId t) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < proc_of_.size(),
+              "task id out of range");
+  return proc_of_[static_cast<std::size_t>(t)];
+}
+
+TaskId Schedule::proc_predecessor(TaskId t) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < proc_pred_.size(),
+              "task id out of range");
+  return proc_pred_[static_cast<std::size_t>(t)];
+}
+
+TaskId Schedule::proc_successor(TaskId t) const {
+  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < proc_succ_.size(),
+              "task id out of range");
+  return proc_succ_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace rts

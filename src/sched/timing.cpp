@@ -1,0 +1,184 @@
+#include "sched/timing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+TimingEvaluator::TimingEvaluator(const TaskGraph& graph, const Platform& platform,
+                                 const Schedule& schedule)
+    : n_(graph.task_count()) {
+  RTS_REQUIRE(schedule.task_count() == n_, "schedule size does not match graph");
+  RTS_REQUIRE(schedule.proc_count() <= platform.proc_count(),
+              "schedule uses more processors than the platform provides");
+
+  // Gs adjacency = graph edges (costs via assigned processors) plus one
+  // zero-cost edge from each task's processor predecessor, unless that
+  // predecessor is already a graph predecessor (Def. 3.1: E' excludes E).
+  std::vector<std::vector<std::pair<TaskId, double>>> preds(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    const ProcId pt = schedule.proc_of(tid);
+    for (const EdgeRef& e : graph.predecessors(tid)) {
+      const double cost = platform.comm_cost(e.data, schedule.proc_of(e.task), pt);
+      preds[t].emplace_back(e.task, cost);
+    }
+    const TaskId pp = schedule.proc_predecessor(tid);
+    if (pp != kNoTask && !graph.has_edge(pp, tid)) {
+      preds[t].emplace_back(pp, 0.0);
+    }
+  }
+
+  // Kahn over Gs; also detects schedules inconsistent with precedence.
+  std::vector<std::size_t> indeg(n_);
+  std::vector<std::vector<TaskId>> succ_ids(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    indeg[t] = preds[t].size();
+    for (const auto& [p, cost] : preds[t]) {
+      succ_ids[static_cast<std::size_t>(p)].push_back(static_cast<TaskId>(t));
+    }
+  }
+  topo_.reserve(n_);
+  std::vector<TaskId> stack;
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (indeg[t] == 0) stack.push_back(static_cast<TaskId>(t));
+  }
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    topo_.push_back(t);
+    for (const TaskId s : succ_ids[static_cast<std::size_t>(t)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+    }
+  }
+  RTS_REQUIRE(topo_.size() == n_,
+              "schedule sequences contradict the precedence constraints (cyclic Gs)");
+
+  // Flatten to CSR (preds and the mirrored succs with identical costs).
+  pred_off_.assign(n_ + 1, 0);
+  succ_off_.assign(n_ + 1, 0);
+  for (std::size_t t = 0; t < n_; ++t) {
+    pred_off_[t + 1] = pred_off_[t] + preds[t].size();
+  }
+  pred_task_.resize(pred_off_[n_]);
+  pred_cost_.resize(pred_off_[n_]);
+  std::vector<std::size_t> succ_counts(n_, 0);
+  for (std::size_t t = 0; t < n_; ++t) {
+    std::size_t k = pred_off_[t];
+    for (const auto& [p, cost] : preds[t]) {
+      pred_task_[k] = p;
+      pred_cost_[k] = cost;
+      ++k;
+      ++succ_counts[static_cast<std::size_t>(p)];
+    }
+  }
+  for (std::size_t t = 0; t < n_; ++t) succ_off_[t + 1] = succ_off_[t] + succ_counts[t];
+  succ_task_.resize(succ_off_[n_]);
+  succ_cost_.resize(succ_off_[n_]);
+  std::vector<std::size_t> fill(succ_off_.begin(), succ_off_.end() - 1);
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
+      const auto p = static_cast<std::size_t>(pred_task_[k]);
+      succ_task_[fill[p]] = static_cast<TaskId>(t);
+      succ_cost_[fill[p]] = pred_cost_[k];
+      ++fill[p];
+    }
+  }
+}
+
+double TimingEvaluator::makespan(std::span<const double> durations) const {
+  std::vector<double> finish(n_);
+  return makespan_into(durations, finish);
+}
+
+double TimingEvaluator::makespan_into(std::span<const double> durations,
+                                      std::span<double> scratch_finish) const {
+  RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
+  RTS_REQUIRE(scratch_finish.size() >= n_, "scratch buffer too small");
+  double ms = 0.0;
+  for (const TaskId tid : topo_) {
+    const auto t = static_cast<std::size_t>(tid);
+    double start = 0.0;
+    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
+      start = std::max(start,
+                       scratch_finish[static_cast<std::size_t>(pred_task_[k])] + pred_cost_[k]);
+    }
+    const double fin = start + durations[t];
+    scratch_finish[t] = fin;
+    ms = std::max(ms, fin);
+  }
+  return ms;
+}
+
+ScheduleTiming TimingEvaluator::full_timing(std::span<const double> durations) const {
+  RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
+  ScheduleTiming out;
+  out.start.assign(n_, 0.0);
+  out.finish.assign(n_, 0.0);
+  out.bottom_level.assign(n_, 0.0);
+  out.slack.assign(n_, 0.0);
+
+  // Forward sweep: start time == top level Tl(i) (longest entry->i path,
+  // node i excluded), finish = Tl(i) + duration.
+  for (const TaskId tid : topo_) {
+    const auto t = static_cast<std::size_t>(tid);
+    double start = 0.0;
+    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
+      start = std::max(start,
+                       out.finish[static_cast<std::size_t>(pred_task_[k])] + pred_cost_[k]);
+    }
+    out.start[t] = start;
+    out.finish[t] = start + durations[t];
+    out.makespan = std::max(out.makespan, out.finish[t]);
+  }
+
+  // Backward sweep: Bl(i) = duration(i) + max over Gs successors of
+  // (edge cost + Bl(succ)); exit tasks have Bl = duration.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const auto t = static_cast<std::size_t>(*it);
+    double tail = 0.0;
+    for (std::size_t k = succ_off_[t]; k < succ_off_[t + 1]; ++k) {
+      tail = std::max(tail,
+                      succ_cost_[k] + out.bottom_level[static_cast<std::size_t>(succ_task_[k])]);
+    }
+    out.bottom_level[t] = durations[t] + tail;
+  }
+
+  double slack_sum = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    // Clamp tiny negative values from floating-point noise; by construction
+    // Tl + Bl <= makespan.
+    out.slack[t] = std::max(0.0, out.makespan - out.bottom_level[t] - out.start[t]);
+    slack_sum += out.slack[t];
+  }
+  out.average_slack = slack_sum / static_cast<double>(n_);
+  return out;
+}
+
+std::vector<double> assigned_durations(const Matrix<double>& costs, const Schedule& schedule) {
+  RTS_REQUIRE(costs.rows() == schedule.task_count(),
+              "cost matrix rows must equal task count");
+  std::vector<double> durations(schedule.task_count());
+  for (std::size_t t = 0; t < durations.size(); ++t) {
+    const ProcId p = schedule.proc_of(static_cast<TaskId>(t));
+    RTS_REQUIRE(static_cast<std::size_t>(p) < costs.cols(),
+                "assignment references processor outside the cost matrix");
+    durations[t] = costs(t, static_cast<std::size_t>(p));
+  }
+  return durations;
+}
+
+ScheduleTiming compute_schedule_timing(const TaskGraph& graph, const Platform& platform,
+                                       const Schedule& schedule, const Matrix<double>& costs) {
+  const TimingEvaluator evaluator(graph, platform, schedule);
+  return evaluator.full_timing(assigned_durations(costs, schedule));
+}
+
+double compute_makespan(const TaskGraph& graph, const Platform& platform,
+                        const Schedule& schedule, const Matrix<double>& costs) {
+  const TimingEvaluator evaluator(graph, platform, schedule);
+  return evaluator.makespan(assigned_durations(costs, schedule));
+}
+
+}  // namespace rts

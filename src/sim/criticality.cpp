@@ -1,0 +1,101 @@
+#include "sim/criticality.hpp"
+
+#include <cmath>
+
+#include "sched/timing.hpp"
+#include "sim/realization.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+std::vector<bool> critical_tasks(const TaskGraph& graph, const Platform& platform,
+                                 const Schedule& schedule,
+                                 std::span<const double> durations,
+                                 double float_tolerance) {
+  const TimingEvaluator evaluator(graph, platform, schedule);
+  const ScheduleTiming timing = evaluator.full_timing(durations);
+  std::vector<bool> critical(graph.task_count(), false);
+  const double tol = float_tolerance * timing.makespan;
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    critical[t] = timing.slack[t] <= tol;
+  }
+  return critical;
+}
+
+CriticalityReport analyze_criticality(const ProblemInstance& instance,
+                                      const Schedule& schedule,
+                                      const CriticalityConfig& config) {
+  RTS_REQUIRE(config.realizations > 0, "need at least one realization");
+  RTS_REQUIRE(config.safe_threshold >= 0.0 && config.safe_threshold <= 1.0,
+              "safe threshold must lie in [0,1]");
+  instance.validate();
+  const std::size_t n = instance.task_count();
+
+  const TimingEvaluator evaluator(instance.graph, instance.platform, schedule);
+  const RealizationSampler sampler(instance, schedule);
+
+  // Per-task counts filled in parallel over realizations, reduced serially
+  // (deterministic for a fixed seed regardless of thread count).
+  std::vector<std::uint32_t> counts(n, 0);
+  std::vector<std::uint64_t> total_critical_per_real(config.realizations, 0);
+  std::vector<std::uint8_t> critical_flags(n * config.realizations, 0);
+
+  const Rng root(config.seed);
+  const auto total = static_cast<std::int64_t>(config.realizations);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    std::vector<double> durations(n);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (std::int64_t i = 0; i < total; ++i) {
+      Rng rng = root.substream(static_cast<std::uint64_t>(i));
+      sampler.sample(rng, durations);
+      const ScheduleTiming timing = evaluator.full_timing(durations);
+      const double tol = config.float_tolerance * timing.makespan;
+      std::uint64_t count = 0;
+      for (std::size_t t = 0; t < n; ++t) {
+        const bool crit = timing.slack[t] <= tol;
+        critical_flags[static_cast<std::size_t>(i) * n + t] = crit ? 1 : 0;
+        count += crit ? 1 : 0;
+      }
+      total_critical_per_real[static_cast<std::size_t>(i)] = count;
+    }
+  }
+  for (std::size_t i = 0; i < config.realizations; ++i) {
+    for (std::size_t t = 0; t < n; ++t) {
+      counts[t] += critical_flags[i * n + t];
+    }
+  }
+
+  CriticalityReport report;
+  report.realizations = config.realizations;
+  report.criticality_index.resize(n);
+  double p_sum = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    report.criticality_index[t] =
+        static_cast<double>(counts[t]) / static_cast<double>(config.realizations);
+    p_sum += report.criticality_index[t];
+    if (report.criticality_index[t] <= config.safe_threshold) ++report.safe_tasks;
+  }
+  std::uint64_t critical_total = 0;
+  for (const std::uint64_t c : total_critical_per_real) critical_total += c;
+  report.expected_critical_tasks =
+      static_cast<double>(critical_total) / static_cast<double>(config.realizations);
+
+  // Normalized entropy of q_i = p_i / sum(p). A schedule whose risk always
+  // funnels through the same chain scores near 0.
+  if (p_sum > 0.0 && n > 1) {
+    double entropy = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double q = report.criticality_index[t] / p_sum;
+      if (q > 0.0) entropy -= q * std::log(q);
+    }
+    report.normalized_entropy = entropy / std::log(static_cast<double>(n));
+  }
+  return report;
+}
+
+}  // namespace rts

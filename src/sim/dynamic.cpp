@@ -1,0 +1,161 @@
+#include "sim/dynamic.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sched/heft.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/uncertainty.hpp"
+
+namespace rts {
+
+DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& platform,
+                                      const Matrix<double>& expected,
+                                      const Matrix<double>& realized) {
+  const std::size_t n = graph.task_count();
+  const std::size_t m = platform.proc_count();
+  RTS_REQUIRE(expected.rows() == n && expected.cols() == m,
+              "expected matrix has wrong shape");
+  RTS_REQUIRE(realized.rows() == n && realized.cols() == m,
+              "realized matrix has wrong shape");
+  graph.validate();
+
+  // Dispatch priority: HEFT upward ranks on the planning costs.
+  const auto rank = heft_upward_ranks(graph, platform, expected);
+
+  const auto cmp = [&rank](TaskId a, TaskId b) {
+    const double ra = rank[static_cast<std::size_t>(a)];
+    const double rb = rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra < rb;  // max-heap on rank
+    return a > b;
+  };
+  std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
+
+  std::vector<std::size_t> pending(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t] = graph.in_degree(static_cast<TaskId>(t));
+    if (pending[t] == 0) ready.push(static_cast<TaskId>(t));
+  }
+
+  DynamicRunResult result{Schedule(1, {{0}}), 0.0, std::vector<double>(n, 0.0),
+                          std::vector<double>(n, 0.0)};
+  std::vector<std::vector<TaskId>> sequences(m);
+  std::vector<double> proc_avail(m, 0.0);
+  std::vector<ProcId> proc_of(n, kNoProc);
+
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    const auto ti = static_cast<std::size_t>(t);
+
+    // Earliest start of t on processor p given observed history.
+    const auto earliest_start = [&](std::size_t p) {
+      double es = proc_avail[p];
+      for (const EdgeRef& e : graph.predecessors(t)) {
+        const auto pred = static_cast<std::size_t>(e.task);
+        es = std::max(es, result.finish[pred] +
+                              platform.comm_cost(e.data, proc_of[pred],
+                                                 static_cast<ProcId>(p)));
+      }
+      return es;
+    };
+
+    // Decide with expected durations...
+    std::size_t best_p = 0;
+    double best_eft = earliest_start(0) + expected(ti, 0);
+    for (std::size_t p = 1; p < m; ++p) {
+      const double eft = earliest_start(p) + expected(ti, p);
+      if (eft < best_eft) {
+        best_eft = eft;
+        best_p = p;
+      }
+    }
+    // ...execute with the realized one.
+    const double start = earliest_start(best_p);
+    const double finish = start + realized(ti, best_p);
+    result.start[ti] = start;
+    result.finish[ti] = finish;
+    result.makespan = std::max(result.makespan, finish);
+    proc_avail[best_p] = finish;
+    proc_of[ti] = static_cast<ProcId>(best_p);
+    sequences[best_p].push_back(t);
+
+    for (const EdgeRef& e : graph.successors(t)) {
+      if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);
+    }
+  }
+  result.schedule = Schedule(n, std::move(sequences));
+  return result;
+}
+
+RobustnessReport evaluate_dynamic_eft(const ProblemInstance& instance,
+                                      const MonteCarloConfig& config) {
+  RTS_REQUIRE(config.realizations > 0, "need at least one realization");
+  instance.validate();
+  const std::size_t n = instance.task_count();
+  const std::size_t m = instance.proc_count();
+
+  RobustnessReport report;
+  report.realizations = config.realizations;
+  // The dispatcher's plan: its own execution when nothing deviates.
+  report.expected_makespan =
+      simulate_dynamic_eft(instance.graph, instance.platform, instance.expected,
+                           instance.expected)
+          .makespan;
+  const double m0 = report.expected_makespan;
+
+  std::vector<double> samples(config.realizations);
+  const Rng root(config.seed);
+  const auto total = static_cast<std::int64_t>(config.realizations);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    Matrix<double> realized(n, m);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (std::int64_t i = 0; i < total; ++i) {
+      Rng rng = root.substream(static_cast<std::uint64_t>(i));
+      for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t p = 0; p < m; ++p) {
+          realized(t, p) =
+              sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+        }
+      }
+      samples[static_cast<std::size_t>(i)] =
+          simulate_dynamic_eft(instance.graph, instance.platform, instance.expected,
+                               realized)
+              .makespan;
+    }
+  }
+
+  RunningStats stats;
+  RunningStats tardy;
+  std::size_t misses = 0;
+  for (const double mi : samples) {
+    stats.add(mi);
+    tardy.add(std::max(0.0, mi - m0) / m0);
+    if (mi > m0) ++misses;
+  }
+  report.mean_realized_makespan = stats.mean();
+  report.stddev_realized_makespan = stats.stddev();
+  report.max_realized_makespan = stats.max();
+  report.p50_realized_makespan = percentile(samples, 50.0);
+  report.p95_realized_makespan = percentile(samples, 95.0);
+  report.p99_realized_makespan = percentile(samples, 99.0);
+  report.mean_tardiness = tardy.mean();
+  report.miss_rate =
+      static_cast<double>(misses) / static_cast<double>(config.realizations);
+  report.r1 = report.mean_tardiness > 0.0
+                  ? std::min(config.reciprocal_cap, 1.0 / report.mean_tardiness)
+                  : config.reciprocal_cap;
+  report.r2 = report.miss_rate > 0.0
+                  ? std::min(config.reciprocal_cap, 1.0 / report.miss_rate)
+                  : config.reciprocal_cap;
+  if (config.collect_samples) report.samples = std::move(samples);
+  return report;
+}
+
+}  // namespace rts

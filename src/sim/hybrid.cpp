@@ -1,0 +1,211 @@
+#include "sim/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/uncertainty.hpp"
+
+namespace rts {
+
+HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform,
+                                const Schedule& plan, const Matrix<double>& expected,
+                                const Matrix<double>& realized, double threshold) {
+  RTS_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
+  const std::size_t n = graph.task_count();
+  const std::size_t m = platform.proc_count();
+  RTS_REQUIRE(expected.rows() == n && expected.cols() == m,
+              "expected matrix has wrong shape");
+  RTS_REQUIRE(realized.rows() == n && realized.cols() == m,
+              "realized matrix has wrong shape");
+
+  const TimingEvaluator evaluator(graph, platform, plan);
+  const ScheduleTiming planned = evaluator.full_timing(assigned_durations(expected, plan));
+  const ScheduleTiming actual = evaluator.full_timing(assigned_durations(realized, plan));
+  const double slip_budget = threshold * planned.makespan;
+
+  // Trigger: earliest realized completion that slips beyond the budget.
+  double trigger = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < n; ++t) {
+    if (actual.finish[t] > planned.finish[t] + slip_budget) {
+      trigger = std::min(trigger, actual.finish[t]);
+    }
+  }
+
+  if (!std::isfinite(trigger)) {
+    // Plan held: pure static execution.
+    return HybridRunResult{plan, actual.makespan, false, 0.0, 0};
+  }
+
+  // Freeze everything that had already started by the trigger instant under
+  // the static execution; re-dispatch the rest online.
+  std::vector<bool> frozen(n, false);
+  for (std::size_t t = 0; t < n; ++t) {
+    frozen[t] = actual.start[t] <= trigger;
+  }
+
+  std::vector<double> finish(n, 0.0);
+  std::vector<ProcId> proc_of(n, kNoProc);
+  std::vector<double> proc_avail(m, 0.0);
+  std::vector<std::vector<TaskId>> sequences(m);
+  double makespan = 0.0;
+  for (std::size_t p = 0; p < m; ++p) {
+    for (const TaskId t : plan.sequence(static_cast<ProcId>(p))) {
+      const auto ti = static_cast<std::size_t>(t);
+      if (!frozen[ti]) continue;
+      sequences[p].push_back(t);
+      finish[ti] = actual.finish[ti];
+      proc_of[ti] = static_cast<ProcId>(p);
+      proc_avail[p] = std::max(proc_avail[p], actual.finish[ti]);
+      makespan = std::max(makespan, actual.finish[ti]);
+    }
+  }
+
+  // Online EFT over the unfrozen tasks (dispatch order: upward rank on the
+  // planning costs; ready = all predecessors completed).
+  const auto rank = heft_upward_ranks(graph, platform, expected);
+  const auto cmp = [&rank](TaskId a, TaskId b) {
+    const double ra = rank[static_cast<std::size_t>(a)];
+    const double rb = rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra < rb;
+    return a > b;
+  };
+  std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
+  std::vector<std::size_t> pending(n, 0);
+  std::size_t redispatched = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (frozen[t]) continue;
+    ++redispatched;
+    std::size_t unfinished_preds = 0;
+    for (const EdgeRef& e : graph.predecessors(static_cast<TaskId>(t))) {
+      if (!frozen[static_cast<std::size_t>(e.task)]) ++unfinished_preds;
+    }
+    pending[t] = unfinished_preds;
+    if (unfinished_preds == 0) ready.push(static_cast<TaskId>(t));
+  }
+
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    const auto ti = static_cast<std::size_t>(t);
+    const auto earliest_start = [&](std::size_t p) {
+      // Re-dispatch decisions happen at/after the trigger instant.
+      double es = std::max(proc_avail[p], trigger);
+      for (const EdgeRef& e : graph.predecessors(t)) {
+        const auto pred = static_cast<std::size_t>(e.task);
+        es = std::max(es, finish[pred] + platform.comm_cost(e.data, proc_of[pred],
+                                                            static_cast<ProcId>(p)));
+      }
+      return es;
+    };
+    std::size_t best_p = 0;
+    double best_eft = earliest_start(0) + expected(ti, 0);
+    for (std::size_t p = 1; p < m; ++p) {
+      const double eft = earliest_start(p) + expected(ti, p);
+      if (eft < best_eft) {
+        best_eft = eft;
+        best_p = p;
+      }
+    }
+    const double start = earliest_start(best_p);
+    finish[ti] = start + realized(ti, best_p);
+    proc_of[ti] = static_cast<ProcId>(best_p);
+    proc_avail[best_p] = finish[ti];
+    sequences[best_p].push_back(t);
+    makespan = std::max(makespan, finish[ti]);
+    for (const EdgeRef& e : graph.successors(t)) {
+      const auto s = static_cast<std::size_t>(e.task);
+      if (!frozen[s] && --pending[s] == 0) ready.push(e.task);
+    }
+  }
+
+  // Sequence order per processor: frozen tasks (started <= trigger, in plan
+  // order) precede all re-dispatched ones (started >= trigger, in dispatch
+  // order), so the append order above is the execution order. The frozen set
+  // is predecessor-closed — a frozen task's predecessors finished before it
+  // started, hence started before the trigger themselves — so no edge runs
+  // from an unfrozen task to a frozen one and the schedule is consistent.
+  return HybridRunResult{Schedule(n, std::move(sequences)), makespan, true, trigger,
+                         redispatched};
+}
+
+RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule& plan,
+                                 double threshold, const MonteCarloConfig& config,
+                                 double* rescheduling_rate) {
+  RTS_REQUIRE(config.realizations > 0, "need at least one realization");
+  instance.validate();
+  const std::size_t n = instance.task_count();
+  const std::size_t m = instance.proc_count();
+
+  RobustnessReport report;
+  report.realizations = config.realizations;
+  report.expected_makespan =
+      compute_makespan(instance.graph, instance.platform, plan, instance.expected);
+  const double m0 = report.expected_makespan;
+
+  std::vector<double> samples(config.realizations);
+  std::vector<std::uint8_t> tripped(config.realizations, 0);
+  const Rng root(config.seed);
+  const auto total = static_cast<std::int64_t>(config.realizations);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    Matrix<double> realized(n, m);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (std::int64_t i = 0; i < total; ++i) {
+      Rng rng = root.substream(static_cast<std::uint64_t>(i));
+      for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t p = 0; p < m; ++p) {
+          realized(t, p) =
+              sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+        }
+      }
+      const auto run = simulate_hybrid(instance.graph, instance.platform, plan,
+                                       instance.expected, realized, threshold);
+      samples[static_cast<std::size_t>(i)] = run.makespan;
+      tripped[static_cast<std::size_t>(i)] = run.rescheduled ? 1 : 0;
+    }
+  }
+
+  RunningStats stats;
+  RunningStats tardy;
+  std::size_t misses = 0;
+  std::size_t trips = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    stats.add(samples[i]);
+    tardy.add(std::max(0.0, samples[i] - m0) / m0);
+    if (samples[i] > m0) ++misses;
+    trips += tripped[i];
+  }
+  report.mean_realized_makespan = stats.mean();
+  report.stddev_realized_makespan = stats.stddev();
+  report.max_realized_makespan = stats.max();
+  report.p50_realized_makespan = percentile(samples, 50.0);
+  report.p95_realized_makespan = percentile(samples, 95.0);
+  report.p99_realized_makespan = percentile(samples, 99.0);
+  report.mean_tardiness = tardy.mean();
+  report.miss_rate =
+      static_cast<double>(misses) / static_cast<double>(config.realizations);
+  report.r1 = report.mean_tardiness > 0.0
+                  ? std::min(config.reciprocal_cap, 1.0 / report.mean_tardiness)
+                  : config.reciprocal_cap;
+  report.r2 = report.miss_rate > 0.0
+                  ? std::min(config.reciprocal_cap, 1.0 / report.miss_rate)
+                  : config.reciprocal_cap;
+  if (rescheduling_rate != nullptr) {
+    *rescheduling_rate =
+        static_cast<double>(trips) / static_cast<double>(config.realizations);
+  }
+  if (config.collect_samples) report.samples = std::move(samples);
+  return report;
+}
+
+}  // namespace rts

@@ -1,0 +1,49 @@
+#pragma once
+// Hybrid execution policy: run a *static* schedule (e.g. the robust GA's)
+// and fall back to *online EFT re-dispatch* for the not-yet-started tasks as
+// soon as the observed slip crosses a threshold. This composes the paper's
+// static robust scheduling with the introduction's dynamic alternative: the
+// robust plan absorbs small disturbances for free (slack), and rescheduling
+// only kicks in when the plan is genuinely broken.
+//
+// Trigger model: let plan_finish(t) be the static plan's finish times under
+// the expected durations, and M0 its makespan. The first completed task
+// whose realized finish exceeds plan_finish(t) + threshold * M0 trips the
+// switch at time T* (its realized finish). Tasks that had already started by
+// T* under the static execution keep their static placement and times;
+// every other task is re-dispatched by the online EFT policy from the
+// frozen state. threshold = +inf degenerates to pure static execution,
+// threshold = 0 (with any slip) approaches pure dynamic dispatch.
+
+#include "sched/schedule.hpp"
+#include "sim/monte_carlo.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// One hybrid execution.
+struct HybridRunResult {
+  Schedule schedule;        ///< final placements (static + re-dispatched)
+  double makespan = 0.0;
+  bool rescheduled = false; ///< whether the trigger fired
+  double trigger_time = 0.0;///< T* (0 when not rescheduled)
+  std::size_t redispatched_tasks = 0;
+};
+
+/// Execute `plan` under `realized` durations with the re-dispatch trigger.
+/// `expected` is the planning matrix (n x m); `threshold` is the slip
+/// fraction of the plan makespan that trips rescheduling.
+HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform,
+                                const Schedule& plan, const Matrix<double>& expected,
+                                const Matrix<double>& realized, double threshold);
+
+/// Monte-Carlo evaluation of the hybrid policy around a static plan.
+/// `expected_makespan` in the report is the static plan's M0, so tardiness
+/// and miss rate are comparable with evaluate_robustness on the same plan.
+/// `rescheduling_rate` (fraction of realizations that tripped the trigger)
+/// is returned through the out-parameter when non-null.
+RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule& plan,
+                                 double threshold, const MonteCarloConfig& config,
+                                 double* rescheduling_rate = nullptr);
+
+}  // namespace rts

@@ -1,0 +1,62 @@
+#pragma once
+// Monte-Carlo robustness evaluation (paper Definitions 3.6 and 3.7):
+//
+//   relative tardiness  δ_i = max(0, M_i - M0) / M0   over realizations i,
+//   R1 = 1 / E[δ],
+//   miss rate           α  = |{i : M_i > M0}| / N,
+//   R2 = 1 / α.
+//
+// M0 is the expected makespan — the Claim 3.2 evaluation of the schedule
+// under the expected durations UL * BCET.
+//
+// Realizations are embarrassingly parallel; the sweep is OpenMP-parallel with
+// one RNG substream per realization index, so results are bit-identical for a
+// fixed seed regardless of thread count.
+//
+// When no realization is tardy both reciprocals are infinite; we report the
+// documented finite cap `reciprocal_cap` instead so downstream log-ratio
+// comparisons stay finite (raw tardiness and miss rate are always reported
+// too — prefer them for arithmetic).
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Knobs of the robustness evaluation.
+struct MonteCarloConfig {
+  std::size_t realizations = 1000;   ///< N, the paper uses 1000
+  std::uint64_t seed = 42;           ///< substream root for the realizations
+  double reciprocal_cap = 1e12;      ///< cap for R1/R2 when nothing is tardy
+  bool collect_samples = false;      ///< keep all realized makespans
+};
+
+/// Aggregate result of one robustness evaluation.
+struct RobustnessReport {
+  double expected_makespan = 0.0;       ///< M0
+  double mean_realized_makespan = 0.0;  ///< E[M_i]
+  double stddev_realized_makespan = 0.0;
+  double max_realized_makespan = 0.0;
+  /// Distribution quantiles of the realized makespan (always computed; the
+  /// tail quantiles are what deadline-driven users actually provision for).
+  double p50_realized_makespan = 0.0;
+  double p95_realized_makespan = 0.0;
+  double p99_realized_makespan = 0.0;
+  double mean_tardiness = 0.0;  ///< E[δ]
+  double miss_rate = 0.0;       ///< α
+  double r1 = 0.0;              ///< 1 / E[δ]  (capped)
+  double r2 = 0.0;              ///< 1 / α     (capped)
+  std::size_t realizations = 0;
+  /// Realized makespans, only when MonteCarloConfig::collect_samples.
+  std::vector<double> samples;
+};
+
+/// Evaluate the robustness of `schedule` on `instance`.
+RobustnessReport evaluate_robustness(const ProblemInstance& instance,
+                                     const Schedule& schedule,
+                                     const MonteCarloConfig& config);
+
+}  // namespace rts

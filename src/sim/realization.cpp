@@ -1,0 +1,32 @@
+#include "sim/realization.hpp"
+
+#include "util/error.hpp"
+#include "workload/uncertainty.hpp"
+
+namespace rts {
+
+RealizationSampler::RealizationSampler(const ProblemInstance& instance,
+                                       const Schedule& schedule) {
+  const std::size_t n = instance.task_count();
+  RTS_REQUIRE(schedule.task_count() == n, "schedule size does not match instance");
+  bcet_.resize(n);
+  ul_.resize(n);
+  expected_.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto p = static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t)));
+    RTS_REQUIRE(p < instance.proc_count(),
+                "schedule assigns a processor outside the instance platform");
+    bcet_[t] = instance.bcet(t, p);
+    ul_[t] = instance.ul(t, p);
+    expected_[t] = instance.expected(t, p);
+  }
+}
+
+void RealizationSampler::sample(Rng& rng, std::span<double> durations) const {
+  RTS_REQUIRE(durations.size() == bcet_.size(), "duration buffer has wrong size");
+  for (std::size_t t = 0; t < bcet_.size(); ++t) {
+    durations[t] = sample_realized_duration(rng, bcet_[t], ul_[t]);
+  }
+}
+
+}  // namespace rts

@@ -1,0 +1,40 @@
+#pragma once
+// Realization engine: draws "real environment" executions of a schedule
+// (paper Section 3.1: "we call it a realization of a schedule when the task
+// graph is executed in the real resource environment according to the
+// schedule"). The realized duration of task i on its assigned processor p is
+// U(b_ip, (2*UL_ip - 1) * b_ip); transfer rates do not vary (Section 3.1).
+
+#include <span>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Precompiled per-task (BCET, UL) pairs on the assigned processors of one
+/// schedule, ready to draw realization after realization.
+class RealizationSampler {
+ public:
+  RealizationSampler(const ProblemInstance& instance, const Schedule& schedule);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return bcet_.size(); }
+
+  /// Fill `durations` (size n) with one realization drawn from `rng`.
+  void sample(Rng& rng, std::span<double> durations) const;
+
+  /// Expected durations on the assigned processors (UL * BCET); the paper's
+  /// schedulers plan with these, and M0 is the makespan they induce.
+  [[nodiscard]] const std::vector<double>& expected_durations() const noexcept {
+    return expected_;
+  }
+
+ private:
+  std::vector<double> bcet_;
+  std::vector<double> ul_;
+  std::vector<double> expected_;
+};
+
+}  // namespace rts

@@ -1,0 +1,90 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      kv_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_.emplace_back(body, argv[++i]);
+    } else {
+      kv_.emplace_back(body, "1");
+    }
+  }
+}
+
+std::optional<std::string> Options::raw(const std::string& key) const {
+  for (auto it = kv_.rbegin(); it != kv_.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  std::string env_key = "RTS_";
+  for (char ch : key) {
+    env_key += ch == '-' ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  }
+  if (const char* env = std::getenv(env_key.c_str()); env != nullptr) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(*v, &pos);
+    RTS_REQUIRE(pos == v->size(), "trailing characters in integer option");
+    return parsed;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + ": cannot parse integer from '" + *v + "'");
+  }
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    RTS_REQUIRE(pos == v->size(), "trailing characters in numeric option");
+    return parsed;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + ": cannot parse number from '" + *v + "'");
+  }
+}
+
+std::string Options::get_string(const std::string& key, std::string def) const {
+  const auto v = raw(key);
+  return v ? *v : std::move(def);
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  throw InvalidArgument("option --" + key + ": cannot parse boolean from '" + *v + "'");
+}
+
+}  // namespace rts

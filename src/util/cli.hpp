@@ -1,0 +1,48 @@
+#pragma once
+// Tiny configuration reader for benches and examples.
+//
+// Experiment scale knobs resolve in priority order:
+//   1. command-line `--key=value` / `--key value`,
+//   2. environment variable `RTS_<KEY>` (upper-cased, dashes -> underscores),
+//   3. compiled-in default.
+// This lets `for b in build/bench/*; do $b; done` run everything at a quick
+// default scale while `RTS_GRAPHS=100 RTS_REALIZATIONS=1000 ...` reproduces
+// the paper-scale experiment without rebuilding.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rts {
+
+/// Parsed command-line / environment option source.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parse `--key=value` and `--key value` pairs; bare `--flag` stores "1".
+  /// Non-option tokens are collected as positional arguments.
+  Options(int argc, const char* const* argv);
+
+  /// Raw lookup: command line first, then environment `RTS_<KEY>`.
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  /// Typed lookups with defaults. Malformed values throw InvalidArgument so a
+  /// typo'd experiment configuration fails loudly instead of silently running
+  /// the wrong sweep.
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] std::string get_string(const std::string& key, std::string def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rts

@@ -1,0 +1,47 @@
+#pragma once
+// Portable sampling routines implemented from first principles so that a
+// fixed seed reproduces the same experiment on every platform (the C++
+// standard leaves distribution algorithms implementation-defined).
+//
+// The paper's generative models need:
+//   * U(a, b)              — realized task durations (Section 5),
+//   * Gamma(shape, scale)  — COV-based cost matrices (Ali et al. 2000) and
+//                            the two-stage uncertainty-level matrix,
+//   * N(mu, sigma)         — auxiliary, used by tests,
+//   * integer ranges       — DAG topology generation and GA operators.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Uniform real in [lo, hi). Requires lo <= hi; returns lo when lo == hi.
+double sample_uniform(Rng& rng, double lo, double hi);
+
+/// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+std::int64_t sample_uniform_int(Rng& rng, std::int64_t lo, std::int64_t hi);
+
+/// Standard normal via the polar (Marsaglia) method.
+double sample_standard_normal(Rng& rng);
+
+/// Normal with mean `mu` and standard deviation `sigma` (sigma >= 0).
+double sample_normal(Rng& rng, double mu, double sigma);
+
+/// Gamma(shape k > 0, scale theta > 0) via Marsaglia & Tsang (2000) with the
+/// standard boosting trick for k < 1. Mean = k*theta, variance = k*theta^2.
+double sample_gamma(Rng& rng, double shape, double scale);
+
+/// Exponential with rate lambda > 0.
+double sample_exponential(Rng& rng, double lambda);
+
+/// Bernoulli trial with success probability p in [0, 1].
+bool sample_bernoulli(Rng& rng, double p);
+
+/// Gamma sample parameterized the way Ali et al. (HCW 2000) use it for task
+/// execution-time modeling: given a desired mean and a coefficient of
+/// variation V, draws Gamma(shape = 1/V^2, scale = mean * V^2), which has
+/// exactly that mean and COV. V == 0 degenerates to the mean.
+double sample_gamma_mean_cov(Rng& rng, double mean, double cov);
+
+}  // namespace rts

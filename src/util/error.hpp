@@ -1,0 +1,54 @@
+#pragma once
+// Error-handling helpers shared by every rts subsystem.
+//
+// We use exceptions for contract violations on the public API (the library is
+// not on a hot interrupt path; schedulers run for milliseconds to minutes) and
+// keep the hot inner loops (timing sweeps, Monte-Carlo realizations)
+// assertion-free in release builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace rts {
+
+/// Exception thrown when a caller violates a documented precondition of the
+/// public API (e.g. adding an edge that would create a cycle, scheduling a
+/// graph whose task count does not match the cost matrix).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Exception thrown when an internal invariant fails; indicates a library bug
+/// rather than caller error.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) + ": requirement `" +
+                        expr + "` failed: " + msg);
+}
+[[noreturn]] inline void throw_internal(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) + ": invariant `" + expr +
+                      "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace rts
+
+/// Validate a documented precondition of a public entry point.
+#define RTS_REQUIRE(expr, msg)                                         \
+  do {                                                                 \
+    if (!(expr)) ::rts::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant (library bug if it fires).
+#define RTS_ENSURE(expr, msg)                                           \
+  do {                                                                  \
+    if (!(expr)) ::rts::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,41 @@
+#pragma once
+// Minimal leveled logger. The library itself stays quiet at default level;
+// benches/examples raise verbosity for progress reporting on long sweeps.
+// Controlled with RTS_LOG=debug|info|warn|error|off.
+
+#include <sstream>
+#include <string>
+
+namespace rts {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold; initialized once from the RTS_LOG environment variable
+/// (default: warn).
+LogLevel log_threshold() noexcept;
+
+/// Override the threshold at runtime (tests, benches).
+void set_log_threshold(LogLevel level) noexcept;
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace rts
+
+#define RTS_LOG_AT(level, expr)                                  \
+  do {                                                           \
+    if (::rts::log_enabled(level)) {                             \
+      std::ostringstream rts_log_oss;                            \
+      rts_log_oss << expr;                                       \
+      ::rts::detail::log_emit(level, rts_log_oss.str());         \
+    }                                                            \
+  } while (false)
+
+#define RTS_LOG_DEBUG(expr) RTS_LOG_AT(::rts::LogLevel::kDebug, expr)
+#define RTS_LOG_INFO(expr) RTS_LOG_AT(::rts::LogLevel::kInfo, expr)
+#define RTS_LOG_WARN(expr) RTS_LOG_AT(::rts::LogLevel::kWarn, expr)
+#define RTS_LOG_ERROR(expr) RTS_LOG_AT(::rts::LogLevel::kError, expr)

@@ -1,0 +1,60 @@
+#pragma once
+// Minimal dense row-major matrix used for cost, data-size, transfer-rate and
+// uncertainty-level matrices. Header-only; hot loops index it directly.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+/// Dense row-major matrix with bounds-checked accessors in the public API and
+/// unchecked `data()` access for hot loops.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, every element initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Element access; bounds-checked (throws InvalidArgument on violation).
+  T& at(std::size_t r, std::size_t c) {
+    RTS_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    RTS_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for inner loops.
+  T& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// Pointer to the first element of row `r` (unchecked).
+  [[nodiscard]] T* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  [[nodiscard]] const T* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace rts

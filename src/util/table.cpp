@@ -1,0 +1,102 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+ResultTable::ResultTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RTS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+ResultTable& ResultTable::begin_row() {
+  RTS_REQUIRE(rows_.empty() || rows_.back().size() == headers_.size(),
+              "previous row is incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+ResultTable& ResultTable::add(std::string value) {
+  RTS_REQUIRE(!rows_.empty(), "begin_row() before adding cells");
+  RTS_REQUIRE(rows_.back().size() < headers_.size(), "row has more cells than headers");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+ResultTable& ResultTable::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+ResultTable& ResultTable::add(long long value) { return add(std::to_string(value)); }
+
+void ResultTable::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto put_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << '\n';
+  };
+  put_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) put_row(row);
+}
+
+namespace {
+void write_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void ResultTable::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    write_csv_cell(os, headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      write_csv_cell(os, row[c]);
+    }
+    os << '\n';
+  }
+}
+
+void ResultTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  RTS_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  write_csv(out);
+}
+
+}  // namespace rts

@@ -1,0 +1,51 @@
+#pragma once
+// Result-table formatting used by the figure-reproduction harnesses: every
+// bench prints the paper's series both as an aligned console table (for a
+// human) and as CSV (for replotting). One writer feeds both sinks.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rts {
+
+/// Column-oriented result table. Cells are stored as strings; numeric helpers
+/// format with fixed precision so figure series align.
+class ResultTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit ResultTable(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add_* calls fill it left to right.
+  ResultTable& begin_row();
+
+  /// Append a string cell to the current row.
+  ResultTable& add(std::string value);
+
+  /// Append a numeric cell formatted with `precision` fractional digits.
+  ResultTable& add(double value, int precision = 4);
+
+  /// Append an integer cell.
+  ResultTable& add(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Write an aligned, human-readable table.
+  void write_pretty(std::ostream& os) const;
+
+  /// Write RFC-4180-style CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Write CSV to `path`; throws InvalidArgument when the file cannot be opened.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format `value` with `precision` fractional digits (fixed notation).
+std::string format_fixed(double value, int precision);
+
+}  // namespace rts

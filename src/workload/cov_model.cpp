@@ -1,0 +1,30 @@
+#include "workload/cov_model.hpp"
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+std::vector<double> draw_task_baselines(std::size_t task_count, const CovModelParams& params,
+                                        Rng& rng) {
+  RTS_REQUIRE(task_count > 0, "task count must be positive");
+  RTS_REQUIRE(params.mu_task > 0.0, "mu_task must be positive");
+  std::vector<double> q(task_count);
+  for (auto& x : q) x = sample_gamma_mean_cov(rng, params.mu_task, params.v_task);
+  return q;
+}
+
+Matrix<double> generate_cov_cost_matrix(std::size_t task_count, std::size_t proc_count,
+                                        const CovModelParams& params, Rng& rng) {
+  RTS_REQUIRE(proc_count > 0, "processor count must be positive");
+  const auto q = draw_task_baselines(task_count, params, rng);
+  Matrix<double> costs(task_count, proc_count);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    for (std::size_t p = 0; p < proc_count; ++p) {
+      costs(t, p) = sample_gamma_mean_cov(rng, q[t], params.v_mach);
+    }
+  }
+  return costs;
+}
+
+}  // namespace rts

@@ -1,0 +1,38 @@
+#pragma once
+// Coefficient-of-variation-based execution-time matrix generation following
+// Ali, Siegel, Maheswaran, Hensgen & Ali, "Task execution time modeling for
+// heterogeneous computing systems" (HCW 2000) — the method the paper's
+// Section 5 uses to build the BCET matrix B.
+//
+// Two-stage gamma sampling:
+//   q_i    ~ Gamma(mean = mu_task, COV = v_task)   (per-task baseline)
+//   b_(i,p) ~ Gamma(mean = q_i,    COV = v_mach)   (per-machine variation)
+//
+// v_task controls task heterogeneity (how much execution times vary across
+// tasks on one machine) and v_mach machine heterogeneity (variation across
+// machines for one task). The paper sets mu_task = cc = 20 and
+// v_task = v_mach = 0.5 ("medium" heterogeneity).
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Parameters of the COV generation method.
+struct CovModelParams {
+  double mu_task = 20.0;  ///< mean task execution time (the paper's cc)
+  double v_task = 0.5;    ///< task heterogeneity COV
+  double v_mach = 0.5;    ///< machine heterogeneity COV
+};
+
+/// Generate an n x m execution-time matrix. All entries are strictly
+/// positive. Deterministic in (params, rng state).
+Matrix<double> generate_cov_cost_matrix(std::size_t task_count, std::size_t proc_count,
+                                        const CovModelParams& params, Rng& rng);
+
+/// The per-task baselines q_i of the first stage (exposed for tests that
+/// check the heterogeneity statistics of the method).
+std::vector<double> draw_task_baselines(std::size_t task_count, const CovModelParams& params,
+                                        Rng& rng);
+
+}  // namespace rts

@@ -1,0 +1,52 @@
+#pragma once
+// Random layered DAG generator in the style of Topcuoglu et al. (TPDS 2002)
+// and Shi & Dongarra (FGCS 2006), which the paper's Section 5 cites for its
+// workloads. Parameters:
+//
+//   n      — task count;
+//   alpha  — shape: expected graph height is sqrt(n)/alpha and expected level
+//            width is alpha*sqrt(n), so alpha > 1 gives short fat graphs
+//            (high parallelism) and alpha < 1 tall thin ones;
+//   ccr    — communication-to-computation ratio: edge data sizes are drawn so
+//            that the mean communication cost across the platform's links is
+//            ccr * avg_comp_cost;
+//   out_degree / jump / density — connectivity knobs the cited generators
+//            expose; defaults reproduce their common settings.
+//
+// The generator produces the topology and data sizes only; execution-time
+// matrices come from the COV model (cov_model.hpp).
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Topology parameters for the random layered DAG generator.
+struct DagGeneratorParams {
+  std::size_t task_count = 100;
+  double shape_alpha = 1.0;
+  /// Mean computation cost used only to calibrate edge data sizes via ccr.
+  double avg_comp_cost = 20.0;
+  /// Target communication-to-computation ratio.
+  double ccr = 0.1;
+  /// Max extra predecessors per non-entry task (each task always gets at
+  /// least one predecessor from an earlier level, keeping the DAG connected
+  /// top-down).
+  std::size_t max_in_degree = 4;
+  /// How many levels upward a predecessor may come from (1 = only the
+  /// immediately preceding level).
+  std::size_t jump = 2;
+};
+
+/// Generate a random DAG topology with edge data sizes calibrated so that the
+/// average communication cost on `platform` is ccr * avg_comp_cost.
+/// Deterministic in (params, rng state).
+TaskGraph generate_random_dag(const DagGeneratorParams& params, const Platform& platform,
+                              Rng& rng);
+
+/// The level sizes drawn for a given parameter set (exposed for tests that
+/// verify the shape law). Sum equals task_count; every level non-empty.
+std::vector<std::size_t> draw_level_sizes(const DagGeneratorParams& params, Rng& rng);
+
+}  // namespace rts

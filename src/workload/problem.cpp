@@ -1,0 +1,70 @@
+#include "workload/problem.hpp"
+
+#include "util/error.hpp"
+#include "workload/cov_model.hpp"
+#include "workload/dag_generator.hpp"
+#include "workload/uncertainty.hpp"
+
+namespace rts {
+
+void ProblemInstance::validate() const {
+  graph.validate();
+  const std::size_t n = graph.task_count();
+  const std::size_t m = platform.proc_count();
+  RTS_REQUIRE(bcet.rows() == n && bcet.cols() == m, "bcet matrix has wrong shape");
+  RTS_REQUIRE(ul.rows() == n && ul.cols() == m, "ul matrix has wrong shape");
+  RTS_REQUIRE(expected.rows() == n && expected.cols() == m,
+              "expected matrix has wrong shape");
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t p = 0; p < m; ++p) {
+      RTS_REQUIRE(bcet(t, p) > 0.0, "bcet entries must be positive");
+      RTS_REQUIRE(ul(t, p) >= 1.0, "uncertainty levels must be >= 1");
+      RTS_REQUIRE(expected(t, p) == ul(t, p) * bcet(t, p),
+                  "expected must equal ul * bcet elementwise");
+    }
+  }
+}
+
+Matrix<double> expected_costs(const Matrix<double>& bcet, const Matrix<double>& ul) {
+  RTS_REQUIRE(bcet.rows() == ul.rows() && bcet.cols() == ul.cols(),
+              "bcet and ul shapes must match");
+  Matrix<double> expected(bcet.rows(), bcet.cols());
+  for (std::size_t t = 0; t < bcet.rows(); ++t) {
+    for (std::size_t p = 0; p < bcet.cols(); ++p) {
+      expected(t, p) = ul(t, p) * bcet(t, p);
+    }
+  }
+  return expected;
+}
+
+ProblemInstance make_paper_instance(const PaperInstanceParams& params, Rng& rng) {
+  Platform platform(params.proc_count, params.transfer_rate);
+
+  DagGeneratorParams dag_params;
+  dag_params.task_count = params.task_count;
+  dag_params.shape_alpha = params.shape_alpha;
+  dag_params.avg_comp_cost = params.avg_comp_cost;
+  dag_params.ccr = params.ccr;
+  TaskGraph graph = generate_random_dag(dag_params, platform, rng);
+
+  // The COV method generates execution times with mean mu_task = cc; the
+  // paper uses it for the *best-case* matrix B.
+  CovModelParams cov;
+  cov.mu_task = params.avg_comp_cost;
+  cov.v_task = params.v_task;
+  cov.v_mach = params.v_mach;
+  Matrix<double> bcet =
+      generate_cov_cost_matrix(params.task_count, params.proc_count, cov, rng);
+
+  UncertaintyParams unc;
+  unc.avg_ul = params.avg_ul;
+  unc.v1 = params.v_ul;
+  unc.v2 = params.v_ul;
+  Matrix<double> ul = generate_ul_matrix(params.task_count, params.proc_count, unc, rng);
+
+  Matrix<double> expected = expected_costs(bcet, ul);
+  return ProblemInstance{std::move(graph), std::move(platform), std::move(bcet),
+                         std::move(ul), std::move(expected)};
+}
+
+}  // namespace rts

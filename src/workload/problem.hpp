@@ -1,0 +1,54 @@
+#pragma once
+// A complete robust-scheduling problem instance: the application DAG, the
+// heterogeneous platform, the best-case execution time matrix B, the
+// uncertainty-level matrix UL, and the derived expected-duration matrix
+// E = UL ∘ B that deterministic schedulers consume (paper Sections 3.1, 5).
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Bundled problem instance. Invariants: bcet/ul/expected are n x m with
+/// n = graph.task_count(), m = platform.proc_count(); all entries positive;
+/// ul entries >= 1 so that the realized-duration law U(b, (2UL-1)b) is well
+/// formed with mean UL*b.
+struct ProblemInstance {
+  TaskGraph graph;
+  Platform platform;
+  Matrix<double> bcet;      ///< B: best-case execution times
+  Matrix<double> ul;        ///< UL: per-(task, processor) uncertainty levels
+  Matrix<double> expected;  ///< E(i,p) = ul(i,p) * bcet(i,p)
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return graph.task_count(); }
+  [[nodiscard]] std::size_t proc_count() const noexcept { return platform.proc_count(); }
+
+  /// Throws InvalidArgument when any invariant above is violated.
+  void validate() const;
+};
+
+/// E = UL ∘ B (elementwise product).
+Matrix<double> expected_costs(const Matrix<double>& bcet, const Matrix<double>& ul);
+
+/// Parameters of the paper's Section 5 experimental setup. Quantities the
+/// paper leaves unspecified (processor count, transfer rates) get sensible
+/// defaults documented in DESIGN.md.
+struct PaperInstanceParams {
+  std::size_t task_count = 100;  ///< n
+  double shape_alpha = 1.0;      ///< α
+  double avg_comp_cost = 20.0;   ///< cc == μ_task
+  double ccr = 0.1;              ///< communication-to-computation ratio
+  double v_task = 0.5;           ///< task heterogeneity (COV method)
+  double v_mach = 0.5;           ///< machine heterogeneity (COV method)
+  double avg_ul = 2.0;           ///< average uncertainty level of the graph
+  double v_ul = 0.5;             ///< V1 == V2 of the two-stage UL generation
+  std::size_t proc_count = 8;    ///< m (paper unspecified; default 8)
+  double transfer_rate = 1.0;    ///< uniform link rate (paper unspecified)
+};
+
+/// Draw one full instance of the paper's experimental setup.
+ProblemInstance make_paper_instance(const PaperInstanceParams& params, Rng& rng);
+
+}  // namespace rts

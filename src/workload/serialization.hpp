@@ -1,0 +1,28 @@
+#pragma once
+// Plain-text persistence of problem instances and schedules so experiments
+// can be archived and replayed (and so examples can ship fixed inputs).
+// Format: a line-oriented `rts-problem v1` / `rts-schedule v1` document; see
+// serialization.cpp for the exact grammar.
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Write `instance` to a stream / file.
+void save_problem(std::ostream& os, const ProblemInstance& instance);
+void save_problem_file(const std::string& path, const ProblemInstance& instance);
+
+/// Parse an instance; throws InvalidArgument on malformed input. The loaded
+/// instance is validated before being returned.
+ProblemInstance load_problem(std::istream& is);
+ProblemInstance load_problem_file(const std::string& path);
+
+/// Write / read a schedule (task count + per-processor sequences).
+void save_schedule(std::ostream& os, const Schedule& schedule);
+Schedule load_schedule(std::istream& is);
+
+}  // namespace rts

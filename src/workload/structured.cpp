@@ -1,0 +1,252 @@
+#include "workload/structured.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+// Builds names like "upd3_7" without `const char* + std::string&&`, which
+// trips a GCC 12 -Wrestrict false positive (PR 105329).
+std::string task_label(const char* prefix, std::size_t a) {
+  std::string s(prefix);
+  s += std::to_string(a);
+  return s;
+}
+std::string task_label(const char* prefix, std::size_t a, const char* mid, std::size_t b) {
+  std::string s(prefix);
+  s += std::to_string(a);
+  s += mid;
+  s += std::to_string(b);
+  return s;
+}
+}  // namespace
+
+
+TaskGraph gaussian_elimination_graph(std::size_t k, double edge_data) {
+  RTS_REQUIRE(k >= 2, "gaussian elimination needs k >= 2");
+  // Steps i = 0..k-2. Step i has a pivot task and update tasks for columns
+  // j = i+1..k-1. id layout: sequential in (step, column) order.
+  const std::size_t n = (k * k + k - 2) / 2;
+  TaskGraph graph(n);
+
+  // id of step i's pivot; its updates follow immediately.
+  std::vector<std::size_t> pivot_id(k - 1);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    pivot_id[i] = next;
+    graph.set_task_name(static_cast<TaskId>(next), task_label("piv", i));
+    ++next;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      graph.set_task_name(static_cast<TaskId>(next),
+                          task_label("upd", i, "_", j));
+      ++next;
+    }
+  }
+  RTS_ENSURE(next == n, "gaussian elimination id layout mismatch");
+
+  const auto update_id = [&](std::size_t i, std::size_t j) {
+    return pivot_id[i] + (j - i);  // update (i, j) sits j - i slots after pivot i
+  };
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      // Pivot of step i enables every update of step i.
+      graph.add_edge(static_cast<TaskId>(pivot_id[i]),
+                     static_cast<TaskId>(update_id(i, j)), edge_data);
+      if (i + 2 < k) {
+        if (j == i + 1) {
+          // Update (i, i+1) produces the next pivot column.
+          graph.add_edge(static_cast<TaskId>(update_id(i, j)),
+                         static_cast<TaskId>(pivot_id[i + 1]), edge_data);
+        } else {
+          // Update (i, j) feeds update (i+1, j).
+          graph.add_edge(static_cast<TaskId>(update_id(i, j)),
+                         static_cast<TaskId>(update_id(i + 1, j)), edge_data);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+TaskGraph fft_graph(std::size_t points, double edge_data) {
+  RTS_REQUIRE(points >= 2 && (points & (points - 1)) == 0,
+              "fft size must be a power of two >= 2");
+  std::size_t log2n = 0;
+  for (std::size_t v = points; v > 1; v >>= 1) ++log2n;
+  const std::size_t ranks = log2n + 1;
+  TaskGraph graph(points * ranks);
+  const auto id = [&](std::size_t level, std::size_t i) { return level * points + i; };
+  for (std::size_t level = 0; level < ranks; ++level) {
+    for (std::size_t i = 0; i < points; ++i) {
+      graph.set_task_name(static_cast<TaskId>(id(level, i)),
+                          task_label("f", level, "_", i));
+    }
+  }
+  for (std::size_t level = 0; level + 1 < ranks; ++level) {
+    const std::size_t stride = std::size_t{1} << level;
+    for (std::size_t i = 0; i < points; ++i) {
+      graph.add_edge(static_cast<TaskId>(id(level, i)),
+                     static_cast<TaskId>(id(level + 1, i)), edge_data);
+      graph.add_edge(static_cast<TaskId>(id(level, i)),
+                     static_cast<TaskId>(id(level + 1, i ^ stride)), edge_data);
+    }
+  }
+  return graph;
+}
+
+TaskGraph fork_join_graph(std::size_t branches, std::size_t stages, double edge_data) {
+  RTS_REQUIRE(branches >= 1 && stages >= 1, "fork-join needs >= 1 branch and stage");
+  // Layout per stage: fork, branches..., ; one shared join per stage that is
+  // the next stage's fork. Total: stages * (branches + 1) + 1 tasks.
+  const std::size_t n = stages * (branches + 1) + 1;
+  TaskGraph graph(n);
+  std::size_t fork = 0;
+  graph.set_task_name(0, "fork0");
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t first_branch = fork + 1;
+    const std::size_t join = first_branch + branches;
+    graph.set_task_name(static_cast<TaskId>(join),
+                        s + 1 < stages ? task_label("fork", s + 1)
+                                       : std::string("join"));
+    for (std::size_t b = 0; b < branches; ++b) {
+      const std::size_t t = first_branch + b;
+      graph.set_task_name(static_cast<TaskId>(t),
+                          task_label("s", s, "b", b));
+      graph.add_edge(static_cast<TaskId>(fork), static_cast<TaskId>(t), edge_data);
+      graph.add_edge(static_cast<TaskId>(t), static_cast<TaskId>(join), edge_data);
+    }
+    fork = join;
+  }
+  return graph;
+}
+
+TaskGraph wavefront_graph(std::size_t width, std::size_t depth, double edge_data) {
+  RTS_REQUIRE(width >= 1 && depth >= 1, "wavefront needs positive width and depth");
+  TaskGraph graph(width * depth);
+  const auto id = [&](std::size_t d, std::size_t w) { return d * width + w; };
+  for (std::size_t d = 0; d < depth; ++d) {
+    for (std::size_t w = 0; w < width; ++w) {
+      graph.set_task_name(static_cast<TaskId>(id(d, w)),
+                          task_label("w", d, "_", w));
+      if (d == 0) continue;
+      if (w > 0) graph.add_edge(static_cast<TaskId>(id(d - 1, w - 1)),
+                                static_cast<TaskId>(id(d, w)), edge_data);
+      graph.add_edge(static_cast<TaskId>(id(d - 1, w)), static_cast<TaskId>(id(d, w)),
+                     edge_data);
+      if (w + 1 < width) graph.add_edge(static_cast<TaskId>(id(d - 1, w + 1)),
+                                        static_cast<TaskId>(id(d, w)), edge_data);
+    }
+  }
+  return graph;
+}
+
+TaskGraph cholesky_graph(std::size_t k, double edge_data) {
+  RTS_REQUIRE(k >= 2, "cholesky needs k >= 2 blocks");
+  const std::size_t n = k + k * (k - 1) + k * (k - 1) * (k - 2) / 6;
+  TaskGraph graph(n);
+
+  // last_writer(i, l): the task that last updated block (i, l); kNoTask when
+  // the block is still pristine. Only i >= l is used (lower triangle).
+  std::vector<TaskId> last_writer(k * k, kNoTask);
+  const auto block = [&](std::size_t i, std::size_t l) -> TaskId& {
+    return last_writer[i * k + l];
+  };
+  const auto depend_on_block = [&](std::size_t i, std::size_t l, TaskId reader) {
+    const TaskId writer = block(i, l);
+    if (writer != kNoTask && !graph.has_edge(writer, reader)) {
+      graph.add_edge(writer, reader, edge_data);
+    }
+  };
+
+  std::size_t next = 0;
+  const auto new_task = [&](std::string name) {
+    const auto id = static_cast<TaskId>(next++);
+    graph.set_task_name(id, std::move(name));
+    return id;
+  };
+
+  for (std::size_t j = 0; j < k; ++j) {
+    // POTRF(j): factor the diagonal block, which was last touched by
+    // SYRK(j, j-1) (or nothing when j == 0).
+    const TaskId potrf = new_task(task_label("potrf", j));
+    depend_on_block(j, j, potrf);
+    block(j, j) = potrf;
+
+    // TRSM(i, j): solve against POTRF(j); block (i, j) was last touched by
+    // GEMM(i, j, j-1).
+    std::vector<TaskId> trsm(k, kNoTask);
+    for (std::size_t i = j + 1; i < k; ++i) {
+      const TaskId t = new_task(task_label("trsm", i, "_", j));
+      graph.add_edge(potrf, t, edge_data);
+      depend_on_block(i, j, t);
+      block(i, j) = t;
+      trsm[i] = t;
+    }
+
+    // Trailing updates: SYRK(i, j) on the diagonal, GEMM(i, l, j) below it.
+    for (std::size_t i = j + 1; i < k; ++i) {
+      const TaskId syrk = new_task(task_label("syrk", i, "_", j));
+      graph.add_edge(trsm[i], syrk, edge_data);
+      depend_on_block(i, i, syrk);
+      block(i, i) = syrk;
+      for (std::size_t l = j + 1; l < i; ++l) {
+        TaskId gemm = new_task(task_label("gemm", i, "_", l) + task_label("_", j));
+        graph.add_edge(trsm[i], gemm, edge_data);
+        graph.add_edge(trsm[l], gemm, edge_data);
+        depend_on_block(i, l, gemm);
+        block(i, l) = gemm;
+      }
+    }
+  }
+  RTS_ENSURE(next == n, "cholesky task-count formula mismatch");
+  return graph;
+}
+
+TaskGraph montage_like_graph(std::size_t inputs, double edge_data) {
+  RTS_REQUIRE(inputs >= 2, "montage needs at least two input images");
+  // Layout: project[inputs], diff[inputs-1], model, background[inputs],
+  // coadd, output.
+  const std::size_t project0 = 0;
+  const std::size_t diff0 = project0 + inputs;
+  const std::size_t model = diff0 + (inputs - 1);
+  const std::size_t background0 = model + 1;
+  const std::size_t coadd = background0 + inputs;
+  const std::size_t output = coadd + 1;
+  TaskGraph graph(output + 1);
+
+  for (std::size_t i = 0; i < inputs; ++i) {
+    graph.set_task_name(static_cast<TaskId>(project0 + i), task_label("proj", i));
+    graph.set_task_name(static_cast<TaskId>(background0 + i), task_label("bg", i));
+  }
+  for (std::size_t i = 0; i + 1 < inputs; ++i) {
+    graph.set_task_name(static_cast<TaskId>(diff0 + i), task_label("diff", i));
+  }
+  graph.set_task_name(static_cast<TaskId>(model), "model");
+  graph.set_task_name(static_cast<TaskId>(coadd), "coadd");
+  graph.set_task_name(static_cast<TaskId>(output), "out");
+
+  for (std::size_t i = 0; i + 1 < inputs; ++i) {
+    // Each overlap fit consumes two consecutive reprojections.
+    graph.add_edge(static_cast<TaskId>(project0 + i), static_cast<TaskId>(diff0 + i),
+                   edge_data);
+    graph.add_edge(static_cast<TaskId>(project0 + i + 1), static_cast<TaskId>(diff0 + i),
+                   edge_data);
+    graph.add_edge(static_cast<TaskId>(diff0 + i), static_cast<TaskId>(model), edge_data);
+  }
+  for (std::size_t i = 0; i < inputs; ++i) {
+    graph.add_edge(static_cast<TaskId>(model), static_cast<TaskId>(background0 + i),
+                   edge_data);
+    // Background correction also needs the reprojected image itself.
+    graph.add_edge(static_cast<TaskId>(project0 + i), static_cast<TaskId>(background0 + i),
+                   edge_data);
+    graph.add_edge(static_cast<TaskId>(background0 + i), static_cast<TaskId>(coadd),
+                   edge_data);
+  }
+  graph.add_edge(static_cast<TaskId>(coadd), static_cast<TaskId>(output), edge_data);
+  return graph;
+}
+
+}  // namespace rts

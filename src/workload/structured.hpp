@@ -1,0 +1,43 @@
+#pragma once
+// Structured application topologies used by the examples and tests: the
+// classic kernels of the DAG-scheduling literature (Gaussian elimination,
+// FFT — both appear in the HEFT paper's evaluation), fork-join and wavefront
+// pipelines, and a Montage-like astronomy workflow. Every generator takes a
+// uniform edge data size; execution-time matrices come from the COV model.
+
+#include "graph/task_graph.hpp"
+
+namespace rts {
+
+/// Gaussian elimination DAG for a k x k matrix (k >= 2): one pivot task per
+/// step and one update task per remaining column, (k^2 + k - 2) / 2 tasks
+/// total, with the standard pivot->update and update->next-step dependencies.
+TaskGraph gaussian_elimination_graph(std::size_t k, double edge_data);
+
+/// Butterfly FFT dataflow on `points` inputs (must be a power of two >= 2):
+/// log2(points) + 1 ranks of `points` tasks; task (l, i) feeds (l+1, i) and
+/// (l+1, i XOR 2^l).
+TaskGraph fft_graph(std::size_t points, double edge_data);
+
+/// `stages` sequential fork-join diamonds: fork task -> `branches` parallel
+/// tasks -> join task (the join doubles as the next stage's fork input).
+TaskGraph fork_join_graph(std::size_t branches, std::size_t stages, double edge_data);
+
+/// Wavefront / stencil pipeline: `depth` rows of `width` tasks; task (d, w)
+/// depends on (d-1, w-1), (d-1, w) and (d-1, w+1) where they exist.
+TaskGraph wavefront_graph(std::size_t width, std::size_t depth, double edge_data);
+
+/// Tiled right-looking Cholesky factorization of a k x k block matrix
+/// (k >= 2): POTRF on each diagonal block, TRSM on each sub-diagonal block,
+/// SYRK/GEMM trailing updates — k + k(k-1) + k(k-1)(k-2)/6 tasks with the
+/// exact dataflow dependencies of the classic tiled algorithm (the dense
+/// linear-algebra workload of PLASMA/DPLASMA-style runtimes).
+TaskGraph cholesky_graph(std::size_t k, double edge_data);
+
+/// Montage-like astronomy mosaic workflow over `inputs` images:
+/// per-image reprojection -> pairwise overlap fits (between consecutive
+/// images) -> a single model task -> per-image background correction ->
+/// a single co-add -> a final output task.
+TaskGraph montage_like_graph(std::size_t inputs, double edge_data);
+
+}  // namespace rts

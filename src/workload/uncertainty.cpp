@@ -1,0 +1,32 @@
+#include "workload/uncertainty.hpp"
+
+#include <algorithm>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+Matrix<double> generate_ul_matrix(std::size_t task_count, std::size_t proc_count,
+                                  const UncertaintyParams& params, Rng& rng) {
+  RTS_REQUIRE(task_count > 0 && proc_count > 0, "matrix dimensions must be positive");
+  RTS_REQUIRE(params.avg_ul >= 1.0, "average uncertainty level must be >= 1");
+  Matrix<double> ul(task_count, proc_count);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    const double q = sample_gamma_mean_cov(rng, params.avg_ul, params.v1);
+    for (std::size_t p = 0; p < proc_count; ++p) {
+      // Clamp to >= 1 so the realized-duration law stays well formed (see
+      // header note); UL == 1 means the task always runs at its BCET.
+      ul(t, p) = std::max(1.0, sample_gamma_mean_cov(rng, q, params.v2));
+    }
+  }
+  return ul;
+}
+
+double sample_realized_duration(Rng& rng, double bcet, double ul) {
+  RTS_REQUIRE(bcet > 0.0, "best-case execution time must be positive");
+  RTS_REQUIRE(ul >= 1.0, "uncertainty level must be >= 1");
+  return sample_uniform(rng, bcet, (2.0 * ul - 1.0) * bcet);
+}
+
+}  // namespace rts

@@ -1,0 +1,39 @@
+#pragma once
+// Uncertainty model of the paper's Section 5.
+//
+// UL_(i,p) is the uncertainty level of task i on processor p. The realized
+// execution time is c_(i,p) ~ U(b_(i,p), (2*UL_(i,p) - 1) * b_(i,p)), whose
+// mean is UL_(i,p) * b_(i,p) — the expected duration schedulers plan with.
+//
+// The UL matrix itself is generated with the same two-stage gamma scheme as
+// the COV cost model: per-task expected levels q_i ~ Gamma(1/V1^2, UL*V1^2),
+// then UL_(i,p) ~ Gamma(1/V2^2, q_i*V2^2), with V1 = V2 = 0.5.
+//
+// Substitution note (documented in DESIGN.md): the gamma stages can produce
+// values below 1, for which U(b, (2UL-1)b) would be ill-formed (upper bound
+// below the lower bound) — the paper does not discuss this corner, so we
+// clamp every UL to >= 1.0 ("no uncertainty" at the BCET floor).
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+/// Parameters of the two-stage UL matrix generation.
+struct UncertaintyParams {
+  double avg_ul = 2.0;  ///< graph-average uncertainty level (paper sweeps 2..8)
+  double v1 = 0.5;      ///< COV of the per-task stage
+  double v2 = 0.5;      ///< COV of the per-processor stage
+};
+
+/// Generate an n x m uncertainty-level matrix, every entry >= 1.
+Matrix<double> generate_ul_matrix(std::size_t task_count, std::size_t proc_count,
+                                  const UncertaintyParams& params, Rng& rng);
+
+/// One realized duration: U(bcet, (2*ul - 1) * bcet). Requires ul >= 1.
+double sample_realized_duration(Rng& rng, double bcet, double ul);
+
+/// Expected duration of the realized-duration law: ul * bcet.
+inline double expected_duration(double bcet, double ul) noexcept { return ul * bcet; }
+
+}  // namespace rts

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the rts CLI: generate -> info -> schedule with
+# every algorithm -> evaluate, plus error-path checks. $1 = path to the rts
+# binary.
+set -euo pipefail
+
+RTS="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# generate + info
+"$RTS" generate --tasks 30 --procs 4 --ul 3 --seed 11 --out p.rts \
+  | grep -q "wrote 30-task instance" || fail "generate output"
+[ -s p.rts ] || fail "problem file missing"
+"$RTS" info --problem p.rts | grep -q "HEFT makespan" || fail "info output"
+
+# every scheduling algorithm produces a loadable schedule
+for algo in heft heft-la cpop minmin overestimate ga ga-stochastic sa local; do
+  "$RTS" schedule --problem p.rts --algo "$algo" --epsilon 1.2 --iters 100 \
+    --out "s_$algo.rts" | grep -q "expected makespan M0" || fail "schedule $algo"
+  [ -s "s_$algo.rts" ] || fail "schedule file $algo"
+  "$RTS" evaluate --problem p.rts --schedule "s_$algo.rts" --realizations 50 \
+    | grep -q "robustness R1" || fail "evaluate $algo"
+done
+
+# the GA respects the constraint: M0(ga) <= 1.2 * M0(heft)
+heft_m0=$("$RTS" schedule --problem p.rts --algo heft | sed -n 's/.*M0 = \([0-9.]*\).*/\1/p')
+ga_m0=$("$RTS" schedule --problem p.rts --algo ga --epsilon 1.2 --iters 100 \
+  | sed -n 's/.*M0 = \([0-9.]*\).*/\1/p')
+awk -v g="$ga_m0" -v h="$heft_m0" 'BEGIN { exit !(g <= 1.2 * h + 1e-6) }' \
+  || fail "epsilon constraint violated: $ga_m0 vs $heft_m0"
+
+# gantt flag renders processor rows
+"$RTS" schedule --problem p.rts --algo heft --gantt | grep -q "^P0 |" || fail "gantt"
+
+# DOT import: build an instance around a hand-written workflow topology
+cat > wf.dot <<'DOT'
+digraph wf { ingest -> clean; clean -> train [label="5"]; train -> report; }
+DOT
+"$RTS" generate --from-dot wf.dot --procs 3 --ul 3 --out pdot.rts \
+  | grep -q "wrote 4-task instance" || fail "dot import"
+"$RTS" schedule --problem pdot.rts --algo heft | grep -q "M0" || fail "dot schedule"
+
+# SVG and JSON exports produce well-formed-looking files
+"$RTS" schedule --problem p.rts --algo heft --svg g.svg --json t.json >/dev/null
+grep -q "<svg" g.svg || fail "svg output"
+grep -q '"makespan"' t.json || fail "timeline json"
+"$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \
+  --criticality --json r.json | grep -q "normalized entropy" || fail "criticality"
+grep -q '"r1"' r.json || fail "report json"
+
+# epsilon sweep prints the frontier and writes CSV
+"$RTS" sweep --problem p.rts --eps-max 1.4 --eps-step 0.4 --iters 60 \
+  --realizations 50 --csv sweep.csv | grep -q "M_HEFT" || fail "sweep"
+grep -q "epsilon,M0" sweep.csv || fail "sweep csv"
+
+# error paths: bad command, bad algo, missing files exit non-zero
+! "$RTS" frobnicate >/dev/null 2>&1 || fail "bad command accepted"
+! "$RTS" schedule --problem p.rts --algo nope >/dev/null 2>&1 || fail "bad algo accepted"
+! "$RTS" info --problem missing.rts >/dev/null 2>&1 || fail "missing file accepted"
+! "$RTS" generate --tasks 10 >/dev/null 2>&1 || fail "missing --out accepted"
+
+echo "cli smoke: OK"

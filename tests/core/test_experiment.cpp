@@ -1,0 +1,155 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+ExperimentScale tiny_scale() {
+  ExperimentScale scale;
+  scale.num_graphs = 2;
+  scale.realizations = 200;
+  scale.instance.task_count = 30;
+  scale.instance.proc_count = 4;
+  scale.ga.max_iterations = 80;
+  scale.ga.stagnation_window = 80;
+  return scale;
+}
+
+TEST(ExperimentInstance, TopologySharedAcrossUncertaintyLevels) {
+  const auto scale = tiny_scale();
+  const auto a = make_experiment_instance(scale, 0, 2.0);
+  const auto b = make_experiment_instance(scale, 0, 8.0);
+  // Same graph and BCET — only the UL matrix (and hence expected) differ.
+  EXPECT_EQ(a.graph, b.graph);
+  EXPECT_EQ(a.bcet, b.bcet);
+  EXPECT_NE(a.ul, b.ul);
+}
+
+TEST(ExperimentInstance, DifferentGraphIndicesDiffer) {
+  const auto scale = tiny_scale();
+  const auto a = make_experiment_instance(scale, 0, 2.0);
+  const auto b = make_experiment_instance(scale, 1, 2.0);
+  EXPECT_NE(a.bcet, b.bcet);
+}
+
+TEST(ExperimentInstance, DeterministicAndValid) {
+  const auto scale = tiny_scale();
+  const auto a = make_experiment_instance(scale, 3, 4.0);
+  const auto b = make_experiment_instance(scale, 3, 4.0);
+  EXPECT_EQ(a.graph, b.graph);
+  EXPECT_EQ(a.ul, b.ul);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(EvolutionTrace, SlackObjectiveGrowsSlackAndMakespan) {
+  // Fig. 3's qualitative shape: slack (and with it the makespan) rises.
+  const auto scale = tiny_scale();
+  const auto trace = run_evolution_trace(scale, ObjectiveKind::kMaximizeSlack, 4.0, 20);
+  ASSERT_GT(trace.steps.size(), 2u);
+  EXPECT_EQ(trace.steps.front(), 0u);
+  // Ratios start at log10(1) = 0.
+  EXPECT_DOUBLE_EQ(trace.log10_avg_slack.front(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.log10_realized_makespan.front(), 0.0);
+  // Final slack well above initial; realized makespan up as well.
+  EXPECT_GT(trace.log10_avg_slack.back(), 0.05);
+  EXPECT_GT(trace.log10_realized_makespan.back(), 0.0);
+}
+
+TEST(EvolutionTrace, MakespanObjectiveShrinksMakespanAndSlack) {
+  // Fig. 2's shape at moderate UL: realized makespan falls; slack falls too.
+  auto scale = tiny_scale();
+  scale.ga.seed_with_heft = false;  // start from random for a visible descent
+  const auto trace =
+      run_evolution_trace(scale, ObjectiveKind::kMinimizeMakespan, 2.0, 20);
+  EXPECT_LT(trace.log10_realized_makespan.back(), -0.02);
+  EXPECT_LT(trace.log10_avg_slack.back(), 0.0);
+}
+
+TEST(EvolutionTrace, GridCoversConfiguredIterations) {
+  const auto scale = tiny_scale();
+  const auto trace = run_evolution_trace(scale, ObjectiveKind::kMaximizeSlack, 2.0, 30);
+  EXPECT_EQ(trace.steps.back(), scale.ga.max_iterations);
+  EXPECT_EQ(trace.steps.size(), trace.log10_r1.size());
+  EXPECT_EQ(trace.steps.size(), trace.log10_avg_slack.size());
+}
+
+TEST(EpsilonUlSweep, CellsArePopulatedAndSane) {
+  const auto scale = tiny_scale();
+  const EpsilonUlSweep sweep(scale, {2.0, 6.0}, {1.0, 1.5});
+  EXPECT_EQ(sweep.num_graphs(), 2u);
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (std::size_t u = 0; u < 2; ++u) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        const SweepCell& c = sweep.cell(g, u, e);
+        EXPECT_GT(c.ga_makespan, 0.0);
+        EXPECT_GT(c.heft_makespan, 0.0);
+        EXPECT_GE(c.ga_slack, 0.0);
+        EXPECT_GE(c.ga_miss_rate, 0.0);
+        EXPECT_LE(c.ga_miss_rate, 1.0);
+        // ε-constraint respected in every cell.
+        const double eps = sweep.epsilons()[e];
+        EXPECT_LE(c.ga_makespan, eps * c.heft_makespan + 1e-9);
+      }
+    }
+  }
+  EXPECT_THROW((void)sweep.cell(2, 0, 0), InvalidArgument);
+}
+
+TEST(EpsilonUlSweep, RelaxedEpsilonBuysSlackAndRobustness) {
+  // Figs. 5/6 shape: the ε = 1.5 cells dominate ε = 1.0 in slack and R1.
+  const auto scale = tiny_scale();
+  const EpsilonUlSweep sweep(scale, {4.0}, {1.0, 1.5});
+  for (std::size_t g = 0; g < sweep.num_graphs(); ++g) {
+    EXPECT_GE(sweep.cell(g, 0, 1).ga_slack, sweep.cell(g, 0, 0).ga_slack);
+  }
+  const double ratio = sweep.robustness_ratio_over_base(0, 1, 0, RobustnessKind::kR1);
+  EXPECT_GT(ratio, 1.0);
+}
+
+TEST(EpsilonUlSweep, HeftImprovementNonNegativeAtEpsilonOne) {
+  // Fig. 4 shape: at ε = 1 the GA cannot be worse than HEFT on makespan
+  // (HEFT is in the population) and improves the robustness on average.
+  const auto scale = tiny_scale();
+  const EpsilonUlSweep sweep(scale, {2.0}, {1.0});
+  const auto imp = sweep.heft_improvement(0, 0);
+  EXPECT_GE(imp.log10_makespan, -1e-9);
+  EXPECT_GE(imp.log10_r1, 0.0);
+}
+
+TEST(EpsilonUlSweep, BestEpsilonShrinksWithR) {
+  // Figs. 7/8 shape: emphasizing makespan (r -> 1) never asks for a larger
+  // ε than emphasizing robustness (r -> 0).
+  const auto scale = tiny_scale();
+  const EpsilonUlSweep sweep(scale, {4.0}, {1.0, 1.25, 1.5, 1.75, 2.0});
+  const double eps_robust = sweep.best_epsilon(0, 0.0, RobustnessKind::kR1);
+  const double eps_makespan = sweep.best_epsilon(0, 1.0, RobustnessKind::kR1);
+  EXPECT_LE(eps_makespan, eps_robust);
+  EXPECT_DOUBLE_EQ(eps_makespan, 1.0);  // r = 1: any makespan growth only hurts
+}
+
+TEST(EpsilonUlSweep, OverallPerformanceAtEpsilonOneIsNonNegativeForPureMakespan) {
+  const auto scale = tiny_scale();
+  const EpsilonUlSweep sweep(scale, {2.0}, {1.0});
+  // r = 1, ε = 1: the GA is at worst equal to HEFT => P >= 0.
+  EXPECT_GE(sweep.mean_overall_performance(0, 0, 1.0, RobustnessKind::kR1), -1e-9);
+}
+
+TEST(SlackRobustness, SamplesHaveConsistentFields) {
+  auto scale = tiny_scale();
+  scale.realizations = 100;
+  const auto samples = sample_slack_robustness(scale, 4.0, 10);
+  ASSERT_EQ(samples.size(), 10u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.makespan, 0.0);
+    EXPECT_GE(s.avg_slack, 0.0);
+    EXPECT_GE(s.miss_rate, 0.0);
+    EXPECT_LE(s.miss_rate, 1.0);
+    EXPECT_GT(s.r1, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,132 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Dominates, BasicRelations) {
+  const ParetoPoint better{10.0, 5.0, 0};
+  const ParetoPoint worse{12.0, 4.0, 1};
+  EXPECT_TRUE(dominates(better, worse));
+  EXPECT_FALSE(dominates(worse, better));
+  // Equal points do not dominate each other.
+  EXPECT_FALSE(dominates(better, better));
+  // Trade-off points are mutually non-dominated.
+  const ParetoPoint fast{8.0, 2.0, 2};
+  const ParetoPoint slack_rich{15.0, 9.0, 3};
+  EXPECT_FALSE(dominates(fast, slack_rich));
+  EXPECT_FALSE(dominates(slack_rich, fast));
+}
+
+TEST(Dominates, OneObjectiveTieStillDominates) {
+  EXPECT_TRUE(dominates({10.0, 5.0, 0}, {10.0, 4.0, 1}));
+  EXPECT_TRUE(dominates({9.0, 5.0, 0}, {10.0, 5.0, 1}));
+}
+
+TEST(ParetoFront, FiltersDominatedPoints) {
+  const std::vector<ParetoPoint> points{
+      {10.0, 5.0, 0},  // front
+      {12.0, 4.0, 1},  // dominated by 0
+      {8.0, 2.0, 2},   // front
+      {15.0, 9.0, 3},  // front
+      {15.0, 8.0, 4},  // dominated by 3
+      {20.0, 9.0, 5},  // dominated by 3
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  // Sorted by increasing makespan.
+  EXPECT_EQ(front[0].index, 2u);
+  EXPECT_EQ(front[1].index, 0u);
+  EXPECT_EQ(front[2].index, 3u);
+}
+
+TEST(ParetoFront, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const std::vector<ParetoPoint> one{{1.0, 1.0, 7}};
+  EXPECT_EQ(pareto_front(one).size(), 1u);
+}
+
+TEST(ParetoFront, DuplicatesKeepFirst) {
+  const std::vector<ParetoPoint> points{{10.0, 5.0, 0}, {10.0, 5.0, 1}};
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].index, 0u);
+}
+
+TEST(ParetoFront, NoMemberDominatesAnother) {
+  Rng rng(1);
+  std::vector<ParetoPoint> points;
+  for (std::size_t i = 0; i < 200; ++i) {
+    points.push_back({rng.next_double() * 100.0, rng.next_double() * 50.0, i});
+  }
+  const auto front = pareto_front(points);
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      EXPECT_FALSE(dominates(a, b));
+    }
+    // And every non-front point is dominated by some front point.
+  }
+  for (const auto& p : points) {
+    const bool on_front =
+        std::any_of(front.begin(), front.end(),
+                    [&](const ParetoPoint& f) { return f.index == p.index; });
+    if (!on_front) {
+      EXPECT_TRUE(std::any_of(front.begin(), front.end(),
+                              [&](const ParetoPoint& f) { return dominates(f, p); }));
+    }
+  }
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  const std::vector<ParetoPoint> front{{10.0, 5.0, 0}};
+  const ParetoPoint ref{20.0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, ref), 10.0 * 4.0);
+}
+
+TEST(Hypervolume, StaircaseOfTwoPoints) {
+  // Points (10, 5) and (14, 8) vs ref (20, 1):
+  // rectangle of (14,8): (20-14)*(8-1) = 42; then (10,5): (14-10)*(5-1) = 16.
+  const std::vector<ParetoPoint> front{{10.0, 5.0, 0}, {14.0, 8.0, 1}};
+  const ParetoPoint ref{20.0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, ref), 58.0);
+}
+
+TEST(Hypervolume, DominatedPointsDoNotChangeVolume) {
+  const std::vector<ParetoPoint> front{{10.0, 5.0, 0}, {14.0, 8.0, 1}};
+  std::vector<ParetoPoint> with_noise = front;
+  with_noise.push_back({15.0, 7.0, 2});  // dominated by (14, 8)
+  const ParetoPoint ref{20.0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, ref), hypervolume_2d(with_noise, ref));
+}
+
+TEST(Hypervolume, SupersetFrontHasLargerVolume) {
+  const std::vector<ParetoPoint> small{{10.0, 5.0, 0}};
+  std::vector<ParetoPoint> large = small;
+  large.push_back({14.0, 8.0, 1});
+  const ParetoPoint ref{20.0, 1.0, 0};
+  EXPECT_GT(hypervolume_2d(large, ref), hypervolume_2d(small, ref));
+}
+
+TEST(Hypervolume, RejectsBadReference) {
+  const std::vector<ParetoPoint> front{{10.0, 5.0, 0}};
+  EXPECT_THROW(hypervolume_2d(front, ParetoPoint{5.0, 1.0, 0}), InvalidArgument);
+  EXPECT_THROW(hypervolume_2d(front, ParetoPoint{20.0, 6.0, 0}), InvalidArgument);
+}
+
+TEST(Coverage, FullPartialAndNone) {
+  const std::vector<ParetoPoint> strong{{5.0, 10.0, 0}};
+  const std::vector<ParetoPoint> weak{{10.0, 5.0, 1}, {12.0, 8.0, 2}};
+  EXPECT_DOUBLE_EQ(coverage_metric(strong, weak), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_metric(weak, strong), 0.0);
+  const std::vector<ParetoPoint> mixed{{6.0, 9.0, 3}, {4.0, 12.0, 4}};
+  // strong (5,10) dominates (6,9) but not (4,12).
+  EXPECT_DOUBLE_EQ(coverage_metric(strong, mixed), 0.5);
+  EXPECT_DOUBLE_EQ(coverage_metric(strong, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,60 @@
+#include "core/performance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rts {
+namespace {
+
+TEST(OverallPerformance, ZeroWhenEqualToHeft) {
+  EXPECT_DOUBLE_EQ(overall_performance(0.5, 100.0, 3.0, 100.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(overall_performance(0.0, 100.0, 3.0, 100.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(overall_performance(1.0, 100.0, 3.0, 100.0, 3.0), 0.0);
+}
+
+TEST(OverallPerformance, PureMakespanWeight) {
+  // r = 1: only the makespan term, P = log(M_HEFT / M).
+  EXPECT_NEAR(overall_performance(1.0, 50.0, 1.0, 100.0, 99.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(overall_performance(1.0, 200.0, 1.0, 100.0, 99.0), std::log(0.5), 1e-12);
+}
+
+TEST(OverallPerformance, PureRobustnessWeight) {
+  EXPECT_NEAR(overall_performance(0.0, 1e9, 6.0, 100.0, 3.0), std::log(2.0), 1e-12);
+}
+
+TEST(OverallPerformance, LinearInterpolationBetweenTerms) {
+  const double makespan_term = std::log(100.0 / 80.0);
+  const double robustness_term = std::log(4.0 / 2.0);
+  const double p = overall_performance(0.3, 80.0, 4.0, 100.0, 2.0);
+  EXPECT_NEAR(p, 0.3 * makespan_term + 0.7 * robustness_term, 1e-12);
+}
+
+TEST(OverallPerformance, TradeoffFlipsWithR) {
+  // A schedule with worse makespan but better robustness: preferable for
+  // small r, worse for large r (the exact situation of Figs. 7/8).
+  const double p_robust_pref = overall_performance(0.1, 150.0, 9.0, 100.0, 3.0);
+  const double p_makespan_pref = overall_performance(0.9, 150.0, 9.0, 100.0, 3.0);
+  EXPECT_GT(p_robust_pref, 0.0);
+  EXPECT_LT(p_makespan_pref, 0.0);
+}
+
+TEST(OverallPerformance, RejectsBadInputs) {
+  EXPECT_THROW(overall_performance(-0.1, 1.0, 1.0, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(overall_performance(1.1, 1.0, 1.0, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(overall_performance(0.5, 0.0, 1.0, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(overall_performance(0.5, 1.0, 0.0, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(overall_performance(0.5, 1.0, 1.0, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(overall_performance(0.5, 1.0, 1.0, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Log10Ratio, BasicsAndErrors) {
+  EXPECT_DOUBLE_EQ(log10_ratio(100.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(log10_ratio(10.0, 100.0), -1.0);
+  EXPECT_DOUBLE_EQ(log10_ratio(5.0, 5.0), 0.0);
+  EXPECT_THROW(log10_ratio(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(log10_ratio(1.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,99 @@
+#include "core/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+RobustnessReport sample_report() {
+  const auto instance = testing::small_instance(20, 4, 3.0, 1);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  MonteCarloConfig config;
+  config.realizations = 100;
+  config.collect_samples = true;
+  return evaluate_robustness(instance, heft.schedule, config);
+}
+
+TEST(ReportJson, RobustnessContainsAllKeys) {
+  const std::string json = robustness_to_json(sample_report());
+  for (const char* key :
+       {"\"expected_makespan\":", "\"mean_realized_makespan\":", "\"p50\":",
+        "\"p95\":", "\"p99\":", "\"mean_tardiness\":", "\"miss_rate\":", "\"r1\":",
+        "\"r2\":", "\"realizations\":100"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.find("\"samples\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJson, SamplesIncludedOnRequest) {
+  const std::string json = robustness_to_json(sample_report(), /*include_samples=*/true);
+  const auto pos = json.find("\"samples\":[");
+  ASSERT_NE(pos, std::string::npos);
+  // 100 samples -> 99 commas inside the array.
+  const auto end = json.find(']', pos);
+  ASSERT_NE(end, std::string::npos);
+  const std::string array = json.substr(pos, end - pos);
+  EXPECT_EQ(std::count(array.begin(), array.end(), ','), 99);
+}
+
+TEST(ReportJson, CriticalityRoundtripKeys) {
+  const auto instance = testing::small_instance(15, 3, 3.0, 2);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  CriticalityConfig config;
+  config.realizations = 50;
+  const auto report = analyze_criticality(instance, heft.schedule, config);
+  const std::string json = criticality_to_json(report);
+  EXPECT_NE(json.find("\"expected_critical_tasks\":"), std::string::npos);
+  EXPECT_NE(json.find("\"safe_tasks\":"), std::string::npos);
+  EXPECT_NE(json.find("\"normalized_entropy\":"), std::string::npos);
+  const auto pos = json.find("\"criticality_index\":[");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = json.find(']', pos);
+  const std::string array = json.substr(pos, end - pos);
+  EXPECT_EQ(std::count(array.begin(), array.end(), ','), 14);  // 15 entries
+}
+
+TEST(ReportJson, TimelineListsEveryTaskWithEscaping) {
+  TaskGraph g = testing::chain3(0.0);
+  g.set_task_name(0, "weird \"name\"\nwith\tstuff");
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  const Matrix<double> costs(3, 1, 2.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  const std::string json = timeline_to_json(g, s, timing);
+  EXPECT_NE(json.find("\"makespan\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"weird \\\"name\\\"\\nwith\\tstuff\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"processor\":0"), std::string::npos);
+}
+
+TEST(ReportJson, TimelineRejectsMismatchedInputs) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  ScheduleTiming empty;
+  EXPECT_THROW(timeline_to_json(g, s, empty), InvalidArgument);
+}
+
+TEST(ReportJson, SaveToFileAndBadPath) {
+  const std::string path = ::testing::TempDir() + "rts_report_test.json";
+  save_json_file(path, "{\"x\":1}");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "{\"x\":1}");
+  std::remove(path.c_str());
+  EXPECT_THROW(save_json_file("/nonexistent_zzz/x.json", "{}"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,74 @@
+#include "core/robust_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+namespace {
+
+RobustSchedulerConfig fast_config() {
+  RobustSchedulerConfig config;
+  config.ga.max_iterations = 150;
+  config.ga.stagnation_window = 50;
+  config.ga.seed = 11;
+  config.mc.realizations = 300;
+  return config;
+}
+
+TEST(RobustScheduler, OutcomeFieldsAreInternallyConsistent) {
+  const auto instance = testing::small_instance(40, 4, 3.0, 1);
+  const auto outcome = robust_schedule(instance, fast_config());
+
+  // The GA schedule's evaluation matches a fresh timing computation.
+  const auto timing = compute_schedule_timing(instance.graph, instance.platform,
+                                              outcome.schedule, instance.expected);
+  EXPECT_DOUBLE_EQ(timing.makespan, outcome.eval.makespan);
+  EXPECT_DOUBLE_EQ(timing.average_slack, outcome.eval.avg_slack);
+
+  // Monte-Carlo reports refer to the right schedules.
+  EXPECT_DOUBLE_EQ(outcome.report.expected_makespan, outcome.eval.makespan);
+  const auto heft_timing = compute_schedule_timing(
+      instance.graph, instance.platform, outcome.heft_schedule, instance.expected);
+  EXPECT_DOUBLE_EQ(outcome.heft_report.expected_makespan, heft_timing.makespan);
+  EXPECT_DOUBLE_EQ(outcome.heft_makespan, heft_timing.makespan);
+  EXPECT_GT(outcome.ga_iterations, 0u);
+}
+
+TEST(RobustScheduler, RespectsConstraintBound) {
+  const auto instance = testing::small_instance(40, 4, 2.0, 2);
+  auto config = fast_config();
+  config.ga.epsilon = 1.4;
+  const auto outcome = robust_schedule(instance, config);
+  EXPECT_LE(outcome.eval.makespan, 1.4 * outcome.heft_makespan + 1e-9);
+}
+
+TEST(RobustScheduler, SlackNotWorseThanHeft) {
+  const auto instance = testing::small_instance(50, 4, 2.0, 3);
+  auto config = fast_config();
+  config.ga.max_iterations = 250;
+  const auto outcome = robust_schedule(instance, config);
+  const auto heft_timing = compute_schedule_timing(
+      instance.graph, instance.platform, outcome.heft_schedule, instance.expected);
+  // The HEFT seed guarantees the GA never returns anything with less slack
+  // at ε = 1 than HEFT itself.
+  EXPECT_GE(outcome.eval.avg_slack, heft_timing.average_slack);
+}
+
+TEST(RobustScheduler, RejectsInvalidInstance) {
+  auto instance = testing::small_instance(10, 2, 2.0, 4);
+  instance.ul(0, 0) = 0.2;  // breaks the UL >= 1 invariant
+  EXPECT_THROW(robust_schedule(instance, fast_config()), InvalidArgument);
+}
+
+TEST(RobustScheduler, DeterministicInSeeds) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 5);
+  const auto a = robust_schedule(instance, fast_config());
+  const auto b = robust_schedule(instance, fast_config());
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.report.mean_realized_makespan, b.report.mean_realized_makespan);
+}
+
+}  // namespace
+}  // namespace rts

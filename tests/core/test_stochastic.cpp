@@ -1,0 +1,132 @@
+#include "core/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "sched/timing.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+TEST(PercentileCosts, QuantileEndpoints) {
+  Matrix<double> bcet(1, 2);
+  bcet(0, 0) = 10.0;
+  bcet(0, 1) = 4.0;
+  Matrix<double> ul(1, 2);
+  ul(0, 0) = 3.0;  // realized ~ U(10, 50)
+  ul(0, 1) = 1.0;  // deterministic
+
+  const auto q0 = percentile_costs(bcet, ul, 0.0);
+  EXPECT_EQ(q0(0, 0), 10.0);  // q = 0 -> BCET
+  EXPECT_EQ(q0(0, 1), 4.0);
+
+  const auto q50 = percentile_costs(bcet, ul, 0.5);
+  EXPECT_EQ(q50(0, 0), 30.0);  // q = 0.5 -> the mean UL * b
+  EXPECT_EQ(q50(0, 1), 4.0);
+  EXPECT_EQ(q50, expected_costs(bcet, ul));
+
+  const auto q100 = percentile_costs(bcet, ul, 1.0);
+  EXPECT_EQ(q100(0, 0), 50.0);  // q = 1 -> worst case (2UL-1) * b
+  EXPECT_EQ(q100(0, 1), 4.0);
+}
+
+TEST(PercentileCosts, MonotoneInQ) {
+  const auto instance = testing::small_instance(20, 4, 4.0, 1);
+  const auto lo = percentile_costs(instance.bcet, instance.ul, 0.3);
+  const auto hi = percentile_costs(instance.bcet, instance.ul, 0.8);
+  for (std::size_t t = 0; t < lo.rows(); ++t) {
+    for (std::size_t p = 0; p < lo.cols(); ++p) {
+      EXPECT_LE(lo(t, p), hi(t, p));
+    }
+  }
+}
+
+TEST(PercentileCosts, QuantileMatchesEmpiricalDistribution) {
+  // The q-quantile cost must match the q-quantile of sampled durations.
+  Rng rng(2);
+  const double b = 10.0;
+  const double u = 3.0;
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = sample_realized_duration(rng, b, u);
+  Matrix<double> bcet(1, 1, b);
+  Matrix<double> ul(1, 1, u);
+  for (const double q : {0.25, 0.5, 0.9}) {
+    const double predicted = percentile_costs(bcet, ul, q)(0, 0);
+    const double empirical = percentile(samples, q * 100.0);
+    EXPECT_NEAR(predicted, empirical, 0.01 * predicted);
+  }
+}
+
+TEST(PercentileCosts, RejectsBadInputs) {
+  const Matrix<double> bcet(1, 1, 1.0);
+  const Matrix<double> ul(1, 1, 2.0);
+  EXPECT_THROW(percentile_costs(bcet, ul, -0.1), InvalidArgument);
+  EXPECT_THROW(percentile_costs(bcet, ul, 1.1), InvalidArgument);
+  const Matrix<double> wrong(2, 1, 2.0);
+  EXPECT_THROW(percentile_costs(bcet, wrong, 0.5), InvalidArgument);
+}
+
+TEST(DurationStddev, MatchesUniformFormulaAndSampling) {
+  Matrix<double> bcet(1, 1, 10.0);
+  Matrix<double> ul(1, 1, 3.0);
+  // U(10, 50): stddev = 40 / sqrt(12).
+  const auto sigma = duration_stddev(bcet, ul);
+  EXPECT_NEAR(sigma(0, 0), 40.0 / std::sqrt(12.0), 1e-12);
+
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(sample_realized_duration(rng, 10.0, 3.0));
+  EXPECT_NEAR(s.stddev(), sigma(0, 0), 0.05);
+}
+
+TEST(DurationStddev, DeterministicTaskHasZeroStddev) {
+  Matrix<double> bcet(1, 1, 10.0);
+  Matrix<double> ul(1, 1, 1.0);
+  EXPECT_EQ(duration_stddev(bcet, ul)(0, 0), 0.0);
+}
+
+TEST(Overestimation, ProducesValidScheduleWithExpectedCostMakespan) {
+  const auto instance = testing::small_instance(40, 4, 4.0, 4);
+  const auto result = overestimation_schedule(instance, 0.9);
+  // The reported makespan is the Claim 3.2 evaluation under the *expected*
+  // costs, directly comparable to heft_schedule's.
+  EXPECT_DOUBLE_EQ(result.makespan,
+                   compute_makespan(instance.graph, instance.platform,
+                                    result.schedule, instance.expected));
+}
+
+TEST(Overestimation, QuantileHalfIsPlainHeft) {
+  const auto instance = testing::small_instance(40, 4, 4.0, 5);
+  const auto plain = heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto over = overestimation_schedule(instance, 0.5);
+  EXPECT_EQ(over.schedule, plain.schedule);
+}
+
+TEST(Overestimation, HigherQuantileImprovesTardinessOnAverage) {
+  // The introduction's claim: planning against pessimistic times makes the
+  // schedule less tardy (and usually costs expected makespan). Averaged over
+  // instances to damp noise.
+  double tardy_mean = 0.0;
+  double tardy_pessimistic = 0.0;
+  for (const std::uint64_t seed : {6u, 7u, 8u, 9u}) {
+    const auto instance = testing::small_instance(60, 6, 5.0, seed);
+    MonteCarloConfig mc;
+    mc.realizations = 600;
+    mc.seed = seed;
+    const auto plain =
+        heft_schedule(instance.graph, instance.platform, instance.expected);
+    const auto over = overestimation_schedule(instance, 0.95);
+    tardy_mean += evaluate_robustness(instance, plain.schedule, mc).mean_tardiness;
+    tardy_pessimistic +=
+        evaluate_robustness(instance, over.schedule, mc).mean_tardiness;
+  }
+  EXPECT_LT(tardy_pessimistic, tardy_mean);
+}
+
+}  // namespace
+}  // namespace rts

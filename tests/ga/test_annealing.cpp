@@ -1,0 +1,120 @@
+#include "ga/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/stochastic.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+SaConfig fast_config() {
+  SaConfig config;
+  config.iterations = 3000;
+  config.seed = 5;
+  config.epsilon = 1.2;
+  return config;
+}
+
+TEST(SimulatedAnnealing, ProducesValidFeasibleSchedule) {
+  const auto instance = testing::small_instance(40, 4, 3.0, 1);
+  const auto result = run_simulated_annealing(instance.graph, instance.platform,
+                                              instance.expected, fast_config());
+  ASSERT_TRUE(is_valid_chromosome(instance.graph, 4, result.best));
+  // With the HEFT seed a feasible state exists from step 0, and energy of
+  // any feasible state dominates any infeasible one, so the best is feasible.
+  EXPECT_LE(result.best_eval.makespan, 1.2 * result.heft_makespan + 1e-9);
+  EXPECT_EQ(result.iterations, 3000u);
+  EXPECT_GT(result.accepted_moves, 0u);
+}
+
+TEST(SimulatedAnnealing, ImprovesSlackOverHeft) {
+  // Single-point search needs a longer budget than the GA to escape the
+  // HEFT basin (the ablation bench quantifies this); 12k evaluations is
+  // still well under a second.
+  const auto instance = testing::small_instance(50, 4, 3.0, 2);
+  SaConfig config = fast_config();
+  config.iterations = 12000;
+  const auto result = run_simulated_annealing(instance.graph, instance.platform,
+                                              instance.expected, config);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto heft_timing = compute_schedule_timing(instance.graph, instance.platform,
+                                                   heft.schedule, instance.expected);
+  EXPECT_GT(result.best_eval.avg_slack, heft_timing.average_slack);
+}
+
+TEST(SimulatedAnnealing, DeterministicInSeed) {
+  const auto instance = testing::small_instance(30, 4, 3.0, 3);
+  const auto a = run_simulated_annealing(instance.graph, instance.platform,
+                                         instance.expected, fast_config());
+  const auto b = run_simulated_annealing(instance.graph, instance.platform,
+                                         instance.expected, fast_config());
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+}
+
+TEST(SimulatedAnnealing, MakespanObjectiveReducesMakespan) {
+  const auto instance = testing::small_instance(40, 4, 3.0, 4);
+  SaConfig config = fast_config();
+  config.objective = ObjectiveKind::kMinimizeMakespan;
+  config.seed_with_heft = false;  // random start so there is room to improve
+  const auto result = run_simulated_annealing(instance.graph, instance.platform,
+                                              instance.expected, config);
+  // A random schedule on this instance is far worse than HEFT; SA should at
+  // least close most of the gap.
+  Rng rng(9);
+  const auto random_start = random_chromosome(instance.graph, 4, rng);
+  const Schedule random_schedule = decode(random_start, 4);
+  const double random_makespan = compute_makespan(
+      instance.graph, instance.platform, random_schedule, instance.expected);
+  EXPECT_LT(result.best_eval.makespan, random_makespan);
+}
+
+TEST(SimulatedAnnealing, EffectiveSlackObjectiveNeedsStddev) {
+  const auto instance = testing::small_instance(20, 4, 3.0, 5);
+  SaConfig config = fast_config();
+  config.objective = ObjectiveKind::kEpsilonConstraintEffective;
+  EXPECT_THROW(run_simulated_annealing(instance.graph, instance.platform,
+                                       instance.expected, config),
+               InvalidArgument);
+  const Matrix<double> stddev = duration_stddev(instance.bcet, instance.ul);
+  const auto result = run_simulated_annealing(instance.graph, instance.platform,
+                                              instance.expected, config, &stddev);
+  EXPECT_GT(result.best_eval.effective_slack, 0.0);
+  // Effective slack can never exceed raw slack (per-task min against it).
+  EXPECT_LE(result.best_eval.effective_slack, result.best_eval.avg_slack + 1e-12);
+}
+
+TEST(SimulatedAnnealing, RejectsBadConfig) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 6);
+  SaConfig config = fast_config();
+  config.iterations = 0;
+  EXPECT_THROW(run_simulated_annealing(instance.graph, instance.platform,
+                                       instance.expected, config),
+               InvalidArgument);
+  config = fast_config();
+  config.final_temp_fraction = 1.5;
+  EXPECT_THROW(run_simulated_annealing(instance.graph, instance.platform,
+                                       instance.expected, config),
+               InvalidArgument);
+}
+
+TEST(SimulatedAnnealing, MoreIterationsDoNotHurt) {
+  const auto instance = testing::small_instance(40, 4, 3.0, 7);
+  SaConfig small = fast_config();
+  small.iterations = 300;
+  SaConfig large = fast_config();
+  large.iterations = 6000;
+  const auto a = run_simulated_annealing(instance.graph, instance.platform,
+                                         instance.expected, small);
+  const auto b = run_simulated_annealing(instance.graph, instance.platform,
+                                         instance.expected, large);
+  // Best-so-far tracking + same seed family: the longer run should find at
+  // least roughly as much slack (allow small stochastic wobble).
+  EXPECT_GE(b.best_eval.avg_slack, a.best_eval.avg_slack * 0.9);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,106 @@
+#include "ga/chromosome.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_helpers.hpp"
+#include "graph/topology.hpp"
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Chromosome, RandomChromosomesAreValid) {
+  const TaskGraph g = testing::fig1_graph();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Chromosome c = random_chromosome(g, 4, rng);
+    ASSERT_TRUE(is_valid_chromosome(g, 4, c));
+  }
+}
+
+TEST(Chromosome, RandomChromosomesCoverProcessors) {
+  const TaskGraph g = testing::fig1_graph();
+  Rng rng(2);
+  std::set<ProcId> used;
+  for (int i = 0; i < 50; ++i) {
+    const Chromosome c = random_chromosome(g, 3, rng);
+    used.insert(c.assignment.begin(), c.assignment.end());
+  }
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(Chromosome, DecodeDerivesPerProcessorOrderFromSchedulingString) {
+  Chromosome c;
+  c.order = {2, 0, 3, 1};
+  c.assignment = {0, 0, 1, 1};  // tasks 0,1 -> P0; 2,3 -> P1
+  TaskGraph g(4);               // no precedence: any order is topological
+  ASSERT_TRUE(is_valid_chromosome(g, 2, c));
+  const Schedule s = decode(c, 2);
+  EXPECT_EQ(testing::to_vec(s.sequence(0)), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(testing::to_vec(s.sequence(1)), (std::vector<TaskId>{2, 3}));
+}
+
+TEST(Chromosome, EncodeHeftScheduleRoundTrips) {
+  const auto instance = testing::small_instance(40, 4, 2.0, 3);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  const Chromosome c =
+      encode_schedule(instance.graph, instance.platform, heft.schedule,
+                      instance.expected);
+  ASSERT_TRUE(is_valid_chromosome(instance.graph, 4, c));
+  // Decoding must reproduce exactly the HEFT schedule (same sequences), and
+  // hence the same makespan.
+  const Schedule decoded = decode(c, 4);
+  EXPECT_EQ(decoded, heft.schedule);
+}
+
+TEST(Chromosome, IsValidRejectsBrokenEncodings) {
+  const TaskGraph g = testing::chain3();
+  Chromosome c;
+  c.order = {0, 1, 2};
+  c.assignment = {0, 0, 0};
+  EXPECT_TRUE(is_valid_chromosome(g, 1, c));
+
+  Chromosome bad_order = c;
+  bad_order.order = {1, 0, 2};
+  EXPECT_FALSE(is_valid_chromosome(g, 1, bad_order));
+
+  Chromosome bad_proc = c;
+  bad_proc.assignment = {0, 2, 0};
+  EXPECT_FALSE(is_valid_chromosome(g, 1, bad_proc));
+
+  Chromosome short_assignment = c;
+  short_assignment.assignment = {0};
+  EXPECT_FALSE(is_valid_chromosome(g, 1, short_assignment));
+}
+
+TEST(Chromosome, HashDiscriminatesOrderAndAssignment) {
+  Chromosome a;
+  a.order = {0, 1, 2};
+  a.assignment = {0, 0, 0};
+  Chromosome b = a;
+  EXPECT_EQ(chromosome_hash(a), chromosome_hash(b));
+  b.assignment = {0, 1, 0};
+  EXPECT_NE(chromosome_hash(a), chromosome_hash(b));
+  Chromosome c = a;
+  c.order = {0, 2, 1};
+  EXPECT_NE(chromosome_hash(a), chromosome_hash(c));
+}
+
+TEST(Chromosome, HashHasFewCollisionsOverRandomPopulation) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 4);
+  Rng rng(5);
+  std::set<std::uint64_t> hashes;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    hashes.insert(chromosome_hash(random_chromosome(instance.graph, 4, rng)));
+  }
+  // Random chromosomes on 30 tasks are almost surely distinct; their hashes
+  // should be too.
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(n - 2));
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,109 @@
+#include "ga/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "ga/engine.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(LocalSearch, ImprovesSlackWithoutBreakingTheBound) {
+  const auto instance = testing::small_instance(50, 4, 3.0, 1);
+  LocalSearchConfig config;
+  config.epsilon = 1.2;
+  const auto result = run_slack_local_search(instance.graph, instance.platform,
+                                             instance.expected, config);
+  ASSERT_TRUE(is_valid_chromosome(instance.graph, 4, result.best));
+  EXPECT_LE(result.best_eval.makespan, 1.2 * result.heft_makespan + 1e-9);
+
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto heft_timing = compute_schedule_timing(instance.graph, instance.platform,
+                                                   heft.schedule, instance.expected);
+  EXPECT_GT(result.best_eval.avg_slack, heft_timing.average_slack);
+  EXPECT_GT(result.improvements, 0u);
+}
+
+TEST(LocalSearch, EvaluationMatchesReportedBest) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 2);
+  LocalSearchConfig config;
+  config.epsilon = 1.3;
+  const auto result = run_slack_local_search(instance.graph, instance.platform,
+                                             instance.expected, config);
+  const auto timing = compute_schedule_timing(instance.graph, instance.platform,
+                                              result.best_schedule, instance.expected);
+  EXPECT_DOUBLE_EQ(timing.makespan, result.best_eval.makespan);
+  EXPECT_DOUBLE_EQ(timing.average_slack, result.best_eval.avg_slack);
+}
+
+TEST(LocalSearch, DeterministicInSeed) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 3);
+  LocalSearchConfig config;
+  config.epsilon = 1.2;
+  const auto a = run_slack_local_search(instance.graph, instance.platform,
+                                        instance.expected, config);
+  const auto b = run_slack_local_search(instance.graph, instance.platform,
+                                        instance.expected, config);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(LocalSearch, TerminatesWhenNoMoveImproves) {
+  // Single processor, chain: nothing can be moved (window is a point, no
+  // alternative processor), so the search must stop after one quiet pass.
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Matrix<double> costs(3, 1, 2.0);
+  LocalSearchConfig config;
+  config.epsilon = 2.0;
+  config.max_passes = 50;
+  const auto result = run_slack_local_search(g, platform, costs, config);
+  EXPECT_EQ(result.improvements, 0u);
+  EXPECT_DOUBLE_EQ(result.best_eval.makespan, 6.0);
+}
+
+TEST(LocalSearch, CapturesMostOfTheGaGainMuchFaster) {
+  // Informative sanity rather than a strict benchmark: the hill climber
+  // should reach at least a third of the GA's slack gain at ε = 1.2.
+  const auto instance = testing::small_instance(50, 4, 3.0, 4);
+  LocalSearchConfig ls;
+  ls.epsilon = 1.2;
+  const auto climb = run_slack_local_search(instance.graph, instance.platform,
+                                            instance.expected, ls);
+  GaConfig ga;
+  ga.epsilon = 1.2;
+  ga.max_iterations = 300;
+  ga.seed = 4;
+  const auto evolved =
+      run_ga(instance.graph, instance.platform, instance.expected, ga);
+  EXPECT_GT(climb.best_eval.avg_slack, evolved.best_eval.avg_slack / 3.0);
+}
+
+TEST(LocalSearch, RejectsBadConfig) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 5);
+  LocalSearchConfig config;
+  config.epsilon = 0.0;
+  EXPECT_THROW(run_slack_local_search(instance.graph, instance.platform,
+                                      instance.expected, config),
+               InvalidArgument);
+  config.epsilon = 1.0;
+  config.max_passes = 0;
+  EXPECT_THROW(run_slack_local_search(instance.graph, instance.platform,
+                                      instance.expected, config),
+               InvalidArgument);
+}
+
+TEST(LocalSearch, RandomStartIsSupported) {
+  const auto instance = testing::small_instance(20, 4, 2.0, 6);
+  LocalSearchConfig config;
+  config.epsilon = 2.0;  // generous bound so a random start can be feasible
+  config.seed_with_heft = false;
+  const auto result = run_slack_local_search(instance.graph, instance.platform,
+                                             instance.expected, config);
+  EXPECT_TRUE(is_valid_chromosome(instance.graph, 4, result.best));
+}
+
+}  // namespace
+}  // namespace rts

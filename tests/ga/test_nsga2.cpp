@@ -1,0 +1,147 @@
+#include "ga/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "core/pareto.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+Nsga2Config fast_config() {
+  Nsga2Config config;
+  config.population_size = 24;
+  config.max_generations = 60;
+  config.seed = 3;
+  return config;
+}
+
+TEST(NonDominatedRanks, HandComputedLevels) {
+  // (min makespan, max slack):
+  //   A (10, 5) and B (15, 9): mutually non-dominated     -> rank 0
+  //   C (12, 4): dominated by A only                      -> rank 1
+  //   D (16, 3): dominated by A, B, C                     -> rank 2
+  const std::vector<Evaluation> evals{
+      {10.0, 5.0, 0.0}, {15.0, 9.0, 0.0}, {12.0, 4.0, 0.0}, {16.0, 3.0, 0.0}};
+  const auto rank = non_dominated_ranks(evals);
+  EXPECT_EQ(rank[0], 0u);
+  EXPECT_EQ(rank[1], 0u);
+  EXPECT_EQ(rank[2], 1u);
+  EXPECT_EQ(rank[3], 2u);
+}
+
+TEST(NonDominatedRanks, AllEqualIsOneFront) {
+  const std::vector<Evaluation> evals(5, Evaluation{10.0, 5.0, 0.0});
+  for (const auto r : non_dominated_ranks(evals)) EXPECT_EQ(r, 0u);
+}
+
+TEST(CrowdingDistances, BoundariesAreInfinite) {
+  const std::vector<Evaluation> evals{
+      {10.0, 2.0, 0.0}, {12.0, 5.0, 0.0}, {14.0, 9.0, 0.0}};
+  const auto d = crowding_distances(evals);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[2]));
+  // Interior: normalized spans (14-10)/(14-10) + (9-2)/(9-2) = 2.
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+}
+
+TEST(CrowdingDistances, SparsePointsScoreHigher) {
+  // Four points on a line; the one with distant neighbours is less crowded.
+  const std::vector<Evaluation> evals{
+      {0.0, 0.0, 0.0}, {1.0, 1.0, 0.0}, {2.0, 2.0, 0.0}, {10.0, 10.0, 0.0}};
+  const auto d = crowding_distances(evals);
+  EXPECT_GT(d[2], d[1]);  // index 2's right neighbour is far away
+}
+
+TEST(CrowdingDistances, TwoOrFewerAreAllInfinite) {
+  const std::vector<Evaluation> two{{1.0, 1.0, 0.0}, {2.0, 2.0, 0.0}};
+  for (const auto d : crowding_distances(two)) EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(Nsga2, FrontMembersAreValidAndMutuallyNonDominated) {
+  const auto instance = testing::small_instance(30, 4, 3.0, 1);
+  const auto result =
+      run_nsga2(instance.graph, instance.platform, instance.expected, fast_config());
+  ASSERT_GE(result.front.size(), 2u);
+  ASSERT_EQ(result.front.size(), result.front_evals.size());
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    ASSERT_TRUE(is_valid_chromosome(instance.graph, 4, result.front[i]));
+    // Objective values match a fresh evaluation of the chromosome.
+    const auto timing =
+        compute_schedule_timing(instance.graph, instance.platform,
+                                decode(result.front[i], 4), instance.expected);
+    EXPECT_DOUBLE_EQ(timing.makespan, result.front_evals[i].makespan);
+    EXPECT_DOUBLE_EQ(timing.average_slack, result.front_evals[i].avg_slack);
+  }
+  std::vector<ParetoPoint> points;
+  for (std::size_t i = 0; i < result.front_evals.size(); ++i) {
+    points.push_back(
+        {result.front_evals[i].makespan, result.front_evals[i].avg_slack, i});
+  }
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      EXPECT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST(Nsga2, FrontSpansTheTradeoff) {
+  // The front should contain both a low-makespan solution (near HEFT thanks
+  // to the seed) and a much slack-richer one.
+  const auto instance = testing::small_instance(40, 4, 3.0, 2);
+  const auto result =
+      run_nsga2(instance.graph, instance.platform, instance.expected, fast_config());
+  double min_makespan = 1e300;
+  double max_slack = -1.0;
+  for (const auto& e : result.front_evals) {
+    min_makespan = std::min(min_makespan, e.makespan);
+    max_slack = std::max(max_slack, e.avg_slack);
+  }
+  EXPECT_LE(min_makespan, 1.1 * result.heft_makespan);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto heft_timing = compute_schedule_timing(instance.graph, instance.platform,
+                                                   heft.schedule, instance.expected);
+  EXPECT_GT(max_slack, 2.0 * (heft_timing.average_slack + 1.0));
+}
+
+TEST(Nsga2, DeterministicInSeed) {
+  const auto instance = testing::small_instance(25, 4, 3.0, 3);
+  const auto a =
+      run_nsga2(instance.graph, instance.platform, instance.expected, fast_config());
+  const auto b =
+      run_nsga2(instance.graph, instance.platform, instance.expected, fast_config());
+  EXPECT_EQ(a.front, b.front);
+}
+
+TEST(Nsga2, RejectsBadConfig) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 4);
+  Nsga2Config config = fast_config();
+  config.population_size = 2;
+  EXPECT_THROW(run_nsga2(instance.graph, instance.platform, instance.expected, config),
+               InvalidArgument);
+  config = fast_config();
+  config.max_generations = 0;
+  EXPECT_THROW(run_nsga2(instance.graph, instance.platform, instance.expected, config),
+               InvalidArgument);
+  config = fast_config();
+  config.mutation_prob = 2.0;
+  EXPECT_THROW(run_nsga2(instance.graph, instance.platform, instance.expected, config),
+               InvalidArgument);
+}
+
+TEST(Nsga2, OddPopulationIsRoundedUpAndWorks) {
+  const auto instance = testing::small_instance(15, 2, 2.0, 5);
+  Nsga2Config config = fast_config();
+  config.population_size = 9;
+  config.max_generations = 20;
+  const auto result =
+      run_nsga2(instance.graph, instance.platform, instance.expected, config);
+  EXPECT_GE(result.front.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,104 @@
+#include "graph/disjunctive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "graph/topology.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+std::vector<std::vector<TaskId>> fig1_sequences() {
+  // Paper Fig. 1(c): P1 = {v1, v2, v4}, P2 = {v3, v5, v8}, P3 = {v6, v7}.
+  return {{0, 1, 3}, {2, 4, 7}, {5, 6}, {}};
+}
+
+TEST(Disjunctive, Fig1AddsExactlyTheDashedEdge) {
+  const TaskGraph g = testing::fig1_graph(2.0);
+  const auto seqs = fig1_sequences();
+  // Consecutive same-processor pairs: (0,1), (1,3), (2,4), (4,7), (5,6).
+  // All but (1,3) are already precedence edges, so E' = {(1,3)} — the dashed
+  // edge of the paper's Fig. 1(d).
+  const auto extra = disjunctive_edges(g, seqs);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0], (std::pair<TaskId, TaskId>{1, 3}));
+}
+
+TEST(Disjunctive, BuildsValidatedGraphWithZeroedIntraProcData) {
+  const TaskGraph g = testing::fig1_graph(2.0);
+  const auto seqs = fig1_sequences();
+  const TaskGraph gs = make_disjunctive_graph(g, seqs);
+
+  EXPECT_EQ(gs.task_count(), g.task_count());
+  EXPECT_EQ(gs.edge_count(), g.edge_count() + 1);
+  EXPECT_TRUE(gs.is_acyclic());
+
+  // Eqn. 1: consecutive same-processor edges carry zero data...
+  EXPECT_EQ(gs.edge_data(0, 1), 0.0);  // (v1, v2) on P1, was a real edge
+  EXPECT_EQ(gs.edge_data(1, 3), 0.0);  // the added disjunctive edge
+  EXPECT_EQ(gs.edge_data(2, 4), 0.0);
+  EXPECT_EQ(gs.edge_data(4, 7), 0.0);
+  EXPECT_EQ(gs.edge_data(5, 6), 0.0);
+  // ...while cross-processor precedence edges keep theirs.
+  EXPECT_EQ(gs.edge_data(0, 2), 2.0);
+  EXPECT_EQ(gs.edge_data(1, 4), 2.0);
+  EXPECT_EQ(gs.edge_data(4, 6), 2.0);
+}
+
+TEST(Disjunctive, PreservesTaskNames) {
+  TaskGraph g = testing::fig1_graph();
+  g.set_task_name(0, "root");
+  const TaskGraph gs = make_disjunctive_graph(g, fig1_sequences());
+  EXPECT_EQ(gs.task_name(0), "root");
+}
+
+TEST(Disjunctive, RejectsMissingTask) {
+  const TaskGraph g = testing::fig1_graph();
+  std::vector<std::vector<TaskId>> seqs{{0, 1, 3}, {2, 4, 7}, {5}, {}};  // 6 missing
+  EXPECT_THROW(make_disjunctive_graph(g, seqs), InvalidArgument);
+}
+
+TEST(Disjunctive, RejectsDuplicatedTask) {
+  const TaskGraph g = testing::fig1_graph();
+  std::vector<std::vector<TaskId>> seqs{{0, 1, 3}, {2, 4, 7}, {5, 6}, {5}};
+  EXPECT_THROW(make_disjunctive_graph(g, seqs), InvalidArgument);
+}
+
+TEST(Disjunctive, RejectsOutOfRangeTask) {
+  const TaskGraph g = testing::fig1_graph();
+  std::vector<std::vector<TaskId>> seqs{{0, 1, 3, 42}, {2, 4, 7}, {5, 6}, {}};
+  EXPECT_THROW(make_disjunctive_graph(g, seqs), InvalidArgument);
+}
+
+TEST(Disjunctive, RejectsPrecedenceViolatingSequence) {
+  // Putting a successor before its predecessor on one processor creates a
+  // cycle in Gs: 0 -> 1 in E but 1 before 0 on P0.
+  const TaskGraph g = testing::chain3();
+  std::vector<std::vector<TaskId>> seqs{{1, 0, 2}};
+  EXPECT_THROW(make_disjunctive_graph(g, seqs), InvalidArgument);
+}
+
+TEST(Disjunctive, SequentializingIndependentTasksIsLegal) {
+  // Two independent tasks on one processor gain an ordering edge.
+  TaskGraph g(2);
+  const std::vector<std::vector<TaskId>> seqs{{1, 0}};
+  const TaskGraph gs = make_disjunctive_graph(g, seqs);
+  EXPECT_TRUE(gs.has_edge(1, 0));
+  EXPECT_EQ(gs.edge_data(1, 0), 0.0);
+  EXPECT_TRUE(gs.is_acyclic());
+}
+
+TEST(Disjunctive, SingleProcessorLinearizesEverything) {
+  const TaskGraph g = testing::fig1_graph();
+  const auto order = topological_order(g);
+  const std::vector<std::vector<TaskId>> seqs{order};
+  const TaskGraph gs = make_disjunctive_graph(g, seqs);
+  // A single chain: every task except the last has >= 1 successor and the
+  // graph has exactly one topological order.
+  EXPECT_EQ(topological_order(gs), order);
+  EXPECT_EQ(gs.exit_tasks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rts

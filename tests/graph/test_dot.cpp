@@ -1,0 +1,128 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_helpers.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Dot, EmitsAllNodesAndEdges) {
+  const TaskGraph g = testing::chain3(2.0);
+  std::ostringstream os;
+  write_dot(os, g, "chain");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph \"chain\""), std::string::npos);
+  EXPECT_NE(out.find("n0 [label=\"t0\""), std::string::npos);
+  EXPECT_NE(out.find("n2 [label=\"t2\""), std::string::npos);
+  EXPECT_NE(out.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(out.find("n1 -> n2"), std::string::npos);
+  // No data labels unless requested.
+  EXPECT_EQ(out.find("label=\"2\""), std::string::npos);
+}
+
+TEST(Dot, ShowsDataLabelsWhenRequested) {
+  const TaskGraph g = testing::chain3(2.0);
+  std::ostringstream os;
+  write_dot(os, g, "chain", /*show_data=*/true);
+  EXPECT_NE(os.str().find("[label=\"2\"]"), std::string::npos);
+}
+
+TEST(Dot, UsesCustomNames) {
+  TaskGraph g = testing::chain3();
+  g.set_task_name(0, "source");
+  std::ostringstream os;
+  write_dot(os, g, "g");
+  EXPECT_NE(os.str().find("label=\"source\""), std::string::npos);
+}
+
+TEST(Dot, DisjunctiveEdgesAreDashed) {
+  const TaskGraph g = testing::fig1_graph();
+  const std::vector<std::vector<TaskId>> seqs{{0, 1, 3}, {2, 4, 7}, {5, 6}, {}};
+  std::ostringstream os;
+  write_disjunctive_dot(os, g, seqs, "fig1d");
+  const std::string out = os.str();
+  // The only disjunctive edge of Fig. 1(d) is v2 -> v4 (ids 1 -> 3), dashed.
+  EXPECT_NE(out.find("n1 -> n3 [style=dashed];"), std::string::npos);
+  // Precedence edges stay solid.
+  EXPECT_NE(out.find("n0 -> n1;"), std::string::npos);
+  EXPECT_EQ(out.find("n0 -> n1 [style=dashed]"), std::string::npos);
+}
+
+TEST(DotImport, RoundTripsExportedGraphs) {
+  TaskGraph original = testing::fig1_graph(3.5);
+  original.set_task_name(0, "entry");
+  std::ostringstream os;
+  write_dot(os, original, "fig1", /*show_data=*/true);
+  std::istringstream in(os.str());
+  const TaskGraph loaded = read_dot(in);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(DotImport, HandWrittenFileWithCommentsAndNoSpaces) {
+  std::istringstream in(R"(
+    // a small workflow
+    digraph wf {
+      ingest [label="ingest data"];
+      ingest->clean;   # tight arrow
+      clean -> train [label="12.5"];
+      /* block
+         comment */
+      train -> report;
+      clean -> report [label="not-a-number"];
+    }
+  )");
+  const TaskGraph g = read_dot(in);
+  ASSERT_EQ(g.task_count(), 4u);
+  EXPECT_EQ(g.task_name(0), "ingest data");
+  EXPECT_EQ(g.task_name(1), "clean");
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(g.edge_data(1, 2), 12.5);
+  EXPECT_DOUBLE_EQ(g.edge_data(1, 3), 0.0);  // non-numeric label ignored
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(DotImport, BareNodesWithoutEdges) {
+  std::istringstream in("digraph g { a; b; c; }");
+  const TaskGraph g = read_dot(in);
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DotImport, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_dot(in);
+  };
+  EXPECT_THROW(parse("graph g { a -- b; }"), InvalidArgument);  // undirected
+  EXPECT_THROW(parse("digraph g { a -> b; "), InvalidArgument);  // missing }
+  EXPECT_THROW(parse("digraph g { a -> ; }"), InvalidArgument);
+  EXPECT_THROW(parse("digraph g { }"), InvalidArgument);  // empty
+  EXPECT_THROW(parse("digraph g { a -> b; b -> a; }"), InvalidArgument);  // cycle
+  EXPECT_THROW(parse("digraph g { a [label=\"x ; }"), InvalidArgument);
+  EXPECT_THROW(parse("digraph g { /* unterminated"), InvalidArgument);
+}
+
+TEST(DotImport, FirstAppearanceOrderDefinesIds) {
+  std::istringstream in("digraph g { z -> a; a -> m; }");
+  const TaskGraph g = read_dot(in);
+  EXPECT_EQ(g.task_name(0), "z");
+  EXPECT_EQ(g.task_name(1), "a");
+  EXPECT_EQ(g.task_name(2), "m");
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Dot, OutputIsWellFormedBraces) {
+  const TaskGraph g = testing::fig1_graph();
+  std::ostringstream os;
+  write_dot(os, g, "x");
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), 'd');
+  EXPECT_EQ(out.substr(out.size() - 2), "}\n");
+}
+
+}  // namespace
+}  // namespace rts

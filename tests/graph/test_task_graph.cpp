@@ -1,0 +1,119 @@
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(TaskGraph, RejectsZeroTasks) { EXPECT_THROW(TaskGraph(0), InvalidArgument); }
+
+TEST(TaskGraph, StartsWithNoEdges) {
+  TaskGraph g(3);
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 3u);
+  EXPECT_EQ(g.exit_tasks().size(), 3u);
+}
+
+TEST(TaskGraph, AddEdgeUpdatesAdjacency) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  ASSERT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.successors(0)[0].task, 1);
+  EXPECT_EQ(g.successors(0)[0].data, 2.5);
+  ASSERT_EQ(g.predecessors(1).size(), 1u);
+  EXPECT_EQ(g.predecessors(1)[0].task, 0);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+}
+
+TEST(TaskGraph, RejectsSelfLoops) {
+  TaskGraph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, 0.0), InvalidArgument);
+}
+
+TEST(TaskGraph, RejectsDuplicateEdges) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.add_edge(0, 1, 2.0), InvalidArgument);
+}
+
+TEST(TaskGraph, RejectsNegativeData) {
+  TaskGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), InvalidArgument);
+}
+
+TEST(TaskGraph, RejectsOutOfRangeIds) {
+  TaskGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), InvalidArgument);
+  EXPECT_THROW(g.add_edge(-1, 1, 1.0), InvalidArgument);
+  EXPECT_THROW((void)g.successors(5), InvalidArgument);
+  EXPECT_THROW((void)g.predecessors(-1), InvalidArgument);
+}
+
+TEST(TaskGraph, EdgeDataReadAndWrite) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 3.0);
+  EXPECT_EQ(g.edge_data(0, 1), 3.0);
+  g.set_edge_data(0, 1, 0.0);
+  EXPECT_EQ(g.edge_data(0, 1), 0.0);
+  // Both adjacency directions must observe the update.
+  EXPECT_EQ(g.predecessors(1)[0].data, 0.0);
+  EXPECT_THROW((void)g.edge_data(1, 0), InvalidArgument);
+  EXPECT_THROW(g.set_edge_data(1, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(g.set_edge_data(0, 1, -2.0), InvalidArgument);
+}
+
+TEST(TaskGraph, DetectsCycles) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_NO_THROW(g.validate());
+  g.add_edge(2, 0, 0.0);  // closes the cycle
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.validate(), InvalidArgument);
+}
+
+TEST(TaskGraph, EntryAndExitTasksOfFig1) {
+  const TaskGraph g = testing::fig1_graph();
+  EXPECT_EQ(g.entry_tasks(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.exit_tasks(), (std::vector<TaskId>{3, 6, 7}));
+  EXPECT_EQ(g.edge_count(), 10u);
+}
+
+TEST(TaskGraph, DefaultAndCustomNames) {
+  TaskGraph g(2);
+  EXPECT_EQ(g.task_name(0), "t0");
+  EXPECT_EQ(g.task_name(1), "t1");
+  g.set_task_name(1, "sink");
+  EXPECT_EQ(g.task_name(1), "sink");
+  EXPECT_THROW(g.set_task_name(2, "x"), InvalidArgument);
+}
+
+TEST(TaskGraph, TotalEdgeDataSumsPayloads) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(0, 2, 2.5);
+  EXPECT_EQ(g.total_edge_data(), 4.0);
+}
+
+TEST(TaskGraph, EqualityIsStructural) {
+  TaskGraph a(2);
+  a.add_edge(0, 1, 1.0);
+  TaskGraph b(2);
+  b.add_edge(0, 1, 1.0);
+  EXPECT_EQ(a, b);
+  b.set_edge_data(0, 1, 2.0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,158 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "../test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(TopologicalOrder, ValidOnFig1) {
+  const TaskGraph g = testing::fig1_graph();
+  const auto order = topological_order(g);
+  EXPECT_TRUE(is_topological_order(g, order));
+}
+
+TEST(TopologicalOrder, CanonicalSmallestIdFirst) {
+  TaskGraph g(4);
+  g.add_edge(3, 1, 0.0);
+  g.add_edge(3, 0, 0.0);
+  // 2 and 3 are both entries; canonical order pops smaller ids first.
+  EXPECT_EQ(topological_order(g), (std::vector<TaskId>{2, 3, 0, 1}));
+}
+
+TEST(TopologicalOrder, ThrowsOnCycle) {
+  TaskGraph g(2);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 0, 0.0);
+  EXPECT_THROW(topological_order(g), InvalidArgument);
+  Rng rng(1);
+  EXPECT_THROW(random_topological_order(g, rng), InvalidArgument);
+}
+
+TEST(RandomTopologicalOrder, AlwaysValid) {
+  const TaskGraph g = testing::fig1_graph();
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(is_topological_order(g, random_topological_order(g, rng)));
+  }
+}
+
+TEST(RandomTopologicalOrder, ExploresMultipleOrders) {
+  // Fig. 1 has many topological sorts; 100 draws should hit several.
+  const TaskGraph g = testing::fig1_graph();
+  Rng rng(7);
+  std::set<std::vector<TaskId>> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(random_topological_order(g, rng));
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(RandomTopologicalOrder, IndependentTasksRoughlyUniform) {
+  // Two independent tasks: each order should appear about half the time.
+  TaskGraph g(2);
+  Rng rng(3);
+  int first_is_zero = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (random_topological_order(g, rng)[0] == 0) ++first_is_zero;
+  }
+  EXPECT_NEAR(static_cast<double>(first_is_zero) / n, 0.5, 0.02);
+}
+
+TEST(IsTopologicalOrder, RejectsBadOrders) {
+  const TaskGraph g = testing::fig1_graph();
+  EXPECT_FALSE(is_topological_order(g, std::vector<TaskId>{0, 1, 2}));  // wrong size
+  std::vector<TaskId> dup{0, 0, 1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(is_topological_order(g, dup));
+  std::vector<TaskId> reversed{7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_FALSE(is_topological_order(g, reversed));
+  std::vector<TaskId> out_of_range{0, 1, 2, 3, 4, 5, 6, 99};
+  EXPECT_FALSE(is_topological_order(g, out_of_range));
+}
+
+TEST(PriorityTopologicalOrder, HonoursPriorityAmongReady) {
+  TaskGraph g(4);
+  g.add_edge(0, 3, 0.0);
+  // Priorities: 2 > 1 > 0, all entries except 3.
+  const std::vector<double> priority{1.0, 2.0, 3.0, 100.0};
+  const auto order = priority_topological_order(g, priority);
+  // Task 3 has the highest priority but becomes ready only after 0.
+  EXPECT_EQ(order, (std::vector<TaskId>{2, 1, 0, 3}));
+}
+
+TEST(PriorityTopologicalOrder, TieBreaksOnSmallerId) {
+  TaskGraph g(3);
+  const std::vector<double> priority{5.0, 5.0, 5.0};
+  EXPECT_EQ(priority_topological_order(g, priority), (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(PriorityTopologicalOrder, RejectsWrongLength) {
+  TaskGraph g(3);
+  const std::vector<double> priority{1.0};
+  EXPECT_THROW(priority_topological_order(g, priority), InvalidArgument);
+}
+
+TEST(Reachability, Fig1Paths) {
+  const TaskGraph g = testing::fig1_graph();
+  const Reachability reach(g);
+  EXPECT_TRUE(reach.reaches(0, 7));   // v1 ->* v8
+  EXPECT_TRUE(reach.reaches(2, 6));   // v3 -> v5 -> v7
+  EXPECT_FALSE(reach.reaches(3, 6));  // v4 is an exit
+  EXPECT_FALSE(reach.reaches(7, 0));
+  EXPECT_TRUE(reach.reaches(4, 4));  // reflexive
+}
+
+TEST(Reachability, IndependenceIsSymmetricAndIrreflexive) {
+  const TaskGraph g = testing::fig1_graph();
+  const Reachability reach(g);
+  EXPECT_TRUE(reach.independent(3, 7));
+  EXPECT_TRUE(reach.independent(7, 3));
+  EXPECT_TRUE(reach.independent(1, 2));
+  EXPECT_FALSE(reach.independent(0, 5));
+  EXPECT_FALSE(reach.independent(4, 4));
+}
+
+TEST(Reachability, MatchesBruteForceOnRandomGraph) {
+  const auto instance = testing::small_instance(40, 4, 2.0, 99);
+  const TaskGraph& g = instance.graph;
+  const Reachability reach(g);
+  // Brute-force DFS comparison on every pair.
+  const auto dfs_reaches = [&](TaskId from, TaskId to) {
+    std::vector<bool> seen(g.task_count(), false);
+    std::vector<TaskId> stack{from};
+    while (!stack.empty()) {
+      const TaskId t = stack.back();
+      stack.pop_back();
+      if (t == to) return true;
+      if (seen[static_cast<std::size_t>(t)]) continue;
+      seen[static_cast<std::size_t>(t)] = true;
+      for (const EdgeRef& e : g.successors(t)) stack.push_back(e.task);
+    }
+    return false;
+  };
+  for (TaskId a = 0; a < static_cast<TaskId>(g.task_count()); ++a) {
+    for (TaskId b = 0; b < static_cast<TaskId>(g.task_count()); ++b) {
+      ASSERT_EQ(reach.reaches(a, b), dfs_reaches(a, b)) << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(Depths, ChainAndFig1) {
+  const TaskGraph chain = testing::chain3();
+  EXPECT_EQ(task_depths(chain), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(graph_height(chain), 3u);
+
+  const TaskGraph g = testing::fig1_graph();
+  const auto depths = task_depths(g);
+  EXPECT_EQ(depths[0], 0u);
+  EXPECT_EQ(depths[4], 2u);  // v5 via v1 -> v2/v3 -> v5
+  EXPECT_EQ(depths[6], 3u);  // v7 via v1 -> v2 -> v5 -> v7
+  EXPECT_EQ(graph_height(g), 4u);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,153 @@
+// End-to-end pipeline tests: structured workloads -> schedulers -> timing ->
+// Monte-Carlo robustness, plus persistence round trips of whole experiments.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_helpers.hpp"
+#include "core/robust_scheduler.hpp"
+#include "sched/cpop.hpp"
+#include "sched/minmin.hpp"
+#include "sched/timing.hpp"
+#include "sim/monte_carlo.hpp"
+#include "workload/serialization.hpp"
+#include "workload/structured.hpp"
+
+namespace rts {
+namespace {
+
+ProblemInstance instance_around(TaskGraph graph, std::size_t procs, double avg_ul,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Platform platform(procs, 1.0);
+  CovModelParams cov;
+  Matrix<double> bcet =
+      generate_cov_cost_matrix(graph.task_count(), procs, cov, rng);
+  UncertaintyParams unc;
+  unc.avg_ul = avg_ul;
+  Matrix<double> ul = generate_ul_matrix(graph.task_count(), procs, unc, rng);
+  ProblemInstance instance{std::move(graph), std::move(platform), std::move(bcet),
+                           std::move(ul), Matrix<double>{}};
+  instance.expected = expected_costs(instance.bcet, instance.ul);
+  return instance;
+}
+
+struct StructuredCase {
+  const char* name;
+  TaskGraph graph;
+};
+
+std::vector<StructuredCase> structured_cases() {
+  std::vector<StructuredCase> cases;
+  cases.push_back({"gauss", gaussian_elimination_graph(6, 3.0)});
+  cases.push_back({"fft", fft_graph(8, 3.0)});
+  cases.push_back({"forkjoin", fork_join_graph(5, 3, 3.0)});
+  cases.push_back({"wavefront", wavefront_graph(5, 5, 3.0)});
+  cases.push_back({"montage", montage_like_graph(6, 3.0)});
+  return cases;
+}
+
+TEST(Pipeline, AllSchedulersHandleAllStructuredWorkloads) {
+  for (auto& c : structured_cases()) {
+    const auto instance = instance_around(std::move(c.graph), 4, 3.0, 17);
+    const auto heft =
+        heft_schedule(instance.graph, instance.platform, instance.expected);
+    const auto cpop =
+        cpop_schedule(instance.graph, instance.platform, instance.expected);
+    const auto minmin =
+        minmin_schedule(instance.graph, instance.platform, instance.expected);
+    // Each produces a valid schedule with a positive makespan; HEFT is a
+    // strong heuristic, so it should never be catastrophically worse than
+    // the others on these regular topologies.
+    EXPECT_GT(heft.makespan, 0.0) << c.name;
+    EXPECT_GT(cpop.makespan, 0.0) << c.name;
+    EXPECT_GT(minmin.makespan, 0.0) << c.name;
+    EXPECT_LT(heft.makespan, 2.0 * std::min(cpop.makespan, minmin.makespan)) << c.name;
+
+    MonteCarloConfig mc;
+    mc.realizations = 200;
+    const auto report = evaluate_robustness(instance, heft.schedule, mc);
+    EXPECT_DOUBLE_EQ(report.expected_makespan, heft.makespan) << c.name;
+    EXPECT_GT(report.mean_realized_makespan, 0.0) << c.name;
+  }
+}
+
+TEST(Pipeline, RobustGaImprovesRobustnessOnMontage) {
+  auto graph = montage_like_graph(8, 5.0);
+  const auto instance = instance_around(std::move(graph), 4, 4.0, 23);
+  RobustSchedulerConfig config;
+  config.ga.epsilon = 1.3;
+  config.ga.max_iterations = 250;
+  config.ga.stagnation_window = 100;
+  config.mc.realizations = 500;
+  const auto outcome = robust_schedule(instance, config);
+  // More slack-room than HEFT and at least comparable tardiness robustness.
+  const auto heft_timing = compute_schedule_timing(
+      instance.graph, instance.platform, outcome.heft_schedule, instance.expected);
+  EXPECT_GT(outcome.eval.avg_slack, heft_timing.average_slack);
+  EXPECT_LE(outcome.report.mean_tardiness, outcome.heft_report.mean_tardiness * 1.05);
+}
+
+TEST(Pipeline, ProblemRoundTripPreservesSchedulingResults) {
+  // Serialize an instance, reload it, and verify every deterministic
+  // scheduler produces the identical schedule on the copy.
+  const auto instance = testing::small_instance(40, 4, 3.0, 29);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const auto loaded = load_problem(buffer);
+
+  const auto a = heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto b = heft_schedule(loaded.graph, loaded.platform, loaded.expected);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+
+  MonteCarloConfig mc;
+  mc.realizations = 300;
+  const auto ra = evaluate_robustness(instance, a.schedule, mc);
+  const auto rb = evaluate_robustness(loaded, b.schedule, mc);
+  EXPECT_EQ(ra.mean_realized_makespan, rb.mean_realized_makespan);
+  EXPECT_EQ(ra.miss_rate, rb.miss_rate);
+}
+
+TEST(Pipeline, ScheduleRoundTripEvaluatesIdentically) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 31);
+  RobustSchedulerConfig config;
+  config.ga.max_iterations = 100;
+  config.mc.realizations = 100;
+  const auto outcome = robust_schedule(instance, config);
+
+  std::stringstream buffer;
+  save_schedule(buffer, outcome.schedule);
+  const Schedule loaded = load_schedule(buffer);
+  EXPECT_EQ(loaded, outcome.schedule);
+  EXPECT_DOUBLE_EQ(
+      compute_makespan(instance.graph, instance.platform, loaded, instance.expected),
+      outcome.eval.makespan);
+}
+
+TEST(Pipeline, HigherUncertaintyRaisesRealizedMakespan) {
+  // The same topology and BCET under increasing UL: expected and realized
+  // makespans of the HEFT schedule rise monotonically.
+  Rng rng(37);
+  PaperInstanceParams params;
+  params.task_count = 50;
+  params.proc_count = 4;
+  double prev_realized = 0.0;
+  for (const double ul : {1.5, 3.0, 6.0}) {
+    params.avg_ul = ul;
+    Rng local(999);  // same instance stream per UL except the UL matrix draw
+    auto instance = make_paper_instance(params, local);
+    const auto heft =
+        heft_schedule(instance.graph, instance.platform, instance.expected);
+    MonteCarloConfig mc;
+    mc.realizations = 300;
+    const auto report = evaluate_robustness(instance, heft.schedule, mc);
+    EXPECT_GT(report.mean_realized_makespan, prev_realized);
+    prev_realized = report.mean_realized_makespan;
+  }
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,112 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Platform, RejectsZeroProcessors) { EXPECT_THROW(Platform(0), InvalidArgument); }
+
+TEST(Platform, RejectsNonPositiveRate) {
+  EXPECT_THROW(Platform(2, 0.0), InvalidArgument);
+  EXPECT_THROW(Platform(2, -1.0), InvalidArgument);
+}
+
+TEST(Platform, UniformConstructionSetsAllLinks) {
+  const Platform p(3, 2.0);
+  EXPECT_EQ(p.proc_count(), 3u);
+  for (ProcId a = 0; a < 3; ++a) {
+    for (ProcId b = 0; b < 3; ++b) {
+      if (a == b) {
+        EXPECT_TRUE(std::isinf(p.transfer_rate(a, b)));
+      } else {
+        EXPECT_EQ(p.transfer_rate(a, b), 2.0);
+      }
+    }
+  }
+}
+
+TEST(Platform, SetTransferRateIsDirectional) {
+  Platform p(2);
+  p.set_transfer_rate(0, 1, 4.0);
+  EXPECT_EQ(p.transfer_rate(0, 1), 4.0);
+  EXPECT_EQ(p.transfer_rate(1, 0), 1.0);
+  p.set_symmetric_rate(0, 1, 8.0);
+  EXPECT_EQ(p.transfer_rate(0, 1), 8.0);
+  EXPECT_EQ(p.transfer_rate(1, 0), 8.0);
+}
+
+TEST(Platform, RejectsDiagonalAndBadRates) {
+  Platform p(2);
+  EXPECT_THROW(p.set_transfer_rate(0, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(p.set_transfer_rate(0, 1, 0.0), InvalidArgument);
+  EXPECT_THROW(p.set_transfer_rate(0, 2, 1.0), InvalidArgument);
+  EXPECT_THROW((void)p.transfer_rate(-1, 0), InvalidArgument);
+}
+
+TEST(Platform, CommCostBasics) {
+  Platform p(2);
+  p.set_transfer_rate(0, 1, 4.0);
+  EXPECT_EQ(p.comm_cost(8.0, 0, 1), 2.0);   // data / rate
+  EXPECT_EQ(p.comm_cost(8.0, 0, 0), 0.0);   // intra-processor is free
+  EXPECT_EQ(p.comm_cost(0.0, 0, 1), 0.0);   // no data, no cost
+  EXPECT_THROW((void)p.comm_cost(-1.0, 0, 1), InvalidArgument);
+}
+
+TEST(Platform, AverageTransferRateExcludesDiagonal) {
+  Platform p(2);
+  p.set_transfer_rate(0, 1, 2.0);
+  p.set_transfer_rate(1, 0, 6.0);
+  EXPECT_DOUBLE_EQ(p.average_transfer_rate(), 4.0);
+}
+
+TEST(Platform, AverageCommCostIsHarmonicInRates) {
+  Platform p(2);
+  p.set_transfer_rate(0, 1, 2.0);
+  p.set_transfer_rate(1, 0, 4.0);
+  // mean of 8/2 and 8/4 = (4 + 2) / 2 = 3.
+  EXPECT_DOUBLE_EQ(p.average_comm_cost(8.0), 3.0);
+  EXPECT_EQ(p.average_comm_cost(0.0), 0.0);
+}
+
+TEST(Platform, SingleProcessorEdgeCases) {
+  const Platform p(1);
+  EXPECT_TRUE(std::isinf(p.average_transfer_rate()));
+  EXPECT_EQ(p.average_comm_cost(100.0), 0.0);
+  EXPECT_EQ(p.comm_cost(100.0, 0, 0), 0.0);
+}
+
+TEST(Platform, RandomSymmetricWithinBoundsAndSymmetric) {
+  Rng rng(5);
+  const Platform p = Platform::random_symmetric(5, 0.5, 2.0, rng);
+  for (ProcId a = 0; a < 5; ++a) {
+    for (ProcId b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      const double r = p.transfer_rate(a, b);
+      EXPECT_GE(r, 0.5);
+      EXPECT_LE(r, 2.0);
+      EXPECT_EQ(r, p.transfer_rate(b, a));
+    }
+  }
+}
+
+TEST(Platform, RandomSymmetricRejectsBadRange) {
+  Rng rng(5);
+  EXPECT_THROW(Platform::random_symmetric(2, 0.0, 1.0, rng), InvalidArgument);
+  EXPECT_THROW(Platform::random_symmetric(2, 2.0, 1.0, rng), InvalidArgument);
+}
+
+TEST(Platform, EqualityComparesRates) {
+  Platform a(2, 1.0);
+  Platform b(2, 1.0);
+  EXPECT_EQ(a, b);
+  b.set_transfer_rate(0, 1, 3.0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rts

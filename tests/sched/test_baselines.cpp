@@ -1,0 +1,135 @@
+// Tests for the non-HEFT deterministic baselines (CPOP, min-min) and the
+// random scheduler.
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "graph/topology.hpp"
+#include "sched/cpop.hpp"
+#include "sched/minmin.hpp"
+#include "sched/random_scheduler.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+namespace {
+
+void expect_valid_complete_schedule(const TaskGraph& graph, const Platform& platform,
+                                    const Schedule& schedule,
+                                    const Matrix<double>& costs, double makespan) {
+  std::size_t placed = 0;
+  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+    placed += schedule.sequence(static_cast<ProcId>(p)).size();
+  }
+  EXPECT_EQ(placed, graph.task_count());
+  // TimingEvaluator construction validates precedence consistency.
+  EXPECT_DOUBLE_EQ(compute_makespan(graph, platform, schedule, costs), makespan);
+}
+
+class BaselineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSweep, CpopProducesValidSchedules) {
+  const auto instance = testing::small_instance(40, 4, 2.0, GetParam());
+  const auto result = cpop_schedule(instance.graph, instance.platform, instance.expected);
+  expect_valid_complete_schedule(instance.graph, instance.platform, result.schedule,
+                                 instance.expected, result.makespan);
+}
+
+TEST_P(BaselineSweep, MinMinProducesValidSchedules) {
+  const auto instance = testing::small_instance(40, 4, 2.0, GetParam());
+  const auto result =
+      minmin_schedule(instance.graph, instance.platform, instance.expected);
+  expect_valid_complete_schedule(instance.graph, instance.platform, result.schedule,
+                                 instance.expected, result.makespan);
+}
+
+TEST_P(BaselineSweep, RandomSchedulesAreValid) {
+  const auto instance = testing::small_instance(40, 4, 2.0, GetParam());
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 5; ++i) {
+    const auto result =
+        random_schedule(instance.graph, instance.platform, instance.expected, rng);
+    expect_valid_complete_schedule(instance.graph, instance.platform, result.schedule,
+                                   instance.expected, result.makespan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSweep, ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(Cpop, CriticalPathTasksShareOneProcessor) {
+  // On a pure chain every task is critical, so CPOP must put all of them on
+  // the single best processor — here processor 1 (cheapest everywhere).
+  const TaskGraph g = testing::chain3(5.0);
+  const Platform platform(3, 1.0);
+  Matrix<double> costs(3, 3, 10.0);
+  for (std::size_t t = 0; t < 3; ++t) costs(t, 1) = 4.0;
+  const auto result = cpop_schedule(g, platform, costs);
+  for (TaskId t = 0; t < 3; ++t) EXPECT_EQ(result.schedule.proc_of(t), 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 12.0);
+}
+
+TEST(Cpop, DeterministicAcrossCalls) {
+  const auto instance = testing::small_instance(50, 4, 2.0, 77);
+  const auto a = cpop_schedule(instance.graph, instance.platform, instance.expected);
+  const auto b = cpop_schedule(instance.graph, instance.platform, instance.expected);
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+TEST(MinMin, PicksGloballySmallestEftFirst) {
+  // Two independent tasks, one processor. Task 1 is shorter, so min-min
+  // schedules it first even though ids suggest otherwise.
+  TaskGraph g(2);
+  const Platform platform(1, 1.0);
+  Matrix<double> costs(2, 1);
+  costs(0, 0) = 5.0;
+  costs(1, 0) = 1.0;
+  const auto result = minmin_schedule(g, platform, costs);
+  EXPECT_EQ(rts::testing::to_vec(result.schedule.sequence(0)), (std::vector<TaskId>{1, 0}));
+}
+
+TEST(MinMin, DeterministicAcrossCalls) {
+  const auto instance = testing::small_instance(50, 4, 2.0, 78);
+  const auto a = minmin_schedule(instance.graph, instance.platform, instance.expected);
+  const auto b = minmin_schedule(instance.graph, instance.platform, instance.expected);
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+TEST(RandomScheduler, DifferentDrawsDiffer) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 79);
+  Rng rng(5);
+  const auto a = random_schedule(instance.graph, instance.platform, instance.expected, rng);
+  const auto b = random_schedule(instance.graph, instance.platform, instance.expected, rng);
+  EXPECT_NE(a.schedule, b.schedule);
+}
+
+TEST(RandomScheduler, SameSeedSameSchedule) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 80);
+  Rng a_rng(5);
+  Rng b_rng(5);
+  const auto a =
+      random_schedule(instance.graph, instance.platform, instance.expected, a_rng);
+  const auto b =
+      random_schedule(instance.graph, instance.platform, instance.expected, b_rng);
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+TEST(Baselines, HeuristicsBeatRandomOnAverage) {
+  const auto instance = testing::small_instance(60, 6, 2.0, 81);
+  const double cpop =
+      cpop_schedule(instance.graph, instance.platform, instance.expected).makespan;
+  const double minmin =
+      minmin_schedule(instance.graph, instance.platform, instance.expected).makespan;
+  Rng rng(3);
+  double random_sum = 0.0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    random_sum +=
+        random_schedule(instance.graph, instance.platform, instance.expected, rng)
+            .makespan;
+  }
+  const double random_avg = random_sum / trials;
+  EXPECT_LT(cpop, random_avg);
+  EXPECT_LT(minmin, random_avg);
+}
+
+}  // namespace
+}  // namespace rts

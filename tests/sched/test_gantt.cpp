@@ -1,0 +1,123 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Gantt, OneRowPerProcessorPlusAxis) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(2, 1.0);
+  const Schedule s(3, {{0, 1}, {2}});
+  Matrix<double> costs(3, 2, 2.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+
+  std::ostringstream os;
+  write_gantt(os, g, s, timing);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P0 |"), std::string::npos);
+  EXPECT_NE(out.find("P1 |"), std::string::npos);
+  EXPECT_NE(out.find("makespan=6.00"), std::string::npos);
+  // Task names appear in the bars.
+  EXPECT_NE(out.find("t0"), std::string::npos);
+  EXPECT_NE(out.find("t2"), std::string::npos);
+}
+
+TEST(Gantt, EmptyProcessorRendersIdleRow) {
+  TaskGraph g(1);
+  const Platform platform(2, 1.0);
+  const Schedule s(1, {{0}, {}});
+  const Matrix<double> costs(1, 2, 1.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  std::ostringstream os;
+  write_gantt(os, g, s, timing, 40);
+  // The P1 row is all idle dots.
+  EXPECT_NE(os.str().find("P1 |" + std::string(40, '.') + "|"), std::string::npos);
+}
+
+TEST(GanttSvg, EmitsLanesBarsAndAxis) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(2, 1.0);
+  const Schedule s(3, {{0, 1}, {2}});
+  Matrix<double> costs(3, 2, 2.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  std::ostringstream os;
+  write_gantt_svg(os, g, s, timing);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  // One lane label per processor, one rect per task (plus lane backgrounds).
+  EXPECT_NE(out.find(">P0</text>"), std::string::npos);
+  EXPECT_NE(out.find(">P1</text>"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(out.begin(), out.end(), '\n'));  // well-formed-ish
+  // Tooltips carry name, interval and slack.
+  EXPECT_NE(out.find("<title>t0: ["), std::string::npos);
+  EXPECT_NE(out.find("slack"), std::string::npos);
+}
+
+TEST(GanttSvg, CriticalTasksGetWarmFill) {
+  // Fork-join where task 2 has slack: it must use the cool fill while the
+  // critical tasks use the warm one.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(0, 2, 0.0);
+  g.add_edge(1, 3, 0.0);
+  g.add_edge(2, 3, 0.0);
+  const Platform platform(2, 1.0);
+  const Schedule s(4, {{0, 1, 3}, {2}});
+  Matrix<double> costs(4, 2, 1.0);
+  costs(1, 0) = 3.0;  // long branch -> task 2 has slack
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  std::ostringstream os;
+  write_gantt_svg(os, g, s, timing);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("#e07a5f"), std::string::npos);  // critical fill present
+  EXPECT_NE(out.find("#7aa6c2"), std::string::npos);  // slack fill present
+}
+
+TEST(GanttSvg, EscapesTaskNames) {
+  TaskGraph g(1);
+  g.set_task_name(0, "a<b>&\"c\"");
+  const Platform platform(1, 1.0);
+  const Schedule s(1, {{0}});
+  const Matrix<double> costs(1, 1, 1.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  std::ostringstream os;
+  write_gantt_svg(os, g, s, timing);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(out.find("<b>"), std::string::npos);
+}
+
+TEST(GanttSvg, RejectsBadInputs) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  const Matrix<double> costs(3, 1, 1.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  std::ostringstream os;
+  EXPECT_THROW(write_gantt_svg(os, g, s, timing, 100), InvalidArgument);
+  ScheduleTiming empty;
+  EXPECT_THROW(write_gantt_svg(os, g, s, empty), InvalidArgument);
+}
+
+TEST(Gantt, RejectsTinyWidthAndMismatchedTiming) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  const Matrix<double> costs(3, 1, 1.0);
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  std::ostringstream os;
+  EXPECT_THROW(write_gantt(os, g, s, timing, 5), InvalidArgument);
+  ScheduleTiming empty;
+  EXPECT_THROW(write_gantt(os, g, s, empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

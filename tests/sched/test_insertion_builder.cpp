@@ -1,0 +1,140 @@
+#include "sched/insertion_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(InsertionBuilder, AppendsOnEmptyProcessor) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(2, 1.0);
+  const Matrix<double> costs(3, 2, 2.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  const auto p = b.probe(0, 0);
+  EXPECT_DOUBLE_EQ(p.start, 0.0);
+  EXPECT_DOUBLE_EQ(p.finish, 2.0);
+}
+
+TEST(InsertionBuilder, ReadyTimeIncludesCommunication) {
+  const TaskGraph g = testing::chain3(6.0);
+  Platform platform(2, 1.0);
+  platform.set_transfer_rate(0, 1, 3.0);  // comm cost 6/3 = 2
+  const Matrix<double> costs(3, 2, 2.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));  // finishes at 2
+  // Same processor: ready immediately after the predecessor.
+  EXPECT_DOUBLE_EQ(b.probe(1, 0).start, 2.0);
+  // Cross processor: predecessor finish + comm cost.
+  EXPECT_DOUBLE_EQ(b.probe(1, 1).start, 4.0);
+}
+
+TEST(InsertionBuilder, FillsGapWhenLongEnough) {
+  // Two independent tasks and a third that fits in the idle gap before a
+  // late-starting task.
+  TaskGraph g(3);
+  g.add_edge(0, 1, 8.0);  // forces task 1 to start late on the other proc
+  const Platform platform(2, 1.0);
+  Matrix<double> costs(3, 2, 2.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));          // P0: [0, 2)
+  b.commit(1, 1, b.probe(1, 1));          // P1: [10, 12) after comm
+  EXPECT_DOUBLE_EQ(b.finish_time(1), 12.0);
+  // Task 2 (independent) fits into P1's [0, 10) gap.
+  const auto p = b.probe(2, 1);
+  EXPECT_DOUBLE_EQ(p.start, 0.0);
+  b.commit(2, 1, p);
+  // Sequence on P1 is ordered by start time: task 2 first.
+  const Schedule s = b.to_schedule();
+  EXPECT_EQ(rts::testing::to_vec(s.sequence(1)), (std::vector<TaskId>{2, 1}));
+}
+
+TEST(InsertionBuilder, SkipsGapThatIsTooShort) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 3.0);
+  const Platform platform(2, 1.0);
+  Matrix<double> costs(3, 2, 2.0);
+  costs(2, 1) = 7.0;  // too long for the [0, 5) gap on P1
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));
+  b.commit(1, 1, b.probe(1, 1));  // P1: [5, 7)
+  const auto p = b.probe(2, 1);
+  EXPECT_DOUBLE_EQ(p.start, 7.0);  // appended after task 1
+}
+
+TEST(InsertionBuilder, ProbeAppendIgnoresGaps) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, 8.0);
+  const Platform platform(2, 1.0);
+  const Matrix<double> costs(3, 2, 2.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));
+  b.commit(1, 1, b.probe(1, 1));  // P1: [10, 12)
+  EXPECT_DOUBLE_EQ(b.probe(2, 1).start, 0.0);         // insertion finds the gap
+  EXPECT_DOUBLE_EQ(b.probe_append(2, 1).start, 12.0);  // append does not
+}
+
+TEST(InsertionBuilder, ProbeRequiresPlacedPredecessors) {
+  const TaskGraph g = testing::chain3();
+  const Platform platform(1, 1.0);
+  const Matrix<double> costs(3, 1, 1.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  EXPECT_THROW((void)b.probe(1, 0), InvalidArgument);
+}
+
+TEST(InsertionBuilder, RejectsDoublePlacement) {
+  TaskGraph g(2);
+  const Platform platform(1, 1.0);
+  const Matrix<double> costs(2, 1, 1.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));
+  EXPECT_THROW(b.commit(0, 0, b.probe(0, 0)), InvalidArgument);
+}
+
+TEST(InsertionBuilder, RejectsOverlappingForeignPlacement) {
+  TaskGraph g(2);
+  const Platform platform(1, 1.0);
+  const Matrix<double> costs(2, 1, 2.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));  // [0, 2)
+  EXPECT_THROW(b.commit(1, 0, InsertionScheduleBuilder::Placement{1.0, 3.0}),
+               InvalidArgument);
+}
+
+TEST(InsertionBuilder, ToScheduleRequiresAllPlaced) {
+  TaskGraph g(2);
+  const Platform platform(1, 1.0);
+  const Matrix<double> costs(2, 1, 1.0);
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));
+  EXPECT_THROW(b.to_schedule(), InvalidArgument);
+  b.commit(1, 0, b.probe(1, 0));
+  EXPECT_NO_THROW(b.to_schedule());
+  EXPECT_EQ(b.placed_count(), 2u);
+}
+
+TEST(InsertionBuilder, InternalMakespanTracksLatestFinish) {
+  TaskGraph g(2);
+  const Platform platform(2, 1.0);
+  Matrix<double> costs(2, 2, 1.0);
+  costs(1, 1) = 5.0;
+  InsertionScheduleBuilder b(g, platform, costs);
+  b.commit(0, 0, b.probe(0, 0));
+  EXPECT_DOUBLE_EQ(b.internal_makespan(), 1.0);
+  b.commit(1, 1, b.probe(1, 1));
+  EXPECT_DOUBLE_EQ(b.internal_makespan(), 5.0);
+}
+
+TEST(InsertionBuilder, RejectsMismatchedCostMatrix) {
+  const TaskGraph g = testing::chain3();
+  const Platform platform(2, 1.0);
+  const Matrix<double> wrong_rows(2, 2, 1.0);
+  const Matrix<double> wrong_cols(3, 1, 1.0);
+  EXPECT_THROW(InsertionScheduleBuilder(g, platform, wrong_rows), InvalidArgument);
+  EXPECT_THROW(InsertionScheduleBuilder(g, platform, wrong_cols), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,109 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Schedule, WrapsSequencesAndBuildsInverseMaps) {
+  const Schedule s(5, {{0, 2}, {1, 3, 4}});
+  EXPECT_EQ(s.task_count(), 5u);
+  EXPECT_EQ(s.proc_count(), 2u);
+  EXPECT_EQ(s.proc_of(0), 0);
+  EXPECT_EQ(s.proc_of(3), 1);
+  EXPECT_EQ(rts::testing::to_vec(s.sequence(1)).size(), 3u);
+  EXPECT_EQ(rts::testing::to_vec(s.sequence(1))[2], 4);
+}
+
+TEST(Schedule, ProcNeighbours) {
+  const Schedule s(5, {{0, 2}, {1, 3, 4}});
+  EXPECT_EQ(s.proc_predecessor(0), kNoTask);
+  EXPECT_EQ(s.proc_successor(0), 2);
+  EXPECT_EQ(s.proc_predecessor(2), 0);
+  EXPECT_EQ(s.proc_successor(2), kNoTask);
+  EXPECT_EQ(s.proc_predecessor(3), 1);
+  EXPECT_EQ(s.proc_successor(3), 4);
+}
+
+TEST(Schedule, EmptyProcessorIsAllowed) {
+  const Schedule s(2, {{0, 1}, {}});
+  EXPECT_EQ(rts::testing::to_vec(s.sequence(1)).size(), 0u);
+}
+
+TEST(Schedule, RejectsMissingTask) {
+  EXPECT_THROW(Schedule(3, {{0, 1}}), InvalidArgument);
+}
+
+TEST(Schedule, RejectsDuplicateTask) {
+  EXPECT_THROW(Schedule(3, {{0, 1}, {1, 2}}), InvalidArgument);
+}
+
+TEST(Schedule, RejectsOutOfRangeTask) {
+  EXPECT_THROW(Schedule(3, {{0, 1, 5}}), InvalidArgument);
+}
+
+TEST(Schedule, RejectsNoProcessors) {
+  EXPECT_THROW(Schedule(1, {}), InvalidArgument);
+}
+
+TEST(Schedule, FromOrderAndAssignmentGroupsByProcessorInOrder) {
+  const std::vector<TaskId> order{2, 0, 3, 1};
+  const std::vector<ProcId> assignment{1, 1, 0, 0};  // indexed by task id
+  const Schedule s = Schedule::from_order_and_assignment(order, assignment, 2);
+  // Processor 0 gets tasks 2 and 3 in scheduling-string order (2 before 3);
+  // processor 1 gets 0 then 1.
+  EXPECT_EQ(rts::testing::to_vec(s.sequence(0)), (std::vector<TaskId>{2, 3}));
+  EXPECT_EQ(rts::testing::to_vec(s.sequence(1)), (std::vector<TaskId>{0, 1}));
+}
+
+TEST(Schedule, FromOrderRejectsMismatchedLengths) {
+  const std::vector<TaskId> order{0, 1};
+  const std::vector<ProcId> assignment{0};
+  EXPECT_THROW(Schedule::from_order_and_assignment(order, assignment, 1),
+               InvalidArgument);
+}
+
+TEST(Schedule, FromOrderRejectsBadProcessor) {
+  const std::vector<TaskId> order{0};
+  const std::vector<ProcId> assignment{3};
+  EXPECT_THROW(Schedule::from_order_and_assignment(order, assignment, 2),
+               InvalidArgument);
+}
+
+TEST(Schedule, FromOrderRejectsDuplicateTaskInOrder) {
+  const std::vector<TaskId> order{0, 0};
+  const std::vector<ProcId> assignment{0, 0};
+  EXPECT_THROW(Schedule::from_order_and_assignment(order, assignment, 1),
+               InvalidArgument);
+}
+
+TEST(Schedule, AssignmentSpanMatchesProcOf) {
+  const Schedule s(4, {{1, 3}, {0, 2}});
+  const auto assignment = s.assignment();
+  for (TaskId t = 0; t < 4; ++t) {
+    EXPECT_EQ(assignment[static_cast<std::size_t>(t)], s.proc_of(t));
+  }
+}
+
+TEST(Schedule, EqualityIsStructural) {
+  const Schedule a(2, {{0}, {1}});
+  const Schedule b(2, {{0}, {1}});
+  const Schedule c(2, {{1}, {0}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Schedule, BoundsCheckedAccessors) {
+  const Schedule s(2, {{0, 1}});
+  EXPECT_THROW((void)s.sequence(1), InvalidArgument);
+  EXPECT_THROW((void)s.proc_of(2), InvalidArgument);
+  EXPECT_THROW((void)s.proc_predecessor(-1), InvalidArgument);
+  EXPECT_THROW((void)s.proc_successor(9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,228 @@
+#include "sched/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_helpers.hpp"
+#include "graph/disjunctive.hpp"
+#include "graph/topology.hpp"
+#include "sched/random_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+// --- Hand-computed case 1: a 3-task chain split across two processors.
+//
+// Graph: 0 -> 1 -> 2, both edges carry 4 units of data; unit transfer rate.
+// Schedule: P0 = {0, 2}, P1 = {1}; durations on assigned procs = {2, 3, 5}.
+//
+// Gs = chain edges plus the zero-data processor edge 0 -> 2.
+//   start(0) = 0,            finish = 2
+//   start(1) = 2 + 4 = 6,    finish = 9
+//   start(2) = max(9 + 4, 2) = 13, finish = 18      => makespan 18
+//   Bl(2) = 5; Bl(1) = 3 + 4 + 5 = 12; Bl(0) = 2 + max(4 + 12, 0 + 5) = 18
+//   all slacks are 0 (everything is on the critical path).
+TEST(Timing, HandComputedChainAcrossProcessors) {
+  const TaskGraph g = testing::chain3(4.0);
+  const Platform platform(2, 1.0);
+  const Schedule s(3, {{0, 2}, {1}});
+  Matrix<double> costs(3, 2, 1.0);
+  costs(0, 0) = 2.0;
+  costs(1, 1) = 3.0;
+  costs(2, 0) = 5.0;
+
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  EXPECT_DOUBLE_EQ(timing.makespan, 18.0);
+  EXPECT_DOUBLE_EQ(timing.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(timing.start[1], 6.0);
+  EXPECT_DOUBLE_EQ(timing.start[2], 13.0);
+  EXPECT_DOUBLE_EQ(timing.finish[2], 18.0);
+  EXPECT_DOUBLE_EQ(timing.bottom_level[0], 18.0);
+  EXPECT_DOUBLE_EQ(timing.bottom_level[1], 12.0);
+  EXPECT_DOUBLE_EQ(timing.bottom_level[2], 5.0);
+  for (const double sl : timing.slack) EXPECT_DOUBLE_EQ(sl, 0.0);
+  EXPECT_DOUBLE_EQ(timing.average_slack, 0.0);
+}
+
+// --- Hand-computed case 2: fork-join with one off-critical task.
+//
+// Graph: 0 -> {1, 2} -> 3, zero data. Schedule: P0 = {0, 1, 3}, P1 = {2};
+// durations = {2, 3, 1, 2}.
+//   start = {0, 2, 2, 5}, makespan = 7.
+//   Bl = {7, 5, 3, 2}; slack = {0, 0, 2, 0}; average slack = 0.5.
+TEST(Timing, HandComputedForkJoinSlack) {
+  TaskGraph g(4);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(0, 2, 0.0);
+  g.add_edge(1, 3, 0.0);
+  g.add_edge(2, 3, 0.0);
+  const Platform platform(2, 1.0);
+  const Schedule s(4, {{0, 1, 3}, {2}});
+  Matrix<double> costs(4, 2, 1.0);
+  costs(0, 0) = 2.0;
+  costs(1, 0) = 3.0;
+  costs(2, 1) = 1.0;
+  costs(3, 0) = 2.0;
+
+  const auto timing = compute_schedule_timing(g, platform, s, costs);
+  EXPECT_DOUBLE_EQ(timing.makespan, 7.0);
+  EXPECT_DOUBLE_EQ(timing.slack[0], 0.0);
+  EXPECT_DOUBLE_EQ(timing.slack[1], 0.0);
+  EXPECT_DOUBLE_EQ(timing.slack[2], 2.0);
+  EXPECT_DOUBLE_EQ(timing.slack[3], 0.0);
+  EXPECT_DOUBLE_EQ(timing.average_slack, 0.5);
+}
+
+TEST(Timing, SameProcessorCommunicationIsFree) {
+  // Chain on a single processor: data sizes are irrelevant.
+  const TaskGraph g = testing::chain3(1000.0);
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  const Matrix<double> costs(3, 1, 2.0);
+  EXPECT_DOUBLE_EQ(compute_makespan(g, platform, s, costs), 6.0);
+}
+
+TEST(Timing, ProcessorEdgeSerializesIndependentTasks) {
+  // Two independent unit tasks on one processor take 2 time units; on two
+  // processors they overlap and take 1.
+  TaskGraph g(2);
+  const Platform p1(1, 1.0);
+  const Platform p2(2, 1.0);
+  const Matrix<double> costs1(2, 1, 1.0);
+  const Matrix<double> costs2(2, 2, 1.0);
+  EXPECT_DOUBLE_EQ(compute_makespan(g, p1, Schedule(2, {{0, 1}}), costs1), 2.0);
+  EXPECT_DOUBLE_EQ(compute_makespan(g, p2, Schedule(2, {{0}, {1}}), costs2), 1.0);
+}
+
+TEST(Timing, MakespanIntoMatchesMakespan) {
+  const auto instance = testing::small_instance(30, 4, 2.0, 5);
+  Rng rng(17);
+  const auto rand = random_schedule(instance.graph, instance.platform,
+                                    instance.expected, rng);
+  const TimingEvaluator eval(instance.graph, instance.platform, rand.schedule);
+  const auto durations = assigned_durations(instance.expected, rand.schedule);
+  std::vector<double> scratch(durations.size());
+  EXPECT_DOUBLE_EQ(eval.makespan(durations), eval.makespan_into(durations, scratch));
+}
+
+TEST(Timing, EvaluatorIsReusableAcrossDurationVectors) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  const TimingEvaluator eval(g, platform, s);
+  EXPECT_DOUBLE_EQ(eval.makespan(std::vector<double>{1.0, 1.0, 1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(eval.makespan(std::vector<double>{2.0, 3.0, 4.0}), 9.0);
+}
+
+TEST(Timing, RejectsMismatchedInputs) {
+  const TaskGraph g = testing::chain3();
+  const Platform platform(2, 1.0);
+  const Schedule s(3, {{0, 1, 2}, {}});
+  const TimingEvaluator eval(g, platform, s);
+  EXPECT_THROW((void)eval.makespan(std::vector<double>{1.0}), InvalidArgument);
+  const Schedule wrong_size(2, {{0, 1}, {}});
+  EXPECT_THROW(TimingEvaluator(g, platform, wrong_size), InvalidArgument);
+}
+
+TEST(Timing, RejectsPrecedenceViolatingSchedule) {
+  const TaskGraph g = testing::chain3();
+  const Platform platform(1, 1.0);
+  const Schedule bad(3, {{1, 0, 2}});
+  EXPECT_THROW(TimingEvaluator(g, platform, bad), InvalidArgument);
+}
+
+TEST(Timing, AssignedDurationsPicksAssignedColumn) {
+  Matrix<double> costs(2, 2);
+  costs(0, 0) = 1.0;
+  costs(0, 1) = 10.0;
+  costs(1, 0) = 2.0;
+  costs(1, 1) = 20.0;
+  const Schedule s(2, {{0}, {1}});
+  EXPECT_EQ(assigned_durations(costs, s), (std::vector<double>{1.0, 20.0}));
+}
+
+TEST(Timing, GsTopologicalOrderIsValidForGs) {
+  const auto instance = testing::small_instance(25, 3, 2.0, 9);
+  Rng rng(3);
+  const auto rand = random_schedule(instance.graph, instance.platform,
+                                    instance.expected, rng);
+  const TimingEvaluator eval(instance.graph, instance.platform, rand.schedule);
+  const TaskGraph gs =
+      make_disjunctive_graph(instance.graph, rand.schedule.sequences());
+  EXPECT_TRUE(is_topological_order(gs, eval.gs_topological_order()));
+}
+
+// --- Cross-validation sweep: the fast implicit-Gs sweep must agree with an
+// independent longest-path computation on the *materialized* disjunctive
+// graph (Claim 3.2), across random instances and random schedules.
+class TimingCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+double brute_force_critical_path(const TaskGraph& gs, const Platform& platform,
+                                 const Schedule& schedule,
+                                 std::span<const double> durations) {
+  // Longest path over the explicit Gs with edge weights = comm cost between
+  // the assigned processors (zero for zeroed data / same processor).
+  const auto order = topological_order(gs);
+  std::vector<double> finish(gs.task_count(), 0.0);
+  double makespan = 0.0;
+  for (const TaskId t : order) {
+    double start = 0.0;
+    for (const EdgeRef& e : gs.predecessors(t)) {
+      const double comm = platform.comm_cost(e.data, schedule.proc_of(e.task),
+                                             schedule.proc_of(t));
+      start = std::max(start, finish[static_cast<std::size_t>(e.task)] + comm);
+    }
+    finish[static_cast<std::size_t>(t)] = start + durations[static_cast<std::size_t>(t)];
+    makespan = std::max(makespan, finish[static_cast<std::size_t>(t)]);
+  }
+  return makespan;
+}
+
+TEST_P(TimingCrossValidation, ImplicitSweepMatchesExplicitDisjunctiveGraph) {
+  const std::uint64_t seed = GetParam();
+  const auto instance = testing::small_instance(40, 4, 3.0, seed);
+  Rng rng(seed ^ 0xabcdu);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto rand = random_schedule(instance.graph, instance.platform,
+                                      instance.expected, rng);
+    const auto durations = assigned_durations(instance.expected, rand.schedule);
+    const TimingEvaluator eval(instance.graph, instance.platform, rand.schedule);
+    const TaskGraph gs =
+        make_disjunctive_graph(instance.graph, rand.schedule.sequences());
+    const double expected =
+        brute_force_critical_path(gs, instance.platform, rand.schedule, durations);
+    EXPECT_NEAR(eval.makespan(durations), expected, 1e-9 * expected);
+  }
+}
+
+TEST_P(TimingCrossValidation, SlackInvariants) {
+  const std::uint64_t seed = GetParam();
+  const auto instance = testing::small_instance(40, 4, 3.0, seed);
+  Rng rng(seed ^ 0x1234u);
+  const auto rand = random_schedule(instance.graph, instance.platform,
+                                    instance.expected, rng);
+  const auto timing = compute_schedule_timing(instance.graph, instance.platform,
+                                              rand.schedule, instance.expected);
+  // sigma_i >= 0, some task is critical (slack 0), and Tl + Bl <= M
+  // everywhere (Def. 3.3).
+  double min_slack = timing.slack[0];
+  for (std::size_t t = 0; t < timing.slack.size(); ++t) {
+    ASSERT_GE(timing.slack[t], 0.0);
+    ASSERT_LE(timing.start[t] + timing.bottom_level[t], timing.makespan + 1e-9);
+    min_slack = std::min(min_slack, timing.slack[t]);
+  }
+  EXPECT_NEAR(min_slack, 0.0, 1e-9);
+  // Average slack consistent with the per-task values (Eqn. 3).
+  double sum = 0.0;
+  for (const double s : timing.slack) sum += s;
+  EXPECT_NEAR(timing.average_slack, sum / static_cast<double>(timing.slack.size()),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingCrossValidation,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,163 @@
+#include "sim/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/random_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+/// Instance around a fixed graph with uniform BCET/UL.
+ProblemInstance wrap(TaskGraph graph, std::size_t procs, double bcet, double ul) {
+  Platform platform(procs, 1.0);
+  const std::size_t n = graph.task_count();
+  ProblemInstance instance{std::move(graph), std::move(platform),
+                           Matrix<double>(n, procs, bcet), Matrix<double>(n, procs, ul),
+                           Matrix<double>{}};
+  instance.expected = expected_costs(instance.bcet, instance.ul);
+  return instance;
+}
+
+TEST(CriticalTasks, ChainIsFullyCritical) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  const std::vector<double> durations{1.0, 2.0, 3.0};
+  const auto critical = critical_tasks(g, platform, s, durations);
+  for (const bool c : critical) EXPECT_TRUE(c);
+}
+
+TEST(CriticalTasks, OffPathTaskIsNotCritical) {
+  // Fork-join with a short branch: the short branch has float.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(0, 2, 0.0);
+  g.add_edge(1, 3, 0.0);
+  g.add_edge(2, 3, 0.0);
+  const Platform platform(2, 1.0);
+  const Schedule s(4, {{0, 1, 3}, {2}});
+  const std::vector<double> durations{2.0, 3.0, 1.0, 2.0};
+  const auto critical = critical_tasks(g, platform, s, durations);
+  EXPECT_TRUE(critical[0]);
+  EXPECT_TRUE(critical[1]);
+  EXPECT_FALSE(critical[2]);  // slack 2
+  EXPECT_TRUE(critical[3]);
+}
+
+TEST(Criticality, DeterministicChainHasAllOnesAndMaxEntropy) {
+  // UL = 1: every realization identical; a chain keeps every task critical,
+  // so p_i = 1 for all i and the risk is perfectly spread (entropy 1).
+  auto instance = wrap(testing::chain3(0.0), 1, 5.0, 1.0);
+  const Schedule s(3, {{0, 1, 2}});
+  CriticalityConfig config;
+  config.realizations = 50;
+  const auto report = analyze_criticality(instance, s, config);
+  for (const double p : report.criticality_index) EXPECT_DOUBLE_EQ(p, 1.0);
+  EXPECT_DOUBLE_EQ(report.expected_critical_tasks, 3.0);
+  EXPECT_EQ(report.safe_tasks, 0u);
+  EXPECT_NEAR(report.normalized_entropy, 1.0, 1e-12);
+}
+
+TEST(Criticality, DominantBranchConcentratesRisk) {
+  // Two parallel chains on two processors; one is much longer. The long
+  // chain should be critical almost always, the short one almost never.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 0.0);  // long chain: 0 -> 1
+  g.add_edge(2, 3, 0.0);  // short chain: 2 -> 3
+  Platform platform(2, 1.0);
+  ProblemInstance instance{std::move(g), std::move(platform),
+                           Matrix<double>(4, 2, 1.0), Matrix<double>(4, 2, 2.0),
+                           Matrix<double>{}};
+  // Long chain tasks have 10x the BCET.
+  for (const std::size_t t : {0u, 1u}) {
+    for (std::size_t p = 0; p < 2; ++p) instance.bcet(t, p) = 10.0;
+  }
+  instance.expected = expected_costs(instance.bcet, instance.ul);
+
+  const Schedule s(4, {{0, 1}, {2, 3}});
+  CriticalityConfig config;
+  config.realizations = 400;
+  const auto report = analyze_criticality(instance, s, config);
+  EXPECT_GT(report.criticality_index[0], 0.99);
+  EXPECT_GT(report.criticality_index[1], 0.99);
+  EXPECT_LT(report.criticality_index[2], 0.01);
+  EXPECT_LT(report.criticality_index[3], 0.01);
+  EXPECT_EQ(report.safe_tasks, 2u);
+  // Risk is concentrated on half the tasks: entropy = log(2)/log(4) = 0.5.
+  EXPECT_NEAR(report.normalized_entropy, 0.5, 0.02);
+}
+
+TEST(Criticality, IndexBoundsAndConsistency) {
+  const auto instance = testing::small_instance(40, 4, 3.0, 3);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  CriticalityConfig config;
+  config.realizations = 300;
+  const auto report = analyze_criticality(instance, heft.schedule, config);
+  double sum = 0.0;
+  for (const double p : report.criticality_index) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  // Expected critical count equals the sum of the per-task indices.
+  EXPECT_NEAR(report.expected_critical_tasks, sum, 1e-9);
+  // At least one task is critical in every realization.
+  EXPECT_GE(report.expected_critical_tasks, 1.0);
+  EXPECT_GE(report.normalized_entropy, 0.0);
+  EXPECT_LE(report.normalized_entropy, 1.0);
+}
+
+TEST(Criticality, DeterministicInSeed) {
+  const auto instance = testing::small_instance(25, 4, 3.0, 4);
+  Rng rng(4);
+  const auto rand =
+      random_schedule(instance.graph, instance.platform, instance.expected, rng);
+  CriticalityConfig config;
+  config.realizations = 200;
+  const auto a = analyze_criticality(instance, rand.schedule, config);
+  const auto b = analyze_criticality(instance, rand.schedule, config);
+  EXPECT_EQ(a.criticality_index, b.criticality_index);
+  config.seed += 1;
+  const auto c = analyze_criticality(instance, rand.schedule, config);
+  EXPECT_NE(a.criticality_index, c.criticality_index);
+}
+
+TEST(Criticality, SlackRichScheduleHasMoreSafeTasks) {
+  // The ε-constraint GA's slack-rich schedule should expose fewer critical
+  // components than HEFT's tight one — the Bölöni-Marinescu robustness view
+  // agreeing with the paper's slack view.
+  const auto instance = testing::small_instance(50, 4, 4.0, 5);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  GaConfig ga;
+  ga.epsilon = 1.3;
+  ga.max_iterations = 200;
+  ga.seed = 5;
+  const auto robust =
+      run_ga(instance.graph, instance.platform, instance.expected, ga);
+
+  CriticalityConfig config;
+  config.realizations = 300;
+  const auto heft_report = analyze_criticality(instance, heft.schedule, config);
+  const auto ga_report = analyze_criticality(instance, robust.best_schedule, config);
+  EXPECT_GT(ga_report.safe_tasks, heft_report.safe_tasks);
+  EXPECT_LT(ga_report.expected_critical_tasks, heft_report.expected_critical_tasks);
+}
+
+TEST(Criticality, RejectsBadConfig) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 6);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  CriticalityConfig config;
+  config.realizations = 0;
+  EXPECT_THROW(analyze_criticality(instance, heft.schedule, config), InvalidArgument);
+  config.realizations = 10;
+  config.safe_threshold = 1.5;
+  EXPECT_THROW(analyze_criticality(instance, heft.schedule, config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

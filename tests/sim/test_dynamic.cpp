@@ -1,0 +1,135 @@
+#include "sim/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(DynamicEft, SingleProcessorSerializesInRankOrder) {
+  const TaskGraph g = testing::fig1_graph(0.0);
+  const Platform platform(1, 1.0);
+  const Matrix<double> costs(8, 1, 2.0);
+  const auto run = simulate_dynamic_eft(g, platform, costs, costs);
+  EXPECT_DOUBLE_EQ(run.makespan, 16.0);
+  // Every task placed exactly once on the single processor.
+  EXPECT_EQ(run.schedule.sequence(0).size(), 8u);
+}
+
+TEST(DynamicEft, MakespanMatchesTimingEvaluatorOnProducedSchedule) {
+  // The dispatcher's start times are ASAP for the disjunctive order it
+  // produces, so re-evaluating its schedule under the realized durations
+  // must reproduce the same makespan exactly (differential check).
+  const auto instance = testing::small_instance(50, 4, 3.0, 1);
+  Rng rng(7);
+  Matrix<double> realized(instance.task_count(), instance.proc_count());
+  for (std::size_t t = 0; t < realized.rows(); ++t) {
+    for (std::size_t p = 0; p < realized.cols(); ++p) {
+      realized(t, p) =
+          sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+    }
+  }
+  const auto run = simulate_dynamic_eft(instance.graph, instance.platform,
+                                        instance.expected, realized);
+  const auto durations = assigned_durations(realized, run.schedule);
+  const TimingEvaluator evaluator(instance.graph, instance.platform, run.schedule);
+  EXPECT_NEAR(evaluator.makespan(durations), run.makespan, 1e-9 * run.makespan);
+}
+
+TEST(DynamicEft, PlanMatchesHeftBallpark) {
+  // With realized == expected the dispatcher is append-only online HEFT; it
+  // lacks the insertion policy, so it may be a little worse than HEFT but
+  // should stay in the same ballpark.
+  const auto instance = testing::small_instance(60, 6, 2.0, 2);
+  const auto plan = simulate_dynamic_eft(instance.graph, instance.platform,
+                                         instance.expected, instance.expected);
+  const auto heft = heft_schedule(instance.graph, instance.platform, instance.expected);
+  EXPECT_GE(plan.makespan, heft.makespan * 0.95);
+  EXPECT_LE(plan.makespan, heft.makespan * 1.5);
+}
+
+TEST(DynamicEft, AdaptsToRealizedSlowdown) {
+  // Two independent tasks, two processors. Task 1's expected best processor
+  // turns out to be occupied longer than planned because task 0 (dispatched
+  // first, higher rank via longer expected time) overruns; the dispatcher
+  // still reacts to observed availability when placing task 1.
+  TaskGraph g(2);
+  const Platform platform(2, 1.0);
+  Matrix<double> expected(2, 2);
+  expected(0, 0) = 10.0;  // task 0 prefers p0? eft p0=10 vs p1=12 -> p0
+  expected(0, 1) = 12.0;
+  expected(1, 0) = 3.0;
+  expected(1, 1) = 4.0;
+  Matrix<double> realized = expected;
+  const auto run =
+      simulate_dynamic_eft(g, platform, expected, realized);
+  // Task 0 (rank 10 vs 3.5) goes first to p0; task 1's expected EFT is
+  // 10 + 3 = 13 on p0 but 4 on the idle p1 -> p1.
+  EXPECT_EQ(run.schedule.proc_of(0), 0);
+  EXPECT_EQ(run.schedule.proc_of(1), 1);
+  EXPECT_DOUBLE_EQ(run.makespan, 10.0);
+}
+
+TEST(DynamicEft, RejectsShapeMismatches) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 3);
+  const Matrix<double> wrong(3, 2, 1.0);
+  EXPECT_THROW(simulate_dynamic_eft(instance.graph, instance.platform,
+                                    instance.expected, wrong),
+               InvalidArgument);
+  EXPECT_THROW(simulate_dynamic_eft(instance.graph, instance.platform, wrong,
+                                    instance.expected),
+               InvalidArgument);
+}
+
+TEST(DynamicEftEvaluation, ReportFieldsConsistent) {
+  const auto instance = testing::small_instance(40, 4, 3.0, 4);
+  MonteCarloConfig config;
+  config.realizations = 300;
+  config.collect_samples = true;
+  const auto report = evaluate_dynamic_eft(instance, config);
+  EXPECT_GT(report.expected_makespan, 0.0);
+  EXPECT_EQ(report.samples.size(), 300u);
+  EXPECT_LE(report.p50_realized_makespan, report.p95_realized_makespan);
+  EXPECT_GE(report.miss_rate, 0.0);
+  EXPECT_LE(report.miss_rate, 1.0);
+  EXPECT_GT(report.r1, 0.0);
+}
+
+TEST(DynamicEftEvaluation, DeterministicInSeed) {
+  const auto instance = testing::small_instance(30, 4, 3.0, 5);
+  MonteCarloConfig config;
+  config.realizations = 200;
+  const auto a = evaluate_dynamic_eft(instance, config);
+  const auto b = evaluate_dynamic_eft(instance, config);
+  EXPECT_EQ(a.mean_realized_makespan, b.mean_realized_makespan);
+  EXPECT_EQ(a.miss_rate, b.miss_rate);
+}
+
+TEST(DynamicEftEvaluation, AdaptivityBeatsStaticUnderHighUncertainty) {
+  // The motivating comparison: at high UL the dynamic dispatcher's mean
+  // realized makespan should beat the *static HEFT schedule*'s (it reroutes
+  // around observed slowdowns), while the robust GA closes the gap on
+  // tail/robustness metrics. Here we only pin the dynamic-vs-static-HEFT
+  // direction, averaged over a few instances.
+  double dynamic_mean = 0.0;
+  double static_mean = 0.0;
+  for (const std::uint64_t seed : {6u, 7u, 8u}) {
+    const auto instance = testing::small_instance(60, 6, 6.0, seed);
+    MonteCarloConfig config;
+    config.realizations = 300;
+    config.seed = seed;
+    dynamic_mean += evaluate_dynamic_eft(instance, config).mean_realized_makespan;
+    const auto heft =
+        heft_schedule(instance.graph, instance.platform, instance.expected);
+    static_mean +=
+        evaluate_robustness(instance, heft.schedule, config).mean_realized_makespan;
+  }
+  EXPECT_LT(dynamic_mean, static_mean);
+}
+
+}  // namespace
+}  // namespace rts

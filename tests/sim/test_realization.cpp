@@ -1,0 +1,102 @@
+#include "sim/realization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "sched/random_scheduler.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+TEST(RealizationSampler, ExpectedDurationsMatchAssignedColumns) {
+  const auto instance = testing::small_instance(20, 4, 3.0, 1);
+  Rng rng(1);
+  const auto rand =
+      random_schedule(instance.graph, instance.platform, instance.expected, rng);
+  const RealizationSampler sampler(instance, rand.schedule);
+  const auto& expected = sampler.expected_durations();
+  ASSERT_EQ(expected.size(), instance.task_count());
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    const auto p = static_cast<std::size_t>(rand.schedule.proc_of(static_cast<TaskId>(t)));
+    EXPECT_EQ(expected[t], instance.expected(t, p));
+  }
+}
+
+TEST(RealizationSampler, SamplesWithinModelBounds) {
+  const auto instance = testing::small_instance(20, 4, 3.0, 2);
+  Rng sched_rng(2);
+  const auto rand =
+      random_schedule(instance.graph, instance.platform, instance.expected, sched_rng);
+  const RealizationSampler sampler(instance, rand.schedule);
+
+  Rng rng(3);
+  std::vector<double> durations(instance.task_count());
+  for (int trial = 0; trial < 500; ++trial) {
+    sampler.sample(rng, durations);
+    for (std::size_t t = 0; t < durations.size(); ++t) {
+      const auto p =
+          static_cast<std::size_t>(rand.schedule.proc_of(static_cast<TaskId>(t)));
+      const double b = instance.bcet(t, p);
+      const double ul = instance.ul(t, p);
+      ASSERT_GE(durations[t], b);
+      ASSERT_LE(durations[t], (2.0 * ul - 1.0) * b);
+    }
+  }
+}
+
+TEST(RealizationSampler, SampleMeansConvergeToExpected) {
+  const auto instance = testing::small_instance(10, 2, 4.0, 3);
+  Rng sched_rng(4);
+  const auto rand =
+      random_schedule(instance.graph, instance.platform, instance.expected, sched_rng);
+  const RealizationSampler sampler(instance, rand.schedule);
+
+  Rng rng(5);
+  std::vector<double> durations(instance.task_count());
+  std::vector<RunningStats> stats(instance.task_count());
+  for (int trial = 0; trial < 20000; ++trial) {
+    sampler.sample(rng, durations);
+    for (std::size_t t = 0; t < durations.size(); ++t) stats[t].add(durations[t]);
+  }
+  const auto& expected = sampler.expected_durations();
+  for (std::size_t t = 0; t < stats.size(); ++t) {
+    EXPECT_NEAR(stats[t].mean(), expected[t], 0.02 * expected[t]);
+  }
+}
+
+TEST(RealizationSampler, DeterministicGivenRngState) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 6);
+  Rng sched_rng(6);
+  const auto rand =
+      random_schedule(instance.graph, instance.platform, instance.expected, sched_rng);
+  const RealizationSampler sampler(instance, rand.schedule);
+  Rng a(7);
+  Rng b(7);
+  std::vector<double> da(instance.task_count());
+  std::vector<double> db(instance.task_count());
+  sampler.sample(a, da);
+  sampler.sample(b, db);
+  EXPECT_EQ(da, db);
+}
+
+TEST(RealizationSampler, RejectsMismatchedSchedule) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 8);
+  const Schedule wrong(5, {{0, 1, 2, 3, 4}, {}});
+  EXPECT_THROW(RealizationSampler(instance, wrong), InvalidArgument);
+}
+
+TEST(RealizationSampler, RejectsWrongBufferSize) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 9);
+  Rng sched_rng(9);
+  const auto rand =
+      random_schedule(instance.graph, instance.platform, instance.expected, sched_rng);
+  const RealizationSampler sampler(instance, rand.schedule);
+  Rng rng(10);
+  std::vector<double> too_small(3);
+  EXPECT_THROW(sampler.sample(rng, too_small), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,64 @@
+#pragma once
+// Shared fixtures and builders for the test suite.
+
+#include <string>
+
+#include "core/rts.hpp"
+
+namespace rts::testing {
+
+/// Materialize a span for comparisons against vectors in EXPECT_EQ.
+template <typename T>
+std::vector<T> to_vec(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
+}
+
+
+/// The paper's Fig. 1(a) task graph (0-based ids; paper task v_k is id k-1).
+inline TaskGraph fig1_graph(double data = 1.0) {
+  TaskGraph g(8);
+  g.add_edge(0, 1, data);
+  g.add_edge(0, 2, data);
+  g.add_edge(0, 3, data);
+  g.add_edge(1, 4, data);
+  g.add_edge(2, 4, data);
+  g.add_edge(2, 5, data);
+  g.add_edge(1, 6, data);
+  g.add_edge(4, 6, data);
+  g.add_edge(5, 6, data);
+  g.add_edge(4, 7, data);
+  return g;
+}
+
+/// The paper's Fig. 1(c) schedule for fig1_graph on 4 processors:
+/// P1 = {v1, v2, v4}, P2 = {v3, v5, v8}, P3 = {v6, v7}, P4 = {} (0-based).
+inline Schedule fig1_schedule() {
+  return Schedule(8, {{0, 1, 3}, {2, 4, 7}, {5, 6}, {}});
+}
+
+/// A simple 3-task chain a -> b -> c with the given edge data.
+inline TaskGraph chain3(double data = 1.0) {
+  TaskGraph g(3);
+  g.add_edge(0, 1, data);
+  g.add_edge(1, 2, data);
+  return g;
+}
+
+/// Uniform n x m cost matrix.
+inline Matrix<double> uniform_costs(std::size_t n, std::size_t m, double value) {
+  return Matrix<double>(n, m, value);
+}
+
+/// Small random problem instance for property tests: `n` tasks on `m`
+/// processors, medium heterogeneity, avg UL as given.
+inline ProblemInstance small_instance(std::size_t n, std::size_t m, double avg_ul,
+                                      std::uint64_t seed) {
+  PaperInstanceParams params;
+  params.task_count = n;
+  params.proc_count = m;
+  params.avg_ul = avg_ul;
+  Rng rng(seed);
+  return make_paper_instance(params, rng);
+}
+
+}  // namespace rts::testing

@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesEqualsForm) {
+  const auto opts = parse({"--graphs=12"});
+  EXPECT_EQ(opts.get_int("graphs", 0), 12);
+}
+
+TEST(Options, ParsesSpaceForm) {
+  const auto opts = parse({"--graphs", "7"});
+  EXPECT_EQ(opts.get_int("graphs", 0), 7);
+}
+
+TEST(Options, BareFlagReadsAsTrue) {
+  const auto opts = parse({"--verbose"});
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+}
+
+TEST(Options, MissingKeyFallsBackToDefault) {
+  const auto opts = parse({});
+  EXPECT_EQ(opts.get_int("graphs", 42), 42);
+  EXPECT_EQ(opts.get_double("epsilon", 1.5), 1.5);
+  EXPECT_EQ(opts.get_string("mode", "fast"), "fast");
+  EXPECT_FALSE(opts.get_bool("verbose", false));
+}
+
+TEST(Options, LastOccurrenceWins) {
+  const auto opts = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(opts.get_int("n", 0), 2);
+}
+
+TEST(Options, PositionalArgumentsCollected) {
+  const auto opts = parse({"input.txt", "--n=1", "output.txt"});
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "input.txt");
+  EXPECT_EQ(opts.positional()[1], "output.txt");
+}
+
+TEST(Options, EnvironmentFallback) {
+  ::setenv("RTS_TEST_KNOB", "99", 1);
+  const auto opts = parse({});
+  EXPECT_EQ(opts.get_int("test-knob", 0), 99);
+  ::unsetenv("RTS_TEST_KNOB");
+}
+
+TEST(Options, CommandLineBeatsEnvironment) {
+  ::setenv("RTS_TEST_KNOB", "99", 1);
+  const auto opts = parse({"--test-knob=5"});
+  EXPECT_EQ(opts.get_int("test-knob", 0), 5);
+  ::unsetenv("RTS_TEST_KNOB");
+}
+
+TEST(Options, MalformedIntegerThrows) {
+  const auto opts = parse({"--n=abc"});
+  EXPECT_THROW((void)opts.get_int("n", 0), InvalidArgument);
+  const auto trailing = parse({"--n=12x"});
+  EXPECT_THROW((void)trailing.get_int("n", 0), InvalidArgument);
+}
+
+TEST(Options, MalformedDoubleThrows) {
+  const auto opts = parse({"--eps=1.2.3"});
+  EXPECT_THROW((void)opts.get_double("eps", 0.0), InvalidArgument);
+}
+
+TEST(Options, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=YES"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=on"}).get_bool("f", false));
+  EXPECT_FALSE(parse({"--f=0"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"--f=off"}).get_bool("f", true));
+  EXPECT_THROW((void)parse({"--f=maybe"}).get_bool("f", true), InvalidArgument);
+}
+
+TEST(Options, DoubleParsing) {
+  const auto opts = parse({"--eps=1.75"});
+  EXPECT_DOUBLE_EQ(opts.get_double("eps", 0.0), 1.75);
+}
+
+}  // namespace
+}  // namespace rts

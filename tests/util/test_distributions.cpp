@@ -1,0 +1,184 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+constexpr int kSamples = 200000;
+
+RunningStats collect(Rng& rng, int n, double (*draw)(Rng&)) {
+  RunningStats s;
+  for (int i = 0; i < n; ++i) s.add(draw(rng));
+  return s;
+}
+
+TEST(Uniform, BoundsRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = sample_uniform(rng, 2.0, 5.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Uniform, DegenerateIntervalReturnsLo) {
+  Rng rng(1);
+  EXPECT_EQ(sample_uniform(rng, 3.0, 3.0), 3.0);
+}
+
+TEST(Uniform, RejectsReversedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(sample_uniform(rng, 2.0, 1.0), InvalidArgument);
+}
+
+TEST(Uniform, MomentsMatchTheory) {
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(sample_uniform(rng, 10.0, 30.0));
+  EXPECT_NEAR(s.mean(), 20.0, 0.1);
+  EXPECT_NEAR(s.variance(), 400.0 / 12.0, 0.5);
+}
+
+TEST(UniformInt, CoversFullInclusiveRange) {
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = sample_uniform_int(rng, 2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    ++counts[static_cast<std::size_t>(v - 2)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 9000);
+}
+
+TEST(UniformInt, SinglePointRange) {
+  Rng rng(3);
+  EXPECT_EQ(sample_uniform_int(rng, 5, 5), 5);
+}
+
+TEST(UniformInt, HandlesNegativeRanges) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = sample_uniform_int(rng, -10, -5);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -5);
+  }
+}
+
+TEST(Normal, StandardMoments) {
+  Rng rng(5);
+  const auto s = collect(rng, kSamples, [](Rng& r) { return sample_standard_normal(r); });
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Normal, ShiftAndScale) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(sample_normal(rng, 7.0, 3.0));
+  EXPECT_NEAR(s.mean(), 7.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Normal, RejectsNegativeSigma) {
+  Rng rng(6);
+  EXPECT_THROW(sample_normal(rng, 0.0, -1.0), InvalidArgument);
+}
+
+// Gamma moments: mean = k*theta, var = k*theta^2. Checked for shape >= 1 and
+// the boosted shape < 1 branch.
+struct GammaCase {
+  double shape;
+  double scale;
+};
+
+class GammaMoments : public ::testing::TestWithParam<GammaCase> {};
+
+TEST_P(GammaMoments, MeanAndVarianceMatchTheory) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape * 100 + scale));
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(sample_gamma(rng, shape, scale));
+  const double mean = shape * scale;
+  const double var = shape * scale * scale;
+  EXPECT_NEAR(s.mean(), mean, 0.03 * mean + 0.01);
+  EXPECT_NEAR(s.variance(), var, 0.08 * var + 0.02);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMoments,
+                         ::testing::Values(GammaCase{0.25, 1.0}, GammaCase{0.5, 2.0},
+                                           GammaCase{1.0, 1.0}, GammaCase{2.0, 3.0},
+                                           GammaCase{4.0, 0.5}, GammaCase{16.0, 1.25}));
+
+TEST(Gamma, RejectsNonPositiveParameters) {
+  Rng rng(1);
+  EXPECT_THROW(sample_gamma(rng, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(sample_gamma(rng, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(sample_gamma(rng, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(GammaMeanCov, RealizesRequestedMeanAndCov) {
+  // This parameterization is the exact contract the Ali et al. COV method
+  // relies on: mean = requested mean, stddev/mean = requested COV.
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(sample_gamma_mean_cov(rng, 20.0, 0.5));
+  EXPECT_NEAR(s.mean(), 20.0, 0.2);
+  EXPECT_NEAR(s.stddev() / s.mean(), 0.5, 0.01);
+}
+
+TEST(GammaMeanCov, ZeroCovDegeneratesToMean) {
+  Rng rng(8);
+  EXPECT_EQ(sample_gamma_mean_cov(rng, 13.0, 0.0), 13.0);
+}
+
+TEST(GammaMeanCov, RejectsBadParameters) {
+  Rng rng(8);
+  EXPECT_THROW(sample_gamma_mean_cov(rng, 0.0, 0.5), InvalidArgument);
+  EXPECT_THROW(sample_gamma_mean_cov(rng, 1.0, -0.1), InvalidArgument);
+}
+
+TEST(Exponential, MeanIsInverseRate) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(sample_exponential(rng, 0.25));
+  EXPECT_NEAR(s.mean(), 4.0, 0.05);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  Rng rng(9);
+  EXPECT_THROW(sample_exponential(rng, 0.0), InvalidArgument);
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += sample_bernoulli(rng, 0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.005);
+}
+
+TEST(Bernoulli, DegenerateProbabilities) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(sample_bernoulli(rng, 0.0));
+    EXPECT_TRUE(sample_bernoulli(rng, 1.0));
+  }
+}
+
+TEST(Bernoulli, RejectsOutOfRangeP) {
+  Rng rng(10);
+  EXPECT_THROW(sample_bernoulli(rng, -0.1), InvalidArgument);
+  EXPECT_THROW(sample_bernoulli(rng, 1.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

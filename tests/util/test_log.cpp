@@ -1,0 +1,75 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace rts {
+namespace {
+
+/// Redirect std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_threshold(); }
+  void TearDown() override { set_log_threshold(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, MessagesBelowThresholdAreSuppressed) {
+  set_log_threshold(LogLevel::kWarn);
+  ClogCapture capture;
+  RTS_LOG_DEBUG("invisible debug");
+  RTS_LOG_INFO("invisible info");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, MessagesAtOrAboveThresholdAreEmitted) {
+  set_log_threshold(LogLevel::kInfo);
+  ClogCapture capture;
+  RTS_LOG_INFO("hello " << 42);
+  RTS_LOG_ERROR("bad " << 1.5);
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("[rts:INFO] hello 42"), std::string::npos);
+  EXPECT_NE(out.find("[rts:ERROR] bad 1.5"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_threshold(LogLevel::kOff);
+  ClogCapture capture;
+  RTS_LOG_ERROR("even errors");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, EnabledPredicateMatchesThreshold) {
+  set_log_threshold(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, StreamExpressionNotEvaluatedWhenDisabled) {
+  set_log_threshold(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  RTS_LOG_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,66 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix<double> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillValueAppliedEverywhere) {
+  Matrix<int> m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m(r, c), 7);
+    }
+  }
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix<double> m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  const Matrix<double>& cm = m;
+  EXPECT_THROW(cm.at(2, 2), InvalidArgument);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix<int> m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  // data() walks rows contiguously.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(m.data()[i], i);
+  EXPECT_EQ(m.row(1)[0], 3);
+  EXPECT_EQ(m.row(1)[2], 5);
+}
+
+TEST(Matrix, EqualityComparesShapeAndContents) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2;
+  EXPECT_NE(a, b);
+  Matrix<int> c(4, 1, 1);
+  EXPECT_NE(a, c);  // same element count, different shape
+}
+
+TEST(Matrix, MutationThroughAt) {
+  Matrix<double> m(2, 2);
+  m.at(0, 1) = 3.5;
+  EXPECT_EQ(m(0, 1), 3.5);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,126 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rts {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ZeroSeedProducesValidState) {
+  Rng rng(0);
+  // A degenerate all-zero state would emit zeros forever.
+  std::uint64_t any_nonzero = 0;
+  for (int i = 0; i < 16; ++i) any_nonzero |= rng();
+  EXPECT_NE(any_nonzero, 0u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsApproximatelyUniform) {
+  Rng rng(9);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(bound)];
+  // Chi-square with 9 dof; 99.9% quantile is about 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (const int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, SubstreamIsDeterministicAndDoesNotAdvanceParent) {
+  const Rng parent(42);
+  Rng copy = parent;
+  Rng sub1 = parent.substream(3);
+  Rng sub2 = parent.substream(3);
+  EXPECT_EQ(sub1(), sub2());
+  // Parent state untouched by substream derivation.
+  Rng parent_after = parent;
+  EXPECT_EQ(copy(), parent_after());
+}
+
+TEST(Rng, SubstreamsAreIndependentAcrossIndices) {
+  const Rng parent(42);
+  std::set<std::uint64_t> first_values;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    Rng sub = parent.substream(i);
+    first_values.insert(sub());
+  }
+  // Collisions in the first output across 1000 substreams are a red flag.
+  EXPECT_EQ(first_values.size(), 1000u);
+}
+
+TEST(Rng, SeedAccessorReportsConstructionSeed) {
+  EXPECT_EQ(Rng(77).seed(), 77u);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  // Regression pin: the generator must never silently change, or archived
+  // experiment seeds stop reproducing.
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafull);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ull);
+}
+
+TEST(SplitMix, HashCombineSeparatesNearbyIndices) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 4096; ++i) values.insert(hash_combine_u64(1, i));
+  EXPECT_EQ(values.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,155 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStats, SingleObservationHasZeroVariance) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Percentile, KnownQuantiles) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_NEAR(percentile(xs, 25.0), 2.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 10.0), 1.4, 1e-12);  // linear interpolation
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+  EXPECT_THROW(percentile(xs, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile(xs, 101.0), InvalidArgument);
+}
+
+TEST(Pearson, PerfectLinearCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  EXPECT_EQ(pearson_correlation(xs, ys), 0.0);
+}
+
+TEST(Pearson, RejectsLengthMismatch) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW(pearson_correlation(xs, ys), InvalidArgument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // Spearman sees through monotone transforms where Pearson does not.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{1.0, 8.0, 27.0, 64.0, 125.0};
+  EXPECT_NEAR(spearman_correlation(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson_correlation(xs, ys), 1.0);
+}
+
+TEST(Spearman, TiesUseAverageRanks) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const auto ranks = fractional_ranks(xs);
+  EXPECT_EQ(ranks[0], 1.0);
+  EXPECT_EQ(ranks[1], 2.5);
+  EXPECT_EQ(ranks[2], 2.5);
+  EXPECT_EQ(ranks[3], 4.0);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(xs), InvalidArgument);
+}
+
+TEST(GeometricMean, EmptyIsZero) { EXPECT_EQ(geometric_mean({}), 0.0); }
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  Rng rng(3);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(rng.next_double());
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+  RunningStats one;
+  one.add(1.0);
+  EXPECT_EQ(ci95_halfwidth(one), 0.0);
+}
+
+TEST(BatchHelpers, EmptySpansAreSafe) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rts

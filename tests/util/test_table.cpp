@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(ResultTable, RejectsEmptyHeaderList) {
+  EXPECT_THROW(ResultTable({}), InvalidArgument);
+}
+
+TEST(ResultTable, PrettyOutputAlignsColumns) {
+  ResultTable t({"name", "value"});
+  t.begin_row().add("alpha").add(1.5, 2);
+  t.begin_row().add("b").add(20.0, 2);
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("20.00"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ResultTable, CsvOutputIsParseable) {
+  ResultTable t({"a", "b", "c"});
+  t.begin_row().add("x").add(static_cast<long long>(3)).add(0.25, 2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,3,0.25\n");
+}
+
+TEST(ResultTable, CsvQuotesSpecialCharacters) {
+  ResultTable t({"a"});
+  t.begin_row().add("hello, \"world\"\nline2");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\nline2\"\n");
+}
+
+TEST(ResultTable, CellWithoutRowThrows) {
+  ResultTable t({"a"});
+  EXPECT_THROW(t.add("x"), InvalidArgument);
+}
+
+TEST(ResultTable, OverfilledRowThrows) {
+  ResultTable t({"a"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), InvalidArgument);
+}
+
+TEST(ResultTable, IncompleteRowBlocksNextRow) {
+  ResultTable t({"a", "b"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.begin_row(), InvalidArgument);
+}
+
+TEST(ResultTable, SaveCsvWritesFile) {
+  ResultTable t({"k", "v"});
+  t.begin_row().add("pi").add(3.14159, 3);
+  const std::string path = ::testing::TempDir() + "rts_table_test.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "pi,3.142");
+  std::remove(path.c_str());
+}
+
+TEST(ResultTable, SaveCsvToBadPathThrows) {
+  ResultTable t({"a"});
+  EXPECT_THROW(t.save_csv("/nonexistent_dir_zzz/x.csv"), InvalidArgument);
+}
+
+TEST(FormatFixed, RoundsToPrecision) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.235, 2), "1.24");
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");
+  EXPECT_EQ(format_fixed(2.0, 4), "2.0000");
+}
+
+TEST(ResultTable, CountsRowsAndColumns) {
+  ResultTable t({"a", "b"});
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.begin_row().add("1").add("2");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rts

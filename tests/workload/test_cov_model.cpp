@@ -1,0 +1,105 @@
+#include "workload/cov_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+TEST(CovModel, AllEntriesPositive) {
+  Rng rng(1);
+  const auto m = generate_cov_cost_matrix(50, 8, CovModelParams{}, rng);
+  EXPECT_EQ(m.rows(), 50u);
+  EXPECT_EQ(m.cols(), 8u);
+  for (std::size_t t = 0; t < m.rows(); ++t) {
+    for (std::size_t p = 0; p < m.cols(); ++p) EXPECT_GT(m(t, p), 0.0);
+  }
+}
+
+TEST(CovModel, GrandMeanMatchesMuTask) {
+  Rng rng(2);
+  CovModelParams params;
+  params.mu_task = 20.0;
+  RunningStats s;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = generate_cov_cost_matrix(100, 8, params, rng);
+    for (std::size_t t = 0; t < m.rows(); ++t) {
+      for (std::size_t p = 0; p < m.cols(); ++p) s.add(m(t, p));
+    }
+  }
+  EXPECT_NEAR(s.mean(), 20.0, 0.5);
+}
+
+TEST(CovModel, MachineHeterogeneityControlsRowSpread) {
+  // v_mach is the COV of a row (one task across machines) around its
+  // baseline q_i: the mean row COV should track v_mach.
+  Rng rng(3);
+  const auto row_cov_mean = [&](double v_mach) {
+    CovModelParams params;
+    params.v_mach = v_mach;
+    RunningStats covs;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto m = generate_cov_cost_matrix(200, 16, params, rng);
+      for (std::size_t t = 0; t < m.rows(); ++t) {
+        RunningStats row;
+        for (std::size_t p = 0; p < m.cols(); ++p) row.add(m(t, p));
+        covs.add(row.stddev() / row.mean());
+      }
+    }
+    return covs.mean();
+  };
+  const double low = row_cov_mean(0.1);
+  const double high = row_cov_mean(0.9);
+  EXPECT_NEAR(low, 0.1, 0.03);
+  // Gamma row-COV estimates bias slightly low with 16 samples; the ordering
+  // and rough magnitude are what matter.
+  EXPECT_GT(high, 5.0 * low);
+}
+
+TEST(CovModel, TaskHeterogeneityControlsBaselineSpread) {
+  Rng rng(4);
+  const auto baseline_cov = [&](double v_task) {
+    CovModelParams params;
+    params.v_task = v_task;
+    RunningStats s;
+    for (int trial = 0; trial < 20; ++trial) {
+      for (const double q : draw_task_baselines(500, params, rng)) s.add(q);
+    }
+    return s.stddev() / s.mean();
+  };
+  EXPECT_NEAR(baseline_cov(0.25), 0.25, 0.03);
+  EXPECT_NEAR(baseline_cov(1.0), 1.0, 0.08);
+}
+
+TEST(CovModel, ZeroCovsDegenerate) {
+  Rng rng(5);
+  CovModelParams params;
+  params.mu_task = 7.0;
+  params.v_task = 0.0;
+  params.v_mach = 0.0;
+  const auto m = generate_cov_cost_matrix(4, 3, params, rng);
+  for (std::size_t t = 0; t < m.rows(); ++t) {
+    for (std::size_t p = 0; p < m.cols(); ++p) EXPECT_EQ(m(t, p), 7.0);
+  }
+}
+
+TEST(CovModel, DeterministicInSeed) {
+  Rng a(6);
+  Rng b(6);
+  EXPECT_EQ(generate_cov_cost_matrix(20, 4, CovModelParams{}, a),
+            generate_cov_cost_matrix(20, 4, CovModelParams{}, b));
+}
+
+TEST(CovModel, RejectsInvalidParameters) {
+  Rng rng(7);
+  CovModelParams params;
+  params.mu_task = 0.0;
+  EXPECT_THROW(generate_cov_cost_matrix(2, 2, params, rng), InvalidArgument);
+  EXPECT_THROW(draw_task_baselines(0, CovModelParams{}, rng), InvalidArgument);
+  EXPECT_THROW(generate_cov_cost_matrix(2, 0, CovModelParams{}, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,203 @@
+#include "workload/dag_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/topology.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+TEST(LevelSizes, SumToTaskCountAndAllNonEmpty) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    DagGeneratorParams params;
+    params.task_count = 100;
+    const auto sizes = draw_level_sizes(params, rng);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 100u);
+    for (const std::size_t s : sizes) EXPECT_GE(s, 1u);
+  }
+}
+
+TEST(LevelSizes, ShapeAlphaControlsHeight) {
+  // alpha > 1 => short/fat graphs; alpha < 1 => tall/thin graphs
+  // (mean height = sqrt(n) / alpha).
+  DagGeneratorParams tall;
+  tall.task_count = 100;
+  tall.shape_alpha = 0.5;
+  DagGeneratorParams flat;
+  flat.task_count = 100;
+  flat.shape_alpha = 2.0;
+
+  Rng rng_tall(2);
+  Rng rng_flat(2);
+  double tall_height = 0.0;
+  double flat_height = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    tall_height += static_cast<double>(draw_level_sizes(tall, rng_tall).size());
+    flat_height += static_cast<double>(draw_level_sizes(flat, rng_flat).size());
+  }
+  tall_height /= trials;
+  flat_height /= trials;
+  EXPECT_GT(tall_height, 2.5 * flat_height);
+  // Means should be near sqrt(100)/alpha = 20 and 5.
+  EXPECT_NEAR(tall_height, 20.0, 4.0);
+  EXPECT_NEAR(flat_height, 5.0, 1.5);
+}
+
+TEST(LevelSizes, SingleTaskGraph) {
+  Rng rng(3);
+  DagGeneratorParams params;
+  params.task_count = 1;
+  const auto sizes = draw_level_sizes(params, rng);
+  EXPECT_EQ(sizes, std::vector<std::size_t>{1});
+}
+
+TEST(DagGenerator, ProducesValidConnectedDag) {
+  Rng rng(4);
+  const Platform platform(4, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 100;
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskGraph g = generate_random_dag(params, platform, rng);
+    EXPECT_EQ(g.task_count(), 100u);
+    EXPECT_TRUE(g.is_acyclic());
+    // Every non-entry task has at least one predecessor by construction; the
+    // entry level is exactly the first level.
+    const auto depths = task_depths(g);
+    for (std::size_t t = 0; t < g.task_count(); ++t) {
+      if (g.in_degree(static_cast<TaskId>(t)) == 0) {
+        EXPECT_EQ(depths[t], 0u);
+      }
+    }
+  }
+}
+
+TEST(DagGenerator, RespectsMaxInDegree) {
+  Rng rng(5);
+  const Platform platform(4, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 200;
+  params.max_in_degree = 3;
+  const TaskGraph g = generate_random_dag(params, platform, rng);
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    EXPECT_LE(g.in_degree(static_cast<TaskId>(t)), 3u);
+  }
+}
+
+TEST(DagGenerator, CcrCalibratesMeanCommunicationCost) {
+  // Mean edge comm cost across the platform should be ccr * avg_comp_cost.
+  Rng rng(6);
+  const Platform platform(8, 2.0);  // rate 2 => cost = data / 2
+  DagGeneratorParams params;
+  params.task_count = 150;
+  params.avg_comp_cost = 20.0;
+  params.ccr = 0.5;
+
+  RunningStats edge_costs;
+  for (int trial = 0; trial < 30; ++trial) {
+    const TaskGraph g = generate_random_dag(params, platform, rng);
+    for (std::size_t t = 0; t < g.task_count(); ++t) {
+      for (const EdgeRef& e : g.successors(static_cast<TaskId>(t))) {
+        edge_costs.add(platform.average_comm_cost(e.data));
+      }
+    }
+  }
+  EXPECT_NEAR(edge_costs.mean(), 0.5 * 20.0, 0.5);
+}
+
+TEST(DagGenerator, ZeroCcrMeansZeroData) {
+  Rng rng(7);
+  const Platform platform(4, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 50;
+  params.ccr = 0.0;
+  const TaskGraph g = generate_random_dag(params, platform, rng);
+  EXPECT_EQ(g.total_edge_data(), 0.0);
+}
+
+TEST(DagGenerator, SingleProcessorPlatformGetsZeroData) {
+  // With one processor no communication can occur; data is zeroed even for
+  // positive ccr (documented behaviour).
+  Rng rng(8);
+  const Platform platform(1, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 30;
+  params.ccr = 1.0;
+  const TaskGraph g = generate_random_dag(params, platform, rng);
+  EXPECT_EQ(g.total_edge_data(), 0.0);
+}
+
+TEST(DagGenerator, DeterministicInSeed) {
+  const Platform platform(4, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 80;
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(generate_random_dag(params, platform, a),
+            generate_random_dag(params, platform, b));
+}
+
+TEST(DagGenerator, EdgesPointForwardInLevelOrder) {
+  // Task ids are assigned level by level and predecessors only come from
+  // earlier levels, so every edge goes from a smaller to a larger id.
+  Rng rng(10);
+  const Platform platform(4, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 120;
+  const TaskGraph g = generate_random_dag(params, platform, rng);
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    for (const EdgeRef& e : g.successors(static_cast<TaskId>(t))) {
+      EXPECT_LT(static_cast<TaskId>(t), e.task);
+    }
+  }
+}
+
+TEST(DagGenerator, LargerJumpEnablesLongerEdges) {
+  // With jump = 1 every edge connects adjacent generated levels; raising the
+  // jump lets some edges skip levels, which shows up as a larger mean depth
+  // difference across many graphs.
+  const Platform platform(4, 1.0);
+  const auto mean_depth_gap = [&](std::size_t jump, std::uint64_t seed) {
+    Rng rng(seed);
+    DagGeneratorParams params;
+    params.task_count = 150;
+    params.shape_alpha = 0.7;  // tall graphs so jumps have room
+    params.jump = jump;
+    RunningStats gaps;
+    for (int trial = 0; trial < 20; ++trial) {
+      const TaskGraph g = generate_random_dag(params, platform, rng);
+      const auto depths = task_depths(g);
+      for (std::size_t t = 0; t < g.task_count(); ++t) {
+        for (const EdgeRef& e : g.successors(static_cast<TaskId>(t))) {
+          gaps.add(static_cast<double>(depths[static_cast<std::size_t>(e.task)]) -
+                   static_cast<double>(depths[t]));
+        }
+      }
+    }
+    return gaps.mean();
+  };
+  EXPECT_GT(mean_depth_gap(4, 11), mean_depth_gap(1, 11));
+}
+
+TEST(DagGenerator, RejectsInvalidParameters) {
+  Rng rng(11);
+  const Platform platform(2, 1.0);
+  DagGeneratorParams params;
+  params.task_count = 10;
+  params.ccr = -0.1;
+  EXPECT_THROW(generate_random_dag(params, platform, rng), InvalidArgument);
+  params.ccr = 0.1;
+  params.jump = 0;
+  EXPECT_THROW(generate_random_dag(params, platform, rng), InvalidArgument);
+  DagGeneratorParams bad_alpha;
+  bad_alpha.shape_alpha = 0.0;
+  EXPECT_THROW(draw_level_sizes(bad_alpha, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,106 @@
+#include "workload/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+TEST(ExpectedCosts, ElementwiseProduct) {
+  Matrix<double> bcet(2, 2);
+  bcet(0, 0) = 1.0;
+  bcet(0, 1) = 2.0;
+  bcet(1, 0) = 3.0;
+  bcet(1, 1) = 4.0;
+  Matrix<double> ul(2, 2, 2.0);
+  ul(1, 1) = 3.0;
+  const auto expected = expected_costs(bcet, ul);
+  EXPECT_EQ(expected(0, 0), 2.0);
+  EXPECT_EQ(expected(0, 1), 4.0);
+  EXPECT_EQ(expected(1, 0), 6.0);
+  EXPECT_EQ(expected(1, 1), 12.0);
+}
+
+TEST(ExpectedCosts, RejectsShapeMismatch) {
+  const Matrix<double> a(2, 2, 1.0);
+  const Matrix<double> b(2, 3, 1.0);
+  EXPECT_THROW(expected_costs(a, b), InvalidArgument);
+}
+
+TEST(PaperInstance, SatisfiesAllInvariants) {
+  Rng rng(1);
+  const auto instance = make_paper_instance(PaperInstanceParams{}, rng);
+  EXPECT_NO_THROW(instance.validate());
+  EXPECT_EQ(instance.task_count(), 100u);
+  EXPECT_EQ(instance.proc_count(), 8u);
+  EXPECT_EQ(instance.bcet.rows(), 100u);
+  EXPECT_EQ(instance.bcet.cols(), 8u);
+  EXPECT_TRUE(instance.graph.is_acyclic());
+}
+
+TEST(PaperInstance, RespectsCustomDimensions) {
+  PaperInstanceParams params;
+  params.task_count = 40;
+  params.proc_count = 3;
+  params.avg_ul = 4.0;
+  Rng rng(2);
+  const auto instance = make_paper_instance(params, rng);
+  EXPECT_EQ(instance.task_count(), 40u);
+  EXPECT_EQ(instance.proc_count(), 3u);
+}
+
+TEST(PaperInstance, MeanBcetTracksCc) {
+  PaperInstanceParams params;
+  params.task_count = 200;
+  Rng rng(3);
+  RunningStats s;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = make_paper_instance(params, rng);
+    for (std::size_t t = 0; t < instance.bcet.rows(); ++t) {
+      for (std::size_t p = 0; p < instance.bcet.cols(); ++p) {
+        s.add(instance.bcet(t, p));
+      }
+    }
+  }
+  EXPECT_NEAR(s.mean(), 20.0, 0.6);
+}
+
+TEST(PaperInstance, DeterministicInSeed) {
+  Rng a(4);
+  Rng b(4);
+  const auto x = make_paper_instance(PaperInstanceParams{}, a);
+  const auto y = make_paper_instance(PaperInstanceParams{}, b);
+  EXPECT_EQ(x.graph, y.graph);
+  EXPECT_EQ(x.bcet, y.bcet);
+  EXPECT_EQ(x.ul, y.ul);
+  EXPECT_EQ(x.expected, y.expected);
+}
+
+TEST(Validate, CatchesBrokenInvariants) {
+  Rng rng(5);
+  PaperInstanceParams params;
+  params.task_count = 10;
+  params.proc_count = 2;
+
+  auto wrong_shape = make_paper_instance(params, rng);
+  wrong_shape.bcet = Matrix<double>(3, 2, 1.0);
+  EXPECT_THROW(wrong_shape.validate(), InvalidArgument);
+
+  auto low_ul = make_paper_instance(params, rng);
+  low_ul.ul(0, 0) = 0.5;
+  EXPECT_THROW(low_ul.validate(), InvalidArgument);
+
+  auto stale_expected = make_paper_instance(params, rng);
+  stale_expected.ul(0, 0) += 1.0;  // expected no longer equals ul * bcet
+  EXPECT_THROW(stale_expected.validate(), InvalidArgument);
+
+  auto bad_bcet = make_paper_instance(params, rng);
+  bad_bcet.bcet(0, 0) = 0.0;
+  bad_bcet.expected(0, 0) = 0.0;
+  EXPECT_THROW(bad_bcet.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

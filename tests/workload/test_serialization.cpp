@@ -1,0 +1,182 @@
+#include "workload/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "../test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(ProblemSerialization, RoundTripPreservesEverything) {
+  const auto instance = testing::small_instance(30, 4, 3.0, 1);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const auto loaded = load_problem(buffer);
+  EXPECT_EQ(loaded.graph, instance.graph);
+  EXPECT_EQ(loaded.platform, instance.platform);
+  EXPECT_EQ(loaded.bcet, instance.bcet);
+  EXPECT_EQ(loaded.ul, instance.ul);
+  EXPECT_EQ(loaded.expected, instance.expected);
+}
+
+TEST(ProblemSerialization, RoundTripPreservesTaskNames) {
+  auto instance = testing::small_instance(10, 2, 2.0, 2);
+  instance.graph.set_task_name(0, "the source");
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const auto loaded = load_problem(buffer);
+  EXPECT_EQ(loaded.graph.task_name(0), "the source");
+}
+
+TEST(ProblemSerialization, RoundTripThroughFile) {
+  const auto instance = testing::small_instance(15, 3, 2.0, 3);
+  const std::string path = ::testing::TempDir() + "rts_problem_test.txt";
+  save_problem_file(path, instance);
+  const auto loaded = load_problem_file(path);
+  EXPECT_EQ(loaded.graph, instance.graph);
+  EXPECT_EQ(loaded.bcet, instance.bcet);
+  std::remove(path.c_str());
+}
+
+TEST(ProblemSerialization, HeterogeneousRatesSurvive) {
+  auto instance = testing::small_instance(10, 3, 2.0, 4);
+  instance.platform.set_transfer_rate(0, 1, 2.5);
+  instance.platform.set_transfer_rate(1, 0, 0.25);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const auto loaded = load_problem(buffer);
+  EXPECT_EQ(loaded.platform.transfer_rate(0, 1), 2.5);
+  EXPECT_EQ(loaded.platform.transfer_rate(1, 0), 0.25);
+}
+
+TEST(ProblemSerialization, RejectsWrongMagic) {
+  std::stringstream buffer("not-a-problem v1\n");
+  EXPECT_THROW(load_problem(buffer), InvalidArgument);
+}
+
+TEST(ProblemSerialization, RejectsTruncatedDocument) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 5);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_problem(truncated), InvalidArgument);
+}
+
+TEST(ProblemSerialization, RejectsCorruptUl) {
+  const auto instance = testing::small_instance(5, 2, 2.0, 6);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  std::string text = buffer.str();
+  // Corrupt the first UL value to 0.1 (< 1): validate() must reject it.
+  const auto pos = text.find("ul\n");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos + 3);
+  const auto first_space = text.find(' ', pos + 3);
+  const auto end = std::min(eol, first_space);
+  text.replace(pos + 3, end - (pos + 3), "0.1");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_problem(corrupted), InvalidArgument);
+}
+
+TEST(ProblemSerialization, MissingFileThrows) {
+  EXPECT_THROW(load_problem_file("/nonexistent_zzz/p.txt"), InvalidArgument);
+  const auto instance = testing::small_instance(5, 2, 2.0, 7);
+  EXPECT_THROW(save_problem_file("/nonexistent_zzz/p.txt", instance), InvalidArgument);
+}
+
+TEST(ProblemSerialization, RejectsAbsurdSizeFields) {
+  // Hardened loader: a corrupt size field must throw, never allocate.
+  std::stringstream huge_tasks("rts-problem v1\ntasks 99999999999\nprocs 2\n");
+  EXPECT_THROW(load_problem(huge_tasks), InvalidArgument);
+  std::stringstream huge_procs("rts-problem v1\ntasks 2\nprocs 99999999\n");
+  EXPECT_THROW(load_problem(huge_procs), InvalidArgument);
+  std::stringstream zero_tasks("rts-problem v1\ntasks 0\nprocs 2\n");
+  EXPECT_THROW(load_problem(zero_tasks), InvalidArgument);
+}
+
+TEST(ScheduleSerialization, RejectsAbsurdSizeFields) {
+  std::stringstream huge("rts-schedule v1\ntasks 99999999999\nprocs 1\nseq 1 0\n");
+  EXPECT_THROW(load_schedule(huge), InvalidArgument);
+  std::stringstream long_seq("rts-schedule v1\ntasks 2\nprocs 1\nseq 99 0 1\n");
+  EXPECT_THROW(load_schedule(long_seq), InvalidArgument);
+}
+
+class SerializationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationFuzz, MutatedDocumentsNeverCrash) {
+  // Take a valid document and apply random byte mutations: the loader must
+  // either parse successfully or throw InvalidArgument — no crashes, no
+  // unbounded allocation, no other exception type.
+  const auto instance = testing::small_instance(12, 3, 2.0, GetParam());
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const std::string original = buffer.str();
+
+  Rng rng(GetParam() ^ 0xf00du);
+  const char charset[] = "0123456789 .-\nabcxyz";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = original;
+    const auto flips = 1 + rng.next_below(8);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.next_below(mutated.size()));
+      mutated[pos] = charset[rng.next_below(sizeof(charset) - 1)];
+    }
+    std::stringstream in(mutated);
+    try {
+      const ProblemInstance loaded = load_problem(in);
+      // If it parsed, it must be fully valid (load_problem validates).
+      EXPECT_NO_THROW(loaded.validate());
+    } catch (const InvalidArgument&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST_P(SerializationFuzz, TruncationsNeverCrash) {
+  const auto instance = testing::small_instance(10, 2, 2.0, GetParam() + 100);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const std::string original = buffer.str();
+  Rng rng(GetParam() ^ 0xbeefu);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto cut = static_cast<std::size_t>(rng.next_below(original.size()));
+    std::stringstream in(original.substr(0, cut));
+    EXPECT_THROW(load_problem(in), InvalidArgument);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzz, ::testing::Values(1u, 2u, 3u));
+
+TEST(ScheduleSerialization, RoundTrip) {
+  const Schedule schedule(6, {{0, 2, 4}, {1, 3}, {5}});
+  std::stringstream buffer;
+  save_schedule(buffer, schedule);
+  const Schedule loaded = load_schedule(buffer);
+  EXPECT_EQ(loaded, schedule);
+}
+
+TEST(ScheduleSerialization, RoundTripWithEmptyProcessor) {
+  const Schedule schedule(2, {{0, 1}, {}});
+  std::stringstream buffer;
+  save_schedule(buffer, schedule);
+  EXPECT_EQ(load_schedule(buffer), schedule);
+}
+
+TEST(ScheduleSerialization, RejectsGarbage) {
+  std::stringstream buffer("rts-schedule v2\n");
+  EXPECT_THROW(load_schedule(buffer), InvalidArgument);
+}
+
+TEST(ScheduleSerialization, RejectsInvalidScheduleContent) {
+  // Structurally parseable but semantically invalid (task 0 twice).
+  std::stringstream buffer("rts-schedule v1\ntasks 2\nprocs 1\nseq 2 0 0\n");
+  EXPECT_THROW(load_schedule(buffer), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,204 @@
+#include "workload/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(GaussianElimination, TaskCountFormula) {
+  // (k^2 + k - 2) / 2 tasks.
+  EXPECT_EQ(gaussian_elimination_graph(2, 1.0).task_count(), 2u);
+  EXPECT_EQ(gaussian_elimination_graph(3, 1.0).task_count(), 5u);
+  EXPECT_EQ(gaussian_elimination_graph(5, 1.0).task_count(), 14u);
+  EXPECT_EQ(gaussian_elimination_graph(10, 1.0).task_count(), 54u);
+}
+
+TEST(GaussianElimination, StructureOfK4) {
+  const TaskGraph g = gaussian_elimination_graph(4, 2.0);
+  ASSERT_EQ(g.task_count(), 9u);
+  EXPECT_TRUE(g.is_acyclic());
+  // Step 0: pivot id 0, updates 1..3; step 1: pivot 4, updates 5..6;
+  // step 2: pivot 7, update 8.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(1, 4));  // update(0,1) -> pivot 1
+  EXPECT_TRUE(g.has_edge(2, 5));  // update(0,2) -> update(1,2)
+  EXPECT_TRUE(g.has_edge(3, 6));  // update(0,3) -> update(1,3)
+  EXPECT_TRUE(g.has_edge(5, 7));  // update(1,2) -> pivot 2
+  EXPECT_TRUE(g.has_edge(6, 8));  // update(1,3) -> update(2,3)
+  // Single entry (first pivot) and single exit (last update).
+  EXPECT_EQ(g.entry_tasks(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.exit_tasks(), std::vector<TaskId>{8});
+  // Height: pivot/update alternation gives 2(k-1) - 1 levels... measured:
+  EXPECT_EQ(graph_height(g), 6u);
+}
+
+TEST(GaussianElimination, RejectsTooSmallK) {
+  EXPECT_THROW(gaussian_elimination_graph(1, 1.0), InvalidArgument);
+}
+
+TEST(Fft, ButterflyStructure) {
+  const TaskGraph g = fft_graph(8, 1.0);
+  // (log2(8) + 1) * 8 = 32 tasks.
+  ASSERT_EQ(g.task_count(), 32u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 8u);
+  EXPECT_EQ(g.exit_tasks().size(), 8u);
+  EXPECT_EQ(graph_height(g), 4u);
+  // Every non-final task has out-degree 2 (straight + butterfly partner).
+  for (std::size_t t = 0; t < 24; ++t) {
+    EXPECT_EQ(g.out_degree(static_cast<TaskId>(t)), 2u);
+  }
+  // Level-0 task 0 feeds level-1 tasks 0 and 1 (stride 1).
+  EXPECT_TRUE(g.has_edge(0, 8));
+  EXPECT_TRUE(g.has_edge(0, 9));
+  // Level-1 task 8+0 feeds level-2 tasks 0 and 2 (stride 2).
+  EXPECT_TRUE(g.has_edge(8, 16));
+  EXPECT_TRUE(g.has_edge(8, 18));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(fft_graph(3, 1.0), InvalidArgument);
+  EXPECT_THROW(fft_graph(0, 1.0), InvalidArgument);
+  EXPECT_THROW(fft_graph(1, 1.0), InvalidArgument);
+}
+
+TEST(ForkJoin, SingleStageShape) {
+  const TaskGraph g = fork_join_graph(4, 1, 1.0);
+  // fork + 4 branches + join = 6 tasks.
+  ASSERT_EQ(g.task_count(), 6u);
+  EXPECT_EQ(g.entry_tasks(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.exit_tasks(), std::vector<TaskId>{5});
+  EXPECT_EQ(g.out_degree(0), 4u);
+  EXPECT_EQ(g.in_degree(5), 4u);
+  EXPECT_EQ(graph_height(g), 3u);
+}
+
+TEST(ForkJoin, StagesChainThroughSharedJoin) {
+  const TaskGraph g = fork_join_graph(3, 2, 1.0);
+  // 2 stages * (3 + 1) + 1 = 9 tasks, 5 levels.
+  ASSERT_EQ(g.task_count(), 9u);
+  EXPECT_EQ(graph_height(g), 5u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  // The stage-0 join (id 4) is the stage-1 fork.
+  EXPECT_EQ(g.out_degree(4), 3u);
+  EXPECT_EQ(g.in_degree(4), 3u);
+}
+
+TEST(Wavefront, StencilDependencies) {
+  const TaskGraph g = wavefront_graph(4, 3, 1.0);
+  ASSERT_EQ(g.task_count(), 12u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(graph_height(g), 3u);
+  // Interior task (1,1) = id 5 depends on (0,0), (0,1), (0,2).
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_TRUE(g.has_edge(1, 5));
+  EXPECT_TRUE(g.has_edge(2, 5));
+  EXPECT_EQ(g.in_degree(5), 3u);
+  // Border task (1,0) = id 4 has only two inputs.
+  EXPECT_EQ(g.in_degree(4), 2u);
+  // First row are entries.
+  EXPECT_EQ(g.entry_tasks().size(), 4u);
+}
+
+TEST(Cholesky, TaskCountFormula) {
+  // k + k(k-1) + k(k-1)(k-2)/6.
+  EXPECT_EQ(cholesky_graph(2, 1.0).task_count(), 4u);
+  EXPECT_EQ(cholesky_graph(3, 1.0).task_count(), 10u);
+  EXPECT_EQ(cholesky_graph(4, 1.0).task_count(), 20u);
+  EXPECT_EQ(cholesky_graph(6, 1.0).task_count(), 56u);
+}
+
+TEST(Cholesky, DataflowOfK3) {
+  // k = 3 layout in creation order (SYRK of a row precedes its GEMMs):
+  //  0 potrf0, 1 trsm1_0, 2 trsm2_0, 3 syrk1_0, 4 syrk2_0, 5 gemm2_1_0,
+  //  6 potrf1, 7 trsm2_1, 8 syrk2_1, 9 potrf2
+  const TaskGraph g = cholesky_graph(3, 1.0);
+  ASSERT_EQ(g.task_count(), 10u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.task_name(0), "potrf0");
+  EXPECT_EQ(g.task_name(5), "gemm2_1_0");
+  EXPECT_EQ(g.task_name(9), "potrf2");
+  // POTRF(0) enables both first-panel TRSMs.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  // SYRK(1,0) updates the (1,1) block read by POTRF(1).
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 6));
+  // GEMM(2,1,0) reads both TRSMs and gates TRSM(2,1).
+  EXPECT_TRUE(g.has_edge(1, 5));
+  EXPECT_TRUE(g.has_edge(2, 5));
+  EXPECT_TRUE(g.has_edge(5, 7));
+  EXPECT_TRUE(g.has_edge(6, 7));
+  // SYRK chain into the final factorization: syrk2_0 -> syrk2_1 -> potrf2.
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_TRUE(g.has_edge(4, 8));
+  EXPECT_TRUE(g.has_edge(7, 8));
+  EXPECT_TRUE(g.has_edge(8, 9));
+}
+
+TEST(Cholesky, SingleEntrySingleExit) {
+  for (const std::size_t k : {2u, 4u, 7u}) {
+    const TaskGraph g = cholesky_graph(k, 1.0);
+    EXPECT_EQ(g.entry_tasks(), std::vector<TaskId>{0}) << "k=" << k;
+    const auto exits = g.exit_tasks();
+    ASSERT_EQ(exits.size(), 1u) << "k=" << k;
+    EXPECT_EQ(g.task_name(exits[0]), "potrf" + std::to_string(k - 1));
+  }
+}
+
+TEST(Cholesky, CriticalPathLengthGrowsLinearlyInK) {
+  // The tiled algorithm's critical path has Theta(k) length (the
+  // potrf -> trsm -> syrk chain per panel).
+  EXPECT_EQ(graph_height(cholesky_graph(3, 1.0)), 7u);
+  EXPECT_EQ(graph_height(cholesky_graph(5, 1.0)), 13u);  // 3(k-1) + 1
+  EXPECT_EQ(graph_height(cholesky_graph(8, 1.0)), 22u);
+}
+
+TEST(Cholesky, RejectsTooSmallK) {
+  EXPECT_THROW(cholesky_graph(1, 1.0), InvalidArgument);
+}
+
+TEST(Montage, WorkflowShape) {
+  const std::size_t inputs = 5;
+  const TaskGraph g = montage_like_graph(inputs, 1.0);
+  // project(5) + diff(4) + model + background(5) + coadd + out = 17.
+  ASSERT_EQ(g.task_count(), 17u);
+  EXPECT_TRUE(g.is_acyclic());
+  // Entries are exactly the projections.
+  EXPECT_EQ(g.entry_tasks().size(), inputs);
+  // Single final output.
+  ASSERT_EQ(g.exit_tasks().size(), 1u);
+  const TaskId out = g.exit_tasks()[0];
+  EXPECT_EQ(g.task_name(out), "out");
+  // The model gathers all diffs; the coadd gathers all backgrounds.
+  const TaskId model = 9;  // 5 projections + 4 diffs
+  EXPECT_EQ(g.in_degree(model), inputs - 1);
+  EXPECT_EQ(g.out_degree(model), inputs);
+  const TaskId coadd = 15;
+  EXPECT_EQ(g.in_degree(coadd), inputs);
+}
+
+TEST(Montage, RejectsTooFewInputs) {
+  EXPECT_THROW(montage_like_graph(1, 1.0), InvalidArgument);
+}
+
+TEST(Structured, EdgeDataAppliedUniformly) {
+  for (const TaskGraph& g :
+       {gaussian_elimination_graph(4, 3.5), fft_graph(4, 3.5),
+        fork_join_graph(2, 2, 3.5), wavefront_graph(3, 3, 3.5),
+        montage_like_graph(3, 3.5)}) {
+    for (std::size_t t = 0; t < g.task_count(); ++t) {
+      for (const EdgeRef& e : g.successors(static_cast<TaskId>(t))) {
+        EXPECT_EQ(e.data, 3.5);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rts

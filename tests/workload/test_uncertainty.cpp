@@ -1,0 +1,108 @@
+#include "workload/uncertainty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace rts {
+namespace {
+
+TEST(UlMatrix, EveryEntryAtLeastOne) {
+  Rng rng(1);
+  UncertaintyParams params;
+  params.avg_ul = 2.0;
+  const auto ul = generate_ul_matrix(100, 8, params, rng);
+  for (std::size_t t = 0; t < ul.rows(); ++t) {
+    for (std::size_t p = 0; p < ul.cols(); ++p) EXPECT_GE(ul(t, p), 1.0);
+  }
+}
+
+TEST(UlMatrix, MeanTracksAvgUlWhenClampRarelyBinds) {
+  // At avg_ul = 8 the gamma stages essentially never dip below 1, so the
+  // clamp is inactive and the grand mean should approach 8.
+  Rng rng(2);
+  UncertaintyParams params;
+  params.avg_ul = 8.0;
+  RunningStats s;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto ul = generate_ul_matrix(100, 8, params, rng);
+    for (std::size_t t = 0; t < ul.rows(); ++t) {
+      for (std::size_t p = 0; p < ul.cols(); ++p) s.add(ul(t, p));
+    }
+  }
+  EXPECT_NEAR(s.mean(), 8.0, 0.4);
+}
+
+TEST(UlMatrix, ClampBiasesLowAvgUlUpward) {
+  // At avg_ul = 2 with V = 0.5 the two-stage gamma has substantial mass
+  // below 1; clamping shifts the mean slightly above the target. Document
+  // the bias stays modest.
+  Rng rng(3);
+  UncertaintyParams params;
+  params.avg_ul = 2.0;
+  RunningStats s;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto ul = generate_ul_matrix(100, 8, params, rng);
+    for (std::size_t t = 0; t < ul.rows(); ++t) {
+      for (std::size_t p = 0; p < ul.cols(); ++p) s.add(ul(t, p));
+    }
+  }
+  EXPECT_GE(s.mean(), 2.0);
+  EXPECT_LE(s.mean(), 2.3);
+}
+
+TEST(UlMatrix, RejectsInvalidParameters) {
+  Rng rng(4);
+  UncertaintyParams params;
+  params.avg_ul = 0.5;  // below 1 is meaningless for this model
+  EXPECT_THROW(generate_ul_matrix(2, 2, params, rng), InvalidArgument);
+  EXPECT_THROW(generate_ul_matrix(0, 2, UncertaintyParams{}, rng), InvalidArgument);
+}
+
+TEST(UlMatrix, DeterministicInSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(generate_ul_matrix(10, 4, UncertaintyParams{}, a),
+            generate_ul_matrix(10, 4, UncertaintyParams{}, b));
+}
+
+TEST(RealizedDuration, StaysWithinTheoreticalBounds) {
+  // c ~ U(b, (2*UL - 1) * b): never below BCET, never above the upper bound.
+  Rng rng(6);
+  const double bcet = 10.0;
+  const double ul = 3.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double c = sample_realized_duration(rng, bcet, ul);
+    ASSERT_GE(c, bcet);
+    ASSERT_LE(c, (2.0 * ul - 1.0) * bcet);
+  }
+}
+
+TEST(RealizedDuration, MeanIsUlTimesBcet) {
+  // The defining property of the model: E[c] = UL * b, the expected duration
+  // the schedulers plan with (paper Section 5).
+  Rng rng(7);
+  const double bcet = 10.0;
+  const double ul = 3.0;
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(sample_realized_duration(rng, bcet, ul));
+  EXPECT_NEAR(s.mean(), ul * bcet, 0.1);
+  EXPECT_EQ(expected_duration(bcet, ul), 30.0);
+}
+
+TEST(RealizedDuration, UlOneIsDeterministic) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_realized_duration(rng, 5.0, 1.0), 5.0);
+  }
+}
+
+TEST(RealizedDuration, RejectsInvalidInputs) {
+  Rng rng(9);
+  EXPECT_THROW(sample_realized_duration(rng, 0.0, 2.0), InvalidArgument);
+  EXPECT_THROW(sample_realized_duration(rng, 1.0, 0.9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts
