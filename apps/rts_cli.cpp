@@ -1,10 +1,12 @@
 // rts — command-line front end for the robust-task-scheduling library.
 //
-// Subcommands:
+// Subcommands (keep this list and usage() in sync with the dispatch table in
+// main):
 //   generate  draw a problem instance and write it to a file
 //   info      print the statistics of a problem file
 //   schedule  schedule a problem file with a chosen algorithm
 //   evaluate  Monte-Carlo robustness report of a schedule on a problem
+//   sweep     map the ε-frontier of a problem file (GA per ε + Monte-Carlo)
 //
 // Typical session:
 //   rts generate --tasks 100 --procs 8 --ul 4 --seed 7 --out problem.rts
@@ -15,6 +17,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/rts.hpp"
 #include "util/cli.hpp"
@@ -38,7 +41,7 @@ commands:
             [--epsilon E] [--quantile Q] [--iters N] [--seed S]
             [--out FILE] [--gantt] [--svg FILE] [--json FILE]
   evaluate  --problem FILE --schedule FILE [--realizations N] [--seed S]
-            [--criticality] [--json FILE]
+            [--threads N] [--criticality] [--json FILE]
   sweep     --problem FILE [--eps-max 2.0] [--eps-step 0.2] [--iters N]
             [--realizations N] [--seed S] [--csv FILE]
 )";
@@ -212,6 +215,10 @@ int cmd_evaluate(const Options& opts) {
   MonteCarloConfig config;
   config.realizations = static_cast<std::size_t>(opts.get_int("realizations", 1000));
   config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  // Pure performance knob: the report is seed-stable for any thread count
+  // (per-realization RNG substreams, see sim/monte_carlo.hpp).
+  config.threads = static_cast<std::size_t>(opts.get_int(
+      "threads", static_cast<std::int64_t>(std::thread::hardware_concurrency())));
   const RobustnessReport report = evaluate_robustness(instance, schedule, config);
 
   ResultTable table({"metric", "value"});

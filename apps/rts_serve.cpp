@@ -1,0 +1,277 @@
+// rts_serve — many requests, one process: the service-layer front end.
+//
+// Reads newline-delimited job requests (problem file + per-job solver
+// options), runs them through a SchedulerService (bounded queue, N worker
+// threads, LRU result cache) and writes one JSON result line per job, in
+// submission order. Result lines carry only deterministic solver output, so
+// the output stream is byte-identical for any --threads value; wall-clock
+// telemetry goes to stderr via --stats. See docs/service.md for the formats.
+//
+// Typical session:
+//   rts generate --tasks 40 --procs 4 --seed 7 --out p.rts
+//   printf 'p.rts --epsilon 1.2 --iters 200\np.rts --epsilon 1.4\n' > jobs.txt
+//   rts_serve --requests jobs.txt --threads 4 --stats > results.jsonl
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "workload/serialization.hpp"
+
+namespace {
+
+using namespace rts;
+
+int usage() {
+  std::cout <<
+      R"(usage: rts_serve --requests FILE [options]
+
+options:
+  --requests FILE     newline-delimited job requests; "-" reads stdin
+  --out FILE          write JSON result lines here (default: stdout)
+  --threads N         worker threads (default: hardware concurrency)
+  --queue-capacity N  bounded job-queue capacity (default 1024; admission
+                      blocks, it never sheds)
+  --cache-capacity N  LRU result-cache entries (default 256)
+  --stats             print a service-stats JSON object to stderr at the end
+
+request line format (one job per line, '#' starts a comment):
+  PROBLEM_FILE [--epsilon E] [--iters N] [--seed S] [--realizations N]
+               [--mc-seed S] [--priority P] [--stochastic]
+)";
+  return 2;
+}
+
+/// One parsed request line: either a submittable job or an upfront error.
+struct PendingJob {
+  std::string problem_path;
+  std::optional<std::future<JobResult>> future;
+  std::string error;  ///< non-empty when the line failed before submission
+};
+
+void append_number(std::ostringstream& os, double value) {
+  // Mirrors core/report_io.cpp: max round-trip precision, reject non-finite.
+  RTS_REQUIRE(std::isfinite(value), "cannot serialize non-finite value to JSON");
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+}
+
+void append_string(std::ostringstream& os, const std::string& text) {
+  os << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u00" << (ch < 16 ? "0" : "") << std::hex << static_cast<int>(ch)
+             << std::dec;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string result_line(std::size_t index, const PendingJob& pending,
+                        const JobResult* result) {
+  std::ostringstream os;
+  os << "{\"job\":" << index << ",\"problem\":";
+  append_string(os, pending.problem_path);
+  if (result == nullptr) {
+    os << ",\"status\":\"failed\",\"error\":";
+    append_string(os, pending.error);
+    os << '}';
+    return os.str();
+  }
+  if (result->status != JobStatus::kOk) {
+    os << ",\"status\":\"failed\",\"error\":";
+    append_string(os, result->error);
+    os << '}';
+    return os.str();
+  }
+  const SolveSummary& s = result->summary;
+  os << ",\"status\":\"ok\",\"cache_hit\":" << (result->cache_hit ? "true" : "false");
+  os << ",\"digest\":\"" << result->key.to_hex() << '"';
+  os << ",\"heft_makespan\":";
+  append_number(os, s.heft_makespan);
+  os << ",\"makespan\":";
+  append_number(os, s.makespan);
+  os << ",\"avg_slack\":";
+  append_number(os, s.avg_slack);
+  os << ",\"mean_tardiness\":";
+  append_number(os, s.mean_tardiness);
+  os << ",\"miss_rate\":";
+  append_number(os, s.miss_rate);
+  os << ",\"r1\":";
+  append_number(os, s.r1);
+  os << ",\"r2\":";
+  append_number(os, s.r2);
+  os << ",\"heft_r1\":";
+  append_number(os, s.heft_r1);
+  os << ",\"heft_r2\":";
+  append_number(os, s.heft_r2);
+  os << ",\"ga_iterations\":" << s.ga_iterations << '}';
+  return os.str();
+}
+
+std::string stats_json(const ServiceStats& s) {
+  std::ostringstream os;
+  os << "{\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
+     << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
+     << ",\"queue_depth\":" << s.queue_depth << ",\"in_flight\":" << s.in_flight
+     << ",\"workers\":" << s.workers;
+  os << ",\"p50_latency_ms\":";
+  append_number(os, s.p50_latency_ms);
+  os << ",\"p95_latency_ms\":";
+  append_number(os, s.p95_latency_ms);
+  os << ",\"max_latency_ms\":";
+  append_number(os, s.max_latency_ms);
+  os << ",\"cache_hits\":" << s.cache.hits << ",\"cache_misses\":" << s.cache.misses
+     << ",\"cache_evictions\":" << s.cache.evictions
+     << ",\"cache_entries\":" << s.cache.entries;
+  os << ",\"cache_hit_rate\":";
+  append_number(os, s.cache.hit_rate());
+  os << '}';
+  return os.str();
+}
+
+/// Parse one request line into a JobRequest; the problem pointer is resolved
+/// through `problems`, a per-path cache so N jobs on one file load it once.
+JobRequest parse_request(
+    const std::string& line, std::string& problem_path,
+    std::map<std::string, std::shared_ptr<const ProblemInstance>>& problems) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  for (std::string tok; is >> tok;) tokens.push_back(tok);
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size() + 1);
+  argv.push_back("request");  // Options skips argv[0] (program-name slot)
+  for (const std::string& tok : tokens) argv.push_back(tok.c_str());
+  const Options opts(static_cast<int>(argv.size()), argv.data());
+  RTS_REQUIRE(opts.positional().size() == 1,
+              "request line needs exactly one problem file, got: " + line);
+  problem_path = opts.positional().front();
+
+  auto it = problems.find(problem_path);
+  if (it == problems.end()) {
+    auto loaded = std::make_shared<const ProblemInstance>(
+        load_problem_file(problem_path));
+    it = problems.emplace(problem_path, std::move(loaded)).first;
+  }
+
+  JobRequest request;
+  request.problem = it->second;
+  request.config.ga.epsilon = opts.get_double("epsilon", 1.0);
+  request.config.ga.max_iterations =
+      static_cast<std::size_t>(opts.get_int("iters", 1000));
+  request.config.ga.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  request.config.mc.realizations =
+      static_cast<std::size_t>(opts.get_int("realizations", 1000));
+  request.config.mc.seed = static_cast<std::uint64_t>(opts.get_int("mc-seed", 42));
+  request.config.stochastic_objective = opts.get_bool("stochastic", false);
+  request.priority = static_cast<int>(opts.get_int("priority", 0));
+  return request;
+}
+
+int run(const Options& opts) {
+  std::string requests_path = opts.get_string("requests", "");
+  if (requests_path.empty() && opts.positional().size() == 1) {
+    requests_path = opts.positional().front();
+  }
+  if (requests_path.empty()) return usage();
+
+  std::ifstream request_file;
+  if (requests_path != "-") {
+    request_file.open(requests_path);
+    RTS_REQUIRE(request_file.good(),
+                "cannot open request file: " + requests_path);
+  }
+  std::istream& requests = requests_path == "-" ? std::cin : request_file;
+
+  std::ofstream out_file;
+  const std::string out_path = opts.get_string("out", "");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    RTS_REQUIRE(out_file.good(), "cannot open output file: " + out_path);
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  SchedulerServiceConfig config;
+  config.workers = static_cast<std::size_t>(opts.get_int(
+      "threads", static_cast<std::int64_t>(std::thread::hardware_concurrency())));
+  config.queue_capacity =
+      static_cast<std::size_t>(opts.get_int("queue-capacity", 1024));
+  config.cache_capacity =
+      static_cast<std::size_t>(opts.get_int("cache-capacity", 256));
+  config.block_when_full = true;  // a request file is a finite batch: apply
+                                  // backpressure to the reader, never shed
+  SchedulerService service(config);
+
+  // Submission pass. Lines that fail to parse or load become failed results
+  // without aborting the batch (one bad job must not kill the other 99).
+  std::map<std::string, std::shared_ptr<const ProblemInstance>> problems;
+  std::vector<PendingJob> pending;
+  for (std::string line; std::getline(requests, line);) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    PendingJob job;
+    try {
+      JobRequest request = parse_request(line, job.problem_path, problems);
+      job.future = service.submit(std::move(request));
+      if (!job.future) job.error = "job rejected by the service queue";
+    } catch (const std::exception& e) {
+      if (job.problem_path.empty()) job.problem_path = line;
+      job.error = e.what();
+    }
+    pending.push_back(std::move(job));
+  }
+
+  // Collection pass: results print in submission order regardless of the
+  // order workers finished them.
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PendingJob& job = pending[i];
+    if (!job.future) {
+      ++failures;
+      out << result_line(i, job, nullptr) << '\n';
+      continue;
+    }
+    const JobResult result = job.future->get();
+    if (result.status != JobStatus::kOk) ++failures;
+    out << result_line(i, job, &result) << '\n';
+  }
+  out.flush();
+  RTS_REQUIRE(out.good(), "write failure on result stream");
+
+  if (opts.get_bool("stats", false)) {
+    std::cerr << stats_json(service.stats()) << '\n';
+  }
+  service.shutdown();
+  return failures == 0 ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rts::Options opts(argc, argv);  // Options skips argv[0]
+  try {
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,84 @@
+#include "service/fingerprint.hpp"
+
+namespace rts {
+
+namespace {
+
+void hash_matrix(Hasher& h, const Matrix<double>& m) {
+  h.update(static_cast<std::uint64_t>(m.rows()));
+  h.update(static_cast<std::uint64_t>(m.cols()));
+  const double* data = m.data();
+  for (std::size_t i = 0, n = m.rows() * m.cols(); i < n; ++i) {
+    h.update(data[i]);
+  }
+}
+
+void hash_graph(Hasher& h, const TaskGraph& graph) {
+  h.update(static_cast<std::uint64_t>(graph.task_count()));
+  h.update(static_cast<std::uint64_t>(graph.edge_count()));
+  // Successor lists are iterated per task in insertion order; two graphs with
+  // the same edge set inserted in different orders hash differently, which is
+  // acceptable for a cache (a false miss costs a solve, never correctness).
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    const auto succs = graph.successors(static_cast<TaskId>(t));
+    h.update(static_cast<std::uint64_t>(succs.size()));
+    for (const EdgeRef& e : succs) {
+      h.update(e.task);
+      h.update(e.data);
+    }
+  }
+}
+
+void hash_platform(Hasher& h, const Platform& platform) {
+  const std::size_t m = platform.proc_count();
+  h.update(static_cast<std::uint64_t>(m));
+  for (std::size_t from = 0; from < m; ++from) {
+    for (std::size_t to = 0; to < m; ++to) {
+      if (from == to) continue;  // diagonal reads as +inf by convention
+      h.update(platform.transfer_rate(static_cast<ProcId>(from),
+                                      static_cast<ProcId>(to)));
+    }
+  }
+}
+
+}  // namespace
+
+Digest problem_digest(const ProblemInstance& instance) {
+  Hasher h;
+  h.update(std::string_view("rts-problem"));
+  hash_graph(h, instance.graph);
+  hash_platform(h, instance.platform);
+  hash_matrix(h, instance.bcet);
+  hash_matrix(h, instance.ul);
+  return h.digest();
+}
+
+Digest job_digest(const ProblemInstance& instance,
+                  const RobustSchedulerConfig& config) {
+  const Digest problem = problem_digest(instance);
+  Hasher h;
+  h.update(std::string_view("rts-job"));
+  h.update(problem.hi);
+  h.update(problem.lo);
+  const GaConfig& ga = config.ga;
+  h.update(static_cast<std::uint64_t>(ga.population_size));
+  h.update(ga.crossover_prob);
+  h.update(ga.mutation_prob);
+  h.update(static_cast<std::uint64_t>(ga.max_iterations));
+  h.update(static_cast<std::uint64_t>(ga.stagnation_window));
+  h.update(ga.seed);
+  h.update(static_cast<std::int32_t>(ga.objective));
+  h.update(ga.epsilon);
+  h.update(static_cast<std::uint64_t>(ga.seed_with_heft ? 1 : 0));
+  h.update(static_cast<std::uint64_t>(ga.elitism ? 1 : 0));
+  h.update(static_cast<std::uint64_t>(ga.history_stride));
+  h.update(ga.effective_slack_kappa);
+  const MonteCarloConfig& mc = config.mc;
+  h.update(static_cast<std::uint64_t>(mc.realizations));
+  h.update(mc.seed);
+  h.update(mc.reciprocal_cap);
+  h.update(static_cast<std::uint64_t>(config.stochastic_objective ? 1 : 0));
+  return h.digest();
+}
+
+}  // namespace rts

@@ -1,0 +1,25 @@
+#pragma once
+// Content fingerprints of problem instances and jobs.
+//
+// The cache key must change whenever anything that can change the solver's
+// output changes: the task graph (edges + data sizes), the BCET matrix, the
+// UL matrix, the platform transfer-rate matrix TR, and every solver option
+// (ε, GA hyper-parameters, seeds, Monte-Carlo knobs). Task names are
+// deliberately excluded — they are presentation metadata and do not influence
+// scheduling.
+
+#include "service/job.hpp"
+#include "util/digest.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Digest of the problem instance alone (graph + BCET + UL + TR).
+Digest problem_digest(const ProblemInstance& instance);
+
+/// Digest of a full job: problem_digest ⊕ every RobustSchedulerConfig field.
+/// Two jobs with equal job_digest produce identical SolveSummary payloads.
+Digest job_digest(const ProblemInstance& instance,
+                  const RobustSchedulerConfig& config);
+
+}  // namespace rts

@@ -1,0 +1,62 @@
+#pragma once
+// Request/response types of the scheduling service (see docs/service.md).
+//
+// A job is one robust-scheduling solve: a problem instance plus the full
+// RobustSchedulerConfig. The solver pipeline is a pure function of
+// (instance, config) — every stochastic component inside it draws from seeds
+// carried by the config — so a JobResult is reproducible bit-for-bit no
+// matter which worker thread runs it or in what order jobs complete.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/robust_scheduler.hpp"
+#include "util/digest.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Terminal state of a submitted job.
+enum class JobStatus : std::uint8_t {
+  kOk,      ///< solve completed (fresh or served from cache)
+  kFailed,  ///< the solver threw; JobResult::error carries the message
+};
+
+/// Deterministic numeric payload of one solve. This is what the result cache
+/// stores and what rts_serve serializes — deliberately free of wall-clock
+/// measurements so identical requests yield byte-identical result lines.
+struct SolveSummary {
+  double heft_makespan = 0.0;   ///< M_HEFT, the ε-constraint reference
+  double makespan = 0.0;        ///< M0 of the GA's best schedule
+  double avg_slack = 0.0;       ///< average slack of the GA's best schedule
+  double mean_tardiness = 0.0;  ///< E[δ] of the GA schedule
+  double miss_rate = 0.0;       ///< α of the GA schedule
+  double r1 = 0.0;              ///< robustness R1 of the GA schedule
+  double r2 = 0.0;              ///< robustness R2 of the GA schedule
+  double heft_r1 = 0.0;         ///< R1 of the HEFT baseline
+  double heft_r2 = 0.0;         ///< R2 of the HEFT baseline
+  std::size_t ga_iterations = 0;
+
+  bool operator==(const SolveSummary&) const = default;
+};
+
+/// One scheduling request as accepted by SchedulerService::submit.
+struct JobRequest {
+  std::shared_ptr<const ProblemInstance> problem;  ///< non-null
+  RobustSchedulerConfig config;                    ///< ε, GA + MC knobs, seeds
+  int priority = 0;  ///< higher runs first; FIFO within a priority level
+};
+
+/// Outcome of one job, delivered through the future returned by submit().
+struct JobResult {
+  std::uint64_t job_id = 0;      ///< submission sequence number (0-based)
+  JobStatus status = JobStatus::kOk;
+  std::string error;             ///< non-empty iff status == kFailed
+  Digest key;                    ///< content digest the cache keyed this job by
+  bool cache_hit = false;        ///< served from cache / coalesced with a twin
+  double latency_ms = 0.0;       ///< submit-to-completion wall time (not cached)
+  SolveSummary summary;          ///< deterministic solver output
+};
+
+}  // namespace rts

@@ -1,0 +1,66 @@
+#include "service/job_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace rts {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  RTS_REQUIRE(capacity >= 1, "job queue capacity must be at least 1");
+}
+
+PushOutcome JobQueue::push_locked(QueuedJob&& job,
+                                  std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // caller holds mutex_
+  buckets_[job.request.priority].push_back(std::move(job));
+  ++size_;
+  not_empty_.notify_one();
+  return PushOutcome::kAccepted;
+}
+
+PushOutcome JobQueue::try_push(QueuedJob job) {
+  std::unique_lock lock(mutex_);
+  if (closed_) return PushOutcome::kRejectedClosed;
+  if (size_ >= capacity_) return PushOutcome::kRejectedFull;
+  return push_locked(std::move(job), lock);
+}
+
+PushOutcome JobQueue::push_wait(QueuedJob job) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+  if (closed_) return PushOutcome::kRejectedClosed;
+  return push_locked(std::move(job), lock);
+}
+
+std::optional<QueuedJob> JobQueue::pop() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+  if (size_ == 0) return std::nullopt;  // closed and drained
+  auto bucket = buckets_.begin();      // highest priority
+  QueuedJob job = std::move(bucket->second.front());
+  bucket->second.pop_front();
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  --size_;
+  not_full_.notify_one();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard lock(mutex_);
+  return size_;
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace rts

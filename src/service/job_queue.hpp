@@ -1,0 +1,81 @@
+#pragma once
+// Bounded, priority-aware MPMC job queue — the admission-control stage of the
+// scheduling service.
+//
+// Semantics:
+//   * capacity-bounded: try_push rejects (backpressure signal to the caller)
+//     when full, push_wait blocks until space frees up or the queue closes;
+//   * priority + FIFO: higher priority pops first, jobs of equal priority
+//     pop in submission order (stable — this is what makes the service's
+//     cache-leader election deterministic, see scheduler_service.cpp);
+//   * close(): producers are refused from then on, consumers drain whatever
+//     is left and then observe end-of-stream (pop returns nullopt).
+//
+// All operations are thread-safe; pop blocks on a condition variable rather
+// than spinning.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "service/job.hpp"
+
+namespace rts {
+
+/// A job as it travels through the queue: request + submission metadata.
+struct QueuedJob {
+  std::uint64_t job_id = 0;
+  JobRequest request;
+  Digest key;  ///< job_digest, computed once at submit time
+};
+
+/// Outcome of a push attempt.
+enum class PushOutcome : std::uint8_t {
+  kAccepted,
+  kRejectedFull,    ///< bounded capacity exhausted (try_push only)
+  kRejectedClosed,  ///< queue is closed to producers
+};
+
+class JobQueue {
+ public:
+  /// Queue admitting at most `capacity` waiting jobs (capacity >= 1).
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Non-blocking admission; kRejectedFull when at capacity.
+  PushOutcome try_push(QueuedJob job);
+
+  /// Blocking admission: waits for space. Returns kAccepted or
+  /// kRejectedClosed (never kRejectedFull).
+  PushOutcome push_wait(QueuedJob job);
+
+  /// Blocking removal of the highest-priority, oldest job. Returns nullopt
+  /// only when the queue is closed AND drained.
+  std::optional<QueuedJob> pop();
+
+  /// Close to producers; consumers drain the remainder. Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+ private:
+  PushOutcome push_locked(QueuedJob&& job, std::unique_lock<std::mutex>& lock);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  /// priority -> FIFO of jobs at that priority; highest priority first.
+  std::map<int, std::deque<QueuedJob>, std::greater<>> buckets_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace rts

@@ -1,0 +1,55 @@
+#include "service/result_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace rts {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  RTS_REQUIRE(capacity >= 1, "result cache capacity must be at least 1");
+}
+
+std::optional<SolveSummary> ResultCache::lookup(const Digest& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->value;
+}
+
+void ResultCache::insert(const Digest& key, const SolveSummary& value) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, value});
+  index_.emplace(key, lru_.begin());
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace rts

@@ -1,0 +1,75 @@
+#pragma once
+// LRU result cache of the scheduling service.
+//
+// Keys are 128-bit content digests of (problem instance, solver config) —
+// see service/fingerprint.hpp — so two requests collide only when they would
+// produce the identical SolveSummary anyway. Values are the deterministic
+// SolveSummary payloads; wall-clock measurements are deliberately not cached.
+// A hit on a repeated request therefore returns in microseconds what a fresh
+// GA + Monte-Carlo solve takes milliseconds-to-seconds to compute.
+//
+// Thread-safe (single mutex — the critical sections are hash-map lookups and
+// list splices, orders of magnitude cheaper than one solve).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "service/job.hpp"
+#include "util/digest.hpp"
+
+namespace rts {
+
+/// Monotonic hit/miss/eviction counters of a ResultCache.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+
+  /// hits / (hits + misses); 0 when no lookups happened yet.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class ResultCache {
+ public:
+  /// Cache holding at most `capacity` entries (capacity >= 1); the least
+  /// recently used entry is evicted on overflow.
+  explicit ResultCache(std::size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look up `key`, refreshing its recency on a hit. Counts one hit or miss.
+  std::optional<SolveSummary> lookup(const Digest& key);
+
+  /// Insert/overwrite `key` as the most recently used entry, evicting the
+  /// LRU entry when at capacity. Does not touch the hit/miss counters.
+  void insert(const Digest& key, const SolveSummary& value);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Digest key;
+    SolveSummary value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Digest, std::list<Entry>::iterator, DigestHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rts

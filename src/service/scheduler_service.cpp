@@ -1,0 +1,201 @@
+#include "service/scheduler_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "service/fingerprint.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+SolveSummary summarize(const RobustScheduleOutcome& outcome) {
+  SolveSummary s;
+  s.heft_makespan = outcome.heft_makespan;
+  s.makespan = outcome.eval.makespan;
+  s.avg_slack = outcome.eval.avg_slack;
+  s.mean_tardiness = outcome.report.mean_tardiness;
+  s.miss_rate = outcome.report.miss_rate;
+  s.r1 = outcome.report.r1;
+  s.r2 = outcome.report.r2;
+  s.heft_r1 = outcome.heft_report.r1;
+  s.heft_r2 = outcome.heft_report.r2;
+  s.ga_iterations = outcome.ga_iterations;
+  return s;
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(const SchedulerServiceConfig& config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      cache_(config.cache_capacity) {
+  std::size_t workers = config.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<WorkerPool>(
+      workers, queue_, [this](QueuedJob&& job) { handle_job(std::move(job)); });
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+void SchedulerService::shutdown() { pool_->join(); }
+
+std::size_t SchedulerService::worker_count() const noexcept {
+  return pool_->worker_count();
+}
+
+std::optional<std::future<JobResult>> SchedulerService::submit(JobRequest request) {
+  RTS_REQUIRE(request.problem != nullptr, "job request needs a problem instance");
+  const Digest key = job_digest(*request.problem, request.config);
+
+  // The promise must be registered before the job is queued — a worker may
+  // pop it immediately — and deregistered again if admission rejects it.
+  std::uint64_t job_id = 0;
+  std::future<JobResult> future;
+  {
+    std::lock_guard lock(mutex_);
+    job_id = next_job_id_++;
+    auto [it, inserted] = promises_.try_emplace(job_id);
+    RTS_ENSURE(inserted, "duplicate job id");
+    future = it->second.get_future();
+  }
+
+  QueuedJob job{job_id, std::move(request), key};
+  const PushOutcome outcome = config_.block_when_full
+                                  ? queue_.push_wait(std::move(job))
+                                  : queue_.try_push(std::move(job));
+  std::lock_guard lock(mutex_);
+  if (outcome != PushOutcome::kAccepted) {
+    promises_.erase(job_id);
+    ++rejected_;
+    return std::nullopt;
+  }
+  ++submitted_;
+  return future;
+}
+
+void SchedulerService::resolve(std::promise<JobResult>& promise, JobResult&& result) {
+  latency_.record(result.latency_ms);
+  {
+    std::lock_guard lock(mutex_);
+    if (result.status == JobStatus::kOk) {
+      ++completed_;
+    } else {
+      ++failed_;
+    }
+  }
+  promise.set_value(std::move(result));
+}
+
+void SchedulerService::handle_job(QueuedJob&& job) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  std::promise<JobResult> promise;
+  {
+    std::lock_guard lock(mutex_);
+    auto node = promises_.extract(job.job_id);
+    RTS_ENSURE(!node.empty(), "queued job has no registered promise");
+    promise = std::move(node.mapped());
+  }
+
+  JobResult result;
+  result.job_id = job.job_id;
+  result.key = job.key;
+
+  // Fast path: an identical request finished earlier.
+  if (auto cached = cache_.lookup(job.key)) {
+    result.cache_hit = true;
+    result.summary = *cached;
+    result.latency_ms = elapsed_ms();
+    resolve(promise, std::move(result));
+    return;
+  }
+
+  // Coalescing: an identical request is being solved right now on another
+  // worker. Park this job's promise with the leader and return — the worker
+  // is free for the next job, and the leader resolves us on completion.
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
+      it->second.followers.emplace_back(job.job_id, std::move(promise));
+      return;
+    }
+    inflight_.try_emplace(job.key);
+    ++in_flight_;
+  }
+
+  // Leader path: run the actual solve.
+  JobStatus status = JobStatus::kOk;
+  std::string error;
+  SolveSummary summary;
+  try {
+    summary = summarize(robust_schedule(*job.request.problem, job.request.config));
+  } catch (const std::exception& e) {
+    status = JobStatus::kFailed;
+    error = e.what();
+  }
+  if (status == JobStatus::kOk) cache_.insert(job.key, summary);
+
+  InflightEntry entry;
+  {
+    std::lock_guard lock(mutex_);
+    auto node = inflight_.extract(job.key);
+    RTS_ENSURE(!node.empty(), "in-flight entry vanished");
+    entry = std::move(node.mapped());
+    --in_flight_;
+  }
+
+  result.status = status;
+  result.error = error;
+  result.cache_hit = false;
+  result.summary = summary;
+  result.latency_ms = elapsed_ms();
+  resolve(promise, std::move(result));
+
+  for (auto& [follower_id, follower_promise] : entry.followers) {
+    JobResult follower;
+    follower.job_id = follower_id;
+    follower.key = job.key;
+    follower.status = status;
+    follower.error = error;
+    // A successful twin counts as a hit (it did not re-solve); a failed one
+    // reports cache_hit=false, matching what a sequential re-solve-and-fail
+    // would report — keeps result streams thread-count-invariant.
+    follower.cache_hit = status == JobStatus::kOk;
+    follower.summary = summary;
+    follower.latency_ms = elapsed_ms();
+    resolve(follower_promise, std::move(follower));
+  }
+}
+
+ServiceStats SchedulerService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard lock(mutex_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.in_flight = in_flight_;
+  }
+  s.queue_depth = queue_.size();
+  s.workers = pool_->worker_count();
+  const LatencyRecorder::Quantiles q = latency_.snapshot();
+  s.p50_latency_ms = q.p50;
+  s.p95_latency_ms = q.p95;
+  s.max_latency_ms = q.max;
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace rts

@@ -1,0 +1,105 @@
+#pragma once
+// Scheduler-as-a-service facade: a long-lived object that admits a stream of
+// robust-scheduling requests and solves them on a pool of worker threads,
+// memoizing results by content digest.
+//
+//   submit() ──> JobQueue (bounded, priority+FIFO) ──> WorkerPool (N threads)
+//                                                        │
+//                              ResultCache (LRU) <───────┤  solve via
+//                              + in-flight coalescing    │  rts::robust_schedule
+//                                                        ▼
+//                                        std::future<JobResult> resolves
+//
+// Determinism contract: the solver pipeline is a pure function of
+// (instance, config) — all randomness flows from seeds inside the config —
+// so the SolveSummary of every job is bit-identical regardless of worker
+// count or completion order. Duplicate requests (equal job digest) are
+// coalesced: the first job to reach a worker becomes the *leader* and solves;
+// concurrent twins park as followers and are resolved from the leader's
+// result, and later twins hit the LRU cache. Because workers pop from one
+// priority+FIFO queue, leader election is deterministic too: for any worker
+// count, exactly the first-popped job of each digest reports cache_hit=false
+// and every other one reports cache_hit=true.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/job_queue.hpp"
+#include "service/result_cache.hpp"
+#include "service/service_stats.hpp"
+#include "service/worker_pool.hpp"
+
+namespace rts {
+
+/// Capacity/concurrency knobs of a SchedulerService.
+struct SchedulerServiceConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  std::size_t queue_capacity = 1024;  ///< waiting jobs before rejection
+  std::size_t cache_capacity = 256;   ///< LRU result-cache entries
+  /// true: submit() blocks when the queue is full (backpressure);
+  /// false: submit() returns nullopt (load shedding).
+  bool block_when_full = false;
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(const SchedulerServiceConfig& config = {});
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Drains outstanding jobs and joins the workers.
+  ~SchedulerService();
+
+  /// Admit one job. Returns the future its JobResult will arrive on, or
+  /// nullopt when the job was shed (queue full and !block_when_full, or the
+  /// service is shut down). The request's problem pointer must be non-null.
+  std::optional<std::future<JobResult>> submit(JobRequest request);
+
+  /// Close admission, solve everything still queued, join the workers.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Consistent operational snapshot (counters, gauges, latency quantiles,
+  /// cache hit rate).
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept;
+
+ private:
+  /// A leader's bookkeeping entry while its digest is being solved: twins
+  /// that arrive meanwhile park their promises here.
+  struct InflightEntry {
+    std::vector<std::pair<std::uint64_t, std::promise<JobResult>>> followers;
+  };
+
+  void handle_job(QueuedJob&& job);
+  void resolve(std::promise<JobResult>& promise, JobResult&& result);
+
+  SchedulerServiceConfig config_;
+  JobQueue queue_;
+  ResultCache cache_;
+  LatencyRecorder latency_;
+
+  mutable std::mutex mutex_;  ///< guards promises_, inflight_, counters
+  std::unordered_map<std::uint64_t, std::promise<JobResult>> promises_;
+  std::unordered_map<Digest, InflightEntry, DigestHash> inflight_;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::size_t in_flight_ = 0;
+
+  /// Last member: workers must stop before any other member is destroyed.
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace rts

@@ -1,0 +1,12 @@
+#pragma once
+// Umbrella header of the scheduling service layer (src/service/): job types,
+// bounded priority queue, worker pool, LRU result cache and the
+// SchedulerService facade. See docs/service.md for the architecture.
+
+#include "service/fingerprint.hpp"         // IWYU pragma: export
+#include "service/job.hpp"                 // IWYU pragma: export
+#include "service/job_queue.hpp"           // IWYU pragma: export
+#include "service/result_cache.hpp"        // IWYU pragma: export
+#include "service/scheduler_service.hpp"   // IWYU pragma: export
+#include "service/service_stats.hpp"       // IWYU pragma: export
+#include "service/worker_pool.hpp"         // IWYU pragma: export

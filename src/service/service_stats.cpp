@@ -1,0 +1,28 @@
+#include "service/service_stats.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace rts {
+
+void LatencyRecorder::record(double latency_ms) {
+  std::lock_guard lock(mutex_);
+  samples_.push_back(latency_ms);
+}
+
+LatencyRecorder::Quantiles LatencyRecorder::snapshot() const {
+  std::vector<double> copy;
+  {
+    std::lock_guard lock(mutex_);
+    copy = samples_;
+  }
+  Quantiles q;
+  if (copy.empty()) return q;
+  q.p50 = percentile(copy, 50.0);
+  q.p95 = percentile(copy, 95.0);
+  q.max = *std::max_element(copy.begin(), copy.end());
+  return q;
+}
+
+}  // namespace rts

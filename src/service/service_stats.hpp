@@ -1,0 +1,47 @@
+#pragma once
+// Operational telemetry of the scheduling service: counters, queue/in-flight
+// gauges, solve-latency quantiles and the cache hit rate, exposed as a
+// consistent point-in-time snapshot (SchedulerService::stats()).
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "service/result_cache.hpp"
+
+namespace rts {
+
+/// Point-in-time snapshot of service health.
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< jobs accepted by submit()
+  std::uint64_t rejected = 0;    ///< jobs refused at admission (queue full)
+  std::uint64_t completed = 0;   ///< jobs finished with status kOk
+  std::uint64_t failed = 0;      ///< jobs finished with status kFailed
+  std::size_t queue_depth = 0;   ///< jobs waiting in the queue right now
+  std::size_t in_flight = 0;     ///< jobs currently being solved
+  std::size_t workers = 0;       ///< worker-thread count
+  double p50_latency_ms = 0.0;   ///< solve-latency quantiles over completed
+  double p95_latency_ms = 0.0;   ///<   jobs (cache hits included — that is
+  double max_latency_ms = 0.0;   ///<   the latency users observe)
+  CacheStats cache;              ///< hit/miss/eviction counters + hit_rate()
+};
+
+/// Thread-safe accumulator of completed-job latencies; snapshots compute the
+/// p50/p95/max quantiles on demand.
+class LatencyRecorder {
+ public:
+  void record(double latency_ms);
+
+  struct Quantiles {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Quantiles snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+}  // namespace rts

@@ -1,0 +1,30 @@
+#include "service/worker_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace rts {
+
+WorkerPool::WorkerPool(std::size_t worker_count, JobQueue& queue, JobHandler handler)
+    : queue_(queue), handler_(std::move(handler)) {
+  RTS_REQUIRE(worker_count >= 1, "worker pool needs at least one thread");
+  RTS_REQUIRE(static_cast<bool>(handler_), "worker pool needs a job handler");
+  threads_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    threads_.emplace_back([this] {
+      while (auto job = queue_.pop()) {
+        handler_(std::move(*job));
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() { join(); }
+
+void WorkerPool::join() {
+  queue_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace rts

@@ -1,0 +1,44 @@
+#pragma once
+// Thread pool that drains a JobQueue.
+//
+// Each worker loops `queue.pop()` and hands every job to a caller-supplied
+// handler. The pool owns only the threads; queueing policy lives in JobQueue
+// and solve/cache logic lives in SchedulerService, so each piece is testable
+// on its own. Shutdown protocol: close the queue, then join() — workers
+// finish the drained jobs and exit when pop() returns end-of-stream.
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hpp"
+
+namespace rts {
+
+class WorkerPool {
+ public:
+  using JobHandler = std::function<void(QueuedJob&&)>;
+
+  /// Spawn `worker_count` threads (>= 1) draining `queue`. The handler is
+  /// invoked concurrently from multiple threads and must be thread-safe; it
+  /// must not throw (job-level failures are reported through JobResult).
+  WorkerPool(std::size_t worker_count, JobQueue& queue, JobHandler handler);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Joins (closing the queue first) if still running.
+  ~WorkerPool();
+
+  /// Close the queue and wait for every worker to drain and exit. Idempotent.
+  void join();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+ private:
+  JobQueue& queue_;
+  JobHandler handler_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rts

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#ifdef RTS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 #include "sched/timing.hpp"
 #include "sim/realization.hpp"
 #include "util/error.hpp"
@@ -32,7 +36,10 @@ RobustnessReport evaluate_robustness(const ProblemInstance& instance,
   const auto total = static_cast<std::int64_t>(config.realizations);
 
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel
+  const int num_threads = config.threads > 0
+                              ? static_cast<int>(config.threads)
+                              : omp_get_max_threads();
+#pragma omp parallel num_threads(num_threads)
   {
     std::vector<double> durations(n);
     std::vector<double> scratch(n);

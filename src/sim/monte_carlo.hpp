@@ -32,6 +32,11 @@ struct MonteCarloConfig {
   std::uint64_t seed = 42;           ///< substream root for the realizations
   double reciprocal_cap = 1e12;      ///< cap for R1/R2 when nothing is tardy
   bool collect_samples = false;      ///< keep all realized makespans
+  /// OpenMP thread count for the realization sweep; 0 = the OpenMP runtime
+  /// default (all hardware threads). Reports are bit-identical for any value
+  /// (per-realization RNG substreams; see the header comment), so this is a
+  /// pure performance knob. Ignored when built without OpenMP.
+  std::size_t threads = 0;
 };
 
 /// Aggregate result of one robustness evaluation.

@@ -1,0 +1,75 @@
+#include "util/digest.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace rts {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t splitmix_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_hex(std::string& out, std::uint64_t word) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(word >> shift) & 0xf]);
+  }
+}
+
+}  // namespace
+
+std::string Digest::to_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex(out, hi);
+  append_hex(out, lo);
+  return out;
+}
+
+void Hasher::update_bytes(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hi_ = (hi_ ^ bytes[i]) * kFnvPrime;
+    // The second lane decorrelates from the first by mixing the running
+    // state through SplitMix64 before folding in the byte.
+    lo_ = (splitmix_mix(lo_) ^ bytes[i]) * kFnvPrime;
+  }
+}
+
+void Hasher::update(std::uint64_t value) noexcept {
+  unsigned char bytes[sizeof value];
+  for (std::size_t i = 0; i < sizeof value; ++i) {
+    bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  update_bytes(bytes, sizeof bytes);
+}
+
+void Hasher::update(std::int64_t value) noexcept {
+  update(static_cast<std::uint64_t>(value));
+}
+
+void Hasher::update(std::uint32_t value) noexcept {
+  update(static_cast<std::uint64_t>(value));
+}
+
+void Hasher::update(std::int32_t value) noexcept {
+  update(static_cast<std::uint64_t>(static_cast<std::uint32_t>(value)));
+}
+
+void Hasher::update(double value) noexcept {
+  update(std::bit_cast<std::uint64_t>(value));
+}
+
+void Hasher::update(std::string_view text) noexcept {
+  update(static_cast<std::uint64_t>(text.size()));
+  update_bytes(text.data(), text.size());
+}
+
+}  // namespace rts

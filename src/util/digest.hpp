@@ -1,0 +1,66 @@
+#pragma once
+// Content digests for cache keys and provenance logging.
+//
+// The service layer keys its result cache by a digest of the whole problem
+// instance plus solver options, so the hash has to (a) be deterministic
+// across platforms and runs, (b) cover every byte that influences the solve,
+// and (c) make accidental collisions between near-identical problems
+// negligible. We compute two independent 64-bit FNV-1a streams (different
+// offset basis, second lane additionally mixes each word through SplitMix64)
+// and concatenate them into a 128-bit `Digest` — not cryptographic, but a
+// 2^-128 accidental-collision rate is far below any realistic cache volume.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rts {
+
+/// 128-bit content digest; comparable, hashable, hex-printable.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest&) const = default;
+
+  /// 32 lowercase hex characters (hi then lo), for logs and JSON.
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Hash functor so Digest can key unordered containers.
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Streaming 128-bit hasher (two independent FNV-1a lanes). Feed it scalars
+/// and byte ranges in a fixed, documented order; the digest depends on both
+/// the values and the feeding order.
+class Hasher {
+ public:
+  Hasher() = default;
+
+  /// Raw bytes.
+  void update_bytes(const void* data, std::size_t size) noexcept;
+
+  /// Scalars, hashed via their little-endian byte representation. Doubles go
+  /// through their IEEE-754 bit pattern, so -0.0 != 0.0 and every distinct
+  /// value (incl. subnormals) hashes differently.
+  void update(std::uint64_t value) noexcept;
+  void update(std::int64_t value) noexcept;
+  void update(std::uint32_t value) noexcept;
+  void update(std::int32_t value) noexcept;
+  void update(double value) noexcept;
+  /// Length-prefixed so {"ab","c"} and {"a","bc"} digest differently.
+  void update(std::string_view text) noexcept;
+
+  [[nodiscard]] Digest digest() const noexcept { return Digest{hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_ = 0xcbf29ce484222325ull;  ///< FNV-1a offset basis
+  std::uint64_t lo_ = 0x6c62272e07bb0142ull;  ///< independent second lane
+};
+
+}  // namespace rts

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the rts CLI: generate -> info -> schedule with
-# every algorithm -> evaluate, plus error-path checks. $1 = path to the rts
-# binary.
+# every algorithm -> evaluate, plus error-path checks, plus an rts_serve
+# batch-serving case. $1 = path to the rts binary, $2 = path to rts_serve.
 set -euo pipefail
 
 RTS="$1"
+SERVE="${2:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
@@ -56,6 +57,46 @@ grep -q '"r1"' r.json || fail "report json"
 "$RTS" sweep --problem p.rts --eps-max 1.4 --eps-step 0.4 --iters 60 \
   --realizations 50 --csv sweep.csv | grep -q "M_HEFT" || fail "sweep"
 grep -q "epsilon,M0" sweep.csv || fail "sweep csv"
+
+# evaluate accepts an explicit Monte-Carlo thread count and the report is
+# identical to the default-threads run (seed-stable substreams)
+"$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \
+  --threads 2 > eval_t2.txt || fail "evaluate --threads"
+"$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \
+  > eval_def.txt || fail "evaluate default threads"
+diff eval_t2.txt eval_def.txt || fail "evaluate not thread-count stable"
+
+# rts_serve: batch serving with worker threads and a result cache
+if [ -n "$SERVE" ]; then
+  # 3-job request file -> 3 JSON result lines, exit 0
+  cat > jobs3.txt <<REQ
+# smoke batch: two distinct jobs plus one duplicate of the first
+p.rts --epsilon 1.2 --iters 60 --realizations 50
+p.rts --epsilon 1.4 --iters 60 --realizations 50
+p.rts --epsilon 1.2 --iters 60 --realizations 50
+REQ
+  "$SERVE" --requests jobs3.txt --threads 2 --stats > serve3.jsonl 2> serve3.stats \
+    || fail "rts_serve exit status"
+  [ "$(wc -l < serve3.jsonl)" -eq 3 ] || fail "rts_serve line count"
+  grep -c '"status":"ok"' serve3.jsonl | grep -qx 3 || fail "rts_serve ok lines"
+  grep -q '"cache_hit":true' serve3.jsonl || fail "rts_serve duplicate not cached"
+  grep -q '"cache_hits":' serve3.stats || fail "rts_serve stats output"
+
+  # result lines are byte-identical for 1 vs 4 worker threads
+  "$SERVE" --requests jobs3.txt --threads 1 > serve_t1.jsonl || fail "serve t1"
+  "$SERVE" --requests jobs3.txt --threads 4 > serve_t4.jsonl || fail "serve t4"
+  diff serve_t1.jsonl serve_t4.jsonl || fail "rts_serve not thread-count stable"
+
+  # a bad job fails in-band (exit 3) without killing the batch
+  printf 'missing.rts --epsilon 1.1\np.rts --epsilon 1.1 --iters 60 --realizations 50\n' > jobsbad.txt
+  set +e
+  "$SERVE" --requests jobsbad.txt --threads 2 > servebad.jsonl
+  rc=$?
+  set -e
+  [ "$rc" -eq 3 ] || fail "rts_serve bad-job exit code ($rc)"
+  grep -q '"status":"failed"' servebad.jsonl || fail "rts_serve failed line"
+  grep -q '"status":"ok"' servebad.jsonl || fail "rts_serve good line after bad"
+fi
 
 # error paths: bad command, bad algo, missing files exit non-zero
 ! "$RTS" frobnicate >/dev/null 2>&1 || fail "bad command accepted"

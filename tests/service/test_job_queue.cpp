@@ -1,0 +1,131 @@
+// Tests of the bounded priority JobQueue (service/job_queue.hpp): FIFO order
+// within a priority level, strict priority order across levels, bounded
+// rejection, blocking push, and close/drain semantics.
+
+#include "service/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rts {
+namespace {
+
+QueuedJob make_job(std::uint64_t id, int priority = 0) {
+  QueuedJob job;
+  job.job_id = id;
+  job.request.priority = priority;
+  return job;
+}
+
+TEST(JobQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(JobQueue(0), InvalidArgument);
+}
+
+TEST(JobQueue, FifoWithinOnePriorityLevel) {
+  JobQueue queue(16);
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    ASSERT_EQ(queue.try_push(make_job(id)), PushOutcome::kAccepted);
+  }
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    const auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->job_id, id);
+  }
+}
+
+TEST(JobQueue, HigherPriorityPopsFirst) {
+  JobQueue queue(16);
+  ASSERT_EQ(queue.try_push(make_job(0, /*priority=*/0)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.try_push(make_job(1, /*priority=*/5)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.try_push(make_job(2, /*priority=*/-1)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.try_push(make_job(3, /*priority=*/5)), PushOutcome::kAccepted);
+
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 4; ++i) order.push_back(queue.pop()->job_id);
+  // priority 5 jobs first (FIFO among them), then 0, then -1.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 3, 0, 2}));
+}
+
+TEST(JobQueue, BoundedCapacityRejectsWhenFull) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.try_push(make_job(0)), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.try_push(make_job(1)), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.try_push(make_job(2)), PushOutcome::kRejectedFull);
+  EXPECT_EQ(queue.size(), 2u);
+
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.try_push(make_job(3)), PushOutcome::kAccepted);
+}
+
+TEST(JobQueue, PushWaitBlocksUntilSpace) {
+  JobQueue queue(1);
+  ASSERT_EQ(queue.try_push(make_job(0)), PushOutcome::kAccepted);
+
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push_wait(make_job(1)), PushOutcome::kAccepted);
+  });
+  // The producer is blocked on the full queue until this pop frees a slot.
+  EXPECT_EQ(queue.pop()->job_id, 0u);
+  producer.join();
+  EXPECT_EQ(queue.pop()->job_id, 1u);
+}
+
+TEST(JobQueue, CloseRefusesProducersAndDrainsConsumers) {
+  JobQueue queue(8);
+  ASSERT_EQ(queue.try_push(make_job(0)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.try_push(make_job(1)), PushOutcome::kAccepted);
+  queue.close();
+
+  EXPECT_EQ(queue.try_push(make_job(2)), PushOutcome::kRejectedClosed);
+  EXPECT_EQ(queue.push_wait(make_job(3)), PushOutcome::kRejectedClosed);
+
+  EXPECT_EQ(queue.pop()->job_id, 0u);  // remaining jobs still drain
+  EXPECT_EQ(queue.pop()->job_id, 1u);
+  EXPECT_FALSE(queue.pop().has_value());  // then end-of-stream
+}
+
+TEST(JobQueue, CloseWakesBlockedConsumer) {
+  JobQueue queue(4);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  queue.close();
+  consumer.join();
+}
+
+TEST(JobQueue, ConcurrentProducersConsumersLoseNothing) {
+  JobQueue queue(32);
+  constexpr int kProducers = 4;
+  constexpr int kJobsEach = 50;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kJobsEach; ++i) {
+        const auto id = static_cast<std::uint64_t>(p * kJobsEach + i);
+        ASSERT_EQ(queue.push_wait(make_job(id)), PushOutcome::kAccepted);
+      }
+    });
+  }
+  std::vector<std::uint64_t> popped;
+  std::mutex popped_mutex;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto job = queue.pop()) {
+        std::lock_guard lock(popped_mutex);
+        popped.push_back(job->job_id);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  std::sort(popped.begin(), popped.end());
+  ASSERT_EQ(popped.size(), static_cast<std::size_t>(kProducers * kJobsEach));
+  for (std::size_t i = 0; i < popped.size(); ++i) EXPECT_EQ(popped[i], i);
+}
+
+}  // namespace
+}  // namespace rts

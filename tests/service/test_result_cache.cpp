@@ -1,0 +1,148 @@
+// Tests of the LRU ResultCache and the content fingerprints that key it:
+// hit/miss accounting, LRU eviction order, recency refresh, and digest
+// separation of near-identical problem instances / solver configs.
+
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "service/fingerprint.hpp"
+
+namespace rts {
+namespace {
+
+Digest key_of(std::uint64_t i) {
+  Hasher h;
+  h.update(i);
+  return h.digest();
+}
+
+SolveSummary summary_of(double makespan) {
+  SolveSummary s;
+  s.makespan = makespan;
+  return s;
+}
+
+TEST(ResultCache, RejectsZeroCapacity) {
+  EXPECT_THROW(ResultCache(0), InvalidArgument);
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  cache.insert(key_of(1), summary_of(10.0));
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->makespan, 10.0);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(key_of(1), summary_of(1.0));
+  cache.insert(key_of(2), summary_of(2.0));
+  cache.insert(key_of(3), summary_of(3.0));  // evicts key 1 (oldest)
+
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, LookupRefreshesRecency) {
+  ResultCache cache(2);
+  cache.insert(key_of(1), summary_of(1.0));
+  cache.insert(key_of(2), summary_of(2.0));
+  ASSERT_TRUE(cache.lookup(key_of(1)).has_value());  // 1 is now most recent
+  cache.insert(key_of(3), summary_of(3.0));          // evicts 2, not 1
+
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+}
+
+TEST(ResultCache, InsertOverwritesExistingKey) {
+  ResultCache cache(2);
+  cache.insert(key_of(1), summary_of(1.0));
+  cache.insert(key_of(1), summary_of(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(key_of(1))->makespan, 9.0);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+// --- fingerprint separation ------------------------------------------------
+
+TEST(Fingerprint, IdenticalProblemsShareDigest) {
+  const ProblemInstance a = testing::small_instance(12, 3, 2.0, 7);
+  const ProblemInstance b = testing::small_instance(12, 3, 2.0, 7);
+  EXPECT_EQ(problem_digest(a), problem_digest(b));
+}
+
+TEST(Fingerprint, NearIdenticalProblemsGetDistinctDigests) {
+  const ProblemInstance base = testing::small_instance(12, 3, 2.0, 7);
+
+  ProblemInstance bcet_tweak = testing::small_instance(12, 3, 2.0, 7);
+  bcet_tweak.bcet.at(5, 1) += 1e-9;  // one matrix entry, one ulp-scale nudge
+  EXPECT_NE(problem_digest(base), problem_digest(bcet_tweak));
+
+  ProblemInstance ul_tweak = testing::small_instance(12, 3, 2.0, 7);
+  ul_tweak.ul.at(0, 0) += 1e-9;
+  EXPECT_NE(problem_digest(base), problem_digest(ul_tweak));
+
+  ProblemInstance tr_tweak = testing::small_instance(12, 3, 2.0, 7);
+  tr_tweak.platform.set_transfer_rate(0, 1, 1.0000001);
+  EXPECT_NE(problem_digest(base), problem_digest(tr_tweak));
+
+  // Same seed, one extra edge.
+  ProblemInstance edge_tweak = testing::small_instance(12, 3, 2.0, 7);
+  for (TaskId dst = 1; dst < 12; ++dst) {
+    if (!edge_tweak.graph.has_edge(0, dst)) {
+      edge_tweak.graph.add_edge(0, dst, 1.0);
+      break;
+    }
+  }
+  EXPECT_NE(problem_digest(base), problem_digest(edge_tweak));
+}
+
+TEST(Fingerprint, SolverOptionsSeparateJobDigests) {
+  const ProblemInstance problem = testing::small_instance(12, 3, 2.0, 7);
+  RobustSchedulerConfig base;
+
+  RobustSchedulerConfig eps = base;
+  eps.ga.epsilon = base.ga.epsilon + 1e-9;
+  EXPECT_NE(job_digest(problem, base), job_digest(problem, eps));
+
+  RobustSchedulerConfig seed = base;
+  seed.ga.seed = base.ga.seed + 1;
+  EXPECT_NE(job_digest(problem, base), job_digest(problem, seed));
+
+  RobustSchedulerConfig mc = base;
+  mc.mc.realizations = base.mc.realizations + 1;
+  EXPECT_NE(job_digest(problem, base), job_digest(problem, mc));
+
+  RobustSchedulerConfig stochastic = base;
+  stochastic.stochastic_objective = true;
+  EXPECT_NE(job_digest(problem, base), job_digest(problem, stochastic));
+
+  EXPECT_EQ(job_digest(problem, base), job_digest(problem, base));
+}
+
+TEST(Fingerprint, ThreadCountDoesNotChangeJobDigest) {
+  // Reports are thread-count-invariant by contract, so the MC thread knob
+  // must not fragment the cache.
+  const ProblemInstance problem = testing::small_instance(12, 3, 2.0, 7);
+  RobustSchedulerConfig one;
+  one.mc.threads = 1;
+  RobustSchedulerConfig four;
+  four.mc.threads = 4;
+  EXPECT_EQ(job_digest(problem, one), job_digest(problem, four));
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,224 @@
+// End-to-end tests of SchedulerService: determinism across worker counts
+// (100 jobs on 4 workers match a single-threaded reference bit-for-bit),
+// cache hits on duplicate submissions, request coalescing, failure
+// reporting, stats accounting and shutdown semantics.
+
+#include "service/scheduler_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "service/fingerprint.hpp"
+
+namespace rts {
+namespace {
+
+/// Small, fast solver settings: tiny GA + small Monte-Carlo so 100 jobs run
+/// in seconds. Distinct jobs vary ε and seed.
+RobustSchedulerConfig quick_config(double epsilon, std::uint64_t seed) {
+  RobustSchedulerConfig config;
+  config.ga.epsilon = epsilon;
+  config.ga.max_iterations = 20;
+  config.ga.population_size = 8;
+  config.ga.seed = seed;
+  config.mc.realizations = 40;
+  return config;
+}
+
+std::shared_ptr<const ProblemInstance> shared_instance(std::uint64_t seed) {
+  return std::make_shared<const ProblemInstance>(
+      testing::small_instance(14, 3, 2.5, seed));
+}
+
+/// Run `requests` through a service with `workers` threads; returns results
+/// in submission order.
+std::vector<JobResult> run_batch(const std::vector<JobRequest>& requests,
+                                 std::size_t workers,
+                                 ServiceStats* stats_out = nullptr) {
+  SchedulerServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = requests.size() + 1;
+  config.cache_capacity = 64;
+  SchedulerService service(config);
+
+  std::vector<std::future<JobResult>> futures;
+  for (const JobRequest& request : requests) {
+    auto future = service.submit(request);
+    EXPECT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
+  std::vector<JobResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  if (stats_out != nullptr) *stats_out = service.stats();
+  service.shutdown();
+  return results;
+}
+
+TEST(SchedulerService, HundredJobsOnFourWorkersMatchSingleThreadedReference) {
+  // 100 jobs: 50 distinct (problem, ε, seed) combinations, each submitted
+  // twice so the batch also exercises the duplicate path.
+  const auto problem_a = shared_instance(11);
+  const auto problem_b = shared_instance(22);
+  std::vector<JobRequest> requests;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int i = 0; i < 50; ++i) {
+      JobRequest request;
+      request.problem = (i % 2 == 0) ? problem_a : problem_b;
+      request.config = quick_config(1.0 + 0.02 * i, 100 + i);
+      requests.push_back(request);
+    }
+  }
+  ASSERT_EQ(requests.size(), 100u);
+
+  ServiceStats stats1;
+  ServiceStats stats4;
+  const std::vector<JobResult> single = run_batch(requests, 1, &stats1);
+  const std::vector<JobResult> fourway = run_batch(requests, 4, &stats4);
+
+  ASSERT_EQ(single.size(), fourway.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i].status, JobStatus::kOk);
+    EXPECT_EQ(fourway[i].status, JobStatus::kOk);
+    // Bit-identical solver output regardless of worker interleaving.
+    EXPECT_EQ(single[i].summary, fourway[i].summary) << "job " << i;
+    EXPECT_EQ(single[i].key, fourway[i].key);
+    // Leader election is deterministic too: the same job of each duplicate
+    // pair reports the fresh solve in both runs.
+    EXPECT_EQ(single[i].cache_hit, fourway[i].cache_hit) << "job " << i;
+  }
+  // The second submission of every distinct request is served without a
+  // fresh solve in both modes.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(single[i].cache_hit) << "job " << i;
+    EXPECT_TRUE(single[i + 50].cache_hit) << "job " << (i + 50);
+  }
+  EXPECT_EQ(stats1.completed, 100u);
+  EXPECT_EQ(stats4.completed, 100u);
+  EXPECT_GE(stats1.cache.hits, 50u);
+  EXPECT_GE(stats4.cache.hits, 1u);  // racing twins may coalesce instead
+  EXPECT_EQ(stats4.workers, 4u);
+}
+
+TEST(SchedulerService, DuplicateRequestHitsCache) {
+  SchedulerServiceConfig config;
+  config.workers = 1;
+  SchedulerService service(config);
+
+  JobRequest request;
+  request.problem = shared_instance(5);
+  request.config = quick_config(1.2, 9);
+
+  auto first = service.submit(request);
+  ASSERT_TRUE(first.has_value());
+  const JobResult r1 = first->get();
+  EXPECT_FALSE(r1.cache_hit);
+
+  auto second = service.submit(request);
+  ASSERT_TRUE(second.has_value());
+  const JobResult r2 = second->get();
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.summary, r2.summary);
+  EXPECT_EQ(r1.key, r2.key);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_GE(stats.max_latency_ms, stats.p50_latency_ms);
+}
+
+TEST(SchedulerService, QueueFullShedsJobsAndCountsRejections) {
+  // One worker, capacity 1: submit a burst without consuming, so admission
+  // must shed once the worker is busy and the queue slot is taken.
+  SchedulerServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.block_when_full = false;
+  SchedulerService service(config);
+
+  std::vector<std::future<JobResult>> accepted;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 12; ++i) {
+    JobRequest request;
+    request.problem = shared_instance(31);
+    request.config = quick_config(1.0 + 0.01 * i, 7);  // all distinct
+    auto future = service.submit(request);
+    if (future.has_value()) {
+      accepted.push_back(std::move(*future));
+    } else {
+      ++rejected;
+    }
+  }
+  for (auto& f : accepted) EXPECT_EQ(f.get().status, JobStatus::kOk);
+  EXPECT_GE(rejected, 1u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.submitted, accepted.size());
+}
+
+TEST(SchedulerService, InvalidProblemReportsFailedJob) {
+  SchedulerServiceConfig config;
+  config.workers = 2;
+  SchedulerService service(config);
+
+  // An instance whose BCET matrix disagrees with the graph fails
+  // validate() inside the solve; the job must fail, not crash the worker.
+  auto broken = std::make_shared<ProblemInstance>(testing::small_instance(8, 2, 2.0, 3));
+  broken->bcet = Matrix<double>(3, 2, 1.0);
+  JobRequest request;
+  request.problem = broken;
+  request.config = quick_config(1.1, 4);
+
+  auto future = service.submit(request);
+  ASSERT_TRUE(future.has_value());
+  const JobResult result = future->get();
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(service.stats().failed, 1u);
+
+  // The service keeps serving good jobs afterwards.
+  JobRequest good;
+  good.problem = shared_instance(6);
+  good.config = quick_config(1.1, 4);
+  auto ok = service.submit(good);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->get().status, JobStatus::kOk);
+}
+
+TEST(SchedulerService, SubmitAfterShutdownIsRejected) {
+  SchedulerServiceConfig config;
+  config.workers = 1;
+  SchedulerService service(config);
+  service.shutdown();
+
+  JobRequest request;
+  request.problem = shared_instance(2);
+  request.config = quick_config(1.0, 1);
+  EXPECT_FALSE(service.submit(request).has_value());
+}
+
+TEST(SchedulerService, DestructorDrainsOutstandingJobs) {
+  std::vector<std::future<JobResult>> futures;
+  {
+    SchedulerServiceConfig config;
+    config.workers = 2;
+    SchedulerService service(config);
+    for (int i = 0; i < 6; ++i) {
+      JobRequest request;
+      request.problem = shared_instance(40);
+      request.config = quick_config(1.0 + 0.05 * i, 13);
+      auto future = service.submit(request);
+      ASSERT_TRUE(future.has_value());
+      futures.push_back(std::move(*future));
+    }
+  }  // ~SchedulerService: close + drain + join
+  for (auto& f : futures) EXPECT_EQ(f.get().status, JobStatus::kOk);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,92 @@
+// Tests of the streaming 128-bit content hasher (util/digest.hpp).
+
+#include "util/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace rts {
+namespace {
+
+TEST(Digest, DeterministicAcrossHasherInstances) {
+  Hasher a;
+  a.update(std::uint64_t{42});
+  a.update(3.14);
+  a.update(std::string_view("hello"));
+  Hasher b;
+  b.update(std::uint64_t{42});
+  b.update(3.14);
+  b.update(std::string_view("hello"));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Digest, EmptyHasherHasStableNonZeroDigest) {
+  const Digest d = Hasher().digest();
+  EXPECT_NE(d.hi, 0u);
+  EXPECT_NE(d.lo, 0u);
+  EXPECT_EQ(d, Hasher().digest());
+}
+
+TEST(Digest, SingleBitFlipChangesBothLanes) {
+  Hasher a;
+  a.update(std::uint64_t{0});
+  Hasher b;
+  b.update(std::uint64_t{1});
+  EXPECT_NE(a.digest().hi, b.digest().hi);
+  EXPECT_NE(a.digest().lo, b.digest().lo);
+}
+
+TEST(Digest, DoubleHashesBitPattern) {
+  Hasher pos;
+  pos.update(0.0);
+  Hasher neg;
+  neg.update(-0.0);
+  EXPECT_NE(pos.digest(), neg.digest());  // distinct IEEE bit patterns
+
+  Hasher close_a;
+  close_a.update(1.0);
+  Hasher close_b;
+  close_b.update(std::nextafter(1.0, 2.0));
+  EXPECT_NE(close_a.digest(), close_b.digest());
+}
+
+TEST(Digest, StringsAreLengthPrefixed) {
+  Hasher a;
+  a.update(std::string_view("ab"));
+  a.update(std::string_view("c"));
+  Hasher b;
+  b.update(std::string_view("a"));
+  b.update(std::string_view("bc"));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Digest, NoCollisionsOverManySequentialInputs) {
+  std::unordered_set<std::string> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    Hasher h;
+    h.update(i);
+    ASSERT_TRUE(seen.insert(h.digest().to_hex()).second) << "collision at " << i;
+  }
+}
+
+TEST(Digest, HexIs32LowercaseChars) {
+  Hasher h;
+  h.update(std::uint64_t{7});
+  const std::string hex = h.digest().to_hex();
+  EXPECT_EQ(hex.size(), 32u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Digest, HashFunctorUsableInUnorderedContainers) {
+  std::unordered_set<Digest, DigestHash> set;
+  Hasher h;
+  h.update(std::uint64_t{1});
+  set.insert(h.digest());
+  set.insert(h.digest());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rts
