@@ -224,7 +224,9 @@ int run(const Options& opts) {
   // without aborting the batch (one bad job must not kill the other 99).
   std::map<std::string, std::shared_ptr<const ProblemInstance>> problems;
   std::vector<PendingJob> pending;
+  std::size_t line_number = 0;
   for (std::string line; std::getline(requests, line);) {
+    ++line_number;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -236,6 +238,10 @@ int run(const Options& opts) {
     } catch (const std::exception& e) {
       if (job.problem_path.empty()) job.problem_path = line;
       job.error = e.what();
+      // Diagnose malformed lines immediately on stderr (the JSON stream only
+      // reports them at collection time) and keep going with the rest.
+      std::cerr << "warning: request line " << line_number << ": " << e.what()
+                << "\n";
     }
     pending.push_back(std::move(job));
   }

@@ -1,0 +1,216 @@
+#include "check/self_test.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "graph/topology.hpp"
+#include "sched/heft.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rts {
+
+std::string_view to_string(FaultClass fault) noexcept {
+  switch (fault) {
+    case FaultClass::kSwapDependentPair: return "swap-dependent-pair";
+    case FaultClass::kSwapIndependentPair: return "swap-independent-pair";
+    case FaultClass::kStartLate: return "start-late";
+    case FaultClass::kStartEarly: return "start-early";
+    case FaultClass::kMakespanInflated: return "makespan-inflated";
+    case FaultClass::kSlackPerturbed: return "slack-perturbed";
+  }
+  return "unknown";
+}
+
+std::vector<FaultClass> all_fault_classes() {
+  return {FaultClass::kSwapDependentPair, FaultClass::kSwapIndependentPair,
+          FaultClass::kStartLate,         FaultClass::kStartEarly,
+          FaultClass::kMakespanInflated,  FaultClass::kSlackPerturbed};
+}
+
+bool SelfTestReport::all_caught() const noexcept {
+  return !cases.empty() &&
+         std::all_of(cases.begin(), cases.end(),
+                     [](const SelfTestCase& c) { return c.caught; });
+}
+
+namespace {
+
+SelfTestCase record(FaultClass fault, const ValidationReport& report,
+                    std::string note) {
+  SelfTestCase c;
+  c.fault = fault;
+  c.caught = !report.ok();
+  for (const Violation& v : report.violations) {
+    if (std::find(c.reported.begin(), c.reported.end(), v.kind) == c.reported.end()) {
+      c.reported.push_back(v.kind);
+    }
+  }
+  c.note = std::move(note);
+  return c;
+}
+
+std::vector<std::vector<TaskId>> copy_sequences(const Schedule& schedule) {
+  const auto spans = schedule.sequences();
+  return {spans.begin(), spans.end()};
+}
+
+}  // namespace
+
+SelfTestReport run_validator_self_test(const ProblemInstance& instance,
+                                       std::uint64_t seed) {
+  const TaskGraph& graph = instance.graph;
+  const Platform& platform = instance.platform;
+  const std::size_t n = graph.task_count();
+  RTS_REQUIRE(graph.edge_count() > 0, "self-test needs a graph with at least one edge");
+
+  const ScheduleValidator validator(graph, platform);
+  Rng rng(seed);
+  SelfTestReport report;
+
+  // Baseline: the HEFT schedule with its true timing must validate cleanly —
+  // otherwise every "caught" below is meaningless.
+  const ListScheduleResult heft = heft_schedule(graph, platform, instance.expected);
+  const std::vector<double> durations =
+      assigned_durations(instance.expected, heft.schedule);
+  const ScheduleTiming timing =
+      TimingEvaluator(graph, platform, heft.schedule).full_timing(durations);
+  RTS_ENSURE(validator.validate(heft.schedule, durations).ok(),
+             "self-test baseline: the unmutated HEFT schedule failed validation");
+  RTS_ENSURE(validator.validate_timing(heft.schedule, durations, timing).ok(),
+             "self-test baseline: the unmutated HEFT timing failed validation");
+
+  // kSwapDependentPair — on a single-processor schedule in topological order
+  // every graph edge joins two tasks of the same sequence, so swapping an
+  // edge's endpoints is guaranteed to create a Gs cycle.
+  {
+    std::vector<TaskId> order = topological_order(graph);
+    TaskId u = kNoTask, v = kNoTask;
+    for (std::size_t t = 0; t < n && u == kNoTask; ++t) {
+      const auto succs = graph.successors(static_cast<TaskId>(t));
+      if (!succs.empty()) {
+        u = static_cast<TaskId>(t);
+        v = succs.front().task;
+      }
+    }
+    std::iter_swap(std::find(order.begin(), order.end(), u),
+                   std::find(order.begin(), order.end(), v));
+    std::vector<std::vector<TaskId>> sequences(platform.proc_count());
+    sequences[0] = std::move(order);
+    const Schedule mutated(n, std::move(sequences));
+    std::vector<double> single_proc_durations(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      single_proc_durations[t] = instance.expected(t, 0);
+    }
+    std::ostringstream note;
+    note << "swapped dependent pair " << u << " -> " << v
+         << " inside the single-processor sequence";
+    report.cases.push_back(record(FaultClass::kSwapDependentPair,
+                                  validator.validate(mutated, single_proc_durations),
+                                  note.str()));
+  }
+
+  // kSwapIndependentPair — swap an adjacent sequence pair on the HEFT
+  // schedule but validate the *original* timing against the mutant: the
+  // exclusivity/ASAP rules must notice the stale starts.
+  {
+    std::vector<std::vector<TaskId>> sequences = copy_sequences(heft.schedule);
+    auto seq = std::find_if(sequences.begin(), sequences.end(),
+                            [](const auto& s) { return s.size() >= 2; });
+    RTS_ENSURE(seq != sequences.end(),
+               "self-test needs a processor running at least two tasks");
+    // Prefer a pair with no direct edge so the fault stays a pure ordering
+    // corruption; any adjacent swap is caught either way.
+    std::size_t k = 0;
+    for (std::size_t i = 0; i + 1 < seq->size(); ++i) {
+      if (!graph.has_edge((*seq)[i], (*seq)[i + 1])) {
+        k = i;
+        break;
+      }
+    }
+    const TaskId a = (*seq)[k], b = (*seq)[k + 1];
+    std::swap((*seq)[k], (*seq)[k + 1]);
+    const auto proc = static_cast<ProcId>(seq - sequences.begin());
+    const Schedule mutated(n, std::move(sequences));
+    std::ostringstream note;
+    note << "swapped adjacent tasks " << a << ", " << b << " on processor " << proc
+         << " while keeping the original timing";
+    report.cases.push_back(
+        record(FaultClass::kSwapIndependentPair,
+               validator.validate_timing(mutated, durations, timing), note.str()));
+  }
+
+  const double bump = 1.0 + 0.01 * timing.makespan;
+
+  // kStartLate — delay one task past its ready time (slack cleared so the
+  // ASAP rule, not the slack cross-check, is what must fire).
+  {
+    const auto t = static_cast<std::size_t>(rng() % n);
+    ScheduleTiming claimed = timing;
+    claimed.start[t] += bump;
+    claimed.finish[t] += bump;
+    claimed.makespan =
+        *std::max_element(claimed.finish.begin(), claimed.finish.end());
+    claimed.slack.clear();
+    std::ostringstream note;
+    note << "delayed task " << t << " by " << bump;
+    report.cases.push_back(
+        record(FaultClass::kStartLate,
+               validator.validate_timing(heft.schedule, durations, claimed),
+               note.str()));
+  }
+
+  // kStartEarly — advance the latest-starting task to time 0, before its
+  // binding predecessor's data can arrive.
+  {
+    const auto t = static_cast<std::size_t>(
+        std::max_element(timing.start.begin(), timing.start.end()) -
+        timing.start.begin());
+    RTS_ENSURE(timing.start[t] > 0.0,
+               "self-test needs a task with a positive start time");
+    ScheduleTiming claimed = timing;
+    const double delta = claimed.start[t];
+    claimed.start[t] = 0.0;
+    claimed.finish[t] -= delta;
+    claimed.makespan =
+        *std::max_element(claimed.finish.begin(), claimed.finish.end());
+    claimed.slack.clear();
+    std::ostringstream note;
+    note << "advanced task " << t << " by " << delta << " to time 0";
+    report.cases.push_back(
+        record(FaultClass::kStartEarly,
+               validator.validate_timing(heft.schedule, durations, claimed),
+               note.str()));
+  }
+
+  // kMakespanInflated — makespan above the maximum finish time.
+  {
+    ScheduleTiming claimed = timing;
+    claimed.makespan += bump;
+    claimed.slack.clear();
+    std::ostringstream note;
+    note << "inflated makespan by " << bump;
+    report.cases.push_back(
+        record(FaultClass::kMakespanInflated,
+               validator.validate_timing(heft.schedule, durations, claimed),
+               note.str()));
+  }
+
+  // kSlackPerturbed — corrupt one task's slack against Def. 3.3.
+  {
+    const auto t = static_cast<std::size_t>(rng() % n);
+    ScheduleTiming claimed = timing;
+    claimed.slack[t] += bump;
+    std::ostringstream note;
+    note << "perturbed slack of task " << t << " by " << bump;
+    report.cases.push_back(
+        record(FaultClass::kSlackPerturbed,
+               validator.validate_timing(heft.schedule, durations, claimed),
+               note.str()));
+  }
+
+  return report;
+}
+
+}  // namespace rts

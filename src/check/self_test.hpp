@@ -1,0 +1,65 @@
+#pragma once
+// Mutation self-test of the ScheduleValidator: inject one known fault of
+// every class into a valid schedule/timing and assert the validator flags it.
+// A validator that silently passes corrupted inputs is worse than none — the
+// fuzzer runs this before every sweep so a green fuzz run certifies both the
+// schedulers *and* the checker.
+//
+// Fault classes:
+//   * kSwapDependentPair    — swap a precedence-related pair inside one
+//                             processor sequence: Gs becomes cyclic;
+//   * kSwapIndependentPair  — swap an adjacent pair but keep the stale
+//                             timing: the exclusivity/ASAP rules must fire;
+//   * kStartLate            — delay one task's start/finish: breaks Claim
+//                             3.2's ASAP tightness;
+//   * kStartEarly           — advance one task before its ready time: breaks
+//                             precedence or exclusivity;
+//   * kMakespanInflated     — report a makespan above the maximum finish;
+//   * kSlackPerturbed       — corrupt one task's slack (Def. 3.3).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/validator.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+/// Kind of deliberate corruption injected by the self-test.
+enum class FaultClass {
+  kSwapDependentPair,
+  kSwapIndependentPair,
+  kStartLate,
+  kStartEarly,
+  kMakespanInflated,
+  kSlackPerturbed,
+};
+
+/// Stable display name (e.g. "swap-dependent-pair").
+std::string_view to_string(FaultClass fault) noexcept;
+
+/// All fault classes, in declaration order (for iteration and reporting).
+std::vector<FaultClass> all_fault_classes();
+
+/// Outcome of injecting one fault.
+struct SelfTestCase {
+  FaultClass fault{};
+  bool caught = false;                    ///< validator reported >= 1 violation
+  std::vector<ViolationKind> reported;    ///< distinct kinds it reported
+  std::string note;                       ///< what was mutated (task/proc ids)
+};
+
+/// Outcome of one full self-test run.
+struct SelfTestReport {
+  std::vector<SelfTestCase> cases;
+  [[nodiscard]] bool all_caught() const noexcept;
+};
+
+/// Inject one fault of every class into schedules built on `instance` and
+/// validate the mutants. Deterministic in (instance, seed).
+SelfTestReport run_validator_self_test(const ProblemInstance& instance,
+                                       std::uint64_t seed);
+
+}  // namespace rts

@@ -1,0 +1,405 @@
+#include "check/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+std::string_view to_string(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kCyclicGs: return "cyclic-gs";
+    case ViolationKind::kPrecedence: return "precedence";
+    case ViolationKind::kSequenceOverlap: return "sequence-overlap";
+    case ViolationKind::kNotAsap: return "not-asap";
+    case ViolationKind::kFinishMismatch: return "finish-mismatch";
+    case ViolationKind::kStartMismatch: return "start-mismatch";
+    case ViolationKind::kMakespanMismatch: return "makespan-mismatch";
+    case ViolationKind::kNegativeSlack: return "negative-slack";
+    case ViolationKind::kSlackMismatch: return "slack-mismatch";
+    case ViolationKind::kEpsilonConstraint: return "epsilon-constraint";
+    case ViolationKind::kEvaluationMismatch: return "evaluation-mismatch";
+  }
+  return "unknown";
+}
+
+bool ValidationReport::has(ViolationKind kind) const noexcept {
+  return std::any_of(violations.begin(), violations.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const Violation& v : violations) {
+    os << rts::to_string(v.kind);
+    if (v.task != kNoTask) os << " task=" << v.task;
+    if (v.proc != kNoProc) os << " proc=" << v.proc;
+    os << " expected=" << v.expected << " actual=" << v.actual;
+    if (!v.detail.empty()) os << ": " << v.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+ScheduleValidator::ScheduleValidator(const TaskGraph& graph, const Platform& platform,
+                                     double tolerance)
+    : graph_(&graph), platform_(&platform), tol_(tolerance) {
+  RTS_REQUIRE(tolerance >= 0.0, "validator tolerance must be non-negative");
+}
+
+bool ScheduleValidator::close(double a, double b) const noexcept {
+  return std::abs(a - b) <= tol_ * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+std::vector<std::vector<ScheduleValidator::GsEdge>> ScheduleValidator::gs_predecessors(
+    const Schedule& schedule) const {
+  const std::size_t n = graph_->task_count();
+  std::vector<std::vector<GsEdge>> preds(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    const ProcId pt = schedule.proc_of(tid);
+    for (const EdgeRef& e : graph_->predecessors(tid)) {
+      preds[t].push_back(
+          GsEdge{e.task, platform_->comm_cost(e.data, schedule.proc_of(e.task), pt)});
+    }
+    const TaskId pp = schedule.proc_predecessor(tid);
+    if (pp != kNoTask && !graph_->has_edge(pp, tid)) {
+      preds[t].push_back(GsEdge{pp, 0.0});
+    }
+  }
+  return preds;
+}
+
+ScheduleValidator::ReferenceTiming ScheduleValidator::reference_sweep(
+    const std::vector<std::vector<GsEdge>>& preds,
+    std::span<const double> durations) const {
+  // Fixed-point relaxation: starts begin at 0 and only grow toward the ASAP
+  // solution. A task at Gs-depth d stabilizes within d+1 passes, so an
+  // acyclic Gs is stable after at most V passes; a cycle with positive total
+  // weight keeps relaxing forever and is flagged by the extra pass. (A cycle
+  // whose tasks all have zero duration converges anyway; that corner is
+  // caught by the differential comparison, because TimingEvaluator's
+  // Kahn-based construction rejects any cycle.)
+  const std::size_t n = preds.size();
+  ReferenceTiming out;
+  out.start.assign(n, 0.0);
+  out.finish.assign(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) out.finish[t] = durations[t];
+
+  for (std::size_t pass = 0; pass <= n; ++pass) {
+    bool changed = false;
+    for (std::size_t t = 0; t < n; ++t) {
+      double ready = 0.0;
+      for (const GsEdge& e : preds[t]) {
+        ready = std::max(ready, out.finish[static_cast<std::size_t>(e.peer)] + e.cost);
+      }
+      if (ready != out.start[t]) {
+        out.start[t] = ready;
+        out.finish[t] = ready + durations[t];
+        changed = true;
+        if (pass == n) {  // still relaxing after V passes: on/behind a cycle
+          out.cyclic = true;
+          out.cycle_task = static_cast<TaskId>(t);
+          return out;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  out.makespan = out.finish.empty()
+                     ? 0.0
+                     : *std::max_element(out.finish.begin(), out.finish.end());
+  return out;
+}
+
+std::vector<double> ScheduleValidator::reference_bottom_levels(
+    const std::vector<std::vector<GsEdge>>& preds,
+    std::span<const double> durations) const {
+  const std::size_t n = preds.size();
+  std::vector<std::vector<GsEdge>> succs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const GsEdge& e : preds[t]) {
+      succs[static_cast<std::size_t>(e.peer)].push_back(
+          GsEdge{static_cast<TaskId>(t), e.cost});
+    }
+  }
+  std::vector<double> bl(durations.begin(), durations.end());
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (std::size_t t = 0; t < n; ++t) {
+      double tail = 0.0;
+      for (const GsEdge& e : succs[t]) {
+        tail = std::max(tail, e.cost + bl[static_cast<std::size_t>(e.peer)]);
+      }
+      if (durations[t] + tail != bl[t]) {
+        bl[t] = durations[t] + tail;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return bl;
+}
+
+void ScheduleValidator::check_rules(const Schedule& schedule,
+                                    std::span<const double> durations,
+                                    std::span<const double> start,
+                                    std::span<const double> finish, double makespan,
+                                    ValidationReport& report) const {
+  const std::size_t n = graph_->task_count();
+  double max_finish = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    const ProcId pt = schedule.proc_of(tid);
+    const double slop = tol_ * std::max(1.0, makespan);
+
+    if (!close(finish[t], start[t] + durations[t])) {
+      report.violations.push_back(
+          {ViolationKind::kFinishMismatch, tid, pt, start[t] + durations[t], finish[t],
+           "finish time is not start + duration"});
+    }
+    if (start[t] < -slop) {
+      report.violations.push_back({ViolationKind::kPrecedence, tid, pt, 0.0, start[t],
+                                   "task starts before time 0"});
+    }
+
+    // Rule 3 (communication-cost timing) over graph edges, rule 2 (processor
+    // exclusivity) over the sequence predecessor; their max is the ready time
+    // that rule 4's ASAP semantics pins the start to exactly.
+    double ready = 0.0;
+    for (const EdgeRef& e : graph_->predecessors(tid)) {
+      const double arrival =
+          finish[static_cast<std::size_t>(e.task)] +
+          platform_->comm_cost(e.data, schedule.proc_of(e.task), pt);
+      if (start[t] < arrival - slop) {
+        report.violations.push_back(
+            {ViolationKind::kPrecedence, tid, pt, arrival, start[t],
+             "starts before data from predecessor task " + std::to_string(e.task) +
+                 " arrives"});
+      }
+      ready = std::max(ready, arrival);
+    }
+    const TaskId pp = schedule.proc_predecessor(tid);
+    if (pp != kNoTask) {
+      const double prev_finish = finish[static_cast<std::size_t>(pp)];
+      if (start[t] < prev_finish - slop) {
+        report.violations.push_back(
+            {ViolationKind::kSequenceOverlap, tid, pt, prev_finish, start[t],
+             "overlaps sequence predecessor task " + std::to_string(pp)});
+      }
+      ready = std::max(ready, prev_finish);
+    }
+    if (start[t] > ready + slop) {
+      report.violations.push_back(
+          {ViolationKind::kNotAsap, tid, pt, ready, start[t],
+           "starts later than its ready time (Claim 3.2 requires ASAP starts)"});
+    }
+    max_finish = std::max(max_finish, finish[t]);
+  }
+  if (!close(makespan, max_finish)) {
+    report.violations.push_back({ViolationKind::kMakespanMismatch, kNoTask, kNoProc,
+                                 max_finish, makespan,
+                                 "makespan is not the maximum finish time"});
+  }
+}
+
+ValidationReport ScheduleValidator::validate(const Schedule& schedule,
+                                             std::span<const double> durations) const {
+  const std::size_t n = graph_->task_count();
+  RTS_REQUIRE(schedule.task_count() == n, "schedule size does not match graph");
+  RTS_REQUIRE(durations.size() == n, "duration vector length must equal task count");
+  RTS_REQUIRE(schedule.proc_count() <= platform_->proc_count(),
+              "schedule uses more processors than the platform provides");
+
+  ValidationReport report;
+  const auto preds = gs_predecessors(schedule);
+  const ReferenceTiming ref = reference_sweep(preds, durations);
+  if (ref.cyclic) {
+    report.violations.push_back(
+        {ViolationKind::kCyclicGs, ref.cycle_task, schedule.proc_of(ref.cycle_task),
+         0.0, 0.0,
+         "processor sequences contradict the precedence constraints (task is on or "
+         "behind a Gs cycle)"});
+    return report;
+  }
+
+  // The reference timing must satisfy the rules it was derived from — this
+  // guards the validator against itself and produces per-rule diagnostics if
+  // the fixed point is somehow inconsistent.
+  check_rules(schedule, durations, ref.start, ref.finish, ref.makespan, report);
+
+  // Def. 3.3: slack from independently recomputed bottom levels; must be
+  // non-negative up to tolerance.
+  const std::vector<double> bl = reference_bottom_levels(preds, durations);
+  std::vector<double> ref_slack(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double raw = ref.makespan - bl[t] - ref.start[t];
+    if (raw < -tol_ * std::max(1.0, ref.makespan)) {
+      report.violations.push_back(
+          {ViolationKind::kNegativeSlack, static_cast<TaskId>(t),
+           schedule.proc_of(static_cast<TaskId>(t)), 0.0, raw,
+           "sigma_i = M - Bl(i) - Tl(i) is negative"});
+    }
+    ref_slack[t] = std::max(0.0, raw);
+  }
+
+  // Differential layer: the production timing engine must agree with the
+  // naive reference to 1e-9 on every quantity.
+  try {
+    const TimingEvaluator evaluator(*graph_, *platform_, schedule);
+    const ScheduleTiming full = evaluator.full_timing(durations);
+    double slack_sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto tid = static_cast<TaskId>(t);
+      if (!close(full.start[t], ref.start[t])) {
+        report.violations.push_back(
+            {ViolationKind::kStartMismatch, tid, schedule.proc_of(tid), ref.start[t],
+             full.start[t], "TimingEvaluator start disagrees with the reference sweep"});
+      }
+      if (!close(full.slack[t], ref_slack[t])) {
+        report.violations.push_back(
+            {ViolationKind::kSlackMismatch, tid, schedule.proc_of(tid), ref_slack[t],
+             full.slack[t], "TimingEvaluator slack disagrees with the reference sweep"});
+      }
+      slack_sum += ref_slack[t];
+    }
+    if (!close(full.makespan, ref.makespan)) {
+      report.violations.push_back(
+          {ViolationKind::kMakespanMismatch, kNoTask, kNoProc, ref.makespan,
+           full.makespan, "full_timing makespan disagrees with the reference sweep"});
+    }
+    const double ref_avg = n == 0 ? 0.0 : slack_sum / static_cast<double>(n);
+    if (!close(full.average_slack, ref_avg)) {
+      report.violations.push_back(
+          {ViolationKind::kSlackMismatch, kNoTask, kNoProc, ref_avg,
+           full.average_slack,
+           "full_timing average slack disagrees with the reference sweep"});
+    }
+    std::vector<double> scratch(n);
+    const double ms = evaluator.makespan_into(durations, scratch);
+    if (!close(ms, ref.makespan)) {
+      report.violations.push_back(
+          {ViolationKind::kMakespanMismatch, kNoTask, kNoProc, ref.makespan, ms,
+           "makespan_into disagrees with the reference sweep"});
+    }
+  } catch (const InvalidArgument& e) {
+    // The reference found no (positive-weight) cycle but the evaluator's
+    // Kahn construction rejected the schedule: a zero-weight cycle or a
+    // genuine disagreement between the implementations.
+    report.violations.push_back(
+        {ViolationKind::kCyclicGs, kNoTask, kNoProc, 0.0, 0.0,
+         std::string("TimingEvaluator rejected the schedule: ") + e.what()});
+  }
+  return report;
+}
+
+ValidationReport ScheduleValidator::validate(const Schedule& schedule,
+                                             const Matrix<double>& costs) const {
+  return validate(schedule, assigned_durations(costs, schedule));
+}
+
+ValidationReport ScheduleValidator::validate_timing(const Schedule& schedule,
+                                                    std::span<const double> durations,
+                                                    const ScheduleTiming& claimed) const {
+  const std::size_t n = graph_->task_count();
+  RTS_REQUIRE(schedule.task_count() == n, "schedule size does not match graph");
+  RTS_REQUIRE(durations.size() == n, "duration vector length must equal task count");
+  RTS_REQUIRE(claimed.start.size() == n && claimed.finish.size() == n,
+              "claimed timing must carry start/finish for every task");
+
+  ValidationReport report;
+  check_rules(schedule, durations, claimed.start, claimed.finish, claimed.makespan,
+              report);
+
+  if (!claimed.slack.empty()) {
+    RTS_REQUIRE(claimed.slack.size() == n, "claimed slack must cover every task");
+    const auto preds = gs_predecessors(schedule);
+    const std::vector<double> bl = reference_bottom_levels(preds, durations);
+    double slack_sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double raw = claimed.makespan - bl[t] - claimed.start[t];
+      const double expected = std::max(0.0, raw);
+      if (!close(claimed.slack[t], expected)) {
+        report.violations.push_back(
+            {ViolationKind::kSlackMismatch, static_cast<TaskId>(t),
+             schedule.proc_of(static_cast<TaskId>(t)), expected, claimed.slack[t],
+             "claimed slack disagrees with M - Bl(i) - Tl(i)"});
+      }
+      slack_sum += expected;
+    }
+    const double expected_avg = n == 0 ? 0.0 : slack_sum / static_cast<double>(n);
+    if (!close(claimed.average_slack, expected_avg)) {
+      report.violations.push_back({ViolationKind::kSlackMismatch, kNoTask, kNoProc,
+                                   expected_avg, claimed.average_slack,
+                                   "claimed average slack disagrees with the mean"});
+    }
+  }
+  return report;
+}
+
+ValidationReport ScheduleValidator::validate_solver_output(
+    const Schedule& schedule, const Matrix<double>& costs, const Evaluation& eval,
+    ObjectiveKind objective, std::optional<double> epsilon,
+    double heft_makespan) const {
+  ValidationReport report = validate(schedule, costs);
+  if (report.has(ViolationKind::kCyclicGs)) return report;
+
+  const ScheduleTiming timing =
+      compute_schedule_timing(*graph_, *platform_, schedule, costs);
+  if (!close(eval.makespan, timing.makespan)) {
+    report.violations.push_back(
+        {ViolationKind::kEvaluationMismatch, kNoTask, kNoProc, timing.makespan,
+         eval.makespan, "Evaluation.makespan disagrees with recomputed timing"});
+  }
+  if (!close(eval.avg_slack, timing.average_slack)) {
+    report.violations.push_back(
+        {ViolationKind::kEvaluationMismatch, kNoTask, kNoProc, timing.average_slack,
+         eval.avg_slack, "Evaluation.avg_slack disagrees with recomputed timing"});
+  }
+
+  if (epsilon.has_value()) {
+    const double bound = *epsilon * heft_makespan;
+    if (eval.makespan > bound + tol_ * std::max(1.0, bound)) {
+      report.violations.push_back(
+          {ViolationKind::kEpsilonConstraint, kNoTask, kNoProc, bound, eval.makespan,
+           "M0 exceeds epsilon * M_HEFT (Eqn. 7)"});
+    } else if (objective == ObjectiveKind::kEpsilonConstraint ||
+               objective == ObjectiveKind::kEpsilonConstraintEffective) {
+      // Eqn. 8, feasible branch: a feasible individual's fitness is exactly
+      // its objective slack.
+      const Evaluation evals[] = {eval};
+      const double fitness =
+          generation_fitness(evals, objective, *epsilon, heft_makespan).front();
+      const double expected = objective == ObjectiveKind::kEpsilonConstraintEffective
+                                  ? eval.effective_slack
+                                  : eval.avg_slack;
+      if (!close(fitness, expected)) {
+        report.violations.push_back(
+            {ViolationKind::kEvaluationMismatch, kNoTask, kNoProc, expected, fitness,
+             "feasible-branch fitness disagrees with Eqn. 8"});
+      }
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_schedule(const TaskGraph& graph, const Platform& platform,
+                                   const Schedule& schedule,
+                                   const Matrix<double>& costs) {
+  return ScheduleValidator(graph, platform).validate(schedule, costs);
+}
+
+bool check_mode_enabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("RTS_CHECK");
+    return value != nullptr && *value != '\0' && std::string_view(value) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace rts

@@ -1,0 +1,168 @@
+#pragma once
+// Independent schedule validation — the library's reference checker.
+//
+// ScheduleValidator re-derives every structural property the paper's theory
+// rests on without reusing the production timing engine's machinery: start
+// and finish times come from a naive O(V*E)-per-pass fixed-point relaxation
+// over the disjunctive graph Gs (Def. 3.1) instead of TimingEvaluator's
+// compiled-CSR topological sweep, so the two implementations can check each
+// other. The rules verified:
+//
+//   1. Gs acyclicity / precedence feasibility (Def. 3.1) — the per-processor
+//      sequences must be consistent with the graph's precedence constraints;
+//   2. processor exclusivity — consecutive tasks of one processor's sequence
+//      never overlap in time;
+//   3. communication-cost timing — a successor starts no earlier than
+//      predecessor finish + D/TR across processors (0 on the same one);
+//   4. ASAP semantics and makespan/slack agreement (Claim 3.2, Def. 3.3) —
+//      every start equals its ready time, slack sigma_i = M - Bl(i) - Tl(i)
+//      is non-negative, and everything matches TimingEvaluator::full_timing
+//      and makespan_into to 1e-9;
+//   5. epsilon-constraint and fitness consistency (Eqns. 7-8) for solver
+//      outputs carrying an Evaluation.
+//
+// Violations come back as structured diagnostics (kind, task, processor,
+// expected vs actual), not a bool, so the fuzzer and the RTS_CHECK debug mode
+// can say exactly which invariant broke and where.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ga/fitness.hpp"
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+#include "sched/timing.hpp"
+#include "util/matrix.hpp"
+
+namespace rts {
+
+/// Which invariant a Violation reports against.
+enum class ViolationKind {
+  kCyclicGs,            ///< sequences contradict precedence: Gs has a cycle
+  kPrecedence,          ///< a task starts before a predecessor's data arrives
+  kSequenceOverlap,     ///< two tasks of one processor overlap in time
+  kNotAsap,             ///< a task starts later than its ready time (Claim 3.2)
+  kFinishMismatch,      ///< finish != start + duration
+  kStartMismatch,       ///< evaluator start disagrees with the reference sweep
+  kMakespanMismatch,    ///< makespan disagrees with the reference / max finish
+  kNegativeSlack,       ///< sigma_i = M - Bl(i) - Tl(i) < 0 (Def. 3.3)
+  kSlackMismatch,       ///< per-task or average slack disagrees
+  kEpsilonConstraint,   ///< M0 > epsilon * M_HEFT (Eqn. 7)
+  kEvaluationMismatch,  ///< an Evaluation field disagrees with recomputation
+};
+
+/// Stable display name of a violation kind (e.g. "cyclic-gs").
+std::string_view to_string(ViolationKind kind) noexcept;
+
+/// One invariant violation with enough context to locate and reproduce it.
+struct Violation {
+  ViolationKind kind{};
+  TaskId task = kNoTask;   ///< offending task, when one is identifiable
+  ProcId proc = kNoProc;   ///< its processor, when meaningful
+  double expected = 0.0;   ///< what the invariant requires
+  double actual = 0.0;     ///< what the schedule/timing actually has
+  std::string detail;      ///< human-readable specifics (names peers, rules)
+};
+
+/// All violations found by one validation call.
+struct ValidationReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] bool has(ViolationKind kind) const noexcept;
+  /// Multi-line "kind task=.. proc=.. expected=.. actual=..: detail" listing.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Reference checker for one (graph, platform) pair; validates any number of
+/// schedules against it. Comparisons use `tolerance * max(1, |a|, |b|)`.
+class ScheduleValidator {
+ public:
+  ScheduleValidator(const TaskGraph& graph, const Platform& platform,
+                    double tolerance = 1e-9);
+
+  /// Rules 1-4: reference sweep, rule checks on the reference timing, and the
+  /// differential comparison against TimingEvaluator. `durations[i]` is the
+  /// duration of task i on its assigned processor.
+  [[nodiscard]] ValidationReport validate(const Schedule& schedule,
+                                          std::span<const double> durations) const;
+
+  /// Same, with durations taken from an n x m cost matrix.
+  [[nodiscard]] ValidationReport validate(const Schedule& schedule,
+                                          const Matrix<double>& costs) const;
+
+  /// Rules 1-4 applied to a *claimed* timing (e.g. one produced by an
+  /// external tool, or a deliberately mutated one in the self-test): checks
+  /// precedence, exclusivity, ASAP tightness, finish/makespan coherence and
+  /// slack against independently recomputed bottom levels.
+  [[nodiscard]] ValidationReport validate_timing(const Schedule& schedule,
+                                                 std::span<const double> durations,
+                                                 const ScheduleTiming& claimed) const;
+
+  /// Rules 1-5 for a solver result: everything validate() checks, plus the
+  /// Evaluation's makespan/avg_slack against recomputation, the Eqn. 7
+  /// constraint when `epsilon` is given (pass nullopt when the solver was not
+  /// run under a constraint or feasibility is not guaranteed), and the
+  /// feasible-branch fitness of Eqn. 8 for the epsilon objectives.
+  [[nodiscard]] ValidationReport validate_solver_output(
+      const Schedule& schedule, const Matrix<double>& costs, const Evaluation& eval,
+      ObjectiveKind objective, std::optional<double> epsilon,
+      double heft_makespan) const;
+
+ private:
+  struct GsEdge {
+    TaskId peer;  ///< the predecessor task
+    double cost;  ///< precomputed communication cost along the edge
+  };
+  struct ReferenceTiming {
+    std::vector<double> start;
+    std::vector<double> finish;
+    double makespan = 0.0;
+    bool cyclic = false;
+    TaskId cycle_task = kNoTask;  ///< a task still relaxing after V passes
+  };
+
+  /// Gs predecessor lists per Def. 3.1: graph edges with D/TR costs plus one
+  /// zero-cost edge from the processor predecessor (unless already an edge).
+  [[nodiscard]] std::vector<std::vector<GsEdge>> gs_predecessors(
+      const Schedule& schedule) const;
+
+  /// Naive fixed-point relaxation of ASAP starts; flags cycles instead of
+  /// topologically sorting.
+  [[nodiscard]] ReferenceTiming reference_sweep(
+      const std::vector<std::vector<GsEdge>>& preds,
+      std::span<const double> durations) const;
+
+  /// Bottom levels Bl(i) by reverse fixed-point relaxation over Gs.
+  [[nodiscard]] std::vector<double> reference_bottom_levels(
+      const std::vector<std::vector<GsEdge>>& preds,
+      std::span<const double> durations) const;
+
+  /// Rules 2-4 on an explicit timing (claimed or reference).
+  void check_rules(const Schedule& schedule, std::span<const double> durations,
+                   std::span<const double> start, std::span<const double> finish,
+                   double makespan, ValidationReport& report) const;
+
+  [[nodiscard]] bool close(double a, double b) const noexcept;
+
+  const TaskGraph* graph_;
+  const Platform* platform_;
+  double tol_;
+};
+
+/// One-shot convenience: rules 1-4 under `costs` durations.
+ValidationReport validate_schedule(const TaskGraph& graph, const Platform& platform,
+                                   const Schedule& schedule,
+                                   const Matrix<double>& costs);
+
+/// True when the RTS_CHECK environment variable is set to a non-empty value
+/// other than "0": the opt-in debug mode under which core::robust_schedule
+/// and service::SchedulerService validate every schedule they produce.
+/// Read once and cached for the process lifetime.
+bool check_mode_enabled();
+
+}  // namespace rts

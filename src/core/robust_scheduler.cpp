@@ -1,7 +1,9 @@
 #include "core/robust_scheduler.hpp"
 
+#include "check/validator.hpp"
 #include "core/stochastic.hpp"
 #include "sched/heft.hpp"
+#include "util/error.hpp"
 
 namespace rts {
 
@@ -22,6 +24,27 @@ RobustScheduleOutcome robust_schedule(const ProblemInstance& instance,
   }
   GaResult ga = run_ga(instance.graph, instance.platform, instance.expected, ga_config,
                        nullptr, stddev_ptr);
+
+  if (check_mode_enabled()) {
+    // RTS_CHECK debug mode: every schedule leaving the pipeline is validated
+    // against the reference checker. The Eqn. 7 constraint is only asserted
+    // when the GA is guaranteed a feasible answer (HEFT seed at epsilon >= 1).
+    const ScheduleValidator validator(instance.graph, instance.platform);
+    const bool constrained =
+        (ga_config.objective == ObjectiveKind::kEpsilonConstraint ||
+         ga_config.objective == ObjectiveKind::kEpsilonConstraintEffective) &&
+        ga_config.seed_with_heft && ga_config.epsilon >= 1.0;
+    const ValidationReport ga_report = validator.validate_solver_output(
+        ga.best_schedule, instance.expected, ga.best_eval, ga_config.objective,
+        constrained ? std::optional<double>(ga_config.epsilon) : std::nullopt,
+        ga.heft_makespan);
+    RTS_ENSURE(ga_report.ok(),
+               "RTS_CHECK: GA schedule failed validation:\n" + ga_report.to_string());
+    const ValidationReport heft_report =
+        validator.validate(heft.schedule, instance.expected);
+    RTS_ENSURE(heft_report.ok(), "RTS_CHECK: HEFT schedule failed validation:\n" +
+                                     heft_report.to_string());
+  }
 
   RobustnessReport ga_report = evaluate_robustness(instance, ga.best_schedule, config.mc);
   RobustnessReport heft_report = evaluate_robustness(instance, heft.schedule, config.mc);

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "check/validator.hpp"
 #include "service/fingerprint.hpp"
 #include "util/error.hpp"
 
@@ -139,7 +140,23 @@ void SchedulerService::handle_job(QueuedJob&& job) {
   std::string error;
   SolveSummary summary;
   try {
-    summary = summarize(robust_schedule(*job.request.problem, job.request.config));
+    const RobustScheduleOutcome outcome =
+        robust_schedule(*job.request.problem, job.request.config);
+    if (check_mode_enabled()) {
+      // RTS_CHECK debug mode: re-validate both schedules at the service
+      // boundary, independently of the core pipeline's own check. A violation
+      // fails this job in-band instead of crashing the server.
+      const ProblemInstance& problem = *job.request.problem;
+      const ScheduleValidator validator(problem.graph, problem.platform);
+      const ValidationReport ga_report =
+          validator.validate(outcome.schedule, problem.expected);
+      const ValidationReport heft_report =
+          validator.validate(outcome.heft_schedule, problem.expected);
+      RTS_ENSURE(ga_report.ok() && heft_report.ok(),
+                 "RTS_CHECK: service result failed validation:\n" +
+                     ga_report.to_string() + heft_report.to_string());
+    }
+    summary = summarize(outcome);
   } catch (const std::exception& e) {
     status = JobStatus::kFailed;
     error = e.what();

@@ -1,0 +1,79 @@
+#include "check/self_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(ValidatorSelfTest, CatchesEveryFaultClass) {
+  const auto instance = testing::small_instance(24, 4, 2.0, 7);
+  const SelfTestReport report = run_validator_self_test(instance, 7);
+  ASSERT_EQ(report.cases.size(), all_fault_classes().size());
+  for (const SelfTestCase& c : report.cases) {
+    EXPECT_TRUE(c.caught) << "fault class " << to_string(c.fault)
+                          << " was not caught: " << c.note;
+    EXPECT_FALSE(c.reported.empty());
+    EXPECT_FALSE(c.note.empty());
+  }
+  EXPECT_TRUE(report.all_caught());
+}
+
+TEST(ValidatorSelfTest, CoversEachFaultClassExactlyOnce) {
+  // The DAG generator may draw a single-level (edgeless) graph; take the
+  // first seed that yields precedence edges to corrupt.
+  auto instance = testing::small_instance(16, 3, 2.0, 21);
+  for (std::uint64_t seed = 22; instance.graph.edge_count() == 0; ++seed) {
+    instance = testing::small_instance(16, 3, 2.0, seed);
+  }
+  const SelfTestReport report = run_validator_self_test(instance, 21);
+  for (const FaultClass fault : all_fault_classes()) {
+    const auto count =
+        std::count_if(report.cases.begin(), report.cases.end(),
+                      [fault](const SelfTestCase& c) { return c.fault == fault; });
+    EXPECT_EQ(count, 1) << "fault class " << to_string(fault);
+  }
+}
+
+TEST(ValidatorSelfTest, ReportsExpectedViolationKinds) {
+  const auto instance = testing::small_instance(24, 4, 2.0, 5);
+  const SelfTestReport report = run_validator_self_test(instance, 5);
+  const auto find = [&](FaultClass fault) -> const SelfTestCase& {
+    const auto it =
+        std::find_if(report.cases.begin(), report.cases.end(),
+                     [fault](const SelfTestCase& c) { return c.fault == fault; });
+    RTS_ENSURE(it != report.cases.end(), "fault class missing from the report");
+    return *it;
+  };
+  const auto reported = [&](FaultClass fault, ViolationKind kind) {
+    const auto& kinds = find(fault).reported;
+    return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+  };
+  EXPECT_TRUE(reported(FaultClass::kSwapDependentPair, ViolationKind::kCyclicGs));
+  EXPECT_TRUE(reported(FaultClass::kStartEarly, ViolationKind::kPrecedence) ||
+              reported(FaultClass::kStartEarly, ViolationKind::kSequenceOverlap));
+  EXPECT_TRUE(reported(FaultClass::kStartLate, ViolationKind::kNotAsap));
+  EXPECT_TRUE(
+      reported(FaultClass::kMakespanInflated, ViolationKind::kMakespanMismatch));
+  EXPECT_TRUE(reported(FaultClass::kSlackPerturbed, ViolationKind::kSlackMismatch));
+}
+
+TEST(ValidatorSelfTest, EmptyReportIsNotAllCaught) {
+  EXPECT_FALSE(SelfTestReport{}.all_caught());
+}
+
+TEST(ValidatorSelfTest, RejectsEdgelessGraphs) {
+  PaperInstanceParams params;
+  params.task_count = 4;
+  params.proc_count = 2;
+  ProblemInstance instance = testing::small_instance(4, 2, 2.0, 1);
+  instance.graph = TaskGraph(4);  // no edges: nothing to corrupt
+  EXPECT_THROW((void)run_validator_self_test(instance, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

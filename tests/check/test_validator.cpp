@@ -1,0 +1,273 @@
+#include "check/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/random_scheduler.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+// Shared fixture: the hand-computed chain of test_timing.cpp.
+// Graph 0 -> 1 -> 2 (4 units of data each), P0 = {0, 2}, P1 = {1},
+// durations {2, 3, 5} => start {0, 6, 13}, finish {2, 9, 18}, makespan 18,
+// all slacks zero (Gs is a single chain 0 -> 1 -> 2 plus processor edge
+// 0 -> 2).
+struct ChainFixture {
+  TaskGraph graph = testing::chain3(4.0);
+  Platform platform{2, 1.0};
+  Schedule schedule{3, {{0, 2}, {1}}};
+  Matrix<double> costs{3, 2, 1.0};
+  std::vector<double> durations{2.0, 3.0, 5.0};
+  ScheduleValidator validator{graph, platform};
+
+  ChainFixture() {
+    costs(0, 0) = 2.0;
+    costs(1, 1) = 3.0;
+    costs(2, 0) = 5.0;
+  }
+
+  [[nodiscard]] ScheduleTiming true_timing() const {
+    return compute_schedule_timing(graph, platform, schedule, costs);
+  }
+};
+
+TEST(Validator, AcceptsCorrectScheduleAndTiming) {
+  const ChainFixture f;
+  EXPECT_TRUE(f.validator.validate(f.schedule, f.durations).ok());
+  EXPECT_TRUE(f.validator.validate(f.schedule, f.costs).ok());
+  EXPECT_TRUE(
+      f.validator.validate_timing(f.schedule, f.durations, f.true_timing()).ok());
+  EXPECT_TRUE(
+      validate_schedule(f.graph, f.platform, f.schedule, f.costs).ok());
+}
+
+// Rule 1: sequences contradicting precedence yield kCyclicGs naming a task on
+// the cycle.
+TEST(Validator, FlagsCyclicGs) {
+  ChainFixture f;
+  const Schedule bad(3, {{2, 0}, {1}});  // 2 before 0 on P0, but 0 ->> 2
+  const ValidationReport report = f.validator.validate(bad, f.durations);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kCyclicGs));
+  EXPECT_NE(report.violations.front().task, kNoTask);
+  EXPECT_NE(report.to_string().find("cyclic-gs"), std::string::npos);
+}
+
+// A Gs cycle that only appears when sequences from *different* processors
+// compose: edges 0 -> 1 (P0 -> P1) and 2 -> 3 (P1 -> P0), with 1 after 2 on
+// P1 and 3 before 0 on P0 — each sequence alone is fine.
+TEST(Validator, FlagsCrossProcessorCycle) {
+  TaskGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const Platform platform(2, 1.0);
+  const Schedule bad(4, {{3, 0}, {1, 2}});
+  const ScheduleValidator validator(g, platform);
+  const std::vector<double> durations(4, 1.0);
+  const ValidationReport report = validator.validate(bad, durations);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kCyclicGs));
+}
+
+// Rule 2: two tasks of one processor overlapping in time.
+TEST(Validator, FlagsSequenceOverlap) {
+  const ChainFixture f;
+  ScheduleTiming claimed = f.true_timing();
+  claimed.start[2] = 1.0;  // overlaps task 0 on P0 (finish 2), also breaks
+  claimed.finish[2] = 6.0;  // precedence from task 1
+  claimed.makespan = 9.0;
+  claimed.slack.clear();
+  const ValidationReport report =
+      f.validator.validate_timing(f.schedule, f.durations, claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kSequenceOverlap));
+  bool named = false;
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kSequenceOverlap) {
+      EXPECT_EQ(v.task, 2);
+      EXPECT_EQ(v.proc, 0);
+      EXPECT_NE(v.detail.find("task 0"), std::string::npos);
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+// Rule 3: a successor starting before predecessor finish + D/TR across
+// processors.
+TEST(Validator, FlagsCommunicationTimingViolation) {
+  const ChainFixture f;
+  ScheduleTiming claimed = f.true_timing();
+  claimed.start[1] = 3.0;  // data from task 0 (finish 2, P0 -> P1) lands at 6
+  claimed.finish[1] = 6.0;
+  claimed.start[2] = 10.0;
+  claimed.finish[2] = 15.0;
+  claimed.makespan = 15.0;
+  claimed.slack.clear();
+  const ValidationReport report =
+      f.validator.validate_timing(f.schedule, f.durations, claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kPrecedence));
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kPrecedence) {
+      EXPECT_EQ(v.task, 1);
+      EXPECT_EQ(v.proc, 1);
+      EXPECT_DOUBLE_EQ(v.expected, 6.0);
+      EXPECT_DOUBLE_EQ(v.actual, 3.0);
+      EXPECT_NE(v.detail.find("task 0"), std::string::npos);
+    }
+  }
+}
+
+// Rule 4a: a start later than the ready time violates ASAP semantics.
+TEST(Validator, FlagsNonAsapStart) {
+  const ChainFixture f;
+  ScheduleTiming claimed = f.true_timing();
+  claimed.start[1] = 8.0;  // ready at 6
+  claimed.finish[1] = 11.0;
+  claimed.start[2] = 15.0;
+  claimed.finish[2] = 20.0;
+  claimed.makespan = 20.0;
+  claimed.slack.clear();
+  const ValidationReport report =
+      f.validator.validate_timing(f.schedule, f.durations, claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kNotAsap));
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kNotAsap && v.task == 1) {
+      EXPECT_DOUBLE_EQ(v.expected, 6.0);
+      EXPECT_DOUBLE_EQ(v.actual, 8.0);
+    }
+  }
+}
+
+// Rule 4b: finish must equal start + duration.
+TEST(Validator, FlagsFinishMismatch) {
+  const ChainFixture f;
+  ScheduleTiming claimed = f.true_timing();
+  claimed.finish[0] = 3.0;  // duration is 2, so finish should be 2
+  claimed.slack.clear();
+  const ValidationReport report =
+      f.validator.validate_timing(f.schedule, f.durations, claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kFinishMismatch));
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kFinishMismatch) {
+      EXPECT_EQ(v.task, 0);
+      EXPECT_DOUBLE_EQ(v.expected, 2.0);
+      EXPECT_DOUBLE_EQ(v.actual, 3.0);
+    }
+  }
+}
+
+// Rule 4c: the claimed makespan must be the maximum finish time.
+TEST(Validator, FlagsMakespanMismatch) {
+  const ChainFixture f;
+  ScheduleTiming claimed = f.true_timing();
+  claimed.makespan = 25.0;
+  claimed.slack.clear();
+  const ValidationReport report =
+      f.validator.validate_timing(f.schedule, f.durations, claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kMakespanMismatch));
+  EXPECT_DOUBLE_EQ(report.violations.front().expected, 18.0);
+  EXPECT_DOUBLE_EQ(report.violations.front().actual, 25.0);
+}
+
+// Rule 4d: claimed slack must equal M - Bl(i) - Tl(i) (Def. 3.3).
+TEST(Validator, FlagsSlackMismatch) {
+  const ChainFixture f;
+  ScheduleTiming claimed = f.true_timing();
+  claimed.slack[1] = 4.0;  // the whole chain is critical: true slack is 0
+  const ValidationReport report =
+      f.validator.validate_timing(f.schedule, f.durations, claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kSlackMismatch));
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kSlackMismatch && v.task != kNoTask) {
+      EXPECT_EQ(v.task, 1);
+      EXPECT_DOUBLE_EQ(v.expected, 0.0);
+      EXPECT_DOUBLE_EQ(v.actual, 4.0);
+    }
+  }
+}
+
+// Rule 5a: an Evaluation whose makespan disagrees with recomputation.
+TEST(Validator, FlagsEvaluationMismatch) {
+  const ChainFixture f;
+  const Evaluation lying{17.0, 0.0, 0.0};  // true makespan is 18
+  const ValidationReport report = f.validator.validate_solver_output(
+      f.schedule, f.costs, lying, ObjectiveKind::kEpsilonConstraint, std::nullopt,
+      18.0);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kEvaluationMismatch));
+}
+
+// Rule 5b: Eqn. 7 — M0 above epsilon * M_HEFT is an epsilon-constraint
+// violation.
+TEST(Validator, FlagsEpsilonConstraintViolation) {
+  const ChainFixture f;
+  const Evaluation eval{18.0, 0.0, 0.0};
+  const ValidationReport report = f.validator.validate_solver_output(
+      f.schedule, f.costs, eval, ObjectiveKind::kEpsilonConstraint, 1.1,
+      /*heft_makespan=*/10.0);  // bound 11 < 18
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kEpsilonConstraint));
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kEpsilonConstraint) {
+      EXPECT_DOUBLE_EQ(v.expected, 11.0);
+      EXPECT_DOUBLE_EQ(v.actual, 18.0);
+    }
+  }
+}
+
+TEST(Validator, AcceptsSolverOutputWithinEpsilon) {
+  const ChainFixture f;
+  const Evaluation eval{18.0, 0.0, 0.0};
+  EXPECT_TRUE(f.validator
+                  .validate_solver_output(f.schedule, f.costs, eval,
+                                          ObjectiveKind::kEpsilonConstraint, 1.0,
+                                          18.0)
+                  .ok());
+}
+
+TEST(Validator, RejectsMismatchedInputs) {
+  const ChainFixture f;
+  EXPECT_THROW((void)f.validator.validate(f.schedule, std::vector<double>{1.0}),
+               InvalidArgument);
+  const Schedule wrong(2, {{0, 1}, {}});
+  EXPECT_THROW((void)f.validator.validate(wrong, std::vector<double>{1.0, 1.0}),
+               InvalidArgument);
+}
+
+// Property: every schedule the production algorithms emit on random instances
+// passes the reference checker (the fuzzer's core loop, in miniature).
+TEST(Validator, AcceptsAlgorithmOutputsOnRandomInstances) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto instance = testing::small_instance(25, 3, 2.0, seed);
+    const ScheduleValidator validator(instance.graph, instance.platform);
+    const auto heft =
+        heft_schedule(instance.graph, instance.platform, instance.expected);
+    EXPECT_TRUE(validator.validate(heft.schedule, instance.expected).ok());
+    Rng rng(seed);
+    const auto rand = random_schedule(instance.graph, instance.platform,
+                                      instance.expected, rng);
+    EXPECT_TRUE(validator.validate(rand.schedule, instance.expected).ok());
+  }
+}
+
+TEST(Validator, CheckModeReflectsEnvironment) {
+  // The cache makes toggling impossible mid-process; just pin the contract
+  // that the call is stable and does not throw.
+  const bool first = check_mode_enabled();
+  EXPECT_EQ(check_mode_enabled(), first);
+}
+
+}  // namespace
+}  // namespace rts

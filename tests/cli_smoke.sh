@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the rts CLI: generate -> info -> schedule with
 # every algorithm -> evaluate, plus error-path checks, plus an rts_serve
-# batch-serving case. $1 = path to the rts binary, $2 = path to rts_serve.
+# batch-serving case and an rts_fuzz mini-sweep. $1 = path to the rts binary,
+# $2 = path to rts_serve, $3 = path to rts_fuzz.
 set -euo pipefail
 
 RTS="$1"
 SERVE="${2:-}"
+FUZZ="${3:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
@@ -96,6 +98,44 @@ REQ
   [ "$rc" -eq 3 ] || fail "rts_serve bad-job exit code ($rc)"
   grep -q '"status":"failed"' servebad.jsonl || fail "rts_serve failed line"
   grep -q '"status":"ok"' servebad.jsonl || fail "rts_serve good line after bad"
+
+  # a malformed request line is diagnosed on stderr, skipped, and the rest of
+  # the batch still runs with results in submission order
+  cat > jobsmalformed.txt <<REQ
+p.rts --epsilon 1.2 --iters 60 --realizations 50
+p.rts stray-token --epsilon 1.2
+p.rts --epsilon 1.4 --iters 60 --realizations 50
+REQ
+  set +e
+  "$SERVE" --requests jobsmalformed.txt --threads 2 \
+    > servemal.jsonl 2> servemal.err
+  rc=$?
+  set -e
+  [ "$rc" -eq 3 ] || fail "rts_serve malformed-line exit code ($rc)"
+  grep -q 'warning: request line 2' servemal.err \
+    || fail "rts_serve malformed-line stderr diagnostic"
+  [ "$(wc -l < servemal.jsonl)" -eq 3 ] || fail "rts_serve malformed line count"
+  sed -n 2p servemal.jsonl | grep -q '"status":"failed"' \
+    || fail "rts_serve malformed line not failed"
+  grep -c '"status":"ok"' servemal.jsonl | grep -qx 2 \
+    || fail "rts_serve malformed batch not continued"
+  for i in 0 1 2; do
+    sed -n "$((i + 1))p" servemal.jsonl | grep -q "\"job\":$i," \
+      || fail "rts_serve submission order (job $i)"
+  done
+
+  # RTS_CHECK debug mode: the solve pipeline re-validates every schedule it
+  # returns against the reference checker, and the batch still succeeds
+  RTS_CHECK=1 "$SERVE" --requests jobs3.txt --threads 2 > servechk.jsonl \
+    || fail "rts_serve under RTS_CHECK"
+  grep -c '"status":"ok"' servechk.jsonl | grep -qx 3 || fail "RTS_CHECK ok lines"
+fi
+
+# rts_fuzz: mutation self-test + a tiny differential sweep must pass
+if [ -n "$FUZZ" ]; then
+  "$FUZZ" --smoke > fuzz.txt || fail "rts_fuzz --smoke"
+  grep -q "self-test caught all fault classes" fuzz.txt || fail "rts_fuzz self-test"
+  grep -q " 0 violation(s)" fuzz.txt || fail "rts_fuzz violations"
 fi
 
 # error paths: bad command, bad algo, missing files exit non-zero

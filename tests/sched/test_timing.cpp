@@ -133,6 +133,25 @@ TEST(Timing, RejectsPrecedenceViolatingSchedule) {
   EXPECT_THROW(TimingEvaluator(g, platform, bad), InvalidArgument);
 }
 
+TEST(Timing, RejectsCrossProcessorCyclicGs) {
+  // Each sequence is locally consistent; the Gs cycle only appears when the
+  // processor edges compose with the graph edges: 0 -> 1 crosses P0 -> P1,
+  // 2 -> 3 crosses back, 1 precedes 2 on P1 and 3 precedes 0 on P0, closing
+  // 0 -> 1 -> 2 -> 3 -> 0.
+  TaskGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const Platform platform(2, 1.0);
+  const Schedule bad(4, {{3, 0}, {1, 2}});
+  EXPECT_THROW(TimingEvaluator(g, platform, bad), InvalidArgument);
+  const Matrix<double> costs(4, 2, 1.0);
+  EXPECT_THROW((void)compute_schedule_timing(g, platform, bad, costs),
+               InvalidArgument);
+  // The same sequences in a feasible interleaving are accepted.
+  const Schedule good(4, {{0, 3}, {1, 2}});
+  EXPECT_NO_THROW(TimingEvaluator(g, platform, good));
+}
+
 TEST(Timing, AssignedDurationsPicksAssignedColumn) {
   Matrix<double> costs(2, 2);
   costs(0, 0) = 1.0;
