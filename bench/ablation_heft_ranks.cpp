@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
       PaperInstanceParams params = setup.scale.instance;
       params.v_mach = v_mach;
       params.avg_ul = 3.0;
-      Rng rng(hash_combine_u64(setup.scale.seed, g * 7 + std::llround(v_mach * 10)));
+      Rng rng(hash_combine_u64(
+          setup.scale.seed,
+          g * 7 + static_cast<std::uint64_t>(std::llround(v_mach * 10))));
       const ProblemInstance instance = make_paper_instance(params, rng);
       for (std::size_t k = 0; k < policies.size(); ++k) {
         const auto result = heft_schedule(instance.graph, instance.platform,

@@ -49,8 +49,11 @@ ProblemInstance make_experiment_instance(const ExperimentScale& scale, std::size
   Matrix<double> bcet = generate_cov_cost_matrix(scale.instance.task_count,
                                                  scale.instance.proc_count, cov, topo_rng);
 
-  Rng ul_rng = root.substream(
-      hash_combine_u64(kStreamUncertainty, hash_combine_u64(g, std::llround(ul * 1024))));
+  // UL grid points are positive multiples of 1/1024, so the rounded value is
+  // non-negative and the widening to the hash's u64 domain is exact.
+  Rng ul_rng = root.substream(hash_combine_u64(
+      kStreamUncertainty,
+      hash_combine_u64(g, static_cast<std::uint64_t>(std::llround(ul * 1024)))));
   UncertaintyParams unc;
   unc.avg_ul = ul;
   unc.v1 = scale.instance.v_ul;

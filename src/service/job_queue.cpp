@@ -8,9 +8,7 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
   RTS_REQUIRE(capacity >= 1, "job queue capacity must be at least 1");
 }
 
-PushOutcome JobQueue::push_locked(QueuedJob&& job,
-                                  std::unique_lock<std::mutex>& lock) {
-  (void)lock;  // caller holds mutex_
+PushOutcome JobQueue::push_locked(QueuedJob&& job) {
   buckets_[job.request.priority].push_back(std::move(job));
   ++size_;
   not_empty_.notify_one();
@@ -18,24 +16,30 @@ PushOutcome JobQueue::push_locked(QueuedJob&& job,
 }
 
 PushOutcome JobQueue::try_push(QueuedJob job) {
-  std::unique_lock lock(mutex_);
+  const LockGuard lock(mutex_);
   if (closed_) return PushOutcome::kRejectedClosed;
   if (size_ >= capacity_) return PushOutcome::kRejectedFull;
-  return push_locked(std::move(job), lock);
+  return push_locked(std::move(job));
 }
 
 PushOutcome JobQueue::push_wait(QueuedJob job) {
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+  UniqueLock lock(mutex_);
+  not_full_.wait(lock, [this] {
+    mutex_.assert_held();
+    return closed_ || size_ < capacity_;
+  });
   if (closed_) return PushOutcome::kRejectedClosed;
-  return push_locked(std::move(job), lock);
+  return push_locked(std::move(job));
 }
 
 std::optional<QueuedJob> JobQueue::pop() {
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+  UniqueLock lock(mutex_);
+  not_empty_.wait(lock, [this] {
+    mutex_.assert_held();
+    return closed_ || size_ > 0;
+  });
   if (size_ == 0) return std::nullopt;  // closed and drained
-  auto bucket = buckets_.begin();      // highest priority
+  auto bucket = buckets_.begin();       // highest priority
   QueuedJob job = std::move(bucket->second.front());
   bucket->second.pop_front();
   if (bucket->second.empty()) buckets_.erase(bucket);
@@ -46,7 +50,7 @@ std::optional<QueuedJob> JobQueue::pop() {
 
 void JobQueue::close() {
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -54,12 +58,12 @@ void JobQueue::close() {
 }
 
 std::size_t JobQueue::size() const {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   return size_;
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   return closed_;
 }
 

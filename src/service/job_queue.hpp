@@ -14,14 +14,13 @@
 // All operations are thread-safe; pop blocks on a condition variable rather
 // than spinning.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "service/job.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rts {
 
@@ -48,34 +47,34 @@ class JobQueue {
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Non-blocking admission; kRejectedFull when at capacity.
-  PushOutcome try_push(QueuedJob job);
+  PushOutcome try_push(QueuedJob job) RTS_EXCLUDES(mutex_);
 
   /// Blocking admission: waits for space. Returns kAccepted or
   /// kRejectedClosed (never kRejectedFull).
-  PushOutcome push_wait(QueuedJob job);
+  PushOutcome push_wait(QueuedJob job) RTS_EXCLUDES(mutex_);
 
   /// Blocking removal of the highest-priority, oldest job. Returns nullopt
   /// only when the queue is closed AND drained.
-  std::optional<QueuedJob> pop();
+  std::optional<QueuedJob> pop() RTS_EXCLUDES(mutex_);
 
   /// Close to producers; consumers drain the remainder. Idempotent.
-  void close();
+  void close() RTS_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const RTS_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] bool closed() const;
+  [[nodiscard]] bool closed() const RTS_EXCLUDES(mutex_);
 
  private:
-  PushOutcome push_locked(QueuedJob&& job, std::unique_lock<std::mutex>& lock);
+  PushOutcome push_locked(QueuedJob&& job) RTS_REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
   /// priority -> FIFO of jobs at that priority; highest priority first.
-  std::map<int, std::deque<QueuedJob>, std::greater<>> buckets_;
-  std::size_t size_ = 0;
-  bool closed_ = false;
+  std::map<int, std::deque<QueuedJob>, std::greater<>> buckets_ RTS_GUARDED_BY(mutex_);
+  std::size_t size_ RTS_GUARDED_BY(mutex_) = 0;
+  bool closed_ RTS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rts

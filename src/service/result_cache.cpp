@@ -9,7 +9,7 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::optional<SolveSummary> ResultCache::lookup(const Digest& key) {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -21,7 +21,7 @@ std::optional<SolveSummary> ResultCache::lookup(const Digest& key) {
 }
 
 void ResultCache::insert(const Digest& key, const SolveSummary& value) {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     it->second->value = value;
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -37,7 +37,7 @@ void ResultCache::insert(const Digest& key, const SolveSummary& value) {
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   CacheStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -48,7 +48,7 @@ CacheStats ResultCache::stats() const {
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   return lru_.size();
 }
 

@@ -13,12 +13,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "service/job.hpp"
 #include "util/digest.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rts {
 
@@ -48,14 +48,14 @@ class ResultCache {
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Look up `key`, refreshing its recency on a hit. Counts one hit or miss.
-  std::optional<SolveSummary> lookup(const Digest& key);
+  std::optional<SolveSummary> lookup(const Digest& key) RTS_EXCLUDES(mutex_);
 
   /// Insert/overwrite `key` as the most recently used entry, evicting the
   /// LRU entry when at capacity. Does not touch the hit/miss counters.
-  void insert(const Digest& key, const SolveSummary& value);
+  void insert(const Digest& key, const SolveSummary& value) RTS_EXCLUDES(mutex_);
 
-  [[nodiscard]] CacheStats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CacheStats stats() const RTS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const RTS_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -64,12 +64,13 @@ class ResultCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<Digest, std::list<Entry>::iterator, DigestHash> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ RTS_GUARDED_BY(mutex_);  ///< front = most recently used
+  std::unordered_map<Digest, std::list<Entry>::iterator, DigestHash> index_
+      RTS_GUARDED_BY(mutex_);
+  std::uint64_t hits_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ RTS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rts

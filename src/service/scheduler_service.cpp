@@ -59,7 +59,7 @@ std::optional<std::future<JobResult>> SchedulerService::submit(JobRequest reques
   std::uint64_t job_id = 0;
   std::future<JobResult> future;
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     job_id = next_job_id_++;
     auto [it, inserted] = promises_.try_emplace(job_id);
     RTS_ENSURE(inserted, "duplicate job id");
@@ -70,7 +70,7 @@ std::optional<std::future<JobResult>> SchedulerService::submit(JobRequest reques
   const PushOutcome outcome = config_.block_when_full
                                   ? queue_.push_wait(std::move(job))
                                   : queue_.try_push(std::move(job));
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   if (outcome != PushOutcome::kAccepted) {
     promises_.erase(job_id);
     ++rejected_;
@@ -83,7 +83,7 @@ std::optional<std::future<JobResult>> SchedulerService::submit(JobRequest reques
 void SchedulerService::resolve(std::promise<JobResult>& promise, JobResult&& result) {
   latency_.record(result.latency_ms);
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     if (result.status == JobStatus::kOk) {
       ++completed_;
     } else {
@@ -103,7 +103,7 @@ void SchedulerService::handle_job(QueuedJob&& job) {
 
   std::promise<JobResult> promise;
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     auto node = promises_.extract(job.job_id);
     RTS_ENSURE(!node.empty(), "queued job has no registered promise");
     promise = std::move(node.mapped());
@@ -113,26 +113,40 @@ void SchedulerService::handle_job(QueuedJob&& job) {
   result.job_id = job.job_id;
   result.key = job.key;
 
+  // Triage under one mutex_ hold. The coalescing invariant is that a digest
+  // is *either* in-flight *or* (on success) in the cache, never in a gap
+  // between the two — the leader publishes its result and retires the
+  // in-flight entry under the same lock below. Checking the cache and the
+  // in-flight table in two separate critical sections (as an earlier
+  // revision did) leaves a window where a duplicate misses the cache, then
+  // finds the leader already gone, and re-solves — reporting a second
+  // cache_hit=false for the digest and breaking the thread-count-invariance
+  // contract. tests/service/test_stress.cpp pins this down.
+  std::optional<SolveSummary> cached;
+  {
+    const LockGuard lock(mutex_);
+    if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
+      // Coalescing: an identical request is being solved right now on
+      // another worker. Park this job's promise with the leader and return —
+      // the worker is free for the next job, and the leader resolves us on
+      // completion.
+      it->second.followers.emplace_back(job.job_id, std::move(promise));
+      return;
+    }
+    cached = cache_.lookup(job.key);
+    if (!cached) {
+      inflight_.try_emplace(job.key);
+      ++in_flight_;
+    }
+  }
+
   // Fast path: an identical request finished earlier.
-  if (auto cached = cache_.lookup(job.key)) {
+  if (cached) {
     result.cache_hit = true;
     result.summary = *cached;
     result.latency_ms = elapsed_ms();
     resolve(promise, std::move(result));
     return;
-  }
-
-  // Coalescing: an identical request is being solved right now on another
-  // worker. Park this job's promise with the leader and return — the worker
-  // is free for the next job, and the leader resolves us on completion.
-  {
-    std::lock_guard lock(mutex_);
-    if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
-      it->second.followers.emplace_back(job.job_id, std::move(promise));
-      return;
-    }
-    inflight_.try_emplace(job.key);
-    ++in_flight_;
   }
 
   // Leader path: run the actual solve.
@@ -161,11 +175,12 @@ void SchedulerService::handle_job(QueuedJob&& job) {
     status = JobStatus::kFailed;
     error = e.what();
   }
-  if (status == JobStatus::kOk) cache_.insert(job.key, summary);
-
   InflightEntry entry;
   {
-    std::lock_guard lock(mutex_);
+    // Publish + retire atomically (see the invariant note above): a failed
+    // leader retires without caching, so the next duplicate re-solves.
+    const LockGuard lock(mutex_);
+    if (status == JobStatus::kOk) cache_.insert(job.key, summary);
     auto node = inflight_.extract(job.key);
     RTS_ENSURE(!node.empty(), "in-flight entry vanished");
     entry = std::move(node.mapped());
@@ -198,7 +213,7 @@ void SchedulerService::handle_job(QueuedJob&& job) {
 ServiceStats SchedulerService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     s.submitted = submitted_;
     s.rejected = rejected_;
     s.completed = completed_;

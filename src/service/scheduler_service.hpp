@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "service/result_cache.hpp"
 #include "service/service_stats.hpp"
 #include "service/worker_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rts {
 
@@ -61,7 +61,8 @@ class SchedulerService {
   /// Admit one job. Returns the future its JobResult will arrive on, or
   /// nullopt when the job was shed (queue full and !block_when_full, or the
   /// service is shut down). The request's problem pointer must be non-null.
-  std::optional<std::future<JobResult>> submit(JobRequest request);
+  std::optional<std::future<JobResult>> submit(JobRequest request)
+      RTS_EXCLUDES(mutex_);
 
   /// Close admission, solve everything still queued, join the workers.
   /// Idempotent; called by the destructor.
@@ -69,7 +70,7 @@ class SchedulerService {
 
   /// Consistent operational snapshot (counters, gauges, latency quantiles,
   /// cache hit rate).
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const RTS_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept;
 
@@ -80,23 +81,30 @@ class SchedulerService {
     std::vector<std::pair<std::uint64_t, std::promise<JobResult>>> followers;
   };
 
-  void handle_job(QueuedJob&& job);
-  void resolve(std::promise<JobResult>& promise, JobResult&& result);
+  void handle_job(QueuedJob&& job) RTS_EXCLUDES(mutex_);
+  void resolve(std::promise<JobResult>& promise, JobResult&& result)
+      RTS_EXCLUDES(mutex_);
 
   SchedulerServiceConfig config_;
   JobQueue queue_;
+  // Lock order: mutex_ before the ResultCache's internal mutex. handle_job
+  // touches cache_ while holding mutex_ so that "key is in-flight" and "key
+  // is cached" are one atomic fact — see the coalescing invariant in
+  // scheduler_service.cpp. Never take mutex_ from inside cache_.
   ResultCache cache_;
   LatencyRecorder latency_;
 
-  mutable std::mutex mutex_;  ///< guards promises_, inflight_, counters
-  std::unordered_map<std::uint64_t, std::promise<JobResult>> promises_;
-  std::unordered_map<Digest, InflightEntry, DigestHash> inflight_;
-  std::uint64_t next_job_id_ = 0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::size_t in_flight_ = 0;
+  mutable Mutex mutex_;  ///< guards promises_, inflight_, counters
+  std::unordered_map<std::uint64_t, std::promise<JobResult>> promises_
+      RTS_GUARDED_BY(mutex_);
+  std::unordered_map<Digest, InflightEntry, DigestHash> inflight_
+      RTS_GUARDED_BY(mutex_);
+  std::uint64_t next_job_id_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t submitted_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ RTS_GUARDED_BY(mutex_) = 0;
+  std::size_t in_flight_ RTS_GUARDED_BY(mutex_) = 0;
 
   /// Last member: workers must stop before any other member is destroyed.
   std::unique_ptr<WorkerPool> pool_;

@@ -7,14 +7,14 @@
 namespace rts {
 
 void LatencyRecorder::record(double latency_ms) {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   samples_.push_back(latency_ms);
 }
 
 LatencyRecorder::Quantiles LatencyRecorder::snapshot() const {
   std::vector<double> copy;
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     copy = samples_;
   }
   Quantiles q;

@@ -4,10 +4,10 @@
 // consistent point-in-time snapshot (SchedulerService::stats()).
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "service/result_cache.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rts {
 
@@ -30,18 +30,18 @@ struct ServiceStats {
 /// p50/p95/max quantiles on demand.
 class LatencyRecorder {
  public:
-  void record(double latency_ms);
+  void record(double latency_ms) RTS_EXCLUDES(mutex_);
 
   struct Quantiles {
     double p50 = 0.0;
     double p95 = 0.0;
     double max = 0.0;
   };
-  [[nodiscard]] Quantiles snapshot() const;
+  [[nodiscard]] Quantiles snapshot() const RTS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  mutable Mutex mutex_;
+  std::vector<double> samples_ RTS_GUARDED_BY(mutex_);
 };
 
 }  // namespace rts

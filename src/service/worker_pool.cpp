@@ -5,9 +5,10 @@
 namespace rts {
 
 WorkerPool::WorkerPool(std::size_t worker_count, JobQueue& queue, JobHandler handler)
-    : queue_(queue), handler_(std::move(handler)) {
+    : queue_(queue), handler_(std::move(handler)), worker_count_(worker_count) {
   RTS_REQUIRE(worker_count >= 1, "worker pool needs at least one thread");
   RTS_REQUIRE(static_cast<bool>(handler_), "worker pool needs a job handler");
+  const LockGuard lock(join_mutex_);
   threads_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
     threads_.emplace_back([this] {
@@ -22,9 +23,15 @@ WorkerPool::~WorkerPool() { join(); }
 
 void WorkerPool::join() {
   queue_.close();
+  // join_mutex_ makes concurrent join() calls safe: std::thread::join is a
+  // data race when two threads target the same std::thread object, so the
+  // first caller joins and later callers wait on the mutex until the workers
+  // are gone (threads_ is left empty as the joined marker).
+  const LockGuard lock(join_mutex_);
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
+  threads_.clear();
 }
 
 }  // namespace rts

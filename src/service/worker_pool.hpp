@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "service/job_queue.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rts {
 
@@ -30,15 +31,19 @@ class WorkerPool {
   /// Joins (closing the queue first) if still running.
   ~WorkerPool();
 
-  /// Close the queue and wait for every worker to drain and exit. Idempotent.
-  void join();
+  /// Close the queue and wait for every worker to drain and exit. Idempotent
+  /// and safe to call from multiple threads concurrently: every caller
+  /// returns only after all workers have exited.
+  void join() RTS_EXCLUDES(join_mutex_);
 
-  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept { return worker_count_; }
 
  private:
   JobQueue& queue_;
   JobHandler handler_;
-  std::vector<std::thread> threads_;
+  std::size_t worker_count_ = 0;  ///< immutable after construction
+  Mutex join_mutex_;              ///< serializes join() callers
+  std::vector<std::thread> threads_ RTS_GUARDED_BY(join_mutex_);
 };
 
 }  // namespace rts

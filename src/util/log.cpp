@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace rts {
 
@@ -52,8 +53,9 @@ namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   // Single mutex keeps concurrent OpenMP progress lines unscrambled; logging
   // is never on the hot path.
-  static std::mutex mu;
-  const std::lock_guard<std::mutex> lock(mu);
+  static Mutex mu;
+  const LockGuard lock(mu);
+  // rts-lint: allow(no-iostream-in-lib) — this IS the logging sink.
   std::clog << "[rts:" << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -1,0 +1,123 @@
+#pragma once
+// Clang Thread Safety Analysis support (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// The RTS_* macros expand to Clang's capability attributes when compiling
+// with Clang and to nothing elsewhere, so annotated code stays portable to
+// GCC/MSVC. `rts::Mutex` / `rts::LockGuard` / `rts::UniqueLock` /
+// `rts::CondVar` wrap the std primitives with capability annotations so the
+// analysis can follow lock/unlock flow; they compile down to the plain std
+// types with zero overhead (CondVar uses condition_variable_any, whose wait
+// on our UniqueLock is the same unlock/wait/relock protocol).
+//
+// Convention: every field shared between threads is RTS_GUARDED_BY(its
+// mutex); every function that assumes the lock is held is RTS_REQUIRES(it);
+// lambdas handed to CondVar::wait re-establish the capability with
+// Mutex::assert_held() (the condition variable holds the lock whenever it
+// evaluates the predicate, but the analysis cannot see through the std
+// call). Builds with -DRTS_THREAD_SAFETY=ON (Clang only) turn violations
+// into errors via -Wthread-safety -Werror=thread-safety.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RTS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RTS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define RTS_CAPABILITY(x) RTS_THREAD_ANNOTATION_(capability(x))
+#define RTS_SCOPED_CAPABILITY RTS_THREAD_ANNOTATION_(scoped_lockable)
+#define RTS_GUARDED_BY(x) RTS_THREAD_ANNOTATION_(guarded_by(x))
+#define RTS_PT_GUARDED_BY(x) RTS_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define RTS_ACQUIRE(...) RTS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RTS_TRY_ACQUIRE(...) \
+  RTS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RTS_RELEASE(...) RTS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RTS_REQUIRES(...) \
+  RTS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RTS_EXCLUDES(...) RTS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define RTS_ASSERT_CAPABILITY(x) RTS_THREAD_ANNOTATION_(assert_capability(x))
+#define RTS_RETURN_CAPABILITY(x) RTS_THREAD_ANNOTATION_(lock_returned(x))
+#define RTS_NO_THREAD_SAFETY_ANALYSIS \
+  RTS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rts {
+
+/// std::mutex annotated as a TSA capability.
+class RTS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RTS_ACQUIRE() { mu_.lock(); }
+  void unlock() RTS_RELEASE() { mu_.unlock(); }
+  bool try_lock() RTS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tell the analysis this thread holds the mutex without acquiring it.
+  /// Use inside CondVar::wait predicates: the condition variable guarantees
+  /// the lock is held while the predicate runs, but the capability does not
+  /// flow through the std::condition_variable_any call.
+  void assert_held() const RTS_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over rts::Mutex, visible to the analysis.
+class RTS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) RTS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() RTS_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock that a CondVar can temporarily release (BasicLockable).
+/// Unlike std::unique_lock it is always locked between construction and
+/// destruction from the analysis's point of view — CondVar::wait's internal
+/// unlock/relock nets out to "still held".
+class RTS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) RTS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~UniqueLock() RTS_RELEASE() { mu_.unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  // BasicLockable surface for std::condition_variable_any. Only CondVar may
+  // call these (it restores the invariant before returning control).
+  void lock() RTS_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() RTS_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with rts::Mutex via rts::UniqueLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until `pred()` holds. `pred` runs with the lock held; start it
+  /// with `mutex.assert_held()` so guarded reads type-check under TSA.
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred) {
+    cv_.wait(lock, std::move(pred));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rts

@@ -144,8 +144,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SolverCase{"sa", run_sa_case},
                       SolverCase{"local-search", run_local_case},
                       SolverCase{"nsga2", run_nsga_case}),
-    [](const ::testing::TestParamInfo<SolverCase>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<SolverCase>& param_info) {
+      std::string name = param_info.param.name;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }

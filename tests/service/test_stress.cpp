@@ -1,0 +1,258 @@
+// Multi-threaded stress tests of the service layer — the race-prone workload
+// the TSan CI job (-DRTS_TSAN=ON) exercises. Each test asserts functional
+// invariants (no lost or duplicated jobs, exactly one coalescing leader per
+// digest) that a torn critical section would break; under ThreadSanitizer
+// the same runs also prove the absence of data races dynamically,
+// complementing what the Clang thread-safety annotations prove statically.
+//
+// No sleeps: all cross-thread ordering goes through the queue's own blocking
+// operations, joins and futures, so the tests are deterministic in outcome
+// (though not in interleaving) and never flake on slow machines.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "service/scheduler_service.hpp"
+
+namespace rts {
+namespace {
+
+QueuedJob make_job(std::uint64_t id, int priority = 0) {
+  QueuedJob job;
+  job.job_id = id;
+  job.request.priority = priority;
+  return job;
+}
+
+// --- JobQueue: N producers x M consumers through a tiny buffer --------------
+
+TEST(JobQueueStress, BlockingProducersAndConsumersLoseNothing) {
+  // Capacity far below the job count keeps every producer bouncing off the
+  // not_full_ condition and every consumer off not_empty_.
+  JobQueue queue(4);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr std::uint64_t kJobsEach = 200;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::uint64_t i = 0; i < kJobsEach; ++i) {
+        const auto id = static_cast<std::uint64_t>(p) * kJobsEach + i;
+        // Mixed priorities exercise bucket creation/erasure under contention.
+        ASSERT_EQ(queue.push_wait(make_job(id, static_cast<int>(i % 3))),
+                  PushOutcome::kAccepted);
+      }
+    });
+  }
+
+  std::mutex popped_mutex;
+  std::vector<std::uint64_t> popped;
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<std::uint64_t> local;
+      while (auto job = queue.pop()) local.push_back(job->job_id);
+      const std::lock_guard<std::mutex> lock(popped_mutex);
+      popped.insert(popped.end(), local.begin(), local.end());
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  // Exactly every pushed id popped exactly once: no loss, no duplication.
+  std::sort(popped.begin(), popped.end());
+  ASSERT_EQ(popped.size(), static_cast<std::size_t>(kProducers) * kJobsEach);
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    ASSERT_EQ(popped[i], i) << "lost or duplicated job id";
+  }
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(JobQueueStress, CloseRacingProducersNeverLosesAcceptedJobs) {
+  // close() fires while producers are mid-stream: whatever was accepted must
+  // drain, everything after the close must be refused, nothing in between.
+  JobQueue queue(8);
+  constexpr int kProducers = 4;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> go_close{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0;; ++i) {
+        const auto id = static_cast<std::uint64_t>(p) * 1000000 + i;
+        if (queue.push_wait(make_job(id)) != PushOutcome::kAccepted) {
+          return;  // closed — every later attempt must also be refused
+        }
+        if (accepted.fetch_add(1, std::memory_order_relaxed) + 1 >= 100) {
+          go_close.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+
+  std::thread closer([&] {
+    while (!go_close.load(std::memory_order_acquire)) std::this_thread::yield();
+    queue.close();
+  });
+
+  std::atomic<std::uint64_t> drained{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.pop()) drained.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  closer.join();
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  // Consumers keep draining after close until end-of-stream, so every
+  // accepted push is matched by exactly one pop.
+  EXPECT_EQ(drained.load(), accepted.load());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.try_push(make_job(0)), PushOutcome::kRejectedClosed);
+}
+
+// --- SchedulerService: request coalescing under duplicate fire --------------
+
+RobustSchedulerConfig tiny_config(double epsilon, std::uint64_t seed) {
+  RobustSchedulerConfig config;
+  config.ga.epsilon = epsilon;
+  config.ga.max_iterations = 10;
+  config.ga.population_size = 8;
+  config.ga.seed = seed;
+  config.mc.realizations = 20;
+  return config;
+}
+
+TEST(SchedulerServiceStress, CoalescingElectsExactlyOneLeaderPerDigest) {
+  // A burst of duplicates across a handful of digests, submitted from
+  // concurrent producer threads onto multiple workers. The coalescing
+  // invariant (scheduler_service.cpp): per digest, exactly one job solves
+  // (cache_hit=false) — every twin is coalesced or served from cache
+  // (cache_hit=true) — and all results are bit-identical. A gap between the
+  // cache check and the in-flight table (the pre-fix two-critical-section
+  // triage) shows up here as a digest with two leaders.
+  const auto problem = std::make_shared<const ProblemInstance>(
+      testing::small_instance(12, 3, 2.0, 7));
+  constexpr int kDigests = 4;
+  constexpr int kDuplicates = 12;
+  constexpr int kSubmitters = 4;
+
+  SchedulerServiceConfig service_config;
+  service_config.workers = 4;
+  service_config.queue_capacity = kDigests * kDuplicates + 1;
+  service_config.cache_capacity = 64;
+  service_config.block_when_full = true;
+  SchedulerService service(service_config);
+
+  std::mutex results_mutex;
+  std::map<int, std::vector<JobResult>> by_digest;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      // Interleave digests so duplicates of the same digest land on the
+      // queue from different threads at the same time.
+      for (int round = 0; round < kDuplicates / kSubmitters; ++round) {
+        for (int d = 0; d < kDigests; ++d) {
+          JobRequest request;
+          request.problem = problem;
+          request.config = tiny_config(1.05 + 0.1 * d, 40 + d);
+          auto future = service.submit(request);
+          ASSERT_TRUE(future.has_value());
+          JobResult result = future->get();
+          ASSERT_EQ(result.status, JobStatus::kOk) << result.error;
+          const std::lock_guard<std::mutex> lock(results_mutex);
+          by_digest[d].push_back(std::move(result));
+        }
+        (void)s;
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service.shutdown();
+
+  ASSERT_EQ(by_digest.size(), static_cast<std::size_t>(kDigests));
+  std::uint64_t leaders_total = 0;
+  for (auto& [d, results] : by_digest) {
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kDuplicates));
+    std::size_t leaders = 0;
+    for (const JobResult& r : results) {
+      if (!r.cache_hit) ++leaders;
+      EXPECT_EQ(r.summary, results.front().summary)
+          << "digest group " << d << " produced diverging summaries";
+    }
+    EXPECT_EQ(leaders, 1u) << "digest group " << d
+                           << " must solve exactly once";
+    leaders_total += leaders;
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kDigests * kDuplicates));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  // Hits + coalesced followers + leaders account for every job.
+  EXPECT_EQ(leaders_total, static_cast<std::uint64_t>(kDigests));
+}
+
+TEST(SchedulerServiceStress, ConcurrentShutdownIsIdempotentAndRaceFree) {
+  // shutdown() is documented idempotent; calling it from several threads at
+  // once (plus the destructor afterwards) must neither race on the worker
+  // threads nor strand a submitted job's future.
+  const auto problem = std::make_shared<const ProblemInstance>(
+      testing::small_instance(10, 2, 2.0, 3));
+
+  SchedulerServiceConfig service_config;
+  service_config.workers = 2;
+  SchedulerService service(service_config);
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    JobRequest request;
+    request.problem = problem;
+    request.config = tiny_config(1.1, 50 + i);
+    auto future = service.submit(request);
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, JobStatus::kOk);
+
+  std::vector<std::thread> closers;
+  closers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&service] { service.shutdown(); });
+  }
+  for (auto& t : closers) t.join();
+
+  // After shutdown, admission is refused but stats stay readable.
+  JobRequest late;
+  late.problem = problem;
+  late.config = tiny_config(1.2, 99);
+  EXPECT_FALSE(service.submit(late).has_value());
+  EXPECT_EQ(service.stats().failed, 0u);
+}
+
+}  // namespace
+}  // namespace rts
