@@ -38,7 +38,7 @@ commands:
   info      --problem FILE
   schedule  --problem FILE
             --algo heft|heft-la|cpop|minmin|overestimate|ga|ga-stochastic|sa|local
-            [--epsilon E] [--quantile Q] [--iters N] [--seed S]
+            [--epsilon E] [--quantile Q] [--iters N] [--seed S] [--threads N]
             [--out FILE] [--gantt] [--svg FILE] [--json FILE]
   evaluate  --problem FILE --schedule FILE [--realizations N] [--seed S]
             [--threads N] [--criticality] [--json FILE]
@@ -146,6 +146,9 @@ int cmd_schedule(const Options& opts) {
     config.epsilon = opts.get_double("epsilon", 1.0);
     config.max_iterations = static_cast<std::size_t>(opts.get_int("iters", 1000));
     config.seed = seed;
+    // Pure performance knob: the GA result is seed-stable for any thread
+    // count (parallel population evaluation, see ga/eval.hpp).
+    config.threads = static_cast<std::size_t>(opts.get_int("threads", 0));
     if (algo == "ga-stochastic") {
       config.objective = ObjectiveKind::kEpsilonConstraintEffective;
       const Matrix<double> stddev = duration_stddev(instance.bcet, instance.ul);

@@ -8,7 +8,8 @@
 namespace rts {
 
 RobustScheduleOutcome robust_schedule(const ProblemInstance& instance,
-                                      const RobustSchedulerConfig& config) {
+                                      const RobustSchedulerConfig& config,
+                                      EvalWorkspacePool* scratch) {
   instance.validate();
 
   ListScheduleResult heft =
@@ -23,7 +24,7 @@ RobustScheduleOutcome robust_schedule(const ProblemInstance& instance,
     stddev_ptr = &stddev;
   }
   GaResult ga = run_ga(instance.graph, instance.platform, instance.expected, ga_config,
-                       nullptr, stddev_ptr);
+                       nullptr, stddev_ptr, scratch);
 
   if (check_mode_enabled()) {
     // RTS_CHECK debug mode: every schedule leaving the pipeline is validated

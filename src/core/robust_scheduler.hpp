@@ -43,7 +43,14 @@ struct RobustScheduleOutcome {
 
 /// Run the full pipeline: HEFT baseline -> ε-constraint GA -> Monte-Carlo
 /// robustness evaluation of both schedules.
+///
+/// `scratch` (optional) supplies the GA's evaluation workspaces; a
+/// long-lived caller that solves many instances (the scheduling service's
+/// worker threads) passes one pool per worker so buffer capacity is reused
+/// across jobs instead of reallocated per solve. Pass nullptr for one-shot
+/// runs. Results are bit-identical either way.
 RobustScheduleOutcome robust_schedule(const ProblemInstance& instance,
-                                      const RobustSchedulerConfig& config);
+                                      const RobustSchedulerConfig& config,
+                                      EvalWorkspacePool* scratch = nullptr);
 
 }  // namespace rts

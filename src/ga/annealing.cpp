@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ga/eval.hpp"
 #include "ga/operators.hpp"
-#include "sched/timing.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -45,23 +45,6 @@ struct EnergyModel {
   }
 };
 
-Evaluation evaluate(const TaskGraph& graph, const Platform& platform,
-                    const Matrix<double>& costs, const Chromosome& chrom,
-                    const Matrix<double>* stddev, double kappa) {
-  const Schedule schedule = decode(chrom, platform.proc_count());
-  const ScheduleTiming timing = compute_schedule_timing(graph, platform, schedule, costs);
-  Evaluation eval{timing.makespan, timing.average_slack, 0.0};
-  if (stddev != nullptr) {
-    double sum = 0.0;
-    for (std::size_t t = 0; t < timing.slack.size(); ++t) {
-      const auto p = static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t)));
-      sum += std::min(timing.slack[t], kappa * (*stddev)(t, p));
-    }
-    eval.effective_slack = sum / static_cast<double>(timing.slack.size());
-  }
-  return eval;
-}
-
 }  // namespace
 
 SaResult run_simulated_annealing(const TaskGraph& graph, const Platform& platform,
@@ -83,11 +66,15 @@ SaResult run_simulated_annealing(const TaskGraph& graph, const Platform& platfor
   const EnergyModel energy{config.objective, config.epsilon, heft.makespan,
                            config.effective_slack_kappa, duration_stddev};
 
+  // One reusable workspace scores the whole chain — the annealer evaluates
+  // one neighbour at a time, so a single workspace amortizes everything.
+  EvalWorkspace ws(graph, platform, costs, duration_stddev,
+                   config.effective_slack_kappa);
+
   Chromosome current = config.seed_with_heft
                            ? encode_schedule(graph, platform, heft.schedule, costs)
                            : random_chromosome(graph, platform.proc_count(), rng);
-  Evaluation current_eval = evaluate(graph, platform, costs, current, duration_stddev,
-                                     config.effective_slack_kappa);
+  Evaluation current_eval = ws.evaluate(current);
   double current_energy = energy(current_eval);
 
   Chromosome best = current;
@@ -102,8 +89,7 @@ SaResult run_simulated_annealing(const TaskGraph& graph, const Platform& platfor
     Chromosome walker = current;
     for (int i = 0; i < 64; ++i) {
       mutate(walker, graph, platform.proc_count(), rng);
-      probe.add(energy(evaluate(graph, platform, costs, walker, duration_stddev,
-                                config.effective_slack_kappa)));
+      probe.add(energy(ws.evaluate(walker)));
     }
     t0 = std::max(probe.stddev(), 1e-9);
   }
@@ -116,8 +102,7 @@ SaResult run_simulated_annealing(const TaskGraph& graph, const Platform& platfor
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     Chromosome neighbour = current;
     mutate(neighbour, graph, platform.proc_count(), rng);
-    const Evaluation neighbour_eval = evaluate(
-        graph, platform, costs, neighbour, duration_stddev, config.effective_slack_kappa);
+    const Evaluation neighbour_eval = ws.evaluate(neighbour);
     const double neighbour_energy = energy(neighbour_eval);
 
     const double delta = neighbour_energy - current_energy;

@@ -4,8 +4,11 @@
 #include <unordered_set>
 #include <utility>
 
+#ifdef RTS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 #include "ga/operators.hpp"
-#include "sched/timing.hpp"
 #include "util/distributions.hpp"
 #include "util/error.hpp"
 
@@ -18,24 +21,15 @@ struct Individual {
   Evaluation eval;
 };
 
-Evaluation evaluate_chromosome(const TaskGraph& graph, const Platform& platform,
-                               const Matrix<double>& costs, const Chromosome& chrom,
-                               const Matrix<double>* duration_stddev, double kappa) {
-  const Schedule schedule = decode(chrom, platform.proc_count());
-  const ScheduleTiming timing = compute_schedule_timing(graph, platform, schedule, costs);
-  Evaluation eval{timing.makespan, timing.average_slack, 0.0};
-  if (duration_stddev != nullptr) {
-    // Effective slack: credit per task capped at kappa * sigma on its
-    // assigned processor — surplus slack cannot absorb more delay than the
-    // task's uncertainty can produce.
-    double sum = 0.0;
-    for (std::size_t t = 0; t < timing.slack.size(); ++t) {
-      const auto p = static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t)));
-      sum += std::min(timing.slack[t], kappa * (*duration_stddev)(t, p));
-    }
-    eval.effective_slack = sum / static_cast<double>(timing.slack.size());
-  }
-  return eval;
+/// Threads actually used by the population-evaluation loop.
+std::size_t resolve_eval_threads(const GaConfig& config) {
+#ifdef RTS_HAVE_OPENMP
+  return config.threads > 0 ? config.threads
+                            : static_cast<std::size_t>(omp_get_max_threads());
+#else
+  (void)config;
+  return 1;
+#endif
 }
 
 /// Fisher-Yates shuffle driven by our deterministic Rng.
@@ -50,7 +44,8 @@ void shuffle_indices(std::vector<std::size_t>& idx, Rng& rng) {
 
 GaResult run_ga(const TaskGraph& graph, const Platform& platform,
                 const Matrix<double>& costs, const GaConfig& config,
-                const GaObserver& observer, const Matrix<double>* duration_stddev) {
+                const GaObserver& observer, const Matrix<double>* duration_stddev,
+                EvalWorkspacePool* scratch) {
   RTS_REQUIRE(config.population_size >= 2, "population size must be at least 2");
   RTS_REQUIRE(config.crossover_prob >= 0.0 && config.crossover_prob <= 1.0,
               "crossover probability outside [0,1]");
@@ -75,6 +70,41 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
   const std::size_t proc_count = platform.proc_count();
   Rng rng(config.seed);
 
+  // Evaluation workspaces: one per thread, owned by the caller's pool when
+  // provided (service workers reuse the grown capacity across jobs).
+  EvalWorkspacePool local_pool;
+  EvalWorkspacePool& pool = scratch != nullptr ? *scratch : local_pool;
+  pool.bind(graph, platform, costs, duration_stddev, config.effective_slack_kappa);
+  const std::size_t eval_threads = resolve_eval_threads(config);
+  pool.reserve(std::max<std::size_t>(1, eval_threads));
+
+  // Evaluate the listed individuals, in parallel when it pays. Results land
+  // in the dense population array and every evaluation is a pure function of
+  // its chromosome, so the outcome is bit-identical for any thread count.
+  const auto evaluate_many = [&](std::vector<Individual>& individuals,
+                                 const std::vector<std::size_t>& which) {
+#ifdef RTS_HAVE_OPENMP
+    if (eval_threads > 1 && which.size() > 1) {
+      const auto total = static_cast<std::int64_t>(which.size());
+#pragma omp parallel num_threads(static_cast<int>(eval_threads))
+      {
+        EvalWorkspace& ws =
+            pool.workspace(static_cast<std::size_t>(omp_get_thread_num()));
+#pragma omp for schedule(static)
+        for (std::int64_t k = 0; k < total; ++k) {
+          Individual& ind = individuals[which[static_cast<std::size_t>(k)]];
+          ind.eval = ws.evaluate(ind.chrom);
+        }
+      }
+      return;
+    }
+#endif
+    EvalWorkspace& ws = pool.workspace(0);
+    for (const std::size_t i : which) {
+      individuals[i].eval = ws.evaluate(individuals[i].chrom);
+    }
+  };
+
   // HEFT supplies both the ε-constraint bound M_HEFT and (optionally) one
   // seed chromosome (Section 4.2.2).
   const ListScheduleResult heft = heft_schedule(graph, platform, costs);
@@ -85,9 +115,7 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
   if (config.seed_with_heft) {
     Chromosome c = encode_schedule(graph, platform, heft.schedule, costs);
     seen.insert(chromosome_hash(c));
-    Evaluation e = evaluate_chromosome(graph, platform, costs, c, duration_stddev,
-                                       config.effective_slack_kappa);
-    pop.push_back(Individual{std::move(c), e});
+    pop.push_back(Individual{std::move(c), Evaluation{}});
   }
   // Uniqueness-checked random fill; on tiny search spaces (few tasks and
   // processors) distinct chromosomes may run out, so duplicates are admitted
@@ -98,10 +126,11 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
     Chromosome c = random_chromosome(graph, proc_count, rng);
     const std::uint64_t h = chromosome_hash(c);
     if (!seen.insert(h).second && rejections++ < max_rejections) continue;
-    Evaluation e = evaluate_chromosome(graph, platform, costs, c, duration_stddev,
-                                       config.effective_slack_kappa);
-    pop.push_back(Individual{std::move(c), e});
+    pop.push_back(Individual{std::move(c), Evaluation{}});
   }
+  std::vector<std::size_t> eval_idx(np);
+  for (std::size_t i = 0; i < np; ++i) eval_idx[i] = i;
+  evaluate_many(pop, eval_idx);
 
   // Best-so-far tracking (elitism keeps it monotone, matching the paper's
   // "quality of the best solution is monotonically increasing").
@@ -115,20 +144,24 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
   Individual best = pop[best_idx];
 
   std::vector<GaIterationRecord> history;
-  const auto record = [&](std::size_t iteration) {
+  // `force` records regardless of the stride — used for the terminal
+  // iteration, whichever stopping rule produced it, so the history always
+  // ends at iterations_run and plots are never silently truncated. The
+  // dedupe guard keeps a stride-aligned final iteration from appearing twice.
+  const auto record = [&](std::size_t iteration, bool force) {
     if (config.history_stride == 0) return;
-    if (iteration % config.history_stride != 0 &&
-        iteration != config.max_iterations) {
-      return;
-    }
+    if (!force && iteration % config.history_stride != 0) return;
+    if (!history.empty() && history.back().iteration == iteration) return;
     const GaIterationRecord rec{iteration, best.eval.makespan, best.eval.avg_slack};
     history.push_back(rec);
     if (observer) observer(rec, best.chrom);
   };
-  record(0);
+  record(0, false);
 
   std::vector<std::size_t> idx(np);
   std::vector<Evaluation> evals(np);
+  std::vector<std::size_t> dirty_idx;
+  dirty_idx.reserve(np);
   std::size_t stagnation = 0;
   std::size_t iterations_run = 0;
 
@@ -190,13 +223,12 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
       }
     }
 
-    // --- Evaluate the changed individuals.
+    // --- Evaluate the changed individuals (in parallel; see evaluate_many).
+    dirty_idx.clear();
     for (std::size_t i = 0; i < np; ++i) {
-      if (dirty[i]) {
-        next[i].eval = evaluate_chromosome(graph, platform, costs, next[i].chrom,
-                                           duration_stddev, config.effective_slack_kappa);
-      }
+      if (dirty[i]) dirty_idx.push_back(i);
     }
+    evaluate_many(next, dirty_idx);
 
     // --- Elitism: the weakest newcomer makes room for the best-so-far.
     if (config.elitism) {
@@ -221,9 +253,12 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
     }
     stagnation = improved ? 0 : stagnation + 1;
     pop = std::move(next);
-    record(iter);
+    record(iter, iter == config.max_iterations);
     if (stagnation >= config.stagnation_window) break;
   }
+  // A stagnation break above skips the stride filter's max_iterations
+  // special case; force-record so history.back().iteration == iterations_run.
+  record(iterations_run, true);
 
   return GaResult{best.chrom,    best.eval,      decode(best.chrom, proc_count),
                   heft.makespan, iterations_run, std::move(history)};

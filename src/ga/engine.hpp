@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "ga/chromosome.hpp"
+#include "ga/eval.hpp"
 #include "ga/fitness.hpp"
 #include "sched/heft.hpp"
 #include "util/matrix.hpp"
@@ -41,6 +42,11 @@ struct GaConfig {
   /// earns at most kappa * sigma of slack credit
   /// (kEpsilonConstraintEffective only).
   double effective_slack_kappa = 3.0;
+  /// Threads for the population-evaluation loop; 0 = the OpenMP default
+  /// (all hardware threads). Pure performance knob: results are
+  /// bit-identical for any value (dense result array, serial reduction —
+  /// same contract as MonteCarloConfig::threads).
+  std::size_t threads = 0;
 };
 
 /// Snapshot of the best-so-far individual at one recorded iteration.
@@ -73,9 +79,15 @@ using GaObserver =
 /// for the kEpsilonConstraintEffective objective: the standard deviation of
 /// task i's realized duration on processor p (see core/stochastic.hpp).
 /// Required for that objective, ignored by the others.
+///
+/// `scratch` (optional) supplies the evaluation workspaces; the run rebinds
+/// the pool to this problem and grows it to its thread count. Long-lived
+/// callers (the scheduling service's workers) pass one pool per worker so
+/// capacity is reused across jobs; pass nullptr for a run-local pool.
 GaResult run_ga(const TaskGraph& graph, const Platform& platform,
                 const Matrix<double>& costs, const GaConfig& config,
                 const GaObserver& observer = nullptr,
-                const Matrix<double>* duration_stddev = nullptr);
+                const Matrix<double>* duration_stddev = nullptr,
+                EvalWorkspacePool* scratch = nullptr);
 
 }  // namespace rts

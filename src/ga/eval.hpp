@@ -1,0 +1,114 @@
+#pragma once
+// Reusable evaluation workspaces for the metaheuristic hot loops.
+//
+// Every solver in src/ga/ scores candidates the same way: decode the
+// chromosome, compile the disjunctive graph Gs, run the forward/backward
+// timing sweeps, and (for the stochastic objective) fold per-task slack
+// through the kappa*sigma cap. Doing that from scratch re-allocates a dozen
+// buffers per evaluation even though the (graph, platform, costs) triple is
+// fixed for the whole run — at the paper's GA budget (population 100 x 1000
+// generations, Section 4.2) construction dominates the runtime.
+//
+// EvalWorkspace amortizes all of it: it owns a TimingEvaluator that is
+// rebuilt in place per candidate (sched/timing.hpp) plus the duration and
+// timing scratch, so a steady-state evaluation performs zero allocations.
+// EvalWorkspacePool hands one workspace to each OpenMP thread of the GA's
+// parallel population evaluation and lets the service layer reuse the
+// workspaces (and their grown capacity) across jobs.
+//
+// Determinism contract: evaluate() is a pure function of the bound inputs
+// and the candidate — no RNG, no shared mutable state between workspaces —
+// so a population evaluated in parallel into a dense result array is
+// bit-identical for every thread count (same contract as
+// sim::evaluate_robustness).
+
+#include <memory>
+#include <vector>
+
+#include "ga/chromosome.hpp"
+#include "ga/fitness.hpp"
+#include "sched/timing.hpp"
+#include "util/matrix.hpp"
+
+namespace rts {
+
+/// One thread's reusable evaluation state for a fixed
+/// (graph, platform, costs[, stddev]) binding.
+class EvalWorkspace {
+ public:
+  /// Unbound; bind() before use.
+  EvalWorkspace() = default;
+
+  /// `duration_stddev` (optional, n x m) enables the effective-slack
+  /// computation: each task contributes min(slack, kappa * sigma) instead of
+  /// its raw slack (kEpsilonConstraintEffective objective).
+  EvalWorkspace(const TaskGraph& graph, const Platform& platform,
+                const Matrix<double>& costs,
+                const Matrix<double>* duration_stddev = nullptr,
+                double effective_slack_kappa = 0.0);
+
+  /// (Re)bind to a problem, keeping all buffer capacity. The referenced
+  /// objects must outlive every subsequent evaluate() call.
+  void bind(const TaskGraph& graph, const Platform& platform,
+            const Matrix<double>& costs,
+            const Matrix<double>* duration_stddev = nullptr,
+            double effective_slack_kappa = 0.0);
+
+  [[nodiscard]] bool bound() const noexcept { return costs_ != nullptr; }
+
+  /// Score one chromosome: expected makespan, average slack, and (when bound
+  /// with a stddev matrix) effective slack. Allocation-free at steady state.
+  Evaluation evaluate(const Chromosome& chromosome);
+
+  /// Same for an explicit schedule (HEFT seeds, service re-scoring).
+  Evaluation evaluate(const Schedule& schedule);
+
+  /// Full timing of the most recent evaluate() call (valid until the next).
+  [[nodiscard]] const ScheduleTiming& last_timing() const noexcept { return timing_; }
+
+ private:
+  Evaluation finish(std::span<const ProcId> assignment);
+
+  const Matrix<double>* costs_ = nullptr;
+  const Matrix<double>* stddev_ = nullptr;
+  double kappa_ = 0.0;
+  TimingEvaluator evaluator_;
+  std::vector<double> durations_;
+  ScheduleTiming timing_;
+};
+
+/// A growable set of EvalWorkspaces, one per evaluating thread. Rebinding to
+/// a new problem keeps every workspace's capacity, so a long-lived service
+/// worker stops paying construction costs after its first few jobs.
+class EvalWorkspacePool {
+ public:
+  /// (Re)bind every existing workspace and remember the binding for
+  /// workspaces created later by reserve().
+  void bind(const TaskGraph& graph, const Platform& platform,
+            const Matrix<double>& costs,
+            const Matrix<double>* duration_stddev = nullptr,
+            double effective_slack_kappa = 0.0);
+
+  /// Grow to at least `count` bound workspaces. Not thread-safe: size the
+  /// pool before entering a parallel region.
+  void reserve(std::size_t count);
+
+  /// Workspace of thread `index` (< size()). References stay stable across
+  /// reserve() calls.
+  [[nodiscard]] EvalWorkspace& workspace(std::size_t index);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workspaces_.size(); }
+
+ private:
+  struct Binding {
+    const TaskGraph* graph = nullptr;
+    const Platform* platform = nullptr;
+    const Matrix<double>* costs = nullptr;
+    const Matrix<double>* stddev = nullptr;
+    double kappa = 0.0;
+  };
+  Binding binding_;
+  std::vector<std::unique_ptr<EvalWorkspace>> workspaces_;
+};
+
+}  // namespace rts

@@ -43,13 +43,25 @@ std::vector<double> generation_fitness(std::span<const Evaluation> evals,
       min_feasible = std::min(min_feasible, objective_value(e));
     }
   }
+  // Eqn. 8's infeasible branch, min_feasible * bound / M0, collapses when
+  // the weakest feasible objective value is 0 (common early under a tight
+  // ε, where the only feasible individual is the zero-slack HEFT seed):
+  // every infeasible individual then scores exactly 0 no matter how large
+  // its violation, erasing the selection gradient. We use the algebraically
+  // identical form  min_feasible - scale * (1 - bound / M0)  with the scale
+  // floored away from 0, so infeasible fitness always sits strictly below
+  // every feasible value and still decreases with the violation M0.
+  constexpr double kInfeasibleScaleFloor = 1e-3;  // in units of the bound
+  const double infeasible_scale =
+      std::max(min_feasible, kInfeasibleScaleFloor * bound);
   for (std::size_t i = 0; i < evals.size(); ++i) {
     if (evals[i].makespan <= bound) {
       fitness[i] = objective_value(evals[i]);  // Eqn. 8, feasible branch
     } else if (any_feasible) {
       // Eqn. 8, infeasible branch: scaled below the weakest feasible
       // individual, shrinking with the violation (bound / M0 < 1).
-      fitness[i] = min_feasible * bound / evals[i].makespan;
+      fitness[i] =
+          min_feasible - infeasible_scale * (1.0 - bound / evals[i].makespan);
     } else {
       // Fallback (no feasible individual this generation): rank purely by
       // constraint violation; converges to Eqn. 8 once one appears.

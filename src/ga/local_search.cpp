@@ -2,21 +2,14 @@
 
 #include <algorithm>
 
+#include "ga/eval.hpp"
 #include "ga/operators.hpp"
 #include "sched/heft.hpp"
-#include "sched/timing.hpp"
 #include "util/error.hpp"
 
 namespace rts {
 
 namespace {
-
-Evaluation evaluate(const TaskGraph& graph, const Platform& platform,
-                    const Matrix<double>& costs, const Chromosome& chrom) {
-  const Schedule schedule = decode(chrom, platform.proc_count());
-  const ScheduleTiming timing = compute_schedule_timing(graph, platform, schedule, costs);
-  return Evaluation{timing.makespan, timing.average_slack, 0.0};
-}
 
 /// True when `candidate` improves on `incumbent` under the bound.
 bool improves(const Evaluation& candidate, const Evaluation& incumbent, double bound) {
@@ -43,10 +36,14 @@ LocalSearchResult run_slack_local_search(const TaskGraph& graph,
   const ListScheduleResult heft = heft_schedule(graph, platform, costs);
   const double bound = config.epsilon * heft.makespan;
 
+  // The neighbourhood scan scores O(n * m) candidates per pass; one reusable
+  // workspace keeps that loop allocation-free.
+  EvalWorkspace ws(graph, platform, costs);
+
   Chromosome current = config.seed_with_heft
                            ? encode_schedule(graph, platform, heft.schedule, costs)
                            : random_chromosome(graph, m, rng);
-  Evaluation current_eval = evaluate(graph, platform, costs, current);
+  Evaluation current_eval = ws.evaluate(current);
 
   LocalSearchResult result{current, current_eval,
                            decode(current, m), heft.makespan, 1, 0};
@@ -69,7 +66,7 @@ LocalSearchResult run_slack_local_search(const TaskGraph& graph,
       for (std::size_t p = 0; p < m; ++p) {
         if (static_cast<ProcId>(p) == original_proc) continue;
         current.assignment[ti] = static_cast<ProcId>(p);
-        const Evaluation candidate = evaluate(graph, platform, costs, current);
+        const Evaluation candidate = ws.evaluate(current);
         ++result.evaluations;
         if (improves(candidate, current_eval, bound)) {
           current_eval = candidate;
@@ -91,7 +88,7 @@ LocalSearchResult run_slack_local_search(const TaskGraph& graph,
         if (target == original_pos) continue;
         current.order.insert(current.order.begin() + static_cast<std::ptrdiff_t>(target),
                              t);
-        const Evaluation candidate = evaluate(graph, platform, costs, current);
+        const Evaluation candidate = ws.evaluate(current);
         ++result.evaluations;
         if (improves(candidate, current_eval, bound)) {
           current_eval = candidate;

@@ -5,9 +5,9 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "ga/eval.hpp"
 #include "ga/operators.hpp"
 #include "sched/heft.hpp"
-#include "sched/timing.hpp"
 #include "util/distributions.hpp"
 #include "util/error.hpp"
 
@@ -19,13 +19,6 @@ bool dominates_eval(const Evaluation& a, const Evaluation& b) {
   const bool no_worse = a.makespan <= b.makespan && a.avg_slack >= b.avg_slack;
   const bool better = a.makespan < b.makespan || a.avg_slack > b.avg_slack;
   return no_worse && better;
-}
-
-Evaluation evaluate(const TaskGraph& graph, const Platform& platform,
-                    const Matrix<double>& costs, const Chromosome& chrom) {
-  const Schedule schedule = decode(chrom, platform.proc_count());
-  const ScheduleTiming timing = compute_schedule_timing(graph, platform, schedule, costs);
-  return Evaluation{timing.makespan, timing.average_slack, 0.0};
 }
 
 void shuffle_indices(std::vector<std::size_t>& idx, Rng& rng) {
@@ -125,16 +118,21 @@ Nsga2Result run_nsga2(const TaskGraph& graph, const Platform& platform,
 
   const ListScheduleResult heft = heft_schedule(graph, platform, costs);
 
+  // One reusable workspace scores every candidate of the run (the offspring
+  // loop interleaves evaluation with the RNG-driven operators, so it stays
+  // serial; see ga/eval.hpp).
+  EvalWorkspace ws(graph, platform, costs);
+
   std::vector<Individual> pop;
   pop.reserve(np);
   if (config.seed_with_heft) {
     Chromosome c = encode_schedule(graph, platform, heft.schedule, costs);
-    Evaluation e = evaluate(graph, platform, costs, c);
+    Evaluation e = ws.evaluate(c);
     pop.push_back(Individual{std::move(c), e});
   }
   while (pop.size() < np) {
     Chromosome c = random_chromosome(graph, proc_count, rng);
-    Evaluation e = evaluate(graph, platform, costs, c);
+    Evaluation e = ws.evaluate(c);
     pop.push_back(Individual{std::move(c), e});
   }
 
@@ -187,10 +185,10 @@ Nsga2Result run_nsga2(const TaskGraph& graph, const Platform& platform,
         if (sample_bernoulli(rng, config.mutation_prob)) {
           mutate(cb, graph, proc_count, rng);
         }
-        Evaluation ea = evaluate(graph, platform, costs, ca);
+        Evaluation ea = ws.evaluate(ca);
         offspring.push_back(Individual{std::move(ca), ea});
         if (offspring.size() < np) {
-          Evaluation eb = evaluate(graph, platform, costs, cb);
+          Evaluation eb = ws.evaluate(cb);
           offspring.push_back(Individual{std::move(cb), eb});
         }
       }

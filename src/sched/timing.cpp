@@ -6,85 +6,155 @@
 
 namespace rts {
 
+TimingEvaluator::TimingEvaluator(const TaskGraph& graph, const Platform& platform)
+    : graph_(&graph), platform_(&platform), n_(graph.task_count()) {}
+
 TimingEvaluator::TimingEvaluator(const TaskGraph& graph, const Platform& platform,
                                  const Schedule& schedule)
-    : n_(graph.task_count()) {
+    : TimingEvaluator(graph, platform) {
+  rebuild(schedule);
+}
+
+void TimingEvaluator::bind(const TaskGraph& graph, const Platform& platform) {
+  graph_ = &graph;
+  platform_ = &platform;
+  n_ = graph.task_count();
+  compiled_ = false;
+}
+
+void TimingEvaluator::rebuild(const Schedule& schedule) {
+  RTS_REQUIRE(graph_ != nullptr, "evaluator is unbound; bind() a graph first");
   RTS_REQUIRE(schedule.task_count() == n_, "schedule size does not match graph");
-  RTS_REQUIRE(schedule.proc_count() <= platform.proc_count(),
+  RTS_REQUIRE(schedule.proc_count() <= platform_->proc_count(),
               "schedule uses more processors than the platform provides");
+  proc_pred_scratch_.resize(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    proc_pred_scratch_[t] = schedule.proc_predecessor(static_cast<TaskId>(t));
+  }
+  compile(schedule.assignment(), proc_pred_scratch_);
+}
+
+void TimingEvaluator::rebuild(std::span<const TaskId> order,
+                              std::span<const ProcId> assignment) {
+  RTS_REQUIRE(graph_ != nullptr, "evaluator is unbound; bind() a graph first");
+  RTS_REQUIRE(order.size() == n_, "order length must equal task count");
+  RTS_REQUIRE(assignment.size() == n_, "assignment length must equal task count");
+  const std::size_t m = platform_->proc_count();
+  // Per-processor predecessor of every task: the previous task of the same
+  // processor in `order`. pos_ (inverse permutation; n_ marks unseen) rejects
+  // duplicated ids and later validates precedence.
+  last_on_proc_.assign(m, kNoTask);
+  proc_pred_scratch_.assign(n_, kNoTask);
+  pos_.assign(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const TaskId tid = order[i];
+    const auto t = static_cast<std::size_t>(tid);
+    RTS_REQUIRE(t < n_, "order references a task outside the graph");
+    RTS_REQUIRE(pos_[t] == n_, "order lists a task twice");
+    pos_[t] = i;
+    const auto p = static_cast<std::size_t>(assignment[t]);
+    RTS_REQUIRE(p < m, "assignment references a processor outside the platform");
+    proc_pred_scratch_[t] = last_on_proc_[p];
+    last_on_proc_[p] = tid;
+  }
+  build_pred_csr(assignment, proc_pred_scratch_);
+
+  // `order` is itself a topological order of Gs iff every Gs edge points
+  // forward in it (proc edges do by construction), so the hot chromosome
+  // path validates in one O(E) scan and skips Kahn's sort entirely. Any
+  // valid topological order yields bit-identical sweeps: max/+ over the
+  // same operands is exact, so finish/bottom-level values do not depend on
+  // the processing order of independent tasks.
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
+      RTS_REQUIRE(pos_[static_cast<std::size_t>(pred_task_[k])] < pos_[t],
+                  "schedule sequences contradict the precedence constraints (cyclic Gs)");
+    }
+  }
+  topo_.assign(order.begin(), order.end());
+  compiled_ = true;
+}
+
+void TimingEvaluator::build_pred_csr(std::span<const ProcId> proc_of,
+                                     std::span<const TaskId> proc_pred) {
+  compiled_ = false;
+  const TaskGraph& graph = *graph_;
+  const Platform& platform = *platform_;
 
   // Gs adjacency = graph edges (costs via assigned processors) plus one
   // zero-cost edge from each task's processor predecessor, unless that
   // predecessor is already a graph predecessor (Def. 3.1: E' excludes E).
-  std::vector<std::vector<std::pair<TaskId, double>>> preds(n_);
+  // Built straight into CSR — counting pass, prefix sum, fill pass — so the
+  // flat arrays are the only storage and a rebuild reuses their capacity.
+  pred_off_.assign(n_ + 1, 0);
   for (std::size_t t = 0; t < n_; ++t) {
     const auto tid = static_cast<TaskId>(t);
-    const ProcId pt = schedule.proc_of(tid);
+    std::size_t deg = graph.predecessors(tid).size();
+    const TaskId pp = proc_pred[t];
+    if (pp != kNoTask && !graph.has_edge(pp, tid)) ++deg;
+    pred_off_[t + 1] = pred_off_[t] + deg;
+  }
+  pred_task_.resize(pred_off_[n_]);
+  pred_cost_.resize(pred_off_[n_]);
+  for (std::size_t t = 0; t < n_; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    const ProcId pt = proc_of[t];
+    std::size_t k = pred_off_[t];
     for (const EdgeRef& e : graph.predecessors(tid)) {
-      const double cost = platform.comm_cost(e.data, schedule.proc_of(e.task), pt);
-      preds[t].emplace_back(e.task, cost);
+      pred_task_[k] = e.task;
+      pred_cost_[k] =
+          platform.comm_cost(e.data, proc_of[static_cast<std::size_t>(e.task)], pt);
+      ++k;
     }
-    const TaskId pp = schedule.proc_predecessor(tid);
+    const TaskId pp = proc_pred[t];
     if (pp != kNoTask && !graph.has_edge(pp, tid)) {
-      preds[t].emplace_back(pp, 0.0);
+      pred_task_[k] = pp;
+      pred_cost_[k] = 0.0;
+    }
+  }
+}
+
+void TimingEvaluator::compile(std::span<const ProcId> proc_of,
+                              std::span<const TaskId> proc_pred) {
+  build_pred_csr(proc_of, proc_pred);
+
+  // Successor id mirror, needed only for Kahn's traversal here (the sweeps
+  // run on the predecessor CSR alone).
+  succ_off_.assign(n_ + 1, 0);
+  for (const TaskId p : pred_task_) ++succ_off_[static_cast<std::size_t>(p) + 1];
+  for (std::size_t t = 0; t < n_; ++t) succ_off_[t + 1] += succ_off_[t];
+  succ_task_.resize(pred_task_.size());
+  fill_.assign(succ_off_.begin(), succ_off_.end() - 1);
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
+      const auto p = static_cast<std::size_t>(pred_task_[k]);
+      succ_task_[fill_[p]] = static_cast<TaskId>(t);
+      ++fill_[p];
     }
   }
 
-  // Kahn over Gs; also detects schedules inconsistent with precedence.
-  std::vector<std::size_t> indeg(n_);
-  std::vector<std::vector<TaskId>> succ_ids(n_);
-  for (std::size_t t = 0; t < n_; ++t) {
-    indeg[t] = preds[t].size();
-    for (const auto& [p, cost] : preds[t]) {
-      succ_ids[static_cast<std::size_t>(p)].push_back(static_cast<TaskId>(t));
-    }
-  }
+  // Kahn over the CSR; also detects schedules inconsistent with precedence.
+  indeg_.assign(n_, 0);
+  for (std::size_t t = 0; t < n_; ++t) indeg_[t] = pred_off_[t + 1] - pred_off_[t];
+  topo_.clear();
   topo_.reserve(n_);
-  std::vector<TaskId> stack;
+  stack_.clear();
   for (std::size_t t = 0; t < n_; ++t) {
-    if (indeg[t] == 0) stack.push_back(static_cast<TaskId>(t));
+    if (indeg_[t] == 0) stack_.push_back(static_cast<TaskId>(t));
   }
-  while (!stack.empty()) {
-    const TaskId t = stack.back();
-    stack.pop_back();
+  while (!stack_.empty()) {
+    const TaskId t = stack_.back();
+    stack_.pop_back();
     topo_.push_back(t);
-    for (const TaskId s : succ_ids[static_cast<std::size_t>(t)]) {
-      if (--indeg[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+    const auto ti = static_cast<std::size_t>(t);
+    for (std::size_t k = succ_off_[ti]; k < succ_off_[ti + 1]; ++k) {
+      const TaskId s = succ_task_[k];
+      if (--indeg_[static_cast<std::size_t>(s)] == 0) stack_.push_back(s);
     }
   }
   RTS_REQUIRE(topo_.size() == n_,
               "schedule sequences contradict the precedence constraints (cyclic Gs)");
-
-  // Flatten to CSR (preds and the mirrored succs with identical costs).
-  pred_off_.assign(n_ + 1, 0);
-  succ_off_.assign(n_ + 1, 0);
-  for (std::size_t t = 0; t < n_; ++t) {
-    pred_off_[t + 1] = pred_off_[t] + preds[t].size();
-  }
-  pred_task_.resize(pred_off_[n_]);
-  pred_cost_.resize(pred_off_[n_]);
-  std::vector<std::size_t> succ_counts(n_, 0);
-  for (std::size_t t = 0; t < n_; ++t) {
-    std::size_t k = pred_off_[t];
-    for (const auto& [p, cost] : preds[t]) {
-      pred_task_[k] = p;
-      pred_cost_[k] = cost;
-      ++k;
-      ++succ_counts[static_cast<std::size_t>(p)];
-    }
-  }
-  for (std::size_t t = 0; t < n_; ++t) succ_off_[t + 1] = succ_off_[t] + succ_counts[t];
-  succ_task_.resize(succ_off_[n_]);
-  succ_cost_.resize(succ_off_[n_]);
-  std::vector<std::size_t> fill(succ_off_.begin(), succ_off_.end() - 1);
-  for (std::size_t t = 0; t < n_; ++t) {
-    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
-      const auto p = static_cast<std::size_t>(pred_task_[k]);
-      succ_task_[fill[p]] = static_cast<TaskId>(t);
-      succ_cost_[fill[p]] = pred_cost_[k];
-      ++fill[p];
-    }
-  }
+  compiled_ = true;
 }
 
 double TimingEvaluator::makespan(std::span<const double> durations) const {
@@ -94,6 +164,7 @@ double TimingEvaluator::makespan(std::span<const double> durations) const {
 
 double TimingEvaluator::makespan_into(std::span<const double> durations,
                                       std::span<double> scratch_finish) const {
+  RTS_REQUIRE(compiled_, "evaluator has no compiled schedule; rebuild() first");
   RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
   RTS_REQUIRE(scratch_finish.size() >= n_, "scratch buffer too small");
   double ms = 0.0;
@@ -112,12 +183,21 @@ double TimingEvaluator::makespan_into(std::span<const double> durations,
 }
 
 ScheduleTiming TimingEvaluator::full_timing(std::span<const double> durations) const {
-  RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
   ScheduleTiming out;
+  full_timing_into(durations, out);
+  return out;
+}
+
+void TimingEvaluator::full_timing_into(std::span<const double> durations,
+                                       ScheduleTiming& out) const {
+  RTS_REQUIRE(compiled_, "evaluator has no compiled schedule; rebuild() first");
+  RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
   out.start.assign(n_, 0.0);
   out.finish.assign(n_, 0.0);
   out.bottom_level.assign(n_, 0.0);
   out.slack.assign(n_, 0.0);
+  out.makespan = 0.0;
+  out.average_slack = 0.0;
 
   // Forward sweep: start time == top level Tl(i) (longest entry->i path,
   // node i excluded), finish = Tl(i) + duration.
@@ -134,15 +214,19 @@ ScheduleTiming TimingEvaluator::full_timing(std::span<const double> durations) c
   }
 
   // Backward sweep: Bl(i) = duration(i) + max over Gs successors of
-  // (edge cost + Bl(succ)); exit tasks have Bl = duration.
+  // (edge cost + Bl(succ)); exit tasks have Bl = duration. Runs on the
+  // predecessor CSR: when task t is finalized in reverse topological order,
+  // its tail contribution is pushed up into each predecessor's accumulator
+  // (bottom_level doubles as the accumulator — every successor of p is
+  // finalized before p is reached).
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     const auto t = static_cast<std::size_t>(*it);
-    double tail = 0.0;
-    for (std::size_t k = succ_off_[t]; k < succ_off_[t + 1]; ++k) {
-      tail = std::max(tail,
-                      succ_cost_[k] + out.bottom_level[static_cast<std::size_t>(succ_task_[k])]);
+    const double bl = out.bottom_level[t] + durations[t];
+    out.bottom_level[t] = bl;
+    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
+      const auto p = static_cast<std::size_t>(pred_task_[k]);
+      out.bottom_level[p] = std::max(out.bottom_level[p], pred_cost_[k] + bl);
     }
-    out.bottom_level[t] = durations[t] + tail;
   }
 
   double slack_sum = 0.0;
@@ -153,7 +237,6 @@ ScheduleTiming TimingEvaluator::full_timing(std::span<const double> durations) c
     slack_sum += out.slack[t];
   }
   out.average_slack = slack_sum / static_cast<double>(n_);
-  return out;
 }
 
 std::vector<double> assigned_durations(const Matrix<double>& costs, const Schedule& schedule) {

@@ -14,6 +14,12 @@
 // is fixed, and the paper does not vary transfer rates), so re-evaluating
 // thousands of Monte-Carlo duration realizations is a single O(V+E) sweep
 // each with no allocation.
+//
+// For solver hot loops the *schedule* changes on every evaluation while the
+// (graph, platform) pair stays fixed: rebuild() recompiles Gs in place,
+// reusing the CSR/topological-order buffers of the previous compile, so a
+// GA evaluating millions of chromosomes performs no steady-state allocation
+// (see ga/eval.hpp for the workspace that packages this pattern).
 
 #include <span>
 #include <vector>
@@ -35,15 +41,41 @@ struct ScheduleTiming {
   double average_slack = 0.0;        ///< sigma bar (Eqn. 3)
 };
 
-/// Reusable evaluator for one (graph, platform, schedule) triple.
+/// Reusable evaluator for one (graph, platform) pair; compiles the
+/// disjunctive graph Gs of one schedule at a time.
 class TimingEvaluator {
  public:
+  /// Unbound evaluator; bind() + rebuild() before use. Exists so workspaces
+  /// can hold evaluators by value and rebind them without losing capacity.
+  TimingEvaluator() = default;
+
+  /// Bound but not yet compiled; call rebuild() before evaluating.
+  TimingEvaluator(const TaskGraph& graph, const Platform& platform);
+
   /// Compiles the disjunctive graph. Throws InvalidArgument when the
   /// schedule contradicts the graph's precedence constraints (cyclic Gs).
   TimingEvaluator(const TaskGraph& graph, const Platform& platform,
                   const Schedule& schedule);
 
+  /// Point at a (possibly different) graph/platform pair, keeping every
+  /// internal buffer's capacity. Invalidates the current compile; rebuild()
+  /// before evaluating.
+  void bind(const TaskGraph& graph, const Platform& platform);
+
+  /// Recompile Gs for a new schedule in place — no allocation once the
+  /// buffers have grown to the graph's size. Throws InvalidArgument when the
+  /// schedule contradicts precedence (cyclic Gs).
+  void rebuild(const Schedule& schedule);
+
+  /// Same, from a global execution order plus a per-task processor
+  /// assignment (the GA chromosome encoding) without materializing a
+  /// Schedule: each processor's sequence is its tasks in `order` order.
+  void rebuild(std::span<const TaskId> order, std::span<const ProcId> assignment);
+
   [[nodiscard]] std::size_t task_count() const noexcept { return n_; }
+
+  /// True once rebuild() has compiled a schedule for the current binding.
+  [[nodiscard]] bool compiled() const noexcept { return compiled_; }
 
   /// Makespan only (fast path for Monte-Carlo realizations).
   /// `durations[i]` is the duration of task i on its assigned processor.
@@ -57,22 +89,45 @@ class TimingEvaluator {
   /// Full timing: start/finish, bottom levels, per-task slack, average slack.
   [[nodiscard]] ScheduleTiming full_timing(std::span<const double> durations) const;
 
+  /// Same, writing into caller-owned buffers (resized as needed, capacity
+  /// kept) so repeated full evaluations perform no steady-state allocation.
+  void full_timing_into(std::span<const double> durations, ScheduleTiming& out) const;
+
   /// Topological order of the disjunctive graph used by the sweeps.
   [[nodiscard]] std::span<const TaskId> gs_topological_order() const noexcept {
     return topo_;
   }
 
  private:
-  std::size_t n_;
+  /// Build the predecessor CSR of Gs (shared by both rebuild paths);
+  /// proc_of/proc_pred describe the processor placement and per-processor
+  /// predecessor of every task. Leaves the evaluator uncompiled.
+  void build_pred_csr(std::span<const ProcId> proc_of, std::span<const TaskId> proc_pred);
+
+  /// Full compile for an arbitrary placement: pred CSR + Kahn topological
+  /// sort (the chromosome path in rebuild(order, assignment) skips Kahn —
+  /// the order is validated and adopted directly).
+  void compile(std::span<const ProcId> proc_of, std::span<const TaskId> proc_pred);
+
+  const TaskGraph* graph_ = nullptr;
+  const Platform* platform_ = nullptr;
+  std::size_t n_ = 0;
+  bool compiled_ = false;
   std::vector<TaskId> topo_;  // topological order of Gs
   // CSR predecessor adjacency of Gs with precomputed edge costs.
   std::vector<std::size_t> pred_off_;
   std::vector<TaskId> pred_task_;
   std::vector<double> pred_cost_;
-  // CSR successor adjacency (for bottom levels).
+  // Successor-id mirror, used only by Kahn's sort in compile().
   std::vector<std::size_t> succ_off_;
   std::vector<TaskId> succ_task_;
-  std::vector<double> succ_cost_;
+  // Compile scratch, reused across rebuilds.
+  std::vector<std::size_t> indeg_;
+  std::vector<std::size_t> fill_;
+  std::vector<std::size_t> pos_;  // inverse permutation of `order`
+  std::vector<TaskId> stack_;
+  std::vector<TaskId> proc_pred_scratch_;
+  std::vector<TaskId> last_on_proc_;
 };
 
 /// Extract per-task durations on assigned processors from an n x m cost

@@ -38,8 +38,14 @@ SchedulerService::SchedulerService(const SchedulerServiceConfig& config)
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  pool_ = std::make_unique<WorkerPool>(
-      workers, queue_, [this](QueuedJob&& job) { handle_job(std::move(job)); });
+  worker_scratch_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    worker_scratch_.push_back(std::make_unique<EvalWorkspacePool>());
+  }
+  pool_ = std::make_unique<WorkerPool>(workers, queue_,
+                                       [this](QueuedJob&& job, std::size_t widx) {
+                                         handle_job(std::move(job), widx);
+                                       });
 }
 
 SchedulerService::~SchedulerService() { shutdown(); }
@@ -93,7 +99,7 @@ void SchedulerService::resolve(std::promise<JobResult>& promise, JobResult&& res
   promise.set_value(std::move(result));
 }
 
-void SchedulerService::handle_job(QueuedJob&& job) {
+void SchedulerService::handle_job(QueuedJob&& job, std::size_t worker_index) {
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_ms = [start] {
     return std::chrono::duration<double, std::milli>(
@@ -154,8 +160,12 @@ void SchedulerService::handle_job(QueuedJob&& job) {
   std::string error;
   SolveSummary summary;
   try {
+    // Reuse this worker's evaluation workspaces across jobs: the pool keeps
+    // its grown buffer capacity, so steady-state solves allocate nothing in
+    // the GA hot loop. Only this thread ever touches the entry.
     const RobustScheduleOutcome outcome =
-        robust_schedule(*job.request.problem, job.request.config);
+        robust_schedule(*job.request.problem, job.request.config,
+                        worker_scratch_[worker_index].get());
     if (check_mode_enabled()) {
       // RTS_CHECK debug mode: re-validate both schedules at the service
       // boundary, independently of the core pipeline's own check. A violation

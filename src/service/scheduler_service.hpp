@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ga/eval.hpp"
 #include "service/job.hpp"
 #include "service/job_queue.hpp"
 #include "service/result_cache.hpp"
@@ -81,7 +82,7 @@ class SchedulerService {
     std::vector<std::pair<std::uint64_t, std::promise<JobResult>>> followers;
   };
 
-  void handle_job(QueuedJob&& job) RTS_EXCLUDES(mutex_);
+  void handle_job(QueuedJob&& job, std::size_t worker_index) RTS_EXCLUDES(mutex_);
   void resolve(std::promise<JobResult>& promise, JobResult&& result)
       RTS_EXCLUDES(mutex_);
 
@@ -105,6 +106,12 @@ class SchedulerService {
   std::uint64_t completed_ RTS_GUARDED_BY(mutex_) = 0;
   std::uint64_t failed_ RTS_GUARDED_BY(mutex_) = 0;
   std::size_t in_flight_ RTS_GUARDED_BY(mutex_) = 0;
+
+  /// Per-worker solver scratch (evaluation-workspace pools), indexed by the
+  /// worker index WorkerPool hands to handle_job. Each entry is touched only
+  /// by its worker thread, so no locking — and the grown buffer capacity is
+  /// reused across that worker's jobs instead of reallocated per solve.
+  std::vector<std::unique_ptr<EvalWorkspacePool>> worker_scratch_;
 
   /// Last member: workers must stop before any other member is destroyed.
   std::unique_ptr<WorkerPool> pool_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "service/result_cache.hpp"
+#include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace rts {
@@ -28,8 +29,21 @@ struct ServiceStats {
 
 /// Thread-safe accumulator of completed-job latencies; snapshots compute the
 /// p50/p95/max quantiles on demand.
+///
+/// Memory is bounded: after `capacity` samples the recorder switches to
+/// reservoir sampling (Vitter's Algorithm R), so a long-lived service holds
+/// at most `capacity` doubles no matter how many jobs it completes. The
+/// quantiles therefore become *estimates* once the reservoir is full —
+/// uniformly sampled, so p50/p95 stay unbiased with error shrinking as
+/// 1/sqrt(capacity) — while `max` is tracked exactly on the side. The
+/// replacement stream is driven by a fixed-seed rts::Rng: the same latency
+/// sequence yields the same snapshot on every run (see docs/service.md).
 class LatencyRecorder {
  public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit LatencyRecorder(std::size_t capacity = kDefaultCapacity);
+
   void record(double latency_ms) RTS_EXCLUDES(mutex_);
 
   struct Quantiles {
@@ -39,9 +53,16 @@ class LatencyRecorder {
   };
   [[nodiscard]] Quantiles snapshot() const RTS_EXCLUDES(mutex_);
 
+  /// Total samples ever recorded (not the reservoir occupancy).
+  [[nodiscard]] std::uint64_t count() const RTS_EXCLUDES(mutex_);
+
  private:
+  std::size_t capacity_;
   mutable Mutex mutex_;
-  std::vector<double> samples_ RTS_GUARDED_BY(mutex_);
+  std::vector<double> samples_ RTS_GUARDED_BY(mutex_);  ///< the reservoir
+  std::uint64_t count_ RTS_GUARDED_BY(mutex_) = 0;
+  double max_ RTS_GUARDED_BY(mutex_) = 0.0;  ///< exact running maximum
+  Rng rng_ RTS_GUARDED_BY(mutex_);
 };
 
 }  // namespace rts

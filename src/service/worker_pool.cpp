@@ -11,9 +11,9 @@ WorkerPool::WorkerPool(std::size_t worker_count, JobQueue& queue, JobHandler han
   const LockGuard lock(join_mutex_);
   threads_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
-    threads_.emplace_back([this] {
+    threads_.emplace_back([this, i] {
       while (auto job = queue_.pop()) {
-        handler_(std::move(*job));
+        handler_(std::move(*job), i);
       }
     });
   }

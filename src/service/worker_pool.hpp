@@ -18,7 +18,11 @@ namespace rts {
 
 class WorkerPool {
  public:
-  using JobHandler = std::function<void(QueuedJob&&)>;
+  /// Invoked with the job and the index (< worker_count) of the worker
+  /// thread running it. The index is stable for the thread's lifetime, so
+  /// handlers can key per-worker scratch state (e.g. the scheduler service's
+  /// evaluation-workspace pools) without locking.
+  using JobHandler = std::function<void(QueuedJob&&, std::size_t worker_index)>;
 
   /// Spawn `worker_count` threads (>= 1) draining `queue`. The handler is
   /// invoked concurrently from multiple threads and must be thread-safe; it

@@ -46,14 +46,18 @@ CriticalityReport analyze_criticality(const ProblemInstance& instance,
 #pragma omp parallel
 #endif
   {
+    // Per-thread scratch: the duration sample and the full-timing buffers
+    // are reused across this thread's realizations (full_timing_into keeps
+    // capacity), so the sweep performs no steady-state allocation.
     std::vector<double> durations(n);
+    ScheduleTiming timing;
 #ifdef RTS_HAVE_OPENMP
 #pragma omp for schedule(static)
 #endif
     for (std::int64_t i = 0; i < total; ++i) {
       Rng rng = root.substream(static_cast<std::uint64_t>(i));
       sampler.sample(rng, durations);
-      const ScheduleTiming timing = evaluator.full_timing(durations);
+      evaluator.full_timing_into(durations, timing);
       const double tol = config.float_tolerance * timing.makespan;
       std::uint64_t count = 0;
       for (std::size_t t = 0; t < n; ++t) {

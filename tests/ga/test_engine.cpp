@@ -272,6 +272,70 @@ TEST(GaEngine, StddevMatrixIgnoredByOtherObjectives) {
   EXPECT_EQ(plain.best, with_stddev.best);
 }
 
+TEST(GaEngine, BitIdenticalAcrossEvaluationThreadCounts) {
+  // config.threads is a pure performance knob: the population-evaluation
+  // loop writes into a dense array from per-thread workspaces and reduces
+  // serially, so every field of the result must match bit-for-bit.
+  const auto instance = testing::small_instance(40, 4, 2.0, 16);
+  GaConfig config = fast_config();
+  config.history_stride = 1;
+  config.threads = 1;
+  const auto ref =
+      run_ga(instance.graph, instance.platform, instance.expected, config);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    config.threads = threads;
+    const auto got =
+        run_ga(instance.graph, instance.platform, instance.expected, config);
+    EXPECT_EQ(got.best, ref.best) << threads << " threads";
+    EXPECT_EQ(got.best_eval.makespan, ref.best_eval.makespan);
+    EXPECT_EQ(got.best_eval.avg_slack, ref.best_eval.avg_slack);
+    EXPECT_EQ(got.best_eval.effective_slack, ref.best_eval.effective_slack);
+    EXPECT_EQ(got.best_schedule, ref.best_schedule);
+    EXPECT_EQ(got.heft_makespan, ref.heft_makespan);
+    EXPECT_EQ(got.iterations, ref.iterations);
+    ASSERT_EQ(got.history.size(), ref.history.size());
+    for (std::size_t i = 0; i < ref.history.size(); ++i) {
+      EXPECT_EQ(got.history[i].iteration, ref.history[i].iteration);
+      EXPECT_EQ(got.history[i].best_makespan, ref.history[i].best_makespan);
+      EXPECT_EQ(got.history[i].best_avg_slack, ref.history[i].best_avg_slack);
+    }
+  }
+}
+
+TEST(GaEngine, BitIdenticalWithCallerProvidedWorkspacePool) {
+  // A reused (service-worker) pool carries buffer capacity across runs but
+  // must never leak state into the results.
+  const auto instance = testing::small_instance(30, 4, 2.0, 17);
+  const auto ref =
+      run_ga(instance.graph, instance.platform, instance.expected, fast_config());
+  EvalWorkspacePool pool;
+  for (int round = 0; round < 2; ++round) {
+    const auto got = run_ga(instance.graph, instance.platform, instance.expected,
+                            fast_config(), nullptr, nullptr, &pool);
+    EXPECT_EQ(got.best, ref.best) << "round " << round;
+    EXPECT_EQ(got.best_eval.makespan, ref.best_eval.makespan);
+    EXPECT_EQ(got.iterations, ref.iterations);
+  }
+}
+
+TEST(GaEngine, StagnationExitStillRecordsTerminalIteration) {
+  // Regression: a stagnation break used to skip the final history record
+  // when the terminal iteration missed the stride, so plots silently ended
+  // at the last stride-aligned point instead of where the run stopped.
+  const auto instance = testing::small_instance(20, 2, 2.0, 7);
+  GaConfig config = fast_config();
+  config.max_iterations = 5000;
+  config.stagnation_window = 20;
+  config.history_stride = 1000;  // almost certainly misses the exit iteration
+  const auto result =
+      run_ga(instance.graph, instance.platform, instance.expected, config);
+  ASSERT_LT(result.iterations, 5000u);
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_EQ(result.history.back().iteration, result.iterations);
+  EXPECT_EQ(result.history.back().best_makespan, result.best_eval.makespan);
+  EXPECT_EQ(result.history.back().best_avg_slack, result.best_eval.avg_slack);
+}
+
 TEST(GaEngine, ElitismAblationStillValid) {
   const auto instance = testing::small_instance(30, 4, 2.0, 15);
   GaConfig config = fast_config();

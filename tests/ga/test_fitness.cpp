@@ -61,6 +61,36 @@ TEST(Fitness, EpsilonConstraintAllInfeasibleFallback) {
   EXPECT_DOUBLE_EQ(f[1], 100.0 / 300.0);
 }
 
+TEST(Fitness, InfeasiblePenaltyKeepsGradientWhenBestFeasibleSlackIsZero) {
+  // Regression: with Eqn. 8's literal scale (min feasible fitness), a
+  // generation whose only feasible individuals have zero slack collapsed
+  // every infeasible fitness to 0 — tied with the feasible individuals and
+  // with each other, so selection lost all pressure toward feasibility.
+  const std::vector<Evaluation> evals{
+      {100.0, 0.0},  // feasible on the boundary, zero slack
+      {150.0, 5.0},  // infeasible
+      {300.0, 5.0},  // more infeasible
+  };
+  const auto f =
+      generation_fitness(evals, ObjectiveKind::kEpsilonConstraint, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  // Infeasible stays strictly below feasible and still decreases with M0.
+  EXPECT_LT(f[1], f[0]);
+  EXPECT_LT(f[2], f[1]);
+}
+
+TEST(Fitness, InfeasibleNeverOutranksAnyFeasible) {
+  // The floored penalty scale must not push a barely-infeasible individual
+  // above a zero-slack feasible one.
+  const std::vector<Evaluation> evals{
+      {100.0, 0.0},       // feasible, zero slack
+      {100.0 + 1e-6, 9.0} // infinitesimally infeasible, huge slack
+  };
+  const auto f =
+      generation_fitness(evals, ObjectiveKind::kEpsilonConstraint, 1.0, 100.0);
+  EXPECT_LT(f[1], f[0]);
+}
+
 TEST(Fitness, EpsilonConstraintRequiresPositiveReferences) {
   const std::vector<Evaluation> evals{{1.0, 1.0}};
   EXPECT_THROW(generation_fitness(evals, ObjectiveKind::kEpsilonConstraint, 0.0, 100.0),

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "../test_helpers.hpp"
+#include "ga/chromosome.hpp"
 #include "graph/disjunctive.hpp"
 #include "graph/topology.hpp"
 #include "sched/random_scheduler.hpp"
@@ -242,6 +243,74 @@ TEST_P(TimingCrossValidation, SlackInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TimingCrossValidation,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Timing, RebuildMatchesFreshConstructionAcrossRandomSchedules) {
+  // The in-place rebuild paths (Schedule-based and order/assignment-based)
+  // must be bit-identical to a freshly constructed evaluator: same CSR
+  // content, and any valid topological order yields the exact same sweep
+  // results because max/+ over identical operands is exact.
+  const auto instance = testing::small_instance(60, 4, 2.0, 11);
+  const std::size_t n = instance.task_count();
+  Rng rng(99);
+  TimingEvaluator reused(instance.graph, instance.platform);
+  TimingEvaluator from_chrom(instance.graph, instance.platform);
+  ScheduleTiming reused_timing;
+  ScheduleTiming chrom_timing;
+  for (int i = 0; i < 50; ++i) {
+    const Chromosome c = random_chromosome(instance.graph, 4, rng);
+    const Schedule schedule = decode(c, 4);
+    const std::vector<double> durations =
+        assigned_durations(instance.expected, schedule);
+
+    const TimingEvaluator fresh(instance.graph, instance.platform, schedule);
+    const ScheduleTiming expected = fresh.full_timing(durations);
+
+    reused.rebuild(schedule);
+    reused.full_timing_into(durations, reused_timing);
+    from_chrom.rebuild(c.order, c.assignment);
+    from_chrom.full_timing_into(durations, chrom_timing);
+
+    for (const ScheduleTiming* got : {&reused_timing, &chrom_timing}) {
+      EXPECT_EQ(got->makespan, expected.makespan) << "schedule " << i;
+      EXPECT_EQ(got->average_slack, expected.average_slack) << "schedule " << i;
+      ASSERT_EQ(got->slack.size(), n);
+      for (std::size_t t = 0; t < n; ++t) {
+        EXPECT_EQ(got->start[t], expected.start[t]);
+        EXPECT_EQ(got->finish[t], expected.finish[t]);
+        EXPECT_EQ(got->bottom_level[t], expected.bottom_level[t]);
+        EXPECT_EQ(got->slack[t], expected.slack[t]);
+      }
+    }
+  }
+}
+
+TEST(Timing, RebuildRejectsMalformedOrder) {
+  const TaskGraph g = testing::chain3(4.0);
+  const Platform platform(2, 1.0);
+  const std::vector<ProcId> assignment{0, 1, 0};
+  TimingEvaluator evaluator(g, platform);
+
+  const std::vector<TaskId> valid{0, 1, 2};
+  evaluator.rebuild(valid, assignment);
+  EXPECT_TRUE(evaluator.compiled());
+
+  const std::vector<TaskId> twice{0, 0, 2};  // duplicates 0, drops 1
+  EXPECT_THROW(evaluator.rebuild(twice, assignment), InvalidArgument);
+
+  const std::vector<TaskId> reversed{2, 1, 0};  // contradicts 0 -> 1 -> 2
+  EXPECT_THROW(evaluator.rebuild(reversed, assignment), InvalidArgument);
+
+  EXPECT_THROW(TimingEvaluator().rebuild(valid, assignment), InvalidArgument);
+}
+
+TEST(Timing, UncompiledEvaluatorRefusesToEvaluate) {
+  const auto instance = testing::small_instance(10, 2, 2.0, 13);
+  const TimingEvaluator bound(instance.graph, instance.platform);
+  EXPECT_FALSE(bound.compiled());
+  const std::vector<double> durations(instance.task_count(), 1.0);
+  EXPECT_THROW(bound.makespan(durations), InvalidArgument);
+  EXPECT_THROW(bound.full_timing(durations), InvalidArgument);
+}
 
 }  // namespace
 }  // namespace rts

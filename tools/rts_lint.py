@@ -19,6 +19,13 @@ docs/testing.md, "Static analysis"):
   no-sleep-in-tests  std::this_thread::sleep_for/until in tests/ —
                      sleep-based synchronization is flaky by construction;
                      use condition variables, futures or joins.
+  no-evaluator-in-loop
+                     TimingEvaluator construction (or the one-shot
+                     compute_schedule_timing/compute_makespan helpers, which
+                     construct one internally) inside a loop body in src/ga/
+                     — solver hot loops must hoist an EvalWorkspace
+                     (ga/eval.hpp) or a TimingEvaluator and rebuild() per
+                     candidate instead of paying construction each iteration.
 
 Escape hatch: a `// rts-lint: allow(<rule>)` comment on the offending line,
 or alone on the line directly above it, suppresses that rule for that line
@@ -46,16 +53,63 @@ ALLOW_RE = re.compile(r"rts-lint:\s*allow\(([A-Za-z0-9_-]+)\)")
 
 class Rule:
     """One lint rule: a regex over comment/string-stripped code lines plus a
-    path predicate selecting the files it applies to."""
+    path predicate selecting the files it applies to. Rules with
+    needs_loop=True only fire when the match sits inside a loop body (as
+    tracked by LoopTracker)."""
 
-    def __init__(self, name, message, pattern, applies):
+    def __init__(self, name, message, pattern, applies, needs_loop=False):
         self.name = name
         self.message = message
         self.pattern = re.compile(pattern)
         self.applies = applies  # callable: (parts: tuple of path components, path: Path) -> bool
+        self.needs_loop = needs_loop
 
     def matches(self, stripped_line):
         return bool(self.pattern.search(stripped_line))
+
+
+LOOP_TOKEN_RE = re.compile(r"\bfor\b|\bwhile\b|\bdo\b|[(){};]")
+
+
+class LoopTracker:
+    """Approximate "am I inside a loop body" state over stripped code.
+
+    Tracks brace nesting, remembering for each open brace whether it opened a
+    for/while/do body; a pending loop header without braces counts as a loop
+    body until the statement's terminating ';' (semicolons inside the header's
+    parentheses are ignored). Heuristic by design — macros that open braces
+    can confuse it; use the allow() escape hatch there."""
+
+    def __init__(self):
+        self.stack = []  # one bool per open brace: loop body?
+        self.pending = False  # loop header seen, body not yet entered
+        self.paren = 0
+
+    def copy(self):
+        t = LoopTracker()
+        t.stack = list(self.stack)
+        t.pending = self.pending
+        t.paren = self.paren
+        return t
+
+    def in_loop(self):
+        return self.pending or any(self.stack)
+
+    def feed(self, tok):
+        if tok in ("for", "while", "do"):
+            self.pending = True
+        elif tok == "(":
+            self.paren += 1
+        elif tok == ")":
+            self.paren = max(0, self.paren - 1)
+        elif tok == "{":
+            self.stack.append(self.pending)
+            self.pending = False
+        elif tok == "}":
+            if self.stack:
+                self.stack.pop()
+        elif tok == ";" and self.paren == 0:
+            self.pending = False  # end of a braceless loop body
 
 
 def _in_dir(parts, name):
@@ -106,6 +160,15 @@ RULES = [
         "sleep-based synchronization in a test; use cond-vars/futures/joins",
         r"\bsleep_for\s*\(|\bsleep_until\s*\(",
         lambda parts, path: _in_dir(parts, "tests"),
+    ),
+    Rule(
+        "no-evaluator-in-loop",
+        "evaluator constructed inside a loop; hoist an EvalWorkspace "
+        "(ga/eval.hpp) and rebuild() per candidate",
+        r"\bTimingEvaluator\b(?:\s+\w+)?\s*[({]|\bTimingEvaluator\s*>\s*\("
+        r"|\bcompute_(?:schedule_timing|makespan)\s*\(",
+        lambda parts, path: "src" in parts and "ga" in parts,
+        needs_loop=True,
     ),
 ]
 
@@ -179,14 +242,30 @@ def lint_text(path, text, parts=None):
                 )
 
     prev_raw = ""
+    tracker = LoopTracker()
     for lineno, code, raw in strip_code(lines):
         allow = allowed_rules(raw) | allowed_rules(prev_raw)
         prev_raw = raw
         for rule in active:
             if rule.name in allow:
                 continue
-            if rule.matches(code):
-                findings.append((path, lineno, rule.name, rule.message))
+            if not rule.needs_loop:
+                if rule.matches(code):
+                    findings.append((path, lineno, rule.name, rule.message))
+                continue
+            # Contextual rule: fire only when a match position is inside a
+            # loop body, judged by the tracker state just before the match.
+            for m in rule.pattern.finditer(code):
+                state = tracker.copy()
+                for tok in LOOP_TOKEN_RE.finditer(code):
+                    if tok.start() >= m.start():
+                        break
+                    state.feed(tok.group())
+                if state.in_loop():
+                    findings.append((path, lineno, rule.name, rule.message))
+                    break
+        for tok in LOOP_TOKEN_RE.finditer(code):
+            tracker.feed(tok.group())
     return findings
 
 
@@ -240,6 +319,22 @@ SELFTEST = [
     ("no-sleep-in-tests", "tests/service/test_service.cpp",
      "std::this_thread::sleep_for(std::chrono::milliseconds(50));",
      "worker.join();"),
+    ("no-evaluator-in-loop", "src/ga/annealing.cpp",
+     "for (std::size_t i = 0; i < n; ++i) {\n"
+     "  const TimingEvaluator ev(graph, platform, schedules[i]);\n"
+     "}",
+     "TimingEvaluator ev(graph, platform);\n"
+     "for (std::size_t i = 0; i < n; ++i) {\n"
+     "  ev.rebuild(schedules[i]);\n"
+     "}"),
+    ("no-evaluator-in-loop", "src/ga/local_search.cpp",
+     "while (improved) {\n"
+     "  const double ms = compute_makespan(graph, platform, current, costs);\n"
+     "}",
+     "EvalWorkspace ws(graph, platform, costs);\n"
+     "while (improved) {\n"
+     "  const double ms = ws.evaluate(current).makespan;\n"
+     "}"),
 ]
 
 
@@ -275,6 +370,16 @@ def run_self_test():
         ("no-iostream-in-lib", "src/util/log.cpp", "std::clog << msg;"),
         ("no-sleep-in-tests", "bench/micro_ga_ops.cpp",
          "std::this_thread::sleep_for(tick);"),
+        # The evaluator rule polices solver hot loops only: one-shot
+        # construction in a loop is legitimate elsewhere (tests, tools,
+        # the Monte-Carlo path sized by realizations not candidates).
+        ("no-evaluator-in-loop", "src/sim/criticality.cpp",
+         "for (auto& s : schedules) {\n  TimingEvaluator ev(g, p, s);\n}"),
+        ("no-evaluator-in-loop", "tests/ga/test_engine.cpp",
+         "for (auto& s : schedules) {\n  TimingEvaluator ev(g, p, s);\n}"),
+        # ...and outside loop bodies it never fires, even in src/ga/.
+        ("no-evaluator-in-loop", "src/ga/engine.cpp",
+         "TimingEvaluator ev(graph, platform, schedule);"),
     ]
     for rule, vpath, text in scoped:
         path = Path(vpath)
