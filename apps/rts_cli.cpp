@@ -6,6 +6,8 @@
 //   info      print the statistics of a problem file
 //   schedule  schedule a problem file with a chosen algorithm
 //   evaluate  Monte-Carlo robustness report of a schedule on a problem
+//   resched   Monte-Carlo comparison of online rescheduling (with optional
+//             probabilistic task dropping) against the one-shot plan
 //   sweep     map the ε-frontier of a problem file (GA per ε + Monte-Carlo)
 //
 // Typical session:
@@ -42,6 +44,11 @@ commands:
             [--out FILE] [--gantt] [--svg FILE] [--json FILE]
   evaluate  --problem FILE --schedule FILE [--realizations N] [--seed S]
             [--threads N] [--criticality] [--json FILE]
+  resched   --problem FILE [--schedule FILE] [--oversub L]
+            [--trigger slack|deadline|cadence] [--slack T] [--cadence N]
+            [--max-resolves R] [--drop never|deadline-infeasible|probabilistic]
+            [--min-prob P] [--mc-samples K] [--drop-cap F] [--cold] [--validate]
+            [--realizations N] [--seed S] [--threads N] [--json FILE]
   sweep     --problem FILE [--eps-max 2.0] [--eps-step 0.2] [--iters N]
             [--realizations N] [--seed S] [--csv FILE]
 )";
@@ -260,6 +267,123 @@ int cmd_evaluate(const Options& opts) {
   return 0;
 }
 
+int cmd_resched(const Options& opts) {
+  ProblemInstance instance = load_problem_file(require_opt(opts, "problem"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+  // Deadline-free problem files get synthetic deadlines: each task's HEFT
+  // finish time divided by the oversubscription level (workload/deadlines.hpp).
+  if (!instance.has_deadlines()) {
+    DeadlineParams params;
+    params.oversubscription = opts.get_double("oversub", 1.5);
+    Rng rng(seed ^ 0xd11eul);
+    assign_deadlines(instance, params, rng);
+    std::cout << "no deadlines in problem file: assigned at oversubscription "
+              << format_fixed(params.oversubscription, 2) << "\n";
+  }
+
+  Schedule plan = [&] {
+    const std::string path = opts.get_string("schedule", "");
+    if (path.empty()) {
+      return heft_schedule(instance.graph, instance.platform, instance.expected)
+          .schedule;
+    }
+    std::ifstream file(path);
+    RTS_REQUIRE(file.good(), "cannot open schedule file: " + path);
+    return load_schedule(file);
+  }();
+
+  ReschedConfig config;
+  const std::string trigger = opts.get_string("trigger", "deadline");
+  if (trigger == "slack") {
+    config.trigger = TriggerKind::kSlackExhaustion;
+  } else if (trigger == "deadline") {
+    config.trigger = TriggerKind::kDeadlineRisk;
+  } else if (trigger == "cadence") {
+    config.trigger = TriggerKind::kCadence;
+  } else {
+    std::cerr << "unknown trigger: " << trigger << "\n";
+    return usage();
+  }
+  config.slack_threshold = opts.get_double("slack", 0.05);
+  config.cadence = static_cast<std::size_t>(opts.get_int("cadence", 10));
+  config.max_resolves = static_cast<std::size_t>(opts.get_int("max-resolves", 3));
+  const std::string drop = opts.get_string("drop", "probabilistic");
+  if (drop == "never") {
+    config.drop = DropPolicyKind::kNever;
+  } else if (drop == "deadline-infeasible") {
+    config.drop = DropPolicyKind::kDeadlineInfeasible;
+  } else if (drop == "probabilistic") {
+    config.drop = DropPolicyKind::kProbabilistic;
+  } else {
+    std::cerr << "unknown drop policy: " << drop << "\n";
+    return usage();
+  }
+  config.drop_params.min_completion_prob = opts.get_double("min-prob", 0.25);
+  config.drop_params.mc_samples =
+      static_cast<std::size_t>(opts.get_int("mc-samples", 32));
+  config.drop_fraction_cap = opts.get_double("drop-cap", 0.25);
+  config.drop_seed = seed ^ 0xd309ul;
+  config.ga.seed = seed;
+  config.warm_start = !opts.get_bool("cold", false);
+  config.validate = opts.get_bool("validate", false);
+
+  ReschedEvalConfig mc;
+  mc.realizations = static_cast<std::size_t>(opts.get_int("realizations", 50));
+  mc.seed = seed ^ 0x4d43ul;
+  mc.threads = static_cast<std::size_t>(opts.get_int("threads", 0));
+
+  // One-shot baseline: the same replay machinery with rescheduling and
+  // dropping disabled, so the comparison isolates the online loop's effect.
+  ReschedConfig baseline = config;
+  baseline.max_resolves = 0;
+  baseline.drop = DropPolicyKind::kNever;
+  const ReschedEvalReport base = evaluate_resched(instance, plan, baseline, mc);
+  const ReschedEvalReport online = evaluate_resched(instance, plan, config, mc);
+
+  std::cout << "trigger " << to_string(config.trigger) << ", drop "
+            << to_string(config.drop) << ", "
+            << (config.warm_start ? "warm" : "cold") << " GA restarts\n";
+  ResultTable table({"metric", "one-shot", "resched"});
+  table.begin_row()
+      .add("mean realized makespan")
+      .add(base.mean_makespan)
+      .add(online.mean_makespan);
+  table.begin_row()
+      .add("deadline miss rate")
+      .add(base.deadline_miss_rate, 4)
+      .add(online.deadline_miss_rate, 4);
+  table.begin_row()
+      .add("mean value accrued")
+      .add(base.mean_value_accrued)
+      .add(online.mean_value_accrued);
+  table.begin_row()
+      .add("value possible")
+      .add(base.value_possible)
+      .add(online.value_possible);
+  table.begin_row()
+      .add("mean dropped tasks")
+      .add(base.mean_dropped, 2)
+      .add(online.mean_dropped, 2);
+  table.begin_row()
+      .add("mean re-solves")
+      .add(base.mean_resolves, 2)
+      .add(online.mean_resolves, 2);
+  table.begin_row()
+      .add("mean GA generations")
+      .add(base.mean_ga_iterations, 1)
+      .add(online.mean_ga_iterations, 1);
+  table.write_pretty(std::cout);
+
+  const std::string json = opts.get_string("json", "");
+  if (!json.empty()) {
+    save_json_file(json, "{\"one_shot\":" + resched_report_to_json(base) +
+                             ",\"resched\":" + resched_report_to_json(online) + "}");
+    std::cout << "report JSON written to " << json << "\n";
+  }
+  return 0;
+}
+
 int cmd_sweep(const Options& opts) {
   const ProblemInstance instance = load_problem_file(require_opt(opts, "problem"));
   const double eps_max = opts.get_double("eps-max", 2.0);
@@ -317,6 +441,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(opts);
     if (command == "schedule") return cmd_schedule(opts);
     if (command == "evaluate") return cmd_evaluate(opts);
+    if (command == "resched") return cmd_resched(opts);
     if (command == "sweep") return cmd_sweep(opts);
     std::cerr << "unknown command: " << command << "\n";
     return usage();

@@ -19,6 +19,10 @@ std::string_view to_string(FaultClass fault) noexcept {
     case FaultClass::kStartEarly: return "start-early";
     case FaultClass::kMakespanInflated: return "makespan-inflated";
     case FaultClass::kSlackPerturbed: return "slack-perturbed";
+    case FaultClass::kFreezeLeak: return "freeze-leak";
+    case FaultClass::kDropLeak: return "drop-leak";
+    case FaultClass::kDroppedNotTail: return "dropped-not-tail";
+    case FaultClass::kRemainingTooEarly: return "remaining-too-early";
   }
   return "unknown";
 }
@@ -26,7 +30,9 @@ std::string_view to_string(FaultClass fault) noexcept {
 std::vector<FaultClass> all_fault_classes() {
   return {FaultClass::kSwapDependentPair, FaultClass::kSwapIndependentPair,
           FaultClass::kStartLate,         FaultClass::kStartEarly,
-          FaultClass::kMakespanInflated,  FaultClass::kSlackPerturbed};
+          FaultClass::kMakespanInflated,  FaultClass::kSlackPerturbed,
+          FaultClass::kFreezeLeak,        FaultClass::kDropLeak,
+          FaultClass::kDroppedNotTail,    FaultClass::kRemainingTooEarly};
 }
 
 bool SelfTestReport::all_caught() const noexcept {
@@ -54,6 +60,15 @@ SelfTestCase record(FaultClass fault, const ValidationReport& report,
 std::vector<std::vector<TaskId>> copy_sequences(const Schedule& schedule) {
   const auto spans = schedule.sequences();
   return {spans.begin(), spans.end()};
+}
+
+Schedule build_from_sequences(std::size_t task_count,
+                              const std::vector<std::vector<TaskId>>& sequences) {
+  ScheduleBuilder builder(task_count, sequences.size());
+  for (std::size_t p = 0; p < sequences.size(); ++p) {
+    for (const TaskId t : sequences[p]) builder.append(static_cast<ProcId>(p), t);
+  }
+  return std::move(builder).build();
 }
 
 }  // namespace
@@ -98,7 +113,7 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
                    std::find(order.begin(), order.end(), v));
     std::vector<std::vector<TaskId>> sequences(platform.proc_count());
     sequences[0] = std::move(order);
-    const Schedule mutated(n, std::move(sequences));
+    const Schedule mutated = build_from_sequences(n, sequences);
     std::vector<double> single_proc_durations(n);
     for (std::size_t t = 0; t < n; ++t) {
       single_proc_durations[t] = instance.expected(t, 0);
@@ -132,7 +147,7 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
     const TaskId a = (*seq)[k], b = (*seq)[k + 1];
     std::swap((*seq)[k], (*seq)[k + 1]);
     const auto proc = static_cast<ProcId>(seq - sequences.begin());
-    const Schedule mutated(n, std::move(sequences));
+    const Schedule mutated = build_from_sequences(n, sequences);
     std::ostringstream note;
     note << "swapped adjacent tasks " << a << ", " << b << " on processor " << proc
          << " while keeping the original timing";
@@ -208,6 +223,144 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
         record(FaultClass::kSlackPerturbed,
                validator.validate_timing(heft.schedule, durations, claimed),
                note.str()));
+  }
+
+  // ---- Partial-schedule mode (validate_partial) fault classes ----
+  // Baseline partial: split the HEFT execution at the midpoint between the
+  // earliest and latest start. Started tasks freeze at their history (with
+  // realized == expected durations), the latest-starting live task and its
+  // descendants are dropped, everything else remains; sequences are rebuilt
+  // frozen..., remaining..., dropped... preserving relative order.
+  const double t_min = *std::min_element(timing.start.begin(), timing.start.end());
+  const double t_max = *std::max_element(timing.start.begin(), timing.start.end());
+  RTS_ENSURE(t_max > t_min, "self-test needs staggered start times");
+  const double decision = 0.5 * (t_min + t_max);
+
+  std::vector<std::uint8_t> frozen(n, 0);
+  std::vector<std::uint8_t> dropped(n, 0);
+  std::vector<double> frozen_start(n, 0.0);
+  std::vector<double> frozen_finish(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (timing.start[t] <= decision) {
+      frozen[t] = 1;
+      frozen_start[t] = timing.start[t];
+      frozen_finish[t] = timing.finish[t];
+    }
+  }
+  const auto drop_seed = static_cast<TaskId>(
+      std::max_element(timing.start.begin(), timing.start.end()) -
+      timing.start.begin());
+  std::vector<TaskId> stack{drop_seed};
+  while (!stack.empty()) {
+    const TaskId d = stack.back();
+    stack.pop_back();
+    auto& flag = dropped[static_cast<std::size_t>(d)];
+    if (flag != 0) continue;
+    flag = 1;
+    for (const EdgeRef& e : graph.successors(d)) stack.push_back(e.task);
+  }
+
+  const auto rebuild_partial_sequences =
+      [&](const std::vector<std::uint8_t>& fr, const std::vector<std::uint8_t>& dr) {
+        std::vector<std::vector<TaskId>> sequences(platform.proc_count());
+        for (std::size_t p = 0; p < platform.proc_count(); ++p) {
+          const auto seq = heft.schedule.sequence(static_cast<ProcId>(p));
+          for (const int phase : {0, 1, 2}) {
+            for (const TaskId t : seq) {
+              const auto ti = static_cast<std::size_t>(t);
+              const int task_phase = fr[ti] != 0 ? 0 : (dr[ti] != 0 ? 2 : 1);
+              if (task_phase == phase) sequences[p].push_back(t);
+            }
+          }
+        }
+        return sequences;
+      };
+
+  PartialSchedule base{build_from_sequences(n, rebuild_partial_sequences(frozen, dropped)),
+                       frozen, dropped, frozen_start, frozen_finish, decision};
+  std::vector<double> pdur(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    pdur[t] = base.dropped[t] != 0 ? 0.0 : durations[t];
+  }
+  const ScheduleTiming partial_claimed =
+      partial_timing(graph, platform, base, pdur);
+  RTS_ENSURE(validator.validate_partial(base, pdur, &partial_claimed).ok(),
+             "self-test baseline: the unmutated partial schedule failed validation");
+
+  // The edge used by the closure faults.
+  TaskId eu = kNoTask, ev = kNoTask;
+  for (std::size_t t = 0; t < n && eu == kNoTask; ++t) {
+    const auto succs = graph.successors(static_cast<TaskId>(t));
+    if (!succs.empty()) {
+      eu = static_cast<TaskId>(t);
+      ev = succs.front().task;
+    }
+  }
+
+  // kFreezeLeak — freeze the edge head while unfreezing its predecessor.
+  {
+    PartialSchedule mutated = base;
+    mutated.frozen[static_cast<std::size_t>(eu)] = 0;
+    mutated.frozen[static_cast<std::size_t>(ev)] = 1;
+    mutated.dropped[static_cast<std::size_t>(ev)] = 0;
+    std::ostringstream note;
+    note << "froze task " << ev << " while unfreezing its predecessor " << eu;
+    report.cases.push_back(record(FaultClass::kFreezeLeak,
+                                  validator.validate_partial(mutated, pdur), note.str()));
+  }
+
+  // kDropLeak — drop the edge tail but keep its successor alive.
+  {
+    PartialSchedule mutated = base;
+    mutated.dropped[static_cast<std::size_t>(eu)] = 1;
+    mutated.frozen[static_cast<std::size_t>(eu)] = 0;
+    mutated.dropped[static_cast<std::size_t>(ev)] = 0;
+    std::ostringstream note;
+    note << "dropped task " << eu << " while keeping its successor " << ev;
+    report.cases.push_back(record(FaultClass::kDropLeak,
+                                  validator.validate_partial(mutated, pdur), note.str()));
+  }
+
+  // kDroppedNotTail — move a dropped placeholder ahead of live work.
+  {
+    std::vector<std::vector<TaskId>> sequences = rebuild_partial_sequences(frozen, dropped);
+    for (auto& seq : sequences) {
+      seq.erase(std::remove(seq.begin(), seq.end(), drop_seed), seq.end());
+    }
+    auto host = std::find_if(sequences.begin(), sequences.end(), [&](const auto& seq) {
+      return !seq.empty() && dropped[static_cast<std::size_t>(seq.front())] == 0;
+    });
+    RTS_ENSURE(host != sequences.end(),
+               "self-test needs a processor with live work to park the drop on");
+    host->insert(host->begin(), drop_seed);
+    PartialSchedule mutated{build_from_sequences(n, sequences), frozen, dropped,
+                            frozen_start, frozen_finish, decision};
+    std::ostringstream note;
+    note << "moved dropped task " << drop_seed << " ahead of live work on processor "
+         << (host - sequences.begin());
+    report.cases.push_back(record(FaultClass::kDroppedNotTail,
+                                  validator.validate_partial(mutated, pdur), note.str()));
+  }
+
+  // kRemainingTooEarly — claim a live task starts before the decision instant.
+  {
+    TaskId r = kNoTask;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (base.frozen[t] != 0) continue;
+      r = static_cast<TaskId>(t);
+      if (base.dropped[t] == 0) break;  // prefer a remaining over a dropped task
+    }
+    RTS_ENSURE(r != kNoTask, "self-test needs a non-frozen task");
+    ScheduleTiming claimed = partial_claimed;
+    const auto ri = static_cast<std::size_t>(r);
+    claimed.start[ri] = 0.0;
+    claimed.finish[ri] = pdur[ri];
+    std::ostringstream note;
+    note << "claimed task " << r << " starts at 0, before the decision instant "
+         << decision;
+    report.cases.push_back(record(FaultClass::kRemainingTooEarly,
+                                  validator.validate_partial(base, pdur, &claimed),
+                                  note.str()));
   }
 
   return report;

@@ -16,6 +16,16 @@
 //                             precedence or exclusivity;
 //   * kMakespanInflated     — report a makespan above the maximum finish;
 //   * kSlackPerturbed       — corrupt one task's slack (Def. 3.3).
+//
+// Partial-schedule mode (validate_partial) fault classes:
+//   * kFreezeLeak           — freeze a task whose predecessor is unfrozen:
+//                             breaks predecessor-closure of the frozen set;
+//   * kDropLeak             — drop a task but keep a successor alive: breaks
+//                             descendant-closure of the dropped set;
+//   * kDroppedNotTail       — move a dropped placeholder ahead of live work
+//                             in a processor sequence;
+//   * kRemainingTooEarly    — claim a remaining task starts before the
+//                             decision instant (rewriting the past).
 
 #include <cstdint>
 #include <string>
@@ -35,6 +45,10 @@ enum class FaultClass {
   kStartEarly,
   kMakespanInflated,
   kSlackPerturbed,
+  kFreezeLeak,
+  kDropLeak,
+  kDroppedNotTail,
+  kRemainingTooEarly,
 };
 
 /// Stable display name (e.g. "swap-dependent-pair").

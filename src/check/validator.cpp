@@ -23,6 +23,10 @@ std::string_view to_string(ViolationKind kind) noexcept {
     case ViolationKind::kSlackMismatch: return "slack-mismatch";
     case ViolationKind::kEpsilonConstraint: return "epsilon-constraint";
     case ViolationKind::kEvaluationMismatch: return "evaluation-mismatch";
+    case ViolationKind::kFreezeClosure: return "freeze-closure";
+    case ViolationKind::kDropClosure: return "drop-closure";
+    case ViolationKind::kPartialOrdering: return "partial-ordering";
+    case ViolationKind::kBeforeDecision: return "before-decision";
   }
   return "unknown";
 }
@@ -301,6 +305,257 @@ ValidationReport ScheduleValidator::validate(const Schedule& schedule,
 ValidationReport ScheduleValidator::validate(const Schedule& schedule,
                                              const Matrix<double>& costs) const {
   return validate(schedule, assigned_durations(costs, schedule));
+}
+
+ScheduleValidator::ReferenceTiming ScheduleValidator::partial_reference_sweep(
+    const std::vector<std::vector<GsEdge>>& preds, const PartialSchedule& partial,
+    std::span<const double> durations) const {
+  // Same monotone relaxation as reference_sweep, with two changes: frozen
+  // tasks are pinned at their realized history (facts, not variables), and
+  // every other start is floored at decision_time. Starts only grow from the
+  // floor, so the acyclic-stabilization argument carries over unchanged.
+  const std::size_t n = preds.size();
+  ReferenceTiming out;
+  out.start.assign(n, 0.0);
+  out.finish.assign(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (partial.frozen[t] != 0) {
+      out.start[t] = partial.frozen_start[t];
+      out.finish[t] = partial.frozen_finish[t];
+    } else {
+      out.start[t] = partial.decision_time;
+      out.finish[t] = partial.decision_time + durations[t];
+    }
+  }
+
+  for (std::size_t pass = 0; pass <= n; ++pass) {
+    bool changed = false;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (partial.frozen[t] != 0) continue;
+      double ready = partial.decision_time;
+      for (const GsEdge& e : preds[t]) {
+        ready = std::max(ready, out.finish[static_cast<std::size_t>(e.peer)] + e.cost);
+      }
+      if (ready != out.start[t]) {
+        out.start[t] = ready;
+        out.finish[t] = ready + durations[t];
+        changed = true;
+        if (pass == n) {
+          out.cyclic = true;
+          out.cycle_task = static_cast<TaskId>(t);
+          return out;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  out.makespan = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (partial.dropped[t] == 0) out.makespan = std::max(out.makespan, out.finish[t]);
+  }
+  return out;
+}
+
+void ScheduleValidator::check_partial_structure(const PartialSchedule& partial,
+                                                ValidationReport& report) const {
+  const std::size_t n = graph_->task_count();
+  const double slop = tol_ * std::max(1.0, partial.decision_time);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    const ProcId pt = partial.schedule.proc_of(tid);
+    if (partial.frozen[t] != 0 && partial.dropped[t] != 0) {
+      report.violations.push_back({ViolationKind::kFreezeClosure, tid, pt, 0.0, 1.0,
+                                   "task is both frozen and dropped"});
+    }
+    if (partial.frozen[t] != 0) {
+      for (const EdgeRef& e : graph_->predecessors(tid)) {
+        if (partial.frozen[static_cast<std::size_t>(e.task)] == 0) {
+          report.violations.push_back(
+              {ViolationKind::kFreezeClosure, tid, pt, 1.0, 0.0,
+               "frozen task has non-frozen predecessor task " + std::to_string(e.task)});
+        }
+      }
+      if (partial.frozen_start[t] > partial.decision_time + slop) {
+        report.violations.push_back(
+            {ViolationKind::kBeforeDecision, tid, pt, partial.decision_time,
+             partial.frozen_start[t], "frozen task started after the decision instant"});
+      }
+      if (partial.frozen_finish[t] < partial.frozen_start[t] - slop) {
+        report.violations.push_back(
+            {ViolationKind::kFinishMismatch, tid, pt, partial.frozen_start[t],
+             partial.frozen_finish[t], "frozen task finishes before it starts"});
+      }
+    }
+    if (partial.dropped[t] != 0) {
+      for (const EdgeRef& e : graph_->successors(tid)) {
+        if (partial.dropped[static_cast<std::size_t>(e.task)] == 0) {
+          report.violations.push_back(
+              {ViolationKind::kDropClosure, tid, pt, 1.0, 0.0,
+               "dropped task has non-dropped successor task " + std::to_string(e.task)});
+        }
+      }
+    }
+  }
+  for (std::size_t p = 0; p < partial.schedule.proc_count(); ++p) {
+    int phase = 0;
+    for (const TaskId t : partial.schedule.sequence(static_cast<ProcId>(p))) {
+      const auto ti = static_cast<std::size_t>(t);
+      const int task_phase =
+          partial.frozen[ti] != 0 ? 0 : (partial.dropped[ti] != 0 ? 2 : 1);
+      if (task_phase < phase) {
+        report.violations.push_back(
+            {ViolationKind::kPartialOrdering, t, static_cast<ProcId>(p),
+             static_cast<double>(phase), static_cast<double>(task_phase),
+             "sequence is not frozen..., remaining..., dropped..."});
+      }
+      phase = std::max(phase, task_phase);
+    }
+  }
+}
+
+void ScheduleValidator::check_partial_rules(const PartialSchedule& partial,
+                                            std::span<const double> durations,
+                                            std::span<const double> start,
+                                            std::span<const double> finish,
+                                            double makespan,
+                                            ValidationReport& report) const {
+  const std::size_t n = graph_->task_count();
+  const Schedule& schedule = partial.schedule;
+  double max_finish = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    const ProcId pt = schedule.proc_of(tid);
+    const double slop = tol_ * std::max(1.0, makespan);
+
+    // Feasibility holds for everyone: data must have arrived and the
+    // processor must be free, frozen history included.
+    double ready = 0.0;
+    for (const EdgeRef& e : graph_->predecessors(tid)) {
+      const double arrival = finish[static_cast<std::size_t>(e.task)] +
+                             platform_->comm_cost(e.data, schedule.proc_of(e.task), pt);
+      if (start[t] < arrival - slop) {
+        report.violations.push_back(
+            {ViolationKind::kPrecedence, tid, pt, arrival, start[t],
+             "starts before data from predecessor task " + std::to_string(e.task) +
+                 " arrives"});
+      }
+      ready = std::max(ready, arrival);
+    }
+    const TaskId pp = schedule.proc_predecessor(tid);
+    if (pp != kNoTask) {
+      const double prev_finish = finish[static_cast<std::size_t>(pp)];
+      if (start[t] < prev_finish - slop) {
+        report.violations.push_back(
+            {ViolationKind::kSequenceOverlap, tid, pt, prev_finish, start[t],
+             "overlaps sequence predecessor task " + std::to_string(pp)});
+      }
+      ready = std::max(ready, prev_finish);
+    }
+
+    if (partial.frozen[t] != 0) {
+      // Frozen history is pinned, not recomputed: ASAP tightness arose under
+      // the execution context of its time, so only pin equality is checked.
+      if (!close(start[t], partial.frozen_start[t])) {
+        report.violations.push_back(
+            {ViolationKind::kStartMismatch, tid, pt, partial.frozen_start[t], start[t],
+             "frozen task deviates from its realized start"});
+      }
+      if (!close(finish[t], partial.frozen_finish[t])) {
+        report.violations.push_back(
+            {ViolationKind::kFinishMismatch, tid, pt, partial.frozen_finish[t],
+             finish[t], "frozen task deviates from its realized finish"});
+      }
+    } else {
+      if (start[t] < partial.decision_time - slop) {
+        report.violations.push_back(
+            {ViolationKind::kBeforeDecision, tid, pt, partial.decision_time, start[t],
+             "non-frozen task starts before the decision instant"});
+      }
+      if (!close(finish[t], start[t] + durations[t])) {
+        report.violations.push_back(
+            {ViolationKind::kFinishMismatch, tid, pt, start[t] + durations[t],
+             finish[t], "finish time is not start + duration"});
+      }
+      ready = std::max(ready, partial.decision_time);
+      if (start[t] > ready + slop) {
+        report.violations.push_back(
+            {ViolationKind::kNotAsap, tid, pt, ready, start[t],
+             "starts later than max(ready time, decision instant)"});
+      }
+    }
+    if (partial.dropped[t] == 0) max_finish = std::max(max_finish, finish[t]);
+  }
+  if (!close(makespan, max_finish)) {
+    report.violations.push_back(
+        {ViolationKind::kMakespanMismatch, kNoTask, kNoProc, max_finish, makespan,
+         "makespan is not the maximum finish time over non-dropped tasks"});
+  }
+}
+
+ValidationReport ScheduleValidator::validate_partial(
+    const PartialSchedule& partial, std::span<const double> durations,
+    const ScheduleTiming* claimed) const {
+  const std::size_t n = graph_->task_count();
+  RTS_REQUIRE(partial.schedule.task_count() == n, "schedule size does not match graph");
+  RTS_REQUIRE(partial.frozen.size() == n && partial.dropped.size() == n &&
+                  partial.frozen_start.size() == n && partial.frozen_finish.size() == n,
+              "partial schedule vectors must cover every task");
+  RTS_REQUIRE(durations.size() == n, "duration vector length must equal task count");
+  RTS_REQUIRE(partial.schedule.proc_count() <= platform_->proc_count(),
+              "schedule uses more processors than the platform provides");
+
+  ValidationReport report;
+  check_partial_structure(partial, report);
+  if (!report.ok()) return report;  // timing is meaningless on broken structure
+
+  const auto preds = gs_predecessors(partial.schedule);
+  const ReferenceTiming ref = partial_reference_sweep(preds, partial, durations);
+  if (ref.cyclic) {
+    report.violations.push_back(
+        {ViolationKind::kCyclicGs, ref.cycle_task,
+         partial.schedule.proc_of(ref.cycle_task), 0.0, 0.0,
+         "processor sequences contradict the precedence constraints (task is on or "
+         "behind a Gs cycle)"});
+    return report;
+  }
+  check_partial_rules(partial, durations, ref.start, ref.finish, ref.makespan, report);
+
+  // Differential layer against the production floor-aware sweep.
+  try {
+    const ScheduleTiming prod = partial_timing(*graph_, *platform_, partial, durations);
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto tid = static_cast<TaskId>(t);
+      if (!close(prod.start[t], ref.start[t])) {
+        report.violations.push_back(
+            {ViolationKind::kStartMismatch, tid, partial.schedule.proc_of(tid),
+             ref.start[t], prod.start[t],
+             "partial_timing start disagrees with the reference sweep"});
+      }
+      if (!close(prod.finish[t], ref.finish[t])) {
+        report.violations.push_back(
+            {ViolationKind::kFinishMismatch, tid, partial.schedule.proc_of(tid),
+             ref.finish[t], prod.finish[t],
+             "partial_timing finish disagrees with the reference sweep"});
+      }
+    }
+    if (!close(prod.makespan, ref.makespan)) {
+      report.violations.push_back(
+          {ViolationKind::kMakespanMismatch, kNoTask, kNoProc, ref.makespan,
+           prod.makespan, "partial_timing makespan disagrees with the reference sweep"});
+    }
+  } catch (const InvalidArgument& e) {
+    report.violations.push_back(
+        {ViolationKind::kCyclicGs, kNoTask, kNoProc, 0.0, 0.0,
+         std::string("partial_timing rejected the schedule: ") + e.what()});
+  }
+
+  if (claimed != nullptr) {
+    RTS_REQUIRE(claimed->start.size() == n && claimed->finish.size() == n,
+                "claimed timing must carry start/finish for every task");
+    check_partial_rules(partial, durations, claimed->start, claimed->finish,
+                        claimed->makespan, report);
+  }
+  return report;
 }
 
 ValidationReport ScheduleValidator::validate_timing(const Schedule& schedule,

@@ -34,6 +34,7 @@
 #include "ga/fitness.hpp"
 #include "graph/task_graph.hpp"
 #include "platform/platform.hpp"
+#include "sched/partial_schedule.hpp"
 #include "sched/schedule.hpp"
 #include "sched/timing.hpp"
 #include "util/matrix.hpp"
@@ -53,6 +54,11 @@ enum class ViolationKind {
   kSlackMismatch,       ///< per-task or average slack disagrees
   kEpsilonConstraint,   ///< M0 > epsilon * M_HEFT (Eqn. 7)
   kEvaluationMismatch,  ///< an Evaluation field disagrees with recomputation
+  // Partial-schedule mode (online rescheduling, src/resched):
+  kFreezeClosure,       ///< frozen set not predecessor-closed / overlaps dropped
+  kDropClosure,         ///< dropped set not descendant-closed
+  kPartialOrdering,     ///< a sequence is not frozen..., remaining..., dropped...
+  kBeforeDecision,      ///< a task sits on the wrong side of decision_time
 };
 
 /// Stable display name of a violation kind (e.g. "cyclic-gs").
@@ -103,6 +109,22 @@ class ScheduleValidator {
                                                  std::span<const double> durations,
                                                  const ScheduleTiming& claimed) const;
 
+  /// Partial-schedule mode (online rescheduling): checks the structural
+  /// invariants of PartialSchedule (frozen/dropped disjoint, predecessor- and
+  /// descendant-closure, frozen..., remaining..., dropped... sequence order),
+  /// then re-derives the floor-aware timing with its own fixed-point sweep —
+  /// frozen tasks pinned at their realized history, everything else ASAP but
+  /// never before decision_time — and differentially compares it against the
+  /// production partial_timing(). Frozen tasks are checked for feasibility
+  /// and pin equality only (their history arose under a different context, so
+  /// ASAP tightness is not required of them). `durations[i]` follows the
+  /// partial_timing convention (0 for dropped placeholders). When `claimed`
+  /// is non-null its start/finish/makespan are additionally held to the same
+  /// rules — the self-test drives mutated timings through this path.
+  [[nodiscard]] ValidationReport validate_partial(
+      const PartialSchedule& partial, std::span<const double> durations,
+      const ScheduleTiming* claimed = nullptr) const;
+
   /// Rules 1-5 for a solver result: everything validate() checks, plus the
   /// Evaluation's makespan/avg_slack against recomputation, the Eqn. 7
   /// constraint when `epsilon` is given (pass nullopt when the solver was not
@@ -136,6 +158,23 @@ class ScheduleValidator {
   [[nodiscard]] ReferenceTiming reference_sweep(
       const std::vector<std::vector<GsEdge>>& preds,
       std::span<const double> durations) const;
+
+  /// Floor-aware variant for partial schedules: frozen tasks pinned, others
+  /// relaxed from a decision_time floor; makespan over non-dropped tasks.
+  [[nodiscard]] ReferenceTiming partial_reference_sweep(
+      const std::vector<std::vector<GsEdge>>& preds, const PartialSchedule& partial,
+      std::span<const double> durations) const;
+
+  /// Structural invariants of a partial schedule (closures, ordering).
+  void check_partial_structure(const PartialSchedule& partial,
+                               ValidationReport& report) const;
+
+  /// Partial-mode timing rules on an explicit timing (claimed or reference).
+  void check_partial_rules(const PartialSchedule& partial,
+                           std::span<const double> durations,
+                           std::span<const double> start,
+                           std::span<const double> finish, double makespan,
+                           ValidationReport& report) const;
 
   /// Bottom levels Bl(i) by reverse fixed-point relaxation over Gs.
   [[nodiscard]] std::vector<double> reference_bottom_levels(

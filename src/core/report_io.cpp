@@ -98,6 +98,27 @@ std::string criticality_to_json(const CriticalityReport& report) {
   return os.str();
 }
 
+std::string resched_report_to_json(const ReschedEvalReport& report) {
+  std::ostringstream os;
+  os << "{\"realizations\":" << report.realizations;
+  os << ",\"mean_makespan\":";
+  append_number(os, report.mean_makespan);
+  os << ",\"deadline_miss_rate\":";
+  append_number(os, report.deadline_miss_rate);
+  os << ",\"mean_value_accrued\":";
+  append_number(os, report.mean_value_accrued);
+  os << ",\"value_possible\":";
+  append_number(os, report.value_possible);
+  os << ",\"mean_dropped\":";
+  append_number(os, report.mean_dropped);
+  os << ",\"mean_resolves\":";
+  append_number(os, report.mean_resolves);
+  os << ",\"mean_ga_iterations\":";
+  append_number(os, report.mean_ga_iterations);
+  os << '}';
+  return os.str();
+}
+
 std::string timeline_to_json(const TaskGraph& graph, const Schedule& schedule,
                              const ScheduleTiming& timing) {
   RTS_REQUIRE(timing.start.size() == schedule.task_count(),

@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "resched/rescheduler.hpp"
 #include "sched/timing.hpp"
 #include "sim/criticality.hpp"
 #include "sim/monte_carlo.hpp"
@@ -19,6 +20,9 @@ std::string robustness_to_json(const RobustnessReport& report,
 
 /// Serialize a criticality report (always includes the per-task index).
 std::string criticality_to_json(const CriticalityReport& report);
+
+/// Serialize an online-rescheduling evaluation (see resched/rescheduler.hpp).
+std::string resched_report_to_json(const ReschedEvalReport& report);
 
 /// Serialize a schedule timeline (per-task processor, start, finish, slack)
 /// for visualization front ends.

@@ -117,6 +117,14 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
     seen.insert(chromosome_hash(c));
     pop.push_back(Individual{std::move(c), Evaluation{}});
   }
+  // Caller-supplied warm-start seeds (e.g. the rescheduler's incumbent).
+  for (const Chromosome& seed : config.seeds) {
+    if (pop.size() >= np) break;
+    RTS_REQUIRE(is_valid_chromosome(graph, proc_count, seed),
+                "warm-start seed chromosome is invalid for this problem");
+    if (!seen.insert(chromosome_hash(seed)).second) continue;
+    pop.push_back(Individual{seed, Evaluation{}});
+  }
   // Uniqueness-checked random fill; on tiny search spaces (few tasks and
   // processors) distinct chromosomes may run out, so duplicates are admitted
   // after a bounded number of rejections.

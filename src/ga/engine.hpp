@@ -47,6 +47,11 @@ struct GaConfig {
   /// bit-identical for any value (dense result array, serial reduction —
   /// same contract as MonteCarloConfig::threads).
   std::size_t threads = 0;
+  /// Warm-start chromosomes injected into generation 0 alongside the HEFT
+  /// seed (the online rescheduler passes the incumbent here). Each must be
+  /// valid for the problem; duplicates of earlier seeds are skipped, and at
+  /// most population_size seeds are taken.
+  std::vector<Chromosome> seeds;
 };
 
 /// Snapshot of the best-so-far individual at one recorded iteration.

@@ -1,0 +1,136 @@
+#include "resched/drop_policy.hpp"
+
+#include "util/error.hpp"
+#include "workload/uncertainty.hpp"
+
+namespace rts {
+
+std::string_view to_string(DropPolicyKind kind) noexcept {
+  switch (kind) {
+    case DropPolicyKind::kNever: return "never";
+    case DropPolicyKind::kDeadlineInfeasible: return "deadline-infeasible";
+    case DropPolicyKind::kProbabilistic: return "probabilistic";
+  }
+  return "unknown";
+}
+
+namespace {
+
+DropDecision base_decision(const DropContext& ctx, TaskId task, double deadline,
+                           DropPolicyKind kind) {
+  DropDecision d;
+  d.task = task;
+  d.policy = kind;
+  d.deadline = deadline;
+  d.estimated_finish = ctx.predicted->finish[static_cast<std::size_t>(task)];
+  d.decision_time = ctx.partial->decision_time;
+  return d;
+}
+
+class NeverDropPolicy final : public DropPolicy {
+ public:
+  [[nodiscard]] DropPolicyKind kind() const noexcept override {
+    return DropPolicyKind::kNever;
+  }
+  [[nodiscard]] DropDecision decide(const DropContext& ctx, TaskId task,
+                                    double deadline) const override {
+    return base_decision(ctx, task, deadline, DropPolicyKind::kNever);
+  }
+};
+
+class DeadlineInfeasiblePolicy final : public DropPolicy {
+ public:
+  [[nodiscard]] DropPolicyKind kind() const noexcept override {
+    return DropPolicyKind::kDeadlineInfeasible;
+  }
+  [[nodiscard]] DropDecision decide(const DropContext& ctx, TaskId task,
+                                    double deadline) const override {
+    RTS_REQUIRE(ctx.optimistic != nullptr,
+                "deadline-infeasible policy needs the optimistic timing");
+    DropDecision d =
+        base_decision(ctx, task, deadline, DropPolicyKind::kDeadlineInfeasible);
+    const double best_case = ctx.optimistic->finish[static_cast<std::size_t>(task)];
+    d.dropped = best_case > deadline;
+    d.completion_prob = d.dropped ? 0.0 : 1.0;
+    return d;
+  }
+};
+
+class ProbabilisticDropPolicy final : public DropPolicy {
+ public:
+  explicit ProbabilisticDropPolicy(const DropPolicyParams& params) : params_(params) {}
+  [[nodiscard]] DropPolicyKind kind() const noexcept override {
+    return DropPolicyKind::kProbabilistic;
+  }
+  [[nodiscard]] DropDecision decide(const DropContext& ctx, TaskId task,
+                                    double deadline) const override {
+    RTS_REQUIRE(ctx.finish_samples != nullptr,
+                "probabilistic policy needs the finish-sample matrix");
+    DropDecision d = base_decision(ctx, task, deadline, DropPolicyKind::kProbabilistic);
+    d.completion_prob = completion_probability(*ctx.finish_samples, task, deadline);
+    d.dropped = d.completion_prob < params_.min_completion_prob;
+    return d;
+  }
+
+ private:
+  DropPolicyParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<DropPolicy> make_drop_policy(DropPolicyKind kind,
+                                             const DropPolicyParams& params) {
+  switch (kind) {
+    case DropPolicyKind::kNever: return std::make_unique<NeverDropPolicy>();
+    case DropPolicyKind::kDeadlineInfeasible:
+      return std::make_unique<DeadlineInfeasiblePolicy>();
+    case DropPolicyKind::kProbabilistic:
+      RTS_REQUIRE(params.min_completion_prob >= 0.0 && params.min_completion_prob <= 1.0,
+                  "completion-probability threshold outside [0,1]");
+      RTS_REQUIRE(params.mc_samples > 0, "probabilistic policy needs >= 1 sample");
+      return std::make_unique<ProbabilisticDropPolicy>(params);
+  }
+  RTS_REQUIRE(false, "unknown drop-policy kind");
+  return nullptr;
+}
+
+Matrix<double> sample_completion_finishes(const ProblemInstance& instance,
+                                          const PartialSchedule& partial,
+                                          std::size_t samples, Rng& rng) {
+  RTS_REQUIRE(samples > 0, "need at least one finish sample");
+  const std::size_t n = instance.task_count();
+  RTS_REQUIRE(partial.task_count() == n, "partial schedule does not match instance");
+
+  Matrix<double> finishes(samples, n);
+  std::vector<double> durations(n, 0.0);
+  for (std::size_t k = 0; k < samples; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (partial.frozen[t] != 0 || partial.dropped[t] != 0) {
+        durations[t] = 0.0;  // frozen are pinned anyway; dropped are placeholders
+        continue;
+      }
+      const auto p =
+          static_cast<std::size_t>(partial.schedule.proc_of(static_cast<TaskId>(t)));
+      durations[t] = sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+    }
+    const ScheduleTiming timing =
+        partial_timing(instance.graph, instance.platform, partial, durations);
+    for (std::size_t t = 0; t < n; ++t) finishes(k, t) = timing.finish[t];
+  }
+  return finishes;
+}
+
+double completion_probability(const Matrix<double>& finish_samples, TaskId task,
+                              double deadline) {
+  const std::size_t samples = finish_samples.rows();
+  RTS_REQUIRE(samples > 0, "finish-sample matrix is empty");
+  const auto t = static_cast<std::size_t>(task);
+  RTS_REQUIRE(t < finish_samples.cols(), "task id out of range");
+  std::size_t on_time = 0;
+  for (std::size_t k = 0; k < samples; ++k) {
+    if (finish_samples(k, t) <= deadline) ++on_time;
+  }
+  return static_cast<double>(on_time) / static_cast<double>(samples);
+}
+
+}  // namespace rts

@@ -1,0 +1,111 @@
+#pragma once
+// Pluggable task-dropping policies for oversubscribed systems.
+//
+// Once demand exceeds capacity, completing *every* task on time is
+// impossible and the robustness lever shifts from shaving the makespan to
+// choosing which tasks to abandon: Mokhtari et al. 2020 (autonomous task
+// dropping) and Gentry et al. 2019 (probabilistic task pruning) both show
+// that dropping tasks unlikely to make their deadlines frees capacity for
+// the rest of the workload. Three policies, ordered by aggressiveness:
+//
+//   * kNever              — baseline: everything runs to completion;
+//   * kDeadlineInfeasible — drop a task only when even the best case (BCET
+//                           durations for all outstanding work) misses its
+//                           deadline: the task is provably lost;
+//   * kProbabilistic      — estimate P(finish <= deadline) over Monte-Carlo
+//                           realizations of the outstanding work and drop
+//                           when the completion odds fall below a threshold
+//                           (Gentry et al.'s pruning criterion, evaluated
+//                           with this repo's realization machinery).
+//
+// Every decision — drop or keep — is returned as a structured DropDecision
+// audit record so callers can log exactly why a task was cancelled.
+//
+// Dropping must stay descendant-closed (a cancelled task starves its
+// successors); the OnlineRescheduler enforces the closure by visiting
+// candidates in topological order and force-dropping tasks whose
+// predecessors are gone. The policies themselves judge one task at a time.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sched/partial_schedule.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+enum class DropPolicyKind {
+  kNever,
+  kDeadlineInfeasible,
+  kProbabilistic,
+};
+
+/// Stable display name ("never", "deadline-infeasible", "probabilistic").
+std::string_view to_string(DropPolicyKind kind) noexcept;
+
+/// Tuning knobs of the policies (ignored fields are harmless).
+struct DropPolicyParams {
+  /// kProbabilistic: drop when P(on-time completion) < this.
+  double min_completion_prob = 0.25;
+  /// kProbabilistic: Monte-Carlo realizations behind the estimate.
+  std::size_t mc_samples = 64;
+};
+
+/// One audited drop decision (emitted for kept tasks too).
+struct DropDecision {
+  TaskId task = kNoTask;
+  DropPolicyKind policy = DropPolicyKind::kNever;
+  bool dropped = false;
+  /// True when the task was not judged on its own odds but cancelled because
+  /// a predecessor was dropped (descendant closure).
+  bool forced = false;
+  double completion_prob = 1.0;    ///< MC estimate (1/0 for the analytic policies)
+  double deadline = 0.0;
+  double estimated_finish = 0.0;   ///< expected-duration predicted finish
+  double decision_time = 0.0;
+};
+
+/// Everything a policy may consult for one decision round. All pointers are
+/// non-owning and must outlive the decide() calls.
+struct DropContext {
+  const ProblemInstance* instance = nullptr;
+  const PartialSchedule* partial = nullptr;    ///< state at the decision instant
+  const ScheduleTiming* predicted = nullptr;   ///< expected-duration partial timing
+  const ScheduleTiming* optimistic = nullptr;  ///< BCET-duration partial timing
+  /// samples x n finish times of the outstanding work (frozen history
+  /// pinned), drawn once per round and shared across candidate tasks — and
+  /// across deadline variants in the fuzzer's monotonicity property — so
+  /// comparisons are paired. Null unless a probabilistic policy is in play.
+  const Matrix<double>* finish_samples = nullptr;
+};
+
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+  [[nodiscard]] virtual DropPolicyKind kind() const noexcept = 0;
+  /// Judge one live (non-frozen, non-dropped) task against `deadline`.
+  [[nodiscard]] virtual DropDecision decide(const DropContext& ctx, TaskId task,
+                                            double deadline) const = 0;
+};
+
+/// Factory for the built-in policies.
+std::unique_ptr<DropPolicy> make_drop_policy(DropPolicyKind kind,
+                                             const DropPolicyParams& params);
+
+/// Shared Monte-Carlo estimator behind kProbabilistic: draw `samples`
+/// realizations of the outstanding work (frozen tasks pinned at history,
+/// dropped placeholders at zero) and return the samples x n finish matrix.
+/// Deterministic in `rng`'s state.
+Matrix<double> sample_completion_finishes(const ProblemInstance& instance,
+                                          const PartialSchedule& partial,
+                                          std::size_t samples, Rng& rng);
+
+/// P(finish <= deadline) of one task under a finish-sample matrix.
+double completion_probability(const Matrix<double>& finish_samples, TaskId task,
+                              double deadline);
+
+}  // namespace rts

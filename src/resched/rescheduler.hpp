@@ -1,0 +1,158 @@
+#pragma once
+// Event-driven online rescheduling (the ROADMAP's "online rescheduling with
+// task dropping/pruning" item).
+//
+// The paper's solver is one-shot: it emits a robust plan offline and the
+// simulator merely measures how badly reality deviates. OnlineRescheduler
+// closes the loop: it replays a realization of the plan, watches completion
+// events for drift past a configurable trigger, and when the trigger fires it
+//
+//   1. freezes the executed/running prefix (tasks started by the trigger
+//      instant) as a PartialSchedule — history cannot be rewritten;
+//   2. lets a DropPolicy cancel live tasks that are no longer worth running
+//      (descendant-closed; see resched/drop_policy.hpp), emitting one audit
+//      record per decision;
+//   3. re-solves the remaining tasks with the GA over a pinned cost matrix —
+//      frozen and dropped tasks are nailed to their processors via penalty
+//      costs, the incumbent chromosome warm-starts the population — and
+//      projects the winner back onto the frozen prefix;
+//
+// then resumes the replay under the revised plan. The loop repeats until no
+// trigger fires or the re-solve budget is exhausted.
+//
+// Triggers:
+//   * kSlackExhaustion — a completion slips more than slack_threshold x
+//     planned makespan past its predicted finish (the Def. 3.3 slack the
+//     static schedule allotted that task is gone);
+//   * kDeadlineRisk    — a completed task misses risk_threshold x its own
+//     deadline (needs per-task deadlines; the first realized miss signals
+//     oversubscription);
+//   * kCadence         — every cadence-th completion, unconditionally.
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/engine.hpp"
+#include "resched/drop_policy.hpp"
+#include "sched/partial_schedule.hpp"
+#include "sched/schedule.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+enum class TriggerKind {
+  kSlackExhaustion,
+  kDeadlineRisk,
+  kCadence,
+};
+
+/// Stable display name ("slack-exhaustion", "deadline-risk", "cadence").
+std::string_view to_string(TriggerKind kind) noexcept;
+
+/// Light GA settings for in-loop re-solves (small population, short run,
+/// kMinimizeMakespan); the offline defaults would dominate the replay cost.
+GaConfig default_resched_ga();
+
+struct ReschedConfig {
+  TriggerKind trigger = TriggerKind::kSlackExhaustion;
+  /// kSlackExhaustion: re-plan when a completion slips more than this
+  /// fraction of the planned makespan past its predicted finish.
+  double slack_threshold = 0.05;
+  /// kDeadlineRisk: re-plan when a completion exceeds this multiple of its
+  /// own deadline (1.0 = the first realized miss).
+  double risk_threshold = 1.0;
+  /// kCadence: re-plan after every this-many completions.
+  std::size_t cadence = 10;
+  /// Upper bound on re-solves per run (each costs one GA run).
+  std::size_t max_resolves = 3;
+
+  DropPolicyKind drop = DropPolicyKind::kNever;
+  DropPolicyParams drop_params;
+  /// Triage budget: at most ceil(cap x live tasks) policy-proposed drops are
+  /// acted on per re-solve, lowest completion probability first (forced
+  /// descendant-closure drops are exempt). Completion estimates reflect the
+  /// pre-drop schedule, so without a cap heavy oversubscription makes every
+  /// task look doomed at once and the policy cancels work the lightened
+  /// schedule could have saved; capped rounds let later re-solves re-estimate
+  /// the survivors. 1.0 disables the cap.
+  double drop_fraction_cap = 0.25;
+  /// Seed of the per-round drop-policy Monte-Carlo estimates.
+  std::uint64_t drop_seed = 1;
+
+  /// Re-solve GA settings (population, iterations, seed). The objective is
+  /// forced to kMinimizeMakespan — slack maximization is a property of
+  /// offline plans; mid-execution the only goal is finishing soon.
+  GaConfig ga = default_resched_ga();
+  /// Warm-start the GA population from the incumbent chromosome. Off = cold
+  /// restarts (the ablation baseline for the re-solve cost comparison).
+  bool warm_start = true;
+  /// Validate every projected PartialSchedule with ScheduleValidator's
+  /// partial mode (also enabled by the RTS_CHECK environment variable).
+  bool validate = false;
+};
+
+/// Audit record of one re-solve.
+struct ReschedDecisionRecord {
+  TriggerKind trigger{};
+  double decision_time = 0.0;      ///< the trigger instant T*
+  std::size_t completions = 0;     ///< completion events observed by then
+  std::size_t frozen = 0;          ///< tasks pinned to history at T*
+  std::size_t dropped_new = 0;     ///< tasks cancelled this round
+  std::size_t ga_iterations = 0;   ///< generations the re-solve ran
+  double incumbent_makespan = 0.0; ///< predicted finish before the re-solve
+  double resolved_makespan = 0.0;  ///< predicted finish after it
+  std::vector<DropDecision> drops; ///< one audit record per live candidate
+};
+
+/// Outcome of one online-rescheduled execution.
+struct ReschedRunResult {
+  Schedule final_schedule;             ///< last revised plan (dropped at tails)
+  std::vector<std::uint8_t> dropped;   ///< size n; 1 = cancelled
+  std::vector<double> start;           ///< realized trajectory (placeholders for dropped)
+  std::vector<double> finish;
+  double makespan = 0.0;               ///< max finish over non-dropped tasks
+  std::size_t resolves = 0;
+  std::size_t ga_iterations_total = 0;
+  std::vector<ReschedDecisionRecord> decisions;
+  // Deadline metrics (0 / full value when the instance has no deadlines):
+  std::size_t deadline_misses = 0;     ///< late non-dropped tasks + dropped tasks
+  double value_accrued = 0.0;          ///< sum of values of on-time completions
+};
+
+/// Replay `realized` durations (n x m) against `plan`, rescheduling whenever
+/// the configured trigger fires. Deterministic in its arguments.
+ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
+                                       const Schedule& plan,
+                                       const Matrix<double>& realized,
+                                       const ReschedConfig& config);
+
+/// Monte-Carlo evaluation settings for evaluate_resched.
+struct ReschedEvalConfig {
+  std::size_t realizations = 50;
+  std::uint64_t seed = 1;
+  /// Threads for the realization loop; 0 = OpenMP default. Results are
+  /// bit-identical for any value (per-realization substreams, dense result
+  /// arrays, serial reduction).
+  std::size_t threads = 0;
+};
+
+/// Aggregated robustness of online rescheduling over many realizations.
+struct ReschedEvalReport {
+  std::size_t realizations = 0;
+  double mean_makespan = 0.0;
+  double deadline_miss_rate = 0.0;   ///< mean fraction of tasks missing deadlines
+  double mean_value_accrued = 0.0;
+  double value_possible = 0.0;       ///< sum of all task values (upper bound)
+  double mean_dropped = 0.0;         ///< mean cancelled tasks per run
+  double mean_resolves = 0.0;
+  double mean_ga_iterations = 0.0;   ///< mean GA generations spent per run
+};
+
+/// Run `run_online_reschedule` over sampled realizations of `instance` and
+/// aggregate. Realization i uses the seed substream i, so results are
+/// bit-identical for any thread count.
+ReschedEvalReport evaluate_resched(const ProblemInstance& instance, const Schedule& plan,
+                                   const ReschedConfig& config,
+                                   const ReschedEvalConfig& mc);
+
+}  // namespace rts

@@ -1,0 +1,112 @@
+#include "sched/partial_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+std::size_t count_flags(const std::vector<std::uint8_t>& flags) {
+  return static_cast<std::size_t>(
+      std::count_if(flags.begin(), flags.end(), [](std::uint8_t f) { return f != 0; }));
+}
+
+}  // namespace
+
+std::size_t PartialSchedule::frozen_count() const noexcept {
+  return count_flags(frozen);
+}
+
+std::size_t PartialSchedule::dropped_count() const noexcept {
+  return count_flags(dropped);
+}
+
+std::size_t PartialSchedule::remaining_count() const noexcept {
+  return task_count() - frozen_count() - dropped_count();
+}
+
+bool PartialSchedule::well_formed(const TaskGraph& graph) const {
+  const std::size_t n = graph.task_count();
+  if (schedule.task_count() != n || frozen.size() != n || dropped.size() != n ||
+      frozen_start.size() != n || frozen_finish.size() != n) {
+    return false;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto tid = static_cast<TaskId>(t);
+    if (frozen[t] != 0 && dropped[t] != 0) return false;
+    if (frozen[t] != 0) {
+      // Predecessor closure: whoever fed a started task must have started too.
+      for (const EdgeRef& e : graph.predecessors(tid)) {
+        if (frozen[static_cast<std::size_t>(e.task)] == 0) return false;
+      }
+      if (frozen_start[t] > decision_time || frozen_finish[t] < frozen_start[t]) {
+        return false;
+      }
+    }
+    if (dropped[t] != 0) {
+      // Descendant closure: a cancelled task starves all of its successors.
+      for (const EdgeRef& e : graph.successors(tid)) {
+        if (dropped[static_cast<std::size_t>(e.task)] == 0) return false;
+      }
+    }
+  }
+  // Sequence shape per processor: frozen..., remaining..., dropped...
+  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+    int phase = 0;  // 0 = frozen prefix, 1 = remaining, 2 = dropped tail
+    for (const TaskId t : schedule.sequence(static_cast<ProcId>(p))) {
+      const auto ti = static_cast<std::size_t>(t);
+      const int task_phase = frozen[ti] != 0 ? 0 : (dropped[ti] != 0 ? 2 : 1);
+      if (task_phase < phase) return false;
+      phase = task_phase;
+    }
+  }
+  return true;
+}
+
+ScheduleTiming partial_timing(const TaskGraph& graph, const Platform& platform,
+                              const PartialSchedule& partial,
+                              std::span<const double> durations) {
+  const std::size_t n = graph.task_count();
+  RTS_REQUIRE(durations.size() == n, "duration vector length must equal task count");
+  RTS_REQUIRE(partial.well_formed(graph), "partial schedule is not well formed");
+
+  const Schedule& schedule = partial.schedule;
+  const TimingEvaluator evaluator(graph, platform, schedule);
+
+  ScheduleTiming out;
+  out.start.assign(n, 0.0);
+  out.finish.assign(n, 0.0);
+  out.makespan = 0.0;
+
+  for (const TaskId tid : evaluator.gs_topological_order()) {
+    const auto t = static_cast<std::size_t>(tid);
+    if (partial.frozen[t] != 0) {
+      // History is a fact: pinned, not recomputed.
+      out.start[t] = partial.frozen_start[t];
+      out.finish[t] = partial.frozen_finish[t];
+    } else {
+      // No task starts before time 0; decision_time <= 0 floors nothing.
+      double ready = std::max(partial.decision_time, 0.0);
+      const ProcId pt = schedule.proc_of(tid);
+      for (const EdgeRef& e : graph.predecessors(tid)) {
+        const auto pred = static_cast<std::size_t>(e.task);
+        ready = std::max(ready, out.finish[pred] +
+                                    platform.comm_cost(e.data, schedule.proc_of(e.task), pt));
+      }
+      const TaskId pp = schedule.proc_predecessor(tid);
+      if (pp != kNoTask) {
+        ready = std::max(ready, out.finish[static_cast<std::size_t>(pp)]);
+      }
+      out.start[t] = ready;
+      out.finish[t] = ready + durations[t];
+    }
+    if (partial.dropped[t] == 0) {
+      out.makespan = std::max(out.makespan, out.finish[t]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rts

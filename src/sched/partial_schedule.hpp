@@ -1,0 +1,83 @@
+#pragma once
+// Partial schedules for online rescheduling: a full placement split into a
+// *frozen* prefix (tasks that had already started — or finished — when the
+// rescheduler intervened at `decision_time`), the *remaining* tasks that a
+// re-solve may still move, and a *dropped* set the controller has cancelled
+// (oversubscription scenarios; see src/resched).
+//
+// Structural invariants (checked by well_formed() and, independently, by
+// ScheduleValidator's partial mode):
+//   * frozen and dropped are disjoint;
+//   * the frozen set is predecessor-closed — a frozen task's graph
+//     predecessors finished before it started, hence started before the
+//     decision instant and are frozen themselves;
+//   * the dropped set is descendant-closed — cancelling a task starves all
+//     of its descendants of input, so they must be cancelled too (the DAG
+//     generalization of bag-of-tasks dropping in Mokhtari et al. 2020);
+//   * every processor sequence reads frozen..., remaining..., dropped...:
+//     history first, then live work, then cancelled tasks parked at the tail
+//     where their zero-duration placeholders can never delay live work.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+#include "sched/timing.hpp"
+
+namespace rts {
+
+/// One snapshot of an interrupted execution: the placement plus per-task
+/// frozen/dropped flags and the realized history of the frozen prefix.
+struct PartialSchedule {
+  Schedule schedule;  ///< full placement: frozen + remaining + dropped tasks
+
+  std::vector<std::uint8_t> frozen;   ///< size n; 1 = started by decision_time
+  std::vector<std::uint8_t> dropped;  ///< size n; 1 = cancelled by the policy
+
+  /// Realized history of frozen tasks (entries of non-frozen tasks are 0).
+  std::vector<double> frozen_start;
+  std::vector<double> frozen_finish;
+
+  /// The instant the controller intervened; remaining and dropped tasks
+  /// cannot start before it.
+  double decision_time = 0.0;
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return frozen.size(); }
+  [[nodiscard]] bool is_frozen(TaskId t) const {
+    return frozen[static_cast<std::size_t>(t)] != 0;
+  }
+  [[nodiscard]] bool is_dropped(TaskId t) const {
+    return dropped[static_cast<std::size_t>(t)] != 0;
+  }
+
+  [[nodiscard]] std::size_t frozen_count() const noexcept;
+  [[nodiscard]] std::size_t dropped_count() const noexcept;
+  /// Tasks neither frozen nor dropped — the re-solver's search space.
+  [[nodiscard]] std::size_t remaining_count() const noexcept;
+
+  /// Cheap structural self-check of the invariants listed in the header
+  /// comment (sizes, disjointness, closure, sequence ordering). The
+  /// authoritative diagnosis with per-violation detail lives in
+  /// ScheduleValidator::validate_partial.
+  [[nodiscard]] bool well_formed(const TaskGraph& graph) const;
+};
+
+/// ASAP timing of a partial schedule: frozen tasks are pinned at their
+/// realized history; every other task starts as soon as it is ready but
+/// never before decision_time (the controller cannot rewrite the past).
+/// `durations[i]` is task i's duration on its assigned processor — realized
+/// for frozen tasks, planning (expected) or realized for remaining ones,
+/// and 0 for dropped placeholders by convention.
+///
+/// The returned makespan is the maximum finish over *non-dropped* tasks:
+/// cancelled placeholders do not extend the execution. slack/bottom_level
+/// are left empty — Def. 3.3 slack is a property of complete static
+/// schedules, not of interrupted executions.
+ScheduleTiming partial_timing(const TaskGraph& graph, const Platform& platform,
+                              const PartialSchedule& partial,
+                              std::span<const double> durations);
+
+}  // namespace rts

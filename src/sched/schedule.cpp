@@ -71,4 +71,22 @@ TaskId Schedule::proc_successor(TaskId t) const {
   return proc_succ_[static_cast<std::size_t>(t)];
 }
 
+ScheduleBuilder::ScheduleBuilder(std::size_t task_count, std::size_t proc_count)
+    : task_count_(task_count), sequences_(proc_count) {
+  RTS_REQUIRE(task_count > 0, "schedule needs at least one task");
+  RTS_REQUIRE(proc_count > 0, "schedule needs at least one processor");
+}
+
+void ScheduleBuilder::append(ProcId proc, TaskId task) {
+  RTS_REQUIRE(proc >= 0 && static_cast<std::size_t>(proc) < sequences_.size(),
+              "processor id out of range");
+  RTS_REQUIRE(task >= 0 && static_cast<std::size_t>(task) < task_count_,
+              "task id out of range");
+  sequences_[static_cast<std::size_t>(proc)].push_back(task);
+}
+
+Schedule ScheduleBuilder::build() && {
+  return Schedule(task_count_, std::move(sequences_));
+}
+
 }  // namespace rts

@@ -62,4 +62,28 @@ class Schedule {
   std::vector<TaskId> proc_succ_;
 };
 
+/// Incremental assembler of per-processor sequences — the supported way to
+/// construct a Schedule from dispatch-style code outside src/sched and
+/// src/resched (enforced by rts_lint's no-raw-schedule rule). Append tasks
+/// in execution order per processor, then build() validates the placement
+/// invariants exactly like the Schedule constructor.
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(std::size_t task_count, std::size_t proc_count);
+
+  /// Append `task` at the tail of processor `proc`'s sequence.
+  void append(ProcId proc, TaskId task);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return task_count_; }
+  [[nodiscard]] std::size_t proc_count() const noexcept { return sequences_.size(); }
+
+  /// Finalize; throws InvalidArgument unless every task was appended exactly
+  /// once. The builder is consumed (sequences are moved out).
+  [[nodiscard]] Schedule build() &&;
+
+ private:
+  std::size_t task_count_;
+  std::vector<std::vector<TaskId>> sequences_;
+};
+
 }  // namespace rts

@@ -12,7 +12,8 @@ namespace rts {
 
 DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& platform,
                                       const Matrix<double>& expected,
-                                      const Matrix<double>& realized) {
+                                      const Matrix<double>& realized,
+                                      const CompletionHook& hook) {
   const std::size_t n = graph.task_count();
   const std::size_t m = platform.proc_count();
   RTS_REQUIRE(expected.rows() == n && expected.cols() == m,
@@ -38,11 +39,13 @@ DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& pl
     if (pending[t] == 0) ready.push(static_cast<TaskId>(t));
   }
 
-  DynamicRunResult result{Schedule(1, {{0}}), 0.0, std::vector<double>(n, 0.0),
-                          std::vector<double>(n, 0.0)};
-  std::vector<std::vector<TaskId>> sequences(m);
+  std::vector<double> start_of(n, 0.0);
+  std::vector<double> finish_of(n, 0.0);
+  double makespan = 0.0;
+  ScheduleBuilder builder(n, m);
   std::vector<double> proc_avail(m, 0.0);
   std::vector<ProcId> proc_of(n, kNoProc);
+  std::size_t completed = 0;
 
   while (!ready.empty()) {
     const TaskId t = ready.top();
@@ -54,7 +57,7 @@ DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& pl
       double es = proc_avail[p];
       for (const EdgeRef& e : graph.predecessors(t)) {
         const auto pred = static_cast<std::size_t>(e.task);
-        es = std::max(es, result.finish[pred] +
+        es = std::max(es, finish_of[pred] +
                               platform.comm_cost(e.data, proc_of[pred],
                                                  static_cast<ProcId>(p)));
       }
@@ -74,19 +77,24 @@ DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& pl
     // ...execute with the realized one.
     const double start = earliest_start(best_p);
     const double finish = start + realized(ti, best_p);
-    result.start[ti] = start;
-    result.finish[ti] = finish;
-    result.makespan = std::max(result.makespan, finish);
+    start_of[ti] = start;
+    finish_of[ti] = finish;
+    makespan = std::max(makespan, finish);
     proc_avail[best_p] = finish;
     proc_of[ti] = static_cast<ProcId>(best_p);
-    sequences[best_p].push_back(t);
+    builder.append(static_cast<ProcId>(best_p), t);
+    ++completed;
+    if (hook) {
+      hook(CompletionEvent{t, static_cast<ProcId>(best_p), start, finish, completed});
+    }
 
     for (const EdgeRef& e : graph.successors(t)) {
       if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);
     }
   }
-  result.schedule = Schedule(n, std::move(sequences));
-  return result;
+  RTS_REQUIRE(completed == n, "dispatcher stalled: task graph must be acyclic");
+  return DynamicRunResult{std::move(builder).build(), makespan, std::move(start_of),
+                          std::move(finish_of)};
 }
 
 RobustnessReport evaluate_dynamic_eft(const ProblemInstance& instance,

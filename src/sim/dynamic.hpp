@@ -23,6 +23,8 @@
 // TimingEvaluator's evaluation of the produced schedule under the realized
 // durations (cross-checked by tests).
 
+#include <functional>
+
 #include "sched/schedule.hpp"
 #include "sim/monte_carlo.hpp"
 #include "workload/problem.hpp"
@@ -37,11 +39,30 @@ struct DynamicRunResult {
   std::vector<double> finish;
 };
 
+/// One task completion as observed by the dispatcher. `completed` counts
+/// completions so far including this one (1-based), so the last event of a
+/// run carries completed == task_count.
+struct CompletionEvent {
+  TaskId task = kNoTask;
+  ProcId proc = kNoProc;
+  double start = 0.0;
+  double finish = 0.0;
+  std::size_t completed = 0;
+};
+
+/// Observer invoked by simulate_dynamic_eft exactly once per task, in
+/// dispatch order (the order placements are decided, which is NOT generally
+/// chronological in finish time). Online controllers (src/resched) subscribe
+/// here to watch execution unfold.
+using CompletionHook = std::function<void(const CompletionEvent&)>;
+
 /// Execute the online EFT dispatcher with planning costs `expected` and
-/// realized per-(task, processor) durations `realized` (both n x m).
+/// realized per-(task, processor) durations `realized` (both n x m). `hook`,
+/// when non-null, observes every completion exactly once.
 DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& platform,
                                       const Matrix<double>& expected,
-                                      const Matrix<double>& realized);
+                                      const Matrix<double>& realized,
+                                      const CompletionHook& hook = nullptr);
 
 /// Monte-Carlo evaluation of the dynamic dispatcher on `instance`: per
 /// realization the full n x m realized-duration matrix is drawn and the

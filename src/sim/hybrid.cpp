@@ -52,13 +52,13 @@ HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform
   std::vector<double> finish(n, 0.0);
   std::vector<ProcId> proc_of(n, kNoProc);
   std::vector<double> proc_avail(m, 0.0);
-  std::vector<std::vector<TaskId>> sequences(m);
+  ScheduleBuilder builder(n, m);
   double makespan = 0.0;
   for (std::size_t p = 0; p < m; ++p) {
     for (const TaskId t : plan.sequence(static_cast<ProcId>(p))) {
       const auto ti = static_cast<std::size_t>(t);
       if (!frozen[ti]) continue;
-      sequences[p].push_back(t);
+      builder.append(static_cast<ProcId>(p), t);
       finish[ti] = actual.finish[ti];
       proc_of[ti] = static_cast<ProcId>(p);
       proc_avail[p] = std::max(proc_avail[p], actual.finish[ti]);
@@ -116,7 +116,7 @@ HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform
     finish[ti] = start + realized(ti, best_p);
     proc_of[ti] = static_cast<ProcId>(best_p);
     proc_avail[best_p] = finish[ti];
-    sequences[best_p].push_back(t);
+    builder.append(static_cast<ProcId>(best_p), t);
     makespan = std::max(makespan, finish[ti]);
     for (const EdgeRef& e : graph.successors(t)) {
       const auto s = static_cast<std::size_t>(e.task);
@@ -130,7 +130,7 @@ HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform
   // is predecessor-closed — a frozen task's predecessors finished before it
   // started, hence started before the trigger themselves — so no edge runs
   // from an unfrozen task to a frozen one and the schedule is consistent.
-  return HybridRunResult{Schedule(n, std::move(sequences)), makespan, true, trigger,
+  return HybridRunResult{std::move(builder).build(), makespan, true, trigger,
                          redispatched};
 }
 

@@ -1,0 +1,31 @@
+#include "workload/deadlines.hpp"
+
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+
+void assign_deadlines(ProblemInstance& instance, const DeadlineParams& params, Rng& rng) {
+  RTS_REQUIRE(params.oversubscription >= 1.0, "oversubscription level must be >= 1");
+  RTS_REQUIRE(params.value_min > 0.0 && params.value_max >= params.value_min,
+              "task value range must be positive and non-empty");
+
+  const ListScheduleResult heft =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const ScheduleTiming timing = compute_schedule_timing(
+      instance.graph, instance.platform, heft.schedule, instance.expected);
+
+  const std::size_t n = instance.task_count();
+  instance.deadline.resize(n);
+  instance.value.resize(n);
+  const double floor = 1.0 / params.oversubscription;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double laxity = floor + rng.next_double() * (1.0 - floor);
+    instance.deadline[t] = timing.finish[t] * laxity;
+    instance.value[t] =
+        params.value_min + rng.next_double() * (params.value_max - params.value_min);
+  }
+}
+
+}  // namespace rts

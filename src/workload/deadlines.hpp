@@ -1,0 +1,32 @@
+#pragma once
+// Deadline/value synthesis for oversubscription scenarios (src/resched).
+// Real deadline-driven workloads (Mokhtari et al. 2020, Gentry et al. 2019)
+// arrive with per-task deadlines and values; the paper's Section 5 generator
+// has neither. This module grafts them onto any ProblemInstance in a way
+// that yields a controllable oversubscription level.
+
+#include "util/rng.hpp"
+#include "workload/problem.hpp"
+
+namespace rts {
+
+struct DeadlineParams {
+  /// Oversubscription level λ ≥ 1: each task's deadline is its HEFT finish
+  /// time (under expected costs) scaled by a per-task laxity drawn uniformly
+  /// from [1/λ, 1]. λ = 1 makes every deadline exactly achievable by the
+  /// deterministic HEFT plan; λ = 1.5 mixes tasks demanding the system run
+  /// up to 1.5x faster than that plan with near-achievable ones — the
+  /// heterogeneous urgency of real oversubscribed workloads, and the regime
+  /// where cancelling hopeless tasks frees capacity for borderline ones.
+  double oversubscription = 1.5;
+  /// Task values are drawn uniformly from [value_min, value_max].
+  double value_min = 1.0;
+  double value_max = 10.0;
+};
+
+/// Fill `instance.deadline` and `instance.value` in place. Deadlines derive
+/// from a HEFT schedule of the instance's expected costs; values are drawn
+/// from `rng`. Overwrites any existing deadlines/values.
+void assign_deadlines(ProblemInstance& instance, const DeadlineParams& params, Rng& rng);
+
+}  // namespace rts

@@ -1,5 +1,7 @@
 #include "workload/problem.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 #include "workload/cov_model.hpp"
 #include "workload/dag_generator.hpp"
@@ -22,6 +24,16 @@ void ProblemInstance::validate() const {
       RTS_REQUIRE(expected(t, p) == ul(t, p) * bcet(t, p),
                   "expected must equal ul * bcet elementwise");
     }
+  }
+  RTS_REQUIRE(deadline.empty() || deadline.size() == n,
+              "deadline vector must be empty or one entry per task");
+  RTS_REQUIRE(value.empty() || value.size() == n,
+              "value vector must be empty or one entry per task");
+  for (const double d : deadline) {
+    RTS_REQUIRE(d > 0.0 && std::isfinite(d), "deadlines must be positive and finite");
+  }
+  for (const double v : value) {
+    RTS_REQUIRE(v > 0.0 && std::isfinite(v), "task values must be positive and finite");
   }
 }
 

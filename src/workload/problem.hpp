@@ -14,7 +14,10 @@ namespace rts {
 /// Bundled problem instance. Invariants: bcet/ul/expected are n x m with
 /// n = graph.task_count(), m = platform.proc_count(); all entries positive;
 /// ul entries >= 1 so that the realized-duration law U(b, (2UL-1)b) is well
-/// formed with mean UL*b.
+/// formed with mean UL*b. The optional deadline/value vectors back the
+/// oversubscription scenarios of src/resched: either empty (no deadlines,
+/// unit values — every pre-existing workload) or size n with positive finite
+/// entries.
 struct ProblemInstance {
   TaskGraph graph;
   Platform platform;
@@ -22,8 +25,20 @@ struct ProblemInstance {
   Matrix<double> ul;        ///< UL: per-(task, processor) uncertainty levels
   Matrix<double> expected;  ///< E(i,p) = ul(i,p) * bcet(i,p)
 
+  /// Per-task absolute completion deadlines; empty means "no deadlines".
+  std::vector<double> deadline{};
+  /// Per-task values accrued on on-time completion; empty means unit values.
+  std::vector<double> value{};
+
   [[nodiscard]] std::size_t task_count() const noexcept { return graph.task_count(); }
   [[nodiscard]] std::size_t proc_count() const noexcept { return platform.proc_count(); }
+
+  [[nodiscard]] bool has_deadlines() const noexcept { return !deadline.empty(); }
+
+  /// Value of one task, defaulting to 1 when the value vector is absent.
+  [[nodiscard]] double task_value(TaskId t) const {
+    return value.empty() ? 1.0 : value[static_cast<std::size_t>(t)];
+  }
 
   /// Throws InvalidArgument when any invariant above is violated.
   void validate() const;

@@ -89,6 +89,22 @@ void save_problem(std::ostream& os, const ProblemInstance& instance) {
   for (std::size_t t = 0; t < n; ++t) {
     os << instance.graph.task_name(static_cast<TaskId>(t)) << '\n';
   }
+  // Optional trailing sections (absent for deadline-free workloads so that
+  // documents stay readable by pre-deadline parsers of this format).
+  if (!instance.deadline.empty()) {
+    os << "deadlines\n";
+    for (std::size_t t = 0; t < n; ++t) {
+      os << (t ? " " : "") << instance.deadline[t];
+    }
+    os << '\n';
+  }
+  if (!instance.value.empty()) {
+    os << "values\n";
+    for (std::size_t t = 0; t < n; ++t) {
+      os << (t ? " " : "") << instance.value[t];
+    }
+    os << '\n';
+  }
 }
 
 ProblemInstance load_problem(std::istream& is) {
@@ -136,8 +152,28 @@ ProblemInstance load_problem(std::istream& is) {
     graph.set_task_name(static_cast<TaskId>(t), name);
   }
 
-  ProblemInstance instance{std::move(graph), std::move(platform), std::move(bcet),
-                           std::move(ul), Matrix<double>{}};
+  // Optional trailing sections, in any order, each at most once.
+  std::vector<double> deadline;
+  std::vector<double> value;
+  std::string section;
+  while (is >> section) {
+    if (section == "deadlines") {
+      RTS_REQUIRE(deadline.empty(), "malformed document: duplicate deadlines section");
+      deadline.resize(n);
+      for (auto& d : deadline) d = read_value<double>(is, "deadline entry");
+    } else if (section == "values") {
+      RTS_REQUIRE(value.empty(), "malformed document: duplicate values section");
+      value.resize(n);
+      for (auto& v : value) v = read_value<double>(is, "value entry");
+    } else {
+      RTS_REQUIRE(false, "malformed document: unknown section '" + section + "'");
+    }
+  }
+
+  ProblemInstance instance{std::move(graph),    std::move(platform),
+                           std::move(bcet),     std::move(ul),
+                           Matrix<double>{},    std::move(deadline),
+                           std::move(value)};
   instance.expected = expected_costs(instance.bcet, instance.ul);
   instance.validate();
   return instance;
@@ -177,15 +213,16 @@ Schedule load_schedule(std::istream& is) {
   expect_token(is, "procs");
   const auto m = read_value<std::size_t>(is, "processor count");
   RTS_REQUIRE(m > 0 && m <= kMaxProcs, "processor count out of range");
-  std::vector<std::vector<TaskId>> sequences(m);
+  ScheduleBuilder builder(n, m);
   for (std::size_t p = 0; p < m; ++p) {
     expect_token(is, "seq");
     const auto len = read_value<std::size_t>(is, "sequence length");
     RTS_REQUIRE(len <= n, "sequence length exceeds task count");
-    sequences[p].resize(len);
-    for (auto& t : sequences[p]) t = read_value<TaskId>(is, "sequence entry");
+    for (std::size_t i = 0; i < len; ++i) {
+      builder.append(static_cast<ProcId>(p), read_value<TaskId>(is, "sequence entry"));
+    }
   }
-  return Schedule(n, std::move(sequences));
+  return std::move(builder).build();
 }
 
 }  // namespace rts

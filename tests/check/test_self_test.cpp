@@ -60,6 +60,13 @@ TEST(ValidatorSelfTest, ReportsExpectedViolationKinds) {
   EXPECT_TRUE(
       reported(FaultClass::kMakespanInflated, ViolationKind::kMakespanMismatch));
   EXPECT_TRUE(reported(FaultClass::kSlackPerturbed, ViolationKind::kSlackMismatch));
+  // Partial-schedule fault classes map onto the partial-mode violation kinds.
+  EXPECT_TRUE(reported(FaultClass::kFreezeLeak, ViolationKind::kFreezeClosure));
+  EXPECT_TRUE(reported(FaultClass::kDropLeak, ViolationKind::kDropClosure));
+  EXPECT_TRUE(
+      reported(FaultClass::kDroppedNotTail, ViolationKind::kPartialOrdering));
+  EXPECT_TRUE(
+      reported(FaultClass::kRemainingTooEarly, ViolationKind::kBeforeDecision));
 }
 
 TEST(ValidatorSelfTest, EmptyReportIsNotAllCaught) {

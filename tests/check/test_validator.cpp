@@ -6,6 +6,7 @@
 
 #include "../test_helpers.hpp"
 #include "sched/heft.hpp"
+#include "sched/partial_schedule.hpp"
 #include "sched/random_scheduler.hpp"
 #include "sched/timing.hpp"
 #include "util/error.hpp"
@@ -260,6 +261,99 @@ TEST(Validator, AcceptsAlgorithmOutputsOnRandomInstances) {
                                       instance.expected, rng);
     EXPECT_TRUE(validator.validate(rand.schedule, instance.expected).ok());
   }
+}
+
+// --- Partial-schedule mode (online rescheduling, src/resched) ---
+
+// Freezing the executed prefix at a mid-trajectory instant and feeding the
+// production partial_timing back as the claimed timing passes cleanly.
+TEST(ValidatorPartial, AcceptsFrozenPrefixWithClaimedTiming) {
+  const ChainFixture f;
+  const ScheduleTiming timing = f.true_timing();
+  const PartialSchedule partial = testing::freeze_at(f.schedule, timing, 2.0);
+  ASSERT_EQ(partial.frozen_count(), 1u);  // only task 0 has started by t=2
+  const ScheduleTiming claimed =
+      partial_timing(f.graph, f.platform, partial, f.durations);
+  EXPECT_TRUE(f.validator.validate_partial(partial, f.durations).ok());
+  EXPECT_TRUE(
+      f.validator.validate_partial(partial, f.durations, &claimed).ok());
+}
+
+// Freezing a task whose predecessor never started breaks predecessor closure.
+TEST(ValidatorPartial, FlagsFreezeClosure) {
+  const ChainFixture f;
+  const ScheduleTiming timing = f.true_timing();
+  PartialSchedule partial = testing::freeze_at(f.schedule, timing, 9.0);
+  ASSERT_EQ(partial.frozen_count(), 2u);  // tasks 0 and 1
+  partial.frozen[0] = 0;  // unfreeze the predecessor, keep task 1 frozen
+  const ValidationReport report =
+      f.validator.validate_partial(partial, f.durations);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kFreezeClosure));
+}
+
+// Cancelling a task while keeping its successor alive breaks descendant
+// closure: the successor can never receive its input.
+TEST(ValidatorPartial, FlagsDropClosure) {
+  const ChainFixture f;
+  const ScheduleTiming timing = f.true_timing();
+  PartialSchedule partial = testing::freeze_at(f.schedule, timing, -1.0);
+  partial.dropped[1] = 1;  // successor 2 stays live
+  std::vector<double> pdur = f.durations;
+  pdur[1] = 0.0;  // dropped placeholders carry no work
+  const ValidationReport report = f.validator.validate_partial(partial, pdur);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kDropClosure));
+}
+
+// A dropped placeholder parked ahead of live work on its processor violates
+// the frozen..., remaining..., dropped... sequence shape.
+TEST(ValidatorPartial, FlagsDroppedAheadOfLiveWork) {
+  TaskGraph g(2);  // two independent tasks: closure is trivially satisfied
+  const Platform platform(1, 1.0);
+  const ScheduleValidator validator(g, platform);
+  const PartialSchedule partial{Schedule(2, {{1, 0}}),
+                                {0, 0},
+                                {0, 1},  // task 1 dropped, yet first in line
+                                {0.0, 0.0},
+                                {0.0, 0.0},
+                                0.0};
+  const std::vector<double> pdur{1.0, 0.0};
+  const ValidationReport report = validator.validate_partial(partial, pdur);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kPartialOrdering));
+}
+
+// A claimed timing that starts live work before the decision instant is
+// rewriting history: flagged as kBeforeDecision.
+TEST(ValidatorPartial, FlagsClaimedStartBeforeDecisionInstant) {
+  const ChainFixture f;
+  const ScheduleTiming timing = f.true_timing();
+  const PartialSchedule partial = testing::freeze_at(f.schedule, timing, 2.0);
+  ScheduleTiming claimed =
+      partial_timing(f.graph, f.platform, partial, f.durations);
+  claimed.start[1] = 1.0;  // decision_time is 2.0
+  claimed.finish[1] = 1.0 + f.durations[1];
+  const ValidationReport report =
+      f.validator.validate_partial(partial, f.durations, &claimed);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kBeforeDecision));
+}
+
+// Sequences contradicting precedence are reported, not thrown — the fuzzer
+// and the rescheduler's audit path both rely on getting a report back.
+TEST(ValidatorPartial, ReportsCyclicSequencesInsteadOfThrowing) {
+  const ChainFixture f;
+  const PartialSchedule partial{Schedule(3, {{2, 0}, {1}}),  // 2 before 0
+                                {0, 0, 0},
+                                {0, 0, 0},
+                                {0.0, 0.0, 0.0},
+                                {0.0, 0.0, 0.0},
+                                -1.0};
+  const ValidationReport report =
+      f.validator.validate_partial(partial, f.durations);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(ViolationKind::kCyclicGs));
 }
 
 TEST(Validator, CheckModeReflectsEnvironment) {

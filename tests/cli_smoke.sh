@@ -60,6 +60,20 @@ grep -q '"r1"' r.json || fail "report json"
   --realizations 50 --csv sweep.csv | grep -q "M_HEFT" || fail "sweep"
 grep -q "epsilon,M0" sweep.csv || fail "sweep csv"
 
+# online rescheduling: a deadline-free problem gets deadlines assigned on the
+# fly, the report compares one-shot vs rescheduled execution, JSON lands on
+# disk, and --validate checks every projected partial schedule
+"$RTS" resched --problem p.rts --oversub 1.5 --realizations 6 --seed 1 \
+  --json resched.json | grep -q "deadline miss rate" || fail "resched output"
+grep -q '"one_shot"' resched.json || fail "resched json one_shot"
+grep -q '"deadline_miss_rate"' resched.json || fail "resched json metrics"
+"$RTS" resched --problem p.rts --drop never --realizations 6 --validate \
+  | grep -q "re-solves" || fail "resched never-drop"
+! "$RTS" resched --problem p.rts --drop nope >/dev/null 2>&1 \
+  || fail "bad drop policy accepted"
+! "$RTS" resched --problem p.rts --trigger nope >/dev/null 2>&1 \
+  || fail "bad trigger accepted"
+
 # evaluate accepts an explicit Monte-Carlo thread count and the report is
 # identical to the default-threads run (seed-stable substreams)
 "$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \

@@ -1,0 +1,176 @@
+#include "resched/drop_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+/// A fresh (nothing frozen, nothing dropped) partial over the HEFT plan plus
+/// the two analytic timings the policies consult.
+struct PolicyFixture {
+  ProblemInstance instance;
+  Schedule plan;
+  PartialSchedule partial;
+  ScheduleTiming predicted;
+  ScheduleTiming optimistic;
+
+  explicit PolicyFixture(std::uint64_t seed)
+      : instance(testing::small_instance(20, 3, 3.0, seed)),
+        plan(heft_schedule(instance.graph, instance.platform, instance.expected)
+                 .schedule),
+        partial(testing::freeze_at(
+            plan,
+            compute_schedule_timing(instance.graph, instance.platform, plan,
+                                    instance.expected),
+            -1.0)),
+        predicted(compute_schedule_timing(instance.graph, instance.platform, plan,
+                                          instance.expected)),
+        optimistic(compute_schedule_timing(instance.graph, instance.platform, plan,
+                                           instance.bcet)) {}
+
+  [[nodiscard]] DropContext context(const Matrix<double>* samples = nullptr) const {
+    return DropContext{&instance, &partial, &predicted, &optimistic, samples};
+  }
+};
+
+TEST(DropPolicy, StableNames) {
+  EXPECT_EQ(to_string(DropPolicyKind::kNever), "never");
+  EXPECT_EQ(to_string(DropPolicyKind::kDeadlineInfeasible), "deadline-infeasible");
+  EXPECT_EQ(to_string(DropPolicyKind::kProbabilistic), "probabilistic");
+}
+
+TEST(DropPolicy, NeverKeepsEverything) {
+  const PolicyFixture fx(1);
+  const auto policy = make_drop_policy(DropPolicyKind::kNever, {});
+  const DropContext ctx = fx.context();
+  for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+    const auto d = policy->decide(ctx, static_cast<TaskId>(t), 1e-6);
+    EXPECT_FALSE(d.dropped);
+    EXPECT_EQ(d.task, static_cast<TaskId>(t));
+    EXPECT_EQ(d.policy, DropPolicyKind::kNever);
+    EXPECT_DOUBLE_EQ(d.completion_prob, 1.0);
+  }
+}
+
+TEST(DropPolicy, InfeasibleDropsExactlyWhenBestCaseMisses) {
+  const PolicyFixture fx(2);
+  const auto policy = make_drop_policy(DropPolicyKind::kDeadlineInfeasible, {});
+  const DropContext ctx = fx.context();
+  for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+    const double best = fx.optimistic.finish[t];
+    const auto keep = policy->decide(ctx, static_cast<TaskId>(t), best + 1e-6);
+    EXPECT_FALSE(keep.dropped);
+    const auto drop = policy->decide(ctx, static_cast<TaskId>(t), best * 0.99);
+    EXPECT_TRUE(drop.dropped);
+    EXPECT_FALSE(drop.forced);
+    EXPECT_DOUBLE_EQ(drop.completion_prob, 0.0);
+  }
+}
+
+TEST(DropPolicy, CompletionProbabilityCountsOnTimeSamples) {
+  Matrix<double> samples(4, 2);
+  for (std::size_t k = 0; k < 4; ++k) {
+    samples(k, 0) = static_cast<double>(k + 1);  // finishes 1, 2, 3, 4
+    samples(k, 1) = 10.0;
+  }
+  EXPECT_DOUBLE_EQ(completion_probability(samples, 0, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(completion_probability(samples, 0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(completion_probability(samples, 0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(completion_probability(samples, 1, 9.0), 0.0);
+}
+
+TEST(DropPolicy, ProbabilisticThresholdSplitsKeepAndDrop) {
+  const PolicyFixture fx(3);
+  DropPolicyParams params;
+  params.min_completion_prob = 0.5;
+  params.mc_samples = 32;
+  const auto policy = make_drop_policy(DropPolicyKind::kProbabilistic, params);
+  Rng rng(7);
+  const Matrix<double> samples = sample_completion_finishes(
+      fx.instance, fx.partial, params.mc_samples, rng);
+  const DropContext ctx = fx.context(&samples);
+  for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+    // A deadline beyond every sampled finish is certainly kept; one below
+    // every sampled finish is certainly dropped.
+    double lo = samples(0, t), hi = samples(0, t);
+    for (std::size_t k = 1; k < samples.rows(); ++k) {
+      lo = std::min(lo, samples(k, t));
+      hi = std::max(hi, samples(k, t));
+    }
+    const auto keep = policy->decide(ctx, static_cast<TaskId>(t), hi + 1.0);
+    EXPECT_FALSE(keep.dropped);
+    EXPECT_DOUBLE_EQ(keep.completion_prob, 1.0);
+    const auto drop = policy->decide(ctx, static_cast<TaskId>(t), lo * 0.5);
+    EXPECT_TRUE(drop.dropped);
+    EXPECT_DOUBLE_EQ(drop.completion_prob, 0.0);
+  }
+}
+
+TEST(DropPolicy, DroppingIsMonotoneInDeadlineTightness) {
+  // Core pruning property: under the SAME finish samples, tightening every
+  // deadline can only enlarge the dropped set (both analytic and MC policies).
+  const PolicyFixture fx(4);
+  DropPolicyParams params;
+  params.min_completion_prob = 0.4;
+  Rng rng(11);
+  const Matrix<double> samples =
+      sample_completion_finishes(fx.instance, fx.partial, 48, rng);
+  const DropContext ctx = fx.context(&samples);
+  for (const DropPolicyKind kind :
+       {DropPolicyKind::kDeadlineInfeasible, DropPolicyKind::kProbabilistic}) {
+    const auto policy = make_drop_policy(kind, params);
+    for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+      const double loose = fx.predicted.finish[t] * 1.2;
+      const bool dropped_loose =
+          policy->decide(ctx, static_cast<TaskId>(t), loose).dropped;
+      const bool dropped_tight =
+          policy->decide(ctx, static_cast<TaskId>(t), loose * 0.5).dropped;
+      EXPECT_LE(dropped_loose, dropped_tight)
+          << to_string(kind) << " task " << t;
+    }
+  }
+}
+
+TEST(DropPolicy, SampleFinishesAreDeterministicAndPinHistory) {
+  const PolicyFixture fx(5);
+  Rng a(42), b(42);
+  const auto sa = sample_completion_finishes(fx.instance, fx.partial, 16, a);
+  const auto sb = sample_completion_finishes(fx.instance, fx.partial, 16, b);
+  EXPECT_EQ(sa, sb);
+
+  // Freeze half the plan: frozen finishes must be identical in every sample.
+  const auto timing = compute_schedule_timing(
+      fx.instance.graph, fx.instance.platform, fx.plan, fx.instance.expected);
+  const PartialSchedule frozen_half =
+      testing::freeze_at(fx.plan, timing, 0.5 * timing.makespan);
+  ASSERT_GT(frozen_half.frozen_count(), 0u);
+  Rng c(43);
+  const auto sc = sample_completion_finishes(fx.instance, frozen_half, 8, c);
+  for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+    if (!frozen_half.is_frozen(static_cast<TaskId>(t))) continue;
+    for (std::size_t k = 0; k < sc.rows(); ++k) {
+      EXPECT_EQ(sc(k, t), frozen_half.frozen_finish[t]);
+    }
+  }
+}
+
+TEST(DropPolicy, FactoryRejectsBadParams) {
+  DropPolicyParams params;
+  params.min_completion_prob = 1.5;
+  EXPECT_THROW(make_drop_policy(DropPolicyKind::kProbabilistic, params),
+               InvalidArgument);
+  params.min_completion_prob = 0.5;
+  params.mc_samples = 0;
+  EXPECT_THROW(make_drop_policy(DropPolicyKind::kProbabilistic, params),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,250 @@
+#include "resched/rescheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+#include "workload/deadlines.hpp"
+
+namespace rts {
+namespace {
+
+Matrix<double> worst_case(const ProblemInstance& instance) {
+  Matrix<double> realized(instance.task_count(), instance.proc_count());
+  for (std::size_t t = 0; t < realized.rows(); ++t) {
+    for (std::size_t p = 0; p < realized.cols(); ++p) {
+      realized(t, p) = (2.0 * instance.ul(t, p) - 1.0) * instance.bcet(t, p);
+    }
+  }
+  return realized;
+}
+
+ReschedConfig light_config() {
+  ReschedConfig config;
+  config.ga.population_size = 8;
+  config.ga.max_iterations = 12;
+  config.ga.stagnation_window = 6;
+  config.validate = true;  // every projected partial goes through the validator
+  return config;
+}
+
+TEST(OnlineRescheduler, ZeroDeviationIsANoop) {
+  const auto instance = testing::small_instance(30, 4, 3.0, 1);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto run = run_online_reschedule(instance, plan.schedule,
+                                         instance.expected, light_config());
+  EXPECT_EQ(run.resolves, 0u);
+  EXPECT_TRUE(run.decisions.empty());
+  EXPECT_EQ(run.final_schedule, plan.schedule);
+  EXPECT_NEAR(run.makespan, plan.makespan, 1e-9 * plan.makespan);
+  EXPECT_EQ(run.deadline_misses, 0u);  // no deadlines: only drops could miss
+  EXPECT_DOUBLE_EQ(run.value_accrued,
+                   static_cast<double>(instance.task_count()));
+}
+
+TEST(OnlineRescheduler, WorstCaseDriftTriggersAuditedResolves) {
+  const auto instance = testing::small_instance(40, 4, 4.0, 2);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto run = run_online_reschedule(instance, plan.schedule,
+                                         worst_case(instance), light_config());
+  ASSERT_GE(run.resolves, 1u);
+  ASSERT_EQ(run.decisions.size(), run.resolves);
+  double last_time = 0.0;
+  for (const auto& rec : run.decisions) {
+    EXPECT_EQ(rec.trigger, TriggerKind::kSlackExhaustion);
+    EXPECT_GT(rec.decision_time, last_time);  // strict progress per re-solve
+    last_time = rec.decision_time;
+    EXPECT_GT(rec.frozen, 0u);
+    EXPECT_GT(rec.ga_iterations, 0u);
+    EXPECT_GT(rec.resolved_makespan, 0.0);
+  }
+  std::size_t iteration_sum = 0;
+  for (const auto& rec : run.decisions) iteration_sum += rec.ga_iterations;
+  EXPECT_EQ(run.ga_iterations_total, iteration_sum);
+  // The realized trajectory it commits must be internally consistent.
+  double max_finish = 0.0;
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    EXPECT_LE(run.start[t], run.finish[t]);
+    max_finish = std::max(max_finish, run.finish[t]);
+  }
+  EXPECT_DOUBLE_EQ(run.makespan, max_finish);  // nothing dropped here
+}
+
+TEST(OnlineRescheduler, CadenceTriggerFiresWithoutDrift) {
+  const auto instance = testing::small_instance(30, 3, 2.0, 3);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  ReschedConfig config = light_config();
+  config.trigger = TriggerKind::kCadence;
+  config.cadence = 8;
+  config.max_resolves = 2;
+  const auto run = run_online_reschedule(instance, plan.schedule,
+                                         instance.expected, config);
+  EXPECT_EQ(run.resolves, 2u);  // unconditional: fires even on-plan
+  for (const auto& rec : run.decisions) {
+    EXPECT_EQ(rec.trigger, TriggerKind::kCadence);
+  }
+}
+
+TEST(OnlineRescheduler, DeterministicInItsArguments) {
+  const auto instance = testing::small_instance(35, 4, 3.0, 4);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const Matrix<double> realized = worst_case(instance);
+  const auto a =
+      run_online_reschedule(instance, plan.schedule, realized, light_config());
+  const auto b =
+      run_online_reschedule(instance, plan.schedule, realized, light_config());
+  EXPECT_EQ(a.final_schedule, b.final_schedule);
+  EXPECT_EQ(a.resolves, b.resolves);
+  EXPECT_EQ(a.finish, b.finish);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(OnlineRescheduler, ProbabilisticDroppingIsDescendantClosedAndAudited) {
+  auto instance = testing::small_instance(40, 3, 4.0, 5);
+  DeadlineParams dl;
+  dl.oversubscription = 2.5;  // heavily oversubscribed: drops are inevitable
+  Rng rng(9);
+  assign_deadlines(instance, dl, rng);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  ReschedConfig config = light_config();
+  config.trigger = TriggerKind::kDeadlineRisk;
+  config.drop = DropPolicyKind::kProbabilistic;
+  config.drop_params.min_completion_prob = 0.5;
+  config.drop_params.mc_samples = 24;
+  const auto run = run_online_reschedule(instance, plan.schedule,
+                                         worst_case(instance), config);
+  ASSERT_GE(run.resolves, 1u);
+  const std::size_t dropped_count = static_cast<std::size_t>(
+      std::count(run.dropped.begin(), run.dropped.end(), std::uint8_t{1}));
+  EXPECT_GT(dropped_count, 0u);
+  // Descendant closure: successors of a dropped task are dropped too.
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    if (run.dropped[t] == 0) continue;
+    for (const EdgeRef& e : instance.graph.successors(static_cast<TaskId>(t))) {
+      EXPECT_EQ(run.dropped[static_cast<std::size_t>(e.task)], 1)
+          << "successor of dropped task " << t << " kept";
+    }
+  }
+  // Every drop shows up in exactly one audit record.
+  std::size_t audited_drops = 0;
+  for (const auto& rec : run.decisions) {
+    for (const auto& d : rec.drops) {
+      if (d.dropped) {
+        ++audited_drops;
+        EXPECT_EQ(run.dropped[static_cast<std::size_t>(d.task)], 1);
+        EXPECT_EQ(d.decision_time, rec.decision_time);
+        if (!d.forced) {
+          EXPECT_LT(d.completion_prob, config.drop_params.min_completion_prob);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(audited_drops, dropped_count);
+  EXPECT_GE(run.deadline_misses, dropped_count);
+  // Accrued value excludes every miss.
+  double possible = 0.0;
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    possible += instance.task_value(static_cast<TaskId>(t));
+  }
+  EXPECT_LT(run.value_accrued, possible);
+  EXPECT_GE(run.value_accrued, 0.0);
+}
+
+TEST(OnlineRescheduler, TriageBudgetBoundsUnforcedDropsPerRound) {
+  auto instance = testing::small_instance(40, 3, 4.0, 12);
+  DeadlineParams dl;
+  dl.oversubscription = 2.5;
+  Rng rng(13);
+  assign_deadlines(instance, dl, rng);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  ReschedConfig config = light_config();
+  config.trigger = TriggerKind::kDeadlineRisk;
+  config.drop = DropPolicyKind::kProbabilistic;
+  config.drop_params.min_completion_prob = 0.5;
+  config.drop_params.mc_samples = 16;
+  config.drop_fraction_cap = 0.1;
+  const auto run = run_online_reschedule(instance, plan.schedule,
+                                         worst_case(instance), config);
+  std::size_t dropped_before = 0;
+  for (const auto& rec : run.decisions) {
+    const std::size_t live =
+        instance.task_count() - rec.frozen - dropped_before;
+    const auto budget = static_cast<std::size_t>(
+        std::ceil(config.drop_fraction_cap * static_cast<double>(live)));
+    std::size_t unforced = 0;
+    for (const auto& d : rec.drops) {
+      if (d.dropped && !d.forced) ++unforced;
+    }
+    EXPECT_LE(unforced, budget);
+    dropped_before += rec.dropped_new;
+  }
+  EXPECT_THROW(
+      [&] {
+        ReschedConfig bad = config;
+        bad.drop_fraction_cap = 0.0;
+        (void)run_online_reschedule(instance, plan.schedule,
+                                    worst_case(instance), bad);
+      }(),
+      InvalidArgument);
+}
+
+TEST(OnlineRescheduler, NeverPolicyDropsNothingEvenWhenOversubscribed) {
+  auto instance = testing::small_instance(30, 3, 4.0, 6);
+  DeadlineParams dl;
+  dl.oversubscription = 3.0;
+  Rng rng(10);
+  assign_deadlines(instance, dl, rng);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  ReschedConfig config = light_config();
+  config.trigger = TriggerKind::kDeadlineRisk;
+  const auto run = run_online_reschedule(instance, plan.schedule,
+                                         worst_case(instance), config);
+  EXPECT_EQ(std::count(run.dropped.begin(), run.dropped.end(), std::uint8_t{1}), 0);
+  EXPECT_GT(run.deadline_misses, 0u);  // misses happen; nothing is cancelled
+}
+
+TEST(ReschedEvaluation, ReportIsConsistentAndThreadInvariant) {
+  auto instance = testing::small_instance(25, 3, 3.0, 7);
+  DeadlineParams dl;
+  dl.oversubscription = 1.5;
+  Rng rng(11);
+  assign_deadlines(instance, dl, rng);
+  const auto plan =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  ReschedConfig config = light_config();
+  config.validate = false;
+  config.drop = DropPolicyKind::kProbabilistic;
+  config.drop_params.mc_samples = 16;
+  config.max_resolves = 2;
+  ReschedEvalConfig mc;
+  mc.realizations = 8;
+  mc.threads = 1;
+  const auto serial = evaluate_resched(instance, plan.schedule, config, mc);
+  mc.threads = 3;
+  const auto parallel = evaluate_resched(instance, plan.schedule, config, mc);
+  EXPECT_EQ(serial.mean_makespan, parallel.mean_makespan);
+  EXPECT_EQ(serial.deadline_miss_rate, parallel.deadline_miss_rate);
+  EXPECT_EQ(serial.mean_value_accrued, parallel.mean_value_accrued);
+  EXPECT_EQ(serial.mean_resolves, parallel.mean_resolves);
+
+  EXPECT_EQ(serial.realizations, 8u);
+  EXPECT_GE(serial.deadline_miss_rate, 0.0);
+  EXPECT_LE(serial.deadline_miss_rate, 1.0);
+  EXPECT_GT(serial.value_possible, 0.0);
+  EXPECT_LE(serial.mean_value_accrued, serial.value_possible);
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,135 @@
+#include "sched/partial_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+std::vector<double> assigned(const Matrix<double>& costs, const Schedule& schedule) {
+  std::vector<double> durations(schedule.task_count());
+  for (std::size_t t = 0; t < durations.size(); ++t) {
+    durations[t] = costs(t, static_cast<std::size_t>(
+                                schedule.proc_of(static_cast<TaskId>(t))));
+  }
+  return durations;
+}
+
+TEST(PartialSchedule, EmptyPrefixReproducesFullTiming) {
+  const auto instance = testing::small_instance(25, 3, 2.0, 1);
+  const auto heft =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto full = compute_schedule_timing(instance.graph, instance.platform,
+                                            heft.schedule, instance.expected);
+  const PartialSchedule partial = testing::freeze_at(heft.schedule, full, -1.0);
+  ASSERT_EQ(partial.frozen_count(), 0u);
+  EXPECT_TRUE(partial.well_formed(instance.graph));
+
+  // decision_time <= 0 floors nothing, so the partial sweep is plain ASAP.
+  const auto timing = partial_timing(instance.graph, instance.platform, partial,
+                                     assigned(instance.expected, heft.schedule));
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    EXPECT_NEAR(timing.start[t], full.start[t], 1e-9);
+    EXPECT_NEAR(timing.finish[t], full.finish[t], 1e-9);
+  }
+  EXPECT_NEAR(timing.makespan, full.makespan, 1e-9);
+}
+
+TEST(PartialSchedule, FrozenTasksArePinnedAndOthersFloored) {
+  const auto instance = testing::small_instance(30, 4, 3.0, 2);
+  const auto heft =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto full = compute_schedule_timing(instance.graph, instance.platform,
+                                            heft.schedule, instance.expected);
+  const double decision = 0.5 * full.makespan;
+  const PartialSchedule partial = testing::freeze_at(heft.schedule, full, decision);
+  ASSERT_GT(partial.frozen_count(), 0u);
+  ASSERT_GT(partial.remaining_count(), 0u);
+  EXPECT_TRUE(partial.well_formed(instance.graph));
+
+  const auto timing = partial_timing(instance.graph, instance.platform, partial,
+                                     assigned(instance.expected, heft.schedule));
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    if (partial.is_frozen(static_cast<TaskId>(t))) {
+      EXPECT_EQ(timing.start[t], partial.frozen_start[t]);
+      EXPECT_EQ(timing.finish[t], partial.frozen_finish[t]);
+    } else {
+      EXPECT_GE(timing.start[t], decision);
+    }
+  }
+}
+
+TEST(PartialSchedule, MakespanIgnoresDroppedPlaceholders) {
+  // Chain a -> b -> c on one processor with c dropped: the placeholder sits
+  // at the tail with zero duration and must not contribute to the makespan.
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule schedule(3, {{0, 1, 2}});
+  PartialSchedule partial{schedule, {0, 0, 0}, {0, 0, 1}, {0, 0, 0},
+                          {0, 0, 0}, 0.0};
+  EXPECT_TRUE(partial.well_formed(g));
+  EXPECT_EQ(partial.dropped_count(), 1u);
+
+  const std::vector<double> durations{2.0, 3.0, 0.0};
+  const auto timing = partial_timing(g, platform, partial, durations);
+  EXPECT_DOUBLE_EQ(timing.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(timing.finish[2], 5.0);  // placeholder, excluded from makespan
+}
+
+TEST(PartialSchedule, WellFormedRejectsStructuralViolations) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Schedule schedule(3, {{0, 1, 2}});
+  const PartialSchedule ok{schedule, {1, 0, 0}, {0, 0, 0}, {0, 0, 0},
+                           {0, 0, 1}, 1.0};
+  EXPECT_TRUE(ok.well_formed(g));
+
+  // Frozen set not predecessor-closed: b frozen but a is not.
+  PartialSchedule leak = ok;
+  leak.frozen = {0, 1, 0};
+  EXPECT_FALSE(leak.well_formed(g));
+
+  // Dropped set not descendant-closed: b dropped but c still live.
+  PartialSchedule open_drop = ok;
+  open_drop.frozen = {1, 0, 0};
+  open_drop.dropped = {0, 1, 0};
+  EXPECT_FALSE(open_drop.well_formed(g));
+
+  // A task flagged both frozen and dropped.
+  PartialSchedule both = ok;
+  both.dropped = {1, 0, 0};
+  EXPECT_FALSE(both.well_formed(g));
+
+  // Frozen task started after the decision instant.
+  PartialSchedule late = ok;
+  late.frozen_start = {2.0, 0.0, 0.0};
+  late.frozen_finish = {3.0, 0.0, 0.0};
+  EXPECT_FALSE(late.well_formed(g));
+
+  // Dropped placeholder not at the tail of its sequence.
+  const Schedule mixed(3, {{0, 1, 2}});
+  PartialSchedule not_tail{mixed, {0, 0, 0}, {0, 1, 1}, {0, 0, 0},
+                           {0, 0, 0}, 0.0};
+  EXPECT_TRUE(not_tail.well_formed(g));  // {b, c} dropped, both at the tail
+  const Schedule tail_first(3, {{1, 2, 0}});  // dropped b before live a
+  // (tail_first also breaks precedence; well_formed only sees phase order.)
+  PartialSchedule bad_tail{tail_first, {0, 0, 0}, {0, 1, 1}, {0, 0, 0},
+                           {0, 0, 0}, 0.0};
+  EXPECT_FALSE(bad_tail.well_formed(g));
+}
+
+TEST(PartialSchedule, PartialTimingRequiresWellFormedInput) {
+  const TaskGraph g = testing::chain3(0.0);
+  const Platform platform(1, 1.0);
+  const Schedule schedule(3, {{0, 1, 2}});
+  PartialSchedule broken{schedule, {0, 1, 0}, {0, 0, 0}, {0, 0, 0},
+                         {0, 0, 0}, 1.0};
+  const std::vector<double> durations{1.0, 1.0, 1.0};
+  EXPECT_THROW(partial_timing(g, platform, broken, durations), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

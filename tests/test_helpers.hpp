@@ -49,6 +49,28 @@ inline Matrix<double> uniform_costs(std::size_t n, std::size_t m, double value) 
   return Matrix<double>(n, m, value);
 }
 
+/// Freeze the prefix of `schedule` that has started by `decision_time` under
+/// `timing` (ASAP starts are non-decreasing along each sequence, so the
+/// frozen set is automatically a per-processor prefix). Nothing is dropped.
+inline PartialSchedule freeze_at(const Schedule& schedule, const ScheduleTiming& timing,
+                                 double decision_time) {
+  const std::size_t n = schedule.task_count();
+  PartialSchedule partial{schedule,
+                          std::vector<std::uint8_t>(n, 0),
+                          std::vector<std::uint8_t>(n, 0),
+                          std::vector<double>(n, 0.0),
+                          std::vector<double>(n, 0.0),
+                          decision_time};
+  for (std::size_t t = 0; t < n; ++t) {
+    if (timing.start[t] <= decision_time) {
+      partial.frozen[t] = 1;
+      partial.frozen_start[t] = timing.start[t];
+      partial.frozen_finish[t] = timing.finish[t];
+    }
+  }
+  return partial;
+}
+
 /// Small random problem instance for property tests: `n` tasks on `m`
 /// processors, medium heterogeneity, avg UL as given.
 inline ProblemInstance small_instance(std::size_t n, std::size_t m, double avg_ul,

@@ -1,0 +1,106 @@
+#include "workload/deadlines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "sched/heft.hpp"
+#include "sched/timing.hpp"
+#include "util/error.hpp"
+
+namespace rts {
+namespace {
+
+TEST(Deadlines, AssignsPositiveDeadlineAndValueToEveryTask) {
+  auto instance = testing::small_instance(25, 3, 2.0, 1);
+  ASSERT_FALSE(instance.has_deadlines());
+  DeadlineParams params;
+  Rng rng(3);
+  assign_deadlines(instance, params, rng);
+  ASSERT_TRUE(instance.has_deadlines());
+  ASSERT_EQ(instance.deadline.size(), instance.task_count());
+  ASSERT_EQ(instance.value.size(), instance.task_count());
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    EXPECT_GT(instance.deadline[t], 0.0);
+    EXPECT_GE(instance.value[t], params.value_min);
+    EXPECT_LE(instance.value[t], params.value_max);
+  }
+  instance.validate();  // the grafted fields satisfy the instance invariants
+}
+
+TEST(Deadlines, LambdaOneIsExactlyAchievableByTheHeftPlan) {
+  auto instance = testing::small_instance(30, 4, 2.0, 2);
+  DeadlineParams params;
+  params.oversubscription = 1.0;
+  Rng rng(5);
+  assign_deadlines(instance, params, rng);
+  const auto heft =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto timing = compute_schedule_timing(instance.graph, instance.platform,
+                                              heft.schedule, instance.expected);
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    EXPECT_NEAR(instance.deadline[t], timing.finish[t],
+                1e-9 * timing.finish[t]);
+  }
+}
+
+TEST(Deadlines, DeadlinesStayWithinTheLaxityBand) {
+  auto instance = testing::small_instance(30, 4, 2.0, 3);
+  DeadlineParams params;
+  params.oversubscription = 2.0;
+  Rng rng(7);
+  assign_deadlines(instance, params, rng);
+  const auto heft =
+      heft_schedule(instance.graph, instance.platform, instance.expected);
+  const auto timing = compute_schedule_timing(instance.graph, instance.platform,
+                                              heft.schedule, instance.expected);
+  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+    EXPECT_GE(instance.deadline[t],
+              timing.finish[t] / params.oversubscription - 1e-12);
+    EXPECT_LE(instance.deadline[t], timing.finish[t] + 1e-12);
+  }
+}
+
+TEST(Deadlines, HigherOversubscriptionTightensEveryDeadline) {
+  // Same seed => same laxity draws, so the comparison is per task.
+  auto loose = testing::small_instance(25, 3, 2.0, 4);
+  auto tight = loose;
+  DeadlineParams params;
+  params.oversubscription = 1.5;
+  Rng rng_a(11);
+  assign_deadlines(loose, params, rng_a);
+  params.oversubscription = 2.5;
+  Rng rng_b(11);
+  assign_deadlines(tight, params, rng_b);
+  for (std::size_t t = 0; t < loose.task_count(); ++t) {
+    EXPECT_LE(tight.deadline[t], loose.deadline[t] + 1e-12) << "task " << t;
+  }
+  EXPECT_EQ(loose.value, tight.value);  // values are unaffected by lambda
+}
+
+TEST(Deadlines, DeterministicInSeed) {
+  auto a = testing::small_instance(20, 3, 2.0, 5);
+  auto b = a;
+  DeadlineParams params;
+  Rng rng_a(13), rng_b(13);
+  assign_deadlines(a, params, rng_a);
+  assign_deadlines(b, params, rng_b);
+  EXPECT_EQ(a.deadline, b.deadline);
+  EXPECT_EQ(a.value, b.value);
+}
+
+TEST(Deadlines, RejectsBadParams) {
+  auto instance = testing::small_instance(10, 2, 2.0, 6);
+  Rng rng(1);
+  DeadlineParams params;
+  params.oversubscription = 0.9;
+  EXPECT_THROW(assign_deadlines(instance, params, rng), InvalidArgument);
+  params.oversubscription = 1.5;
+  params.value_min = 0.0;
+  EXPECT_THROW(assign_deadlines(instance, params, rng), InvalidArgument);
+  params.value_min = 5.0;
+  params.value_max = 4.0;
+  EXPECT_THROW(assign_deadlines(instance, params, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rts

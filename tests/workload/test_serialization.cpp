@@ -7,6 +7,7 @@
 
 #include "../test_helpers.hpp"
 #include "util/error.hpp"
+#include "workload/deadlines.hpp"
 
 namespace rts {
 namespace {
@@ -51,6 +52,81 @@ TEST(ProblemSerialization, HeterogeneousRatesSurvive) {
   const auto loaded = load_problem(buffer);
   EXPECT_EQ(loaded.platform.transfer_rate(0, 1), 2.5);
   EXPECT_EQ(loaded.platform.transfer_rate(1, 0), 0.25);
+}
+
+TEST(ProblemSerialization, DeadlinesAndValuesRoundTrip) {
+  auto instance = testing::small_instance(12, 3, 2.0, 8);
+  DeadlineParams params;
+  params.oversubscription = 1.5;
+  Rng rng(5);
+  assign_deadlines(instance, params, rng);
+  ASSERT_TRUE(instance.has_deadlines());
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  const auto loaded = load_problem(buffer);
+  EXPECT_TRUE(loaded.has_deadlines());
+  EXPECT_EQ(loaded.deadline, instance.deadline);
+  EXPECT_EQ(loaded.value, instance.value);
+}
+
+TEST(ProblemSerialization, DeadlineFreeDocumentsStayDeadlineFree) {
+  // Backward compatibility both ways: a deadline-free instance writes no
+  // trailing sections (so pre-deadline parsers still read it), and loading
+  // such a document leaves the optional fields empty.
+  const auto instance = testing::small_instance(10, 2, 2.0, 9);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  EXPECT_EQ(buffer.str().find("deadlines"), std::string::npos);
+  EXPECT_EQ(buffer.str().find("values"), std::string::npos);
+  const auto loaded = load_problem(buffer);
+  EXPECT_FALSE(loaded.has_deadlines());
+  EXPECT_TRUE(loaded.deadline.empty());
+  EXPECT_TRUE(loaded.value.empty());
+}
+
+TEST(ProblemSerialization, RejectsUnknownTrailingSection) {
+  const auto instance = testing::small_instance(8, 2, 2.0, 10);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  buffer << "priorities\n1 2 3\n";
+  EXPECT_THROW(load_problem(buffer), InvalidArgument);
+}
+
+TEST(ProblemSerialization, RejectsDuplicateDeadlinesSection) {
+  auto instance = testing::small_instance(8, 2, 2.0, 11);
+  DeadlineParams params;
+  Rng rng(6);
+  assign_deadlines(instance, params, rng);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  buffer << "deadlines\n";  // loader rejects before reading any entries
+  EXPECT_THROW(load_problem(buffer), InvalidArgument);
+}
+
+TEST(ProblemSerialization, RejectsTruncatedDeadlinesSection) {
+  const auto instance = testing::small_instance(8, 2, 2.0, 12);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  buffer << "deadlines\n1.0 2.0\n";  // 8 tasks need 8 entries
+  EXPECT_THROW(load_problem(buffer), InvalidArgument);
+}
+
+TEST(ProblemSerialization, RejectsNonPositiveDeadlineEntries) {
+  auto instance = testing::small_instance(6, 2, 2.0, 13);
+  DeadlineParams params;
+  Rng rng(7);
+  assign_deadlines(instance, params, rng);
+  std::stringstream buffer;
+  save_problem(buffer, instance);
+  std::string text = buffer.str();
+  // Corrupt the first deadline entry: validate() must reject it on load.
+  const auto pos = text.find("deadlines\n");
+  ASSERT_NE(pos, std::string::npos);
+  const auto entry = pos + std::string("deadlines\n").size();
+  const auto end = text.find(' ', entry);
+  text.replace(entry, end - entry, "-1");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_problem(corrupted), InvalidArgument);
 }
 
 TEST(ProblemSerialization, RejectsWrongMagic) {

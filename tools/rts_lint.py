@@ -26,6 +26,11 @@ docs/testing.md, "Static analysis"):
                      — solver hot loops must hoist an EvalWorkspace
                      (ga/eval.hpp) or a TimingEvaluator and rebuild() per
                      candidate instead of paying construction each iteration.
+  no-raw-schedule    raw Schedule(...) construction in src/ outside the
+                     schedule layers (src/sched, src/resched) — placements
+                     must come from the builders/decoders that establish the
+                     permutation-per-processor invariant by construction, not
+                     from hand-assembled sequence vectors.
 
 Escape hatch: a `// rts-lint: allow(<rule>)` comment on the offending line,
 or alone on the line directly above it, suppresses that rule for that line
@@ -169,6 +174,14 @@ RULES = [
         r"|\bcompute_(?:schedule_timing|makespan)\s*\(",
         lambda parts, path: "src" in parts and "ga" in parts,
         needs_loop=True,
+    ),
+    Rule(
+        "no-raw-schedule",
+        "raw Schedule construction outside src/sched and src/resched; build "
+        "placements through InsertionScheduleBuilder or decode()",
+        r"\bSchedule\s*[({]",
+        lambda parts, path: ("src" in parts and "sched" not in parts
+                             and "resched" not in parts),
     ),
 ]
 
@@ -327,6 +340,9 @@ SELFTEST = [
      "for (std::size_t i = 0; i < n; ++i) {\n"
      "  ev.rebuild(schedules[i]);\n"
      "}"),
+    ("no-raw-schedule", "src/sim/dynamic.cpp",
+     "return Schedule(n, std::move(sequences));",
+     "return builder.release_schedule();"),
     ("no-evaluator-in-loop", "src/ga/local_search.cpp",
      "while (improved) {\n"
      "  const double ms = compute_makespan(graph, platform, current, costs);\n"
@@ -380,6 +396,14 @@ def run_self_test():
         # ...and outside loop bodies it never fires, even in src/ga/.
         ("no-evaluator-in-loop", "src/ga/engine.cpp",
          "TimingEvaluator ev(graph, platform, schedule);"),
+        # The schedule layers own raw construction; tests/apps assemble
+        # fixtures freely.
+        ("no-raw-schedule", "src/sched/insertion_builder.cpp",
+         "return Schedule(n, std::move(sequences));"),
+        ("no-raw-schedule", "src/resched/rescheduler.cpp",
+         "return Schedule(n, std::move(sequences));"),
+        ("no-raw-schedule", "tests/sched/test_schedule.cpp",
+         "const Schedule s = Schedule(2, sequences);"),
     ]
     for rule, vpath, text in scoped:
         path = Path(vpath)
