@@ -15,6 +15,9 @@
 //     constraint;
 //   * Monte-Carlo robustness reports are bit-identical across thread counts
 //     (per-realization RNG substreams);
+//   * the batched lane-blocked Monte-Carlo sweep reproduces the scalar
+//     oracle's sample vector and statistics exactly, for every lane width
+//     (generic and fixed-width kernels alike);
 //   * classic lower bounds: M0 >= every assigned duration and >= every
 //     processor's total load;
 //   * replaying a zero-deviation realization (realized == expected) through
@@ -309,6 +312,37 @@ void check_metamorphic(FuzzContext& ctx, const ProblemInstance& instance,
     if (!ordered) {
       ctx.report("metamorphic=mc-report-coherence",
                  "tardiness/miss-rate/quantile ordering violated");
+    }
+  }
+
+  // Property: the batched lane-blocked sweep is bit-identical to the scalar
+  // one-realization-per-pass oracle — the full per-realization sample vector
+  // and every derived statistic — and the report is invariant under the
+  // lane_width knob (metamorphic: lane packing is pure layout). Width 3
+  // exercises the generic lane kernel, 8 and 32 the fixed-width
+  // register-blocked ones.
+  {
+    MonteCarloConfig mc;
+    mc.realizations = config.mc_realizations;
+    mc.seed = mc_seed;
+    mc.threads = 1;
+    mc.collect_samples = true;
+    mc.batched = false;
+    const RobustnessReport oracle = evaluate_robustness(instance, schedule, mc);
+    mc.batched = true;
+    for (const std::size_t lanes : {std::size_t{3}, std::size_t{8}, std::size_t{32}}) {
+      mc.lane_width = lanes;
+      const RobustnessReport batched = evaluate_robustness(instance, schedule, mc);
+      if (batched.samples != oracle.samples ||
+          batched.mean_realized_makespan != oracle.mean_realized_makespan ||
+          batched.mean_tardiness != oracle.mean_tardiness ||
+          batched.miss_rate != oracle.miss_rate || batched.r1 != oracle.r1 ||
+          batched.r2 != oracle.r2) {
+        std::ostringstream os;
+        os << "batched sweep (lane_width=" << lanes
+           << ") diverged from the scalar oracle";
+        ctx.report("differential=mc-batched-vs-scalar", os.str());
+      }
     }
   }
 

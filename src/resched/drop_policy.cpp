@@ -1,5 +1,9 @@
 #include "resched/drop_policy.hpp"
 
+#include <algorithm>
+#include <span>
+
+#include "sim/batched_sweep.hpp"
 #include "util/error.hpp"
 #include "workload/uncertainty.hpp"
 
@@ -101,21 +105,36 @@ Matrix<double> sample_completion_finishes(const ProblemInstance& instance,
   const std::size_t n = instance.task_count();
   RTS_REQUIRE(partial.task_count() == n, "partial schedule does not match instance");
 
+  // One compiled lane-blocked sweep for all samples (the scalar
+  // partial_timing recompiles Gs per call — per *sample* here). The shared
+  // rng draws lane k completely before lane k+1, in task order, so the draw
+  // sequence — and with it every finish bit — matches the scalar
+  // sample-at-a-time loop this replaces (tests/resched verify that).
+  const BatchedPartialSweep sweep(instance.graph, instance.platform, partial);
+  const std::size_t lane_width = std::min<std::size_t>(std::size_t{8}, samples);
   Matrix<double> finishes(samples, n);
-  std::vector<double> durations(n, 0.0);
-  for (std::size_t k = 0; k < samples; ++k) {
-    for (std::size_t t = 0; t < n; ++t) {
-      if (partial.frozen[t] != 0 || partial.dropped[t] != 0) {
-        durations[t] = 0.0;  // frozen are pinned anyway; dropped are placeholders
-        continue;
+  std::vector<double> durations(n * lane_width, 0.0);
+  std::vector<double> finish(n * lane_width);
+  for (std::size_t k0 = 0; k0 < samples; k0 += lane_width) {
+    const std::size_t lanes = std::min(lane_width, samples - k0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t t = 0; t < n; ++t) {
+        if (partial.frozen[t] != 0 || partial.dropped[t] != 0) {
+          // Frozen are pinned anyway; dropped are placeholders (no draw).
+          durations[t * lanes + l] = 0.0;
+          continue;
+        }
+        const auto p =
+            static_cast<std::size_t>(partial.schedule.proc_of(static_cast<TaskId>(t)));
+        durations[t * lanes + l] =
+            sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
       }
-      const auto p =
-          static_cast<std::size_t>(partial.schedule.proc_of(static_cast<TaskId>(t)));
-      durations[t] = sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
     }
-    const ScheduleTiming timing =
-        partial_timing(instance.graph, instance.platform, partial, durations);
-    for (std::size_t t = 0; t < n; ++t) finishes(k, t) = timing.finish[t];
+    sweep.forward(std::span<const double>(durations).first(n * lanes), lanes,
+                  std::span<double>(finish).first(n * lanes));
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t t = 0; t < n; ++t) finishes(k0 + l, t) = finish[t * lanes + l];
+    }
   }
   return finishes;
 }

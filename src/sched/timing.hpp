@@ -98,6 +98,21 @@ class TimingEvaluator {
     return topo_;
   }
 
+  /// Read-only views of the compiled predecessor CSR of Gs: offsets are
+  /// indexed by task id (not topo slot), costs are the precompiled edge
+  /// costs the scalar sweeps use. Valid until the next bind()/rebuild().
+  /// sim/batched_sweep re-compiles these into lane-blocked SoA form; taking
+  /// them verbatim is what makes the batched sweeps bit-identical.
+  [[nodiscard]] std::span<const std::size_t> gs_pred_offsets() const noexcept {
+    return pred_off_;
+  }
+  [[nodiscard]] std::span<const TaskId> gs_pred_tasks() const noexcept {
+    return pred_task_;
+  }
+  [[nodiscard]] std::span<const double> gs_pred_costs() const noexcept {
+    return pred_cost_;
+  }
+
  private:
   /// Build the predecessor CSR of Gs (shared by both rebuild paths);
   /// proc_of/proc_pred describe the processor placement and per-processor

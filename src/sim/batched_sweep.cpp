@@ -1,0 +1,406 @@
+#include "sim/batched_sweep.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+// The lane kernels come in two flavors with identical per-lane operand
+// order (so results are bit-identical between them):
+//
+//  * fixed-width templates (W = 4/8/16/32, the widths MonteCarloConfig and
+//    the bench exercise): the lane row lives in a local `double acc[W]`
+//    array, which the compiler proves alias-free and keeps in SIMD
+//    registers across the whole edge loop — one load + add + max per edge
+//    per register instead of a store/reload round trip through `finish`;
+//  * a runtime-width fallback (tail groups, unusual widths) that relaxes
+//    the `finish` rows in place.
+//
+// Packing independent lanes into one vector register never changes a lane's
+// result: each lane still evaluates the scalar sweep's exact max/+ chain in
+// the same order (src/ pins -ffp-contract=off so nothing is fused).
+
+namespace {
+
+/// Raw pointers into a compiled sweep's topo-ordered CSR.
+struct GsView {
+  const std::uint32_t* topo;
+  const std::size_t* off;
+  const std::uint32_t* pred;
+  const double* cost;
+  std::size_t n;
+};
+
+template <std::size_t W>
+void forward_w(const GsView& g, const double* dur, double* fin, double* ms) {
+  double msa[W];
+  for (std::size_t l = 0; l < W; ++l) msa[l] = 0.0;
+  for (std::size_t s = 0; s < g.n; ++s) {
+    const std::size_t t = g.topo[s];
+    // acc accumulates the lane start times, exactly as the scalar sweep's
+    // `start` accumulator: 0, relaxed over predecessors, then + duration.
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * W;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < W; ++l) acc[l] = std::max(acc[l], fp[l] + c);
+    }
+    const double* dt = dur + t * W;
+    double* ft = fin + t * W;
+    for (std::size_t l = 0; l < W; ++l) {
+      acc[l] += dt[l];
+      ft[l] = acc[l];
+      msa[l] = std::max(msa[l], acc[l]);
+    }
+  }
+  for (std::size_t l = 0; l < W; ++l) ms[l] = msa[l];
+}
+
+void forward_generic(const GsView& g, std::size_t lanes, const double* dur,
+                     double* fin, double* ms) {
+  for (std::size_t l = 0; l < lanes; ++l) ms[l] = 0.0;
+  for (std::size_t s = 0; s < g.n; ++s) {
+    const std::size_t t = g.topo[s];
+    double* ft = fin + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) ft[l] = 0.0;
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * lanes;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        ft[l] = std::max(ft[l], fp[l] + c);
+      }
+    }
+    const double* dt = dur + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ft[l] += dt[l];
+      ms[l] = std::max(ms[l], ft[l]);
+    }
+  }
+}
+
+template <std::size_t W>
+void forward_backward_w(const GsView& g, const double* dur, double* st,
+                        double* fin, double* bot, double* sl, double* ms) {
+  double msa[W];
+  for (std::size_t l = 0; l < W; ++l) msa[l] = 0.0;
+
+  // Forward sweep: start == top level Tl, finish = Tl + duration.
+  for (std::size_t s = 0; s < g.n; ++s) {
+    const std::size_t t = g.topo[s];
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * W;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < W; ++l) acc[l] = std::max(acc[l], fp[l] + c);
+    }
+    double* tt = st + t * W;
+    double* ft = fin + t * W;
+    const double* dt = dur + t * W;
+    for (std::size_t l = 0; l < W; ++l) {
+      tt[l] = acc[l];
+      acc[l] += dt[l];
+      ft[l] = acc[l];
+      msa[l] = std::max(msa[l], acc[l]);
+    }
+  }
+
+  // Backward sweep on the same predecessor edges, in reverse topological
+  // order; bottom doubles as the push-up accumulator exactly like the
+  // scalar full_timing_into. A node's own row is final when its slot is
+  // reached (all successors already pushed into it), so it can be hoisted
+  // into registers for the edge loop.
+  for (std::size_t i = 0; i < g.n * W; ++i) bot[i] = 0.0;
+  for (std::size_t s = g.n; s-- > 0;) {
+    const std::size_t t = g.topo[s];
+    double* btp = bot + t * W;
+    const double* dt = dur + t * W;
+    double bt[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      bt[l] = btp[l] + dt[l];
+      btp[l] = bt[l];
+    }
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      double* bp = bot + static_cast<std::size_t>(g.pred[k]) * W;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < W; ++l) bp[l] = std::max(bp[l], c + bt[l]);
+    }
+  }
+
+  // Slack, with the scalar sweep's exact operand order:
+  // max(0, (makespan - Bl) - Tl).
+  for (std::size_t t = 0; t < g.n; ++t) {
+    const double* bt = bot + t * W;
+    const double* tt = st + t * W;
+    double* lt = sl + t * W;
+    for (std::size_t l = 0; l < W; ++l) {
+      lt[l] = std::max(0.0, msa[l] - bt[l] - tt[l]);
+    }
+  }
+  for (std::size_t l = 0; l < W; ++l) ms[l] = msa[l];
+}
+
+void forward_backward_generic(const GsView& g, std::size_t lanes,
+                              const double* dur, double* st, double* fin,
+                              double* bot, double* sl, double* ms) {
+  for (std::size_t l = 0; l < lanes; ++l) ms[l] = 0.0;
+
+  for (std::size_t s = 0; s < g.n; ++s) {
+    const std::size_t t = g.topo[s];
+    double* ft = fin + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) ft[l] = 0.0;
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * lanes;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        ft[l] = std::max(ft[l], fp[l] + c);
+      }
+    }
+    double* tt = st + t * lanes;
+    const double* dt = dur + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      tt[l] = ft[l];
+      ft[l] += dt[l];
+      ms[l] = std::max(ms[l], ft[l]);
+    }
+  }
+
+  for (std::size_t i = 0; i < g.n * lanes; ++i) bot[i] = 0.0;
+  for (std::size_t s = g.n; s-- > 0;) {
+    const std::size_t t = g.topo[s];
+    double* bt = bot + t * lanes;
+    const double* dt = dur + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) bt[l] += dt[l];
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      double* bp = bot + static_cast<std::size_t>(g.pred[k]) * lanes;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        bp[l] = std::max(bp[l], c + bt[l]);
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < g.n; ++t) {
+    const double* bt = bot + t * lanes;
+    const double* tt = st + t * lanes;
+    double* lt = sl + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      lt[l] = std::max(0.0, ms[l] - bt[l] - tt[l]);
+    }
+  }
+}
+
+/// Partial-sweep view: pinned slots carry a frozen finish instead of edges.
+struct PartialView {
+  const std::uint32_t* topo;
+  const std::uint8_t* pinned;
+  const double* pinned_finish;
+  const std::size_t* off;
+  const std::uint32_t* pred;
+  const double* cost;
+  std::size_t n;
+  double floor;
+};
+
+template <std::size_t W>
+void partial_forward_w(const PartialView& g, const double* dur, double* fin) {
+  for (std::size_t s = 0; s < g.n; ++s) {
+    const std::size_t t = g.topo[s];
+    double* ft = fin + t * W;
+    if (g.pinned[s] != 0) {
+      const double pf = g.pinned_finish[s];
+      for (std::size_t l = 0; l < W; ++l) ft[l] = pf;
+      continue;
+    }
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = g.floor;
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * W;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < W; ++l) acc[l] = std::max(acc[l], fp[l] + c);
+    }
+    const double* dt = dur + t * W;
+    for (std::size_t l = 0; l < W; ++l) ft[l] = acc[l] + dt[l];
+  }
+}
+
+void partial_forward_generic(const PartialView& g, std::size_t lanes,
+                             const double* dur, double* fin) {
+  for (std::size_t s = 0; s < g.n; ++s) {
+    const std::size_t t = g.topo[s];
+    double* ft = fin + t * lanes;
+    if (g.pinned[s] != 0) {
+      const double pf = g.pinned_finish[s];
+      for (std::size_t l = 0; l < lanes; ++l) ft[l] = pf;
+      continue;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) ft[l] = g.floor;
+    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+      const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * lanes;
+      const double c = g.cost[k];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        ft[l] = std::max(ft[l], fp[l] + c);
+      }
+    }
+    const double* dt = dur + t * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) ft[l] += dt[l];
+  }
+}
+
+}  // namespace
+
+BatchedGsSweep::BatchedGsSweep(const TimingEvaluator& evaluator) {
+  RTS_REQUIRE(evaluator.compiled(),
+              "evaluator has no compiled schedule; rebuild() before batching");
+  n_ = evaluator.task_count();
+  const std::span<const TaskId> topo = evaluator.gs_topological_order();
+  const std::span<const std::size_t> off = evaluator.gs_pred_offsets();
+  const std::span<const TaskId> preds = evaluator.gs_pred_tasks();
+  const std::span<const double> costs = evaluator.gs_pred_costs();
+
+  // Re-pack the task-id-indexed CSR into topological order: the sweep then
+  // walks node_off_/edge_pred_/edge_cost_ front to back with no per-node
+  // indirection. Edge order within a node is preserved verbatim.
+  topo_.resize(n_);
+  node_off_.assign(n_ + 1, 0);
+  edge_pred_.resize(preds.size());
+  edge_cost_.resize(costs.size());
+  std::size_t e = 0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    const auto t = static_cast<std::size_t>(topo[s]);
+    topo_[s] = static_cast<std::uint32_t>(t);
+    for (std::size_t k = off[t]; k < off[t + 1]; ++k) {
+      edge_pred_[e] = static_cast<std::uint32_t>(preds[k]);
+      edge_cost_[e] = costs[k];
+      ++e;
+    }
+    node_off_[s + 1] = e;
+  }
+}
+
+void BatchedGsSweep::forward(std::span<const double> durations, std::size_t lanes,
+                             std::span<double> finish,
+                             std::span<double> makespans) const {
+  RTS_REQUIRE(lanes > 0, "lane count must be positive");
+  RTS_REQUIRE(durations.size() >= n_ * lanes, "duration buffer too small");
+  RTS_REQUIRE(finish.size() >= n_ * lanes, "finish buffer too small");
+  RTS_REQUIRE(makespans.size() >= lanes, "makespan buffer too small");
+
+  const GsView g{topo_.data(), node_off_.data(), edge_pred_.data(),
+                 edge_cost_.data(), n_};
+  const double* dur = durations.data();
+  double* fin = finish.data();
+  double* ms = makespans.data();
+  switch (lanes) {
+    case 4: forward_w<4>(g, dur, fin, ms); return;
+    case 8: forward_w<8>(g, dur, fin, ms); return;
+    case 16: forward_w<16>(g, dur, fin, ms); return;
+    case 32: forward_w<32>(g, dur, fin, ms); return;
+    default: forward_generic(g, lanes, dur, fin, ms); return;
+  }
+}
+
+void BatchedGsSweep::forward_backward(std::span<const double> durations,
+                                      std::size_t lanes, std::span<double> start,
+                                      std::span<double> finish,
+                                      std::span<double> bottom,
+                                      std::span<double> slack,
+                                      std::span<double> makespans) const {
+  RTS_REQUIRE(lanes > 0, "lane count must be positive");
+  RTS_REQUIRE(durations.size() >= n_ * lanes, "duration buffer too small");
+  RTS_REQUIRE(start.size() >= n_ * lanes, "start buffer too small");
+  RTS_REQUIRE(finish.size() >= n_ * lanes, "finish buffer too small");
+  RTS_REQUIRE(bottom.size() >= n_ * lanes, "bottom-level buffer too small");
+  RTS_REQUIRE(slack.size() >= n_ * lanes, "slack buffer too small");
+  RTS_REQUIRE(makespans.size() >= lanes, "makespan buffer too small");
+
+  const GsView g{topo_.data(), node_off_.data(), edge_pred_.data(),
+                 edge_cost_.data(), n_};
+  const double* dur = durations.data();
+  double* st = start.data();
+  double* fin = finish.data();
+  double* bot = bottom.data();
+  double* sl = slack.data();
+  double* ms = makespans.data();
+  switch (lanes) {
+    case 4: forward_backward_w<4>(g, dur, st, fin, bot, sl, ms); return;
+    case 8: forward_backward_w<8>(g, dur, st, fin, bot, sl, ms); return;
+    case 16: forward_backward_w<16>(g, dur, st, fin, bot, sl, ms); return;
+    case 32: forward_backward_w<32>(g, dur, st, fin, bot, sl, ms); return;
+    default:
+      forward_backward_generic(g, lanes, dur, st, fin, bot, sl, ms);
+      return;
+  }
+}
+
+BatchedPartialSweep::BatchedPartialSweep(const TaskGraph& graph,
+                                         const Platform& platform,
+                                         const PartialSchedule& partial) {
+  RTS_REQUIRE(partial.well_formed(graph), "partial schedule is not well formed");
+  n_ = graph.task_count();
+  floor_ = std::max(partial.decision_time, 0.0);
+
+  const Schedule& schedule = partial.schedule;
+  const TimingEvaluator evaluator(graph, platform, schedule);
+  const std::span<const TaskId> topo = evaluator.gs_topological_order();
+
+  // Edge enumeration mirrors partial_timing(): graph predecessors in edge
+  // order, then the processor predecessor as an unconditional zero-cost edge
+  // (unlike the static Gs compile, partial_timing relaxes it even when it is
+  // also a graph predecessor — idempotent, but mirrored for exactness).
+  // Frozen tasks get no edges at all: history is pinned, not recomputed.
+  topo_.resize(n_);
+  pinned_.assign(n_, 0);
+  pinned_finish_.assign(n_, 0.0);
+  node_off_.assign(n_ + 1, 0);
+  edge_pred_.clear();
+  edge_cost_.clear();
+  for (std::size_t s = 0; s < n_; ++s) {
+    const TaskId tid = topo[s];
+    const auto t = static_cast<std::size_t>(tid);
+    topo_[s] = static_cast<std::uint32_t>(t);
+    if (partial.frozen[t] != 0) {
+      pinned_[s] = 1;
+      pinned_finish_[s] = partial.frozen_finish[t];
+    } else {
+      const ProcId pt = schedule.proc_of(tid);
+      for (const EdgeRef& e : graph.predecessors(tid)) {
+        edge_pred_.push_back(static_cast<std::uint32_t>(e.task));
+        edge_cost_.push_back(
+            platform.comm_cost(e.data, schedule.proc_of(e.task), pt));
+      }
+      const TaskId pp = schedule.proc_predecessor(tid);
+      if (pp != kNoTask) {
+        edge_pred_.push_back(static_cast<std::uint32_t>(pp));
+        edge_cost_.push_back(0.0);
+      }
+    }
+    node_off_[s + 1] = edge_pred_.size();
+  }
+}
+
+void BatchedPartialSweep::forward(std::span<const double> durations,
+                                  std::size_t lanes,
+                                  std::span<double> finish) const {
+  RTS_REQUIRE(lanes > 0, "lane count must be positive");
+  RTS_REQUIRE(durations.size() >= n_ * lanes, "duration buffer too small");
+  RTS_REQUIRE(finish.size() >= n_ * lanes, "finish buffer too small");
+
+  const PartialView g{topo_.data(),      pinned_.data(), pinned_finish_.data(),
+                      node_off_.data(),  edge_pred_.data(), edge_cost_.data(),
+                      n_,                floor_};
+  const double* dur = durations.data();
+  double* fin = finish.data();
+  switch (lanes) {
+    case 4: partial_forward_w<4>(g, dur, fin); return;
+    case 8: partial_forward_w<8>(g, dur, fin); return;
+    case 16: partial_forward_w<16>(g, dur, fin); return;
+    case 32: partial_forward_w<32>(g, dur, fin); return;
+    default: partial_forward_generic(g, lanes, dur, fin); return;
+  }
+}
+
+}  // namespace rts

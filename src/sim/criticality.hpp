@@ -31,6 +31,12 @@ struct CriticalityConfig {
   double safe_threshold = 0.05;
   /// Tolerance (relative to the makespan) when testing zero float.
   double float_tolerance = 1e-9;
+  /// Lane-blocked batched sweep (sim/batched_sweep): `lane_width`
+  /// realizations per forward+backward pass over Gs. Bit-identical to the
+  /// scalar sweep (`batched = false`) for any lane width — pure performance
+  /// knobs, mirroring MonteCarloConfig.
+  bool batched = true;
+  std::size_t lane_width = 32;
 };
 
 /// Aggregated criticality report.

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <span>
 
 #include "sched/heft.hpp"
 #include "sched/timing.hpp"
+#include "sim/batched_sweep.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "workload/uncertainty.hpp"
@@ -138,6 +140,7 @@ RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule
                                  double threshold, const MonteCarloConfig& config,
                                  double* rescheduling_rate) {
   RTS_REQUIRE(config.realizations > 0, "need at least one realization");
+  RTS_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
   instance.validate();
   const std::size_t n = instance.task_count();
   const std::size_t m = instance.proc_count();
@@ -151,27 +154,103 @@ RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule
   std::vector<double> samples(config.realizations);
   std::vector<std::uint8_t> tripped(config.realizations, 0);
   const Rng root(config.seed);
-  const auto total = static_cast<std::int64_t>(config.realizations);
+
+  if (config.batched) {
+    // Fast path: hoist the plan compile + planned timing out of the
+    // realization loop (simulate_hybrid recomputes both per call) and run
+    // the static execution of `lane_width` realizations per batched pass.
+    // A lane whose every finish stays within the slip budget never triggers
+    // a reschedule, and its static makespan is bit-identical to
+    // simulate_hybrid's untripped result — only tripped lanes fall back to
+    // the scalar online re-dispatch. Trigger detection compares the same
+    // bits as the scalar path, so the tripped set is identical too.
+    const TimingEvaluator evaluator(instance.graph, instance.platform, plan);
+    const ScheduleTiming planned =
+        evaluator.full_timing(assigned_durations(instance.expected, plan));
+    const double slip_budget = threshold * planned.makespan;
+    const BatchedGsSweep sweep(evaluator);
+    const std::size_t lane_width = std::max<std::size_t>(1, config.lane_width);
+    const std::size_t total = config.realizations;
+    const auto lane_blocks =
+        static_cast<std::int64_t>((total + lane_width - 1) / lane_width);
+    std::vector<std::size_t> assigned_proc(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      assigned_proc[t] = static_cast<std::size_t>(plan.proc_of(static_cast<TaskId>(t)));
+    }
 #ifdef RTS_HAVE_OPENMP
 #pragma omp parallel
 #endif
-  {
-    Matrix<double> realized(n, m);
+    {
+      std::vector<Matrix<double>> realized(lane_width, Matrix<double>(n, m));
+      std::vector<double> durations(n * lane_width);
+      std::vector<double> finish(n * lane_width);
+      std::vector<double> makespans(lane_width);
 #ifdef RTS_HAVE_OPENMP
 #pragma omp for schedule(static)
 #endif
-    for (std::int64_t i = 0; i < total; ++i) {
-      Rng rng = root.substream(static_cast<std::uint64_t>(i));
-      for (std::size_t t = 0; t < n; ++t) {
-        for (std::size_t p = 0; p < m; ++p) {
-          realized(t, p) =
-              sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+      for (std::int64_t b = 0; b < lane_blocks; ++b) {
+        const std::size_t i0 = static_cast<std::size_t>(b) * lane_width;
+        const std::size_t lanes = std::min(lane_width, total - i0);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          Rng rng = root.substream(static_cast<std::uint64_t>(i0 + l));
+          Matrix<double>& r = realized[l];
+          // Full n x m draw in the scalar path's exact order: a realization's
+          // matrix does not depend on the lane it lands in.
+          for (std::size_t t = 0; t < n; ++t) {
+            for (std::size_t p = 0; p < m; ++p) {
+              r(t, p) =
+                  sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+            }
+          }
+          for (std::size_t t = 0; t < n; ++t) {
+            durations[t * lanes + l] = r(t, assigned_proc[t]);
+          }
+        }
+        sweep.forward(std::span<const double>(durations).first(n * lanes), lanes,
+                      finish, makespans);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          bool trip = false;
+          for (std::size_t t = 0; t < n && !trip; ++t) {
+            trip = finish[t * lanes + l] > planned.finish[t] + slip_budget;
+          }
+          if (!trip) {
+            samples[i0 + l] = makespans[l];
+            tripped[i0 + l] = 0;
+            continue;
+          }
+          const auto run = simulate_hybrid(instance.graph, instance.platform, plan,
+                                           instance.expected, realized[l], threshold);
+          samples[i0 + l] = run.makespan;
+          tripped[i0 + l] = run.rescheduled ? 1 : 0;
         }
       }
-      const auto run = simulate_hybrid(instance.graph, instance.platform, plan,
-                                       instance.expected, realized, threshold);
-      samples[static_cast<std::size_t>(i)] = run.makespan;
-      tripped[static_cast<std::size_t>(i)] = run.rescheduled ? 1 : 0;
+    }
+  } else {
+    const auto total = static_cast<std::int64_t>(config.realizations);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp parallel
+#endif
+    {
+      Matrix<double> realized(n, m);
+#ifdef RTS_HAVE_OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (std::int64_t i = 0; i < total; ++i) {
+        Rng rng = root.substream(static_cast<std::uint64_t>(i));
+        for (std::size_t t = 0; t < n; ++t) {
+          for (std::size_t p = 0; p < m; ++p) {
+            realized(t, p) =
+                sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+          }
+        }
+        // rts-lint: allow(no-scalar-mc-in-loop) — scalar oracle fallback;
+        // simulate_hybrid recompiles the plan and evaluates two full timings
+        // per realization.
+        const auto run = simulate_hybrid(instance.graph, instance.platform, plan,
+                                         instance.expected, realized, threshold);
+        samples[static_cast<std::size_t>(i)] = run.makespan;
+        tripped[static_cast<std::size_t>(i)] = run.rescheduled ? 1 : 0;
+      }
     }
   }
 

@@ -25,6 +25,24 @@ class RealizationSampler {
   /// Fill `durations` (size n) with one realization drawn from `rng`.
   void sample(Rng& rng, std::span<double> durations) const;
 
+  /// Same draw sequence, scattered into lane `lane` of a lane-major buffer
+  /// (`durations[t * stride + lane]`, size n * stride) for the batched
+  /// sweeps. Draw order per realization is identical to sample(), so a
+  /// realization's durations do not depend on which lane it lands in.
+  void sample_lane(Rng& rng, std::span<double> durations, std::size_t lane,
+                   std::size_t stride) const;
+
+  /// Fill `lanes` interleaved realizations at once: lane l draws from
+  /// `root.substream(first_stream + l)` with exactly sample()'s draw
+  /// sequence, into `durations[t * lanes + l]` (size >= n * lanes). For the
+  /// lane widths the batched sweeps use (4/8/16/32) the per-lane
+  /// xoshiro256** states are stepped in structure-of-arrays form, so the
+  /// auto-vectorizer advances all lanes' RNGs in SIMD; every lane's draws
+  /// are bit-identical to the scalar path by construction (same state
+  /// expansion, same step, same uniform transform, per lane).
+  void sample_lanes(const Rng& root, std::uint64_t first_stream,
+                    std::span<double> durations, std::size_t lanes) const;
+
   /// Expected durations on the assigned processors (UL * BCET); the paper's
   /// schedulers plan with these, and M0 is the makespan they induce.
   [[nodiscard]] const std::vector<double>& expected_durations() const noexcept {

@@ -66,15 +66,20 @@ double stddev(std::span<const double> xs) noexcept {
 
 double percentile(std::span<const double> xs, double p) {
   RTS_REQUIRE(!xs.empty(), "percentile of empty data");
-  RTS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
-  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted_xs, double p) {
+  RTS_REQUIRE(!sorted_xs.empty(), "percentile of empty data");
+  RTS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (sorted_xs.size() == 1) return sorted_xs.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted_xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const auto hi = std::min(lo + 1, sorted_xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
 }
 
 double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {

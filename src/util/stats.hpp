@@ -44,6 +44,12 @@ double stddev(std::span<const double> xs) noexcept;
 /// Linear-interpolated percentile, p in [0,100]. Sorts a copy.
 double percentile(std::span<const double> xs, double p);
 
+/// Same interpolation over data the caller has ALREADY sorted ascending —
+/// for hot paths that need several percentiles of one large sample (one
+/// sort instead of one per call). Bit-identical to percentile() on the
+/// same data.
+double percentile_sorted(std::span<const double> sorted_xs, double p);
+
 /// Pearson correlation coefficient; 0 when either series is constant.
 double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
 

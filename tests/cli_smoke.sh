@@ -82,6 +82,18 @@ grep -q '"deadline_miss_rate"' resched.json || fail "resched json metrics"
   > eval_def.txt || fail "evaluate default threads"
 diff eval_t2.txt eval_def.txt || fail "evaluate not thread-count stable"
 
+# the batched lane-blocked sweep (default) and the scalar oracle produce
+# byte-identical reports, whatever the lane width — the bit-identity
+# contract of sim/batched_sweep surfaced end to end through the CLI
+"$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \
+  --scalar --json eval_scalar.json > /dev/null || fail "evaluate --scalar"
+"$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \
+  --json eval_batched.json > /dev/null || fail "evaluate batched"
+"$RTS" evaluate --problem p.rts --schedule s_heft.rts --realizations 50 \
+  --lanes 5 --json eval_lanes5.json > /dev/null || fail "evaluate --lanes"
+diff eval_scalar.json eval_batched.json || fail "batched sweep diverged from scalar"
+diff eval_scalar.json eval_lanes5.json || fail "lane width changed the report"
+
 # rts_serve: batch serving with worker threads and a result cache
 if [ -n "$SERVE" ]; then
   # 3-job request file -> 3 JSON result lines, exit 0

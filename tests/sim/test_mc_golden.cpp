@@ -1,0 +1,97 @@
+// Golden-value regression fixtures for the Monte-Carlo robustness estimator.
+//
+// Five fixed (instance, seed, N) triples with their published-figure
+// statistics (M0, E[M_i], alpha, R1, R2) checked to EXACT BITS (hexfloat
+// literals, EXPECT_EQ). A kernel refactor that silently shifts any rounding
+// — a reordered reduction, a fused multiply-add (src/ pins -ffp-contract=off
+// for this reason), a changed draw order — fails here even if the shift is
+// far below statistical noise, so it cannot silently move the published
+// fig5-fig8 numbers.
+//
+// Both the batched (default) and the scalar-oracle sweeps are checked
+// against the SAME goldens: the two paths promise bit-identical output.
+//
+// Regenerating (only after an *intentional* semantics change, e.g. a new RNG
+// or sampler): print the five reports with std::printf("%a") on x86-64
+// Linux and update the table; the accompanying PR must call out that the
+// published figures shift.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "sched/random_scheduler.hpp"
+
+namespace rts {
+namespace {
+
+struct GoldenTriple {
+  std::uint64_t instance_seed;
+  std::size_t n;
+  std::size_t m;
+  double avg_ul;
+  std::uint64_t mc_seed;
+  std::size_t realizations;
+  double expected_makespan;
+  double mean_realized_makespan;
+  double miss_rate;
+  double r1;
+  double r2;
+};
+
+// clang-format off
+const GoldenTriple kGoldens[] = {
+    {101, 20, 3, 2.0, 1, 1000,
+     0x1.1995f183ad0fbp+8, 0x1.2830d577195eep+8,
+     0x1.56872b020c49cp-1, 0x1.9974af5292133p+3, 0x1.7ea922d2769ffp+0},
+    {102, 40, 4, 3.0, 2, 2000,
+     0x1.08b19dd4670c1p+10, 0x1.119127611445dp+10,
+     0x1.2d0e560418937p-1, 0x1.b9f591d5d2d16p+3, 0x1.b35fc845a8ecep+0},
+    {103, 60, 8, 4.0, 3, 500,
+     0x1.194f87f2347d7p+11, 0x1.1bf4d574d15adp+11,
+     0x1.051eb851eb852p-1, 0x1.769ee398caa8ap+3, 0x1.f5f5f5f5f5f5fp+0},
+    {104, 80, 4, 5.0, 4, 1500,
+     0x1.6424226cd5af7p+12, 0x1.6b876303a7b1ap+12,
+     0x1.15d867c3ece2ap-1, 0x1.969140f8b718fp+3, 0x1.d7be95b3434d6p+0},
+    {105, 100, 6, 3.0, 5, 1000,
+     0x1.2f0581535798fp+11, 0x1.381fdc458d0fep+11,
+     0x1.3126e978d4fdfp-1, 0x1.113c065c2bd66p+4, 0x1.ad87bb4671656p+0},
+};
+// clang-format on
+
+class McGolden : public ::testing::TestWithParam<bool> {};
+
+TEST_P(McGolden, FixedTriplesReproduceExactBits) {
+  const bool batched = GetParam();
+  for (const GoldenTriple& g : kGoldens) {
+    const auto instance =
+        testing::small_instance(g.n, g.m, g.avg_ul, g.instance_seed);
+    Rng rng(g.instance_seed ^ 0x5eedULL);
+    const auto schedule =
+        random_schedule(instance.graph, instance.platform, instance.expected, rng)
+            .schedule;
+    MonteCarloConfig config;
+    config.realizations = g.realizations;
+    config.seed = g.mc_seed;
+    config.batched = batched;
+    const auto report = evaluate_robustness(instance, schedule, config);
+
+    SCOPED_TRACE(::testing::Message()
+                 << "instance_seed=" << g.instance_seed << " n=" << g.n
+                 << " batched=" << batched);
+    EXPECT_EQ(report.expected_makespan, g.expected_makespan);
+    EXPECT_EQ(report.mean_realized_makespan, g.mean_realized_makespan);
+    EXPECT_EQ(report.miss_rate, g.miss_rate);
+    EXPECT_EQ(report.r1, g.r1);
+    EXPECT_EQ(report.r2, g.r2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchedAndScalar, McGolden, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "batched" : "scalar";
+                         });
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,106 @@
+// Distribution-level sanity checks of the Monte-Carlo robustness estimator:
+// the differential suite (test_mc_batched) proves batched == scalar to the
+// bit, but both could still be *consistently* wrong. These tests pin the
+// estimates to closed forms on analytically tractable instances, so a
+// regression in the sampler or the aggregation itself (not just the sweep)
+// is caught at the statistics level.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace rts {
+namespace {
+
+/// Two independent tasks on two processors, each realized U(10, 30)
+/// (BCET 10, UL 2, expected 20). The realized makespan is max(X, Y) with
+/// X, Y iid U(10, 30) and M0 = 20, so closed forms:
+///   alpha = P(max > 20) = 1 - (1/2)^2          = 0.75
+///   p50: ((m - 10)/20)^2 = 1/2  =>  m = 10 + 20/sqrt(2) ~ 24.1421
+ProblemInstance two_task_instance() {
+  TaskGraph graph(2);
+  Platform platform(2, 1.0);
+  ProblemInstance instance{std::move(graph), std::move(platform),
+                           Matrix<double>(2, 2, 10.0), Matrix<double>(2, 2, 2.0),
+                           Matrix<double>{}};
+  instance.expected = expected_costs(instance.bcet, instance.ul);
+  return instance;
+}
+
+TEST(McStats, MissRateWithinBinomialCiOfTwoTaskClosedForm) {
+  const auto instance = two_task_instance();
+  const Schedule schedule(2, {{0}, {1}});
+  MonteCarloConfig config;
+  config.realizations = 100000;
+  const auto report = evaluate_robustness(instance, schedule, config);
+
+  EXPECT_DOUBLE_EQ(report.expected_makespan, 20.0);
+  // alpha_hat is Binomial(N, 0.75)/N: sigma = sqrt(0.75 * 0.25 / N). A 5-sigma
+  // band keeps the false-failure odds per run below 1e-6 while still
+  // detecting any systematic bias beyond ~0.7% absolute.
+  const double sigma =
+      std::sqrt(0.75 * 0.25 / static_cast<double>(config.realizations));
+  EXPECT_NEAR(report.miss_rate, 0.75, 5.0 * sigma);
+  EXPECT_NEAR(report.r2, 1.0 / 0.75, 5.0 * sigma * 2.0);
+  EXPECT_NEAR(report.p50_realized_makespan, 10.0 + 20.0 / std::sqrt(2.0), 0.1);
+  // max(X, Y) of iid U(10, 30): E = 10 + 2/3 * 20.
+  EXPECT_NEAR(report.mean_realized_makespan, 10.0 + 40.0 / 3.0, 0.1);
+}
+
+TEST(McStats, R1MonotoneDecreasingInUlSpread) {
+  // Single task, BCET 10, uncertainty level ul: M ~ U(10, (2*ul - 1) * 10),
+  // M0 = 10 * ul, E[delta] = 0.25 * (ul - 1) / ul, so
+  //   R1 = 4 * ul / (ul - 1),
+  // strictly decreasing in ul — wider uncertainty means less robustness.
+  double prev_r1 = std::numeric_limits<double>::infinity();
+  for (const double ul : {1.25, 1.5, 2.0, 3.0, 5.0}) {
+    TaskGraph graph(1);
+    Platform platform(1, 1.0);
+    ProblemInstance instance{std::move(graph), std::move(platform),
+                             Matrix<double>(1, 1, 10.0), Matrix<double>(1, 1, ul),
+                             Matrix<double>{}};
+    instance.expected = expected_costs(instance.bcet, instance.ul);
+    const Schedule schedule(1, {{0}});
+    MonteCarloConfig config;
+    config.realizations = 50000;
+    const auto report = evaluate_robustness(instance, schedule, config);
+
+    const double closed_form = 4.0 * ul / (ul - 1.0);
+    EXPECT_NEAR(report.r1, closed_form, 0.03 * closed_form);
+    EXPECT_LT(report.r1, prev_r1);
+    prev_r1 = report.r1;
+  }
+}
+
+TEST(McStats, MissRateIncreasesWithParallelWidth) {
+  // K independent tasks on K processors, each U(10, 30): alpha = 1 - 2^-K.
+  // Monotone in K — more parallel chains, more ways to be tardy. (The
+  // paper's Jensen argument in test_monte_carlo is the qualitative version;
+  // this pins the exact rate.)
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    TaskGraph graph(k);
+    Platform platform(k, 1.0);
+    ProblemInstance instance{std::move(graph), std::move(platform),
+                             Matrix<double>(k, k, 10.0), Matrix<double>(k, k, 2.0),
+                             Matrix<double>{}};
+    instance.expected = expected_costs(instance.bcet, instance.ul);
+    std::vector<std::vector<TaskId>> sequences(k);
+    for (std::size_t t = 0; t < k; ++t) sequences[t] = {static_cast<TaskId>(t)};
+    const Schedule schedule(k, std::move(sequences));
+    MonteCarloConfig config;
+    config.realizations = 100000;
+    const auto report = evaluate_robustness(instance, schedule, config);
+
+    const double alpha = 1.0 - std::pow(0.5, static_cast<double>(k));
+    const double sigma =
+        std::sqrt(alpha * (1.0 - alpha) / static_cast<double>(config.realizations));
+    EXPECT_NEAR(report.miss_rate, alpha, 5.0 * sigma + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rts

@@ -31,6 +31,14 @@ docs/testing.md, "Static analysis"):
                      must come from the builders/decoders that establish the
                      permutation-per-processor invariant by construction, not
                      from hand-assembled sequence vectors.
+  no-scalar-mc-in-loop
+                     per-realization scalar timing sweeps (makespan_into,
+                     full_timing, partial_timing, compute_* or a .makespan()
+                     call) inside a loop body in src/sim/ or src/resched/ —
+                     Monte-Carlo loops must go through the lane-blocked
+                     batched kernels (sim/batched_sweep), which are
+                     bit-identical and several times faster; the retained
+                     scalar-oracle paths carry allow() markers.
 
 Escape hatch: a `// rts-lint: allow(<rule>)` comment on the offending line,
 or alone on the line directly above it, suppresses that rule for that line
@@ -182,6 +190,17 @@ RULES = [
         r"\bSchedule\s*[({]",
         lambda parts, path: ("src" in parts and "sched" not in parts
                              and "resched" not in parts),
+    ),
+    Rule(
+        "no-scalar-mc-in-loop",
+        "scalar timing sweep in a Monte-Carlo loop; batch realizations "
+        "through sim/batched_sweep (bit-identical, several times faster)",
+        r"\b(?:makespan_into|full_timing_into|full_timing|partial_timing"
+        r"|compute_makespan|compute_schedule_timing)\s*\("
+        r"|\.\s*makespan\s*\(",
+        lambda parts, path: ("src" in parts
+                             and ("sim" in parts or "resched" in parts)),
+        needs_loop=True,
     ),
 ]
 
@@ -343,6 +362,17 @@ SELFTEST = [
     ("no-raw-schedule", "src/sim/dynamic.cpp",
      "return Schedule(n, std::move(sequences));",
      "return builder.release_schedule();"),
+    ("no-scalar-mc-in-loop", "src/sim/monte_carlo.cpp",
+     "for (std::size_t i = begin; i < end; ++i) {\n"
+     "  samples[i] = evaluator.makespan_into(durations, scratch);\n"
+     "}",
+     "sweep.forward(durations, lanes, finish, makespans);"),
+    ("no-scalar-mc-in-loop", "src/resched/drop_policy.cpp",
+     "while (k < samples) {\n"
+     "  const auto timing = partial_timing(graph, platform, partial, durations);\n"
+     "}",
+     "const BatchedPartialSweep sweep(graph, platform, partial);\n"
+     "sweep.forward(durations, lanes, finish);"),
     ("no-evaluator-in-loop", "src/ga/local_search.cpp",
      "while (improved) {\n"
      "  const double ms = compute_makespan(graph, platform, current, costs);\n"
@@ -404,6 +434,16 @@ def run_self_test():
          "return Schedule(n, std::move(sequences));"),
         ("no-raw-schedule", "tests/sched/test_schedule.cpp",
          "const Schedule s = Schedule(2, sequences);"),
+        # The scalar-sweep rule polices the Monte-Carlo layers only: per-item
+        # timing calls in schedulers/solvers/tests are not realization loops.
+        ("no-scalar-mc-in-loop", "src/sched/heft.cpp",
+         "for (auto& s : candidates) {\n  best = ev.makespan(durations);\n}"),
+        ("no-scalar-mc-in-loop", "tests/sim/test_monte_carlo.cpp",
+         "for (int i = 0; i < 5; ++i) {\n"
+         "  const double ms = evaluator.makespan_into(d, scratch);\n}"),
+        # ...and outside loop bodies it never fires, even in src/sim/.
+        ("no-scalar-mc-in-loop", "src/sim/monte_carlo.cpp",
+         "report.expected_makespan = evaluator.makespan(expected);"),
     ]
     for rule, vpath, text in scoped:
         path = Path(vpath)
