@@ -127,27 +127,6 @@ std::string result_line(std::size_t index, const PendingJob& pending,
   return os.str();
 }
 
-std::string stats_json(const ServiceStats& s) {
-  std::ostringstream os;
-  os << "{\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
-     << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
-     << ",\"queue_depth\":" << s.queue_depth << ",\"in_flight\":" << s.in_flight
-     << ",\"workers\":" << s.workers;
-  os << ",\"p50_latency_ms\":";
-  append_number(os, s.p50_latency_ms);
-  os << ",\"p95_latency_ms\":";
-  append_number(os, s.p95_latency_ms);
-  os << ",\"max_latency_ms\":";
-  append_number(os, s.max_latency_ms);
-  os << ",\"cache_hits\":" << s.cache.hits << ",\"cache_misses\":" << s.cache.misses
-     << ",\"cache_evictions\":" << s.cache.evictions
-     << ",\"cache_entries\":" << s.cache.entries;
-  os << ",\"cache_hit_rate\":";
-  append_number(os, s.cache.hit_rate());
-  os << '}';
-  return os.str();
-}
-
 /// Parse one request line into a JobRequest; the problem pointer is resolved
 /// through `problems`, a per-path cache so N jobs on one file load it once.
 JobRequest parse_request(
@@ -264,7 +243,7 @@ int run(const Options& opts) {
   RTS_REQUIRE(out.good(), "write failure on result stream");
 
   if (opts.get_bool("stats", false)) {
-    std::cerr << stats_json(service.stats()) << '\n';
+    std::cerr << service_stats_to_json(service.stats()) << '\n';
   }
   service.shutdown();
   return failures == 0 ? 0 : 3;

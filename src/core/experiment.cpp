@@ -86,7 +86,8 @@ EvolutionTrace run_evolution_trace(const ExperimentScale& scale, ObjectiveKind o
 
   const auto graphs = static_cast<std::int64_t>(scale.num_graphs);
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
+#pragma omp parallel for schedule(dynamic) default(none) \
+    shared(scale, objective, ul, stride, graphs, num_steps, ms, sl, r1)
 #endif
   for (std::int64_t g = 0; g < graphs; ++g) {
     const ProblemInstance instance =
@@ -172,18 +173,24 @@ EpsilonUlSweep::EpsilonUlSweep(const ExperimentScale& scale, std::vector<double>
 
   const auto total =
       static_cast<std::int64_t>(num_graphs_ * uls_.size() * epsilons_.size());
+  // Local references to the members the region touches: class members are
+  // accessed through `this`, which default(none) cannot list.
+  const std::vector<double>& ul_grid = uls_;
+  const std::vector<double>& eps_grid = epsilons_;
+  std::vector<SweepCell>& cells = cells_;
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
+#pragma omp parallel for schedule(dynamic) default(none) \
+    shared(scale, total, instances, ul_grid, eps_grid, cells)
 #endif
   for (std::int64_t flat = 0; flat < total; ++flat) {
-    const auto e = static_cast<std::size_t>(flat) % epsilons_.size();
-    const auto u = (static_cast<std::size_t>(flat) / epsilons_.size()) % uls_.size();
-    const auto g = static_cast<std::size_t>(flat) / (epsilons_.size() * uls_.size());
-    const ProblemInstance& instance = instances[g * uls_.size() + u];
+    const auto e = static_cast<std::size_t>(flat) % eps_grid.size();
+    const auto u = (static_cast<std::size_t>(flat) / eps_grid.size()) % ul_grid.size();
+    const auto g = static_cast<std::size_t>(flat) / (eps_grid.size() * ul_grid.size());
+    const ProblemInstance& instance = instances[g * ul_grid.size() + u];
 
     GaConfig ga = scale.ga;
     ga.objective = ObjectiveKind::kEpsilonConstraint;
-    ga.epsilon = epsilons_[e];
+    ga.epsilon = eps_grid[e];
     ga.history_stride = 0;
     // Seeded per (graph, ul) but NOT per ε: all ε cells of one instance share
     // the GA's random trajectory, so ratios across ε (Figs. 5-8) are paired
@@ -203,7 +210,7 @@ EpsilonUlSweep::EpsilonUlSweep(const ExperimentScale& scale, std::vector<double>
     const RobustnessReport ga_rep = evaluate_robustness(instance, result.best_schedule, mc);
     const RobustnessReport heft_rep = evaluate_robustness(instance, heft.schedule, mc);
 
-    SweepCell& cell = cells_[static_cast<std::size_t>(flat)];
+    SweepCell& cell = cells[static_cast<std::size_t>(flat)];
     cell.ga_makespan = result.best_eval.makespan;
     cell.ga_slack = result.best_eval.avg_slack;
     cell.ga_r1 = ga_rep.r1;
@@ -215,7 +222,7 @@ EpsilonUlSweep::EpsilonUlSweep(const ExperimentScale& scale, std::vector<double>
     cell.heft_r2 = heft_rep.r2;
     cell.heft_tardiness = heft_rep.mean_tardiness;
     cell.heft_miss_rate = heft_rep.miss_rate;
-    RTS_LOG_INFO("sweep cell g=" << g << " ul=" << uls_[u] << " eps=" << epsilons_[e]
+    RTS_LOG_INFO("sweep cell g=" << g << " ul=" << ul_grid[u] << " eps=" << eps_grid[e]
                                  << " done");
   }
 }

@@ -86,10 +86,14 @@ GaResult run_ga(const TaskGraph& graph, const Platform& platform,
 #ifdef RTS_HAVE_OPENMP
     if (eval_threads > 1 && which.size() > 1) {
       const auto total = static_cast<std::int64_t>(which.size());
-#pragma omp parallel num_threads(static_cast<int>(eval_threads))
+      // Plain local reference: lambda captures cannot appear in data-sharing
+      // clauses, so default(none) needs the pool re-bound outside the region.
+      EvalWorkspacePool& ws_pool = pool;
+#pragma omp parallel num_threads(static_cast<int>(eval_threads)) \
+    default(none) shared(ws_pool, individuals, which, total)
       {
         EvalWorkspace& ws =
-            pool.workspace(static_cast<std::size_t>(omp_get_thread_num()));
+            ws_pool.workspace(static_cast<std::size_t>(omp_get_thread_num()));
 #pragma omp for schedule(static)
         for (std::int64_t k = 0; k < total; ++k) {
           Individual& ind = individuals[which[static_cast<std::size_t>(k)]];

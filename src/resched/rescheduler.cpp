@@ -413,7 +413,8 @@ ReschedEvalReport evaluate_resched(const ProblemInstance& instance, const Schedu
 #ifdef RTS_HAVE_OPENMP
   const int thread_count =
       mc.threads > 0 ? static_cast<int>(mc.threads) : omp_get_max_threads();
-#pragma omp parallel num_threads(thread_count)
+#pragma omp parallel num_threads(thread_count) default(none) \
+    shared(instance, plan, config, n, m, total, root, runs)
 #endif
   {
     Matrix<double> realized(n, m);

@@ -1,6 +1,9 @@
 #include "service/service_stats.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -57,6 +60,36 @@ LatencyRecorder::Quantiles LatencyRecorder::snapshot() const {
 std::uint64_t LatencyRecorder::count() const {
   const LockGuard lock(mutex_);
   return count_;
+}
+
+namespace {
+void append_number(std::ostringstream& os, double value) {
+  // Mirrors core/report_io.cpp: max round-trip precision, reject non-finite.
+  RTS_REQUIRE(std::isfinite(value), "cannot serialize non-finite value to JSON");
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+}
+}  // namespace
+
+std::string service_stats_to_json(const ServiceStats& s) {
+  std::ostringstream os;
+  os << "{\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
+     << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
+     << ",\"queue_depth\":" << s.queue_depth << ",\"in_flight\":" << s.in_flight
+     << ",\"workers\":" << s.workers;
+  os << ",\"p50_latency_ms\":";
+  append_number(os, s.p50_latency_ms);
+  os << ",\"p95_latency_ms\":";
+  append_number(os, s.p95_latency_ms);
+  os << ",\"max_latency_ms\":";
+  append_number(os, s.max_latency_ms);
+  os << ",\"cache_hits\":" << s.cache.hits << ",\"cache_misses\":" << s.cache.misses
+     << ",\"cache_evictions\":" << s.cache.evictions
+     << ",\"cache_entries\":" << s.cache.entries;
+  os << ",\"cache_hit_rate\":";
+  append_number(os, s.cache.hit_rate());
+  os << '}';
+  return os.str();
 }
 
 }  // namespace rts

@@ -4,6 +4,7 @@
 // consistent point-in-time snapshot (SchedulerService::stats()).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "service/result_cache.hpp"
@@ -26,6 +27,14 @@ struct ServiceStats {
   double max_latency_ms = 0.0;   ///<   the latency users observe)
   CacheStats cache;              ///< hit/miss/eviction counters + hit_rate()
 };
+
+/// Serialize a snapshot as a single JSON object with a fixed key order and
+/// max round-trip float precision. The output is a pure function of the
+/// snapshot's fields — byte-identical for equal snapshots across runs,
+/// thread counts and platforms — so it is safe to diff, digest, or assert
+/// on in tests. Latency quantiles are wall-clock measurements and therefore
+/// the only fields expected to vary between otherwise-identical runs.
+[[nodiscard]] std::string service_stats_to_json(const ServiceStats& stats);
 
 /// Thread-safe accumulator of completed-job latencies; snapshots compute the
 /// p50/p95/max quantiles on demand.

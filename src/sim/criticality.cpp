@@ -56,7 +56,9 @@ CriticalityReport analyze_criticality(const ProblemInstance& instance,
     const auto lane_blocks =
         static_cast<std::int64_t>((total + lane_width - 1) / lane_width);
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel
+#pragma omp parallel default(none) \
+    shared(config, n, lane_width, total, lane_blocks, sampler, root, sweep, \
+               critical_flags, total_critical_per_real)
 #endif
     {
       std::vector<double> durations(n * lane_width);
@@ -90,7 +92,9 @@ CriticalityReport analyze_criticality(const ProblemInstance& instance,
   } else {
     const auto total = static_cast<std::int64_t>(config.realizations);
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel
+#pragma omp parallel default(none) \
+    shared(config, n, total, sampler, root, evaluator, critical_flags, \
+               total_critical_per_real)
 #endif
     {
       // Per-thread scratch: the duration sample and the full-timing buffers

@@ -117,7 +117,7 @@ RobustnessReport evaluate_dynamic_eft(const ProblemInstance& instance,
   const Rng root(config.seed);
   const auto total = static_cast<std::int64_t>(config.realizations);
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel
+#pragma omp parallel default(none) shared(instance, n, m, total, root, samples)
 #endif
   {
     Matrix<double> realized(n, m);

@@ -178,7 +178,10 @@ RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule
       assigned_proc[t] = static_cast<std::size_t>(plan.proc_of(static_cast<TaskId>(t)));
     }
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel
+#pragma omp parallel default(none) \
+    shared(instance, plan, threshold, n, m, lane_width, total, lane_blocks, \
+               root, sweep, planned, slip_budget, assigned_proc, samples, \
+               tripped)
 #endif
     {
       std::vector<Matrix<double>> realized(lane_width, Matrix<double>(n, m));
@@ -228,7 +231,8 @@ RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule
   } else {
     const auto total = static_cast<std::int64_t>(config.realizations);
 #ifdef RTS_HAVE_OPENMP
-#pragma omp parallel
+#pragma omp parallel default(none) \
+    shared(instance, plan, threshold, n, m, total, root, samples, tripped)
 #endif
     {
       Matrix<double> realized(n, m);

@@ -93,7 +93,9 @@ RobustnessReport evaluate_robustness(const ProblemInstance& instance,
   const int num_threads = config.threads > 0
                               ? static_cast<int>(config.threads)
                               : omp_get_max_threads();
-#pragma omp parallel num_threads(num_threads)
+#pragma omp parallel num_threads(num_threads) default(none) \
+    shared(config, n, lane_width, block, total_blocks, sweep, sampler, root, \
+               evaluator, samples)
 #endif
   {
     std::vector<double> durations(config.batched ? n * lane_width : n);

@@ -220,5 +220,65 @@ TEST(SchedulerService, DestructorDrainsOutstandingJobs) {
   for (auto& f : futures) EXPECT_EQ(f.get().status, JobStatus::kOk);
 }
 
+TEST(SchedulerService, StatsJsonIsByteStableAcrossRuns) {
+  // Regression gate for the determinism sweep: the operational counters —
+  // and their JSON rendering — must be a pure function of the submitted
+  // workload. Two identical sessions (multi-worker, a cache small enough to
+  // evict, resubmissions that hit and miss) have to agree on every
+  // deterministic field; only the wall-clock latency quantiles may differ,
+  // so those are pinned before comparing serialized bytes.
+  const auto run_session = [] {
+    SchedulerServiceConfig config;
+    config.workers = 2;
+    config.queue_capacity = 16;
+    config.cache_capacity = 4;
+    SchedulerService service(config);
+    const auto submit_and_wait = [&](double epsilon, std::uint64_t seed) {
+      JobRequest request;
+      request.problem = shared_instance(77);
+      request.config = quick_config(epsilon, seed);
+      auto future = service.submit(request);
+      EXPECT_TRUE(future.has_value());
+      EXPECT_EQ(future->get().status, JobStatus::kOk);
+    };
+    // 8 distinct jobs overflow the 4-entry cache (evictions), then the last
+    // 4 are resubmitted (hits) and the first 2 again (misses, re-evicted).
+    // Waiting on each future keeps the cache's insert/lookup order — and so
+    // every counter — independent of worker scheduling.
+    for (int i = 0; i < 8; ++i) submit_and_wait(1.0 + 0.05 * i, 21);
+    for (int i = 4; i < 8; ++i) submit_and_wait(1.0 + 0.05 * i, 21);
+    for (int i = 0; i < 2; ++i) submit_and_wait(1.0 + 0.05 * i, 21);
+    const ServiceStats stats = service.stats();
+    service.shutdown();
+    return stats;
+  };
+
+  ServiceStats first = run_session();
+  ServiceStats second = run_session();
+
+  EXPECT_EQ(first.submitted, 14u);
+  EXPECT_EQ(first.completed, 14u);
+  EXPECT_EQ(first.rejected, 0u);
+  EXPECT_EQ(first.failed, 0u);
+  EXPECT_EQ(first.queue_depth, 0u);
+  EXPECT_EQ(first.in_flight, 0u);
+  EXPECT_EQ(first.cache.hits, second.cache.hits);
+  EXPECT_EQ(first.cache.misses, second.cache.misses);
+  EXPECT_EQ(first.cache.evictions, second.cache.evictions);
+  EXPECT_EQ(first.cache.entries, second.cache.entries);
+  EXPECT_GE(first.cache.hits, 4u);
+  EXPECT_GE(first.cache.evictions, 4u);
+
+  // Latency quantiles are wall-clock measurements — the one documented
+  // nondeterministic part of the snapshot. Pin them, then require the JSON
+  // bytes to match exactly.
+  for (ServiceStats* s : {&first, &second}) {
+    s->p50_latency_ms = 0.0;
+    s->p95_latency_ms = 0.0;
+    s->max_latency_ms = 0.0;
+  }
+  EXPECT_EQ(service_stats_to_json(first), service_stats_to_json(second));
+}
+
 }  // namespace
 }  // namespace rts

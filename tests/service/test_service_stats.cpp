@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "util/error.hpp"
@@ -82,6 +83,53 @@ TEST(LatencyRecorder, SnapshotsAreDeterministicInTheSampleSequence) {
 
 TEST(LatencyRecorder, RejectsZeroCapacity) {
   EXPECT_THROW(LatencyRecorder(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// service_stats_to_json: the serialized snapshot is a pure function of the
+// struct's fields — fixed key order, max round-trip precision — so equal
+// snapshots serialize to identical bytes on every run (rts-analyze's
+// determinism contract for service telemetry).
+
+TEST(ServiceStatsJson, GoldenBytes) {
+  ServiceStats s;
+  s.submitted = 12;
+  s.rejected = 1;
+  s.completed = 10;
+  s.failed = 2;
+  s.queue_depth = 3;
+  s.in_flight = 4;
+  s.workers = 2;
+  s.p50_latency_ms = 1.5;
+  s.p95_latency_ms = 9.25;
+  s.max_latency_ms = 20.0;
+  s.cache.hits = 6;
+  s.cache.misses = 2;
+  s.cache.evictions = 1;
+  s.cache.entries = 5;
+  EXPECT_EQ(service_stats_to_json(s),
+            "{\"submitted\":12,\"rejected\":1,\"completed\":10,\"failed\":2,"
+            "\"queue_depth\":3,\"in_flight\":4,\"workers\":2,"
+            "\"p50_latency_ms\":1.5,\"p95_latency_ms\":9.25,"
+            "\"max_latency_ms\":20,\"cache_hits\":6,\"cache_misses\":2,"
+            "\"cache_evictions\":1,\"cache_entries\":5,"
+            "\"cache_hit_rate\":0.75}");
+}
+
+TEST(ServiceStatsJson, EqualSnapshotsSerializeIdentically) {
+  ServiceStats a;
+  a.submitted = 7;
+  a.p95_latency_ms = 0.1 + 0.2;  // a value that exercises max_digits10
+  a.cache.hits = 3;
+  a.cache.misses = 1;
+  const ServiceStats b = a;
+  EXPECT_EQ(service_stats_to_json(a), service_stats_to_json(b));
+}
+
+TEST(ServiceStatsJson, RejectsNonFiniteLatency) {
+  ServiceStats s;
+  s.p50_latency_ms = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(service_stats_to_json(s), InvalidArgument);
 }
 
 }  // namespace

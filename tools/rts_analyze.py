@@ -1,0 +1,1444 @@
+#!/usr/bin/env python3
+"""rts_analyze — determinism & concurrency static analysis for the rts tree.
+
+Where tools/rts_lint.py matches single lines, rts_analyze builds a structural
+model of every translation unit — a scope tree (namespaces, classes,
+functions, lambdas, loops, OpenMP regions), per-scope symbol tables, member
+tables with Clang-TSA annotations, and an OpenMP pragma model — and enforces
+the project's *determinism* invariants, the ones that keep schedules and
+Monte-Carlo statistics bit-identical across lane widths, thread counts and
+ISAs (docs/testing.md, "Static analysis"):
+
+  nondet-container-iteration
+      range-for / iterator loops over std::unordered_map/set whose body has
+      order-sensitive effects — floating-point accumulation, appends to an
+      ordered container, or output. Hash-table iteration order is unspecified
+      and changes across libstdc++ versions, so any such loop silently breaks
+      the bit-identity contract. Iterate an index/sorted order instead.
+  omp-discipline
+      every `#pragma omp parallel` (incl. `parallel for`) must carry
+      `default(none)` with explicit data-sharing clauses, and floating-point
+      `reduction` clauses are banned: FP reduction order is unspecified, so
+      results vary with thread count. Use the repo's lane-accumulate-then-
+      ordered-merge pattern (dense per-index arrays, serial reduce).
+  rng-discipline
+      all random draws flow through rts::Rng / RealizationSampler xoshiro
+      substreams keyed by logical indices. std::random_device, rand()/srand(),
+      std:: engines, time()/clock()/now()-derived seeds and thread-id-
+      dependent seeds (omp_get_thread_num, this_thread::get_id) are errors.
+  fp-accumulation-order
+      double/float compound accumulation (or std::accumulate) whose operand
+      order is not provably fixed: accumulation inside unordered-container
+      iteration, std::accumulate over unordered ranges, and accumulation into
+      a variable declared outside the parallel region from inside an
+      `#pragma omp for` loop body (a cross-thread accumulation — both a race
+      and an ordering hazard).
+  tsa-coverage
+      members annotated RTS_GUARDED_BY(mu) may only be touched in methods
+      that hold `mu` — via a LockGuard/UniqueLock in an enclosing scope, an
+      RTS_REQUIRES(mu) annotation (declaration or definition), or
+      mu.assert_held() in a condition-variable predicate. This closes the gap
+      Clang TSA leaves on non-Clang builds: GCC ignores the attributes, so
+      without this rule an unguarded access only fails in the clang CI job.
+
+Frontends: with the Python libclang bindings installed (clang.cindex — CI
+pins python3-clang-14; see CONTRIBUTING.md) the analyzer parses each TU from
+compile_commands.json and uses the real AST to resolve declared types (auto,
+typedefs, members). Without them it falls back to the internal frontend's own
+declaration tables, which resolve everything this tree declares in-source.
+Rule logic is identical in both modes; libclang only sharpens type
+resolution.
+
+Escape hatches: a `// rts-analyze: allow(<rule>) — reason` comment on the
+offending line (or alone on the line directly above, or on the enclosing
+loop header for loop-body findings) suppresses that rule there. Intentional,
+reviewed suppressions that should not live inline go into the checked-in
+baseline file (tools/rts_analyze_baseline.txt): `path:rule` suppresses a
+rule for a whole file, `path:line:rule` one site. Stale baseline entries are
+reported as warnings so the file cannot rot.
+
+Usage:
+  tools/rts_analyze.py [paths...]            # default: src
+      [-p BUILD_DIR | --compile-commands FILE]
+      [--frontend auto|libclang|internal]    # default: auto
+      [--baseline FILE] [--output FILE] [--list-files] [--self-test]
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl"}
+HEADER_SUFFIXES = {".hpp", ".hh", ".h"}
+
+ALLOW_RE = re.compile(r"rts-analyze:\s*allow\(([A-Za-z0-9_-]+)\)")
+
+RULES = {
+    "nondet-container-iteration":
+        "iteration over an unordered container with order-sensitive effects; "
+        "iterate indices or a sorted snapshot instead",
+    "omp-discipline":
+        "OpenMP data-sharing discipline violation",
+    "rng-discipline":
+        "randomness outside rts::Rng substream discipline",
+    "fp-accumulation-order":
+        "floating-point accumulation whose operand order is not provably "
+        "fixed; use per-index lanes + an ordered serial merge",
+    "tsa-coverage":
+        "RTS_GUARDED_BY member accessed without holding its mutex "
+        "(LockGuard/UniqueLock, RTS_REQUIRES, or assert_held)",
+}
+
+UNORDERED_RE = re.compile(
+    r"\bunordered_(?:flat_)?(?:multi)?(?:map|set)\b")
+FLOAT_TYPE_RE = re.compile(r"\b(?:double|float)\b")
+ORDERED_APPEND_RE = re.compile(
+    r"\.\s*(?:push_back|emplace_back|push_front|emplace_front|append)\s*\(")
+OUTPUT_RE = re.compile(r"<<|RTS_LOG_\w+\s*\(")
+COMPOUND_FP_RE = re.compile(r"([A-Za-z_]\w*)\s*[-+*]=")
+ACCUMULATE_RE = re.compile(
+    r"\bstd::accumulate\s*\(\s*([A-Za-z_]\w*)\s*\.\s*(?:c?begin)\s*\(")
+RAW_RAND_RE = re.compile(
+    r"std::random_device|\bs?rand\s*\(|std::mt19937|std::minstd_rand"
+    r"|std::default_random_engine|std::ranlux\d*")
+TIME_SOURCE_RE = re.compile(
+    r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\bclock\s*\(\s*\)"
+    r"|::now\s*\(\s*\)|\bgettimeofday\s*\(")
+THREAD_ID_RE = re.compile(
+    r"\bomp_get_thread_num\s*\(\s*\)|this_thread::get_id\s*\(\s*\)"
+    r"|\bpthread_self\s*\(\s*\)|\bgetpid\s*\(\s*\)")
+SEED_SINK_RE = re.compile(r"\bRng\b|\bseed\b|\bsrand\b|\bsubstream\s*\(")
+
+LOCK_ACQUIRE_RE = re.compile(
+    r"\b(?:LockGuard|UniqueLock|std::lock_guard\s*<[^>]*>|"
+    r"std::unique_lock\s*<[^>]*>|std::scoped_lock\s*<[^>]*>?)\s+\w+\s*[({]\s*"
+    r"(\w+)\s*[)}]")
+ASSERT_HELD_RE = re.compile(r"(\w+)(?:\.|->)assert_held\s*\(\s*\)")
+GUARDED_MEMBER_RE = re.compile(
+    r"(\S[^;{}]*?)\s+(\w+)\s+RTS_GUARDED_BY\(\s*(\w+)\s*\)")
+MEMBER_DECL_RE = re.compile(
+    r"^(?:(?:const|static|constexpr|mutable|inline)\s+)*"
+    r"((?:std::)?[A-Za-z_]\w*(?:::\w+)*(?:\s*<.*>)?(?:\s*[&*])*)\s+"
+    r"(\w+)\s*(?:=|;|\{|$)")
+METHOD_ANNOT_RE = re.compile(
+    r"\b(~?\w+)\s*\([^;{}]*\)[^;{}]*\bRTS_(REQUIRES|NO_THREAD_SAFETY_ANALYSIS)"
+    r"(?:\(\s*([^)]*)\s*\))?")
+DECL_STMT_RE = re.compile(
+    r"^(?:(?:const|static|constexpr|mutable|inline|thread_local)\s+)*"
+    r"((?:std::)?[A-Za-z_]\w*(?:::\w+)*(?:\s*<.+>)?)"
+    r"((?:\s*[&*])*)\s+"
+    r"([A-Za-z_]\w*)\s*(?:[=({;,]|$)")
+DECL_KEYWORDS = {
+    "return", "delete", "throw", "goto", "break", "continue", "using",
+    "typedef", "case", "if", "else", "while", "for", "do", "switch", "new",
+    "public", "private", "protected", "friend", "template", "typename",
+    "namespace", "class", "struct", "enum", "union", "operator", "sizeof",
+    "co_return", "co_yield", "co_await",
+}
+RANGE_FOR_RE = re.compile(r"\bfor\s*\((.*)\)\s*$", re.S)
+ITER_LOOP_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?auto\s*&?\s*\w+\s*=\s*([A-Za-z_]\w*)\s*"
+    r"(?:\.|->)\s*c?begin\s*\(")
+INDEX_LOOP_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:]+(?:\s*<[^;]*>)?\s+\w+\s*=\s*[^;]+;"
+    r"[^;]*[<>!]=?[^;]*;")
+FUNC_HEADER_RE = re.compile(
+    r"([~\w]+(?:\s*::\s*[~\w]+)*)\s*\(([^;]*)\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*(?:\([^)]*\)\s*)?)?"
+    r"(?:->\s*[\w:<>,\s*&]+\s*)?(?:RTS_\w+\s*(?:\([^)]*\))?\s*)*"
+    r"(?::\s*[^{]*)?$", re.S)
+LAMBDA_HEADER_RE = re.compile(r"\[[^\[\]]*\]\s*(?:\([^)]*\))?\s*"
+                              r"(?:mutable\s*)?(?:noexcept\s*)?"
+                              r"(?:->\s*[\w:<>,\s*&]+\s*)?$", re.S)
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+
+# ---------------------------------------------------------------------------
+# Lexing: comment/string-stripped code lines, raw lines kept for allow().
+
+def strip_code(lines):
+    """Yield (lineno, code, raw) with comments and string/char literals
+    blanked out; tracks /* */ across lines."""
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        out = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                out.append(quote + quote)
+                continue
+            out.append(ch)
+            i += 1
+        yield lineno, "".join(out), raw
+
+
+# ---------------------------------------------------------------------------
+# Scope model.
+
+class Scope:
+    """One node of the scope tree while walking a file."""
+
+    __slots__ = ("kind", "name", "class_name", "decls", "locks", "loop",
+                 "omp_parallel", "omp_for", "annotations", "header_line",
+                 "reported", "paren_base")
+
+    def __init__(self, kind, name="", class_name=""):
+        self.kind = kind  # namespace | class | function | lambda | loop | block
+        self.paren_base = 0
+        self.name = name
+        self.class_name = class_name
+        self.decls = {}      # var name -> declared type text
+        self.locks = set()   # mutex names held in this scope
+        self.loop = None     # dict for loop scopes (see classify_header)
+        self.omp_parallel = False
+        self.omp_for = False
+        self.annotations = set()  # function scopes: RTS_REQUIRES targets etc.
+        self.header_line = 0
+        self.reported = set()  # per-scope finding dedupe keys
+
+
+class ClassInfo:
+    __slots__ = ("members", "guarded", "method_requires", "method_no_tsa")
+
+    def __init__(self):
+        self.members = {}          # name -> type text
+        self.guarded = {}          # name -> guarding mutex name
+        self.method_requires = {}  # method name -> set of mutex names
+        self.method_no_tsa = set()
+
+
+def split_top(text, sep=","):
+    """Split at `sep` outside (), <>, [], {}."""
+    parts, depth_p, depth_a, depth_b, depth_c, cur = [], 0, 0, 0, 0, []
+    for ch in text:
+        if ch == "(":
+            depth_p += 1
+        elif ch == ")":
+            depth_p -= 1
+        elif ch == "<":
+            depth_a += 1
+        elif ch == ">":
+            depth_a = max(0, depth_a - 1)
+        elif ch == "[":
+            depth_b += 1
+        elif ch == "]":
+            depth_b -= 1
+        elif ch == "{":
+            depth_c += 1
+        elif ch == "}":
+            depth_c -= 1
+        if ch == sep and depth_p == depth_a == depth_b == depth_c == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    parts.append("".join(cur))
+    return parts
+
+
+def parse_decl(stmt):
+    """Try to parse `stmt` as a variable declaration; return (type, name)."""
+    stmt = stmt.strip()
+    m = DECL_STMT_RE.match(stmt)
+    if not m:
+        return None
+    base, ptrs, name = m.group(1), m.group(2), m.group(3)
+    first_word = re.match(r"[\w:]+", base)
+    if first_word and first_word.group(0).split("::")[0] in DECL_KEYWORDS:
+        return None
+    if name in DECL_KEYWORDS:
+        return None
+    return (base + ptrs).strip(), name
+
+
+class FileModel:
+    """Internal frontend: walks one file, feeding rule callbacks."""
+
+    def __init__(self, analyzer, path, relpath):
+        self.an = analyzer
+        self.path = path
+        self.rel = relpath
+        self.scopes = [Scope("file")]
+        self.stmt = []           # pieces of the statement being assembled
+        self.stmt_line = 0
+        self.pending_omp = None  # (pragma text, lineno) awaiting its scope
+        self.paren = 0
+        self.scan_buf = []       # current line's scope-stable segment
+
+    # -- scope helpers ------------------------------------------------------
+
+    def current_class(self):
+        for s in reversed(self.scopes):
+            if s.kind == "class":
+                return s.name
+        return ""
+
+    def current_function(self):
+        for s in reversed(self.scopes):
+            if s.kind in ("function", "lambda"):
+                return s
+        return None
+
+    def enclosing_method(self):
+        """Innermost *named* method scope (skips lambdas)."""
+        for s in reversed(self.scopes):
+            if s.kind == "function":
+                return s
+        return None
+
+    def held_locks(self, through_lambda=False):
+        """Mutexes held at the current point. Lock state does not flow into
+        lambda bodies (they run later) unless re-established inside."""
+        held = set()
+        for s in reversed(self.scopes):
+            held |= s.locks
+            if s.kind == "lambda" and not through_lambda:
+                break
+        return held
+
+    def in_omp_parallel(self):
+        return any(s.omp_parallel for s in self.scopes)
+
+    def in_omp_for_loop(self):
+        return any(s.kind == "loop" and s.omp_for for s in self.scopes)
+
+    def innermost_loop(self):
+        for s in reversed(self.scopes):
+            if s.kind == "loop":
+                return s
+        return None
+
+    def resolve(self, name):
+        """Declared type of `name` at the current point, or None."""
+        for s in reversed(self.scopes):
+            if name in s.decls:
+                return s.decls[name]
+        cls = self.current_class() or self._method_class()
+        if cls:
+            info = self.an.classes.get(cls)
+            if info and name in info.members:
+                return info.members[name]
+        # libclang oracle: (file, name) -> canonical type.
+        oracle = self.an.libclang_types.get(self.rel)
+        if oracle and name in oracle:
+            return oracle[name]
+        return None
+
+    def _method_class(self):
+        fn = self.enclosing_method()
+        if fn and "::" in fn.name:
+            return fn.name.rsplit("::", 1)[0].strip()
+        return ""
+
+    def var_declared_inside_parallel(self, name):
+        """True when `name` is declared at or inside the innermost OpenMP
+        parallel region (so each thread owns its copy)."""
+        for s in reversed(self.scopes):
+            if name in s.decls:
+                return True
+            if s.omp_parallel:
+                return False
+        return False
+
+    # -- header classification ---------------------------------------------
+
+    def classify_header(self, header, lineno):
+        h = header.strip()
+        scope = None
+        if not h:
+            scope = Scope("block")
+        elif re.search(r"\bnamespace\b", h) and "(" not in h:
+            m = re.search(r"\bnamespace\s+(\w+)?", h)
+            scope = Scope("namespace", m.group(1) or "" if m else "")
+        elif re.search(r"\b(?:class|struct|union)\s+(\w+)[^;()]*$", h):
+            m = re.search(r"\b(?:class|struct|union)\s+(\w+)", h)
+            scope = Scope("class", m.group(1))
+            self.an.classes.setdefault(m.group(1), ClassInfo())
+        elif re.search(r"\benum\b", h) and "(" not in h:
+            scope = Scope("block")
+        elif re.search(r"\bfor\s*\(", h):
+            scope = self._loop_scope(h, lineno)
+        elif re.search(r"\b(?:while|do)\b", h):
+            scope = Scope("loop")
+            scope.loop = {"kind": "while", "iter_type": None,
+                          "nondet": False, "line": lineno}
+        elif re.search(r"\b(?:if|else|switch|try|catch)\b", h):
+            scope = Scope("block")
+        elif LAMBDA_HEADER_RE.search(h):
+            scope = Scope("lambda", class_name=self.current_class()
+                          or self._method_class())
+            self._add_params(scope, h)
+        elif FUNC_HEADER_RE.search(h) and self.paren == 0:
+            m = FUNC_HEADER_RE.search(h)
+            name = re.sub(r"\s+", "", m.group(1))
+            scope = Scope("function", name)
+            cls = self.current_class()
+            if not cls and "::" in name:
+                cls = name.rsplit("::", 1)[0]
+            scope.class_name = cls
+            self._add_params(scope, h)
+            for annot in re.finditer(
+                    r"RTS_(REQUIRES|NO_THREAD_SAFETY_ANALYSIS)"
+                    r"(?:\(\s*([^)]*)\s*\))?", h):
+                if annot.group(1) == "REQUIRES" and annot.group(2):
+                    for mu in annot.group(2).split(","):
+                        scope.annotations.add(mu.strip())
+                else:
+                    scope.annotations.add("<no-tsa>")
+        else:
+            scope = Scope("block")
+        scope.header_line = lineno
+        # Attach a pending OpenMP pragma to the scope it governs.
+        if self.pending_omp is not None:
+            text, pline = self.pending_omp
+            if re.search(r"\bparallel\b", text):
+                scope.omp_parallel = True
+            if re.search(r"\bfor\b", text) and scope.kind == "loop":
+                scope.omp_for = True
+            self.pending_omp = None
+        return scope
+
+    def _loop_scope(self, header, lineno):
+        scope = Scope("loop")
+        info = {"kind": "other", "iter_expr": None, "iter_type": None,
+                "nondet": False, "line": lineno}
+        m = RANGE_FOR_RE.search(header)
+        inner = m.group(1) if m else ""
+        parts = split_top(inner, ":") if inner else []
+        if len(parts) == 2 and ";" not in inner:
+            info["kind"] = "range"
+            expr = parts[1].strip()
+            info["iter_expr"] = expr
+            base = re.match(r"([A-Za-z_]\w*)\s*$", expr)
+            if base:
+                info["iter_type"] = self.resolve(base.group(1))
+            decl = parse_decl(parts[0].strip() + " ;")
+            if decl:
+                scope.decls[decl[1]] = decl[0]
+            else:
+                # structured bindings: for (const auto& [k, v] : m)
+                sb = re.search(r"\[([^\]]*)\]", parts[0])
+                if sb:
+                    for nm in sb.group(1).split(","):
+                        scope.decls[nm.strip()] = "auto"
+        else:
+            it = ITER_LOOP_RE.search(header)
+            if it:
+                info["kind"] = "iter"
+                info["iter_expr"] = it.group(1)
+                info["iter_type"] = self.resolve(it.group(1))
+            elif INDEX_LOOP_RE.search(header):
+                info["kind"] = "index"
+            if inner:
+                first = split_top(inner, ";")[0] if ";" in inner else parts[0]
+                decl = parse_decl(first.strip() + " ;")
+                if decl:
+                    scope.decls[decl[1]] = decl[0]
+        if info["iter_type"] and UNORDERED_RE.search(info["iter_type"]):
+            info["nondet"] = True
+        # Unresolved iterated expressions that *syntactically* name an
+        # unordered container (e.g. a direct member like `index_` whose type
+        # the oracle knows, or `foo.unordered_map_`) stay non-flagged: the
+        # rule only fires on proven unordered types, so it cannot false-
+        # positive on vectors it failed to resolve.
+        scope.loop = info
+        return scope
+
+    def _add_params(self, scope, header):
+        m = re.search(r"\(([^()]*(?:\([^()]*\)[^()]*)*)\)", header)
+        if not m:
+            return
+        for part in split_top(m.group(1)):
+            decl = parse_decl(part.strip() + " ;")
+            if decl:
+                scope.decls[decl[1]] = decl[0]
+
+    # -- statement / line processing ----------------------------------------
+
+    def feed_line(self, lineno, code, raw, prev_raw):
+        allow = set(ALLOW_RE.findall(raw)) | set(ALLOW_RE.findall(prev_raw))
+        stripped = code.strip()
+        if stripped.startswith("#"):
+            if re.match(r"#\s*pragma\s+omp\b", stripped):
+                self.an.pragma_buffer = (stripped.rstrip("\\").strip(), lineno,
+                                         allow)
+                if not raw.rstrip().endswith("\\"):
+                    self._finish_pragma()
+            return
+        if self.an.pragma_buffer is not None:
+            text, pline, pallow = self.an.pragma_buffer
+            self.an.pragma_buffer = (text + " " + stripped.rstrip("\\").strip(),
+                                     pline, pallow | allow)
+            if not raw.rstrip().endswith("\\"):
+                self._finish_pragma()
+            return
+        self._consume(lineno, code, allow)
+
+    def _finish_pragma(self):
+        text, lineno, allow = self.an.pragma_buffer
+        self.an.pragma_buffer = None
+        self.check_omp_pragma(text, lineno, allow)
+        self.pending_omp = (text, lineno)
+
+    def _consume(self, lineno, code, allow=None):
+        """Drive statement assembly, the scope stack, and — when `allow` is
+        not None (pass B) — rule scanning of scope-stable line segments.
+
+        `{` always opens a scope: at the enclosing scope's paren baseline it
+        is classified from the statement assembled so far (function, loop,
+        class, ...); at deeper paren nesting it is a lambda body when the
+        assembled tail reads like a lambda introducer (the `cv.wait(lock,
+        [this]{...})` shape), otherwise an inert brace-init scope. Each scope
+        records the paren depth it was opened at so `;`/`}` inside
+        call-argument lambdas still delimit statements correctly."""
+        for ch in code:
+            base = self.scopes[-1].paren_base
+            if ch == "(":
+                self.paren += 1
+            elif ch == ")":
+                self.paren = max(0, self.paren - 1)
+            elif ch == "{":
+                self._scan_segment(lineno, allow)
+                header = "".join(self.stmt).strip()
+                hline = self.stmt_line or lineno
+                if self.paren == base:
+                    scope = self.classify_header(header, hline)
+                elif LAMBDA_HEADER_RE.search(header):
+                    scope = Scope("lambda", class_name=self.current_class()
+                                  or self._method_class())
+                    scope.header_line = hline
+                    self._add_params(scope, header)
+                else:
+                    scope = Scope("block")
+                    scope.header_line = hline
+                scope.paren_base = self.paren
+                self.scopes.append(scope)
+                self.stmt = []
+                self.stmt_line = 0
+                continue
+            elif ch == "}" and self.paren == base:
+                self.scan_buf.append(ch)
+                self._scan_segment(lineno, allow)
+                self._end_statement(lineno)
+                if len(self.scopes) > 1:
+                    self.scopes.pop()
+                continue
+            elif ch == ";" and self.paren == base:
+                self.stmt.append(ch)
+                self.scan_buf.append(ch)
+                self._end_statement(lineno)
+                continue
+            if not self.stmt and not ch.isspace():
+                self.stmt_line = lineno
+            self.stmt.append(ch)
+            self.scan_buf.append(ch)
+        self._scan_segment(lineno, allow)
+
+    def _scan_segment(self, lineno, allow):
+        seg = "".join(self.scan_buf).strip()
+        self.scan_buf = []
+        if not seg or allow is None:
+            return
+        self._rule_rng(lineno, seg, allow)
+        self._rule_nondet_iteration(lineno, seg, allow)
+        self._rule_fp_accumulation(lineno, seg, allow)
+        self._rule_tsa(lineno, seg, allow)
+
+    def _end_statement(self, lineno):
+        stmt = "".join(self.stmt).strip()
+        line = self.stmt_line or lineno
+        self.stmt = []
+        self.stmt_line = 0
+        if not stmt:
+            return
+        top = self.scopes[-1]
+        if top.kind == "class":
+            self._class_statement(top, stmt)
+            return
+        decl = parse_decl(stmt)
+        if decl:
+            top.decls[decl[1]] = decl[0]
+        m = LOCK_ACQUIRE_RE.search(stmt)
+        if m:
+            top.locks.add(m.group(1))
+        m = ASSERT_HELD_RE.search(stmt)
+        if m:
+            top.locks.add(m.group(1))
+        _ = line
+
+    def _class_statement(self, scope, stmt):
+        info = self.an.classes.setdefault(scope.name, ClassInfo())
+        g = GUARDED_MEMBER_RE.search(stmt)
+        if g:
+            info.members[g.group(2)] = g.group(1).strip()
+            info.guarded[g.group(2)] = g.group(3)
+            return
+        a = METHOD_ANNOT_RE.search(stmt)
+        if a:
+            if a.group(2) == "REQUIRES" and a.group(3):
+                targets = {mu.strip() for mu in a.group(3).split(",")}
+                info.method_requires.setdefault(a.group(1), set()).update(targets)
+            else:
+                info.method_no_tsa.add(a.group(1))
+            return
+        if "(" in stmt:
+            return  # method declaration without annotations — nothing to record
+        decl = parse_decl(stmt)
+        if decl:
+            info.members[decl[1]] = decl[0]
+
+    # -- rules --------------------------------------------------------------
+
+    def report(self, lineno, rule, message, allow):
+        if rule in allow:
+            return
+        loop = self.innermost_loop()
+        if loop and loop.loop and rule in self.an.header_allows.get(
+                (self.rel, loop.loop.get("line")), set()):
+            return
+        self.an.add_finding(self.rel, lineno, rule, message)
+
+    def check_omp_pragma(self, text, lineno, allow):
+        if re.search(r"\bparallel\b", text) and "default(none)" not in \
+                text.replace(" ", ""):
+            self.report(lineno, "omp-discipline",
+                        "#pragma omp parallel without default(none); make "
+                        "every data-sharing decision explicit", allow)
+        for red in re.finditer(r"\breduction\s*\(\s*([^:]+):([^)]*)\)", text):
+            op = red.group(1).strip()
+            for var in red.group(2).split(","):
+                var = var.strip()
+                vtype = self.resolve(var) if var else None
+                if vtype is None:
+                    self.report(
+                        lineno, "omp-discipline",
+                        f"reduction({op}:{var}) on a variable of unprovable "
+                        "type; FP reductions are banned (order varies with "
+                        "thread count) — lane-accumulate and merge in index "
+                        "order", allow)
+                elif FLOAT_TYPE_RE.search(vtype):
+                    self.report(
+                        lineno, "omp-discipline",
+                        f"floating-point reduction({op}:{var}) is "
+                        "nondeterministic across thread counts; "
+                        "lane-accumulate and merge in index order", allow)
+
+    def _rule_rng(self, lineno, code, allow):
+        parts = self.path.parts
+        if "util" in parts and self.path.stem in {"rng", "distributions"}:
+            return
+        if RAW_RAND_RE.search(code):
+            self.report(lineno, "rng-discipline",
+                        "raw randomness source; derive an rts::Rng substream "
+                        "keyed by a logical index instead", allow)
+        if SEED_SINK_RE.search(code):
+            if TIME_SOURCE_RE.search(code):
+                self.report(lineno, "rng-discipline",
+                            "wall-clock-derived seed; results must be "
+                            "reproducible from the configured seed alone",
+                            allow)
+            if THREAD_ID_RE.search(code):
+                self.report(lineno, "rng-discipline",
+                            "thread-id-dependent seed; substream by logical "
+                            "index so results are thread-count-invariant",
+                            allow)
+
+    def _rule_nondet_iteration(self, lineno, code, allow):
+        loop = self.innermost_loop()
+        if not loop or not loop.loop or not loop.loop.get("nondet"):
+            return
+        effects = []
+        if ORDERED_APPEND_RE.search(code):
+            effects.append("appends to an ordered container")
+        if OUTPUT_RE.search(code):
+            effects.append("emits output")
+        for m in COMPOUND_FP_RE.finditer(code):
+            t = self.resolve(m.group(1))
+            if t and FLOAT_TYPE_RE.search(t):
+                effects.append(f"accumulates floating point into "
+                               f"'{m.group(1)}'")
+                break
+        for effect in effects:
+            key = ("nondet", loop.loop["line"], effect)
+            if key in loop.reported:
+                continue
+            loop.reported.add(key)
+            self.report(
+                lineno, "nondet-container-iteration",
+                f"loop over unordered container "
+                f"'{loop.loop.get('iter_expr')}' {effect}; hash order is "
+                "unspecified — iterate a sorted/indexed order", allow)
+
+    def _rule_fp_accumulation(self, lineno, code, allow):
+        m = ACCUMULATE_RE.search(code)
+        if m:
+            t = self.resolve(m.group(1))
+            if t and UNORDERED_RE.search(t):
+                self.report(lineno, "fp-accumulation-order",
+                            f"std::accumulate over unordered container "
+                            f"'{m.group(1)}'; accumulate a sorted snapshot",
+                            allow)
+        if not self.in_omp_for_loop():
+            return
+        for cm in COMPOUND_FP_RE.finditer(code):
+            name = cm.group(1)
+            t = self.resolve(name)
+            if not t or not FLOAT_TYPE_RE.search(t):
+                continue
+            if self.var_declared_inside_parallel(name):
+                continue
+            self.report(
+                lineno, "fp-accumulation-order",
+                f"'{name}' is accumulated across omp-for iterations but "
+                "declared outside the parallel region; write per-index "
+                "results and reduce serially", allow)
+            break
+
+    def _rule_tsa(self, lineno, code, allow):
+        fn = self.current_function()  # innermost function OR lambda scope
+        if fn is None:
+            return  # class/file scope lines are declarations, not accesses
+        cls = fn.class_name
+        if not cls:
+            return
+        info = self.an.classes.get(cls)
+        if not info or not info.guarded:
+            return
+        method = fn.name.rsplit("::", 1)[-1] if fn.kind == "function" else ""
+        if method and (method == cls or method == "~" + cls):
+            return  # constructors/destructors: no concurrent access yet
+        if method in info.method_no_tsa or "<no-tsa>" in fn.annotations:
+            return
+        granted = set(fn.annotations) | info.method_requires.get(method, set())
+        held = self.held_locks() | granted
+        for member, mutex in info.guarded.items():
+            if not re.search(rf"\b{re.escape(member)}\b", code):
+                continue
+            if mutex in held:
+                continue
+            if LOCK_ACQUIRE_RE.search(code) or ASSERT_HELD_RE.search(code):
+                continue  # the acquisition statement itself
+            key = ("tsa", lineno, member)
+            if key in fn.reported:
+                continue
+            fn.reported.add(key)
+            self.report(
+                lineno, "tsa-coverage",
+                f"'{member}' is RTS_GUARDED_BY({mutex}) but {cls}::"
+                f"{method or '<lambda>'} accesses it without holding "
+                f"{mutex}", allow)
+
+
+# ---------------------------------------------------------------------------
+# Analyzer driver.
+
+class Analyzer:
+    def __init__(self, root):
+        self.root = root
+        self.classes = {}        # class name -> ClassInfo (global, pass A)
+        self.libclang_types = {}  # relpath -> {name -> canonical type}
+        self.findings = []
+        self.pragma_buffer = None
+        self.header_allows = {}  # (relpath, lineno) -> rules allowed there
+
+    def add_finding(self, rel, lineno, rule, message):
+        self.findings.append(Finding(rel, lineno, rule, message))
+
+    def relpath(self, path):
+        try:
+            return str(Path(path).resolve().relative_to(self.root))
+        except ValueError:
+            return str(path)
+
+    def scan_file(self, path, text, collect_only):
+        rel = self.relpath(path)
+        lines = text.splitlines()
+        if not collect_only:
+            # Pre-pass: remember allow() markers per line for loop-header
+            # suppression of loop-body findings.
+            for lineno, raw in enumerate(lines, start=1):
+                rules = set(ALLOW_RE.findall(raw))
+                if rules:
+                    self.header_allows[(rel, lineno)] = rules
+                    self.header_allows.setdefault((rel, lineno + 1), set())
+        model = FileModel(self, path, rel)
+        self.pragma_buffer = None
+        prev_raw = ""
+        for lineno, code, raw in strip_code(lines):
+            if collect_only:
+                model._consume_collect(lineno, code)
+            else:
+                model.feed_line(lineno, code, raw, prev_raw)
+            prev_raw = raw
+        return model
+
+
+def _consume_collect(self, lineno, code):
+    """Pass A: scope walk that only records class/member/annotation tables
+    (no findings). Reuses the full consumption machinery with rules off."""
+    stripped = code.strip()
+    if stripped.startswith("#"):
+        return
+    self._consume(lineno, code)
+
+
+FileModel._consume_collect = _consume_collect
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend (optional type oracle).
+
+def load_libclang_types(entries, root, verbose):
+    """Parse TUs with clang.cindex and harvest (file -> {var: canonical
+    type}). Best-effort: any failure degrades to the internal resolver."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None, "python clang bindings not importable"
+    try:
+        if not cindex.Config.loaded:
+            for cand in sorted(Path("/usr/lib").glob("llvm-*/lib")):
+                lib = cand / "libclang.so"
+                if lib.exists():
+                    cindex.Config.set_library_file(str(lib))
+                    break
+        index = cindex.Index.create()
+    except Exception as e:  # pragma: no cover - environment-dependent
+        return None, f"libclang unavailable ({e})"
+    types = {}
+    decl_kinds = None
+    try:
+        decl_kinds = {cindex.CursorKind.VAR_DECL, cindex.CursorKind.PARM_DECL,
+                      cindex.CursorKind.FIELD_DECL}
+    except Exception:
+        return None, "libclang cursor kinds unavailable"
+    parsed = 0
+    for path, args in entries:
+        try:
+            tu = index.parse(str(path), args=args)
+        except Exception:
+            continue
+        parsed += 1
+        stack = [tu.cursor]
+        while stack:
+            cur = stack.pop()
+            try:
+                children = list(cur.get_children())
+            except Exception:
+                children = []
+            stack.extend(children)
+            try:
+                if cur.kind in decl_kinds and cur.location.file is not None:
+                    f = Path(str(cur.location.file)).resolve()
+                    if root in f.parents or f == root:
+                        rel = str(f.relative_to(root))
+                        types.setdefault(rel, {})[cur.spelling] = \
+                            cur.type.get_canonical().spelling
+            except Exception:
+                continue
+    if verbose:
+        print(f"rts_analyze: libclang frontend parsed {parsed} TU(s)")
+    return types, None
+
+
+# ---------------------------------------------------------------------------
+# File discovery via compile_commands.json.
+
+def discover_files(paths, compile_commands, root):
+    """Files to analyze: TUs listed in compile_commands under the requested
+    paths, plus headers found by walking those paths. Falls back to a plain
+    glob when no compile database is available. Returns (files, cc_entries)
+    where cc_entries is [(path, clang_args)] for the libclang frontend."""
+    roots = [Path(p).resolve() for p in paths]
+    files = set()
+    cc_entries = []
+    if compile_commands and compile_commands.exists():
+        try:
+            db = json.loads(compile_commands.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"rts_analyze: cannot read {compile_commands}: {e}",
+                  file=sys.stderr)
+            db = []
+        for entry in db:
+            f = Path(entry.get("directory", ".")) / entry["file"]
+            f = f.resolve()
+            if any(r == f or r in f.parents for r in roots):
+                files.add(f)
+                args = entry.get("arguments")
+                if args is None:
+                    args = entry.get("command", "").split()
+                # Drop compiler, -c/-o pairs and the source file itself.
+                clean = []
+                skip = False
+                for a in args[1:]:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-c", str(f), entry["file"]):
+                        continue
+                    if a == "-o":
+                        skip = True
+                        continue
+                    clean.append(a)
+                cc_entries.append((f, clean))
+    for r in roots:
+        if r.is_file():
+            files.add(r)
+            continue
+        for f in r.rglob("*"):
+            if f.suffix in CXX_SUFFIXES and f.is_file():
+                files.add(f.resolve())
+    _ = root
+    return sorted(files), cc_entries
+
+
+# ---------------------------------------------------------------------------
+# Baseline.
+
+def load_baseline(path):
+    """Entries: `path:rule` (whole file) or `path:line:rule` (one site)."""
+    entries = set()
+    if path is None or not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries.add(line)
+    return entries
+
+
+def baseline_keys(finding):
+    return (f"{finding.path}:{finding.rule}",
+            f"{finding.path}:{finding.line}:{finding.rule}")
+
+
+# ---------------------------------------------------------------------------
+# Analysis entry point.
+
+def analyze(paths, compile_commands, baseline_path, frontend, root,
+            output=None, list_files=False):
+    files, cc_entries = discover_files(paths, compile_commands, root)
+    if list_files:
+        for f in files:
+            print(Path(f).resolve().relative_to(root) if root in
+                  Path(f).resolve().parents else f)
+        return 0
+    if not files:
+        print("rts_analyze: no files to analyze", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(root)
+
+    if frontend in ("auto", "libclang"):
+        types, why = load_libclang_types(cc_entries, root, verbose=False)
+        if types is not None:
+            analyzer.libclang_types = types
+            print(f"rts_analyze: frontend=libclang "
+                  f"({len(cc_entries)} TU(s) from compile database)")
+        elif frontend == "libclang":
+            print(f"rts_analyze: libclang frontend required but {why}",
+                  file=sys.stderr)
+            return 2
+        else:
+            print(f"rts_analyze: frontend=internal ({why}; "
+                  "rule coverage is identical, type resolution is "
+                  "declaration-table based)")
+    else:
+        print("rts_analyze: frontend=internal")
+
+    texts = {}
+    for f in files:
+        try:
+            texts[f] = Path(f).read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"rts_analyze: cannot read {f}: {e}", file=sys.stderr)
+            return 2
+
+    # Pass A: build the global class/member/annotation tables (headers first
+    # so out-of-class method definitions see their class's declarations).
+    ordered = sorted(files, key=lambda f: (Path(f).suffix not in
+                                           HEADER_SUFFIXES, str(f)))
+    for f in ordered:
+        analyzer.scan_file(Path(f), texts[f], collect_only=True)
+    # Pass B: rule walk.
+    for f in sorted(files):
+        analyzer.scan_file(Path(f), texts[f], collect_only=False)
+
+    baseline = load_baseline(baseline_path)
+    used = set()
+    reported = []
+    for finding in analyzer.findings:
+        keys = baseline_keys(finding)
+        hit = next((k for k in keys if k in baseline), None)
+        if hit:
+            used.add(hit)
+            continue
+        reported.append(finding)
+
+    out_lines = [f"{f.path}:{f.line}: [{f.rule}] {f.message}"
+                 for f in reported]
+    for line in out_lines:
+        print(line)
+    for stale in sorted(baseline - used):
+        print(f"rts_analyze: warning: stale baseline entry: {stale}",
+              file=sys.stderr)
+    if output:
+        Path(output).write_text("\n".join(out_lines) +
+                                ("\n" if out_lines else ""))
+    if reported:
+        print(f"rts_analyze: {len(reported)} finding(s) across "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"rts_analyze: clean ({len(files)} file(s), "
+          f"{len(analyzer.findings)} baselined)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection self-test: every rule must trip on seeded bad snippets,
+# be suppressible via allow(), and stay quiet on the idiomatic fix —
+# mirroring the schedule validator's mutation self-test.
+
+SELFTEST = [
+    ("nondet-container-iteration", "src/service/scheduler_service.cpp",
+     "void f() {\n"
+     "  std::unordered_map<int, double> weights;\n"
+     "  std::vector<int> order;\n"
+     "  for (const auto& [id, w] : weights) {\n"
+     "    order.push_back(id);\n"
+     "  }\n"
+     "}",
+     "void f() {\n"
+     "  std::vector<std::pair<int, double>> weights;\n"
+     "  std::vector<int> order;\n"
+     "  for (const auto& [id, w] : weights) {\n"
+     "    order.push_back(id);\n"
+     "  }\n"
+     "}"),
+    ("nondet-container-iteration", "src/ga/nsga2.cpp",
+     "void g(std::ostream& os) {\n"
+     "  std::unordered_set<std::uint64_t> seen;\n"
+     "  for (auto it = seen.begin(); it != seen.end(); ++it) {\n"
+     "    os << *it;\n"
+     "  }\n"
+     "}",
+     "void g(std::ostream& os) {\n"
+     "  std::unordered_set<std::uint64_t> seen;\n"
+     "  std::vector<std::uint64_t> sorted_keys(seen.begin(), seen.end());\n"
+     "  std::sort(sorted_keys.begin(), sorted_keys.end());\n"
+     "  for (const std::uint64_t k : sorted_keys) {\n"
+     "    os << k;\n"
+     "  }\n"
+     "}"),
+    ("nondet-container-iteration", "src/service/result_cache.cpp",
+     "void h() {\n"
+     "  std::unordered_map<int, double> stats;\n"
+     "  double total = 0.0;\n"
+     "  for (const auto& [k, v] : stats) {\n"
+     "    total += v;\n"
+     "  }\n"
+     "}",
+     "void h() {\n"
+     "  std::vector<double> stats;\n"
+     "  double total = 0.0;\n"
+     "  for (std::size_t i = 0; i < stats.size(); ++i) {\n"
+     "    total += stats[i];\n"
+     "  }\n"
+     "}"),
+    ("omp-discipline", "src/sim/monte_carlo.cpp",
+     "void f(std::size_t n) {\n"
+     "#pragma omp parallel num_threads(4)\n"
+     "  {\n"
+     "    int x = 0;\n"
+     "  }\n"
+     "}",
+     "void f(std::size_t n) {\n"
+     "#pragma omp parallel num_threads(4) default(none) shared(n)\n"
+     "  {\n"
+     "    int x = 0;\n"
+     "  }\n"
+     "}"),
+    ("omp-discipline", "src/ga/engine.cpp",
+     "void g(const std::vector<double>& xs, std::int64_t n) {\n"
+     "  double sum = 0.0;\n"
+     "#pragma omp parallel for default(none) shared(xs, n) reduction(+:sum)\n"
+     "  for (std::int64_t i = 0; i < n; ++i) {\n"
+     "    sum += xs[i];\n"
+     "  }\n"
+     "}",
+     "void g(const std::vector<double>& xs, std::vector<double>& partial,\n"
+     "       std::int64_t n) {\n"
+     "#pragma omp parallel for default(none) shared(xs, partial, n)\n"
+     "  for (std::int64_t i = 0; i < n; ++i) {\n"
+     "    partial[static_cast<std::size_t>(i)] = xs[i];\n"
+     "  }\n"
+     "}"),
+    ("rng-discipline", "src/workload/dag_generator.cpp",
+     "void f() {\n"
+     "  std::random_device rd;\n"
+     "  Rng rng(rd());\n"
+     "}",
+     "void f(std::uint64_t seed) {\n"
+     "  Rng root(seed);\n"
+     "  Rng rng = root.substream(0);\n"
+     "}"),
+    ("rng-discipline", "src/core/experiment.cpp",
+     "void g() {\n"
+     "  Rng rng(static_cast<std::uint64_t>(time(nullptr)));\n"
+     "}",
+     "void g(const GaConfig& config) {\n"
+     "  Rng rng(config.seed);\n"
+     "}"),
+    ("rng-discipline", "src/sim/realization.cpp",
+     "void h(std::uint64_t seed) {\n"
+     "  Rng rng(seed + static_cast<std::uint64_t>(omp_get_thread_num()));\n"
+     "}",
+     "void h(const Rng& root, std::uint64_t realization) {\n"
+     "  Rng rng = root.substream(realization);\n"
+     "}"),
+    ("fp-accumulation-order", "src/sim/criticality.cpp",
+     "void f(const std::vector<double>& xs, std::int64_t n) {\n"
+     "  double sum = 0.0;\n"
+     "#pragma omp parallel default(none) shared(xs, n, sum)\n"
+     "  {\n"
+     "#pragma omp for schedule(static)\n"
+     "    for (std::int64_t i = 0; i < n; ++i) {\n"
+     "      sum += xs[static_cast<std::size_t>(i)];\n"
+     "    }\n"
+     "  }\n"
+     "}",
+     "void f(const std::vector<double>& xs, std::vector<double>& lane,\n"
+     "       std::int64_t n) {\n"
+     "  double sum = 0.0;\n"
+     "#pragma omp parallel default(none) shared(xs, lane, n)\n"
+     "  {\n"
+     "#pragma omp for schedule(static)\n"
+     "    for (std::int64_t i = 0; i < n; ++i) {\n"
+     "      lane[static_cast<std::size_t>(i)] = xs[static_cast<std::size_t>(i)];\n"
+     "    }\n"
+     "  }\n"
+     "  for (const double v : lane) sum += v;\n"
+     "}"),
+    ("fp-accumulation-order", "src/service/service_stats.cpp",
+     "double f() {\n"
+     "  std::unordered_map<int, double> weights;\n"
+     "  return std::accumulate(weights.begin(), weights.end(), 0.0, add_kv);\n"
+     "}",
+     "double f() {\n"
+     "  std::vector<double> weights;\n"
+     "  return std::accumulate(weights.begin(), weights.end(), 0.0);\n"
+     "}"),
+    ("tsa-coverage", "src/service/counter.hpp",
+     "#pragma once\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void bump() { ++count_; }\n"
+     " private:\n"
+     "  Mutex mutex_;\n"
+     "  std::uint64_t count_ RTS_GUARDED_BY(mutex_) = 0;\n"
+     "};",
+     "#pragma once\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void bump() {\n"
+     "    const LockGuard lock(mutex_);\n"
+     "    ++count_;\n"
+     "  }\n"
+     " private:\n"
+     "  Mutex mutex_;\n"
+     "  std::uint64_t count_ RTS_GUARDED_BY(mutex_) = 0;\n"
+     "};"),
+    ("tsa-coverage", "src/service/gauge.cpp",
+     "class Gauge {\n"
+     " public:\n"
+     "  std::size_t level() const;\n"
+     " private:\n"
+     "  mutable Mutex mutex_;\n"
+     "  std::size_t level_ RTS_GUARDED_BY(mutex_) = 0;\n"
+     "};\n"
+     "std::size_t Gauge::level() const { return level_; }",
+     "class Gauge {\n"
+     " public:\n"
+     "  std::size_t level() const;\n"
+     " private:\n"
+     "  mutable Mutex mutex_;\n"
+     "  std::size_t level_ RTS_GUARDED_BY(mutex_) = 0;\n"
+     "};\n"
+     "std::size_t Gauge::level() const {\n"
+     "  const LockGuard lock(mutex_);\n"
+     "  return level_;\n"
+     "}"),
+]
+
+# Scope / precision checks: the same construct where the rule must NOT fire.
+SELFTEST_EXEMPT = [
+    # Ordered containers iterate deterministically.
+    ("nondet-container-iteration", "src/service/scheduler_service.cpp",
+     "void f() {\n"
+     "  std::map<int, double> weights;\n"
+     "  std::vector<int> order;\n"
+     "  for (const auto& [id, w] : weights) {\n"
+     "    order.push_back(id);\n"
+     "  }\n"
+     "}"),
+    # Membership-only use of an unordered set (no iteration) is fine.
+    ("nondet-container-iteration", "src/ga/engine.cpp",
+     "void f(const std::vector<std::uint64_t>& hashes) {\n"
+     "  std::unordered_set<std::uint64_t> seen;\n"
+     "  for (const std::uint64_t h : hashes) {\n"
+     "    if (!seen.insert(h).second) continue;\n"
+     "  }\n"
+     "}"),
+    # Integer omp reduction is order-insensitive.
+    ("omp-discipline", "src/sim/monte_carlo.cpp",
+     "void f(const std::vector<int>& xs, std::int64_t n) {\n"
+     "  std::size_t misses = 0;\n"
+     "#pragma omp parallel for default(none) shared(xs, n) "
+     "reduction(+:misses)\n"
+     "  for (std::int64_t i = 0; i < n; ++i) {\n"
+     "    misses += static_cast<std::size_t>(xs[static_cast<std::size_t>(i)]);\n"
+     "  }\n"
+     "}"),
+    # Thread-id indexing of scratch (not seeding) is fine.
+    ("rng-discipline", "src/ga/engine.cpp",
+     "void f(EvalWorkspacePool& pool) {\n"
+     "  EvalWorkspace& ws = "
+     "pool.workspace(static_cast<std::size_t>(omp_get_thread_num()));\n"
+     "}"),
+    # Wall-clock for latency measurement (not seeding) is fine.
+    ("rng-discipline", "src/service/scheduler_service.cpp",
+     "void f() {\n"
+     "  const auto start = std::chrono::steady_clock::now();\n"
+     "}"),
+    # Per-lane accumulation into an inside-region buffer is the blessed
+    # pattern.
+    ("fp-accumulation-order", "src/sim/monte_carlo.cpp",
+     "void f(const std::vector<double>& xs, std::vector<double>& out,\n"
+     "       std::int64_t n) {\n"
+     "#pragma omp parallel default(none) shared(xs, out, n)\n"
+     "  {\n"
+     "    double local = 0.0;\n"
+     "#pragma omp for schedule(static)\n"
+     "    for (std::int64_t i = 0; i < n; ++i) {\n"
+     "      local += xs[static_cast<std::size_t>(i)];\n"
+     "      out[static_cast<std::size_t>(i)] = local;\n"
+     "    }\n"
+     "  }\n"
+     "}"),
+    # Serial FP accumulation over an index loop is deterministic.
+    ("fp-accumulation-order", "src/sim/monte_carlo.cpp",
+     "void f(const std::vector<double>& xs) {\n"
+     "  double sum = 0.0;\n"
+     "  for (std::size_t i = 0; i < xs.size(); ++i) {\n"
+     "    sum += xs[i];\n"
+     "  }\n"
+     "}"),
+    # RTS_REQUIRES on the declaration grants the capability.
+    ("tsa-coverage", "src/service/queue_like.hpp",
+     "#pragma once\n"
+     "class QueueLike {\n"
+     " private:\n"
+     "  void push_locked() RTS_REQUIRES(mutex_);\n"
+     "  Mutex mutex_;\n"
+     "  std::size_t size_ RTS_GUARDED_BY(mutex_) = 0;\n"
+     "};\n"
+     "void QueueLike::push_locked() { ++size_; }"),
+    # assert_held inside a cond-var predicate grants the capability.
+    ("tsa-coverage", "src/service/waiter.cpp",
+     "class Waiter {\n"
+     " public:\n"
+     "  void wait_nonzero();\n"
+     " private:\n"
+     "  Mutex mutex_;\n"
+     "  CondVar cv_;\n"
+     "  std::size_t size_ RTS_GUARDED_BY(mutex_) = 0;\n"
+     "};\n"
+     "void Waiter::wait_nonzero() {\n"
+     "  UniqueLock lock(mutex_);\n"
+     "  cv_.wait(lock, [this] {\n"
+     "    mutex_.assert_held();\n"
+     "    return size_ > 0;\n"
+     "  });\n"
+     "}"),
+    # Constructors run before any concurrent access exists.
+    ("tsa-coverage", "src/service/pool_like.cpp",
+     "class PoolLike {\n"
+     " public:\n"
+     "  PoolLike();\n"
+     " private:\n"
+     "  Mutex mutex_;\n"
+     "  std::vector<std::thread> threads_ RTS_GUARDED_BY(mutex_);\n"
+     "};\n"
+     "PoolLike::PoolLike() { threads_.reserve(4); }"),
+]
+
+
+def run_self_test():
+    failures = []
+
+    def check(desc, cond):
+        if not cond:
+            failures.append(desc)
+
+    def run_snippet(vpath, text, baseline=()):
+        analyzer = Analyzer(Path("/"))
+        path = Path("/") / vpath
+        analyzer.scan_file(path, text, collect_only=True)
+        analyzer.findings = []
+        analyzer.scan_file(path, text, collect_only=False)
+        hits = set()
+        for f in analyzer.findings:
+            if not any(k in baseline for k in baseline_keys(f)):
+                hits.add(f.rule)
+        return hits
+
+    per_rule = {}
+    for rule, vpath, bad, good in SELFTEST:
+        per_rule[rule] = per_rule.get(rule, 0) + 1
+        check(f"{rule}: fires on {vpath!r}", rule in run_snippet(vpath, bad))
+
+        # allow() on the offending line suppresses it. Find the line that
+        # fires and annotate it.
+        analyzer = Analyzer(Path("/"))
+        analyzer.scan_file(Path("/") / vpath, bad, collect_only=True)
+        analyzer.findings = []
+        analyzer.scan_file(Path("/") / vpath, bad, collect_only=False)
+        lines = bad.split("\n")
+        for f in analyzer.findings:
+            if f.rule == rule:
+                idx = f.line - 1
+                lines[idx] = lines[idx] + f"  // rts-analyze: allow({rule})"
+        suppressed = "\n".join(lines)
+        check(f"{rule}: allow() suppresses it on {vpath!r}",
+              rule not in run_snippet(vpath, suppressed))
+
+        # The baseline file suppresses it too (whole-file form).
+        check(f"{rule}: baseline suppresses it on {vpath!r}",
+              rule not in run_snippet(vpath, bad,
+                                      baseline={f"{vpath}:{rule}"}))
+
+        check(f"{rule}: clean snippet stays clean on {vpath!r}",
+              rule not in run_snippet(vpath, good))
+
+    for rule in RULES:
+        check(f"{rule}: has at least 2 fault-injection fixtures",
+              per_rule.get(rule, 0) >= 2)
+
+    for rule, vpath, text in SELFTEST_EXEMPT:
+        check(f"{rule}: exempt on {vpath!r}", rule not in
+              run_snippet(vpath, text))
+
+    # Comment/string hygiene: rule text in comments and strings is inert.
+    inert = ('void f() {\n'
+             '  const char* s = "std::random_device";  // time(nullptr) seed\n'
+             '  /* #pragma omp parallel */\n'
+             '}')
+    check("comments/strings are not matched",
+          not run_snippet("src/core/x.cpp", inert))
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}")
+        return 1
+    print(f"rts_analyze self-test: {len(SELFTEST)} fault fixtures + "
+          f"{len(SELFTEST_EXEMPT)} precision fixtures across "
+          f"{len(RULES)} rules — fire/allow/baseline/clean all verified — OK")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="rts_analyze.py", description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="roots to analyze (default: src)")
+    parser.add_argument("-p", "--build-dir", type=Path, default=None,
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="explicit compile_commands.json path")
+    parser.add_argument("--frontend", choices=["auto", "libclang", "internal"],
+                        default="auto")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline suppression file "
+                             "(default: tools/rts_analyze_baseline.txt)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write findings to this file")
+    parser.add_argument("--list-files", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule trips on seeded faults and "
+                             "is suppressible")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    root = Path.cwd().resolve()
+    tool_root = Path(__file__).resolve().parent.parent
+    if (tool_root / "src").is_dir():
+        root = tool_root
+
+    cc = args.compile_commands
+    if cc is None and args.build_dir is not None:
+        cc = args.build_dir / "compile_commands.json"
+    if cc is None:
+        default_cc = root / "build" / "compile_commands.json"
+        cc = default_cc if default_cc.exists() else None
+
+    baseline = args.baseline
+    if baseline is None:
+        baseline = root / "tools" / "rts_analyze_baseline.txt"
+
+    paths = [p if Path(p).is_absolute() else root / p for p in args.paths]
+    for p in paths:
+        if not Path(p).exists():
+            print(f"rts_analyze: no such path: {p}", file=sys.stderr)
+            return 2
+    return analyze(paths, cc, baseline, args.frontend, root,
+                   output=args.output, list_files=args.list_files)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

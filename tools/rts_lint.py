@@ -187,7 +187,9 @@ RULES = [
         "no-raw-schedule",
         "raw Schedule construction outside src/sched and src/resched; build "
         "placements through InsertionScheduleBuilder or decode()",
-        r"\bSchedule\s*[({]",
+        # Direct construction plus the smart-pointer spelling
+        # (make_unique/make_shared<Schedule>(...)).
+        r"\bSchedule\s*[({]|\bSchedule\s*>\s*\(",
         lambda parts, path: ("src" in parts and "sched" not in parts
                              and "resched" not in parts),
     ),
@@ -362,10 +364,19 @@ SELFTEST = [
     ("no-raw-schedule", "src/sim/dynamic.cpp",
      "return Schedule(n, std::move(sequences));",
      "return builder.release_schedule();"),
+    ("no-raw-schedule", "src/service/scheduler_service.cpp",
+     "auto plan = std::make_unique<Schedule>(n, std::move(sequences));",
+     "std::unique_ptr<Schedule> plan = builder.release_schedule_ptr();"),
     ("no-scalar-mc-in-loop", "src/sim/monte_carlo.cpp",
      "for (std::size_t i = begin; i < end; ++i) {\n"
      "  samples[i] = evaluator.makespan_into(durations, scratch);\n"
      "}",
+     "sweep.forward(durations, lanes, finish, makespans);"),
+    ("no-scalar-mc-in-loop", "src/sim/criticality.cpp",
+     "for (std::int64_t i = 0; i < total; ++i) {\n"
+     "  const double ms = evaluator.makespan(durations);\n"
+     "}",
+     "const BatchedGsSweep sweep(evaluator);\n"
      "sweep.forward(durations, lanes, finish, makespans);"),
     ("no-scalar-mc-in-loop", "src/resched/drop_policy.cpp",
      "while (k < samples) {\n"
