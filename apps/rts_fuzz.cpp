@@ -71,6 +71,8 @@ options:
   --sa-iters N            SA neighbour evaluations per instance (default 600)
   --metamorphic-stride K  run metamorphic properties every K-th instance
                           (default 5; 1 = every instance)
+  --big-tasks N           large-instance smoke size (default 10000;
+                          0 disables the phase)
 )";
   return 2;
 }
@@ -167,8 +169,7 @@ void check_schedule(FuzzContext& ctx, const ScheduleValidator& validator,
          << " of task " << t;
       ctx.report("algo=" + algo, os.str());
     }
-    proc_load[static_cast<std::size_t>(
-        schedule.proc_of(static_cast<TaskId>(t)))] += durations[t];
+    proc_load[schedule.proc_of(static_cast<TaskId>(t)).index()] += durations[t];
   }
   for (std::size_t p = 0; p < proc_load.size(); ++p) {
     if (makespan < proc_load[p] - 1e-9 * std::max(1.0, makespan)) {
@@ -251,8 +252,7 @@ void check_metamorphic(FuzzContext& ctx, const ProblemInstance& instance,
     for (TaskId a = 0; a < n && u == kNoTask; ++a) {
       for (TaskId b = 0; b < n; ++b) {
         if (a == b || graph.has_edge(a, b) || graph.has_edge(b, a)) continue;
-        if (timing.start[static_cast<std::size_t>(b)] >=
-            timing.start[static_cast<std::size_t>(a)]) {
+        if (timing.start[b] >= timing.start[a]) {
           u = a;
           v = b;
           break;
@@ -394,10 +394,10 @@ void check_resched_metamorphic(FuzzContext& ctx, const ProblemInstance& instance
   // completion probability must not rise.
   {
     const PartialSchedule partial{heft.schedule,
-                                  std::vector<std::uint8_t>(n, 0),
-                                  std::vector<std::uint8_t>(n, 0),
-                                  std::vector<double>(n, 0.0),
-                                  std::vector<double>(n, 0.0),
+                                  IdVector<TaskId, std::uint8_t>(n, 0),
+                                  IdVector<TaskId, std::uint8_t>(n, 0),
+                                  IdVector<TaskId, double>(n, 0.0),
+                                  IdVector<TaskId, double>(n, 0.0),
                                   /*decision_time=*/0.0};
 
     const std::vector<double> expected_durations =
@@ -423,9 +423,9 @@ void check_resched_metamorphic(FuzzContext& ctx, const ProblemInstance& instance
     for (const DropPolicyKind kind :
          {DropPolicyKind::kDeadlineInfeasible, DropPolicyKind::kProbabilistic}) {
       const auto policy = make_drop_policy(kind, params);
-      for (std::size_t t = 0; t < n; ++t) {
-        const auto task = static_cast<TaskId>(t);
-        const double d = predicted.finish[t];
+      for (const TaskId task : id_range<TaskId>(n)) {
+        const std::size_t t = task.index();
+        const double d = predicted.finish[task];
         const DropDecision loose = policy->decide(dctx, task, d);
         const DropDecision tight = policy->decide(dctx, task, 0.8 * d);
         if (loose.dropped && !tight.dropped) {
@@ -572,6 +572,60 @@ int run(const Options& opts) {
                         hash_combine_u64(seed_root, 4));
       check_resched_metamorphic(ctx, instance, heft, hash_combine_u64(seed_root, 5),
                                 hash_combine_u64(seed_root, 6));
+    }
+  }
+
+  // Phase 3: large-instance smoke. One n = 10k-task instance through the
+  // generator, HEFT, the validator and a *reduced-budget* Monte-Carlo pass:
+  // the point is exercising index arithmetic and CSR/lane offsets at a scale
+  // the differential sweep never reaches, not collecting statistics
+  // (tests/sched/test_csr_scale.cpp covers the timing kernel alone at 2^17
+  // tasks; this covers the generator-to-report pipeline).
+  const auto big_tasks =
+      static_cast<std::size_t>(opts.get_int("big-tasks", 10000));
+  if (big_tasks > 0) {
+    PaperInstanceParams params;
+    params.task_count = big_tasks;
+    params.proc_count = 8;
+    params.avg_ul = 2.0;
+    Rng rng = root.substream(0xb16);
+    const ProblemInstance big = make_paper_instance(params, rng);
+    ctx.instance_index = config.instances;
+    ctx.params_summary = summarize_params(params);
+    if (config.verbose) {
+      std::cout << "big-smoke: " << ctx.params_summary << "\n";
+    }
+    const ScheduleValidator validator(big.graph, big.platform);
+    const ListScheduleResult heft =
+        heft_schedule(big.graph, big.platform, big.expected);
+    check_schedule(ctx, validator, big, "heft-big", heft.schedule, heft.makespan);
+    MonteCarloConfig mc;
+    mc.realizations = 16;  // reduced budget: scale smoke, not statistics
+    mc.seed = hash_combine_u64(config.seed, 0xb16);
+    const RobustnessReport report = evaluate_robustness(big, heft.schedule, mc);
+    if (report.realizations != mc.realizations) {
+      ctx.report("big-smoke", "robustness report lost realizations");
+    }
+    if (!close(report.expected_makespan, heft.makespan)) {
+      std::ostringstream os;
+      os << "expected makespan " << report.expected_makespan
+         << " != HEFT makespan " << heft.makespan;
+      ctx.report("big-smoke", os.str());
+    }
+    const bool quantiles_ordered =
+        report.p50_realized_makespan <= report.p95_realized_makespan &&
+        report.p95_realized_makespan <= report.p99_realized_makespan &&
+        report.p99_realized_makespan <= report.max_realized_makespan;
+    if (!quantiles_ordered || !(report.mean_realized_makespan > 0.0) ||
+        !std::isfinite(report.max_realized_makespan)) {
+      std::ostringstream os;
+      os << "degenerate robustness report at n=" << big_tasks
+         << ": mean=" << report.mean_realized_makespan
+         << " p50=" << report.p50_realized_makespan
+         << " p95=" << report.p95_realized_makespan
+         << " p99=" << report.p99_realized_makespan
+         << " max=" << report.max_realized_makespan;
+      ctx.report("big-smoke", os.str());
     }
   }
 

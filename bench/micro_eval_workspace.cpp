@@ -57,7 +57,7 @@ double legacy_cold_evaluate(const rts::TaskGraph& graph, const rts::Platform& pl
   for (std::size_t t = 0; t < n; ++t) {
     indeg[t] = preds[t].size();
     for (const auto& [p, cost] : preds[t]) {
-      succs[static_cast<std::size_t>(p)].push_back(static_cast<TaskId>(t));
+      succs[p.index()].push_back(static_cast<TaskId>(t));
     }
   }
   std::vector<TaskId> topo;
@@ -70,33 +70,32 @@ double legacy_cold_evaluate(const rts::TaskGraph& graph, const rts::Platform& pl
     const TaskId t = stack.back();
     stack.pop_back();
     topo.push_back(t);
-    for (const TaskId s : succs[static_cast<std::size_t>(t)]) {
-      if (--indeg[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+    for (const TaskId s : succs[t.index()]) {
+      if (--indeg[s.index()] == 0) stack.push_back(s);
     }
   }
   std::vector<double> durations(n);
   for (std::size_t t = 0; t < n; ++t) {
-    durations[t] = costs(t, static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t))));
+    durations[t] = costs(t, schedule.proc_of(static_cast<TaskId>(t)).index());
   }
   std::vector<double> start(n, 0.0), finish(n, 0.0), bottom(n, 0.0);
   double makespan = 0.0;
   for (const TaskId tid : topo) {
-    const auto t = static_cast<std::size_t>(tid);
+    const std::size_t t = tid.index();
     double s = 0.0;
     for (const auto& [p, cost] : preds[t]) {
-      s = std::max(s, finish[static_cast<std::size_t>(p)] + cost);
+      s = std::max(s, finish[p.index()] + cost);
     }
     start[t] = s;
     finish[t] = s + durations[t];
     makespan = std::max(makespan, finish[t]);
   }
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const auto t = static_cast<std::size_t>(*it);
+    const std::size_t t = it->index();
     const double bl = bottom[t] + durations[t];
     bottom[t] = bl;
     for (const auto& [p, cost] : preds[t]) {
-      bottom[static_cast<std::size_t>(p)] =
-          std::max(bottom[static_cast<std::size_t>(p)], cost + bl);
+      bottom[p.index()] = std::max(bottom[p.index()], cost + bl);
     }
   }
   double slack_sum = 0.0;

@@ -24,9 +24,9 @@ namespace {
 // The 8-task graph of the paper's Fig. 1(a) (ids shifted to 0-based).
 rts::TaskGraph fig1_graph(double data) {
   rts::TaskGraph g(8);
-  for (rts::TaskId t = 0; t < 8; ++t) {
+  for (const rts::TaskId t : rts::id_range<rts::TaskId>(8)) {
     std::string name("v");
-    name += std::to_string(t + 1);
+    name += std::to_string(t.value() + 1);
     g.set_task_name(t, name);
   }
   g.add_edge(0, 1, data);
@@ -58,13 +58,12 @@ void part1_fig1_mechanics(std::uint64_t seed) {
   rts::write_gantt(std::cout, graph, heft.schedule, timing);
 
   rts::ResultTable slack({"task", "start (=Tl)", "bottom level", "slack"});
-  for (rts::TaskId t = 0; t < static_cast<rts::TaskId>(graph.task_count()); ++t) {
-    const auto i = static_cast<std::size_t>(t);
+  for (const rts::TaskId t : rts::id_range<rts::TaskId>(graph.task_count())) {
     slack.begin_row()
         .add(graph.task_name(t))
-        .add(timing.start[i], 2)
-        .add(timing.bottom_level[i], 2)
-        .add(timing.slack[i], 2);
+        .add(timing.start[t], 2)
+        .add(timing.bottom_level[t], 2)
+        .add(timing.slack[t], 2);
   }
   std::cout << '\n';
   slack.write_pretty(std::cout);

@@ -161,7 +161,7 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   // kStartLate — delay one task past its ready time (slack cleared so the
   // ASAP rule, not the slack cross-check, is what must fire).
   {
-    const auto t = static_cast<std::size_t>(rng() % n);
+    const auto t = static_cast<TaskId>(rng() % n);
     ScheduleTiming claimed = timing;
     claimed.start[t] += bump;
     claimed.finish[t] += bump;
@@ -179,7 +179,7 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   // kStartEarly — advance the latest-starting task to time 0, before its
   // binding predecessor's data can arrive.
   {
-    const auto t = static_cast<std::size_t>(
+    const auto t = static_cast<TaskId>(
         std::max_element(timing.start.begin(), timing.start.end()) -
         timing.start.begin());
     RTS_ENSURE(timing.start[t] > 0.0,
@@ -214,7 +214,7 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
 
   // kSlackPerturbed — corrupt one task's slack against Def. 3.3.
   {
-    const auto t = static_cast<std::size_t>(rng() % n);
+    const auto t = static_cast<TaskId>(rng() % n);
     ScheduleTiming claimed = timing;
     claimed.slack[t] += bump;
     std::ostringstream note;
@@ -236,11 +236,11 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   RTS_ENSURE(t_max > t_min, "self-test needs staggered start times");
   const double decision = 0.5 * (t_min + t_max);
 
-  std::vector<std::uint8_t> frozen(n, 0);
-  std::vector<std::uint8_t> dropped(n, 0);
-  std::vector<double> frozen_start(n, 0.0);
-  std::vector<double> frozen_finish(n, 0.0);
-  for (std::size_t t = 0; t < n; ++t) {
+  IdVector<TaskId, std::uint8_t> frozen(n, 0);
+  IdVector<TaskId, std::uint8_t> dropped(n, 0);
+  IdVector<TaskId, double> frozen_start(n, 0.0);
+  IdVector<TaskId, double> frozen_finish(n, 0.0);
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (timing.start[t] <= decision) {
       frozen[t] = 1;
       frozen_start[t] = timing.start[t];
@@ -254,33 +254,32 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   while (!stack.empty()) {
     const TaskId d = stack.back();
     stack.pop_back();
-    auto& flag = dropped[static_cast<std::size_t>(d)];
+    auto& flag = dropped[d];
     if (flag != 0) continue;
     flag = 1;
     for (const EdgeRef& e : graph.successors(d)) stack.push_back(e.task);
   }
 
-  const auto rebuild_partial_sequences =
-      [&](const std::vector<std::uint8_t>& fr, const std::vector<std::uint8_t>& dr) {
-        std::vector<std::vector<TaskId>> sequences(platform.proc_count());
-        for (std::size_t p = 0; p < platform.proc_count(); ++p) {
-          const auto seq = heft.schedule.sequence(static_cast<ProcId>(p));
-          for (const int phase : {0, 1, 2}) {
-            for (const TaskId t : seq) {
-              const auto ti = static_cast<std::size_t>(t);
-              const int task_phase = fr[ti] != 0 ? 0 : (dr[ti] != 0 ? 2 : 1);
-              if (task_phase == phase) sequences[p].push_back(t);
-            }
-          }
+  const auto rebuild_partial_sequences = [&](const IdVector<TaskId, std::uint8_t>& fr,
+                                             const IdVector<TaskId, std::uint8_t>& dr) {
+    std::vector<std::vector<TaskId>> sequences(platform.proc_count());
+    for (std::size_t p = 0; p < platform.proc_count(); ++p) {
+      const auto seq = heft.schedule.sequence(static_cast<ProcId>(p));
+      for (const int phase : {0, 1, 2}) {
+        for (const TaskId t : seq) {
+          const int task_phase = fr[t] != 0 ? 0 : (dr[t] != 0 ? 2 : 1);
+          if (task_phase == phase) sequences[p].push_back(t);
         }
-        return sequences;
-      };
+      }
+    }
+    return sequences;
+  };
 
   PartialSchedule base{build_from_sequences(n, rebuild_partial_sequences(frozen, dropped)),
                        frozen, dropped, frozen_start, frozen_finish, decision};
-  std::vector<double> pdur(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    pdur[t] = base.dropped[t] != 0 ? 0.0 : durations[t];
+  IdVector<TaskId, double> pdur(n);
+  for (const TaskId t : id_range<TaskId>(n)) {
+    pdur[t] = base.dropped[t] != 0 ? 0.0 : durations[t.index()];
   }
   const ScheduleTiming partial_claimed =
       partial_timing(graph, platform, base, pdur);
@@ -300,9 +299,9 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   // kFreezeLeak — freeze the edge head while unfreezing its predecessor.
   {
     PartialSchedule mutated = base;
-    mutated.frozen[static_cast<std::size_t>(eu)] = 0;
-    mutated.frozen[static_cast<std::size_t>(ev)] = 1;
-    mutated.dropped[static_cast<std::size_t>(ev)] = 0;
+    mutated.frozen[eu] = 0;
+    mutated.frozen[ev] = 1;
+    mutated.dropped[ev] = 0;
     std::ostringstream note;
     note << "froze task " << ev << " while unfreezing its predecessor " << eu;
     report.cases.push_back(record(FaultClass::kFreezeLeak,
@@ -312,9 +311,9 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   // kDropLeak — drop the edge tail but keep its successor alive.
   {
     PartialSchedule mutated = base;
-    mutated.dropped[static_cast<std::size_t>(eu)] = 1;
-    mutated.frozen[static_cast<std::size_t>(eu)] = 0;
-    mutated.dropped[static_cast<std::size_t>(ev)] = 0;
+    mutated.dropped[eu] = 1;
+    mutated.frozen[eu] = 0;
+    mutated.dropped[ev] = 0;
     std::ostringstream note;
     note << "dropped task " << eu << " while keeping its successor " << ev;
     report.cases.push_back(record(FaultClass::kDropLeak,
@@ -328,7 +327,7 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
       seq.erase(std::remove(seq.begin(), seq.end(), drop_seed), seq.end());
     }
     auto host = std::find_if(sequences.begin(), sequences.end(), [&](const auto& seq) {
-      return !seq.empty() && dropped[static_cast<std::size_t>(seq.front())] == 0;
+      return !seq.empty() && dropped[seq.front()] == 0;
     });
     RTS_ENSURE(host != sequences.end(),
                "self-test needs a processor with live work to park the drop on");
@@ -345,16 +344,15 @@ SelfTestReport run_validator_self_test(const ProblemInstance& instance,
   // kRemainingTooEarly — claim a live task starts before the decision instant.
   {
     TaskId r = kNoTask;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId t : id_range<TaskId>(n)) {
       if (base.frozen[t] != 0) continue;
-      r = static_cast<TaskId>(t);
+      r = t;
       if (base.dropped[t] == 0) break;  // prefer a remaining over a dropped task
     }
     RTS_ENSURE(r != kNoTask, "self-test needs a non-frozen task");
     ScheduleTiming claimed = partial_claimed;
-    const auto ri = static_cast<std::size_t>(r);
-    claimed.start[ri] = 0.0;
-    claimed.finish[ri] = pdur[ri];
+    claimed.start[r] = 0.0;
+    claimed.finish[r] = pdur[r];
     std::ostringstream note;
     note << "claimed task " << r << " starts at 0, before the decision instant "
          << decision;

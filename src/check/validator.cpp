@@ -60,19 +60,18 @@ bool ScheduleValidator::close(double a, double b) const noexcept {
   return std::abs(a - b) <= tol_ * std::max({1.0, std::abs(a), std::abs(b)});
 }
 
-std::vector<std::vector<ScheduleValidator::GsEdge>> ScheduleValidator::gs_predecessors(
-    const Schedule& schedule) const {
+IdVector<TaskId, std::vector<ScheduleValidator::GsEdge>>
+ScheduleValidator::gs_predecessors(const Schedule& schedule) const {
   const std::size_t n = graph_->task_count();
-  std::vector<std::vector<GsEdge>> preds(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto tid = static_cast<TaskId>(t);
-    const ProcId pt = schedule.proc_of(tid);
-    for (const EdgeRef& e : graph_->predecessors(tid)) {
+  IdVector<TaskId, std::vector<GsEdge>> preds(n);
+  for (const TaskId t : id_range<TaskId>(n)) {
+    const ProcId pt = schedule.proc_of(t);
+    for (const EdgeRef& e : graph_->predecessors(t)) {
       preds[t].push_back(
           GsEdge{e.task, platform_->comm_cost(e.data, schedule.proc_of(e.task), pt)});
     }
-    const TaskId pp = schedule.proc_predecessor(tid);
-    if (pp != kNoTask && !graph_->has_edge(pp, tid)) {
+    const TaskId pp = schedule.proc_predecessor(t);
+    if (pp != kNoTask && !graph_->has_edge(pp, t)) {
       preds[t].push_back(GsEdge{pp, 0.0});
     }
   }
@@ -80,8 +79,8 @@ std::vector<std::vector<ScheduleValidator::GsEdge>> ScheduleValidator::gs_predec
 }
 
 ScheduleValidator::ReferenceTiming ScheduleValidator::reference_sweep(
-    const std::vector<std::vector<GsEdge>>& preds,
-    std::span<const double> durations) const {
+    const IdVector<TaskId, std::vector<GsEdge>>& preds,
+    IdSpan<TaskId, const double> durations) const {
   // Fixed-point relaxation: starts begin at 0 and only grow toward the ASAP
   // solution. A task at Gs-depth d stabilizes within d+1 passes, so an
   // acyclic Gs is stable after at most V passes; a cycle with positive total
@@ -93,14 +92,14 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::reference_sweep(
   ReferenceTiming out;
   out.start.assign(n, 0.0);
   out.finish.assign(n, 0.0);
-  for (std::size_t t = 0; t < n; ++t) out.finish[t] = durations[t];
+  for (const TaskId t : id_range<TaskId>(n)) out.finish[t] = durations[t];
 
   for (std::size_t pass = 0; pass <= n; ++pass) {
     bool changed = false;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId t : id_range<TaskId>(n)) {
       double ready = 0.0;
       for (const GsEdge& e : preds[t]) {
-        ready = std::max(ready, out.finish[static_cast<std::size_t>(e.peer)] + e.cost);
+        ready = std::max(ready, out.finish[e.peer] + e.cost);
       }
       if (ready != out.start[t]) {
         out.start[t] = ready;
@@ -108,7 +107,7 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::reference_sweep(
         changed = true;
         if (pass == n) {  // still relaxing after V passes: on/behind a cycle
           out.cyclic = true;
-          out.cycle_task = static_cast<TaskId>(t);
+          out.cycle_task = t;
           return out;
         }
       }
@@ -121,24 +120,24 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::reference_sweep(
   return out;
 }
 
-std::vector<double> ScheduleValidator::reference_bottom_levels(
-    const std::vector<std::vector<GsEdge>>& preds,
-    std::span<const double> durations) const {
+IdVector<TaskId, double> ScheduleValidator::reference_bottom_levels(
+    const IdVector<TaskId, std::vector<GsEdge>>& preds,
+    IdSpan<TaskId, const double> durations) const {
   const std::size_t n = preds.size();
-  std::vector<std::vector<GsEdge>> succs(n);
-  for (std::size_t t = 0; t < n; ++t) {
+  IdVector<TaskId, std::vector<GsEdge>> succs(n);
+  for (const TaskId t : id_range<TaskId>(n)) {
     for (const GsEdge& e : preds[t]) {
-      succs[static_cast<std::size_t>(e.peer)].push_back(
-          GsEdge{static_cast<TaskId>(t), e.cost});
+      succs[e.peer].push_back(GsEdge{t, e.cost});
     }
   }
-  std::vector<double> bl(durations.begin(), durations.end());
+  IdVector<TaskId, double> bl;
+  bl.assign(durations.begin(), durations.end());
   for (std::size_t pass = 0; pass < n; ++pass) {
     bool changed = false;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId t : id_range<TaskId>(n)) {
       double tail = 0.0;
       for (const GsEdge& e : succs[t]) {
-        tail = std::max(tail, e.cost + bl[static_cast<std::size_t>(e.peer)]);
+        tail = std::max(tail, e.cost + bl[e.peer]);
       }
       if (durations[t] + tail != bl[t]) {
         bl[t] = durations[t] + tail;
@@ -151,24 +150,23 @@ std::vector<double> ScheduleValidator::reference_bottom_levels(
 }
 
 void ScheduleValidator::check_rules(const Schedule& schedule,
-                                    std::span<const double> durations,
-                                    std::span<const double> start,
-                                    std::span<const double> finish, double makespan,
-                                    ValidationReport& report) const {
+                                    IdSpan<TaskId, const double> durations,
+                                    IdSpan<TaskId, const double> start,
+                                    IdSpan<TaskId, const double> finish,
+                                    double makespan, ValidationReport& report) const {
   const std::size_t n = graph_->task_count();
   double max_finish = 0.0;
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto tid = static_cast<TaskId>(t);
-    const ProcId pt = schedule.proc_of(tid);
+  for (const TaskId t : id_range<TaskId>(n)) {
+    const ProcId pt = schedule.proc_of(t);
     const double slop = tol_ * std::max(1.0, makespan);
 
     if (!close(finish[t], start[t] + durations[t])) {
       report.violations.push_back(
-          {ViolationKind::kFinishMismatch, tid, pt, start[t] + durations[t], finish[t],
+          {ViolationKind::kFinishMismatch, t, pt, start[t] + durations[t], finish[t],
            "finish time is not start + duration"});
     }
     if (start[t] < -slop) {
-      report.violations.push_back({ViolationKind::kPrecedence, tid, pt, 0.0, start[t],
+      report.violations.push_back({ViolationKind::kPrecedence, t, pt, 0.0, start[t],
                                    "task starts before time 0"});
     }
 
@@ -176,31 +174,31 @@ void ScheduleValidator::check_rules(const Schedule& schedule,
     // exclusivity) over the sequence predecessor; their max is the ready time
     // that rule 4's ASAP semantics pins the start to exactly.
     double ready = 0.0;
-    for (const EdgeRef& e : graph_->predecessors(tid)) {
+    for (const EdgeRef& e : graph_->predecessors(t)) {
       const double arrival =
-          finish[static_cast<std::size_t>(e.task)] +
+          finish[e.task] +
           platform_->comm_cost(e.data, schedule.proc_of(e.task), pt);
       if (start[t] < arrival - slop) {
         report.violations.push_back(
-            {ViolationKind::kPrecedence, tid, pt, arrival, start[t],
-             "starts before data from predecessor task " + std::to_string(e.task) +
-                 " arrives"});
+            {ViolationKind::kPrecedence, t, pt, arrival, start[t],
+             "starts before data from predecessor task " +
+                 std::to_string(e.task.value()) + " arrives"});
       }
       ready = std::max(ready, arrival);
     }
-    const TaskId pp = schedule.proc_predecessor(tid);
+    const TaskId pp = schedule.proc_predecessor(t);
     if (pp != kNoTask) {
-      const double prev_finish = finish[static_cast<std::size_t>(pp)];
+      const double prev_finish = finish[pp];
       if (start[t] < prev_finish - slop) {
         report.violations.push_back(
-            {ViolationKind::kSequenceOverlap, tid, pt, prev_finish, start[t],
-             "overlaps sequence predecessor task " + std::to_string(pp)});
+            {ViolationKind::kSequenceOverlap, t, pt, prev_finish, start[t],
+             "overlaps sequence predecessor task " + std::to_string(pp.value())});
       }
       ready = std::max(ready, prev_finish);
     }
     if (start[t] > ready + slop) {
       report.violations.push_back(
-          {ViolationKind::kNotAsap, tid, pt, ready, start[t],
+          {ViolationKind::kNotAsap, t, pt, ready, start[t],
            "starts later than its ready time (Claim 3.2 requires ASAP starts)"});
     }
     max_finish = std::max(max_finish, finish[t]);
@@ -239,15 +237,14 @@ ValidationReport ScheduleValidator::validate(const Schedule& schedule,
 
   // Def. 3.3: slack from independently recomputed bottom levels; must be
   // non-negative up to tolerance.
-  const std::vector<double> bl = reference_bottom_levels(preds, durations);
-  std::vector<double> ref_slack(n);
-  for (std::size_t t = 0; t < n; ++t) {
+  const IdVector<TaskId, double> bl = reference_bottom_levels(preds, durations);
+  IdVector<TaskId, double> ref_slack(n);
+  for (const TaskId t : id_range<TaskId>(n)) {
     const double raw = ref.makespan - bl[t] - ref.start[t];
     if (raw < -tol_ * std::max(1.0, ref.makespan)) {
-      report.violations.push_back(
-          {ViolationKind::kNegativeSlack, static_cast<TaskId>(t),
-           schedule.proc_of(static_cast<TaskId>(t)), 0.0, raw,
-           "sigma_i = M - Bl(i) - Tl(i) is negative"});
+      report.violations.push_back({ViolationKind::kNegativeSlack, t,
+                                   schedule.proc_of(t), 0.0, raw,
+                                   "sigma_i = M - Bl(i) - Tl(i) is negative"});
     }
     ref_slack[t] = std::max(0.0, raw);
   }
@@ -258,16 +255,15 @@ ValidationReport ScheduleValidator::validate(const Schedule& schedule,
     const TimingEvaluator evaluator(*graph_, *platform_, schedule);
     const ScheduleTiming full = evaluator.full_timing(durations);
     double slack_sum = 0.0;
-    for (std::size_t t = 0; t < n; ++t) {
-      const auto tid = static_cast<TaskId>(t);
+    for (const TaskId t : id_range<TaskId>(n)) {
       if (!close(full.start[t], ref.start[t])) {
         report.violations.push_back(
-            {ViolationKind::kStartMismatch, tid, schedule.proc_of(tid), ref.start[t],
+            {ViolationKind::kStartMismatch, t, schedule.proc_of(t), ref.start[t],
              full.start[t], "TimingEvaluator start disagrees with the reference sweep"});
       }
       if (!close(full.slack[t], ref_slack[t])) {
         report.violations.push_back(
-            {ViolationKind::kSlackMismatch, tid, schedule.proc_of(tid), ref_slack[t],
+            {ViolationKind::kSlackMismatch, t, schedule.proc_of(t), ref_slack[t],
              full.slack[t], "TimingEvaluator slack disagrees with the reference sweep"});
       }
       slack_sum += ref_slack[t];
@@ -308,8 +304,8 @@ ValidationReport ScheduleValidator::validate(const Schedule& schedule,
 }
 
 ScheduleValidator::ReferenceTiming ScheduleValidator::partial_reference_sweep(
-    const std::vector<std::vector<GsEdge>>& preds, const PartialSchedule& partial,
-    std::span<const double> durations) const {
+    const IdVector<TaskId, std::vector<GsEdge>>& preds, const PartialSchedule& partial,
+    IdSpan<TaskId, const double> durations) const {
   // Same monotone relaxation as reference_sweep, with two changes: frozen
   // tasks are pinned at their realized history (facts, not variables), and
   // every other start is floored at decision_time. Starts only grow from the
@@ -318,7 +314,7 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::partial_reference_sweep(
   ReferenceTiming out;
   out.start.assign(n, 0.0);
   out.finish.assign(n, 0.0);
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (partial.frozen[t] != 0) {
       out.start[t] = partial.frozen_start[t];
       out.finish[t] = partial.frozen_finish[t];
@@ -330,11 +326,11 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::partial_reference_sweep(
 
   for (std::size_t pass = 0; pass <= n; ++pass) {
     bool changed = false;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId t : id_range<TaskId>(n)) {
       if (partial.frozen[t] != 0) continue;
       double ready = partial.decision_time;
       for (const GsEdge& e : preds[t]) {
-        ready = std::max(ready, out.finish[static_cast<std::size_t>(e.peer)] + e.cost);
+        ready = std::max(ready, out.finish[e.peer] + e.cost);
       }
       if (ready != out.start[t]) {
         out.start[t] = ready;
@@ -342,7 +338,7 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::partial_reference_sweep(
         changed = true;
         if (pass == n) {
           out.cyclic = true;
-          out.cycle_task = static_cast<TaskId>(t);
+          out.cycle_task = t;
           return out;
         }
       }
@@ -350,7 +346,7 @@ ScheduleValidator::ReferenceTiming ScheduleValidator::partial_reference_sweep(
     if (!changed) break;
   }
   out.makespan = 0.0;
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (partial.dropped[t] == 0) out.makespan = std::max(out.makespan, out.finish[t]);
   }
   return out;
@@ -360,52 +356,52 @@ void ScheduleValidator::check_partial_structure(const PartialSchedule& partial,
                                                 ValidationReport& report) const {
   const std::size_t n = graph_->task_count();
   const double slop = tol_ * std::max(1.0, partial.decision_time);
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto tid = static_cast<TaskId>(t);
-    const ProcId pt = partial.schedule.proc_of(tid);
+  for (const TaskId t : id_range<TaskId>(n)) {
+    const ProcId pt = partial.schedule.proc_of(t);
     if (partial.frozen[t] != 0 && partial.dropped[t] != 0) {
-      report.violations.push_back({ViolationKind::kFreezeClosure, tid, pt, 0.0, 1.0,
+      report.violations.push_back({ViolationKind::kFreezeClosure, t, pt, 0.0, 1.0,
                                    "task is both frozen and dropped"});
     }
     if (partial.frozen[t] != 0) {
-      for (const EdgeRef& e : graph_->predecessors(tid)) {
-        if (partial.frozen[static_cast<std::size_t>(e.task)] == 0) {
+      for (const EdgeRef& e : graph_->predecessors(t)) {
+        if (partial.frozen[e.task] == 0) {
           report.violations.push_back(
-              {ViolationKind::kFreezeClosure, tid, pt, 1.0, 0.0,
-               "frozen task has non-frozen predecessor task " + std::to_string(e.task)});
+              {ViolationKind::kFreezeClosure, t, pt, 1.0, 0.0,
+               "frozen task has non-frozen predecessor task " +
+                   std::to_string(e.task.value())});
         }
       }
       if (partial.frozen_start[t] > partial.decision_time + slop) {
         report.violations.push_back(
-            {ViolationKind::kBeforeDecision, tid, pt, partial.decision_time,
+            {ViolationKind::kBeforeDecision, t, pt, partial.decision_time,
              partial.frozen_start[t], "frozen task started after the decision instant"});
       }
       if (partial.frozen_finish[t] < partial.frozen_start[t] - slop) {
         report.violations.push_back(
-            {ViolationKind::kFinishMismatch, tid, pt, partial.frozen_start[t],
+            {ViolationKind::kFinishMismatch, t, pt, partial.frozen_start[t],
              partial.frozen_finish[t], "frozen task finishes before it starts"});
       }
     }
     if (partial.dropped[t] != 0) {
-      for (const EdgeRef& e : graph_->successors(tid)) {
-        if (partial.dropped[static_cast<std::size_t>(e.task)] == 0) {
+      for (const EdgeRef& e : graph_->successors(t)) {
+        if (partial.dropped[e.task] == 0) {
           report.violations.push_back(
-              {ViolationKind::kDropClosure, tid, pt, 1.0, 0.0,
-               "dropped task has non-dropped successor task " + std::to_string(e.task)});
+              {ViolationKind::kDropClosure, t, pt, 1.0, 0.0,
+               "dropped task has non-dropped successor task " +
+                   std::to_string(e.task.value())});
         }
       }
     }
   }
-  for (std::size_t p = 0; p < partial.schedule.proc_count(); ++p) {
+  for (const ProcId p : id_range<ProcId>(partial.schedule.proc_count())) {
     int phase = 0;
-    for (const TaskId t : partial.schedule.sequence(static_cast<ProcId>(p))) {
-      const auto ti = static_cast<std::size_t>(t);
+    for (const TaskId t : partial.schedule.sequence(p)) {
       const int task_phase =
-          partial.frozen[ti] != 0 ? 0 : (partial.dropped[ti] != 0 ? 2 : 1);
+          partial.frozen[t] != 0 ? 0 : (partial.dropped[t] != 0 ? 2 : 1);
       if (task_phase < phase) {
         report.violations.push_back(
-            {ViolationKind::kPartialOrdering, t, static_cast<ProcId>(p),
-             static_cast<double>(phase), static_cast<double>(task_phase),
+            {ViolationKind::kPartialOrdering, t, p, static_cast<double>(phase),
+             static_cast<double>(task_phase),
              "sequence is not frozen..., remaining..., dropped..."});
       }
       phase = std::max(phase, task_phase);
@@ -414,16 +410,16 @@ void ScheduleValidator::check_partial_structure(const PartialSchedule& partial,
 }
 
 void ScheduleValidator::check_partial_rules(const PartialSchedule& partial,
-                                            std::span<const double> durations,
-                                            std::span<const double> start,
-                                            std::span<const double> finish,
+                                            IdSpan<TaskId, const double> durations,
+                                            IdSpan<TaskId, const double> start,
+                                            IdSpan<TaskId, const double> finish,
                                             double makespan,
                                             ValidationReport& report) const {
   const std::size_t n = graph_->task_count();
   const Schedule& schedule = partial.schedule;
   double max_finish = 0.0;
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto tid = static_cast<TaskId>(t);
+  for (const TaskId t : id_range<TaskId>(n)) {
+    const TaskId tid = t;
     const ProcId pt = schedule.proc_of(tid);
     const double slop = tol_ * std::max(1.0, makespan);
 
@@ -431,23 +427,23 @@ void ScheduleValidator::check_partial_rules(const PartialSchedule& partial,
     // processor must be free, frozen history included.
     double ready = 0.0;
     for (const EdgeRef& e : graph_->predecessors(tid)) {
-      const double arrival = finish[static_cast<std::size_t>(e.task)] +
+      const double arrival = finish[e.task] +
                              platform_->comm_cost(e.data, schedule.proc_of(e.task), pt);
       if (start[t] < arrival - slop) {
         report.violations.push_back(
             {ViolationKind::kPrecedence, tid, pt, arrival, start[t],
-             "starts before data from predecessor task " + std::to_string(e.task) +
-                 " arrives"});
+             "starts before data from predecessor task " +
+                 std::to_string(e.task.value()) + " arrives"});
       }
       ready = std::max(ready, arrival);
     }
     const TaskId pp = schedule.proc_predecessor(tid);
     if (pp != kNoTask) {
-      const double prev_finish = finish[static_cast<std::size_t>(pp)];
+      const double prev_finish = finish[pp];
       if (start[t] < prev_finish - slop) {
         report.violations.push_back(
             {ViolationKind::kSequenceOverlap, tid, pt, prev_finish, start[t],
-             "overlaps sequence predecessor task " + std::to_string(pp)});
+             "overlaps sequence predecessor task " + std::to_string(pp.value())});
       }
       ready = std::max(ready, prev_finish);
     }
@@ -523,8 +519,8 @@ ValidationReport ScheduleValidator::validate_partial(
   // Differential layer against the production floor-aware sweep.
   try {
     const ScheduleTiming prod = partial_timing(*graph_, *platform_, partial, durations);
-    for (std::size_t t = 0; t < n; ++t) {
-      const auto tid = static_cast<TaskId>(t);
+    for (const TaskId t : id_range<TaskId>(n)) {
+      const TaskId tid = t;
       if (!close(prod.start[t], ref.start[t])) {
         report.violations.push_back(
             {ViolationKind::kStartMismatch, tid, partial.schedule.proc_of(tid),
@@ -574,16 +570,15 @@ ValidationReport ScheduleValidator::validate_timing(const Schedule& schedule,
   if (!claimed.slack.empty()) {
     RTS_REQUIRE(claimed.slack.size() == n, "claimed slack must cover every task");
     const auto preds = gs_predecessors(schedule);
-    const std::vector<double> bl = reference_bottom_levels(preds, durations);
+    const IdVector<TaskId, double> bl = reference_bottom_levels(preds, durations);
     double slack_sum = 0.0;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId t : id_range<TaskId>(n)) {
       const double raw = claimed.makespan - bl[t] - claimed.start[t];
       const double expected = std::max(0.0, raw);
       if (!close(claimed.slack[t], expected)) {
-        report.violations.push_back(
-            {ViolationKind::kSlackMismatch, static_cast<TaskId>(t),
-             schedule.proc_of(static_cast<TaskId>(t)), expected, claimed.slack[t],
-             "claimed slack disagrees with M - Bl(i) - Tl(i)"});
+        report.violations.push_back({ViolationKind::kSlackMismatch, t,
+                                     schedule.proc_of(t), expected, claimed.slack[t],
+                                     "claimed slack disagrees with M - Bl(i) - Tl(i)"});
       }
       slack_sum += expected;
     }

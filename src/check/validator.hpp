@@ -141,8 +141,8 @@ class ScheduleValidator {
     double cost;  ///< precomputed communication cost along the edge
   };
   struct ReferenceTiming {
-    std::vector<double> start;
-    std::vector<double> finish;
+    IdVector<TaskId, double> start;
+    IdVector<TaskId, double> finish;
     double makespan = 0.0;
     bool cyclic = false;
     TaskId cycle_task = kNoTask;  ///< a task still relaxing after V passes
@@ -150,20 +150,20 @@ class ScheduleValidator {
 
   /// Gs predecessor lists per Def. 3.1: graph edges with D/TR costs plus one
   /// zero-cost edge from the processor predecessor (unless already an edge).
-  [[nodiscard]] std::vector<std::vector<GsEdge>> gs_predecessors(
+  [[nodiscard]] IdVector<TaskId, std::vector<GsEdge>> gs_predecessors(
       const Schedule& schedule) const;
 
   /// Naive fixed-point relaxation of ASAP starts; flags cycles instead of
   /// topologically sorting.
   [[nodiscard]] ReferenceTiming reference_sweep(
-      const std::vector<std::vector<GsEdge>>& preds,
-      std::span<const double> durations) const;
+      const IdVector<TaskId, std::vector<GsEdge>>& preds,
+      IdSpan<TaskId, const double> durations) const;
 
   /// Floor-aware variant for partial schedules: frozen tasks pinned, others
   /// relaxed from a decision_time floor; makespan over non-dropped tasks.
   [[nodiscard]] ReferenceTiming partial_reference_sweep(
-      const std::vector<std::vector<GsEdge>>& preds, const PartialSchedule& partial,
-      std::span<const double> durations) const;
+      const IdVector<TaskId, std::vector<GsEdge>>& preds,
+      const PartialSchedule& partial, IdSpan<TaskId, const double> durations) const;
 
   /// Structural invariants of a partial schedule (closures, ordering).
   void check_partial_structure(const PartialSchedule& partial,
@@ -171,20 +171,21 @@ class ScheduleValidator {
 
   /// Partial-mode timing rules on an explicit timing (claimed or reference).
   void check_partial_rules(const PartialSchedule& partial,
-                           std::span<const double> durations,
-                           std::span<const double> start,
-                           std::span<const double> finish, double makespan,
+                           IdSpan<TaskId, const double> durations,
+                           IdSpan<TaskId, const double> start,
+                           IdSpan<TaskId, const double> finish, double makespan,
                            ValidationReport& report) const;
 
   /// Bottom levels Bl(i) by reverse fixed-point relaxation over Gs.
-  [[nodiscard]] std::vector<double> reference_bottom_levels(
-      const std::vector<std::vector<GsEdge>>& preds,
-      std::span<const double> durations) const;
+  [[nodiscard]] IdVector<TaskId, double> reference_bottom_levels(
+      const IdVector<TaskId, std::vector<GsEdge>>& preds,
+      IdSpan<TaskId, const double> durations) const;
 
   /// Rules 2-4 on an explicit timing (claimed or reference).
-  void check_rules(const Schedule& schedule, std::span<const double> durations,
-                   std::span<const double> start, std::span<const double> finish,
-                   double makespan, ValidationReport& report) const;
+  void check_rules(const Schedule& schedule, IdSpan<TaskId, const double> durations,
+                   IdSpan<TaskId, const double> start,
+                   IdSpan<TaskId, const double> finish, double makespan,
+                   ValidationReport& report) const;
 
   [[nodiscard]] bool close(double a, double b) const noexcept;
 

@@ -131,11 +131,11 @@ std::string timeline_to_json(const TaskGraph& graph, const Schedule& schedule,
   os << ",\"average_slack\":";
   append_number(os, timing.average_slack);
   os << ",\"tasks\":[";
-  for (std::size_t t = 0; t < schedule.task_count(); ++t) {
-    if (t) os << ',';
+  for (const TaskId t : id_range<TaskId>(schedule.task_count())) {
+    if (t.index() != 0) os << ',';
     os << "{\"id\":" << t << ",\"name\":";
-    append_string(os, graph.task_name(static_cast<TaskId>(t)));
-    os << ",\"processor\":" << schedule.proc_of(static_cast<TaskId>(t));
+    append_string(os, graph.task_name(t));
+    os << ",\"processor\":" << schedule.proc_of(t);
     os << ",\"start\":";
     append_number(os, timing.start[t]);
     os << ",\"finish\":";

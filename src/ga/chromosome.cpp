@@ -30,8 +30,8 @@ Chromosome encode_schedule(const TaskGraph& graph, const Platform& platform,
   c.order.resize(graph.task_count());
   std::iota(c.order.begin(), c.order.end(), TaskId{0});
   std::sort(c.order.begin(), c.order.end(), [&](TaskId a, TaskId b) {
-    const double sa = timing.start[static_cast<std::size_t>(a)];
-    const double sb = timing.start[static_cast<std::size_t>(b)];
+    const double sa = timing.start[a];
+    const double sb = timing.start[b];
     if (sa != sb) return sa < sb;
     return a < b;
   });
@@ -47,7 +47,7 @@ bool is_valid_chromosome(const TaskGraph& graph, std::size_t proc_count,
                          const Chromosome& chromosome) {
   if (chromosome.assignment.size() != graph.task_count()) return false;
   for (const ProcId p : chromosome.assignment) {
-    if (p < 0 || static_cast<std::size_t>(p) >= proc_count) return false;
+    if (!p.valid() || p.index() >= proc_count) return false;
   }
   return is_topological_order(graph, chromosome.order);
 }
@@ -55,11 +55,13 @@ bool is_valid_chromosome(const TaskGraph& graph, std::size_t proc_count,
 std::uint64_t chromosome_hash(const Chromosome& chromosome) {
   std::uint64_t h = 0x51ab5fe1905bffffull;
   for (const TaskId t : chromosome.order) {
-    h = hash_combine_u64(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(t)));
+    h = hash_combine_u64(
+        h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.value())));
   }
   for (const ProcId p : chromosome.assignment) {
-    h = hash_combine_u64(h, 0x8000000000000000ull |
-                                static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)));
+    h = hash_combine_u64(
+        h, 0x8000000000000000ull |
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.value())));
   }
   return h;
 }

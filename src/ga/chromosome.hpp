@@ -20,8 +20,8 @@ namespace rts {
 
 /// One GA individual.
 struct Chromosome {
-  std::vector<TaskId> order;       ///< scheduling string (a topological sort)
-  std::vector<ProcId> assignment;  ///< assignment[task] = processor
+  std::vector<TaskId> order;                ///< scheduling string (a topological sort)
+  IdVector<TaskId, ProcId> assignment;      ///< assignment[task] = processor
 
   bool operator==(const Chromosome&) const = default;
 };

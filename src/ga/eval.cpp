@@ -44,12 +44,12 @@ Evaluation EvalWorkspace::evaluate(const Schedule& schedule) {
   return finish(schedule.assignment());
 }
 
-Evaluation EvalWorkspace::finish(std::span<const ProcId> assignment) {
+Evaluation EvalWorkspace::finish(IdSpan<TaskId, const ProcId> assignment) {
   const std::size_t n = evaluator_.task_count();
   const Matrix<double>& costs = *costs_;
   durations_.resize(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    durations_[t] = costs(t, static_cast<std::size_t>(assignment[t]));
+  for (const TaskId t : id_range<TaskId>(n)) {
+    durations_[t] = costs(t.index(), assignment[t].index());
   }
   evaluator_.full_timing_into(durations_, timing_);
   Evaluation eval{timing_.makespan, timing_.average_slack, 0.0};
@@ -58,9 +58,9 @@ Evaluation EvalWorkspace::finish(std::span<const ProcId> assignment) {
     // assigned processor — surplus slack cannot absorb more delay than the
     // task's uncertainty can produce.
     double sum = 0.0;
-    for (std::size_t t = 0; t < n; ++t) {
-      const auto p = static_cast<std::size_t>(assignment[t]);
-      sum += std::min(timing_.slack[t], kappa_ * (*stddev_)(t, p));
+    for (const TaskId t : id_range<TaskId>(n)) {
+      sum += std::min(timing_.slack[t],
+                      kappa_ * (*stddev_)(t.index(), assignment[t].index()));
     }
     eval.effective_slack = sum / static_cast<double>(n);
   }

@@ -67,13 +67,13 @@ class EvalWorkspace {
   [[nodiscard]] const ScheduleTiming& last_timing() const noexcept { return timing_; }
 
  private:
-  Evaluation finish(std::span<const ProcId> assignment);
+  Evaluation finish(IdSpan<TaskId, const ProcId> assignment);
 
   const Matrix<double>* costs_ = nullptr;
   const Matrix<double>* stddev_ = nullptr;
   double kappa_ = 0.0;
   TimingEvaluator evaluator_;
-  std::vector<double> durations_;
+  IdVector<TaskId, double> durations_;
   ScheduleTiming timing_;
 };
 

@@ -62,10 +62,10 @@ LocalSearchResult run_slack_local_search(const TaskGraph& graph,
       const auto t = static_cast<TaskId>(ti);
 
       // (a) Processor reassignment moves.
-      const ProcId original_proc = current.assignment[ti];
-      for (std::size_t p = 0; p < m; ++p) {
-        if (static_cast<ProcId>(p) == original_proc) continue;
-        current.assignment[ti] = static_cast<ProcId>(p);
+      const ProcId original_proc = current.assignment[t];
+      for (const ProcId p : id_range<ProcId>(m)) {
+        if (p == original_proc) continue;
+        current.assignment[t] = p;
         const Evaluation candidate = ws.evaluate(current);
         ++result.evaluations;
         if (improves(candidate, current_eval, bound)) {
@@ -74,7 +74,7 @@ LocalSearchResult run_slack_local_search(const TaskGraph& graph,
           improved_this_pass = true;
           break;  // first improvement; keep the new assignment
         }
-        current.assignment[ti] = original_proc;
+        current.assignment[t] = original_proc;
       }
 
       // (b) Window-shift moves: earliest and latest valid position.

@@ -10,10 +10,11 @@ namespace {
 
 /// positions[t] = index of task t in `order`; `id_bound` > every task id
 /// (tasks absent from `order` keep an unspecified value).
-std::vector<std::size_t> positions_of(std::span<const TaskId> order, std::size_t id_bound) {
-  std::vector<std::size_t> pos(id_bound, 0);
+IdVector<TaskId, std::size_t> positions_of(std::span<const TaskId> order,
+                                           std::size_t id_bound) {
+  IdVector<TaskId, std::size_t> pos(id_bound, 0);
   for (std::size_t i = 0; i < order.size(); ++i) {
-    pos[static_cast<std::size_t>(order[i])] = i;
+    pos[order[i]] = i;
   }
   return pos;
 }
@@ -24,10 +25,10 @@ std::vector<TaskId> cross_order(std::span<const TaskId> keeper,
                                 std::span<const TaskId> pattern, std::size_t cut) {
   const std::size_t n = keeper.size();
   std::vector<TaskId> child(keeper.begin(), keeper.begin() + static_cast<std::ptrdiff_t>(cut));
-  std::vector<bool> in_left(n, false);
-  for (std::size_t i = 0; i < cut; ++i) in_left[static_cast<std::size_t>(keeper[i])] = true;
+  IdVector<TaskId, bool> in_left(n, false);
+  for (std::size_t i = 0; i < cut; ++i) in_left[keeper[i]] = true;
   for (const TaskId t : pattern) {
-    if (!in_left[static_cast<std::size_t>(t)]) child.push_back(t);
+    if (!in_left[t]) child.push_back(t);
   }
   RTS_ENSURE(child.size() == n, "crossover lost tasks");
   return child;
@@ -56,7 +57,7 @@ std::pair<Chromosome, Chromosome> crossover(const Chromosome& parent_a,
       n > 1 ? 1 + static_cast<std::size_t>(rng.next_below(n - 1)) : 1;
   child_a.assignment = parent_a.assignment;
   child_b.assignment = parent_b.assignment;
-  for (std::size_t t = assign_cut; t < n; ++t) {
+  for (TaskId t = static_cast<TaskId>(assign_cut); t.index() < n; ++t) {
     std::swap(child_a.assignment[t], child_b.assignment[t]);
   }
   return {std::move(child_a), std::move(child_b)};
@@ -72,10 +73,10 @@ std::pair<std::size_t, std::size_t> mutation_window(const TaskGraph& graph,
   std::size_t lo = 0;
   std::size_t hi = order_without_v.size();  // == append
   for (const EdgeRef& e : graph.predecessors(v)) {
-    lo = std::max(lo, pos[static_cast<std::size_t>(e.task)] + 1);
+    lo = std::max(lo, pos[e.task] + 1);
   }
   for (const EdgeRef& e : graph.successors(v)) {
-    hi = std::min(hi, pos[static_cast<std::size_t>(e.task)]);
+    hi = std::min(hi, pos[e.task]);
   }
   RTS_ENSURE(lo <= hi, "empty mutation window on a valid scheduling string");
   return {lo, hi};
@@ -86,8 +87,7 @@ void mutate(Chromosome& chromosome, const TaskGraph& graph, std::size_t proc_cou
   const std::size_t n = chromosome.order.size();
   RTS_REQUIRE(n == graph.task_count(), "chromosome does not match graph");
 
-  const auto v = static_cast<TaskId>(
-      chromosome.order[static_cast<std::size_t>(rng.next_below(n))]);
+  const TaskId v = chromosome.order[static_cast<std::size_t>(rng.next_below(n))];
 
   // Remove v, then re-insert within its precedence window.
   auto& order = chromosome.order;
@@ -99,8 +99,7 @@ void mutate(Chromosome& chromosome, const TaskGraph& graph, std::size_t proc_cou
 
   // Random processor; per-processor order stays derived from the scheduling
   // string, which is exactly the paper's re-insertion rule.
-  chromosome.assignment[static_cast<std::size_t>(v)] =
-      static_cast<ProcId>(rng.next_below(proc_count));
+  chromosome.assignment[v] = static_cast<ProcId>(rng.next_below(proc_count));
 }
 
 }  // namespace rts

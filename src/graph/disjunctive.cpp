@@ -10,15 +10,15 @@ namespace {
 
 void check_sequences_partition_tasks(const TaskGraph& graph,
                                      std::span<const std::vector<TaskId>> sequences) {
-  std::vector<bool> seen(graph.task_count(), false);
+  IdVector<TaskId, bool> seen(graph.task_count(), false);
   std::size_t total = 0;
   for (const auto& seq : sequences) {
     for (const TaskId t : seq) {
-      RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph.task_count(),
+      RTS_REQUIRE(t.valid() && t.index() < graph.task_count(),
                   "processor sequence references unknown task");
-      RTS_REQUIRE(!seen[static_cast<std::size_t>(t)],
+      RTS_REQUIRE(!seen[t],
                   "task appears in more than one position of the schedule");
-      seen[static_cast<std::size_t>(t)] = true;
+      seen[t] = true;
       ++total;
     }
   }
@@ -33,10 +33,10 @@ TaskGraph make_disjunctive_graph(const TaskGraph& graph,
   check_sequences_partition_tasks(graph, processor_sequences);
 
   TaskGraph gs(graph.task_count());
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    gs.set_task_name(static_cast<TaskId>(t), graph.task_name(static_cast<TaskId>(t)));
-    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
-      gs.add_edge(static_cast<TaskId>(t), e.task, e.data);
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    gs.set_task_name(t, graph.task_name(t));
+    for (const EdgeRef& e : graph.successors(t)) {
+      gs.add_edge(t, e.task, e.data);
     }
   }
   for (const auto& seq : processor_sequences) {

@@ -13,8 +13,8 @@ namespace rts {
 
 namespace {
 void write_nodes(std::ostream& os, const TaskGraph& graph) {
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    os << "  n" << t << " [label=\"" << graph.task_name(static_cast<TaskId>(t))
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    os << "  n" << t << " [label=\"" << graph.task_name(t)
        << "\", shape=circle];\n";
   }
 }
@@ -24,8 +24,8 @@ void write_dot(std::ostream& os, const TaskGraph& graph, const std::string& name
                bool show_data) {
   os << "digraph \"" << name << "\" {\n";
   write_nodes(os, graph);
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    for (const EdgeRef& e : graph.successors(t)) {
       os << "  n" << t << " -> n" << e.task;
       if (show_data) os << " [label=\"" << e.data << "\"]";
       os << ";\n";
@@ -40,8 +40,8 @@ void write_disjunctive_dot(std::ostream& os, const TaskGraph& graph,
   const auto extra = disjunctive_edges(graph, processor_sequences);
   os << "digraph \"" << name << "\" {\n";
   write_nodes(os, graph);
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    for (const EdgeRef& e : graph.successors(t)) {
       os << "  n" << t << " -> n" << e.task << ";\n";
     }
   }

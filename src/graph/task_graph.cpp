@@ -10,16 +10,17 @@ namespace rts {
 TaskGraph::TaskGraph(std::size_t task_count)
     : succs_(task_count), preds_(task_count), names_(task_count) {
   RTS_REQUIRE(task_count > 0, "task graph needs at least one task");
-  RTS_REQUIRE(task_count <= static_cast<std::size_t>(std::numeric_limits<TaskId>::max()),
+  RTS_REQUIRE(task_count <= static_cast<std::size_t>(
+                                std::numeric_limits<TaskId::rep_type>::max()),
               "task count exceeds TaskId range");
-  for (std::size_t i = 0; i < task_count; ++i) {
-    names_[i] = std::to_string(i);
-    names_[i].insert(names_[i].begin(), 't');
+  for (const TaskId t : id_range<TaskId>(task_count)) {
+    names_[t] = std::to_string(t.value());
+    names_[t].insert(names_[t].begin(), 't');
   }
 }
 
 void TaskGraph::check_task(TaskId t, const char* what) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < succs_.size(),
+  RTS_REQUIRE(t.valid() && t.index() < succs_.size(),
               std::string(what) + ": task id out of range");
 }
 
@@ -29,15 +30,15 @@ void TaskGraph::add_edge(TaskId src, TaskId dst, double data) {
   RTS_REQUIRE(src != dst, "self loops are not allowed");
   RTS_REQUIRE(data >= 0.0, "edge data size must be non-negative");
   RTS_REQUIRE(!has_edge(src, dst), "duplicate edge");
-  succs_[static_cast<std::size_t>(src)].push_back(EdgeRef{dst, data});
-  preds_[static_cast<std::size_t>(dst)].push_back(EdgeRef{src, data});
+  succs_[src].push_back(EdgeRef{dst, data});
+  preds_[dst].push_back(EdgeRef{src, data});
   ++edge_count_;
 }
 
 bool TaskGraph::has_edge(TaskId src, TaskId dst) const {
   check_task(src, "has_edge src");
   check_task(dst, "has_edge dst");
-  const auto& out = succs_[static_cast<std::size_t>(src)];
+  const auto& out = succs_[src];
   return std::any_of(out.begin(), out.end(),
                      [dst](const EdgeRef& e) { return e.task == dst; });
 }
@@ -45,7 +46,7 @@ bool TaskGraph::has_edge(TaskId src, TaskId dst) const {
 double TaskGraph::edge_data(TaskId src, TaskId dst) const {
   check_task(src, "edge_data src");
   check_task(dst, "edge_data dst");
-  const auto& out = succs_[static_cast<std::size_t>(src)];
+  const auto& out = succs_[src];
   const auto it = std::find_if(out.begin(), out.end(),
                                [dst](const EdgeRef& e) { return e.task == dst; });
   RTS_REQUIRE(it != out.end(), "edge_data: edge does not exist");
@@ -56,12 +57,12 @@ void TaskGraph::set_edge_data(TaskId src, TaskId dst, double data) {
   check_task(src, "set_edge_data src");
   check_task(dst, "set_edge_data dst");
   RTS_REQUIRE(data >= 0.0, "edge data size must be non-negative");
-  auto& out = succs_[static_cast<std::size_t>(src)];
+  auto& out = succs_[src];
   const auto it = std::find_if(out.begin(), out.end(),
                                [dst](EdgeRef& e) { return e.task == dst; });
   RTS_REQUIRE(it != out.end(), "set_edge_data: edge does not exist");
   it->data = data;
-  auto& in = preds_[static_cast<std::size_t>(dst)];
+  auto& in = preds_[dst];
   const auto jt = std::find_if(in.begin(), in.end(),
                                [src](EdgeRef& e) { return e.task == src; });
   RTS_ENSURE(jt != in.end(), "pred/succ adjacency out of sync");
@@ -70,45 +71,45 @@ void TaskGraph::set_edge_data(TaskId src, TaskId dst, double data) {
 
 std::span<const EdgeRef> TaskGraph::successors(TaskId t) const {
   check_task(t, "successors");
-  return succs_[static_cast<std::size_t>(t)];
+  return succs_[t];
 }
 
 std::span<const EdgeRef> TaskGraph::predecessors(TaskId t) const {
   check_task(t, "predecessors");
-  return preds_[static_cast<std::size_t>(t)];
+  return preds_[t];
 }
 
 std::vector<TaskId> TaskGraph::entry_tasks() const {
   std::vector<TaskId> out;
-  for (std::size_t t = 0; t < task_count(); ++t) {
-    if (preds_[t].empty()) out.push_back(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(task_count())) {
+    if (preds_[t].empty()) out.push_back(t);
   }
   return out;
 }
 
 std::vector<TaskId> TaskGraph::exit_tasks() const {
   std::vector<TaskId> out;
-  for (std::size_t t = 0; t < task_count(); ++t) {
-    if (succs_[t].empty()) out.push_back(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(task_count())) {
+    if (succs_[t].empty()) out.push_back(t);
   }
   return out;
 }
 
 bool TaskGraph::is_acyclic() const {
   // Kahn's algorithm: the graph is acyclic iff every task gets popped.
-  std::vector<std::size_t> indeg(task_count());
+  IdVector<TaskId, std::size_t> indeg(task_count());
   std::vector<TaskId> stack;
-  for (std::size_t t = 0; t < task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(task_count())) {
     indeg[t] = preds_[t].size();
-    if (indeg[t] == 0) stack.push_back(static_cast<TaskId>(t));
+    if (indeg[t] == 0) stack.push_back(t);
   }
   std::size_t popped = 0;
   while (!stack.empty()) {
     const TaskId t = stack.back();
     stack.pop_back();
     ++popped;
-    for (const EdgeRef& e : succs_[static_cast<std::size_t>(t)]) {
-      if (--indeg[static_cast<std::size_t>(e.task)] == 0) stack.push_back(e.task);
+    for (const EdgeRef& e : succs_[t]) {
+      if (--indeg[e.task] == 0) stack.push_back(e.task);
     }
   }
   return popped == task_count();
@@ -120,12 +121,12 @@ void TaskGraph::validate() const {
 
 void TaskGraph::set_task_name(TaskId t, std::string name) {
   check_task(t, "set_task_name");
-  names_[static_cast<std::size_t>(t)] = std::move(name);
+  names_[t] = std::move(name);
 }
 
 const std::string& TaskGraph::task_name(TaskId t) const {
   check_task(t, "task_name");
-  return names_[static_cast<std::size_t>(t)];
+  return names_[t];
 }
 
 bool TaskGraph::operator==(const TaskGraph& other) const {
@@ -140,7 +141,7 @@ bool TaskGraph::operator==(const TaskGraph& other) const {
     });
     return copy;
   };
-  for (std::size_t t = 0; t < task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(task_count())) {
     if (sorted(succs_[t]) != sorted(other.succs_[t])) return false;
   }
   return true;

@@ -7,13 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "util/strong_id.hpp"
+
 namespace rts {
-
-/// Task identifier; tasks of a graph with n nodes are 0..n-1.
-using TaskId = std::int32_t;
-
-/// Invalid/absent task marker.
-inline constexpr TaskId kNoTask = -1;
 
 /// One directed edge endpoint as seen from a task's adjacency list.
 struct EdgeRef {
@@ -83,9 +79,9 @@ class TaskGraph {
  private:
   void check_task(TaskId t, const char* what) const;
 
-  std::vector<std::vector<EdgeRef>> succs_;
-  std::vector<std::vector<EdgeRef>> preds_;
-  std::vector<std::string> names_;
+  IdVector<TaskId, std::vector<EdgeRef>> succs_;
+  IdVector<TaskId, std::vector<EdgeRef>> preds_;
+  IdVector<TaskId, std::string> names_;
   std::size_t edge_count_ = 0;
 };
 

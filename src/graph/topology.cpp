@@ -9,10 +9,10 @@ namespace rts {
 
 namespace {
 
-std::vector<std::size_t> initial_indegrees(const TaskGraph& graph) {
-  std::vector<std::size_t> indeg(graph.task_count());
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    indeg[t] = graph.in_degree(static_cast<TaskId>(t));
+IdVector<TaskId, std::size_t> initial_indegrees(const TaskGraph& graph) {
+  IdVector<TaskId, std::size_t> indeg(graph.task_count());
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    indeg[t] = graph.in_degree(t);
   }
   return indeg;
 }
@@ -23,8 +23,8 @@ std::vector<TaskId> topological_order(const TaskGraph& graph) {
   auto indeg = initial_indegrees(graph);
   // Min-heap on id gives a canonical order independent of insertion history.
   std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    if (indeg[t] == 0) ready.push(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    if (indeg[t] == 0) ready.push(t);
   }
   std::vector<TaskId> order;
   order.reserve(graph.task_count());
@@ -33,7 +33,7 @@ std::vector<TaskId> topological_order(const TaskGraph& graph) {
     ready.pop();
     order.push_back(t);
     for (const EdgeRef& e : graph.successors(t)) {
-      if (--indeg[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);
+      if (--indeg[e.task] == 0) ready.push(e.task);
     }
   }
   RTS_REQUIRE(order.size() == graph.task_count(), "task graph contains a cycle");
@@ -43,8 +43,8 @@ std::vector<TaskId> topological_order(const TaskGraph& graph) {
 std::vector<TaskId> random_topological_order(const TaskGraph& graph, Rng& rng) {
   auto indeg = initial_indegrees(graph);
   std::vector<TaskId> ready;
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    if (indeg[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    if (indeg[t] == 0) ready.push_back(t);
   }
   std::vector<TaskId> order;
   order.reserve(graph.task_count());
@@ -57,7 +57,7 @@ std::vector<TaskId> random_topological_order(const TaskGraph& graph, Rng& rng) {
     ready.pop_back();
     order.push_back(t);
     for (const EdgeRef& e : graph.successors(t)) {
-      if (--indeg[static_cast<std::size_t>(e.task)] == 0) ready.push_back(e.task);
+      if (--indeg[e.task] == 0) ready.push_back(e.task);
     }
   }
   RTS_REQUIRE(order.size() == graph.task_count(), "task graph contains a cycle");
@@ -66,37 +66,37 @@ std::vector<TaskId> random_topological_order(const TaskGraph& graph, Rng& rng) {
 
 bool is_topological_order(const TaskGraph& graph, std::span<const TaskId> order) {
   if (order.size() != graph.task_count()) return false;
-  std::vector<std::size_t> position(graph.task_count(), graph.task_count());
+  IdVector<TaskId, std::size_t> position(graph.task_count(), graph.task_count());
   for (std::size_t i = 0; i < order.size(); ++i) {
     const TaskId t = order[i];
-    if (t < 0 || static_cast<std::size_t>(t) >= graph.task_count()) return false;
-    if (position[static_cast<std::size_t>(t)] != graph.task_count()) return false;  // dup
-    position[static_cast<std::size_t>(t)] = i;
+    if (!t.valid() || t.index() >= graph.task_count()) return false;
+    if (position[t] != graph.task_count()) return false;  // dup
+    position[t] = i;
   }
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    for (const EdgeRef& e : graph.successors(static_cast<TaskId>(t))) {
-      if (position[t] >= position[static_cast<std::size_t>(e.task)]) return false;
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    for (const EdgeRef& e : graph.successors(t)) {
+      if (position[t] >= position[e.task]) return false;
     }
   }
   return true;
 }
 
 std::vector<TaskId> priority_topological_order(const TaskGraph& graph,
-                                               std::span<const double> priority) {
+                                               IdSpan<TaskId, const double> priority) {
   RTS_REQUIRE(priority.size() == graph.task_count(),
               "priority vector length must equal task count");
   auto indeg = initial_indegrees(graph);
   const auto cmp = [&priority](TaskId a, TaskId b) {
-    const double pa = priority[static_cast<std::size_t>(a)];
-    const double pb = priority[static_cast<std::size_t>(b)];
+    const double pa = priority[a];
+    const double pb = priority[b];
     // priority_queue keeps the *largest* element on top under `less`; we want
     // highest priority first, ties to the smaller id.
     if (pa != pb) return pa < pb;
     return a > b;
   };
   std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    if (indeg[t] == 0) ready.push(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    if (indeg[t] == 0) ready.push(t);
   }
   std::vector<TaskId> order;
   order.reserve(graph.task_count());
@@ -105,7 +105,7 @@ std::vector<TaskId> priority_topological_order(const TaskGraph& graph,
     ready.pop();
     order.push_back(t);
     for (const EdgeRef& e : graph.successors(t)) {
-      if (--indeg[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);
+      if (--indeg[e.task] == 0) ready.push(e.task);
     }
   }
   RTS_REQUIRE(order.size() == graph.task_count(), "task graph contains a cycle");
@@ -117,22 +117,21 @@ Reachability::Reachability(const TaskGraph& graph)
   // Sweep in reverse topological order; row(t) = {t} ∪ ⋃ row(succ).
   const auto order = topological_order(graph);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const auto t = static_cast<std::size_t>(*it);
+    const std::size_t t = it->index();
     std::uint64_t* row_t = bits_.data() + t * words_per_row_;
     row_t[t / 64] |= (std::uint64_t{1} << (t % 64));
     for (const EdgeRef& e : graph.successors(*it)) {
-      const std::uint64_t* row_s =
-          bits_.data() + static_cast<std::size_t>(e.task) * words_per_row_;
+      const std::uint64_t* row_s = bits_.data() + e.task.index() * words_per_row_;
       for (std::size_t w = 0; w < words_per_row_; ++w) row_t[w] |= row_s[w];
     }
   }
 }
 
 bool Reachability::reaches(TaskId from, TaskId to) const {
-  RTS_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < n_, "task id out of range");
-  RTS_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < n_, "task id out of range");
-  const auto f = static_cast<std::size_t>(from);
-  const auto t = static_cast<std::size_t>(to);
+  RTS_REQUIRE(from.valid() && from.index() < n_, "task id out of range");
+  RTS_REQUIRE(to.valid() && to.index() < n_, "task id out of range");
+  const std::size_t f = from.index();
+  const std::size_t t = to.index();
   return (bits_[f * words_per_row_ + t / 64] >> (t % 64)) & 1u;
 }
 
@@ -145,12 +144,12 @@ std::size_t graph_height(const TaskGraph& graph) {
   return 1 + *std::max_element(depths.begin(), depths.end());
 }
 
-std::vector<std::size_t> task_depths(const TaskGraph& graph) {
-  std::vector<std::size_t> depth(graph.task_count(), 0);
+IdVector<TaskId, std::size_t> task_depths(const TaskGraph& graph) {
+  IdVector<TaskId, std::size_t> depth(graph.task_count(), 0);
   for (const TaskId t : topological_order(graph)) {
     for (const EdgeRef& e : graph.successors(t)) {
-      auto& d = depth[static_cast<std::size_t>(e.task)];
-      d = std::max(d, depth[static_cast<std::size_t>(t)] + 1);
+      auto& d = depth[e.task];
+      d = std::max(d, depth[t] + 1);
     }
   }
   return depth;

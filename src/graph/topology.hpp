@@ -26,7 +26,7 @@ bool is_topological_order(const TaskGraph& graph, std::span<const TaskId> order)
 /// (ties broken by smaller id), while honouring precedence: repeatedly pops
 /// the ready task with the highest priority. Used by list schedulers.
 std::vector<TaskId> priority_topological_order(const TaskGraph& graph,
-                                               std::span<const double> priority);
+                                               IdSpan<TaskId, const double> priority);
 
 /// Dense reachability oracle (bit matrix). O(V*E/64) construction; answers
 /// reaches(a, b) — "is there a directed path a ->* b" — in O(1).
@@ -52,6 +52,6 @@ class Reachability {
 std::size_t graph_height(const TaskGraph& graph);
 
 /// For each task, the 0-based depth = longest hop distance from any entry.
-std::vector<std::size_t> task_depths(const TaskGraph& graph);
+IdVector<TaskId, std::size_t> task_depths(const TaskGraph& graph);
 
 }  // namespace rts

@@ -17,22 +17,22 @@ Platform::Platform(std::size_t proc_count, double rate)
 }
 
 void Platform::check_pair(ProcId from, ProcId to) const {
-  RTS_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < proc_count(),
+  RTS_REQUIRE(from.valid() && from.index() < proc_count(),
               "source processor id out of range");
-  RTS_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < proc_count(),
+  RTS_REQUIRE(to.valid() && to.index() < proc_count(),
               "target processor id out of range");
 }
 
 double Platform::transfer_rate(ProcId from, ProcId to) const {
   check_pair(from, to);
-  return rates_(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
+  return rates_(from.index(), to.index());
 }
 
 void Platform::set_transfer_rate(ProcId from, ProcId to, double rate) {
   check_pair(from, to);
   RTS_REQUIRE(from != to, "intra-processor rate is fixed (communication is free)");
   RTS_REQUIRE(rate > 0.0, "transfer rate must be positive");
-  rates_(static_cast<std::size_t>(from), static_cast<std::size_t>(to)) = rate;
+  rates_(from.index(), to.index()) = rate;
 }
 
 void Platform::set_symmetric_rate(ProcId a, ProcId b, double rate) {
@@ -45,7 +45,7 @@ double Platform::comm_cost(double data, ProcId from, ProcId to) const {
   RTS_REQUIRE(data >= 0.0, "data size must be non-negative");
   // rts-lint: allow(no-float-eq) — zero data means no transfer, exactly.
   if (from == to || data == 0.0) return 0.0;
-  return data / rates_(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
+  return data / rates_(from.index(), to.index());
 }
 
 double Platform::average_transfer_rate() const {

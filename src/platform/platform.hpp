@@ -7,14 +7,9 @@
 
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/strong_id.hpp"
 
 namespace rts {
-
-/// Processor identifier; processors of an m-machine platform are 0..m-1.
-using ProcId = std::int32_t;
-
-/// Invalid/absent processor marker.
-inline constexpr ProcId kNoProc = -1;
 
 /// Fully connected heterogeneous platform with pairwise transfer rates.
 class Platform {

@@ -26,7 +26,7 @@ DropDecision base_decision(const DropContext& ctx, TaskId task, double deadline,
   d.task = task;
   d.policy = kind;
   d.deadline = deadline;
-  d.estimated_finish = ctx.predicted->finish[static_cast<std::size_t>(task)];
+  d.estimated_finish = ctx.predicted->finish[task];
   d.decision_time = ctx.partial->decision_time;
   return d;
 }
@@ -53,7 +53,7 @@ class DeadlineInfeasiblePolicy final : public DropPolicy {
                 "deadline-infeasible policy needs the optimistic timing");
     DropDecision d =
         base_decision(ctx, task, deadline, DropPolicyKind::kDeadlineInfeasible);
-    const double best_case = ctx.optimistic->finish[static_cast<std::size_t>(task)];
+    const double best_case = ctx.optimistic->finish[task];
     d.dropped = best_case > deadline;
     d.completion_prob = d.dropped ? 0.0 : 1.0;
     return d;
@@ -118,16 +118,15 @@ Matrix<double> sample_completion_finishes(const ProblemInstance& instance,
   for (std::size_t k0 = 0; k0 < samples; k0 += lane_width) {
     const std::size_t lanes = std::min(lane_width, samples - k0);
     for (std::size_t l = 0; l < lanes; ++l) {
-      for (std::size_t t = 0; t < n; ++t) {
+      for (const TaskId t : id_range<TaskId>(n)) {
         if (partial.frozen[t] != 0 || partial.dropped[t] != 0) {
           // Frozen are pinned anyway; dropped are placeholders (no draw).
-          durations[t * lanes + l] = 0.0;
+          durations[t.index() * lanes + l] = 0.0;
           continue;
         }
-        const auto p =
-            static_cast<std::size_t>(partial.schedule.proc_of(static_cast<TaskId>(t)));
-        durations[t * lanes + l] =
-            sample_realized_duration(rng, instance.bcet(t, p), instance.ul(t, p));
+        const ProcId p = partial.schedule.proc_of(t);
+        durations[t.index() * lanes + l] = sample_realized_duration(
+            rng, instance.bcet(t.index(), p.index()), instance.ul(t.index(), p.index()));
       }
     }
     sweep.forward(std::span<const double>(durations).first(n * lanes), lanes,
@@ -143,7 +142,7 @@ double completion_probability(const Matrix<double>& finish_samples, TaskId task,
                               double deadline) {
   const std::size_t samples = finish_samples.rows();
   RTS_REQUIRE(samples > 0, "finish-sample matrix is empty");
-  const auto t = static_cast<std::size_t>(task);
+  const std::size_t t = task.index();
   RTS_REQUIRE(t < finish_samples.cols(), "task id out of range");
   std::size_t on_time = 0;
   for (std::size_t k = 0; k < samples; ++k) {

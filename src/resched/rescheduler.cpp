@@ -44,15 +44,15 @@ namespace {
 
 /// Per-task durations on the assigned processors of `schedule`, honoring the
 /// partial-schedule convention: 0 for frozen (pinned anyway) and dropped.
-std::vector<double> live_durations(const Matrix<double>& costs, const Schedule& schedule,
-                                   const std::vector<std::uint8_t>& frozen,
-                                   const std::vector<std::uint8_t>& dropped) {
+IdVector<TaskId, double> live_durations(const Matrix<double>& costs,
+                                        const Schedule& schedule,
+                                        const IdVector<TaskId, std::uint8_t>& frozen,
+                                        const IdVector<TaskId, std::uint8_t>& dropped) {
   const std::size_t n = schedule.task_count();
-  std::vector<double> durations(n, 0.0);
-  for (std::size_t t = 0; t < n; ++t) {
+  IdVector<TaskId, double> durations(n, 0.0);
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (frozen[t] != 0 || dropped[t] != 0) continue;
-    durations[t] =
-        costs(t, static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t))));
+    durations[t] = costs(t.index(), schedule.proc_of(t).index());
   }
   return durations;
 }
@@ -69,7 +69,7 @@ double find_trigger(const ReschedConfig& config, const ProblemInstance& instance
   switch (config.trigger) {
     case TriggerKind::kSlackExhaustion: {
       const double budget = config.slack_threshold * planned_makespan;
-      for (std::size_t t = 0; t < n; ++t) {
+      for (const TaskId t : id_range<TaskId>(n)) {
         if (partial.dropped[t] != 0 || actual.finish[t] <= after) continue;
         if (actual.finish[t] > predicted.finish[t] + budget) {
           tstar = std::min(tstar, actual.finish[t]);
@@ -79,7 +79,7 @@ double find_trigger(const ReschedConfig& config, const ProblemInstance& instance
     }
     case TriggerKind::kDeadlineRisk: {
       if (!instance.has_deadlines()) break;
-      for (std::size_t t = 0; t < n; ++t) {
+      for (const TaskId t : id_range<TaskId>(n)) {
         if (partial.dropped[t] != 0 || actual.finish[t] <= after) continue;
         if (actual.finish[t] > config.risk_threshold * instance.deadline[t]) {
           tstar = std::min(tstar, actual.finish[t]);
@@ -90,7 +90,7 @@ double find_trigger(const ReschedConfig& config, const ProblemInstance& instance
     case TriggerKind::kCadence: {
       std::vector<double> finishes;
       finishes.reserve(n);
-      for (std::size_t t = 0; t < n; ++t) {
+      for (const TaskId t : id_range<TaskId>(n)) {
         if (partial.dropped[t] == 0) finishes.push_back(actual.finish[t]);
       }
       std::sort(finishes.begin(), finishes.end());
@@ -131,10 +131,10 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
   // Mutable execution state: the incumbent plan plus frozen/dropped flags and
   // the realized history of the frozen prefix.
   Schedule cur = plan;
-  std::vector<std::uint8_t> frozen(n, 0);
-  std::vector<std::uint8_t> dropped(n, 0);
-  std::vector<double> frozen_start(n, 0.0);
-  std::vector<double> frozen_finish(n, 0.0);
+  IdVector<TaskId, std::uint8_t> frozen(n, 0);
+  IdVector<TaskId, std::uint8_t> dropped(n, 0);
+  IdVector<TaskId, double> frozen_start(n, 0.0);
+  IdVector<TaskId, double> frozen_finish(n, 0.0);
   double decision_time = 0.0;
 
   ReschedRunResult result{plan, {}, {}, {}, 0.0, 0, 0, {}, 0, 0.0};
@@ -146,8 +146,9 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
   for (;;) {
     const PartialSchedule part{cur,          frozen,        dropped,
                                frozen_start, frozen_finish, decision_time};
-    const std::vector<double> rdur = live_durations(realized, cur, frozen, dropped);
-    const std::vector<double> edur = live_durations(instance.expected, cur, frozen, dropped);
+    const IdVector<TaskId, double> rdur = live_durations(realized, cur, frozen, dropped);
+    const IdVector<TaskId, double> edur =
+        live_durations(instance.expected, cur, frozen, dropped);
     // One replay per event, not a realization loop: each iteration's partial
     // schedule differs. rts-lint: allow(no-scalar-mc-in-loop)
     const ScheduleTiming actual = partial_timing(graph, platform, part, rdur);
@@ -161,19 +162,18 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
     if (!std::isfinite(tstar)) {
       // No (further) intervention: commit the realized trajectory.
       result.final_schedule = cur;
-      result.dropped = dropped;
-      result.start = actual.start;
-      result.finish = actual.finish;
+      result.dropped = dropped.raw();
+      result.start = actual.start.raw();
+      result.finish = actual.finish.raw();
       result.makespan = actual.makespan;
-      for (std::size_t t = 0; t < n; ++t) {
-        const auto tid = static_cast<TaskId>(t);
+      for (const TaskId t : id_range<TaskId>(n)) {
         if (dropped[t] != 0) {
           ++result.deadline_misses;
         } else if (instance.has_deadlines() &&
                    actual.finish[t] > instance.deadline[t]) {
           ++result.deadline_misses;
         } else {
-          result.value_accrued += instance.task_value(tid);
+          result.value_accrued += instance.task_value(t);
         }
       }
       return result;
@@ -182,7 +182,7 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
     // --- Freeze the executed/running prefix at the trigger instant. ---
     decision_time = tstar;
     std::size_t completions = 0;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId t : id_range<TaskId>(n)) {
       if (dropped[t] != 0) continue;
       if (actual.finish[t] <= tstar) ++completions;
       if (actual.start[t] <= tstar && frozen[t] == 0) {
@@ -198,7 +198,7 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
     // well formed without resequencing.
     const PartialSchedule part2{cur,          frozen,        dropped,
                                 frozen_start, frozen_finish, decision_time};
-    const std::vector<double> edur2 =
+    const IdVector<TaskId, double> edur2 =
         live_durations(instance.expected, cur, frozen, dropped);
     // rts-lint: allow(no-scalar-mc-in-loop) — per-event incumbent timing.
     const ScheduleTiming predicted2 = partial_timing(graph, platform, part2, edur2);
@@ -208,7 +208,7 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
     rec.completions = completions;
     rec.incumbent_makespan = predicted2.makespan;
     if (instance.has_deadlines() && config.drop != DropPolicyKind::kNever) {
-      const std::vector<double> bdur2 =
+      const IdVector<TaskId, double> bdur2 =
           live_durations(instance.bcet, cur, frozen, dropped);
       // rts-lint: allow(no-scalar-mc-in-loop) — per-event BCET bound.
       const ScheduleTiming optimistic = partial_timing(graph, platform, part2, bdur2);
@@ -227,9 +227,8 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
       // post-drop schedule could have saved.
       std::vector<DropDecision> decisions;
       for (const TaskId t : topo) {
-        const auto ti = static_cast<std::size_t>(t);
-        if (frozen[ti] != 0 || dropped[ti] != 0) continue;
-        decisions.push_back(policy->decide(ctx, t, instance.deadline[ti]));
+        if (frozen[t] != 0 || dropped[t] != 0) continue;
+        decisions.push_back(policy->decide(ctx, t, instance.deadline[t]));
       }
       // Phase 2: triage budget. Only the ceil(cap x live) most hopeless
       // proposals (lowest completion probability, then worst deadline margin)
@@ -243,16 +242,15 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
       // chance, so a drop can only free capacity, never forfeit value. (A
       // frozen task cannot follow a live one, so successors of a live task
       // are live or already dropped.)
-      std::vector<std::uint8_t> actionable(n, 0);
+      IdVector<TaskId, std::uint8_t> actionable(n, 0);
       for (const DropDecision& d : decisions) {
-        if (d.dropped) actionable[static_cast<std::size_t>(d.task)] = 1;
+        if (d.dropped) actionable[d.task] = 1;
       }
       for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-        const auto ti = static_cast<std::size_t>(*it);
+        const TaskId ti = *it;
         if (actionable[ti] == 0) continue;
-        for (const EdgeRef& e : graph.successors(*it)) {
-          const auto si = static_cast<std::size_t>(e.task);
-          if (dropped[si] == 0 && actionable[si] == 0) {
+        for (const EdgeRef& e : graph.successors(ti)) {
+          if (dropped[e.task] == 0 && actionable[e.task] == 0) {
             actionable[ti] = 0;
             break;
           }
@@ -260,8 +258,7 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
       }
       std::vector<std::size_t> proposals;
       for (std::size_t i = 0; i < decisions.size(); ++i) {
-        if (decisions[i].dropped &&
-            actionable[static_cast<std::size_t>(decisions[i].task)] != 0) {
+        if (decisions[i].dropped && actionable[decisions[i].task] != 0) {
           proposals.push_back(i);
         } else {
           decisions[i].dropped = false;  // not actionable this round
@@ -283,19 +280,18 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
         decisions[proposals[i]].dropped = false;  // spared this round
       }
       for (std::size_t i = 0; i < std::min(budget, proposals.size()); ++i) {
-        dropped[static_cast<std::size_t>(decisions[proposals[i]].task)] = 1;
+        dropped[decisions[proposals[i]].task] = 1;
       }
       // Phase 3: descendant closure in topological order — a drop (this
       // round's or an earlier one's) starves everything downstream.
       for (DropDecision& d : decisions) {
-        const auto ti = static_cast<std::size_t>(d.task);
-        if (dropped[ti] == 0) {
+        if (dropped[d.task] == 0) {
           for (const EdgeRef& e : graph.predecessors(d.task)) {
-            if (dropped[static_cast<std::size_t>(e.task)] != 0) {
+            if (dropped[e.task] != 0) {
               d.dropped = true;
               d.forced = true;
               d.completion_prob = 0.0;
-              dropped[ti] = 1;
+              dropped[d.task] = 1;
               break;
             }
           }
@@ -320,15 +316,15 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
     const double scale = std::max(1.0, planned_makespan);
     const double penalty = 1e3 * scale;
     const double token = 1e-6 * scale;
-    for (std::size_t t = 0; t < n; ++t) {
-      const auto pinned = static_cast<std::size_t>(cur.proc_of(static_cast<TaskId>(t)));
+    for (const TaskId t : id_range<TaskId>(n)) {
+      const std::size_t pinned = cur.proc_of(t).index();
       for (std::size_t p = 0; p < m; ++p) {
         if (frozen[t] != 0) {
-          costs(t, p) = p == pinned ? frozen_finish[t] - frozen_start[t] : penalty;
+          costs(t.index(), p) = p == pinned ? frozen_finish[t] - frozen_start[t] : penalty;
         } else if (dropped[t] != 0) {
-          costs(t, p) = p == pinned ? token : penalty;
+          costs(t.index(), p) = p == pinned ? token : penalty;
         } else {
-          costs(t, p) = instance.expected(t, p);
+          costs(t.index(), p) = instance.expected(t.index(), p);
         }
       }
     }
@@ -350,28 +346,23 @@ ReschedRunResult run_online_reschedule(const ProblemInstance& instance,
     // predecessor-closed, the dropped set descendant-closed, and the
     // scheduling string is precedence-legal.
     ScheduleBuilder builder(n, m);
-    for (std::size_t p = 0; p < m; ++p) {
-      for (const TaskId t : cur.sequence(static_cast<ProcId>(p))) {
-        if (frozen[static_cast<std::size_t>(t)] != 0) {
-          builder.append(static_cast<ProcId>(p), t);
-        }
+    for (const ProcId p : id_range<ProcId>(m)) {
+      for (const TaskId t : cur.sequence(p)) {
+        if (frozen[t] != 0) builder.append(p, t);
       }
     }
     for (const TaskId t : sol.best.order) {
-      const auto ti = static_cast<std::size_t>(t);
-      if (frozen[ti] == 0 && dropped[ti] == 0) {
-        builder.append(sol.best.assignment[ti], t);
+      if (frozen[t] == 0 && dropped[t] == 0) {
+        builder.append(sol.best.assignment[t], t);
       }
     }
     for (const TaskId t : sol.best.order) {
-      if (dropped[static_cast<std::size_t>(t)] != 0) {
-        builder.append(cur.proc_of(t), t);
-      }
+      if (dropped[t] != 0) builder.append(cur.proc_of(t), t);
     }
     cur = std::move(builder).build();
     ++result.resolves;
 
-    const std::vector<double> edur3 =
+    const IdVector<TaskId, double> edur3 =
         live_durations(instance.expected, cur, frozen, dropped);
     const PartialSchedule revised{cur,          frozen,        dropped,
                                   frozen_start, frozen_finish, decision_time};
@@ -450,8 +441,8 @@ ReschedEvalReport evaluate_resched(const ProblemInstance& instance, const Schedu
 
   ReschedEvalReport report;
   report.realizations = mc.realizations;
-  for (std::size_t t = 0; t < n; ++t) {
-    report.value_possible += instance.task_value(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(n)) {
+    report.value_possible += instance.task_value(t);
   }
   const double denom = static_cast<double>(mc.realizations);
   for (const RunStats& s : runs) {

@@ -17,30 +17,32 @@ ListScheduleResult cpop_schedule(const TaskGraph& graph, const Platform& platfor
   const auto rank_d = heft_downward_ranks(graph, platform, costs);
   const std::size_t n = graph.task_count();
 
-  std::vector<double> priority(n);
-  for (std::size_t t = 0; t < n; ++t) priority[t] = rank_u[t] + rank_d[t];
+  const IdSpan<TaskId, const double> u{rank_u};
+  const IdSpan<TaskId, const double> d{rank_d};
+  IdVector<TaskId, double> priority(n);
+  for (const TaskId t : id_range<TaskId>(n)) priority[t] = u[t] + d[t];
 
   // |CP| = priority of the entry task(s); walk the path greedily. Floating
   // point makes exact equality brittle, so membership uses a relative
   // tolerance on the maximum priority.
   const double cp_len = *std::max_element(priority.begin(), priority.end());
   const double tol = cp_len * 1e-9 + 1e-12;
-  std::vector<bool> on_cp(n, false);
+  IdVector<TaskId, bool> on_cp(n, false);
   // Follow one critical path from an entry task to an exit task, always
   // stepping to a successor that is itself critical.
   TaskId current = kNoTask;
   for (const TaskId e : graph.entry_tasks()) {
-    if (std::abs(priority[static_cast<std::size_t>(e)] - cp_len) <= tol) {
+    if (std::abs(priority[e] - cp_len) <= tol) {
       current = e;
       break;
     }
   }
   RTS_ENSURE(current != kNoTask, "no entry task lies on the critical path");
   while (current != kNoTask) {
-    on_cp[static_cast<std::size_t>(current)] = true;
+    on_cp[current] = true;
     TaskId next = kNoTask;
     for (const EdgeRef& e : graph.successors(current)) {
-      if (std::abs(priority[static_cast<std::size_t>(e.task)] - cp_len) <= tol) {
+      if (std::abs(priority[e.task] - cp_len) <= tol) {
         next = e.task;
         break;
       }
@@ -51,54 +53,54 @@ ListScheduleResult cpop_schedule(const TaskGraph& graph, const Platform& platfor
   // Pin the critical path to the processor minimizing its total computation.
   ProcId cp_proc = 0;
   double best_sum = std::numeric_limits<double>::infinity();
-  for (std::size_t p = 0; p < platform.proc_count(); ++p) {
+  for (const ProcId p : id_range<ProcId>(platform.proc_count())) {
     double sum = 0.0;
-    for (std::size_t t = 0; t < n; ++t) {
-      if (on_cp[t]) sum += costs(t, p);
+    for (const TaskId t : id_range<TaskId>(n)) {
+      if (on_cp[t]) sum += costs(t.index(), p.index());
     }
     if (sum < best_sum) {
       best_sum = sum;
-      cp_proc = static_cast<ProcId>(p);
+      cp_proc = p;
     }
   }
 
   // Ready-list scheduling by decreasing priority.
   InsertionScheduleBuilder builder(graph, platform, costs);
-  std::vector<std::size_t> pending(n);
+  IdVector<TaskId, std::size_t> pending(n);
   const auto cmp = [&priority](TaskId a, TaskId b) {
-    const double pa = priority[static_cast<std::size_t>(a)];
-    const double pb = priority[static_cast<std::size_t>(b)];
+    const double pa = priority[a];
+    const double pb = priority[b];
     if (pa != pb) return pa < pb;  // max-heap on priority
     return a > b;
   };
   std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
-  for (std::size_t t = 0; t < n; ++t) {
-    pending[t] = graph.in_degree(static_cast<TaskId>(t));
-    if (pending[t] == 0) ready.push(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(n)) {
+    pending[t] = graph.in_degree(t);
+    if (pending[t] == 0) ready.push(t);
   }
   while (!ready.empty()) {
     const TaskId t = ready.top();
     ready.pop();
-    if (on_cp[static_cast<std::size_t>(t)]) {
+    if (on_cp[t]) {
       builder.commit(t, cp_proc, builder.probe(t, cp_proc));
     } else {
       ProcId best_proc = 0;
       auto best = builder.probe(t, 0);
-      for (std::size_t p = 1; p < platform.proc_count(); ++p) {
-        const auto candidate = builder.probe(t, static_cast<ProcId>(p));
+      for (ProcId p = 1; p.index() < platform.proc_count(); ++p) {
+        const auto candidate = builder.probe(t, p);
         if (candidate.finish < best.finish) {
           best = candidate;
-          best_proc = static_cast<ProcId>(p);
+          best_proc = p;
         }
       }
       builder.commit(t, best_proc, best);
     }
     for (const EdgeRef& e : graph.successors(t)) {
-      if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);
+      if (--pending[e.task] == 0) ready.push(e.task);
     }
   }
 
-  ListScheduleResult result{builder.to_schedule(), 0.0, std::move(priority)};
+  ListScheduleResult result{builder.to_schedule(), 0.0, std::move(priority.raw())};
   result.makespan = compute_makespan(graph, platform, result.schedule, costs);
   return result;
 }

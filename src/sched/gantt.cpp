@@ -17,12 +17,11 @@ void write_gantt(std::ostream& os, const TaskGraph& graph, const Schedule& sched
   const double span = std::max(timing.makespan, 1e-12);
   const double scale = static_cast<double>(width) / span;
 
-  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+  for (const ProcId p : id_range<ProcId>(schedule.proc_count())) {
     std::string row(width, '.');
-    for (const TaskId t : schedule.sequence(static_cast<ProcId>(p))) {
-      const auto ti = static_cast<std::size_t>(t);
-      auto a = static_cast<std::size_t>(timing.start[ti] * scale);
-      auto b = static_cast<std::size_t>(timing.finish[ti] * scale);
+    for (const TaskId t : schedule.sequence(p)) {
+      auto a = static_cast<std::size_t>(timing.start[t] * scale);
+      auto b = static_cast<std::size_t>(timing.finish[t] * scale);
       a = std::min(a, width - 1);
       b = std::min(std::max(b, a + 1), width);
       for (std::size_t c = a; c < b; ++c) row[c] = '#';
@@ -78,28 +77,27 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& graph, const Schedule& s
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
      << "\" height=\"" << height << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
 
-  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+  for (const ProcId p : id_range<ProcId>(schedule.proc_count())) {
     const double y =
-        static_cast<double>(top_margin + p * (lane_height + lane_gap));
+        static_cast<double>(top_margin + p.index() * (lane_height + lane_gap));
     os << "  <text x=\"4\" y=\"" << y + lane_height * 0.65 << "\">P" << p
        << "</text>\n";
     os << "  <rect x=\"" << left_margin << "\" y=\"" << y << "\" width=\"" << plot_width
        << "\" height=\"" << lane_height
        << "\" fill=\"#f4f4f4\" stroke=\"#cccccc\"/>\n";
-    for (const TaskId t : schedule.sequence(static_cast<ProcId>(p))) {
-      const auto ti = static_cast<std::size_t>(t);
-      const double x0 = x_of(timing.start[ti]);
-      const double x1 = x_of(timing.finish[ti]);
+    for (const TaskId t : schedule.sequence(p)) {
+      const double x0 = x_of(timing.start[t]);
+      const double x1 = x_of(timing.finish[t]);
       // Critical (zero-slack) tasks in a warm tone, slack-bearing in cool.
-      const bool critical = timing.slack[ti] <= 1e-9 * timing.makespan;
+      const bool critical = timing.slack[t] <= 1e-9 * timing.makespan;
       os << "  <rect x=\"" << x0 << "\" y=\"" << y + 3 << "\" width=\""
          << std::max(1.0, x1 - x0) << "\" height=\"" << lane_height - 6
          << "\" fill=\"" << (critical ? "#e07a5f" : "#7aa6c2")
          << "\" stroke=\"#333333\" stroke-width=\"0.5\">\n"
          << "    <title>" << xml_escape(graph.task_name(t)) << ": ["
-         << format_fixed(timing.start[ti], 2) << ", "
-         << format_fixed(timing.finish[ti], 2) << "), slack "
-         << format_fixed(timing.slack[ti], 2) << "</title>\n  </rect>\n";
+         << format_fixed(timing.start[t], 2) << ", "
+         << format_fixed(timing.finish[t], 2) << "), slack "
+         << format_fixed(timing.slack[t], 2) << "</title>\n  </rect>\n";
       if (x1 - x0 > 26.0) {
         os << "  <text x=\"" << x0 + 3 << "\" y=\"" << y + lane_height * 0.65
            << "\" fill=\"#ffffff\">" << xml_escape(graph.task_name(t)) << "</text>\n";

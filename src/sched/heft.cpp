@@ -15,10 +15,10 @@ std::vector<double> scalar_costs(const TaskGraph& graph, const Matrix<double>& c
                                  RankCostPolicy policy) {
   RTS_REQUIRE(costs.rows() == graph.task_count(), "cost matrix rows must equal task count");
   const std::size_t m = costs.cols();
-  std::vector<double> w(graph.task_count(), 0.0);
+  IdVector<TaskId, double> w(graph.task_count(), 0.0);
   std::vector<double> row(m);
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    for (std::size_t p = 0; p < m; ++p) row[p] = costs(t, p);
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    for (std::size_t p = 0; p < m; ++p) row[p] = costs(t.index(), p);
     switch (policy) {
       case RankCostPolicy::kMean: {
         double sum = 0.0;
@@ -39,7 +39,7 @@ std::vector<double> scalar_costs(const TaskGraph& graph, const Matrix<double>& c
         break;
     }
   }
-  return w;
+  return std::move(w.raw());
 }
 
 std::vector<double> mean_costs(const TaskGraph& graph, const Matrix<double>& costs) {
@@ -50,36 +50,34 @@ std::vector<double> mean_costs(const TaskGraph& graph, const Matrix<double>& cos
 std::vector<double> heft_upward_ranks(const TaskGraph& graph, const Platform& platform,
                                       const Matrix<double>& costs,
                                       RankCostPolicy policy) {
-  const auto w = scalar_costs(graph, costs, policy);
+  const IdVector<TaskId, double> w{scalar_costs(graph, costs, policy)};
   const auto order = topological_order(graph);
-  std::vector<double> rank(graph.task_count(), 0.0);
+  IdVector<TaskId, double> rank(graph.task_count(), 0.0);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const auto t = static_cast<std::size_t>(*it);
+    const TaskId t = *it;
     double tail = 0.0;
-    for (const EdgeRef& e : graph.successors(*it)) {
-      tail = std::max(tail, platform.average_comm_cost(e.data) +
-                                rank[static_cast<std::size_t>(e.task)]);
+    for (const EdgeRef& e : graph.successors(t)) {
+      tail = std::max(tail, platform.average_comm_cost(e.data) + rank[e.task]);
     }
     rank[t] = w[t] + tail;
   }
-  return rank;
+  return std::move(rank.raw());
 }
 
 std::vector<double> heft_downward_ranks(const TaskGraph& graph, const Platform& platform,
                                         const Matrix<double>& costs) {
-  const auto w = mean_costs(graph, costs);
+  const IdVector<TaskId, double> w{mean_costs(graph, costs)};
   const auto order = topological_order(graph);
-  std::vector<double> rank(graph.task_count(), 0.0);
-  for (const TaskId tid : order) {
-    const auto t = static_cast<std::size_t>(tid);
+  IdVector<TaskId, double> rank(graph.task_count(), 0.0);
+  for (const TaskId t : order) {
     double head = 0.0;
-    for (const EdgeRef& e : graph.predecessors(tid)) {
-      const auto j = static_cast<std::size_t>(e.task);
-      head = std::max(head, rank[j] + w[j] + platform.average_comm_cost(e.data));
+    for (const EdgeRef& e : graph.predecessors(t)) {
+      head = std::max(head,
+                      rank[e.task] + w[e.task] + platform.average_comm_cost(e.data));
     }
     rank[t] = head;
   }
-  return rank;
+  return std::move(rank.raw());
 }
 
 ListScheduleResult heft_schedule(const TaskGraph& graph, const Platform& platform,
@@ -94,11 +92,11 @@ ListScheduleResult heft_schedule(const TaskGraph& graph, const Platform& platfor
   for (const TaskId t : order) {
     ProcId best_proc = 0;
     InsertionScheduleBuilder::Placement best = builder.probe(t, 0);
-    for (std::size_t p = 1; p < platform.proc_count(); ++p) {
-      const auto candidate = builder.probe(t, static_cast<ProcId>(p));
+    for (ProcId p = 1; p.index() < platform.proc_count(); ++p) {
+      const auto candidate = builder.probe(t, p);
       if (candidate.finish < best.finish) {
         best = candidate;
-        best_proc = static_cast<ProcId>(p);
+        best_proc = p;
       }
     }
     builder.commit(t, best_proc, best);
@@ -123,18 +121,17 @@ ListScheduleResult heft_lookahead_schedule(const TaskGraph& graph,
     InsertionScheduleBuilder::Placement best_place{0.0, 0.0};
     double best_score = std::numeric_limits<double>::infinity();
     double best_eft = std::numeric_limits<double>::infinity();
-    for (std::size_t p = 0; p < platform.proc_count(); ++p) {
+    for (const ProcId p : id_range<ProcId>(platform.proc_count())) {
       // Tentatively place t on p in a throwaway copy, then score by the
       // worst child's best achievable finish time.
       InsertionScheduleBuilder trial = builder;
-      const auto place = trial.probe(t, static_cast<ProcId>(p));
-      trial.commit(t, static_cast<ProcId>(p), place);
+      const auto place = trial.probe(t, p);
+      trial.commit(t, p, place);
       double score = place.finish;
       for (const EdgeRef& e : graph.successors(t)) {
         double child_best = std::numeric_limits<double>::infinity();
-        for (std::size_t q = 0; q < platform.proc_count(); ++q) {
-          child_best = std::min(
-              child_best, trial.probe_relaxed(e.task, static_cast<ProcId>(q)).finish);
+        for (const ProcId q : id_range<ProcId>(platform.proc_count())) {
+          child_best = std::min(child_best, trial.probe_relaxed(e.task, q).finish);
         }
         score = std::max(score, child_best);
       }
@@ -144,7 +141,7 @@ ListScheduleResult heft_lookahead_schedule(const TaskGraph& graph,
           (score == best_score && place.finish < best_eft)) {
         best_score = score;
         best_eft = place.finish;
-        best_proc = static_cast<ProcId>(p);
+        best_proc = p;
         best_place = place;
       }
     }

@@ -23,7 +23,7 @@ InsertionScheduleBuilder::InsertionScheduleBuilder(const TaskGraph& graph,
 double InsertionScheduleBuilder::ready_time(TaskId t, ProcId p) const {
   double ready = 0.0;
   for (const EdgeRef& e : graph_.predecessors(t)) {
-    const auto pred = static_cast<std::size_t>(e.task);
+    const TaskId pred = e.task;
     RTS_REQUIRE(proc_of_[pred] != kNoProc,
                 "probe requires all predecessors to be placed first");
     ready = std::max(ready, finish_[pred] + platform_.comm_cost(e.data, proc_of_[pred], p));
@@ -32,13 +32,12 @@ double InsertionScheduleBuilder::ready_time(TaskId t, ProcId p) const {
 }
 
 InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe(TaskId t, ProcId p) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
-              "task id out of range");
-  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < platform_.proc_count(),
+  RTS_REQUIRE(t.valid() && t.index() < graph_.task_count(), "task id out of range");
+  RTS_REQUIRE(p.valid() && p.index() < platform_.proc_count(),
               "processor id out of range");
   const double ready = ready_time(t, p);
-  const double duration = costs_(static_cast<std::size_t>(t), static_cast<std::size_t>(p));
-  const auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  const double duration = costs_(t.index(), p.index());
+  const auto& intervals = timeline_[p];
 
   double candidate = ready;
   for (const Interval& iv : intervals) {
@@ -50,18 +49,17 @@ InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe(TaskId t, Pr
 
 InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe_relaxed(
     TaskId t, ProcId p) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
-              "task id out of range");
-  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < platform_.proc_count(),
+  RTS_REQUIRE(t.valid() && t.index() < graph_.task_count(), "task id out of range");
+  RTS_REQUIRE(p.valid() && p.index() < platform_.proc_count(),
               "processor id out of range");
   double ready = 0.0;
   for (const EdgeRef& e : graph_.predecessors(t)) {
-    const auto pred = static_cast<std::size_t>(e.task);
+    const TaskId pred = e.task;
     if (proc_of_[pred] == kNoProc) continue;  // unknown parents contribute 0
     ready = std::max(ready, finish_[pred] + platform_.comm_cost(e.data, proc_of_[pred], p));
   }
-  const double duration = costs_(static_cast<std::size_t>(t), static_cast<std::size_t>(p));
-  const auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  const double duration = costs_(t.index(), p.index());
+  const auto& intervals = timeline_[p];
   double candidate = ready;
   for (const Interval& iv : intervals) {
     if (candidate + duration <= iv.start) break;
@@ -72,23 +70,21 @@ InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe_relaxed(
 
 InsertionScheduleBuilder::Placement InsertionScheduleBuilder::probe_append(TaskId t,
                                                                            ProcId p) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
-              "task id out of range");
-  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < platform_.proc_count(),
+  RTS_REQUIRE(t.valid() && t.index() < graph_.task_count(), "task id out of range");
+  RTS_REQUIRE(p.valid() && p.index() < platform_.proc_count(),
               "processor id out of range");
   const double ready = ready_time(t, p);
-  const double duration = costs_(static_cast<std::size_t>(t), static_cast<std::size_t>(p));
-  const auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  const double duration = costs_(t.index(), p.index());
+  const auto& intervals = timeline_[p];
   const double avail = intervals.empty() ? 0.0 : intervals.back().finish;
   const double start = std::max(ready, avail);
   return Placement{start, start + duration};
 }
 
 void InsertionScheduleBuilder::commit(TaskId t, ProcId p, const Placement& placement) {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
-              "task id out of range");
-  RTS_REQUIRE(proc_of_[static_cast<std::size_t>(t)] == kNoProc, "task already placed");
-  auto& intervals = timeline_[static_cast<std::size_t>(p)];
+  RTS_REQUIRE(t.valid() && t.index() < graph_.task_count(), "task id out of range");
+  RTS_REQUIRE(proc_of_[t] == kNoProc, "task already placed");
+  auto& intervals = timeline_[p];
   const Interval iv{placement.start, placement.finish, t};
   const auto pos = std::lower_bound(
       intervals.begin(), intervals.end(), iv,
@@ -102,32 +98,31 @@ void InsertionScheduleBuilder::commit(TaskId t, ProcId p, const Placement& place
                 "placement overlaps an earlier interval");
   }
   intervals.insert(pos, iv);
-  proc_of_[static_cast<std::size_t>(t)] = p;
-  finish_[static_cast<std::size_t>(t)] = placement.finish;
+  proc_of_[t] = p;
+  finish_[t] = placement.finish;
   internal_makespan_ = std::max(internal_makespan_, placement.finish);
   ++placed_count_;
 }
 
 bool InsertionScheduleBuilder::placed(TaskId t) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < graph_.task_count(),
-              "task id out of range");
-  return proc_of_[static_cast<std::size_t>(t)] != kNoProc;
+  RTS_REQUIRE(t.valid() && t.index() < graph_.task_count(), "task id out of range");
+  return proc_of_[t] != kNoProc;
 }
 
 double InsertionScheduleBuilder::finish_time(TaskId t) const {
   RTS_REQUIRE(placed(t), "task not placed yet");
-  return finish_[static_cast<std::size_t>(t)];
+  return finish_[t];
 }
 
 Schedule InsertionScheduleBuilder::to_schedule() const {
   RTS_REQUIRE(placed_count_ == graph_.task_count(),
               "cannot build a schedule before all tasks are placed");
-  std::vector<std::vector<TaskId>> sequences(timeline_.size());
-  for (std::size_t p = 0; p < timeline_.size(); ++p) {
+  IdVector<ProcId, std::vector<TaskId>> sequences(timeline_.size());
+  for (const ProcId p : timeline_.ids()) {
     sequences[p].reserve(timeline_[p].size());
     for (const Interval& iv : timeline_[p]) sequences[p].push_back(iv.task);
   }
-  return Schedule(graph_.task_count(), std::move(sequences));
+  return Schedule(graph_.task_count(), std::move(sequences.raw()));
 }
 
 }  // namespace rts

@@ -71,9 +71,9 @@ class InsertionScheduleBuilder {
   const TaskGraph& graph_;
   const Platform& platform_;
   const Matrix<double>& costs_;
-  std::vector<std::vector<Interval>> timeline_;  // per proc, sorted by start
-  std::vector<ProcId> proc_of_;
-  std::vector<double> finish_;
+  IdVector<ProcId, std::vector<Interval>> timeline_;  // per proc, sorted by start
+  IdVector<TaskId, ProcId> proc_of_;
+  IdVector<TaskId, double> finish_;
   std::size_t placed_count_ = 0;
   double internal_makespan_ = 0.0;
 };

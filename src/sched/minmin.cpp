@@ -14,11 +14,11 @@ ListScheduleResult minmin_schedule(const TaskGraph& graph, const Platform& platf
   const std::size_t n = graph.task_count();
   InsertionScheduleBuilder builder(graph, platform, costs);
 
-  std::vector<std::size_t> pending(n);
+  IdVector<TaskId, std::size_t> pending(n);
   std::vector<TaskId> ready;
-  for (std::size_t t = 0; t < n; ++t) {
-    pending[t] = graph.in_degree(static_cast<TaskId>(t));
-    if (pending[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(n)) {
+    pending[t] = graph.in_degree(t);
+    if (pending[t] == 0) ready.push_back(t);
   }
 
   while (!ready.empty()) {
@@ -27,12 +27,12 @@ ListScheduleResult minmin_schedule(const TaskGraph& graph, const Platform& platf
     ProcId best_proc = 0;
     InsertionScheduleBuilder::Placement best{0.0, std::numeric_limits<double>::infinity()};
     for (std::size_t i = 0; i < ready.size(); ++i) {
-      for (std::size_t p = 0; p < platform.proc_count(); ++p) {
-        const auto candidate = builder.probe(ready[i], static_cast<ProcId>(p));
+      for (const ProcId p : id_range<ProcId>(platform.proc_count())) {
+        const auto candidate = builder.probe(ready[i], p);
         if (candidate.finish < best.finish) {
           best = candidate;
           best_idx = i;
-          best_proc = static_cast<ProcId>(p);
+          best_proc = p;
         }
       }
     }
@@ -40,7 +40,7 @@ ListScheduleResult minmin_schedule(const TaskGraph& graph, const Platform& platf
     builder.commit(t, best_proc, best);
     ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
     for (const EdgeRef& e : graph.successors(t)) {
-      if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push_back(e.task);
+      if (--pending[e.task] == 0) ready.push_back(e.task);
     }
   }
 

@@ -8,7 +8,7 @@ namespace rts {
 
 namespace {
 
-std::size_t count_flags(const std::vector<std::uint8_t>& flags) {
+std::size_t count_flags(const IdVector<TaskId, std::uint8_t>& flags) {
   return static_cast<std::size_t>(
       std::count_if(flags.begin(), flags.end(), [](std::uint8_t f) { return f != 0; }));
 }
@@ -33,13 +33,12 @@ bool PartialSchedule::well_formed(const TaskGraph& graph) const {
       frozen_start.size() != n || frozen_finish.size() != n) {
     return false;
   }
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto tid = static_cast<TaskId>(t);
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (frozen[t] != 0 && dropped[t] != 0) return false;
     if (frozen[t] != 0) {
       // Predecessor closure: whoever fed a started task must have started too.
-      for (const EdgeRef& e : graph.predecessors(tid)) {
-        if (frozen[static_cast<std::size_t>(e.task)] == 0) return false;
+      for (const EdgeRef& e : graph.predecessors(t)) {
+        if (frozen[e.task] == 0) return false;
       }
       if (frozen_start[t] > decision_time || frozen_finish[t] < frozen_start[t]) {
         return false;
@@ -47,17 +46,16 @@ bool PartialSchedule::well_formed(const TaskGraph& graph) const {
     }
     if (dropped[t] != 0) {
       // Descendant closure: a cancelled task starves all of its successors.
-      for (const EdgeRef& e : graph.successors(tid)) {
-        if (dropped[static_cast<std::size_t>(e.task)] == 0) return false;
+      for (const EdgeRef& e : graph.successors(t)) {
+        if (dropped[e.task] == 0) return false;
       }
     }
   }
   // Sequence shape per processor: frozen..., remaining..., dropped...
-  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
+  for (const ProcId p : id_range<ProcId>(schedule.proc_count())) {
     int phase = 0;  // 0 = frozen prefix, 1 = remaining, 2 = dropped tail
-    for (const TaskId t : schedule.sequence(static_cast<ProcId>(p))) {
-      const auto ti = static_cast<std::size_t>(t);
-      const int task_phase = frozen[ti] != 0 ? 0 : (dropped[ti] != 0 ? 2 : 1);
+    for (const TaskId t : schedule.sequence(p)) {
+      const int task_phase = frozen[t] != 0 ? 0 : (dropped[t] != 0 ? 2 : 1);
       if (task_phase < phase) return false;
       phase = task_phase;
     }
@@ -67,7 +65,7 @@ bool PartialSchedule::well_formed(const TaskGraph& graph) const {
 
 ScheduleTiming partial_timing(const TaskGraph& graph, const Platform& platform,
                               const PartialSchedule& partial,
-                              std::span<const double> durations) {
+                              IdSpan<TaskId, const double> durations) {
   const std::size_t n = graph.task_count();
   RTS_REQUIRE(durations.size() == n, "duration vector length must equal task count");
   RTS_REQUIRE(partial.well_formed(graph), "partial schedule is not well formed");
@@ -80,8 +78,7 @@ ScheduleTiming partial_timing(const TaskGraph& graph, const Platform& platform,
   out.finish.assign(n, 0.0);
   out.makespan = 0.0;
 
-  for (const TaskId tid : evaluator.gs_topological_order()) {
-    const auto t = static_cast<std::size_t>(tid);
+  for (const TaskId t : evaluator.gs_topological_order()) {
     if (partial.frozen[t] != 0) {
       // History is a fact: pinned, not recomputed.
       out.start[t] = partial.frozen_start[t];
@@ -89,15 +86,14 @@ ScheduleTiming partial_timing(const TaskGraph& graph, const Platform& platform,
     } else {
       // No task starts before time 0; decision_time <= 0 floors nothing.
       double ready = std::max(partial.decision_time, 0.0);
-      const ProcId pt = schedule.proc_of(tid);
-      for (const EdgeRef& e : graph.predecessors(tid)) {
-        const auto pred = static_cast<std::size_t>(e.task);
-        ready = std::max(ready, out.finish[pred] +
+      const ProcId pt = schedule.proc_of(t);
+      for (const EdgeRef& e : graph.predecessors(t)) {
+        ready = std::max(ready, out.finish[e.task] +
                                     platform.comm_cost(e.data, schedule.proc_of(e.task), pt));
       }
-      const TaskId pp = schedule.proc_predecessor(tid);
+      const TaskId pp = schedule.proc_predecessor(t);
       if (pp != kNoTask) {
-        ready = std::max(ready, out.finish[static_cast<std::size_t>(pp)]);
+        ready = std::max(ready, out.finish[pp]);
       }
       out.start[t] = ready;
       out.finish[t] = ready + durations[t];

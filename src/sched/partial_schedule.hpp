@@ -34,24 +34,20 @@ namespace rts {
 struct PartialSchedule {
   Schedule schedule;  ///< full placement: frozen + remaining + dropped tasks
 
-  std::vector<std::uint8_t> frozen;   ///< size n; 1 = started by decision_time
-  std::vector<std::uint8_t> dropped;  ///< size n; 1 = cancelled by the policy
+  IdVector<TaskId, std::uint8_t> frozen;   ///< size n; 1 = started by decision_time
+  IdVector<TaskId, std::uint8_t> dropped;  ///< size n; 1 = cancelled by the policy
 
   /// Realized history of frozen tasks (entries of non-frozen tasks are 0).
-  std::vector<double> frozen_start;
-  std::vector<double> frozen_finish;
+  IdVector<TaskId, double> frozen_start;
+  IdVector<TaskId, double> frozen_finish;
 
   /// The instant the controller intervened; remaining and dropped tasks
   /// cannot start before it.
   double decision_time = 0.0;
 
   [[nodiscard]] std::size_t task_count() const noexcept { return frozen.size(); }
-  [[nodiscard]] bool is_frozen(TaskId t) const {
-    return frozen[static_cast<std::size_t>(t)] != 0;
-  }
-  [[nodiscard]] bool is_dropped(TaskId t) const {
-    return dropped[static_cast<std::size_t>(t)] != 0;
-  }
+  [[nodiscard]] bool is_frozen(TaskId t) const { return frozen[t] != 0; }
+  [[nodiscard]] bool is_dropped(TaskId t) const { return dropped[t] != 0; }
 
   [[nodiscard]] std::size_t frozen_count() const noexcept;
   [[nodiscard]] std::size_t dropped_count() const noexcept;
@@ -78,6 +74,6 @@ struct PartialSchedule {
 /// schedules, not of interrupted executions.
 ScheduleTiming partial_timing(const TaskGraph& graph, const Platform& platform,
                               const PartialSchedule& partial,
-                              std::span<const double> durations);
+                              IdSpan<TaskId, const double> durations);
 
 }  // namespace rts

@@ -12,17 +12,16 @@ Schedule::Schedule(std::size_t task_count, std::vector<std::vector<TaskId>> sequ
   RTS_REQUIRE(task_count > 0, "schedule needs at least one task");
   RTS_REQUIRE(!sequences_.empty(), "schedule needs at least one processor");
   std::size_t placed = 0;
-  for (std::size_t p = 0; p < sequences_.size(); ++p) {
+  for (const ProcId p : sequences_.ids()) {
     const auto& seq = sequences_[p];
     for (std::size_t i = 0; i < seq.size(); ++i) {
       const TaskId t = seq[i];
-      RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < task_count,
+      RTS_REQUIRE(t.valid() && t.index() < task_count,
                   "sequence references task id out of range");
-      RTS_REQUIRE(proc_of_[static_cast<std::size_t>(t)] == kNoProc,
-                  "task placed more than once");
-      proc_of_[static_cast<std::size_t>(t)] = static_cast<ProcId>(p);
-      proc_pred_[static_cast<std::size_t>(t)] = i > 0 ? seq[i - 1] : kNoTask;
-      proc_succ_[static_cast<std::size_t>(t)] = i + 1 < seq.size() ? seq[i + 1] : kNoTask;
+      RTS_REQUIRE(proc_of_[t] == kNoProc, "task placed more than once");
+      proc_of_[t] = p;
+      proc_pred_[t] = i > 0 ? seq[i - 1] : kNoTask;
+      proc_succ_[t] = i + 1 < seq.size() ? seq[i + 1] : kNoTask;
       ++placed;
     }
   }
@@ -35,40 +34,38 @@ Schedule Schedule::from_order_and_assignment(std::span<const TaskId> order,
   RTS_REQUIRE(order.size() == assignment.size(),
               "order and assignment must have the same length");
   RTS_REQUIRE(proc_count > 0, "schedule needs at least one processor");
-  std::vector<std::vector<TaskId>> sequences(proc_count);
+  const IdSpan<TaskId, const ProcId> proc_of{assignment};
+  IdVector<ProcId, std::vector<TaskId>> sequences(proc_count);
   for (const TaskId t : order) {
-    RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < order.size(),
+    RTS_REQUIRE(t.valid() && t.index() < order.size(),
                 "order references task id out of range");
-    const ProcId p = assignment[static_cast<std::size_t>(t)];
-    RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < proc_count,
+    const ProcId p = proc_of[t];
+    RTS_REQUIRE(p.valid() && p.index() < proc_count,
                 "assignment references processor id out of range");
-    sequences[static_cast<std::size_t>(p)].push_back(t);
+    sequences[p].push_back(t);
   }
-  return Schedule(order.size(), std::move(sequences));
+  return Schedule(order.size(), std::move(sequences.raw()));
 }
 
 std::span<const TaskId> Schedule::sequence(ProcId p) const {
-  RTS_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < sequences_.size(),
+  RTS_REQUIRE(p.valid() && p.index() < sequences_.size(),
               "processor id out of range");
-  return sequences_[static_cast<std::size_t>(p)];
+  return sequences_[p];
 }
 
 ProcId Schedule::proc_of(TaskId t) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < proc_of_.size(),
-              "task id out of range");
-  return proc_of_[static_cast<std::size_t>(t)];
+  RTS_REQUIRE(t.valid() && t.index() < proc_of_.size(), "task id out of range");
+  return proc_of_[t];
 }
 
 TaskId Schedule::proc_predecessor(TaskId t) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < proc_pred_.size(),
-              "task id out of range");
-  return proc_pred_[static_cast<std::size_t>(t)];
+  RTS_REQUIRE(t.valid() && t.index() < proc_pred_.size(), "task id out of range");
+  return proc_pred_[t];
 }
 
 TaskId Schedule::proc_successor(TaskId t) const {
-  RTS_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < proc_succ_.size(),
-              "task id out of range");
-  return proc_succ_[static_cast<std::size_t>(t)];
+  RTS_REQUIRE(t.valid() && t.index() < proc_succ_.size(), "task id out of range");
+  return proc_succ_[t];
 }
 
 ScheduleBuilder::ScheduleBuilder(std::size_t task_count, std::size_t proc_count)
@@ -78,15 +75,15 @@ ScheduleBuilder::ScheduleBuilder(std::size_t task_count, std::size_t proc_count)
 }
 
 void ScheduleBuilder::append(ProcId proc, TaskId task) {
-  RTS_REQUIRE(proc >= 0 && static_cast<std::size_t>(proc) < sequences_.size(),
+  RTS_REQUIRE(proc.valid() && proc.index() < sequences_.size(),
               "processor id out of range");
-  RTS_REQUIRE(task >= 0 && static_cast<std::size_t>(task) < task_count_,
+  RTS_REQUIRE(task.valid() && task.index() < task_count_,
               "task id out of range");
-  sequences_[static_cast<std::size_t>(proc)].push_back(task);
+  sequences_[proc].push_back(task);
 }
 
 Schedule ScheduleBuilder::build() && {
-  return Schedule(task_count_, std::move(sequences_));
+  return Schedule(task_count_, std::move(sequences_.raw()));
 }
 
 }  // namespace rts

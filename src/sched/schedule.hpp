@@ -56,10 +56,10 @@ class Schedule {
   bool operator==(const Schedule&) const = default;
 
  private:
-  std::vector<std::vector<TaskId>> sequences_;
-  std::vector<ProcId> proc_of_;
-  std::vector<TaskId> proc_pred_;
-  std::vector<TaskId> proc_succ_;
+  IdVector<ProcId, std::vector<TaskId>> sequences_;
+  IdVector<TaskId, ProcId> proc_of_;
+  IdVector<TaskId, TaskId> proc_pred_;
+  IdVector<TaskId, TaskId> proc_succ_;
 };
 
 /// Incremental assembler of per-processor sequences — the supported way to
@@ -83,7 +83,7 @@ class ScheduleBuilder {
 
  private:
   std::size_t task_count_;
-  std::vector<std::vector<TaskId>> sequences_;
+  IdVector<ProcId, std::vector<TaskId>> sequences_;
 };
 
 }  // namespace rts

@@ -28,8 +28,8 @@ void TimingEvaluator::rebuild(const Schedule& schedule) {
   RTS_REQUIRE(schedule.proc_count() <= platform_->proc_count(),
               "schedule uses more processors than the platform provides");
   proc_pred_scratch_.resize(n_);
-  for (std::size_t t = 0; t < n_; ++t) {
-    proc_pred_scratch_[t] = schedule.proc_predecessor(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    proc_pred_scratch_[t] = schedule.proc_predecessor(t);
   }
   compile(schedule.assignment(), proc_pred_scratch_);
 }
@@ -40,6 +40,7 @@ void TimingEvaluator::rebuild(std::span<const TaskId> order,
   RTS_REQUIRE(order.size() == n_, "order length must equal task count");
   RTS_REQUIRE(assignment.size() == n_, "assignment length must equal task count");
   const std::size_t m = platform_->proc_count();
+  const IdSpan<TaskId, const ProcId> proc_of{assignment};
   // Per-processor predecessor of every task: the previous task of the same
   // processor in `order`. pos_ (inverse permutation; n_ marks unseen) rejects
   // duplicated ids and later validates precedence.
@@ -47,15 +48,15 @@ void TimingEvaluator::rebuild(std::span<const TaskId> order,
   proc_pred_scratch_.assign(n_, kNoTask);
   pos_.assign(n_, n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    const TaskId tid = order[i];
-    const auto t = static_cast<std::size_t>(tid);
-    RTS_REQUIRE(t < n_, "order references a task outside the graph");
+    const TaskId t = order[i];
+    RTS_REQUIRE(t.valid() && t.index() < n_, "order references a task outside the graph");
     RTS_REQUIRE(pos_[t] == n_, "order lists a task twice");
     pos_[t] = i;
-    const auto p = static_cast<std::size_t>(assignment[t]);
-    RTS_REQUIRE(p < m, "assignment references a processor outside the platform");
+    const ProcId p = proc_of[t];
+    RTS_REQUIRE(p.valid() && p.index() < m,
+                "assignment references a processor outside the platform");
     proc_pred_scratch_[t] = last_on_proc_[p];
-    last_on_proc_[p] = tid;
+    last_on_proc_[p] = t;
   }
   build_pred_csr(assignment, proc_pred_scratch_);
 
@@ -65,9 +66,10 @@ void TimingEvaluator::rebuild(std::span<const TaskId> order,
   // valid topological order yields bit-identical sweeps: max/+ over the
   // same operands is exact, so finish/bottom-level values do not depend on
   // the processing order of independent tasks.
-  for (std::size_t t = 0; t < n_; ++t) {
-    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
-      RTS_REQUIRE(pos_[static_cast<std::size_t>(pred_task_[k])] < pos_[t],
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    const EdgeId end = pred_off_[t.next()];
+    for (EdgeId k = pred_off_[t]; k < end; ++k) {
+      RTS_REQUIRE(pos_[pred_task_[k]] < pos_[t],
                   "schedule sequences contradict the precedence constraints (cyclic Gs)");
     }
   }
@@ -75,8 +77,8 @@ void TimingEvaluator::rebuild(std::span<const TaskId> order,
   compiled_ = true;
 }
 
-void TimingEvaluator::build_pred_csr(std::span<const ProcId> proc_of,
-                                     std::span<const TaskId> proc_pred) {
+void TimingEvaluator::build_pred_csr(IdSpan<TaskId, const ProcId> proc_of,
+                                     IdSpan<TaskId, const TaskId> proc_pred) {
   compiled_ = false;
   const TaskGraph& graph = *graph_;
   const Platform& platform = *platform_;
@@ -86,70 +88,75 @@ void TimingEvaluator::build_pred_csr(std::span<const ProcId> proc_of,
   // predecessor is already a graph predecessor (Def. 3.1: E' excludes E).
   // Built straight into CSR — counting pass, prefix sum, fill pass — so the
   // flat arrays are the only storage and a rebuild reuses their capacity.
-  pred_off_.assign(n_ + 1, 0);
-  for (std::size_t t = 0; t < n_; ++t) {
-    const auto tid = static_cast<TaskId>(t);
-    std::size_t deg = graph.predecessors(tid).size();
+  // Offsets accumulate in the 64-bit EdgeId domain: at million-task scale
+  // the edge total is the first quantity past int32.
+  pred_off_.assign(n_ + 1, EdgeId{0});
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    auto deg = static_cast<std::int64_t>(graph.predecessors(t).size());
     const TaskId pp = proc_pred[t];
-    if (pp != kNoTask && !graph.has_edge(pp, tid)) ++deg;
-    pred_off_[t + 1] = pred_off_[t] + deg;
+    if (pp != kNoTask && !graph.has_edge(pp, t)) ++deg;
+    pred_off_[t.next()] = pred_off_[t].value() + deg;
   }
-  pred_task_.resize(pred_off_[n_]);
-  pred_cost_.resize(pred_off_[n_]);
-  for (std::size_t t = 0; t < n_; ++t) {
-    const auto tid = static_cast<TaskId>(t);
+  const auto total = static_cast<std::size_t>(pred_off_.back().value());
+  pred_task_.resize(total);
+  pred_cost_.resize(total);
+  for (const TaskId t : id_range<TaskId>(n_)) {
     const ProcId pt = proc_of[t];
-    std::size_t k = pred_off_[t];
-    for (const EdgeRef& e : graph.predecessors(tid)) {
+    EdgeId k = pred_off_[t];
+    for (const EdgeRef& e : graph.predecessors(t)) {
       pred_task_[k] = e.task;
-      pred_cost_[k] =
-          platform.comm_cost(e.data, proc_of[static_cast<std::size_t>(e.task)], pt);
+      pred_cost_[k] = platform.comm_cost(e.data, proc_of[e.task], pt);
       ++k;
     }
     const TaskId pp = proc_pred[t];
-    if (pp != kNoTask && !graph.has_edge(pp, tid)) {
+    if (pp != kNoTask && !graph.has_edge(pp, t)) {
       pred_task_[k] = pp;
       pred_cost_[k] = 0.0;
     }
   }
 }
 
-void TimingEvaluator::compile(std::span<const ProcId> proc_of,
-                              std::span<const TaskId> proc_pred) {
+void TimingEvaluator::compile(IdSpan<TaskId, const ProcId> proc_of,
+                              IdSpan<TaskId, const TaskId> proc_pred) {
   build_pred_csr(proc_of, proc_pred);
 
   // Successor id mirror, needed only for Kahn's traversal here (the sweeps
   // run on the predecessor CSR alone).
-  succ_off_.assign(n_ + 1, 0);
-  for (const TaskId p : pred_task_) ++succ_off_[static_cast<std::size_t>(p) + 1];
-  for (std::size_t t = 0; t < n_; ++t) succ_off_[t + 1] += succ_off_[t];
+  succ_off_.assign(n_ + 1, EdgeId{0});
+  for (const TaskId p : pred_task_) ++succ_off_[p.next()];
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    succ_off_[t.next()] = succ_off_[t.next()].value() + succ_off_[t].value();
+  }
   succ_task_.resize(pred_task_.size());
   fill_.assign(succ_off_.begin(), succ_off_.end() - 1);
-  for (std::size_t t = 0; t < n_; ++t) {
-    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
-      const auto p = static_cast<std::size_t>(pred_task_[k]);
-      succ_task_[fill_[p]] = static_cast<TaskId>(t);
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    const EdgeId end = pred_off_[t.next()];
+    for (EdgeId k = pred_off_[t]; k < end; ++k) {
+      const TaskId p = pred_task_[k];
+      succ_task_[fill_[p]] = t;
       ++fill_[p];
     }
   }
 
   // Kahn over the CSR; also detects schedules inconsistent with precedence.
   indeg_.assign(n_, 0);
-  for (std::size_t t = 0; t < n_; ++t) indeg_[t] = pred_off_[t + 1] - pred_off_[t];
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    indeg_[t] = pred_off_[t.next()].value() - pred_off_[t].value();
+  }
   topo_.clear();
   topo_.reserve(n_);
   stack_.clear();
-  for (std::size_t t = 0; t < n_; ++t) {
-    if (indeg_[t] == 0) stack_.push_back(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(n_)) {
+    if (indeg_[t] == 0) stack_.push_back(t);
   }
   while (!stack_.empty()) {
     const TaskId t = stack_.back();
     stack_.pop_back();
     topo_.push_back(t);
-    const auto ti = static_cast<std::size_t>(t);
-    for (std::size_t k = succ_off_[ti]; k < succ_off_[ti + 1]; ++k) {
+    const EdgeId end = succ_off_[t.next()];
+    for (EdgeId k = succ_off_[t]; k < end; ++k) {
       const TaskId s = succ_task_[k];
-      if (--indeg_[static_cast<std::size_t>(s)] == 0) stack_.push_back(s);
+      if (--indeg_[s] == 0) stack_.push_back(s);
     }
   }
   RTS_REQUIRE(topo_.size() == n_,
@@ -157,23 +164,22 @@ void TimingEvaluator::compile(std::span<const ProcId> proc_of,
   compiled_ = true;
 }
 
-double TimingEvaluator::makespan(std::span<const double> durations) const {
+double TimingEvaluator::makespan(IdSpan<TaskId, const double> durations) const {
   std::vector<double> finish(n_);
   return makespan_into(durations, finish);
 }
 
-double TimingEvaluator::makespan_into(std::span<const double> durations,
-                                      std::span<double> scratch_finish) const {
+double TimingEvaluator::makespan_into(IdSpan<TaskId, const double> durations,
+                                      IdSpan<TaskId, double> scratch_finish) const {
   RTS_REQUIRE(compiled_, "evaluator has no compiled schedule; rebuild() first");
   RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
   RTS_REQUIRE(scratch_finish.size() >= n_, "scratch buffer too small");
   double ms = 0.0;
-  for (const TaskId tid : topo_) {
-    const auto t = static_cast<std::size_t>(tid);
+  for (const TaskId t : topo_) {
     double start = 0.0;
-    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
-      start = std::max(start,
-                       scratch_finish[static_cast<std::size_t>(pred_task_[k])] + pred_cost_[k]);
+    const EdgeId end = pred_off_[t.next()];
+    for (EdgeId k = pred_off_[t]; k < end; ++k) {
+      start = std::max(start, scratch_finish[pred_task_[k]] + pred_cost_[k]);
     }
     const double fin = start + durations[t];
     scratch_finish[t] = fin;
@@ -182,13 +188,13 @@ double TimingEvaluator::makespan_into(std::span<const double> durations,
   return ms;
 }
 
-ScheduleTiming TimingEvaluator::full_timing(std::span<const double> durations) const {
+ScheduleTiming TimingEvaluator::full_timing(IdSpan<TaskId, const double> durations) const {
   ScheduleTiming out;
   full_timing_into(durations, out);
   return out;
 }
 
-void TimingEvaluator::full_timing_into(std::span<const double> durations,
+void TimingEvaluator::full_timing_into(IdSpan<TaskId, const double> durations,
                                        ScheduleTiming& out) const {
   RTS_REQUIRE(compiled_, "evaluator has no compiled schedule; rebuild() first");
   RTS_REQUIRE(durations.size() == n_, "duration vector length must equal task count");
@@ -201,12 +207,11 @@ void TimingEvaluator::full_timing_into(std::span<const double> durations,
 
   // Forward sweep: start time == top level Tl(i) (longest entry->i path,
   // node i excluded), finish = Tl(i) + duration.
-  for (const TaskId tid : topo_) {
-    const auto t = static_cast<std::size_t>(tid);
+  for (const TaskId t : topo_) {
     double start = 0.0;
-    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
-      start = std::max(start,
-                       out.finish[static_cast<std::size_t>(pred_task_[k])] + pred_cost_[k]);
+    const EdgeId end = pred_off_[t.next()];
+    for (EdgeId k = pred_off_[t]; k < end; ++k) {
+      start = std::max(start, out.finish[pred_task_[k]] + pred_cost_[k]);
     }
     out.start[t] = start;
     out.finish[t] = start + durations[t];
@@ -220,17 +225,18 @@ void TimingEvaluator::full_timing_into(std::span<const double> durations,
   // (bottom_level doubles as the accumulator — every successor of p is
   // finalized before p is reached).
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
-    const auto t = static_cast<std::size_t>(*it);
+    const TaskId t = *it;
     const double bl = out.bottom_level[t] + durations[t];
     out.bottom_level[t] = bl;
-    for (std::size_t k = pred_off_[t]; k < pred_off_[t + 1]; ++k) {
-      const auto p = static_cast<std::size_t>(pred_task_[k]);
+    const EdgeId end = pred_off_[t.next()];
+    for (EdgeId k = pred_off_[t]; k < end; ++k) {
+      const TaskId p = pred_task_[k];
       out.bottom_level[p] = std::max(out.bottom_level[p], pred_cost_[k] + bl);
     }
   }
 
   double slack_sum = 0.0;
-  for (std::size_t t = 0; t < n_; ++t) {
+  for (const TaskId t : id_range<TaskId>(n_)) {
     // Clamp tiny negative values from floating-point noise; by construction
     // Tl + Bl <= makespan.
     out.slack[t] = std::max(0.0, out.makespan - out.bottom_level[t] - out.start[t]);
@@ -242,14 +248,14 @@ void TimingEvaluator::full_timing_into(std::span<const double> durations,
 std::vector<double> assigned_durations(const Matrix<double>& costs, const Schedule& schedule) {
   RTS_REQUIRE(costs.rows() == schedule.task_count(),
               "cost matrix rows must equal task count");
-  std::vector<double> durations(schedule.task_count());
-  for (std::size_t t = 0; t < durations.size(); ++t) {
-    const ProcId p = schedule.proc_of(static_cast<TaskId>(t));
-    RTS_REQUIRE(static_cast<std::size_t>(p) < costs.cols(),
+  IdVector<TaskId, double> durations(schedule.task_count());
+  for (const TaskId t : id_range<TaskId>(schedule.task_count())) {
+    const ProcId p = schedule.proc_of(t);
+    RTS_REQUIRE(p.index() < costs.cols(),
                 "assignment references processor outside the cost matrix");
-    durations[t] = costs(t, static_cast<std::size_t>(p));
+    durations[t] = costs(t.index(), p.index());
   }
-  return durations;
+  return std::move(durations.raw());
 }
 
 ScheduleTiming compute_schedule_timing(const TaskGraph& graph, const Platform& platform,

@@ -33,12 +33,12 @@ namespace rts {
 
 /// Full per-task timing of one evaluation.
 struct ScheduleTiming {
-  std::vector<double> start;         ///< ASAP start time == top level Tl(i)
-  std::vector<double> finish;        ///< start + duration
-  std::vector<double> bottom_level;  ///< Bl(i), includes i's duration
-  std::vector<double> slack;         ///< sigma_i = makespan - Bl(i) - Tl(i)
-  double makespan = 0.0;             ///< critical-path length of Gs
-  double average_slack = 0.0;        ///< sigma bar (Eqn. 3)
+  IdVector<TaskId, double> start;         ///< ASAP start time == top level Tl(i)
+  IdVector<TaskId, double> finish;        ///< start + duration
+  IdVector<TaskId, double> bottom_level;  ///< Bl(i), includes i's duration
+  IdVector<TaskId, double> slack;         ///< sigma_i = makespan - Bl(i) - Tl(i)
+  double makespan = 0.0;                  ///< critical-path length of Gs
+  double average_slack = 0.0;             ///< sigma bar (Eqn. 3)
 };
 
 /// Reusable evaluator for one (graph, platform) pair; compiles the
@@ -79,19 +79,19 @@ class TimingEvaluator {
 
   /// Makespan only (fast path for Monte-Carlo realizations).
   /// `durations[i]` is the duration of task i on its assigned processor.
-  [[nodiscard]] double makespan(std::span<const double> durations) const;
+  [[nodiscard]] double makespan(IdSpan<TaskId, const double> durations) const;
 
   /// Same, writing finish times into caller-provided scratch (size n) to
   /// avoid allocation inside parallel loops.
-  double makespan_into(std::span<const double> durations,
-                       std::span<double> scratch_finish) const;
+  double makespan_into(IdSpan<TaskId, const double> durations,
+                       IdSpan<TaskId, double> scratch_finish) const;
 
   /// Full timing: start/finish, bottom levels, per-task slack, average slack.
-  [[nodiscard]] ScheduleTiming full_timing(std::span<const double> durations) const;
+  [[nodiscard]] ScheduleTiming full_timing(IdSpan<TaskId, const double> durations) const;
 
   /// Same, writing into caller-owned buffers (resized as needed, capacity
   /// kept) so repeated full evaluations perform no steady-state allocation.
-  void full_timing_into(std::span<const double> durations, ScheduleTiming& out) const;
+  void full_timing_into(IdSpan<TaskId, const double> durations, ScheduleTiming& out) const;
 
   /// Topological order of the disjunctive graph used by the sweeps.
   [[nodiscard]] std::span<const TaskId> gs_topological_order() const noexcept {
@@ -99,17 +99,19 @@ class TimingEvaluator {
   }
 
   /// Read-only views of the compiled predecessor CSR of Gs: offsets are
-  /// indexed by task id (not topo slot), costs are the precompiled edge
-  /// costs the scalar sweeps use. Valid until the next bind()/rebuild().
-  /// sim/batched_sweep re-compiles these into lane-blocked SoA form; taking
-  /// them verbatim is what makes the batched sweeps bit-identical.
-  [[nodiscard]] std::span<const std::size_t> gs_pred_offsets() const noexcept {
+  /// indexed by task id (not topo slot) and 64-bit — edge counts are the
+  /// first quantities to overflow 32 bits at million-task scale — and costs
+  /// are the precompiled edge costs the scalar sweeps use. Valid until the
+  /// next bind()/rebuild(). sim/batched_sweep re-compiles these into
+  /// lane-blocked SoA form; taking them verbatim is what makes the batched
+  /// sweeps bit-identical.
+  [[nodiscard]] IdSpan<TaskId, const EdgeId> gs_pred_offsets() const noexcept {
     return pred_off_;
   }
-  [[nodiscard]] std::span<const TaskId> gs_pred_tasks() const noexcept {
+  [[nodiscard]] IdSpan<EdgeId, const TaskId> gs_pred_tasks() const noexcept {
     return pred_task_;
   }
-  [[nodiscard]] std::span<const double> gs_pred_costs() const noexcept {
+  [[nodiscard]] IdSpan<EdgeId, const double> gs_pred_costs() const noexcept {
     return pred_cost_;
   }
 
@@ -117,32 +119,36 @@ class TimingEvaluator {
   /// Build the predecessor CSR of Gs (shared by both rebuild paths);
   /// proc_of/proc_pred describe the processor placement and per-processor
   /// predecessor of every task. Leaves the evaluator uncompiled.
-  void build_pred_csr(std::span<const ProcId> proc_of, std::span<const TaskId> proc_pred);
+  void build_pred_csr(IdSpan<TaskId, const ProcId> proc_of,
+                      IdSpan<TaskId, const TaskId> proc_pred);
 
   /// Full compile for an arbitrary placement: pred CSR + Kahn topological
   /// sort (the chromosome path in rebuild(order, assignment) skips Kahn —
   /// the order is validated and adopted directly).
-  void compile(std::span<const ProcId> proc_of, std::span<const TaskId> proc_pred);
+  void compile(IdSpan<TaskId, const ProcId> proc_of,
+               IdSpan<TaskId, const TaskId> proc_pred);
 
   const TaskGraph* graph_ = nullptr;
   const Platform* platform_ = nullptr;
   std::size_t n_ = 0;
   bool compiled_ = false;
-  std::vector<TaskId> topo_;  // topological order of Gs
-  // CSR predecessor adjacency of Gs with precomputed edge costs.
-  std::vector<std::size_t> pred_off_;
-  std::vector<TaskId> pred_task_;
-  std::vector<double> pred_cost_;
+  std::vector<TaskId> topo_;  // topological order of Gs (positional)
+  // CSR predecessor adjacency of Gs with precomputed edge costs. Offsets are
+  // EdgeId (64-bit): task t's predecessors live in slots
+  // pred_off_[t] .. pred_off_[t.next()].
+  IdVector<TaskId, EdgeId> pred_off_;  // n_ + 1 entries
+  IdVector<EdgeId, TaskId> pred_task_;
+  IdVector<EdgeId, double> pred_cost_;
   // Successor-id mirror, used only by Kahn's sort in compile().
-  std::vector<std::size_t> succ_off_;
-  std::vector<TaskId> succ_task_;
+  IdVector<TaskId, EdgeId> succ_off_;  // n_ + 1 entries
+  IdVector<EdgeId, TaskId> succ_task_;
   // Compile scratch, reused across rebuilds.
-  std::vector<std::size_t> indeg_;
-  std::vector<std::size_t> fill_;
-  std::vector<std::size_t> pos_;  // inverse permutation of `order`
+  IdVector<TaskId, std::int64_t> indeg_;
+  IdVector<TaskId, EdgeId> fill_;
+  IdVector<TaskId, std::size_t> pos_;  // inverse permutation of `order`
   std::vector<TaskId> stack_;
-  std::vector<TaskId> proc_pred_scratch_;
-  std::vector<TaskId> last_on_proc_;
+  IdVector<TaskId, TaskId> proc_pred_scratch_;
+  IdVector<ProcId, TaskId> last_on_proc_;
 };
 
 /// Extract per-task durations on assigned processors from an n x m cost

@@ -19,11 +19,13 @@ void hash_graph(Hasher& h, const TaskGraph& graph) {
   // Successor lists are iterated per task in insertion order; two graphs with
   // the same edge set inserted in different orders hash differently, which is
   // acceptable for a cache (a false miss costs a solve, never correctness).
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    const auto succs = graph.successors(static_cast<TaskId>(t));
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    const auto succs = graph.successors(t);
     h.update(static_cast<std::uint64_t>(succs.size()));
     for (const EdgeRef& e : succs) {
-      h.update(e.task);
+      // Hash the raw 32-bit id value — the byte stream (and with it every
+      // cached digest) must not change across the strong-id migration.
+      h.update(e.task.value());
       h.update(e.data);
     }
   }

@@ -27,7 +27,7 @@ namespace {
 /// Raw pointers into a compiled sweep's topo-ordered CSR.
 struct GsView {
   const std::uint32_t* topo;
-  const std::size_t* off;
+  const std::int64_t* off;  // EdgeId-domain offsets; 64-bit by design
   const std::uint32_t* pred;
   const double* cost;
   std::size_t n;
@@ -43,7 +43,7 @@ void forward_w(const GsView& g, const double* dur, double* fin, double* ms) {
     // `start` accumulator: 0, relaxed over predecessors, then + duration.
     double acc[W];
     for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * W;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < W; ++l) acc[l] = std::max(acc[l], fp[l] + c);
@@ -66,7 +66,7 @@ void forward_generic(const GsView& g, std::size_t lanes, const double* dur,
     const std::size_t t = g.topo[s];
     double* ft = fin + t * lanes;
     for (std::size_t l = 0; l < lanes; ++l) ft[l] = 0.0;
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * lanes;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < lanes; ++l) {
@@ -92,7 +92,7 @@ void forward_backward_w(const GsView& g, const double* dur, double* st,
     const std::size_t t = g.topo[s];
     double acc[W];
     for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * W;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < W; ++l) acc[l] = std::max(acc[l], fp[l] + c);
@@ -123,7 +123,7 @@ void forward_backward_w(const GsView& g, const double* dur, double* st,
       bt[l] = btp[l] + dt[l];
       btp[l] = bt[l];
     }
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       double* bp = bot + static_cast<std::size_t>(g.pred[k]) * W;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < W; ++l) bp[l] = std::max(bp[l], c + bt[l]);
@@ -152,7 +152,7 @@ void forward_backward_generic(const GsView& g, std::size_t lanes,
     const std::size_t t = g.topo[s];
     double* ft = fin + t * lanes;
     for (std::size_t l = 0; l < lanes; ++l) ft[l] = 0.0;
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * lanes;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < lanes; ++l) {
@@ -174,7 +174,7 @@ void forward_backward_generic(const GsView& g, std::size_t lanes,
     double* bt = bot + t * lanes;
     const double* dt = dur + t * lanes;
     for (std::size_t l = 0; l < lanes; ++l) bt[l] += dt[l];
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       double* bp = bot + static_cast<std::size_t>(g.pred[k]) * lanes;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < lanes; ++l) {
@@ -198,7 +198,7 @@ struct PartialView {
   const std::uint32_t* topo;
   const std::uint8_t* pinned;
   const double* pinned_finish;
-  const std::size_t* off;
+  const std::int64_t* off;  // EdgeId-domain offsets; 64-bit by design
   const std::uint32_t* pred;
   const double* cost;
   std::size_t n;
@@ -217,7 +217,7 @@ void partial_forward_w(const PartialView& g, const double* dur, double* fin) {
     }
     double acc[W];
     for (std::size_t l = 0; l < W; ++l) acc[l] = g.floor;
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * W;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < W; ++l) acc[l] = std::max(acc[l], fp[l] + c);
@@ -238,7 +238,7 @@ void partial_forward_generic(const PartialView& g, std::size_t lanes,
       continue;
     }
     for (std::size_t l = 0; l < lanes; ++l) ft[l] = g.floor;
-    for (std::size_t k = g.off[s]; k < g.off[s + 1]; ++k) {
+    for (std::int64_t k = g.off[s]; k < g.off[s + 1]; ++k) {
       const double* fp = fin + static_cast<std::size_t>(g.pred[k]) * lanes;
       const double c = g.cost[k];
       for (std::size_t l = 0; l < lanes; ++l) {
@@ -257,9 +257,9 @@ BatchedGsSweep::BatchedGsSweep(const TimingEvaluator& evaluator) {
               "evaluator has no compiled schedule; rebuild() before batching");
   n_ = evaluator.task_count();
   const std::span<const TaskId> topo = evaluator.gs_topological_order();
-  const std::span<const std::size_t> off = evaluator.gs_pred_offsets();
-  const std::span<const TaskId> preds = evaluator.gs_pred_tasks();
-  const std::span<const double> costs = evaluator.gs_pred_costs();
+  const IdSpan<TaskId, const EdgeId> off = evaluator.gs_pred_offsets();
+  const IdSpan<EdgeId, const TaskId> preds = evaluator.gs_pred_tasks();
+  const IdSpan<EdgeId, const double> costs = evaluator.gs_pred_costs();
 
   // Re-pack the task-id-indexed CSR into topological order: the sweep then
   // walks node_off_/edge_pred_/edge_cost_ front to back with no per-node
@@ -268,13 +268,15 @@ BatchedGsSweep::BatchedGsSweep(const TimingEvaluator& evaluator) {
   node_off_.assign(n_ + 1, 0);
   edge_pred_.resize(preds.size());
   edge_cost_.resize(costs.size());
-  std::size_t e = 0;
+  std::int64_t e = 0;
   for (std::size_t s = 0; s < n_; ++s) {
-    const auto t = static_cast<std::size_t>(topo[s]);
-    topo_[s] = static_cast<std::uint32_t>(t);
-    for (std::size_t k = off[t]; k < off[t + 1]; ++k) {
-      edge_pred_[e] = static_cast<std::uint32_t>(preds[k]);
-      edge_cost_[e] = costs[k];
+    const TaskId t = topo[s];
+    topo_[s] = static_cast<std::uint32_t>(t.index());
+    const EdgeId end = off[t.next()];
+    for (EdgeId k = off[t]; k < end; ++k) {
+      edge_pred_[static_cast<std::size_t>(e)] =
+          static_cast<std::uint32_t>(preds[k].index());
+      edge_cost_[static_cast<std::size_t>(e)] = costs[k];
       ++e;
     }
     node_off_[s + 1] = e;
@@ -359,26 +361,25 @@ BatchedPartialSweep::BatchedPartialSweep(const TaskGraph& graph,
   edge_pred_.clear();
   edge_cost_.clear();
   for (std::size_t s = 0; s < n_; ++s) {
-    const TaskId tid = topo[s];
-    const auto t = static_cast<std::size_t>(tid);
-    topo_[s] = static_cast<std::uint32_t>(t);
+    const TaskId t = topo[s];
+    topo_[s] = static_cast<std::uint32_t>(t.index());
     if (partial.frozen[t] != 0) {
       pinned_[s] = 1;
       pinned_finish_[s] = partial.frozen_finish[t];
     } else {
-      const ProcId pt = schedule.proc_of(tid);
-      for (const EdgeRef& e : graph.predecessors(tid)) {
-        edge_pred_.push_back(static_cast<std::uint32_t>(e.task));
+      const ProcId pt = schedule.proc_of(t);
+      for (const EdgeRef& e : graph.predecessors(t)) {
+        edge_pred_.push_back(static_cast<std::uint32_t>(e.task.index()));
         edge_cost_.push_back(
             platform.comm_cost(e.data, schedule.proc_of(e.task), pt));
       }
-      const TaskId pp = schedule.proc_predecessor(tid);
+      const TaskId pp = schedule.proc_predecessor(t);
       if (pp != kNoTask) {
-        edge_pred_.push_back(static_cast<std::uint32_t>(pp));
+        edge_pred_.push_back(static_cast<std::uint32_t>(pp.index()));
         edge_cost_.push_back(0.0);
       }
     }
-    node_off_[s + 1] = edge_pred_.size();
+    node_off_[s + 1] = static_cast<std::int64_t>(edge_pred_.size());
   }
 }
 

@@ -79,7 +79,9 @@ class BatchedGsSweep {
   std::size_t n_ = 0;
   // Edges of Gs in topological order of their target node: node_off_[s] ..
   // node_off_[s+1] are the predecessor edges of the task in topo slot s.
-  std::vector<std::size_t> node_off_;
+  // Offsets are 64-bit (EdgeId domain): edge totals pass 2^31 long before
+  // task counts do at the ROADMAP's million-task scale.
+  std::vector<std::int64_t> node_off_;
   std::vector<std::uint32_t> edge_pred_;  ///< predecessor task id per edge
   std::vector<double> edge_cost_;         ///< precompiled comm cost per edge
   std::vector<std::uint32_t> topo_;       ///< task id per topo slot
@@ -108,7 +110,7 @@ class BatchedPartialSweep {
  private:
   std::size_t n_ = 0;
   double floor_ = 0.0;  ///< max(decision_time, 0): earliest live start
-  std::vector<std::size_t> node_off_;
+  std::vector<std::int64_t> node_off_;  ///< 64-bit edge offsets (EdgeId domain)
   std::vector<std::uint32_t> edge_pred_;
   std::vector<double> edge_cost_;
   std::vector<std::uint32_t> topo_;

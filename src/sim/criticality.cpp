@@ -19,8 +19,8 @@ std::vector<bool> critical_tasks(const TaskGraph& graph, const Platform& platfor
   const ScheduleTiming timing = evaluator.full_timing(durations);
   std::vector<bool> critical(graph.task_count(), false);
   const double tol = float_tolerance * timing.makespan;
-  for (std::size_t t = 0; t < graph.task_count(); ++t) {
-    critical[t] = timing.slack[t] <= tol;
+  for (const TaskId t : id_range<TaskId>(graph.task_count())) {
+    critical[t.index()] = timing.slack[t] <= tol;
   }
   return critical;
 }
@@ -112,9 +112,9 @@ CriticalityReport analyze_criticality(const ProblemInstance& instance,
         evaluator.full_timing_into(durations, timing);
         const double tol = config.float_tolerance * timing.makespan;
         std::uint64_t count = 0;
-        for (std::size_t t = 0; t < n; ++t) {
+        for (const TaskId t : id_range<TaskId>(n)) {
           const bool crit = timing.slack[t] <= tol;
-          critical_flags[static_cast<std::size_t>(i) * n + t] = crit ? 1 : 0;
+          critical_flags[static_cast<std::size_t>(i) * n + t.index()] = crit ? 1 : 0;
           count += crit ? 1 : 0;
         }
         total_critical_per_real[static_cast<std::size_t>(i)] = count;

@@ -26,49 +26,46 @@ DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& pl
   const auto rank = heft_upward_ranks(graph, platform, expected);
 
   const auto cmp = [&rank](TaskId a, TaskId b) {
-    const double ra = rank[static_cast<std::size_t>(a)];
-    const double rb = rank[static_cast<std::size_t>(b)];
+    const double ra = rank[a.index()];
+    const double rb = rank[b.index()];
     if (ra != rb) return ra < rb;  // max-heap on rank
     return a > b;
   };
   std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
 
-  std::vector<std::size_t> pending(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    pending[t] = graph.in_degree(static_cast<TaskId>(t));
-    if (pending[t] == 0) ready.push(static_cast<TaskId>(t));
+  IdVector<TaskId, std::size_t> pending(n);
+  for (const TaskId t : id_range<TaskId>(n)) {
+    pending[t] = graph.in_degree(t);
+    if (pending[t] == 0) ready.push(t);
   }
 
   std::vector<double> start_of(n, 0.0);
   std::vector<double> finish_of(n, 0.0);
   double makespan = 0.0;
   ScheduleBuilder builder(n, m);
-  std::vector<double> proc_avail(m, 0.0);
-  std::vector<ProcId> proc_of(n, kNoProc);
+  IdVector<ProcId, double> proc_avail(m, 0.0);
+  IdVector<TaskId, ProcId> proc_of(n, kNoProc);
   std::size_t completed = 0;
 
   while (!ready.empty()) {
     const TaskId t = ready.top();
     ready.pop();
-    const auto ti = static_cast<std::size_t>(t);
 
     // Earliest start of t on processor p given observed history.
-    const auto earliest_start = [&](std::size_t p) {
+    const auto earliest_start = [&](ProcId p) {
       double es = proc_avail[p];
       for (const EdgeRef& e : graph.predecessors(t)) {
-        const auto pred = static_cast<std::size_t>(e.task);
-        es = std::max(es, finish_of[pred] +
-                              platform.comm_cost(e.data, proc_of[pred],
-                                                 static_cast<ProcId>(p)));
+        es = std::max(es, finish_of[e.task.index()] +
+                              platform.comm_cost(e.data, proc_of[e.task], p));
       }
       return es;
     };
 
     // Decide with expected durations...
-    std::size_t best_p = 0;
-    double best_eft = earliest_start(0) + expected(ti, 0);
-    for (std::size_t p = 1; p < m; ++p) {
-      const double eft = earliest_start(p) + expected(ti, p);
+    ProcId best_p{0};
+    double best_eft = earliest_start(best_p) + expected(t.index(), 0);
+    for (ProcId p = 1; p.index() < m; ++p) {
+      const double eft = earliest_start(p) + expected(t.index(), p.index());
       if (eft < best_eft) {
         best_eft = eft;
         best_p = p;
@@ -76,20 +73,20 @@ DynamicRunResult simulate_dynamic_eft(const TaskGraph& graph, const Platform& pl
     }
     // ...execute with the realized one.
     const double start = earliest_start(best_p);
-    const double finish = start + realized(ti, best_p);
-    start_of[ti] = start;
-    finish_of[ti] = finish;
+    const double finish = start + realized(t.index(), best_p.index());
+    start_of[t.index()] = start;
+    finish_of[t.index()] = finish;
     makespan = std::max(makespan, finish);
     proc_avail[best_p] = finish;
-    proc_of[ti] = static_cast<ProcId>(best_p);
-    builder.append(static_cast<ProcId>(best_p), t);
+    proc_of[t] = best_p;
+    builder.append(best_p, t);
     ++completed;
     if (hook) {
-      hook(CompletionEvent{t, static_cast<ProcId>(best_p), start, finish, completed});
+      hook(CompletionEvent{t, best_p, start, finish, completed});
     }
 
     for (const EdgeRef& e : graph.successors(t)) {
-      if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);
+      if (--pending[e.task] == 0) ready.push(e.task);
     }
   }
   RTS_REQUIRE(completed == n, "dispatcher stalled: task graph must be acyclic");

@@ -33,7 +33,7 @@ HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform
 
   // Trigger: earliest realized completion that slips beyond the budget.
   double trigger = std::numeric_limits<double>::infinity();
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (actual.finish[t] > planned.finish[t] + slip_budget) {
       trigger = std::min(trigger, actual.finish[t]);
     }
@@ -46,25 +46,24 @@ HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform
 
   // Freeze everything that had already started by the trigger instant under
   // the static execution; re-dispatch the rest online.
-  std::vector<bool> frozen(n, false);
-  for (std::size_t t = 0; t < n; ++t) {
+  IdVector<TaskId, bool> frozen(n, false);
+  for (const TaskId t : id_range<TaskId>(n)) {
     frozen[t] = actual.start[t] <= trigger;
   }
 
-  std::vector<double> finish(n, 0.0);
-  std::vector<ProcId> proc_of(n, kNoProc);
-  std::vector<double> proc_avail(m, 0.0);
+  IdVector<TaskId, double> finish(n, 0.0);
+  IdVector<TaskId, ProcId> proc_of(n, kNoProc);
+  IdVector<ProcId, double> proc_avail(m, 0.0);
   ScheduleBuilder builder(n, m);
   double makespan = 0.0;
-  for (std::size_t p = 0; p < m; ++p) {
-    for (const TaskId t : plan.sequence(static_cast<ProcId>(p))) {
-      const auto ti = static_cast<std::size_t>(t);
-      if (!frozen[ti]) continue;
-      builder.append(static_cast<ProcId>(p), t);
-      finish[ti] = actual.finish[ti];
-      proc_of[ti] = static_cast<ProcId>(p);
-      proc_avail[p] = std::max(proc_avail[p], actual.finish[ti]);
-      makespan = std::max(makespan, actual.finish[ti]);
+  for (const ProcId p : id_range<ProcId>(m)) {
+    for (const TaskId t : plan.sequence(p)) {
+      if (!frozen[t]) continue;
+      builder.append(p, t);
+      finish[t] = actual.finish[t];
+      proc_of[t] = p;
+      proc_avail[p] = std::max(proc_avail[p], actual.finish[t]);
+      makespan = std::max(makespan, actual.finish[t]);
     }
   }
 
@@ -72,57 +71,54 @@ HybridRunResult simulate_hybrid(const TaskGraph& graph, const Platform& platform
   // planning costs; ready = all predecessors completed).
   const auto rank = heft_upward_ranks(graph, platform, expected);
   const auto cmp = [&rank](TaskId a, TaskId b) {
-    const double ra = rank[static_cast<std::size_t>(a)];
-    const double rb = rank[static_cast<std::size_t>(b)];
+    const double ra = rank[a.index()];
+    const double rb = rank[b.index()];
     if (ra != rb) return ra < rb;
     return a > b;
   };
   std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
-  std::vector<std::size_t> pending(n, 0);
+  IdVector<TaskId, std::size_t> pending(n, 0);
   std::size_t redispatched = 0;
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (frozen[t]) continue;
     ++redispatched;
     std::size_t unfinished_preds = 0;
-    for (const EdgeRef& e : graph.predecessors(static_cast<TaskId>(t))) {
-      if (!frozen[static_cast<std::size_t>(e.task)]) ++unfinished_preds;
+    for (const EdgeRef& e : graph.predecessors(t)) {
+      if (!frozen[e.task]) ++unfinished_preds;
     }
     pending[t] = unfinished_preds;
-    if (unfinished_preds == 0) ready.push(static_cast<TaskId>(t));
+    if (unfinished_preds == 0) ready.push(t);
   }
 
   while (!ready.empty()) {
     const TaskId t = ready.top();
     ready.pop();
-    const auto ti = static_cast<std::size_t>(t);
-    const auto earliest_start = [&](std::size_t p) {
+    const auto earliest_start = [&](ProcId p) {
       // Re-dispatch decisions happen at/after the trigger instant.
       double es = std::max(proc_avail[p], trigger);
       for (const EdgeRef& e : graph.predecessors(t)) {
-        const auto pred = static_cast<std::size_t>(e.task);
-        es = std::max(es, finish[pred] + platform.comm_cost(e.data, proc_of[pred],
-                                                            static_cast<ProcId>(p)));
+        es = std::max(es, finish[e.task] +
+                              platform.comm_cost(e.data, proc_of[e.task], p));
       }
       return es;
     };
-    std::size_t best_p = 0;
-    double best_eft = earliest_start(0) + expected(ti, 0);
-    for (std::size_t p = 1; p < m; ++p) {
-      const double eft = earliest_start(p) + expected(ti, p);
+    ProcId best_p{0};
+    double best_eft = earliest_start(best_p) + expected(t.index(), 0);
+    for (ProcId p = 1; p.index() < m; ++p) {
+      const double eft = earliest_start(p) + expected(t.index(), p.index());
       if (eft < best_eft) {
         best_eft = eft;
         best_p = p;
       }
     }
     const double start = earliest_start(best_p);
-    finish[ti] = start + realized(ti, best_p);
-    proc_of[ti] = static_cast<ProcId>(best_p);
-    proc_avail[best_p] = finish[ti];
-    builder.append(static_cast<ProcId>(best_p), t);
-    makespan = std::max(makespan, finish[ti]);
+    finish[t] = start + realized(t.index(), best_p.index());
+    proc_of[t] = best_p;
+    proc_avail[best_p] = finish[t];
+    builder.append(best_p, t);
+    makespan = std::max(makespan, finish[t]);
     for (const EdgeRef& e : graph.successors(t)) {
-      const auto s = static_cast<std::size_t>(e.task);
-      if (!frozen[s] && --pending[s] == 0) ready.push(e.task);
+      if (!frozen[e.task] && --pending[e.task] == 0) ready.push(e.task);
     }
   }
 
@@ -174,8 +170,8 @@ RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule
     const auto lane_blocks =
         static_cast<std::int64_t>((total + lane_width - 1) / lane_width);
     std::vector<std::size_t> assigned_proc(n);
-    for (std::size_t t = 0; t < n; ++t) {
-      assigned_proc[t] = static_cast<std::size_t>(plan.proc_of(static_cast<TaskId>(t)));
+    for (const TaskId t : id_range<TaskId>(n)) {
+      assigned_proc[t.index()] = plan.proc_of(t).index();
     }
 #ifdef RTS_HAVE_OPENMP
 #pragma omp parallel default(none) \
@@ -213,8 +209,11 @@ RobustnessReport evaluate_hybrid(const ProblemInstance& instance, const Schedule
                       finish, makespans);
         for (std::size_t l = 0; l < lanes; ++l) {
           bool trip = false;
-          for (std::size_t t = 0; t < n && !trip; ++t) {
-            trip = finish[t * lanes + l] > planned.finish[t] + slip_budget;
+          for (const TaskId t : id_range<TaskId>(n)) {
+            if (finish[t.index() * lanes + l] > planned.finish[t] + slip_budget) {
+              trip = true;
+              break;
+            }
           }
           if (!trip) {
             samples[i0 + l] = makespans[l];

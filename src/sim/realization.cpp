@@ -65,13 +65,13 @@ RealizationSampler::RealizationSampler(const ProblemInstance& instance,
   bcet_.resize(n);
   ul_.resize(n);
   expected_.resize(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto p = static_cast<std::size_t>(schedule.proc_of(static_cast<TaskId>(t)));
-    RTS_REQUIRE(p < instance.proc_count(),
+  for (const TaskId t : id_range<TaskId>(n)) {
+    const ProcId p = schedule.proc_of(t);
+    RTS_REQUIRE(p.index() < instance.proc_count(),
                 "schedule assigns a processor outside the instance platform");
-    bcet_[t] = instance.bcet(t, p);
-    ul_[t] = instance.ul(t, p);
-    expected_[t] = instance.expected(t, p);
+    bcet_[t.index()] = instance.bcet(t.index(), p.index());
+    ul_[t.index()] = instance.ul(t.index(), p.index());
+    expected_[t.index()] = instance.expected(t.index(), p.index());
   }
 }
 

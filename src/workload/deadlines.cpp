@@ -20,7 +20,7 @@ void assign_deadlines(ProblemInstance& instance, const DeadlineParams& params, R
   instance.deadline.resize(n);
   instance.value.resize(n);
   const double floor = 1.0 / params.oversubscription;
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     const double laxity = floor + rng.next_double() * (1.0 - floor);
     instance.deadline[t] = timing.finish[t] * laxity;
     instance.value[t] =

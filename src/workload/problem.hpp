@@ -26,9 +26,9 @@ struct ProblemInstance {
   Matrix<double> expected;  ///< E(i,p) = ul(i,p) * bcet(i,p)
 
   /// Per-task absolute completion deadlines; empty means "no deadlines".
-  std::vector<double> deadline{};
+  IdVector<TaskId, double> deadline{};
   /// Per-task values accrued on on-time completion; empty means unit values.
-  std::vector<double> value{};
+  IdVector<TaskId, double> value{};
 
   [[nodiscard]] std::size_t task_count() const noexcept { return graph.task_count(); }
   [[nodiscard]] std::size_t proc_count() const noexcept { return platform.proc_count(); }
@@ -37,7 +37,7 @@ struct ProblemInstance {
 
   /// Value of one task, defaulting to 1 when the value vector is absent.
   [[nodiscard]] double task_value(TaskId t) const {
-    return value.empty() ? 1.0 : value[static_cast<std::size_t>(t)];
+    return value.empty() ? 1.0 : value[t];
   }
 
   /// Throws InvalidArgument when any invariant above is violated.

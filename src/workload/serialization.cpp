@@ -76,8 +76,8 @@ void save_problem(std::ostream& os, const ProblemInstance& instance) {
     os << '\n';
   }
   os << "edges " << instance.graph.edge_count() << "\n";
-  for (std::size_t t = 0; t < n; ++t) {
-    for (const EdgeRef& e : instance.graph.successors(static_cast<TaskId>(t))) {
+  for (const TaskId t : id_range<TaskId>(n)) {
+    for (const EdgeRef& e : instance.graph.successors(t)) {
       os << t << ' ' << e.task << ' ' << e.data << '\n';
     }
   }
@@ -86,22 +86,26 @@ void save_problem(std::ostream& os, const ProblemInstance& instance) {
   os << "ul\n";
   write_matrix(os, instance.ul);
   os << "names\n";
-  for (std::size_t t = 0; t < n; ++t) {
-    os << instance.graph.task_name(static_cast<TaskId>(t)) << '\n';
+  for (const TaskId t : id_range<TaskId>(n)) {
+    os << instance.graph.task_name(t) << '\n';
   }
   // Optional trailing sections (absent for deadline-free workloads so that
   // documents stay readable by pre-deadline parsers of this format).
   if (!instance.deadline.empty()) {
     os << "deadlines\n";
-    for (std::size_t t = 0; t < n; ++t) {
-      os << (t ? " " : "") << instance.deadline[t];
+    bool first = true;
+    for (const double d : instance.deadline) {
+      os << (first ? "" : " ") << d;
+      first = false;
     }
     os << '\n';
   }
   if (!instance.value.empty()) {
     os << "values\n";
-    for (std::size_t t = 0; t < n; ++t) {
-      os << (t ? " " : "") << instance.value[t];
+    bool first = true;
+    for (const double v : instance.value) {
+      os << (first ? "" : " ") << v;
+      first = false;
     }
     os << '\n';
   }
@@ -132,8 +136,8 @@ ProblemInstance load_problem(std::istream& is) {
   RTS_REQUIRE(edge_count <= kMaxEdges, "edge count out of range");
   TaskGraph graph(n);
   for (std::size_t e = 0; e < edge_count; ++e) {
-    const auto src = read_value<TaskId>(is, "edge source");
-    const auto dst = read_value<TaskId>(is, "edge target");
+    const TaskId src = read_value<std::int32_t>(is, "edge source");
+    const TaskId dst = read_value<std::int32_t>(is, "edge target");
     const auto data = read_value<double>(is, "edge data");
     graph.add_edge(src, dst, data);
   }
@@ -145,16 +149,16 @@ ProblemInstance load_problem(std::istream& is) {
 
   expect_token(is, "names");
   is >> std::ws;
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     std::string name;
     std::getline(is, name);
     RTS_REQUIRE(!is.fail() && !name.empty(), "missing task name");
-    graph.set_task_name(static_cast<TaskId>(t), name);
+    graph.set_task_name(t, name);
   }
 
   // Optional trailing sections, in any order, each at most once.
-  std::vector<double> deadline;
-  std::vector<double> value;
+  IdVector<TaskId, double> deadline;
+  IdVector<TaskId, double> value;
   std::string section;
   while (is >> section) {
     if (section == "deadlines") {
@@ -196,8 +200,8 @@ void save_schedule(std::ostream& os, const Schedule& schedule) {
   os << "rts-schedule v1\n";
   os << "tasks " << schedule.task_count() << "\n";
   os << "procs " << schedule.proc_count() << "\n";
-  for (std::size_t p = 0; p < schedule.proc_count(); ++p) {
-    const auto seq = schedule.sequence(static_cast<ProcId>(p));
+  for (const ProcId p : id_range<ProcId>(schedule.proc_count())) {
+    const auto seq = schedule.sequence(p);
     os << "seq " << seq.size();
     for (const TaskId t : seq) os << ' ' << t;
     os << '\n';
@@ -219,7 +223,8 @@ Schedule load_schedule(std::istream& is) {
     const auto len = read_value<std::size_t>(is, "sequence length");
     RTS_REQUIRE(len <= n, "sequence length exceeds task count");
     for (std::size_t i = 0; i < len; ++i) {
-      builder.append(static_cast<ProcId>(p), read_value<TaskId>(is, "sequence entry"));
+      builder.append(static_cast<ProcId>(p),
+                     TaskId{read_value<std::int32_t>(is, "sequence entry")});
     }
   }
   return std::move(builder).build();

@@ -56,9 +56,9 @@ TEST(EvalWorkspace, EffectiveSlackCapsPerTaskCredit) {
 
   const ScheduleTiming& timing = ws.last_timing();
   double sum = 0.0;
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
-    const auto p = static_cast<std::size_t>(c.assignment[t]);
-    sum += std::min(timing.slack[t], kappa * stddev(t, p));
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
+    const std::size_t p = c.assignment[t].index();
+    sum += std::min(timing.slack[t], kappa * stddev(t.index(), p));
   }
   EXPECT_EQ(eval.effective_slack, sum / static_cast<double>(instance.task_count()));
   EXPECT_LE(eval.effective_slack, eval.avg_slack + 1e-12);

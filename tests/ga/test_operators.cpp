@@ -37,7 +37,7 @@ TEST(Crossover, OffspringAssignmentsComeFromParents) {
   const Chromosome a = random_chromosome(instance.graph, 4, rng);
   const Chromosome b = random_chromosome(instance.graph, 4, rng);
   const auto [ca, cb] = crossover(a, b, rng);
-  for (std::size_t t = 0; t < 20; ++t) {
+  for (const TaskId t : id_range<TaskId>(20)) {
     // Each offspring's processor for task t comes from one of the parents,
     // and the two offspring split the pair.
     const bool a_from_a = ca.assignment[t] == a.assignment[t];
@@ -59,17 +59,17 @@ TEST(Crossover, AssignmentTailSwapIsContiguous) {
   Chromosome b;
   a.order.resize(10);
   b.order.resize(10);
-  for (TaskId t = 0; t < 10; ++t) {
-    a.order[static_cast<std::size_t>(t)] = t;
-    b.order[static_cast<std::size_t>(t)] = t;
+  for (const TaskId t : id_range<TaskId>(10)) {
+    a.order[t.index()] = t;
+    b.order[t.index()] = t;
   }
   a.assignment.assign(10, 0);
   b.assignment.assign(10, 1);
   Rng rng(7);
   const auto [ca, cb] = crossover(a, b, rng);
   int switches = 0;
-  for (std::size_t t = 1; t < 10; ++t) {
-    if (ca.assignment[t] != ca.assignment[t - 1]) ++switches;
+  for (TaskId t = 1; t.index() < 10; ++t) {
+    if (ca.assignment[t] != ca.assignment[t.value() - 1]) ++switches;
   }
   EXPECT_EQ(switches, 1);
   // Left part keeps parent A's processors, right part parent B's.
@@ -109,11 +109,10 @@ TEST(Crossover, RightPartFollowsOtherParentsRelativeOrder) {
     while (cut < 4 && ca.order[cut] == a.order[cut]) ++cut;
     std::vector<std::size_t> pos_in_b(4);
     for (std::size_t i = 0; i < 4; ++i) {
-      pos_in_b[static_cast<std::size_t>(b.order[i])] = i;
+      pos_in_b[b.order[i].index()] = i;
     }
     for (std::size_t i = cut + 1; i < 4; ++i) {
-      EXPECT_LT(pos_in_b[static_cast<std::size_t>(ca.order[i - 1])],
-                pos_in_b[static_cast<std::size_t>(ca.order[i])]);
+      EXPECT_LT(pos_in_b[ca.order[i - 1].index()], pos_in_b[ca.order[i].index()]);
     }
   }
 }

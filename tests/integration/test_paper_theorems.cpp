@@ -30,17 +30,17 @@ TEST_P(TheoremSweep, Theorem34_DelayWithinSlackKeepsMakespan) {
   auto durations = assigned_durations(instance.expected, rand.schedule);
   const auto base = eval.full_timing(durations);
 
-  for (std::size_t i = 0; i < durations.size(); ++i) {
+  for (const TaskId i : id_range<TaskId>(durations.size())) {
     if (base.slack[i] <= 0.0) continue;
     // Delay task i by exactly its slack: makespan must not move.
-    const double saved = durations[i];
-    durations[i] = saved + base.slack[i];
+    const double saved = durations[i.index()];
+    durations[i.index()] = saved + base.slack[i];
     EXPECT_NEAR(eval.makespan(durations), base.makespan, 1e-9 * base.makespan)
         << "task " << i;
     // Any delay beyond the slack must extend the makespan.
-    durations[i] = saved + base.slack[i] * 1.01 + 1e-6;
+    durations[i.index()] = saved + base.slack[i] * 1.01 + 1e-6;
     EXPECT_GT(eval.makespan(durations), base.makespan);
-    durations[i] = saved;
+    durations[i.index()] = saved;
   }
 }
 
@@ -60,12 +60,12 @@ TEST_P(TheoremSweep, Theorem34_IndependentTasksKeepTheirSlack) {
 
   // Delay the first task with positive slack by half its slack; every task
   // independent of it in Gs keeps its slack unchanged.
-  for (std::size_t i = 0; i < durations.size(); ++i) {
+  for (const TaskId i : id_range<TaskId>(durations.size())) {
     if (base.slack[i] <= 1e-9) continue;
-    durations[i] += 0.5 * base.slack[i];
+    durations[i.index()] += 0.5 * base.slack[i];
     const auto after = eval.full_timing(durations);
-    for (std::size_t j = 0; j < durations.size(); ++j) {
-      if (reach.independent(static_cast<TaskId>(i), static_cast<TaskId>(j))) {
+    for (const TaskId j : id_range<TaskId>(durations.size())) {
+      if (reach.independent(i, j)) {
         EXPECT_NEAR(after.slack[j], base.slack[j], 1e-9 * (1.0 + base.slack[j]))
             << "i=" << i << " j=" << j;
       }
@@ -90,9 +90,8 @@ TEST_P(TheoremSweep, Corollary35_IndependentDelaysCompose) {
   // Greedily collect a pairwise-independent set of slack-positive tasks and
   // delay each by (almost) its full slack simultaneously.
   std::vector<TaskId> chosen;
-  for (std::size_t i = 0; i < durations.size(); ++i) {
-    if (base.slack[i] <= 1e-9) continue;
-    const auto candidate = static_cast<TaskId>(i);
+  for (const TaskId candidate : id_range<TaskId>(durations.size())) {
+    if (base.slack[candidate] <= 1e-9) continue;
     const bool independent_of_all =
         std::all_of(chosen.begin(), chosen.end(), [&](TaskId c) {
           return reach.independent(c, candidate);
@@ -102,8 +101,7 @@ TEST_P(TheoremSweep, Corollary35_IndependentDelaysCompose) {
   if (chosen.size() < 2) GTEST_SKIP() << "no independent slack-positive pair";
 
   for (const TaskId t : chosen) {
-    durations[static_cast<std::size_t>(t)] +=
-        0.999 * base.slack[static_cast<std::size_t>(t)];
+    durations[t.index()] += 0.999 * base.slack[t];
   }
   EXPECT_LE(eval.makespan(durations), base.makespan * (1.0 + 1e-9));
 }

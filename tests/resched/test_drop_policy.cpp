@@ -63,11 +63,11 @@ TEST(DropPolicy, InfeasibleDropsExactlyWhenBestCaseMisses) {
   const PolicyFixture fx(2);
   const auto policy = make_drop_policy(DropPolicyKind::kDeadlineInfeasible, {});
   const DropContext ctx = fx.context();
-  for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(fx.instance.task_count())) {
     const double best = fx.optimistic.finish[t];
-    const auto keep = policy->decide(ctx, static_cast<TaskId>(t), best + 1e-6);
+    const auto keep = policy->decide(ctx, t, best + 1e-6);
     EXPECT_FALSE(keep.dropped);
-    const auto drop = policy->decide(ctx, static_cast<TaskId>(t), best * 0.99);
+    const auto drop = policy->decide(ctx, t, best * 0.99);
     EXPECT_TRUE(drop.dropped);
     EXPECT_FALSE(drop.forced);
     EXPECT_DOUBLE_EQ(drop.completion_prob, 0.0);
@@ -126,12 +126,10 @@ TEST(DropPolicy, DroppingIsMonotoneInDeadlineTightness) {
   for (const DropPolicyKind kind :
        {DropPolicyKind::kDeadlineInfeasible, DropPolicyKind::kProbabilistic}) {
     const auto policy = make_drop_policy(kind, params);
-    for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
+    for (const TaskId t : id_range<TaskId>(fx.instance.task_count())) {
       const double loose = fx.predicted.finish[t] * 1.2;
-      const bool dropped_loose =
-          policy->decide(ctx, static_cast<TaskId>(t), loose).dropped;
-      const bool dropped_tight =
-          policy->decide(ctx, static_cast<TaskId>(t), loose * 0.5).dropped;
+      const bool dropped_loose = policy->decide(ctx, t, loose).dropped;
+      const bool dropped_tight = policy->decide(ctx, t, loose * 0.5).dropped;
       EXPECT_LE(dropped_loose, dropped_tight)
           << to_string(kind) << " task " << t;
     }
@@ -153,10 +151,10 @@ TEST(DropPolicy, SampleFinishesAreDeterministicAndPinHistory) {
   ASSERT_GT(frozen_half.frozen_count(), 0u);
   Rng c(43);
   const auto sc = sample_completion_finishes(fx.instance, frozen_half, 8, c);
-  for (std::size_t t = 0; t < fx.instance.task_count(); ++t) {
-    if (!frozen_half.is_frozen(static_cast<TaskId>(t))) continue;
+  for (const TaskId t : id_range<TaskId>(fx.instance.task_count())) {
+    if (!frozen_half.is_frozen(t)) continue;
     for (std::size_t k = 0; k < sc.rows(); ++k) {
-      EXPECT_EQ(sc(k, t), frozen_half.frozen_finish[t]);
+      EXPECT_EQ(sc(k, t.index()), frozen_half.frozen_finish[t]);
     }
   }
 }

@@ -128,10 +128,10 @@ TEST(OnlineRescheduler, ProbabilisticDroppingIsDescendantClosedAndAudited) {
       std::count(run.dropped.begin(), run.dropped.end(), std::uint8_t{1}));
   EXPECT_GT(dropped_count, 0u);
   // Descendant closure: successors of a dropped task are dropped too.
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
-    if (run.dropped[t] == 0) continue;
-    for (const EdgeRef& e : instance.graph.successors(static_cast<TaskId>(t))) {
-      EXPECT_EQ(run.dropped[static_cast<std::size_t>(e.task)], 1)
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
+    if (run.dropped[t.index()] == 0) continue;
+    for (const EdgeRef& e : instance.graph.successors(t)) {
+      EXPECT_EQ(run.dropped[e.task.index()], 1)
           << "successor of dropped task " << t << " kept";
     }
   }
@@ -141,7 +141,7 @@ TEST(OnlineRescheduler, ProbabilisticDroppingIsDescendantClosedAndAudited) {
     for (const auto& d : rec.drops) {
       if (d.dropped) {
         ++audited_drops;
-        EXPECT_EQ(run.dropped[static_cast<std::size_t>(d.task)], 1);
+        EXPECT_EQ(run.dropped[d.task.index()], 1);
         EXPECT_EQ(d.decision_time, rec.decision_time);
         if (!d.forced) {
           EXPECT_LT(d.completion_prob, config.drop_params.min_completion_prob);

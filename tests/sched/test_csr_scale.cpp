@@ -1,0 +1,105 @@
+// Scale smoke test for the CSR offset domain (ISSUE: overflow satellite).
+//
+// Edge counts and prefix offsets are EdgeId (int64) end to end; this test
+// pins that contract at a size — n = 2^17 tasks — where a 32-bit *count*
+// still fits but any intermediate `lane * stride`-style product in the
+// 32-bit domain is one order of magnitude from rolling over. The companion
+// unit tests in tests/util/test_strong_id.cpp exercise EdgeId arithmetic
+// past 2^31 directly; here the full compile-and-sweep pipeline runs at
+// scale and the batched kernel must stay bit-identical to the scalar one.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rts.hpp"
+#include "sim/batched_sweep.hpp"
+
+namespace rts {
+namespace {
+
+static_assert(std::is_same_v<EdgeId::rep_type, std::int64_t>,
+              "CSR offsets must live in a 64-bit id domain");
+
+constexpr std::size_t kTasks = std::size_t{1} << 17;  // 131072
+constexpr std::size_t kProcs = 4;
+
+/// Chain 0 -> 1 -> ... -> n-1 with skip edges i -> i+2 on even i: a graph
+/// whose CSR has ~1.5 edges per task and a forced-sequential critical path,
+/// so the expected makespan is exactly n under unit durations and zero
+/// communication payload.
+TaskGraph big_chain_graph() {
+  TaskGraph g(kTasks);
+  for (std::size_t i = 0; i + 1 < kTasks; ++i) {
+    g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1), 0.0);
+    if (i % 2 == 0 && i + 2 < kTasks) {
+      g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 2), 0.0);
+    }
+  }
+  return g;
+}
+
+/// Round-robin placement in chain order: proc p runs tasks p, p+m, p+2m, ...
+/// — start times are non-decreasing along every sequence, so Gs is acyclic.
+Schedule round_robin_schedule() {
+  std::vector<std::vector<TaskId>> sequences(kProcs);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    sequences[i % kProcs].push_back(static_cast<TaskId>(i));
+  }
+  return Schedule(kTasks, std::move(sequences));
+}
+
+TEST(CsrScale, CompilesAndSweeps2Pow17Tasks) {
+  const TaskGraph graph = big_chain_graph();
+  const Platform platform(kProcs);
+  const Schedule schedule = round_robin_schedule();
+  const TimingEvaluator evaluator(graph, platform, schedule);
+
+  // CSR structural invariants at scale: one offset slot per task plus the
+  // terminator, offsets non-decreasing, total == graph edges + processor-
+  // predecessor edges (every task but the first of each sequence has one).
+  const IdSpan<TaskId, const EdgeId> off = evaluator.gs_pred_offsets();
+  ASSERT_EQ(off.size(), kTasks + 1);
+  EXPECT_EQ(off[TaskId{0}], EdgeId{0});
+  for (const TaskId t : id_range<TaskId>(kTasks)) {
+    EXPECT_LE(off[t].value(), off[t.next()].value());
+  }
+  const std::int64_t total = off[static_cast<TaskId>(kTasks)].value();
+  const std::int64_t expected_edges =
+      static_cast<std::int64_t>(graph.edge_count()) +
+      static_cast<std::int64_t>(kTasks - kProcs);
+  EXPECT_EQ(total, expected_edges);
+  EXPECT_EQ(evaluator.gs_pred_tasks().size(),
+            static_cast<std::size_t>(total));
+
+  // Unit durations, zero payload: the chain forces makespan == n exactly.
+  const IdVector<TaskId, double> durations(kTasks, 1.0);
+  const double scalar_makespan = evaluator.makespan(durations);
+  EXPECT_EQ(scalar_makespan, static_cast<double>(kTasks));
+
+  // The batched kernel's lane-major offsets (t * lanes + l products) must
+  // hold up at this n and stay bit-identical to the scalar sweep.
+  constexpr std::size_t kLanes = 4;
+  const BatchedGsSweep sweep(evaluator);
+  ASSERT_EQ(sweep.task_count(), kTasks);
+  std::vector<double> lane_durations(kTasks * kLanes);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lane_durations[t * kLanes + l] = 1.0 + static_cast<double>(l) * 0.25;
+    }
+  }
+  std::vector<double> finish(kTasks * kLanes);
+  std::vector<double> makespans(kLanes);
+  sweep.forward(lane_durations, kLanes, finish, makespans);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    IdVector<TaskId, double> one_lane(kTasks);
+    for (const TaskId t : id_range<TaskId>(kTasks)) {
+      one_lane[t] = lane_durations[t.index() * kLanes + l];
+    }
+    EXPECT_EQ(makespans[l], evaluator.makespan(one_lane)) << "lane " << l;
+  }
+}
+
+}  // namespace
+}  // namespace rts

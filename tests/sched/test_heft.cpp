@@ -106,9 +106,9 @@ TEST(Heft, RanksDecreaseAlongEveryEdge) {
   const auto instance = testing::small_instance(60, 6, 2.0, 21);
   const auto ranks =
       heft_upward_ranks(instance.graph, instance.platform, instance.expected);
-  for (std::size_t t = 0; t < instance.graph.task_count(); ++t) {
-    for (const EdgeRef& e : instance.graph.successors(static_cast<TaskId>(t))) {
-      EXPECT_GT(ranks[t], ranks[static_cast<std::size_t>(e.task)]);
+  for (const TaskId t : id_range<TaskId>(instance.graph.task_count())) {
+    for (const EdgeRef& e : instance.graph.successors(t)) {
+      EXPECT_GT(ranks[t.index()], ranks[e.task.index()]);
     }
   }
 }

@@ -13,8 +13,7 @@ namespace {
 std::vector<double> assigned(const Matrix<double>& costs, const Schedule& schedule) {
   std::vector<double> durations(schedule.task_count());
   for (std::size_t t = 0; t < durations.size(); ++t) {
-    durations[t] = costs(t, static_cast<std::size_t>(
-                                schedule.proc_of(static_cast<TaskId>(t))));
+    durations[t] = costs(t, schedule.proc_of(static_cast<TaskId>(t)).index());
   }
   return durations;
 }
@@ -32,7 +31,7 @@ TEST(PartialSchedule, EmptyPrefixReproducesFullTiming) {
   // decision_time <= 0 floors nothing, so the partial sweep is plain ASAP.
   const auto timing = partial_timing(instance.graph, instance.platform, partial,
                                      assigned(instance.expected, heft.schedule));
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
     EXPECT_NEAR(timing.start[t], full.start[t], 1e-9);
     EXPECT_NEAR(timing.finish[t], full.finish[t], 1e-9);
   }
@@ -53,8 +52,8 @@ TEST(PartialSchedule, FrozenTasksArePinnedAndOthersFloored) {
 
   const auto timing = partial_timing(instance.graph, instance.platform, partial,
                                      assigned(instance.expected, heft.schedule));
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
-    if (partial.is_frozen(static_cast<TaskId>(t))) {
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
+    if (partial.is_frozen(t)) {
       EXPECT_EQ(timing.start[t], partial.frozen_start[t]);
       EXPECT_EQ(timing.finish[t], partial.frozen_finish[t]);
     } else {

@@ -84,8 +84,8 @@ TEST(Schedule, FromOrderRejectsDuplicateTaskInOrder) {
 TEST(Schedule, AssignmentSpanMatchesProcOf) {
   const Schedule s(4, {{1, 3}, {0, 2}});
   const auto assignment = s.assignment();
-  for (TaskId t = 0; t < 4; ++t) {
-    EXPECT_EQ(assignment[static_cast<std::size_t>(t)], s.proc_of(t));
+  for (const TaskId t : id_range<TaskId>(4)) {
+    EXPECT_EQ(assignment[t.index()], s.proc_of(t));
   }
 }
 

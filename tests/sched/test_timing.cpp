@@ -192,10 +192,10 @@ double brute_force_critical_path(const TaskGraph& gs, const Platform& platform,
     for (const EdgeRef& e : gs.predecessors(t)) {
       const double comm = platform.comm_cost(e.data, schedule.proc_of(e.task),
                                              schedule.proc_of(t));
-      start = std::max(start, finish[static_cast<std::size_t>(e.task)] + comm);
+      start = std::max(start, finish[e.task.index()] + comm);
     }
-    finish[static_cast<std::size_t>(t)] = start + durations[static_cast<std::size_t>(t)];
-    makespan = std::max(makespan, finish[static_cast<std::size_t>(t)]);
+    finish[t.index()] = start + durations[t.index()];
+    makespan = std::max(makespan, finish[t.index()]);
   }
   return makespan;
 }
@@ -228,7 +228,7 @@ TEST_P(TimingCrossValidation, SlackInvariants) {
   // sigma_i >= 0, some task is critical (slack 0), and Tl + Bl <= M
   // everywhere (Def. 3.3).
   double min_slack = timing.slack[0];
-  for (std::size_t t = 0; t < timing.slack.size(); ++t) {
+  for (const TaskId t : timing.slack.ids()) {
     ASSERT_GE(timing.slack[t], 0.0);
     ASSERT_LE(timing.start[t] + timing.bottom_level[t], timing.makespan + 1e-9);
     min_slack = std::min(min_slack, timing.slack[t]);
@@ -274,7 +274,7 @@ TEST(Timing, RebuildMatchesFreshConstructionAcrossRandomSchedules) {
       EXPECT_EQ(got->makespan, expected.makespan) << "schedule " << i;
       EXPECT_EQ(got->average_slack, expected.average_slack) << "schedule " << i;
       ASSERT_EQ(got->slack.size(), n);
-      for (std::size_t t = 0; t < n; ++t) {
+      for (const TaskId t : id_range<TaskId>(n)) {
         EXPECT_EQ(got->start[t], expected.start[t]);
         EXPECT_EQ(got->finish[t], expected.finish[t]);
         EXPECT_EQ(got->bottom_level[t], expected.bottom_level[t]);

@@ -95,7 +95,7 @@ TEST(DynamicEft, HookObservesEveryCompletionExactlyOnce) {
     // The 1-based completion counter ticks once per invocation.
     EXPECT_EQ(e.completed, k + 1);
     ASSERT_NE(e.task, kNoTask);
-    const auto t = static_cast<std::size_t>(e.task);
+    const std::size_t t = e.task.index();
     ++seen[t];
     // Event fields agree with the committed run result.
     EXPECT_EQ(e.proc, run.schedule.proc_of(e.task));

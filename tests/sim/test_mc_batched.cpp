@@ -225,11 +225,11 @@ TEST(McBatched, ForwardBackwardMatchesFullTimingLaneByLane) {
     sampler.sample(rng, scalar_dur);
     const ScheduleTiming timing = evaluator.full_timing(scalar_dur);
     EXPECT_EQ(timing.makespan, makespans[l]);
-    for (std::size_t t = 0; t < n; ++t) {
-      EXPECT_EQ(timing.start[t], start[t * lanes + l]);
-      EXPECT_EQ(timing.finish[t], finish[t * lanes + l]);
-      EXPECT_EQ(timing.bottom_level[t], bottom[t * lanes + l]);
-      EXPECT_EQ(timing.slack[t], slack[t * lanes + l]);
+    for (const TaskId t : id_range<TaskId>(n)) {
+      EXPECT_EQ(timing.start[t], start[t.index() * lanes + l]);
+      EXPECT_EQ(timing.finish[t], finish[t.index() * lanes + l]);
+      EXPECT_EQ(timing.bottom_level[t], bottom[t.index() * lanes + l]);
+      EXPECT_EQ(timing.slack[t], slack[t.index() * lanes + l]);
     }
   }
 }
@@ -313,8 +313,8 @@ TEST(McBatched, PartialSweepMatchesPartialTimingLaneByLane) {
     for (std::size_t t = 0; t < n; ++t) scalar_dur[t] = rng.next_double() * 5.0;
     const ScheduleTiming pt =
         partial_timing(c.instance.graph, c.instance.platform, partial, scalar_dur);
-    for (std::size_t t = 0; t < n; ++t) {
-      EXPECT_EQ(pt.finish[t], finish[t * lanes + l]);
+    for (const TaskId t : id_range<TaskId>(n)) {
+      EXPECT_EQ(pt.finish[t], finish[t.index() * lanes + l]);
     }
   }
 }
@@ -339,21 +339,20 @@ TEST(McBatched, CompletionFinishesMatchScalarSampleLoop) {
       Rng oracle_rng(seed);
       std::vector<double> durations(n, 0.0);
       for (std::size_t k = 0; k < samples; ++k) {
-        for (std::size_t t = 0; t < n; ++t) {
+        for (const TaskId t : id_range<TaskId>(n)) {
           if (partial.frozen[t] != 0 || partial.dropped[t] != 0) {
-            durations[t] = 0.0;
+            durations[t.index()] = 0.0;
             continue;
           }
-          const auto p = static_cast<std::size_t>(
-              partial.schedule.proc_of(static_cast<TaskId>(t)));
-          durations[t] =
-              sample_realized_duration(oracle_rng, c.instance.bcet(t, p),
-                                       c.instance.ul(t, p));
+          const std::size_t p = partial.schedule.proc_of(t).index();
+          durations[t.index()] =
+              sample_realized_duration(oracle_rng, c.instance.bcet(t.index(), p),
+                                       c.instance.ul(t.index(), p));
         }
         const ScheduleTiming pt =
             partial_timing(c.instance.graph, c.instance.platform, partial, durations);
-        for (std::size_t t = 0; t < n; ++t) {
-          EXPECT_EQ(pt.finish[t], batched(k, t));
+        for (const TaskId t : id_range<TaskId>(n)) {
+          EXPECT_EQ(pt.finish[t], batched(k, t.index()));
         }
       }
     }

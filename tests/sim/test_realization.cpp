@@ -19,7 +19,7 @@ TEST(RealizationSampler, ExpectedDurationsMatchAssignedColumns) {
   const auto& expected = sampler.expected_durations();
   ASSERT_EQ(expected.size(), instance.task_count());
   for (std::size_t t = 0; t < expected.size(); ++t) {
-    const auto p = static_cast<std::size_t>(rand.schedule.proc_of(static_cast<TaskId>(t)));
+    const std::size_t p = rand.schedule.proc_of(static_cast<TaskId>(t)).index();
     EXPECT_EQ(expected[t], instance.expected(t, p));
   }
 }
@@ -36,8 +36,7 @@ TEST(RealizationSampler, SamplesWithinModelBounds) {
   for (int trial = 0; trial < 500; ++trial) {
     sampler.sample(rng, durations);
     for (std::size_t t = 0; t < durations.size(); ++t) {
-      const auto p =
-          static_cast<std::size_t>(rand.schedule.proc_of(static_cast<TaskId>(t)));
+      const std::size_t p = rand.schedule.proc_of(static_cast<TaskId>(t)).index();
       const double b = instance.bcet(t, p);
       const double ul = instance.ul(t, p);
       ASSERT_GE(durations[t], b);

@@ -56,12 +56,12 @@ inline PartialSchedule freeze_at(const Schedule& schedule, const ScheduleTiming&
                                  double decision_time) {
   const std::size_t n = schedule.task_count();
   PartialSchedule partial{schedule,
-                          std::vector<std::uint8_t>(n, 0),
-                          std::vector<std::uint8_t>(n, 0),
-                          std::vector<double>(n, 0.0),
-                          std::vector<double>(n, 0.0),
+                          IdVector<TaskId, std::uint8_t>(n, 0),
+                          IdVector<TaskId, std::uint8_t>(n, 0),
+                          IdVector<TaskId, double>(n, 0.0),
+                          IdVector<TaskId, double>(n, 0.0),
                           decision_time};
-  for (std::size_t t = 0; t < n; ++t) {
+  for (const TaskId t : id_range<TaskId>(n)) {
     if (timing.start[t] <= decision_time) {
       partial.frozen[t] = 1;
       partial.frozen_start[t] = timing.start[t];

@@ -1,0 +1,227 @@
+#include "util/strong_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace rts {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time contract: sizes, triviality, conversion rules. These mirror
+// the asserts in the header but also pin the *test-visible* API shape so a
+// regression fails here with a readable name, not deep inside a TU.
+
+static_assert(sizeof(TaskId) == 4 && alignof(TaskId) == alignof(std::int32_t));
+static_assert(sizeof(EdgeId) == 8 && alignof(EdgeId) == alignof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<TaskId>);
+static_assert(std::is_trivially_copyable_v<EdgeId>);
+static_assert(std::is_trivially_default_constructible_v<TaskId> ||
+              std::is_nothrow_default_constructible_v<TaskId>);
+
+// Implicit only from signed integers no wider than the representation.
+static_assert(std::is_convertible_v<int, TaskId>);
+static_assert(std::is_convertible_v<std::int32_t, TaskId>);
+static_assert(std::is_convertible_v<std::int8_t, TaskId>);
+static_assert(std::is_convertible_v<std::int64_t, EdgeId>);
+static_assert(!std::is_convertible_v<std::int64_t, TaskId>);   // would widen
+static_assert(!std::is_convertible_v<std::size_t, TaskId>);    // unsigned
+static_assert(!std::is_convertible_v<std::uint32_t, TaskId>);  // unsigned
+// ...but explicit construction from those is allowed (the caller vouches).
+static_assert(std::is_constructible_v<TaskId, std::size_t>);
+static_assert(std::is_constructible_v<TaskId, std::int64_t>);
+static_assert(std::is_constructible_v<EdgeId, std::size_t>);
+
+// No conversion out: the raw value is always an explicit .value()/.index().
+static_assert(!std::is_convertible_v<TaskId, std::int32_t>);
+static_assert(!std::is_convertible_v<TaskId, std::size_t>);
+static_assert(!std::is_convertible_v<TaskId, bool>);
+static_assert(!std::is_convertible_v<EdgeId, std::int64_t>);
+
+// No cross-tag conversion in any direction, implicit or explicit.
+static_assert(!std::is_constructible_v<TaskId, ProcId>);
+static_assert(!std::is_constructible_v<ProcId, TaskId>);
+static_assert(!std::is_constructible_v<TaskId, EdgeId>);
+static_assert(!std::is_constructible_v<EdgeId, TaskId>);
+static_assert(!std::is_constructible_v<LaneId, ProcId>);
+static_assert(!std::is_assignable_v<TaskId&, ProcId>);
+static_assert(!std::is_assignable_v<EdgeId&, TaskId>);
+
+// Cross-tag comparison must not compile either (SFINAE probes).
+template <class A, class B>
+concept EqComparable = requires(A a, B b) { a == b; };
+template <class A, class B>
+concept LtComparable = requires(A a, B b) { a < b; };
+static_assert(EqComparable<TaskId, TaskId>);
+static_assert(LtComparable<TaskId, TaskId>);
+static_assert(!EqComparable<TaskId, ProcId>);
+static_assert(!LtComparable<TaskId, EdgeId>);
+
+// IdVector's subscript accepts the matching id (and, via the implicit
+// constructor, signed literals) — but never another domain's id and never an
+// unsigned raw index.
+template <class V, class I>
+concept Subscriptable = requires(V& v, I i) { v[i]; };
+static_assert(Subscriptable<IdVector<TaskId, double>, TaskId>);
+static_assert(Subscriptable<IdVector<TaskId, double>, int>);  // literals
+static_assert(!Subscriptable<IdVector<TaskId, double>, ProcId>);
+static_assert(!Subscriptable<IdVector<TaskId, double>, LaneId>);
+static_assert(!Subscriptable<IdVector<TaskId, double>, std::size_t>);
+static_assert(!Subscriptable<IdVector<ProcId, double>, TaskId>);
+static_assert(Subscriptable<IdSpan<TaskId, const double>, TaskId>);
+static_assert(!Subscriptable<IdSpan<TaskId, const double>, ProcId>);
+static_assert(!Subscriptable<IdSpan<TaskId, const double>, std::size_t>);
+
+// Zero-overhead container: IdVector is layout-compatible with the vector it
+// wraps, so reinterpreting collections of them (SoA workspaces) costs nothing.
+static_assert(sizeof(IdVector<TaskId, double>) == sizeof(std::vector<double>));
+static_assert(sizeof(IdSpan<TaskId, const double>) ==
+              sizeof(std::span<const double>));
+
+TEST(StrongId, ValueIndexValid) {
+  const TaskId t = 7;
+  EXPECT_EQ(t.value(), 7);
+  EXPECT_EQ(t.index(), 7u);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(kNoTask.valid());
+  EXPECT_EQ(kNoTask.value(), -1);
+  EXPECT_EQ(TaskId{}.value(), 0);
+}
+
+TEST(StrongId, BitPatternMatchesRep) {
+  // Service digests hash id arrays byte-wise; the bit pattern must be the
+  // raw integer's.
+  EXPECT_EQ(std::bit_cast<std::int32_t>(TaskId{42}), 42);
+  EXPECT_EQ(std::bit_cast<std::int32_t>(kNoTask), -1);
+  EXPECT_EQ(std::bit_cast<std::int64_t>(EdgeId{std::int64_t{1} << 40}),
+            std::int64_t{1} << 40);
+}
+
+TEST(StrongId, IncrementDecrementNext) {
+  TaskId t = 3;
+  EXPECT_EQ((++t).value(), 4);
+  EXPECT_EQ((t++).value(), 4);
+  EXPECT_EQ(t.value(), 5);
+  EXPECT_EQ((--t).value(), 4);
+  EXPECT_EQ((t--).value(), 4);
+  EXPECT_EQ(t.value(), 3);
+  EXPECT_EQ(t.next().value(), 4);
+  EXPECT_EQ(t.value(), 3);  // next() does not mutate
+}
+
+TEST(StrongId, OrderingAndSort) {
+  EXPECT_LT(TaskId{1}, TaskId{2});
+  EXPECT_LE(TaskId{2}, TaskId{2});
+  EXPECT_GT(TaskId{3}, kNoTask);
+  std::vector<TaskId> ids{5, 1, 4, 1, 3};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<TaskId>{1, 1, 3, 4, 5}));
+}
+
+TEST(StrongId, HashMatchesRepHash) {
+  EXPECT_EQ(std::hash<TaskId>{}(TaskId{9}), std::hash<std::int32_t>{}(9));
+  std::unordered_set<TaskId> seen;
+  seen.insert(TaskId{1});
+  seen.insert(TaskId{1});
+  seen.insert(TaskId{2});
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(StrongId, StreamPrintsRawValue) {
+  std::ostringstream os;
+  os << TaskId{13} << ' ' << kNoProc << ' ' << EdgeId{std::int64_t{1} << 33};
+  EXPECT_EQ(os.str(), "13 -1 8589934592");
+}
+
+TEST(StrongId, EdgeIdArithmeticIs64Bit) {
+  // lane*stride products live in the EdgeId domain; past-2^31 values must
+  // survive round trips (satellite for the CSR/lane-offset overflow fix).
+  const std::int64_t big = (std::int64_t{1} << 31) + 17;
+  EdgeId e = big;
+  ++e;
+  EXPECT_EQ(e.value(), big + 1);
+  EXPECT_EQ(e.index(), static_cast<std::size_t>(big) + 1);
+  static_assert(std::is_same_v<EdgeId::rep_type, std::int64_t>);
+}
+
+TEST(IdRange, IteratesHalfOpenTypedRange) {
+  std::vector<TaskId> seen;
+  for (const TaskId t : id_range<TaskId>(4)) seen.push_back(t);
+  EXPECT_EQ(seen, (std::vector<TaskId>{0, 1, 2, 3}));
+  EXPECT_EQ(id_range<TaskId>(0).size(), 0u);
+  EXPECT_TRUE(id_range<ProcId>(0).begin() == id_range<ProcId>(0).end());
+}
+
+TEST(IdVector, ConstructionForms) {
+  const IdVector<TaskId, double> sized(3);
+  EXPECT_EQ(sized.size(), 3u);
+  EXPECT_EQ(sized[TaskId{0}], 0.0);
+  const IdVector<TaskId, double> filled(2, 1.5);
+  EXPECT_EQ(filled[TaskId{1}], 1.5);
+  const IdVector<TaskId, int> listed{4, 5, 6};
+  EXPECT_EQ(listed[TaskId{2}], 6);
+  const IdVector<TaskId, int> wrapped(std::vector<int>{7, 8});
+  EXPECT_EQ(wrapped[TaskId{1}], 8);
+}
+
+TEST(IdVector, TypedSubscriptReadsAndWrites) {
+  IdVector<TaskId, double> v(3, 0.0);
+  v[TaskId{1}] = 2.5;
+  v[0] = 1.0;  // signed literal enters the domain implicitly
+  EXPECT_EQ(v[TaskId{0}], 1.0);
+  EXPECT_EQ(v[TaskId{1}], 2.5);
+  EXPECT_EQ(v.end_id(), TaskId{3});
+  double sum = 0.0;
+  for (const TaskId t : v.ids()) sum += v[t];
+  EXPECT_EQ(sum, 3.5);
+}
+
+TEST(IdVector, RawEscapeHatchAndEquality) {
+  IdVector<TaskId, int> v{1, 2, 3};
+  EXPECT_EQ(v.raw(), (std::vector<int>{1, 2, 3}));
+  v.raw().push_back(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v, (IdVector<TaskId, int>{1, 2, 3, 4}));
+  EXPECT_NE(v, (IdVector<TaskId, int>{1, 2, 3}));
+}
+
+TEST(IdVector, BoolProxyReferencesWork) {
+  IdVector<TaskId, bool> flags(3, false);
+  flags[TaskId{2}] = true;
+  EXPECT_TRUE(flags[TaskId{2}]);
+  EXPECT_FALSE(flags[TaskId{0}]);
+}
+
+TEST(IdSpan, ImplicitEntryDoors) {
+  std::vector<double> raw{1.0, 2.0, 3.0};
+  const IdSpan<TaskId, const double> from_vec = raw;
+  EXPECT_EQ(from_vec[TaskId{2}], 3.0);
+  IdVector<TaskId, double> typed(raw.size(), 0.0);
+  typed[TaskId{0}] = 9.0;
+  const IdSpan<TaskId, const double> from_idvec = typed;
+  EXPECT_EQ(from_idvec[TaskId{0}], 9.0);
+  IdSpan<TaskId, double> mut = typed;
+  mut[TaskId{1}] = 7.0;
+  EXPECT_EQ(typed[TaskId{1}], 7.0);
+  EXPECT_EQ(mut.raw().size(), 3u);
+  EXPECT_EQ(mut.end_id(), TaskId{3});
+}
+
+TEST(IdVectorDeathTest, DebugBoundsAbort) {
+  if constexpr (!kIdBoundsChecked) {
+    GTEST_SKIP() << "release build: id subscripts are unchecked by design";
+  } else {
+    IdVector<TaskId, double> v(2, 0.0);
+    EXPECT_DEATH({ (void)v[TaskId{2}]; }, "");
+    EXPECT_DEATH({ (void)v[kNoTask]; }, "");
+    const IdSpan<TaskId, const double> s = v;
+    EXPECT_DEATH({ (void)s[TaskId{5}]; }, "");
+  }
+}
+
+}  // namespace
+}  // namespace rts

@@ -69,8 +69,8 @@ TEST(DagGenerator, ProducesValidConnectedDag) {
     // Every non-entry task has at least one predecessor by construction; the
     // entry level is exactly the first level.
     const auto depths = task_depths(g);
-    for (std::size_t t = 0; t < g.task_count(); ++t) {
-      if (g.in_degree(static_cast<TaskId>(t)) == 0) {
+    for (const TaskId t : id_range<TaskId>(g.task_count())) {
+      if (g.in_degree(t) == 0) {
         EXPECT_EQ(depths[t], 0u);
       }
     }
@@ -172,9 +172,9 @@ TEST(DagGenerator, LargerJumpEnablesLongerEdges) {
     for (int trial = 0; trial < 20; ++trial) {
       const TaskGraph g = generate_random_dag(params, platform, rng);
       const auto depths = task_depths(g);
-      for (std::size_t t = 0; t < g.task_count(); ++t) {
-        for (const EdgeRef& e : g.successors(static_cast<TaskId>(t))) {
-          gaps.add(static_cast<double>(depths[static_cast<std::size_t>(e.task)]) -
+      for (const TaskId t : id_range<TaskId>(g.task_count())) {
+        for (const EdgeRef& e : g.successors(t)) {
+          gaps.add(static_cast<double>(depths[e.task]) -
                    static_cast<double>(depths[t]));
         }
       }

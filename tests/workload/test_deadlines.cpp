@@ -19,7 +19,7 @@ TEST(Deadlines, AssignsPositiveDeadlineAndValueToEveryTask) {
   ASSERT_TRUE(instance.has_deadlines());
   ASSERT_EQ(instance.deadline.size(), instance.task_count());
   ASSERT_EQ(instance.value.size(), instance.task_count());
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
     EXPECT_GT(instance.deadline[t], 0.0);
     EXPECT_GE(instance.value[t], params.value_min);
     EXPECT_LE(instance.value[t], params.value_max);
@@ -37,7 +37,7 @@ TEST(Deadlines, LambdaOneIsExactlyAchievableByTheHeftPlan) {
       heft_schedule(instance.graph, instance.platform, instance.expected);
   const auto timing = compute_schedule_timing(instance.graph, instance.platform,
                                               heft.schedule, instance.expected);
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
     EXPECT_NEAR(instance.deadline[t], timing.finish[t],
                 1e-9 * timing.finish[t]);
   }
@@ -53,7 +53,7 @@ TEST(Deadlines, DeadlinesStayWithinTheLaxityBand) {
       heft_schedule(instance.graph, instance.platform, instance.expected);
   const auto timing = compute_schedule_timing(instance.graph, instance.platform,
                                               heft.schedule, instance.expected);
-  for (std::size_t t = 0; t < instance.task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(instance.task_count())) {
     EXPECT_GE(instance.deadline[t],
               timing.finish[t] / params.oversubscription - 1e-12);
     EXPECT_LE(instance.deadline[t], timing.finish[t] + 1e-12);
@@ -71,7 +71,7 @@ TEST(Deadlines, HigherOversubscriptionTightensEveryDeadline) {
   params.oversubscription = 2.5;
   Rng rng_b(11);
   assign_deadlines(tight, params, rng_b);
-  for (std::size_t t = 0; t < loose.task_count(); ++t) {
+  for (const TaskId t : id_range<TaskId>(loose.task_count())) {
     EXPECT_LE(tight.deadline[t], loose.deadline[t] + 1e-12) << "task " << t;
   }
   EXPECT_EQ(loose.value, tight.value);  // values are unaffected by lambda

@@ -41,6 +41,30 @@ ISAs (docs/testing.md, "Static analysis"):
       Clang TSA leaves on non-Clang builds: GCC ignores the attributes, so
       without this rule an unguarded access only fails in the clang CI job.
 
+Alongside the determinism rules, v2 adds the *index-domain* rules that back
+the strong-id migration (src/util/strong_id.hpp, docs/ids.md). They are
+strict in the id-disciplined directories src/{graph,sched,sim,ga}:
+
+  index-domain
+      id-indexed containers (IdVector/IdSpan) must be subscripted with their
+      id type. A raw integer variable subscript re-opens the task-vs-proc
+      mixup the types were introduced to kill, and `x[t.value()]` launders
+      the raw representation back into an index — `.value()` is for
+      serialization/hash/print only; use the typed id (or `.index()` into a
+      deliberately raw positional buffer).
+  narrowing-overflow
+      no implicit 64→32 narrowing in declarations (the -Wconversion gap:
+      template deduction and member loads), and no 32-bit multiply of
+      count-typed operands feeding a 64-bit offset — `lane * stride`
+      overflows *before* the widening assignment. Cast an operand to the
+      wide type first. Applies to every analyzed file.
+  alloc-in-hot-loop
+      no push_back/emplace_back/resize and no fresh vector/IdVector
+      construction inside per-realization / per-evaluation loops of src/sim
+      and src/ga. One allocation per realization dominates the batched
+      kernels; hoist buffers into the surrounding workspace
+      (EvalWorkspace, BatchedGsSweep scratch) and reuse them.
+
 Frontends: with the Python libclang bindings installed (clang.cindex — CI
 pins python3-clang-14; see CONTRIBUTING.md) the analyzer parses each TU from
 compile_commands.json and uses the real AST to resolve declared types (auto,
@@ -55,14 +79,16 @@ loop header for loop-body findings) suppresses that rule there. Intentional,
 reviewed suppressions that should not live inline go into the checked-in
 baseline file (tools/rts_analyze_baseline.txt): `path:rule` suppresses a
 rule for a whole file, `path:line:rule` one site. Stale baseline entries are
-reported as warnings so the file cannot rot.
+*errors* (exit 1) so the file cannot rot: a fixed finding must take its
+suppression with it.
 
 Usage:
   tools/rts_analyze.py [paths...]            # default: src
       [-p BUILD_DIR | --compile-commands FILE]
       [--frontend auto|libclang|internal]    # default: auto
-      [--baseline FILE] [--output FILE] [--list-files] [--self-test]
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
+      [--baseline FILE] [--output FILE] [--json FILE]
+      [--list-files] [--self-test]
+Exit status: 0 clean, 1 findings or stale baseline, 2 usage/internal error.
 """
 
 from __future__ import annotations
@@ -92,7 +118,51 @@ RULES = {
     "tsa-coverage":
         "RTS_GUARDED_BY member accessed without holding its mutex "
         "(LockGuard/UniqueLock, RTS_REQUIRES, or assert_held)",
+    "index-domain":
+        "id-indexed container subscripted outside its id domain "
+        "(raw integer index or .value() laundering)",
+    "narrowing-overflow":
+        "implicit 64-to-32 narrowing or 32-bit multiply of count-typed "
+        "operands feeding a 64-bit offset",
+    "alloc-in-hot-loop":
+        "allocation inside a per-realization/per-evaluation loop; hoist "
+        "the buffer into a reused workspace",
 }
+
+# Directories where the strong-id subscript discipline is enforced.
+ID_STRICT_DIRS = {"graph", "sched", "sim", "ga"}
+
+SUBSCRIPT_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*\.\s*)?[A-Za-z_]\w*)\s*\[([^\][]+)\]")
+VALUE_LAUNDER_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+IDVEC_TYPE_RE = re.compile(r"\b(?:IdVector|IdSpan)\s*<")
+IDVEC_ID_RE = re.compile(r"\b(?:IdVector|IdSpan)\s*<\s*(\w+)")
+STRONG_ID_TYPE_RE = re.compile(r"\b(?:TaskId|ProcId|EdgeId|LaneId|StrongId\s*<)")
+RAW_INDEX_TYPE_RE = re.compile(
+    r"^(?:const\s+)?(?:(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t|ptrdiff_t)"
+    r"|unsigned(?:\s+(?:int|long|short|char))?|int|long(?:\s+long)?|short)"
+    r"(?:\s*[&])?\s*$")
+NARROW32_DECL_RE = re.compile(
+    r"\b(?:const\s+)?((?:std::)?u?int(?:8|16|32)_t|int|unsigned(?:\s+int)?"
+    r"|short)\s+(\w+)\s*=\s*([^;{}]+)")
+WIDE64_DECL_RE = re.compile(
+    r"\b(?:const\s+)?((?:std::)?u?int64_t|(?:std::)?size_t"
+    r"|(?:std::)?ptrdiff_t|EdgeId|long(?:\s+long)?)\s+(\w+)\s*=\s*([^;{}]+)")
+WIDE_TYPE_RE = re.compile(
+    r"\b(?:std::)?(?:u?int64_t|size_t|ptrdiff_t)\b|\blong\b")
+NARROW32_TYPE_RE = re.compile(
+    r"^(?:const\s+)?(?:(?:std::)?u?int(?:8|16|32)_t|int|unsigned(?:\s+int)?"
+    r"|short)\s*&?\s*$")
+STATIC_CAST_RE = re.compile(r"\bstatic_cast\s*<")
+SIZE_CALL_RE = re.compile(r"\.\s*(?:size|index|length|count)\s*\(\s*\)")
+MUL_OPERANDS_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\*\s*([A-Za-z_]\w*)\b")
+HOT_LOOP_RE = re.compile(
+    r"realization|realisation|\brep\b|\breps\b|\bn_reps\b"
+    r"|\beval(?:s|uations?)?\b|\bnum_evals\b|\bper_eval\b")
+ALLOC_CALL_RE = re.compile(r"\.\s*(?:push_back|emplace_back|resize)\s*\(")
+FRESH_VEC_RE = re.compile(
+    r"\b(?:std::\s*)?vector\s*<[^;]*?>\s+\w+\s*[;({=]"
+    r"|\bIdVector\s*<[^;]*?>\s+\w+\s*[;({=]")
 
 UNORDERED_RE = re.compile(
     r"\bunordered_(?:flat_)?(?:multi)?(?:map|set)\b")
@@ -402,7 +472,8 @@ class FileModel:
         elif re.search(r"\b(?:while|do)\b", h):
             scope = Scope("loop")
             scope.loop = {"kind": "while", "iter_type": None,
-                          "nondet": False, "line": lineno}
+                          "nondet": False, "line": lineno,
+                          "hot": self._loop_is_hot(h)}
         elif re.search(r"\b(?:if|else|switch|try|catch)\b", h):
             scope = Scope("block")
         elif LAMBDA_HEADER_RE.search(h):
@@ -439,10 +510,20 @@ class FileModel:
             self.pending_omp = None
         return scope
 
+    def _loop_is_hot(self, header):
+        """A loop is 'hot' when its header names the per-realization /
+        per-evaluation axis, or when it nests inside a hot loop."""
+        if HOT_LOOP_RE.search(header):
+            return True
+        enclosing = self.innermost_loop()
+        return bool(enclosing and enclosing.loop
+                    and enclosing.loop.get("hot"))
+
     def _loop_scope(self, header, lineno):
         scope = Scope("loop")
         info = {"kind": "other", "iter_expr": None, "iter_type": None,
-                "nondet": False, "line": lineno}
+                "nondet": False, "line": lineno,
+                "hot": self._loop_is_hot(header)}
         m = RANGE_FOR_RE.search(header)
         inner = m.group(1) if m else ""
         parts = split_top(inner, ":") if inner else []
@@ -584,6 +665,9 @@ class FileModel:
         self._rule_nondet_iteration(lineno, seg, allow)
         self._rule_fp_accumulation(lineno, seg, allow)
         self._rule_tsa(lineno, seg, allow)
+        self._rule_index_domain(lineno, seg, allow)
+        self._rule_narrowing_overflow(lineno, seg, allow)
+        self._rule_alloc_in_hot_loop(lineno, seg, allow)
 
     def _end_statement(self, lineno):
         stmt = "".join(self.stmt).strip()
@@ -768,6 +852,127 @@ class FileModel:
                 f"'{member}' is RTS_GUARDED_BY({mutex}) but {cls}::"
                 f"{method or '<lambda>'} accesses it without holding "
                 f"{mutex}", allow)
+
+    # -- v2 rules: index-domain / narrowing-overflow / alloc-in-hot-loop ----
+
+    def _in_id_strict_dir(self):
+        parts = Path(self.rel).parts
+        return len(parts) >= 2 and parts[0] == "src" and \
+            parts[1] in ID_STRICT_DIRS
+
+    def _base_type(self, base):
+        """Resolve the declared type of a subscript base: a plain identifier
+        or a one-level member expression `obj.field` (via the class tables
+        built in pass A). Returns None when unprovable — rules stay quiet."""
+        base = base.replace(" ", "")
+        if "." in base:
+            obj, field = base.split(".", 1)
+            if "." in field:
+                return None
+            obj_type = self.resolve(obj)
+            if not obj_type:
+                return None
+            cls = re.sub(r"\bconst\b|[&*]", "", obj_type).strip()
+            cls = cls.split("<")[0].strip().split("::")[-1]
+            info = self.an.classes.get(cls)
+            return info.members.get(field) if info else None
+        return self.resolve(base)
+
+    def _rule_index_domain(self, lineno, code, allow):
+        if not self._in_id_strict_dir():
+            return
+        for m in SUBSCRIPT_RE.finditer(code):
+            base, idx = m.group(1), m.group(2).strip()
+            if VALUE_LAUNDER_RE.search(idx):
+                self.report(
+                    lineno, "index-domain",
+                    f"subscript of '{base}' launders a strong id through "
+                    ".value(); .value() is for serialization/hash/print "
+                    "only — pass the typed id (id-indexed containers) or "
+                    ".index() (raw positional buffers)", allow)
+                continue
+            btype = self._base_type(base)
+            if not btype or not IDVEC_TYPE_RE.search(btype):
+                continue
+            if not re.fullmatch(r"[A-Za-z_]\w*", idx):
+                continue
+            itype = self.resolve(idx)
+            if not itype or STRONG_ID_TYPE_RE.search(itype):
+                continue
+            if RAW_INDEX_TYPE_RE.match(itype.strip()):
+                want = IDVEC_ID_RE.search(btype)
+                self.report(
+                    lineno, "index-domain",
+                    f"raw integer '{idx}' ({itype.strip()}) subscripts "
+                    f"id-indexed '{base}'; index it with "
+                    f"{want.group(1) if want else 'its id type'} so the "
+                    "domain stays type-checked", allow)
+
+    def _rule_narrowing_overflow(self, lineno, code, allow):
+        m = NARROW32_DECL_RE.search(code)
+        if m and not STATIC_CAST_RE.search(m.group(3)):
+            expr = m.group(3)
+            wide = None
+            if SIZE_CALL_RE.search(expr):
+                wide = "a size_t-returning call"
+            else:
+                for ident in re.finditer(r"\b[A-Za-z_]\w*\b", expr):
+                    t = self.resolve(ident.group(0))
+                    if t and WIDE_TYPE_RE.search(t):
+                        wide = f"'{ident.group(0)}' ({t.strip()})"
+                        break
+            if wide:
+                self.report(
+                    lineno, "narrowing-overflow",
+                    f"'{m.group(2)}' ({m.group(1)}) is initialized from "
+                    f"{wide}: implicit 64-to-32 narrowing; widen the "
+                    "declaration or make the narrowing an explicit, "
+                    "range-checked static_cast", allow)
+        m = WIDE64_DECL_RE.search(code)
+        if m and not STATIC_CAST_RE.search(m.group(3)):
+            for mul in MUL_OPERANDS_RE.finditer(m.group(3)):
+                ta = self.resolve(mul.group(1))
+                tb = self.resolve(mul.group(2))
+                if ta and tb and NARROW32_TYPE_RE.match(ta.strip()) and \
+                        NARROW32_TYPE_RE.match(tb.strip()):
+                    self.report(
+                        lineno, "narrowing-overflow",
+                        f"'{mul.group(1)} * {mul.group(2)}' multiplies two "
+                        "32-bit counts and only then widens to "
+                        f"{m.group(1)}: the product overflows before the "
+                        "widening; static_cast one operand to the 64-bit "
+                        "type first", allow)
+                    break
+
+    def _rule_alloc_in_hot_loop(self, lineno, code, allow):
+        parts = Path(self.rel).parts
+        if len(parts) < 2 or parts[0] != "src" or parts[1] not in \
+                ("sim", "ga"):
+            return
+        hot = None
+        for s in reversed(self.scopes):
+            if s.kind == "loop" and s.loop and s.loop.get("hot"):
+                hot = s
+                break
+        if hot is None:
+            return
+        what = None
+        if ALLOC_CALL_RE.search(code):
+            what = "grows a container"
+        elif FRESH_VEC_RE.search(code):
+            what = "constructs a fresh vector"
+        if what is None:
+            return
+        key = ("alloc", hot.loop["line"], lineno)
+        if key in hot.reported:
+            return
+        hot.reported.add(key)
+        self.report(
+            lineno, "alloc-in-hot-loop",
+            f"{what} inside the per-realization/per-evaluation loop at "
+            f"line {hot.loop['line']}; one allocation per realization "
+            "dominates the batched kernels — hoist the buffer into a "
+            "reused workspace", allow)
 
 
 # ---------------------------------------------------------------------------
@@ -954,11 +1159,28 @@ def baseline_keys(finding):
             f"{finding.path}:{finding.line}:{finding.rule}")
 
 
+def findings_to_json(reported, stale, file_count):
+    """Machine-readable findings document. Key order is fixed (insertion
+    order survives json.dumps) so CI artifact diffs are stable."""
+    doc = {
+        "version": 1,
+        "files": file_count,
+        "status": "findings" if (reported or stale) else "clean",
+        "findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in sorted(reported, key=lambda f: (f.path, f.line, f.rule))
+        ],
+        "stale_baseline": list(stale),
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
 # ---------------------------------------------------------------------------
 # Analysis entry point.
 
 def analyze(paths, compile_commands, baseline_path, frontend, root,
-            output=None, list_files=False):
+            output=None, json_output=None, list_files=False):
     files, cc_entries = discover_files(paths, compile_commands, root)
     if list_files:
         for f in files:
@@ -1021,14 +1243,20 @@ def analyze(paths, compile_commands, baseline_path, frontend, root,
                  for f in reported]
     for line in out_lines:
         print(line)
-    for stale in sorted(baseline - used):
-        print(f"rts_analyze: warning: stale baseline entry: {stale}",
+    stale = sorted(baseline - used)
+    for entry in stale:
+        print(f"rts_analyze: error: stale baseline entry: {entry} "
+              "(the finding it suppressed is gone — delete the entry)",
               file=sys.stderr)
     if output:
         Path(output).write_text("\n".join(out_lines) +
                                 ("\n" if out_lines else ""))
-    if reported:
-        print(f"rts_analyze: {len(reported)} finding(s) across "
+    if json_output:
+        Path(json_output).write_text(
+            findings_to_json(reported, stale, len(files)))
+    if reported or stale:
+        print(f"rts_analyze: {len(reported)} finding(s), "
+              f"{len(stale)} stale baseline entr(y/ies) across "
               f"{len(files)} file(s)")
         return 1
     print(f"rts_analyze: clean ({len(files)} file(s), "
@@ -1210,6 +1438,64 @@ SELFTEST = [
      "  const LockGuard lock(mutex_);\n"
      "  return level_;\n"
      "}"),
+    ("index-domain", "src/sched/timing_pass.cpp",
+     "void f(IdVector<TaskId, double>& slack, std::size_t i) {\n"
+     "  slack[i] = 0.0;\n"
+     "}",
+     "void f(IdVector<TaskId, double>& slack, TaskId t) {\n"
+     "  slack[t] = 0.0;\n"
+     "}"),
+    ("index-domain", "src/ga/eval_path.cpp",
+     "void g(IdVector<TaskId, double>& finish, TaskId t) {\n"
+     "  const double x = finish[t.value()];\n"
+     "}",
+     "void g(IdVector<TaskId, double>& finish, TaskId t) {\n"
+     "  const double x = finish[t];\n"
+     "}"),
+    ("index-domain", "src/sim/lane_store.cpp",
+     "void h(std::vector<double>& lanes, TaskId t, std::size_t stride) {\n"
+     "  lanes[t.value() * stride] = 0.0;\n"
+     "}",
+     "void h(std::vector<double>& lanes, TaskId t, std::size_t stride) {\n"
+     "  lanes[t.index() * stride] = 0.0;\n"
+     "}"),
+    ("narrowing-overflow", "src/sim/sweep_offsets.cpp",
+     "void f(std::int64_t total) {\n"
+     "  int offset = total;\n"
+     "}",
+     "void f(std::int64_t total) {\n"
+     "  std::int64_t offset = total;\n"
+     "}"),
+    ("narrowing-overflow", "src/sched/csr_build.cpp",
+     "void g(int lanes, int stride) {\n"
+     "  const std::int64_t off = lanes * stride;\n"
+     "}",
+     "void g(int lanes, int stride) {\n"
+     "  const std::int64_t off = static_cast<std::int64_t>(lanes) * stride;\n"
+     "}"),
+    ("alloc-in-hot-loop", "src/sim/mc_kernel.cpp",
+     "void f(std::size_t realizations) {\n"
+     "  for (std::size_t rep = 0; rep < realizations; ++rep) {\n"
+     "    std::vector<double> scratch(64, 0.0);\n"
+     "  }\n"
+     "}",
+     "void f(std::size_t realizations, std::vector<double>& scratch) {\n"
+     "  for (std::size_t rep = 0; rep < realizations; ++rep) {\n"
+     "    scratch.assign(64, 0.0);\n"
+     "  }\n"
+     "}"),
+    ("alloc-in-hot-loop", "src/ga/eval_loop.cpp",
+     "void g(std::size_t evals, std::vector<double>& out) {\n"
+     "  for (std::size_t e = 0; e < evals; ++e) {\n"
+     "    out.push_back(0.0);\n"
+     "  }\n"
+     "}",
+     "void g(std::size_t evals, std::vector<double>& out) {\n"
+     "  out.resize(evals);\n"
+     "  for (std::size_t e = 0; e < evals; ++e) {\n"
+     "    out[e] = 0.0;\n"
+     "  }\n"
+     "}"),
 ]
 
 # Scope / precision checks: the same construct where the rule must NOT fire.
@@ -1312,6 +1598,48 @@ SELFTEST_EXEMPT = [
      "  std::vector<std::thread> threads_ RTS_GUARDED_BY(mutex_);\n"
      "};\n"
      "PoolLike::PoolLike() { threads_.reserve(4); }"),
+    # Raw positional buffers may be subscripted with raw indices; .index()
+    # is the sanctioned bridge into them.
+    ("index-domain", "src/sched/gantt_rows.cpp",
+     "void f(std::vector<double>& rows, TaskId t, std::size_t l) {\n"
+     "  rows[t.index()] = 1.0;\n"
+     "  rows[l] = 2.0;\n"
+     "}"),
+    # Typed subscripts of id-indexed containers are the blessed pattern.
+    ("index-domain", "src/sim/lane_math.cpp",
+     "void f(IdVector<TaskId, double>& finish, TaskId t) {\n"
+     "  finish[t] = 0.0;\n"
+     "}"),
+    # index-domain is scoped to the strict dirs; serialization code outside
+    # them may launder through .value() (that is what it is for).
+    ("index-domain", "src/core/report_writer.cpp",
+     "void f(std::vector<double>& rows, TaskId t) {\n"
+     "  rows[t.value()] = 1.0;\n"
+     "}"),
+    # Widening 32 -> 64 is always safe.
+    ("narrowing-overflow", "src/sim/widen.cpp",
+     "void f(int lanes) {\n"
+     "  const std::int64_t wide = lanes;\n"
+     "}"),
+    # A 64-bit multiply operand makes the product 64-bit before the store.
+    ("narrowing-overflow", "src/sim/wide_mul.cpp",
+     "void f(std::int64_t lanes, int stride) {\n"
+     "  const std::int64_t off = lanes * stride;\n"
+     "}"),
+    # Setup loops over tasks (not realizations) may allocate.
+    ("alloc-in-hot-loop", "src/sim/setup.cpp",
+     "void f(std::size_t n, std::vector<int>& order) {\n"
+     "  for (std::size_t t = 0; t < n; ++t) {\n"
+     "    order.push_back(0);\n"
+     "  }\n"
+     "}"),
+    # Hot-loop allocation outside src/sim and src/ga is other rules' business.
+    ("alloc-in-hot-loop", "src/core/report_writer.cpp",
+     "void f(std::size_t realizations, std::vector<double>& out) {\n"
+     "  for (std::size_t rep = 0; rep < realizations; ++rep) {\n"
+     "    out.push_back(0.0);\n"
+     "  }\n"
+     "}"),
 ]
 
 
@@ -1378,6 +1706,20 @@ def run_self_test():
     check("comments/strings are not matched",
           not run_snippet("src/core/x.cpp", inert))
 
+    # --json document: stable key order, parseable, stale entries listed.
+    doc = json.loads(findings_to_json(
+        [Finding("src/a.cpp", 3, "index-domain", "m")],
+        ["src/b.cpp:rng-discipline"], 2))
+    check("json top-level key order is stable",
+          list(doc.keys()) == ["version", "files", "status", "findings",
+                               "stale_baseline"])
+    check("json finding key order is stable",
+          list(doc["findings"][0].keys()) == ["path", "line", "rule",
+                                              "message"])
+    check("json carries stale baseline entries",
+          doc["stale_baseline"] == ["src/b.cpp:rng-discipline"] and
+          doc["status"] == "findings")
+
     if failures:
         for f in failures:
             print(f"SELF-TEST FAIL: {f}")
@@ -1406,6 +1748,9 @@ def main(argv):
                              "(default: tools/rts_analyze_baseline.txt)")
     parser.add_argument("--output", type=Path, default=None,
                         help="also write findings to this file")
+    parser.add_argument("--json", type=Path, default=None, dest="json_output",
+                        help="write findings as JSON (stable key order) "
+                             "to this file")
     parser.add_argument("--list-files", action="store_true")
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule trips on seeded faults and "
@@ -1437,7 +1782,8 @@ def main(argv):
             print(f"rts_analyze: no such path: {p}", file=sys.stderr)
             return 2
     return analyze(paths, cc, baseline, args.frontend, root,
-                   output=args.output, list_files=args.list_files)
+                   output=args.output, json_output=args.json_output,
+                   list_files=args.list_files)
 
 
 if __name__ == "__main__":
