@@ -1,0 +1,373 @@
+// rts_loadgen — closed-trace load generator for rts_serve --listen.
+//
+// Replays a request trace (the same newline-delimited format rts_serve
+// accepts) against a loopback rts_serve socket at a target aggregate request
+// rate, spread over N concurrent connections, and reports sustained
+// throughput plus end-to-end latency quantiles (p50/p95/p99/max, measured
+// from enqueue to response line).
+//
+// Emits BENCH_serve.json — a recorded baseline, not a CI gate (shared CI
+// runners are too noisy for a throughput threshold). The harness FAILS
+// (non-zero exit) if any connection loses a response: the server promises
+// exactly one response line per request line, in per-connection order —
+// that part is a correctness gate, noise-free by construction.
+//
+// Usage:
+//   rts_loadgen --port P [--trace FILE] [--connections N] [--rps R]
+//               [--requests N] [--json PATH] [--smoke]
+//
+//   --port P          rts_serve --listen port (or --port-file FILE)
+//   --trace FILE      request lines to replay, cycled as needed
+//   --rps R           target aggregate requests/sec (0 = unthrottled)
+//   --requests N      total requests across all connections
+//   --smoke shrinks the workload so CI finishes in seconds.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/serve_protocol.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  int port = -1;
+  std::string port_file;
+  std::string trace_path;
+  std::size_t connections = 4;
+  double rps = 200.0;  // aggregate target; 0 = unthrottled
+  std::size_t requests = 200;
+  std::string json_path = "BENCH_serve.json";
+  bool smoke = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      o.port = std::stoi(next());
+    } else if (arg == "--port-file") {
+      o.port_file = next();
+    } else if (arg == "--trace") {
+      o.trace_path = next();
+    } else if (arg == "--connections") {
+      o.connections = std::stoul(next());
+    } else if (arg == "--rps") {
+      o.rps = std::stod(next());
+    } else if (arg == "--requests") {
+      o.requests = std::stoul(next());
+    } else if (arg == "--json") {
+      o.json_path = next();
+    } else if (arg == "--smoke") {
+      o.smoke = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (o.smoke) {
+    o.connections = std::min<std::size_t>(o.connections, 2);
+    o.requests = std::min<std::size_t>(o.requests, 40);
+    if (o.rps > 0.0) o.rps = std::min(o.rps, 100.0);
+  }
+  if (!o.port_file.empty() && o.port < 0) {
+    std::ifstream pf(o.port_file);
+    if (!(pf >> o.port)) {
+      std::cerr << "cannot read port from " << o.port_file << "\n";
+      std::exit(2);
+    }
+  }
+  if (o.port < 0 || o.port > 65535) {
+    std::cerr << "need --port (or --port-file) in [0, 65535]\n";
+    std::exit(2);
+  }
+  if (o.connections == 0 || o.requests == 0) {
+    std::cerr << "--connections and --requests must be positive\n";
+    std::exit(2);
+  }
+  return o;
+}
+
+/// Payload request lines of the trace (blank/comment lines carry no job and
+/// would skew the request/response accounting, so they are dropped here).
+std::vector<std::string> load_trace(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "cannot open trace file: " << path << "\n";
+    std::exit(2);
+  }
+  for (std::string line; std::getline(in, line);) {
+    if (const auto payload = rts::strip_request_line(line)) {
+      lines.emplace_back(*payload);
+    }
+  }
+  if (lines.empty()) {
+    std::cerr << "trace file has no request lines: " << path << "\n";
+    std::exit(2);
+  }
+  return lines;
+}
+
+struct ConnReport {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t sent = 0;
+  bool error = false;
+  std::string error_text;
+};
+
+/// One connection's closed-loop replay: paced sends, framed reads, FIFO
+/// request→response latency matching (responses arrive in submission order).
+void run_connection(int port, const std::vector<std::string>& trace,
+                    std::size_t conn_index, std::size_t connections,
+                    std::size_t total_requests, double rps,
+                    Clock::time_point epoch, ConnReport& report) {
+  const auto fail = [&report](const std::string& what) {
+    report.error = true;
+    report.error_text = what + ": " + std::strerror(errno);
+  };
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail("connect");
+  }
+
+  // Requests are dealt round-robin: this connection owns trace slots
+  // conn_index, conn_index + connections, ... Request k (globally) is due at
+  // epoch + k/rps, which paces the aggregate stream at the target rate.
+  std::vector<std::size_t> mine;
+  for (std::size_t k = conn_index; k < total_requests; k += connections) {
+    mine.push_back(k);
+  }
+
+  rts::LineFramer framer;
+  std::deque<Clock::time_point> sent_at;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  std::size_t next_req = 0;
+  std::uint64_t responses = 0;
+  const std::uint64_t expected = mine.size();
+  bool write_done = false;
+
+  while (responses < expected) {
+    const Clock::time_point now = Clock::now();
+    int timeout_ms = -1;
+    if (next_req < mine.size()) {
+      const double due_s =
+          rps > 0.0 ? static_cast<double>(mine[next_req]) / rps : 0.0;
+      const auto due = epoch + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(due_s));
+      if (due <= now) {
+        const std::string& line = trace[mine[next_req] % trace.size()];
+        outbuf.append(line);
+        outbuf.push_back('\n');
+        sent_at.push_back(now);
+        ++report.sent;
+        ++next_req;
+        timeout_ms = 0;  // poll once, keep sending anything else due
+      } else {
+        timeout_ms = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(due - now)
+                .count() +
+            1);
+      }
+    } else if (!write_done && out_off >= outbuf.size()) {
+      // Everything sent and flushed: half-close so the server sees EOF once
+      // the last response round-trips.
+      ::shutdown(fd, SHUT_WR);
+      write_done = true;
+    }
+
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (out_off < outbuf.size()) pfd.events |= POLLOUT;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail("poll");
+    }
+
+    if ((pfd.revents & POLLOUT) != 0 && out_off < outbuf.size()) {
+      const ssize_t n = ::send(fd, outbuf.data() + out_off,
+                               outbuf.size() - out_off, MSG_NOSIGNAL);
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        ::close(fd);
+        return fail("send");
+      }
+      if (n > 0) {
+        out_off += static_cast<std::size_t>(n);
+        if (out_off >= outbuf.size()) {
+          outbuf.clear();
+          out_off = 0;
+        }
+      }
+    }
+
+    if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      char buf[16 * 1024];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+        ::close(fd);
+        return fail("recv");
+      }
+      if (n == 0) break;  // server closed before all responses arrived
+      framer.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                  [&](std::string_view line, rts::FrameStatus status) {
+                    if (status != rts::FrameStatus::kLine) return;
+                    if (sent_at.empty()) return;  // unexpected extra line
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - sent_at.front())
+                            .count();
+                    sent_at.pop_front();
+                    ++responses;
+                    report.latencies_ms.push_back(ms);
+                    if (line.find("\"status\":\"ok\"") != std::string_view::npos) {
+                      ++report.ok;
+                    } else if (line.find("\"status\":\"rejected\"") !=
+                               std::string_view::npos) {
+                      ++report.rejected;
+                    } else {
+                      ++report.failed;
+                    }
+                  });
+    }
+  }
+  ::close(fd);
+  if (responses < expected) {
+    report.error = true;
+    report.error_text = "lost responses: got " + std::to_string(responses) +
+                        " of " + std::to_string(expected);
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+
+  std::vector<std::string> trace;
+  if (!opts.trace_path.empty()) {
+    trace = load_trace(opts.trace_path);
+  } else {
+    std::cerr << "need --trace FILE (request lines to replay)\n";
+    return 2;
+  }
+
+  std::vector<ConnReport> reports(opts.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(opts.connections);
+  const Clock::time_point epoch = Clock::now();
+  for (std::size_t c = 0; c < opts.connections; ++c) {
+    threads.emplace_back([&, c] {
+      run_connection(opts.port, trace, c, opts.connections, opts.requests,
+                     opts.rps, epoch, reports[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - epoch).count();
+
+  std::vector<double> latencies;
+  std::uint64_t ok = 0, failed = 0, rejected = 0, sent = 0;
+  bool errors = false;
+  for (const ConnReport& r : reports) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    ok += r.ok;
+    failed += r.failed;
+    rejected += r.rejected;
+    sent += r.sent;
+    if (r.error) {
+      errors = true;
+      std::cerr << "FAIL: " << r.error_text << "\n";
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::uint64_t responses = ok + failed + rejected;
+  const double throughput =
+      elapsed_s > 0.0 ? static_cast<double>(responses) / elapsed_s : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+  const double max_ms = latencies.empty() ? 0.0 : latencies.back();
+
+  std::cout << "rts_loadgen: port=" << opts.port
+            << " connections=" << opts.connections << " target_rps=" << opts.rps
+            << " requests=" << opts.requests << (opts.smoke ? " (smoke)" : "")
+            << "\n"
+            << "  sent " << sent << ", responses " << responses << " (ok=" << ok
+            << " failed=" << failed << " rejected=" << rejected << ") in "
+            << elapsed_s << " s\n"
+            << "  throughput " << throughput << " responses/s\n"
+            << "  latency ms: p50=" << p50 << " p95=" << p95 << " p99=" << p99
+            << " max=" << max_ms << "\n";
+
+  std::ofstream json(opts.json_path);
+  json << "{\n"
+       << "  \"bench\": \"rts_loadgen\",\n"
+       << "  \"connections\": " << opts.connections << ",\n"
+       << "  \"target_rps\": " << opts.rps << ",\n"
+       << "  \"requests\": " << opts.requests << ",\n"
+       << "  \"responses\": " << responses << ",\n"
+       << "  \"ok\": " << ok << ",\n"
+       << "  \"failed\": " << failed << ",\n"
+       << "  \"rejected\": " << rejected << ",\n"
+       << "  \"smoke\": " << (opts.smoke ? "true" : "false") << ",\n"
+       << "  \"elapsed_sec\": " << elapsed_s << ",\n"
+       << "  \"throughput_rps\": " << throughput << ",\n"
+       << "  \"p50_latency_ms\": " << p50 << ",\n"
+       << "  \"p95_latency_ms\": " << p95 << ",\n"
+       << "  \"p99_latency_ms\": " << p99 << ",\n"
+       << "  \"max_latency_ms\": " << max_ms << ",\n"
+       << "  \"no_lost_responses\": " << (errors ? "false" : "true") << "\n"
+       << "}\n";
+  std::cout << "wrote " << opts.json_path << "\n";
+  return errors ? 1 : 0;
+}

@@ -1,0 +1,303 @@
+#include "net/epoll_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+namespace {
+
+// epoll_event.data.u64 slots for the server's own fds; connection ids start
+// above these so a stale event for a destroyed connection can never collide.
+constexpr std::uint64_t kListenSlot = 0;
+constexpr std::uint64_t kWakeSlot = 1;
+constexpr std::uint64_t kDrainSlot = 2;
+constexpr std::uint64_t kFirstConnId = 3;
+
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
+
+[[noreturn]] void throw_errno(const char* what) {
+  RTS_ENSURE(false, std::string(what) + ": " + std::strerror(errno));
+  // RTS_ENSURE(false, ...) always throws; this quiets the [[noreturn]] check.
+  throw std::logic_error("unreachable");
+}
+
+void add_to_epoll(int epoll_fd, int fd, std::uint64_t slot, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = slot;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+}
+
+}  // namespace
+
+EpollServer::EpollServer(std::uint16_t port, Callbacks callbacks)
+    : callbacks_(std::move(callbacks)), next_id_(kFirstConnId) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("eventfd(wake)");
+  drain_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (drain_fd_ < 0) throw_errno("eventfd(drain)");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int enable = 1;
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                   sizeof(enable)) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback-only by design
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  add_to_epoll(epoll_fd_, listen_fd_, kListenSlot, EPOLLIN);
+  add_to_epoll(epoll_fd_, wake_fd_, kWakeSlot, EPOLLIN);
+  add_to_epoll(epoll_fd_, drain_fd_, kDrainSlot, EPOLLIN);
+}
+
+EpollServer::~EpollServer() {
+  for (auto& [id, conn] : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (drain_fd_ >= 0) ::close(drain_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollServer::run() {
+  running_ = true;
+  epoll_event events[64];
+  while (running_) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n && running_; ++i) {
+      const std::uint64_t slot = events[i].data.u64;
+      const std::uint32_t mask = events[i].events;
+      if (slot == kListenSlot) {
+        handle_accept();
+        continue;
+      }
+      if (slot == kWakeSlot) {
+        std::uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &counter, sizeof(counter));
+        drain_posted();
+        continue;
+      }
+      if (slot == kDrainSlot) {
+        std::uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(drain_fd_, &counter, sizeof(counter));
+        if (!drain_seen_) {
+          drain_seen_ = true;
+          stop_accepting();
+          if (callbacks_.on_drain) callbacks_.on_drain();
+        }
+        continue;
+      }
+      // A connection event. The id lookup also shields against stale events
+      // for a connection destroyed earlier in this same batch.
+      if (connections_.find(slot) == connections_.end()) continue;
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        // EPOLLHUP means both directions are gone (a plain half-close
+        // surfaces as EPOLLIN + read()==0 instead) — nothing more can be
+        // written, so flushing is pointless. Tear down.
+        destroy(slot);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) handle_readable(slot);
+      if (connections_.find(slot) == connections_.end()) continue;
+      if ((mask & EPOLLOUT) != 0) handle_writable(slot);
+    }
+  }
+}
+
+void EpollServer::handle_accept() {
+  // Accept everything ready: level-triggered EPOLLIN would re-arm anyway,
+  // but draining the backlog here saves wakeups under a connection burst.
+  while (listen_fd_ >= 0) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == ECONNABORTED || errno == EINTR) continue;
+      throw_errno("accept4");
+    }
+    const ConnId id = next_id_++;
+    Connection conn;
+    conn.id = id;
+    conn.fd = fd;
+    conn.events = EPOLLIN;
+    add_to_epoll(epoll_fd_, fd, id, EPOLLIN);
+    connections_.emplace(id, std::move(conn));
+    if (callbacks_.on_accept) callbacks_.on_accept(id);
+  }
+}
+
+void EpollServer::handle_readable(ConnId id) {
+  char buf[kReadChunkBytes];
+  while (true) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) return;  // a callback closed it mid-read
+    const ssize_t n = ::recv(it->second.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (callbacks_.on_data) {
+        callbacks_.on_data(id, std::string_view(buf, static_cast<std::size_t>(n)));
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Orderly EOF: the peer finished sending but may still be reading our
+      // responses. Stop polling for input; the policy decides when to close.
+      disable_reads(id);
+      if (callbacks_.on_eof) callbacks_.on_eof(id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    destroy(id);  // ECONNRESET and friends: abrupt disconnect
+    return;
+  }
+}
+
+void EpollServer::handle_writable(ConnId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  flush(id, it->second);
+}
+
+void EpollServer::send(ConnId id, std::string_view data) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  conn.out.append(data);
+  flush(id, conn);
+}
+
+void EpollServer::flush(ConnId id, Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      update_interest(conn, conn.events | EPOLLOUT);
+      return;
+    }
+    if (errno == EINTR) continue;
+    destroy(id);  // EPIPE/ECONNRESET: the peer is gone, drop the buffer
+    return;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  update_interest(conn, conn.events & ~static_cast<std::uint32_t>(EPOLLOUT));
+  if (conn.close_after_flush) destroy(id);
+}
+
+void EpollServer::close_after_flush(ConnId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  if (conn.out_offset >= conn.out.size()) {
+    destroy(id);
+    return;
+  }
+  conn.close_after_flush = true;
+}
+
+void EpollServer::close_now(ConnId id) {
+  if (connections_.find(id) != connections_.end()) destroy(id);
+}
+
+void EpollServer::disable_reads(ConnId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  update_interest(it->second, it->second.events & ~static_cast<std::uint32_t>(EPOLLIN));
+}
+
+void EpollServer::update_interest(Connection& conn, std::uint32_t events) {
+  if (events == conn.events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) != 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+  conn.events = events;
+}
+
+void EpollServer::destroy(ConnId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  // close() removes the fd from the epoll interest list implicitly.
+  ::close(it->second.fd);
+  connections_.erase(it);
+  if (callbacks_.on_closed) callbacks_.on_closed(id);
+}
+
+void EpollServer::stop_accepting() {
+  if (listen_fd_ < 0) return;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void EpollServer::post(std::function<void()> fn) {
+  {
+    const LockGuard lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EpollServer::request_drain() noexcept {
+  // Async-signal-safe: one write(2) to an eventfd, no locks, no allocation.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(drain_fd_, &one, sizeof(one));
+}
+
+void EpollServer::drain_posted() {
+  std::deque<std::function<void()>> batch;
+  {
+    const LockGuard lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+}  // namespace rts

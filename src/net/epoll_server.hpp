@@ -1,0 +1,142 @@
+#pragma once
+// Single-threaded, non-blocking TCP front end built on epoll.
+//
+// EpollServer owns the listening socket, the epoll instance, and every
+// accepted connection's fds and write buffers. It knows nothing about the
+// request protocol: a transport policy object (ServeServer) plugs in through
+// the Callbacks struct and drives replies through send()/close_after_flush().
+//
+// Threading model — one loop thread, two doors in:
+//   * every callback fires on the loop thread (the thread inside run()), and
+//     send()/close_*/stop()/stop_accepting()/disable_reads() may only be
+//     called from there (i.e. from inside a callback);
+//   * post(fn) is the thread-safe door: any thread may hand the loop a
+//     closure, which runs on the loop thread on its next wakeup (an eventfd
+//     makes epoll_wait return). Worker threads deliver job results this way;
+//   * request_drain() is the async-signal-safe door: a single eventfd write,
+//     callable from a SIGTERM handler. The loop answers by closing the listen
+//     socket (no new connections) and invoking on_drain exactly once; the
+//     policy layer decides how to wind down from there.
+//
+// Backpressure: send() appends to a per-connection buffer and writes what the
+// socket accepts immediately; the remainder drains under EPOLLOUT, so a slow
+// reader never blocks the loop. Reads are level-triggered EPOLLIN, consumed
+// in bounded chunks; disable_reads() lets the policy stop consuming (drain
+// mode) without closing the socket.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace rts {
+
+class EpollServer {
+ public:
+  /// Identifies one accepted connection across callbacks. Never reused within
+  /// a server's lifetime.
+  using ConnId = std::uint64_t;
+
+  /// Protocol hooks, all invoked on the loop thread. Any of them may be left
+  /// empty. on_closed fires exactly once per accepted connection, whatever
+  /// the cause (peer reset, close_now, close_after_flush completion).
+  struct Callbacks {
+    std::function<void(ConnId)> on_accept;
+    std::function<void(ConnId, std::string_view)> on_data;
+    /// Peer half-closed its write side (orderly EOF). The connection stays
+    /// open for writing until the policy closes it.
+    std::function<void(ConnId)> on_eof;
+    std::function<void(ConnId)> on_closed;
+    /// request_drain() was observed; the listen socket is already closed.
+    std::function<void()> on_drain;
+  };
+
+  /// Binds a loopback listener on `port` (0 = ephemeral, see port()).
+  /// Throws on any socket/bind/listen/epoll failure.
+  EpollServer(std::uint16_t port, Callbacks callbacks);
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Run the event loop on the calling thread until stop().
+  void run();
+
+  // ---- loop-thread-only surface (call from inside callbacks) ----
+
+  /// Queue bytes to `id` and flush as much as the socket accepts now; the
+  /// rest drains under EPOLLOUT. No-op for an unknown/closed id.
+  void send(ConnId id, std::string_view data);
+
+  /// Close once the write buffer has fully drained (immediately if empty).
+  void close_after_flush(ConnId id);
+
+  /// Close immediately, dropping any unflushed output.
+  void close_now(ConnId id);
+
+  /// Stop reading from `id` (EPOLLIN off); buffered output still drains.
+  void disable_reads(ConnId id);
+
+  /// Close the listen socket; existing connections are untouched. Idempotent.
+  void stop_accepting();
+
+  /// Make run() return after the current callback completes.
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return connections_.size();
+  }
+  [[nodiscard]] bool accepting() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] bool draining() const noexcept { return drain_seen_; }
+
+  // ---- cross-thread surface ----
+
+  /// Run `fn` on the loop thread at its next wakeup. Thread-safe.
+  void post(std::function<void()> fn) RTS_EXCLUDES(post_mutex_);
+
+  /// Request graceful drain. Async-signal-safe (one eventfd write, no
+  /// locks, no allocation) — safe to call from a signal handler.
+  void request_drain() noexcept;
+
+ private:
+  struct Connection {
+    ConnId id = 0;
+    int fd = -1;
+    std::string out;             ///< pending output (unflushed suffix)
+    std::size_t out_offset = 0;  ///< bytes of `out` already written
+    std::uint32_t events = 0;    ///< current epoll interest mask
+    bool close_after_flush = false;
+  };
+
+  void handle_accept();
+  void handle_readable(ConnId id);
+  void handle_writable(ConnId id);
+  void destroy(ConnId id);
+  void flush(ConnId id, Connection& conn);
+  void update_interest(Connection& conn, std::uint32_t events);
+  void drain_posted() RTS_EXCLUDES(post_mutex_);
+
+  Callbacks callbacks_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;   ///< eventfd: post() queue has work
+  int drain_fd_ = -1;  ///< eventfd: request_drain() fired (signal-safe door)
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+  bool drain_seen_ = false;
+  ConnId next_id_;
+  std::unordered_map<ConnId, Connection> connections_;
+
+  Mutex post_mutex_;
+  std::deque<std::function<void()>> posted_ RTS_GUARDED_BY(post_mutex_);
+};
+
+}  // namespace rts

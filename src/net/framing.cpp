@@ -1,0 +1,70 @@
+#include "net/framing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rts {
+
+LineFramer::LineFramer(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes) {
+  RTS_REQUIRE(max_line_bytes >= 1, "line framer needs max_line_bytes >= 1");
+  buffer_.reserve(std::min<std::size_t>(max_line_bytes, 4096));
+}
+
+void LineFramer::emit(const Sink& sink) {
+  std::string_view line(buffer_);
+  if (discarding_) {
+    // The line already overflowed and was reported when it crossed the
+    // bound; the newline just ends the discard window.
+    discarding_ = false;
+    buffer_.clear();
+    return;
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  sink(line, FrameStatus::kLine);
+  buffer_.clear();
+}
+
+void LineFramer::feed(std::string_view chunk, const Sink& sink) {
+  while (!chunk.empty()) {
+    const std::size_t newline = chunk.find('\n');
+    const std::string_view piece =
+        newline == std::string_view::npos ? chunk : chunk.substr(0, newline);
+
+    if (discarding_) {
+      // Swallow the remainder of an already-reported overlong line.
+    } else if (buffer_.size() + piece.size() > max_line_bytes_) {
+      // Crossing the bound: report once with a clipped prefix, then discard
+      // until the next newline. The preview keeps enough of the line for a
+      // useful diagnostic without retaining the oversized payload.
+      buffer_.append(piece.substr(
+          0, std::min(piece.size(), max_line_bytes_ - buffer_.size())));
+      ++overlong_lines_;
+      sink(std::string_view(buffer_).substr(
+               0, std::min(buffer_.size(), kOverlongPreviewBytes)),
+           FrameStatus::kOverlong);
+      buffer_.clear();
+      discarding_ = true;
+    } else {
+      buffer_.append(piece);
+    }
+
+    if (newline == std::string_view::npos) return;  // chunk exhausted mid-line
+    emit(sink);
+    chunk.remove_prefix(newline + 1);
+  }
+}
+
+void LineFramer::finish(const Sink& sink) {
+  if (discarding_) {
+    // The overlong line was already reported; EOF just ends the discard.
+    discarding_ = false;
+    buffer_.clear();
+    return;
+  }
+  if (buffer_.empty()) return;
+  emit(sink);
+}
+
+}  // namespace rts

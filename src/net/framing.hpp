@@ -1,0 +1,86 @@
+#pragma once
+// Newline-delimited request framing shared by every request path.
+//
+// Both front ends of rts_serve — the batch file reader and the socket
+// transport — speak the same wire format: one request per line. Before this
+// helper existed each path re-implemented line splitting with subtly
+// different behavior (std::getline kept stray '\r' from CRLF files, a final
+// line without a trailing newline was silently dropped on the socket path,
+// and nothing bounded line length, so one malicious or corrupt line could
+// grow a buffer without limit). LineFramer is the single implementation:
+//
+//   * splits on '\n'; a single trailing '\r' is stripped (CRLF tolerated),
+//     a bare '\r' inside a line is payload, not a separator;
+//   * finish() flushes a final line that is missing its trailing newline —
+//     a truncated trace file or a client that shuts down the socket after
+//     the last byte still gets its request seen;
+//   * bounded: a line longer than max_line_bytes is rejected, not buffered —
+//     the framer reports it once (with a clipped prefix for the diagnostic),
+//     swallows bytes until the next '\n', and then resumes normally. Memory
+//     held per connection is therefore O(max_line_bytes) no matter what the
+//     peer sends.
+//
+// Feeding is incremental: chunks can split a line anywhere (byte-fragmented
+// sockets, pipelined batches of many lines per chunk — both are just calls
+// to feed()). Lines are delivered to a sink callback in input order.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace rts {
+
+/// Disposition of one framed line.
+enum class FrameStatus : std::uint8_t {
+  kLine,      ///< a complete line (CR/LF stripped); payload is the full line
+  kOverlong,  ///< line exceeded max_line_bytes; payload is a clipped prefix
+};
+
+class LineFramer {
+ public:
+  /// Default per-line bound. Generous for request lines (a request is a path
+  /// plus a handful of options) while keeping worst-case per-connection
+  /// buffering small.
+  static constexpr std::size_t kDefaultMaxLineBytes = 64 * 1024;
+  /// How much of an overlong line is kept for the diagnostic payload.
+  static constexpr std::size_t kOverlongPreviewBytes = 128;
+
+  /// Sink invoked once per framed line, in input order. For kOverlong the
+  /// view holds at most kOverlongPreviewBytes of the line's prefix.
+  using Sink = std::function<void(std::string_view, FrameStatus)>;
+
+  explicit LineFramer(std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+  /// Consume a chunk, invoking `sink` for every line completed by it.
+  void feed(std::string_view chunk, const Sink& sink);
+
+  /// Flush a final unterminated line (end of file / peer shutdown). Safe to
+  /// call when the buffer is empty; the framer is reusable afterwards.
+  void finish(const Sink& sink);
+
+  /// Total lines delivered with status kOverlong (diagnostic counter).
+  [[nodiscard]] std::uint64_t overlong_lines() const noexcept {
+    return overlong_lines_;
+  }
+
+  /// Bytes currently buffered waiting for a newline (bounded by
+  /// max_line_bytes even mid-overflow).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept {
+    return max_line_bytes_;
+  }
+
+ private:
+  void emit(const Sink& sink);
+
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< swallowing the rest of an overlong line
+  std::uint64_t overlong_lines_ = 0;
+};
+
+}  // namespace rts

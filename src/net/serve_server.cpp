@@ -1,0 +1,188 @@
+#include "net/serve_server.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace rts {
+
+ServeServer::ServeServer(SchedulerService& service,
+                         const ServeServerConfig& config)
+    : service_(service),
+      config_(config),
+      epoll_(config.port,
+             EpollServer::Callbacks{
+                 [this](EpollServer::ConnId id) { on_accept(id); },
+                 [this](EpollServer::ConnId id, std::string_view chunk) {
+                   on_data(id, chunk);
+                 },
+                 [this](EpollServer::ConnId id) { on_eof(id); },
+                 [this](EpollServer::ConnId id) { on_closed(id); },
+                 [this] { on_drain(); },
+             }) {}
+
+void ServeServer::on_accept(EpollServer::ConnId id) {
+  conns_.emplace(id, Conn(config_.max_line_bytes));
+}
+
+void ServeServer::on_data(EpollServer::ConnId id, std::string_view chunk) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  // Frame into an owned batch first: handle_line can synchronously reject a
+  // request, and a rejection's send() can detect a dead peer and destroy the
+  // connection — which owns the framer we would still be iterating inside.
+  std::vector<std::pair<std::string, FrameStatus>> lines;
+  it->second.framer.feed(chunk, [&lines](std::string_view line, FrameStatus s) {
+    lines.emplace_back(std::string(line), s);
+  });
+  for (auto& [line, status] : lines) {
+    if (conns_.find(id) == conns_.end()) return;  // destroyed mid-batch
+    handle_line(id, line, status);
+  }
+}
+
+void ServeServer::on_eof(EpollServer::ConnId id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second.eof = true;
+  // A final request line without a trailing newline still counts (same as
+  // the batch reader hitting end-of-file mid-line).
+  std::vector<std::pair<std::string, FrameStatus>> lines;
+  it->second.framer.finish(
+      [&lines](std::string_view line, FrameStatus s) {
+        lines.emplace_back(std::string(line), s);
+      });
+  for (auto& [line, status] : lines) {
+    if (conns_.find(id) == conns_.end()) return;
+    handle_line(id, line, status);
+  }
+  maybe_close(id);
+}
+
+void ServeServer::on_closed(EpollServer::ConnId id) {
+  // Jobs this connection still has in flight keep running; their responses
+  // are dropped in on_job_done when the id no longer resolves.
+  conns_.erase(id);
+  if (draining_ && conns_.empty()) epoll_.stop();
+}
+
+void ServeServer::on_drain() {
+  draining_ = true;
+  // Stop consuming input everywhere (buffered-but-unframed bytes are
+  // dropped; accepted jobs are not), then close whatever is already idle.
+  std::vector<EpollServer::ConnId> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const EpollServer::ConnId id : ids) epoll_.disable_reads(id);
+  for (const EpollServer::ConnId id : ids) maybe_close(id);
+  if (conns_.empty()) epoll_.stop();
+}
+
+void ServeServer::handle_line(EpollServer::ConnId id, std::string_view line,
+                              FrameStatus status) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+
+  if (status == FrameStatus::kOverlong) {
+    // An overlong line is still a request line: it consumes a job index and
+    // fails, identically in batch and socket mode.
+    const std::uint64_t index = conn.next_index++;
+    deliver(id, index,
+            render_failure_line(index, line,
+                                overlong_line_error(conn.framer.max_line_bytes())));
+    return;
+  }
+
+  const std::optional<std::string_view> payload = strip_request_line(line);
+  if (!payload) return;  // blank/comment: no job index consumed
+  const std::uint64_t index = conn.next_index++;
+
+  if (conn.outstanding >= config_.per_conn_quota) {
+    ++quota_rejected_;
+    deliver(id, index, render_reject_line(index, "quota_exceeded"));
+    return;
+  }
+
+  ParsedRequest parsed;
+  try {
+    parsed = parse_request_line(*payload, problems_);
+  } catch (const std::exception& e) {
+    deliver(id, index, render_failure_line(index, *payload, e.what()));
+    return;
+  }
+
+  const std::string path = parsed.problem_path;
+  const SchedulerService::SubmitOutcome outcome = service_.submit_async(
+      std::move(parsed.request),
+      [this, id, index, path](JobResult&& result) {
+        // Worker thread: render here (pure function of the result), then
+        // bounce the bytes to the loop thread for ordered delivery.
+        std::string rendered;
+        try {
+          rendered = render_result_line(index, path, result);
+        } catch (const std::exception& e) {
+          rendered = render_failure_line(index, path, e.what());
+        }
+        epoll_.post([this, id, index, line = std::move(rendered)]() mutable {
+          on_job_done(id, index, std::move(line));
+        });
+      });
+  switch (outcome) {
+    case SchedulerService::SubmitOutcome::kAccepted:
+      // `conn` is still valid: nothing above this line since the lookup can
+      // destroy a connection.
+      ++conn.outstanding;
+      return;
+    case SchedulerService::SubmitOutcome::kRejectedFull:
+      ++overload_rejected_;
+      deliver(id, index, render_reject_line(index, "overloaded"));
+      return;
+    case SchedulerService::SubmitOutcome::kRejectedClosed:
+      deliver(id, index, render_reject_line(index, "shutting_down"));
+      return;
+  }
+}
+
+void ServeServer::deliver(EpollServer::ConnId id, std::uint64_t index,
+                          std::string line) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second.ready.emplace(index, std::move(line));
+  // Flush the in-order prefix. send() can destroy the connection (peer
+  // reset), so re-resolve the id every round instead of holding a reference.
+  while (true) {
+    const auto cit = conns_.find(id);
+    if (cit == conns_.end()) return;
+    Conn& conn = cit->second;
+    const auto rit = conn.ready.find(conn.next_to_send);
+    if (rit == conn.ready.end()) return;
+    std::string out = std::move(rit->second);
+    out.push_back('\n');
+    conn.ready.erase(rit);
+    ++conn.next_to_send;
+    epoll_.send(id, out);
+  }
+}
+
+void ServeServer::on_job_done(EpollServer::ConnId id, std::uint64_t index,
+                              std::string line) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // client disconnected; drop the response
+  --it->second.outstanding;
+  deliver(id, index, std::move(line));
+  maybe_close(id);
+}
+
+void ServeServer::maybe_close(EpollServer::ConnId id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const Conn& conn = it->second;
+  // Finished = the client is done sending (or we stopped listening to it)
+  // and every response it is owed has been queued to the socket. The
+  // transport then closes after its write buffer drains.
+  if ((conn.eof || draining_) && conn.outstanding == 0 && conn.ready.empty()) {
+    epoll_.close_after_flush(id);
+  }
+}
+
+}  // namespace rts

@@ -1,0 +1,117 @@
+#pragma once
+// ServeServer — the socket front end of rts_serve: plugs the wire protocol
+// (serve_protocol) and request framing (LineFramer) into the epoll transport
+// (EpollServer) and drives jobs through a SchedulerService.
+//
+// Per connection it keeps a framer, a job-index counter, and an in-order
+// delivery window: responses are sent strictly in per-connection request
+// order even though workers finish out of order (a ready map parks early
+// finishers until their turn). Job indexes count exactly the lines that the
+// batch front end would count — blank and comment-only lines consume no
+// index — so for the same request lines the "ok"/"failed" response stream is
+// byte-identical to `rts_serve --requests`.
+//
+// Admission control, two layers:
+//   * per-connection quota: at most `per_conn_quota` jobs in flight per
+//     client; excess lines are answered {"status":"rejected","error":
+//     "quota_exceeded"} without ever reaching the service;
+//   * service queue: submit_async never blocks the loop — a full bounded
+//     queue answers {"status":"rejected","error":"overloaded"}.
+//
+// Graceful drain (SIGTERM → request_drain()): stop accepting connections,
+// stop reading from existing ones, let every job already accepted by the
+// service resolve, flush its response, then close. Bytes that were buffered
+// but not yet framed into an accepted request are dropped — "accepted" means
+// the service took the job, and no accepted job loses its response.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/epoll_server.hpp"
+#include "net/framing.hpp"
+#include "net/serve_protocol.hpp"
+#include "service/scheduler_service.hpp"
+
+namespace rts {
+
+struct ServeServerConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see ServeServer::port()
+  /// Max jobs in flight per connection before quota rejection.
+  std::size_t per_conn_quota = 64;
+  std::size_t max_line_bytes = LineFramer::kDefaultMaxLineBytes;
+};
+
+class ServeServer {
+ public:
+  /// The service must outlive this object, and — because workers deliver
+  /// results via EpollServer::post — service.shutdown() must complete before
+  /// this object is destroyed.
+  ServeServer(SchedulerService& service, const ServeServerConfig& config);
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return epoll_.port(); }
+
+  /// Run the event loop on the calling thread; returns after a drain
+  /// completes (every accepted job's response flushed, every connection
+  /// closed).
+  void run() { epoll_.run(); }
+
+  /// Async-signal-safe graceful-shutdown trigger (wire to SIGTERM).
+  void request_drain() noexcept { epoll_.request_drain(); }
+
+  /// Transport-level rejection counters (read after run() returns, or from
+  /// the loop thread). Folded into ServiceStats by the caller.
+  [[nodiscard]] std::uint64_t quota_rejected() const noexcept {
+    return quota_rejected_;
+  }
+  [[nodiscard]] std::uint64_t overload_rejected() const noexcept {
+    return overload_rejected_;
+  }
+
+ private:
+  struct Conn {
+    explicit Conn(std::size_t max_line_bytes) : framer(max_line_bytes) {}
+    LineFramer framer;
+    std::uint64_t next_index = 0;    ///< job index of the next request line
+    std::uint64_t next_to_send = 0;  ///< job index owed to the client next
+    /// Responses that finished ahead of their turn, keyed by job index.
+    std::map<std::uint64_t, std::string> ready;
+    std::size_t outstanding = 0;  ///< jobs accepted, response not yet queued
+    bool eof = false;
+  };
+
+  void on_accept(EpollServer::ConnId id);
+  void on_data(EpollServer::ConnId id, std::string_view chunk);
+  void on_eof(EpollServer::ConnId id);
+  void on_closed(EpollServer::ConnId id);
+  void on_drain();
+
+  /// Process one framed request line (loop thread).
+  void handle_line(EpollServer::ConnId id, std::string_view line,
+                   FrameStatus status);
+  /// Park a finished response and flush the in-order prefix to the socket.
+  void deliver(EpollServer::ConnId id, std::uint64_t index, std::string line);
+  /// A worker-completed job arriving back on the loop thread.
+  void on_job_done(EpollServer::ConnId id, std::uint64_t index,
+                   std::string line);
+  /// Close the connection if it is finished (EOF or draining, nothing owed).
+  void maybe_close(EpollServer::ConnId id);
+
+  SchedulerService& service_;
+  ServeServerConfig config_;
+  ProblemCache problems_;  ///< loop-thread confined
+  std::unordered_map<EpollServer::ConnId, Conn> conns_;
+  std::uint64_t quota_rejected_ = 0;
+  std::uint64_t overload_rejected_ = 0;
+  bool draining_ = false;
+
+  /// Last member: its callbacks capture `this` and touch the state above.
+  EpollServer epoll_;
+};
+
+}  // namespace rts

@@ -44,11 +44,26 @@ std::optional<QueuedJob> JobQueue::pop() {
   bucket->second.pop_front();
   if (bucket->second.empty()) buckets_.erase(bucket);
   --size_;
+  job.pop_seq = pop_count_++;
   not_full_.notify_one();
   return job;
 }
 
 void JobQueue::close() {
+  // Shutdown-race audit (the close() vs push_wait() lost-wakeup question):
+  // closed_ is written under mutex_, and every waiter's predicate reads it
+  // under the same mutex — condition_variable_any re-checks the predicate
+  // with the lock held before blocking, and its internal mutex serializes
+  // the unlock-and-sleep step against notification. A producer is therefore
+  // either (a) not yet waiting, in which case its predicate check observes
+  // closed_ == true and it never blocks, or (b) already parked, in which
+  // case the notify_all below is ordered after its sleep and wakes it. The
+  // notifications may run after mutex_ is released — that is the standard
+  // (and slightly cheaper) pattern and does not reopen the race, precisely
+  // because waiters cannot be between "predicate false" and "asleep" while
+  // close() holds the mutex. Producers woken here return kRejectedClosed
+  // without needing any consumer to pop (no handoff through not_full_), so
+  // close() alone is sufficient to release them promptly.
   {
     const LockGuard lock(mutex_);
     closed_ = true;

@@ -29,6 +29,12 @@ struct QueuedJob {
   std::uint64_t job_id = 0;
   JobRequest request;
   Digest key;  ///< job_digest, computed once at submit time
+  /// Global pop order, stamped by pop() under the queue mutex: the i-th job
+  /// ever popped (across all consumer threads) carries pop_seq == i. The
+  /// scheduler service serializes its cache/coalescing triage in this order
+  /// so leader election stays deterministic for any worker count — see the
+  /// triage turnstile in scheduler_service.cpp.
+  std::uint64_t pop_seq = 0;
 };
 
 /// Outcome of a push attempt.
@@ -51,6 +57,16 @@ class JobQueue {
 
   /// Blocking admission: waits for space. Returns kAccepted or
   /// kRejectedClosed (never kRejectedFull).
+  ///
+  /// Shutdown protocol (audited — see the note on close()): a producer
+  /// blocked here when close() fires is released promptly and observes
+  /// kRejectedClosed even if no consumer ever pops again; a producer that
+  /// already pushed before close() has its job drained by the consumers.
+  /// There is no window in which a producer stays parked after close() or
+  /// in which an accepted job is dropped.
+  /// tests/service/test_stress.cpp (CloseReleasesProducersBlockedOnFullQueue)
+  /// pins the no-lost-wakeup half; CloseRacingProducersNeverLosesAcceptedJobs
+  /// pins the no-lost-job half.
   PushOutcome push_wait(QueuedJob job) RTS_EXCLUDES(mutex_);
 
   /// Blocking removal of the highest-priority, oldest job. Returns nullopt
@@ -74,6 +90,7 @@ class JobQueue {
   /// priority -> FIFO of jobs at that priority; highest priority first.
   std::map<int, std::deque<QueuedJob>, std::greater<>> buckets_ RTS_GUARDED_BY(mutex_);
   std::size_t size_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pop_count_ RTS_GUARDED_BY(mutex_) = 0;  ///< next pop_seq stamp
   bool closed_ RTS_GUARDED_BY(mutex_) = false;
 };
 

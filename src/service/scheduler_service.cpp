@@ -56,37 +56,59 @@ std::size_t SchedulerService::worker_count() const noexcept {
   return pool_->worker_count();
 }
 
-std::optional<std::future<JobResult>> SchedulerService::submit(JobRequest request) {
+PushOutcome SchedulerService::admit(JobRequest&& request, Completion&& completion,
+                                    bool blocking,
+                                    std::future<JobResult>* future_out) {
   RTS_REQUIRE(request.problem != nullptr, "job request needs a problem instance");
   const Digest key = job_digest(*request.problem, request.config);
 
-  // The promise must be registered before the job is queued — a worker may
-  // pop it immediately — and deregistered again if admission rejects it.
+  // The completion must be registered before the job is queued — a worker
+  // may pop it immediately — and deregistered again if admission rejects it.
   std::uint64_t job_id = 0;
-  std::future<JobResult> future;
   {
     const LockGuard lock(mutex_);
+    ++submitted_;  // every attempt counts; rejection is a disposition of it
     job_id = next_job_id_++;
-    auto [it, inserted] = promises_.try_emplace(job_id);
+    auto [it, inserted] = completions_.try_emplace(job_id, std::move(completion));
     RTS_ENSURE(inserted, "duplicate job id");
-    future = it->second.get_future();
+    if (future_out != nullptr) *future_out = it->second.promise.get_future();
   }
 
-  QueuedJob job{job_id, std::move(request), key};
-  const PushOutcome outcome = config_.block_when_full
-                                  ? queue_.push_wait(std::move(job))
-                                  : queue_.try_push(std::move(job));
-  const LockGuard lock(mutex_);
+  QueuedJob job{job_id, std::move(request), key, 0};
+  const PushOutcome outcome = blocking ? queue_.push_wait(std::move(job))
+                                       : queue_.try_push(std::move(job));
   if (outcome != PushOutcome::kAccepted) {
-    promises_.erase(job_id);
+    const LockGuard lock(mutex_);
+    completions_.erase(job_id);
     ++rejected_;
-    return std::nullopt;
   }
-  ++submitted_;
+  return outcome;
+}
+
+std::optional<std::future<JobResult>> SchedulerService::submit(JobRequest request) {
+  std::future<JobResult> future;
+  const PushOutcome outcome =
+      admit(std::move(request), Completion{}, config_.block_when_full, &future);
+  if (outcome != PushOutcome::kAccepted) return std::nullopt;
   return future;
 }
 
-void SchedulerService::resolve(std::promise<JobResult>& promise, JobResult&& result) {
+SchedulerService::SubmitOutcome SchedulerService::submit_async(
+    JobRequest request, std::function<void(JobResult&&)> on_done) {
+  RTS_REQUIRE(static_cast<bool>(on_done), "submit_async needs a completion callback");
+  Completion completion;
+  completion.callback = std::move(on_done);
+  const PushOutcome outcome = admit(std::move(request), std::move(completion),
+                                    /*blocking=*/false, nullptr);
+  switch (outcome) {
+    case PushOutcome::kAccepted: return SubmitOutcome::kAccepted;
+    case PushOutcome::kRejectedFull: return SubmitOutcome::kRejectedFull;
+    case PushOutcome::kRejectedClosed: return SubmitOutcome::kRejectedClosed;
+  }
+  RTS_ENSURE(false, "unreachable push outcome");
+}
+
+void SchedulerService::resolve(Completion& completion, JobResult&& result) {
   latency_.record(result.latency_ms);
   {
     const LockGuard lock(mutex_);
@@ -96,7 +118,11 @@ void SchedulerService::resolve(std::promise<JobResult>& promise, JobResult&& res
       ++failed_;
     }
   }
-  promise.set_value(std::move(result));
+  if (completion.callback) {
+    completion.callback(std::move(result));
+  } else {
+    completion.promise.set_value(std::move(result));
+  }
 }
 
 void SchedulerService::handle_job(QueuedJob&& job, std::size_t worker_index) {
@@ -107,43 +133,67 @@ void SchedulerService::handle_job(QueuedJob&& job, std::size_t worker_index) {
         .count();
   };
 
-  std::promise<JobResult> promise;
-  {
-    const LockGuard lock(mutex_);
-    auto node = promises_.extract(job.job_id);
-    RTS_ENSURE(!node.empty(), "queued job has no registered promise");
-    promise = std::move(node.mapped());
-  }
-
   JobResult result;
   result.job_id = job.job_id;
   result.key = job.key;
 
-  // Triage under one mutex_ hold. The coalescing invariant is that a digest
-  // is *either* in-flight *or* (on success) in the cache, never in a gap
-  // between the two — the leader publishes its result and retires the
-  // in-flight entry under the same lock below. Checking the cache and the
-  // in-flight table in two separate critical sections (as an earlier
-  // revision did) leaves a window where a duplicate misses the cache, then
-  // finds the leader already gone, and re-solves — reporting a second
-  // cache_hit=false for the digest and breaking the thread-count-invariance
-  // contract. tests/service/test_stress.cpp pins this down.
+  // Triage under one mutex_ hold, entered in pop order. Two invariants:
+  //
+  // 1. Coalescing atomicity: a digest is *either* in-flight *or* (on
+  //    success) in the cache, never in a gap between the two — the leader
+  //    publishes its result and retires the in-flight entry under the same
+  //    lock below. Checking the cache and the in-flight table in two
+  //    separate critical sections (as an earlier revision did) leaves a
+  //    window where a duplicate misses the cache, then finds the leader
+  //    already gone, and re-solves — reporting a second cache_hit=false for
+  //    the digest. tests/service/test_stress.cpp pins this down.
+  //
+  // 2. Deterministic leader election: triage admits jobs in QueuedJob::
+  //    pop_seq order (this turnstile). Without it, two workers could pop
+  //    duplicates in queue order but reach this lock in the *opposite*
+  //    order, electing the later-popped job as the solving leader — a race
+  //    that intermittently flipped cache_hit between otherwise identical
+  //    runs (seen as a flake in SchedulerService.HundredJobsOnFourWorkers-
+  //    MatchSingleThreadedReference) and broke rts_serve's byte-identical
+  //    output across --threads. The wait is short: every popped job reaches
+  //    triage without blocking on anything else first, so the turnstile
+  //    serializes only the map/cache bookkeeping, never a solve.
   std::optional<SolveSummary> cached;
+  Completion completion;
   {
-    const LockGuard lock(mutex_);
+    UniqueLock lock(mutex_);
+    triage_turn_.wait(lock, [this, &job] {
+      mutex_.assert_held();
+      return triage_next_ == job.pop_seq;
+    });
+    auto node = completions_.extract(job.job_id);
+    RTS_ENSURE(!node.empty(), "queued job has no registered completion");
+    completion = std::move(node.mapped());
+
+    const auto release_turnstile = [this] {
+      mutex_.assert_held();
+      ++triage_next_;
+      triage_turn_.notify_all();
+    };
     if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
       // Coalescing: an identical request is being solved right now on
-      // another worker. Park this job's promise with the leader and return —
-      // the worker is free for the next job, and the leader resolves us on
-      // completion.
-      it->second.followers.emplace_back(job.job_id, std::move(promise));
+      // another worker. Park this job's completion with the leader and
+      // return — the worker is free for the next job, and the leader
+      // resolves us on completion.
+      it->second.followers.emplace_back(job.job_id, std::move(completion));
+      ++coalesced_;
+      release_turnstile();
       return;
     }
     cached = cache_.lookup(job.key);
-    if (!cached) {
+    if (cached) {
+      ++hits_;
+    } else {
       inflight_.try_emplace(job.key);
       ++in_flight_;
+      ++solved_;
     }
+    release_turnstile();
   }
 
   // Fast path: an identical request finished earlier.
@@ -151,7 +201,7 @@ void SchedulerService::handle_job(QueuedJob&& job, std::size_t worker_index) {
     result.cache_hit = true;
     result.summary = *cached;
     result.latency_ms = elapsed_ms();
-    resolve(promise, std::move(result));
+    resolve(completion, std::move(result));
     return;
   }
 
@@ -202,9 +252,9 @@ void SchedulerService::handle_job(QueuedJob&& job, std::size_t worker_index) {
   result.cache_hit = false;
   result.summary = summary;
   result.latency_ms = elapsed_ms();
-  resolve(promise, std::move(result));
+  resolve(completion, std::move(result));
 
-  for (auto& [follower_id, follower_promise] : entry.followers) {
+  for (auto& [follower_id, follower_completion] : entry.followers) {
     JobResult follower;
     follower.job_id = follower_id;
     follower.key = job.key;
@@ -216,7 +266,7 @@ void SchedulerService::handle_job(QueuedJob&& job, std::size_t worker_index) {
     follower.cache_hit = status == JobStatus::kOk;
     follower.summary = summary;
     follower.latency_ms = elapsed_ms();
-    resolve(follower_promise, std::move(follower));
+    resolve(follower_completion, std::move(follower));
   }
 }
 
@@ -228,6 +278,9 @@ ServiceStats SchedulerService::stats() const {
     s.rejected = rejected_;
     s.completed = completed_;
     s.failed = failed_;
+    s.hits = hits_;
+    s.solved = solved_;
+    s.coalesced = coalesced_;
     s.in_flight = in_flight_;
   }
   s.queue_depth = queue_.size();

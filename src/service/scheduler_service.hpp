@@ -16,10 +16,15 @@
 // count or completion order. Duplicate requests (equal job digest) are
 // coalesced: the first job to reach a worker becomes the *leader* and solves;
 // concurrent twins park as followers and are resolved from the leader's
-// result, and later twins hit the LRU cache. Because workers pop from one
-// priority+FIFO queue, leader election is deterministic too: for any worker
-// count, exactly the first-popped job of each digest reports cache_hit=false
-// and every other one reports cache_hit=true.
+// result, and later twins hit the LRU cache. Leader election is deterministic
+// too: workers pop from one priority+FIFO queue, and the cache/coalescing
+// triage runs in *pop order* (a turnstile keyed on QueuedJob::pop_seq — see
+// handle_job), so for any worker count exactly the first-popped job of each
+// digest reports cache_hit=false and every other one reports cache_hit=true.
+// Popping and triaging in two unsynchronized steps — as an earlier revision
+// did — let two workers reach the triage lock in the opposite order and
+// occasionally flip which duplicate solved, breaking the byte-identical
+// result streams rts_serve promises across --threads values.
 
 #include <cstdint>
 #include <future>
@@ -65,6 +70,25 @@ class SchedulerService {
   std::optional<std::future<JobResult>> submit(JobRequest request)
       RTS_EXCLUDES(mutex_);
 
+  /// Admission outcome of submit_async (mirrors the queue's PushOutcome so
+  /// transports can distinguish "overloaded, retry later" from "shut down").
+  enum class SubmitOutcome : std::uint8_t {
+    kAccepted,
+    kRejectedFull,    ///< bounded queue at capacity (admission-control shed)
+    kRejectedClosed,  ///< service is shutting down
+  };
+
+  /// Callback-based admission for event-loop transports that must not block
+  /// on a future. On kAccepted, `on_done` is invoked exactly once — from a
+  /// worker thread, after the job resolves — and must not throw or block for
+  /// long (it runs on the worker that just finished the solve). On rejection
+  /// it is never invoked. Uses try_push semantics regardless of
+  /// block_when_full: an async caller wants an explicit overload signal, not
+  /// backpressure-by-blocking.
+  SubmitOutcome submit_async(JobRequest request,
+                             std::function<void(JobResult&&)> on_done)
+      RTS_EXCLUDES(mutex_);
+
   /// Close admission, solve everything still queued, join the workers.
   /// Idempotent; called by the destructor.
   void shutdown();
@@ -76,14 +100,26 @@ class SchedulerService {
   [[nodiscard]] std::size_t worker_count() const noexcept;
 
  private:
-  /// A leader's bookkeeping entry while its digest is being solved: twins
-  /// that arrive meanwhile park their promises here.
-  struct InflightEntry {
-    std::vector<std::pair<std::uint64_t, std::promise<JobResult>>> followers;
+  /// How a resolved job reports back to its submitter: a future (submit) or
+  /// a completion callback (submit_async). Exactly one is active.
+  struct Completion {
+    std::promise<JobResult> promise;
+    std::function<void(JobResult&&)> callback;  ///< non-null => callback mode
   };
 
+  /// A leader's bookkeeping entry while its digest is being solved: twins
+  /// that arrive meanwhile park their completions here.
+  struct InflightEntry {
+    std::vector<std::pair<std::uint64_t, Completion>> followers;
+  };
+
+  /// Shared admission core: registers the completion, pushes, and rolls back
+  /// on rejection. `blocking` selects push_wait vs try_push.
+  PushOutcome admit(JobRequest&& request, Completion&& completion, bool blocking,
+                    std::future<JobResult>* future_out) RTS_EXCLUDES(mutex_);
+
   void handle_job(QueuedJob&& job, std::size_t worker_index) RTS_EXCLUDES(mutex_);
-  void resolve(std::promise<JobResult>& promise, JobResult&& result)
+  void resolve(Completion& completion, JobResult&& result)
       RTS_EXCLUDES(mutex_);
 
   SchedulerServiceConfig config_;
@@ -95,16 +131,21 @@ class SchedulerService {
   ResultCache cache_;
   LatencyRecorder latency_;
 
-  mutable Mutex mutex_;  ///< guards promises_, inflight_, counters
-  std::unordered_map<std::uint64_t, std::promise<JobResult>> promises_
+  mutable Mutex mutex_;  ///< guards completions_, inflight_, counters
+  std::unordered_map<std::uint64_t, Completion> completions_
       RTS_GUARDED_BY(mutex_);
   std::unordered_map<Digest, InflightEntry, DigestHash> inflight_
       RTS_GUARDED_BY(mutex_);
+  CondVar triage_turn_;  ///< turnstile: triage admitted in pop_seq order
+  std::uint64_t triage_next_ RTS_GUARDED_BY(mutex_) = 0;
   std::uint64_t next_job_id_ RTS_GUARDED_BY(mutex_) = 0;
   std::uint64_t submitted_ RTS_GUARDED_BY(mutex_) = 0;
   std::uint64_t rejected_ RTS_GUARDED_BY(mutex_) = 0;
   std::uint64_t completed_ RTS_GUARDED_BY(mutex_) = 0;
   std::uint64_t failed_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t solved_ RTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t coalesced_ RTS_GUARDED_BY(mutex_) = 0;
   std::size_t in_flight_ RTS_GUARDED_BY(mutex_) = 0;
 
   /// Per-worker solver scratch (evaluation-workspace pools), indexed by the

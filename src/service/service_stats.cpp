@@ -74,7 +74,9 @@ void append_number(std::ostringstream& os, double value) {
 std::string service_stats_to_json(const ServiceStats& s) {
   std::ostringstream os;
   os << "{\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
-     << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
+     << ",\"quota_rejected\":" << s.quota_rejected << ",\"completed\":" << s.completed
+     << ",\"failed\":" << s.failed << ",\"hits\":" << s.hits
+     << ",\"solved\":" << s.solved << ",\"coalesced\":" << s.coalesced
      << ",\"queue_depth\":" << s.queue_depth << ",\"in_flight\":" << s.in_flight
      << ",\"workers\":" << s.workers;
   os << ",\"p50_latency_ms\":";

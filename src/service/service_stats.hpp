@@ -14,14 +14,30 @@
 namespace rts {
 
 /// Point-in-time snapshot of service health.
+///
+/// Accounting closure: every submit() attempt ends in exactly one of four
+/// dispositions, so once the service has drained (queue_depth == 0 and
+/// in_flight == 0) the counters satisfy
+///
+///   submitted == rejected + hits + solved + coalesced
+///   completed + failed == hits + solved + coalesced
+///
+/// `quota_rejected` sits outside the identity on purpose: it counts requests
+/// a transport front-end refused *before* calling submit() (per-client
+/// in-flight quota — see net/serve_server.hpp), so the service never saw
+/// them. The service itself always reports it as 0.
 struct ServiceStats {
-  std::uint64_t submitted = 0;   ///< jobs accepted by submit()
-  std::uint64_t rejected = 0;    ///< jobs refused at admission (queue full)
-  std::uint64_t completed = 0;   ///< jobs finished with status kOk
-  std::uint64_t failed = 0;      ///< jobs finished with status kFailed
-  std::size_t queue_depth = 0;   ///< jobs waiting in the queue right now
-  std::size_t in_flight = 0;     ///< jobs currently being solved
-  std::size_t workers = 0;       ///< worker-thread count
+  std::uint64_t submitted = 0;       ///< submit() attempts (accepted + rejected)
+  std::uint64_t rejected = 0;        ///< refused at admission (queue full/closed)
+  std::uint64_t quota_rejected = 0;  ///< refused upstream by a per-client quota
+  std::uint64_t completed = 0;       ///< jobs finished with status kOk
+  std::uint64_t failed = 0;          ///< jobs finished with status kFailed
+  std::uint64_t hits = 0;            ///< served from the result cache fast path
+  std::uint64_t solved = 0;          ///< coalescing leaders that ran the solver
+  std::uint64_t coalesced = 0;       ///< followers resolved from a leader's solve
+  std::size_t queue_depth = 0;       ///< jobs waiting in the queue right now
+  std::size_t in_flight = 0;         ///< jobs currently being solved
+  std::size_t workers = 0;           ///< worker-thread count
   double p50_latency_ms = 0.0;   ///< solve-latency quantiles over completed
   double p95_latency_ms = 0.0;   ///<   jobs (cache hits included — that is
   double max_latency_ms = 0.0;   ///<   the latency users observe)

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the rts CLI: generate -> info -> schedule with
 # every algorithm -> evaluate, plus error-path checks, plus an rts_serve
-# batch-serving case and an rts_fuzz mini-sweep. $1 = path to the rts binary,
-# $2 = path to rts_serve, $3 = path to rts_fuzz.
+# batch- and socket-serving cases and an rts_fuzz mini-sweep. $1 = path to the
+# rts binary, $2 = path to rts_serve, $3 = path to rts_fuzz, $4 = path to
+# rts_loadgen.
 set -euo pipefail
 
 RTS="$1"
 SERVE="${2:-}"
 FUZZ="${3:-}"
+LOADGEN="${4:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
@@ -155,6 +157,33 @@ REQ
   RTS_CHECK=1 "$SERVE" --requests jobs3.txt --threads 2 > servechk.jsonl \
     || fail "rts_serve under RTS_CHECK"
   grep -c '"status":"ok"' servechk.jsonl | grep -qx 3 || fail "RTS_CHECK ok lines"
+
+  # socket mode: the epoll front end answers the same request lines with
+  # bytes identical to the batch output, rts_loadgen's replay loses no
+  # responses, and SIGTERM drains gracefully (exit 0, closing stats)
+  if [ -n "$LOADGEN" ]; then
+    "$SERVE" --listen 0 --port-file port.txt --threads 2 --stats \
+      > /dev/null 2> serve_sock.stats &
+    serve_pid=$!
+    for _ in $(seq 1 100); do [ -s port.txt ] && break; sleep 0.1; done
+    [ -s port.txt ] || fail "rts_serve --listen did not publish a port"
+    port="$(cat port.txt)"
+
+    exec 3<>"/dev/tcp/127.0.0.1/$port" || fail "connect to rts_serve"
+    cat jobs3.txt >&3
+    head -n 3 <&3 > sock3.jsonl
+    exec 3<&- 3>&-
+    diff serve3.jsonl sock3.jsonl || fail "socket responses differ from batch"
+
+    "$LOADGEN" --port "$port" --trace jobs3.txt --smoke \
+      --json bench_serve_smoke.json > /dev/null || fail "rts_loadgen smoke"
+    grep -q '"no_lost_responses": true' bench_serve_smoke.json \
+      || fail "rts_loadgen lost responses"
+
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || fail "rts_serve SIGTERM drain exit status"
+    grep -q '"submitted":' serve_sock.stats || fail "drained socket stats"
+  fi
 fi
 
 # rts_fuzz: mutation self-test + a tiny differential sweep must pass

@@ -1,0 +1,152 @@
+// LineFramer — the one request-framing implementation both rts_serve front
+// ends share. These tests pin the contract docs/service.md promises clients:
+// CRLF tolerance, unterminated-final-line flush, bounded buffering with
+// overlong rejection + resynchronization, and fragmentation-invariance (the
+// same bytes produce the same lines no matter how they are chunked).
+
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rts {
+namespace {
+
+using Framed = std::vector<std::pair<std::string, FrameStatus>>;
+
+Framed feed_all(LineFramer& framer, const std::vector<std::string>& chunks,
+                bool finish = true) {
+  Framed out;
+  const auto sink = [&out](std::string_view line, FrameStatus status) {
+    out.emplace_back(std::string(line), status);
+  };
+  for (const std::string& chunk : chunks) framer.feed(chunk, sink);
+  if (finish) framer.finish(sink);
+  return out;
+}
+
+TEST(LineFramer, SplitsOnNewlines) {
+  LineFramer framer;
+  const Framed out = feed_all(framer, {"alpha\nbeta\ngamma\n"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "alpha");
+  EXPECT_EQ(out[1].first, "beta");
+  EXPECT_EQ(out[2].first, "gamma");
+  for (const auto& [line, status] : out) EXPECT_EQ(status, FrameStatus::kLine);
+}
+
+TEST(LineFramer, StripsExactlyOneTrailingCarriageReturn) {
+  LineFramer framer;
+  const Framed out = feed_all(framer, {"crlf\r\nbare\rmiddle\ndouble\r\r\n"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "crlf");
+  // A '\r' not directly before the '\n' is payload, not a separator.
+  EXPECT_EQ(out[1].first, "bare\rmiddle");
+  EXPECT_EQ(out[2].first, "double\r");
+}
+
+TEST(LineFramer, FinishFlushesUnterminatedFinalLine) {
+  LineFramer framer;
+  const Framed out = feed_all(framer, {"first\nlast without newline"});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "first");
+  EXPECT_EQ(out[1].first, "last without newline");
+  EXPECT_EQ(out[1].second, FrameStatus::kLine);
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+}
+
+TEST(LineFramer, FinishOnEmptyBufferEmitsNothing) {
+  LineFramer framer;
+  const Framed out = feed_all(framer, {"complete\n"});
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(LineFramer, EmptyLinesAreDelivered) {
+  // Blank lines are protocol-visible (they consume no job index but the
+  // framing layer must still report them — stripping is the codec's job).
+  LineFramer framer;
+  const Framed out = feed_all(framer, {"\n\nx\n"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "");
+  EXPECT_EQ(out[1].first, "");
+  EXPECT_EQ(out[2].first, "x");
+}
+
+TEST(LineFramer, FragmentationInvariant) {
+  // The same byte stream, chunked every possible way into two pieces (plus
+  // byte-at-a-time), frames identically.
+  const std::string stream = "one\rtwo\r\nthree\n\nfour";
+  LineFramer whole;
+  const Framed expected = feed_all(whole, {stream});
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    LineFramer split;
+    const Framed got =
+        feed_all(split, {stream.substr(0, cut), stream.substr(cut)});
+    EXPECT_EQ(got, expected) << "cut at byte " << cut;
+  }
+  LineFramer dribble;
+  std::vector<std::string> bytes;
+  for (const char c : stream) bytes.emplace_back(1, c);
+  EXPECT_EQ(feed_all(dribble, bytes), expected);
+}
+
+TEST(LineFramer, OverlongLineIsRejectedWithClippedPreview) {
+  LineFramer framer(16);
+  const std::string big(100, 'x');
+  const Framed out = feed_all(framer, {big + "\nok\n"});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, FrameStatus::kOverlong);
+  // The preview is a prefix of the line, clipped to the diagnostic bound.
+  EXPECT_LE(out[0].first.size(), LineFramer::kOverlongPreviewBytes);
+  EXPECT_EQ(out[0].first, big.substr(0, out[0].first.size()));
+  // The framer resynchronizes at the next newline.
+  EXPECT_EQ(out[1].first, "ok");
+  EXPECT_EQ(out[1].second, FrameStatus::kLine);
+  EXPECT_EQ(framer.overlong_lines(), 1u);
+}
+
+TEST(LineFramer, OverlongReportedOncePerLineAcrossChunks) {
+  // An attacker dribbling an endless line byte by byte gets one rejection
+  // and bounded buffering, not one rejection per chunk.
+  LineFramer framer(8);
+  Framed out;
+  const auto sink = [&out](std::string_view line, FrameStatus status) {
+    out.emplace_back(std::string(line), status);
+  };
+  for (int i = 0; i < 1000; ++i) framer.feed("y", sink);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, FrameStatus::kOverlong);
+  EXPECT_LE(framer.buffered_bytes(), framer.max_line_bytes());
+  // The line finally ends; the next one frames normally.
+  framer.feed("\nz\n", sink);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].first, "z");
+  EXPECT_EQ(out[1].second, FrameStatus::kLine);
+  EXPECT_EQ(framer.overlong_lines(), 1u);
+}
+
+TEST(LineFramer, FinishClearsOverlongDiscardState) {
+  // EOF in the middle of an overlong line: the rejection was already
+  // delivered when the bound was crossed; finish() must not deliver the
+  // swallowed tail as a spurious extra line.
+  LineFramer framer(8);
+  const Framed out = feed_all(framer, {"0123456789abcdef"});  // no newline
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, FrameStatus::kOverlong);
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+}
+
+TEST(LineFramer, BufferedBytesStayBounded) {
+  LineFramer framer(32);
+  const auto sink = [](std::string_view, FrameStatus) {};
+  for (int i = 0; i < 100; ++i) {
+    framer.feed(std::string(1000, 'a'), sink);
+    EXPECT_LE(framer.buffered_bytes(), framer.max_line_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace rts

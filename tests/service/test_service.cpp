@@ -158,7 +158,13 @@ TEST(SchedulerService, QueueFullShedsJobsAndCountsRejections) {
   EXPECT_GE(rejected, 1u);
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.rejected, rejected);
-  EXPECT_EQ(stats.submitted, accepted.size());
+  // submitted counts every attempt; rejection is a disposition of it, so the
+  // drained service satisfies the accounting closure.
+  EXPECT_EQ(stats.submitted, accepted.size() + rejected);
+  EXPECT_EQ(stats.submitted,
+            stats.rejected + stats.hits + stats.solved + stats.coalesced);
+  EXPECT_EQ(stats.completed + stats.failed,
+            stats.hits + stats.solved + stats.coalesced);
 }
 
 TEST(SchedulerService, InvalidProblemReportsFailedJob) {

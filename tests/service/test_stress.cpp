@@ -132,6 +132,50 @@ TEST(JobQueueStress, CloseRacingProducersNeverLosesAcceptedJobs) {
   EXPECT_EQ(queue.try_push(make_job(0)), PushOutcome::kRejectedClosed);
 }
 
+TEST(JobQueueStress, CloseReleasesProducersBlockedOnFullQueue) {
+  // The close()-vs-push_wait() lost-wakeup audit (see job_queue.cpp): fill
+  // the queue, park producers in push_wait with NO consumer running, then
+  // close. Every producer must return kRejectedClosed promptly — woken by
+  // close() alone, not by a pop freeing space. A lost wakeup here would
+  // strand a producer forever, which surfaces as this test hanging into the
+  // ctest timeout.
+  JobQueue queue(2);
+  ASSERT_EQ(queue.push_wait(make_job(0)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push_wait(make_job(1)), PushOutcome::kAccepted);
+
+  constexpr int kBlocked = 4;
+  std::atomic<int> attempting{0};
+  std::vector<std::thread> producers;
+  std::vector<PushOutcome> outcomes(kBlocked, PushOutcome::kAccepted);
+  producers.reserve(kBlocked);
+  for (int p = 0; p < kBlocked; ++p) {
+    producers.emplace_back([&, p] {
+      attempting.fetch_add(1, std::memory_order_release);
+      outcomes[static_cast<std::size_t>(p)] =
+          queue.push_wait(make_job(100 + static_cast<std::uint64_t>(p)));
+    });
+  }
+
+  // Close as soon as every producer has announced its attempt. Some may not
+  // have parked yet — that in-between window is exactly what the shutdown
+  // protocol must handle (the predicate re-check under the mutex observes
+  // closed_ before the thread ever sleeps).
+  while (attempting.load(std::memory_order_acquire) < kBlocked) {
+    std::this_thread::yield();
+  }
+  queue.close();
+  for (auto& t : producers) t.join();
+
+  for (const PushOutcome outcome : outcomes) {
+    EXPECT_EQ(outcome, PushOutcome::kRejectedClosed);
+  }
+  // The two accepted jobs are still there for consumers to drain.
+  EXPECT_EQ(queue.size(), 2u);
+  ASSERT_TRUE(queue.pop().has_value());
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
 // --- SchedulerService: request coalescing under duplicate fire --------------
 
 RobustSchedulerConfig tiny_config(double epsilon, std::uint64_t seed) {
@@ -215,6 +259,14 @@ TEST(SchedulerServiceStress, CoalescingElectsExactlyOneLeaderPerDigest) {
   EXPECT_EQ(stats.in_flight, 0u);
   // Hits + coalesced followers + leaders account for every job.
   EXPECT_EQ(leaders_total, static_cast<std::uint64_t>(kDigests));
+  EXPECT_EQ(stats.solved, leaders_total);
+  // Accounting closure of the drained service: every submission is exactly
+  // one of rejected / cache hit / solved leader / coalesced follower, and
+  // everything admitted was resolved.
+  EXPECT_EQ(stats.submitted,
+            stats.rejected + stats.hits + stats.solved + stats.coalesced);
+  EXPECT_EQ(stats.completed + stats.failed,
+            stats.hits + stats.solved + stats.coalesced);
 }
 
 TEST(SchedulerServiceStress, ConcurrentShutdownIsIdempotentAndRaceFree) {
